@@ -1,0 +1,54 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section at a configurable scale and writes the full
+// report. This is the one-command reproduction entry point.
+//
+// Usage:
+//
+//	repro                      # default scale, report to stdout
+//	repro -seqs 48 -cap 4000000 -o report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seqs    = flag.Int("seqs", 24, "database sequences")
+		cap     = flag.Uint64("cap", 2_000_000, "simulated trace window per workload")
+		out     = flag.String("o", "-", "output path ('-' for stdout)")
+		queries = flag.Bool("queries", false, "also sweep all Table II queries (slower)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	lab := experiments.NewLab(experiments.Scale{Seqs: *seqs, TraceCap: *cap})
+	start := time.Now()
+	err := experiments.RunAll(lab, w, func(name string) {
+		fmt.Fprintf(os.Stderr, "[%7.1fs] running %s...\n", time.Since(start).Seconds(), name)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	if *queries {
+		fmt.Fprintf(os.Stderr, "[%7.1fs] running query sweep...\n", time.Since(start).Seconds())
+		sweep := experiments.QuerySweep(experiments.Scale{Seqs: *seqs / 4, TraceCap: *cap / 4})
+		fmt.Fprintln(w, sweep.Render())
+	}
+	fmt.Fprintf(os.Stderr, "repro: done in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,177 @@
+// Command seqalign searches a protein database with a query sequence
+// using any of the paper's five methods (or the reference
+// Smith-Waterman), in the spirit of the ssearch/blastp command lines
+// of Table I.
+//
+// Usage:
+//
+//	seqalign -query P14942 -db synthetic:100 -method ssearch -best 10
+//	seqalign -query query.fasta -db swissprot.fasta -method blast -align
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/fasta"
+)
+
+func main() {
+	var (
+		queryArg  = flag.String("query", "P14942", "query: FASTA file path or a Table II accession")
+		dbArg     = flag.String("db", "synthetic:100", "database: FASTA file path or synthetic:<n>")
+		method    = flag.String("method", "ssearch", "ssearch | vmx128 | vmx256 | blast | fasta | sw")
+		matrix    = flag.String("s", "BL62", "substitution matrix (BL62, BL50)")
+		gapOpen   = flag.Int("gopen", 10, "gap open penalty")
+		gapExt    = flag.Int("gext", 1, "gap extension penalty")
+		best      = flag.Int("best", 10, "number of hits to report (-b)")
+		related   = flag.Int("related", 0, "plant this many homologs in a synthetic database")
+		showAlign = flag.Bool("align", false, "print the top hit's alignment")
+	)
+	flag.Parse()
+
+	m, err := bio.MatrixByName(*matrix)
+	if err != nil {
+		fatal(err)
+	}
+	params := align.Params{Matrix: m, Gaps: bio.GapPenalty{Open: *gapOpen, Extend: *gapExt}}
+
+	query, err := loadQuery(*queryArg)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := loadDB(*dbArg, query, *related)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query %s (%d aa) vs %d sequences (%d residues), method=%s matrix=%s gaps=%d/%d\n",
+		query.ID, query.Len(), db.NumSeqs(), db.TotalResidues(), *method, m.Name, *gapOpen, *gapExt)
+
+	type hit struct {
+		seq   *bio.Sequence
+		score int
+		extra string
+	}
+	var hits []hit
+	switch *method {
+	case "ssearch", "sw", "vmx128", "vmx256":
+		prof := align.NewProfile(query.Residues, params)
+		for _, s := range db.Seqs {
+			var score int
+			switch *method {
+			case "ssearch":
+				score = align.SSEARCHScore(prof, s.Residues)
+			case "sw":
+				score = align.SWScore(params, query.Residues, s.Residues)
+			case "vmx128":
+				score = align.SWScoreVMX128(prof, s.Residues)
+			case "vmx256":
+				score = align.SWScoreVMX256(prof, s.Residues)
+			}
+			if score > 0 {
+				hits = append(hits, hit{seq: s, score: score})
+			}
+		}
+	case "blast":
+		p := blast.DefaultParams()
+		p.Matrix = m
+		p.Gaps = params.Gaps
+		res, stats := blast.Search(db, query, p)
+		for _, h := range res {
+			hits = append(hits, hit{seq: h.Seq, score: h.Score,
+				extra: fmt.Sprintf("bits=%.1f E=%.2g", h.BitScore, h.EValue)})
+		}
+		fmt.Printf("blast stats: %d words scanned, %d word hits, %d seeds extended, %d gapped\n",
+			stats.WordsScanned, stats.WordHits, stats.SeedsExtended, stats.GappedExtensions)
+	case "fasta":
+		p := fasta.DefaultParams()
+		p.Matrix = m
+		p.Gaps = params.Gaps
+		res, _ := fasta.Search(db, query, p)
+		for _, h := range res {
+			hits = append(hits, hit{seq: h.Seq, score: h.Opt,
+				extra: fmt.Sprintf("init1=%d initn=%d", h.Init1, h.Initn)})
+		}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	// Scalar methods produce unsorted hits; sort by score.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j].score > hits[j-1].score; j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	n := *best
+	if n > len(hits) {
+		n = len(hits)
+	}
+	fmt.Printf("\nThe best scores are:\n")
+	for i := 0; i < n; i++ {
+		h := hits[i]
+		fmt.Printf("%3d. %-12s (%4d aa) score %5d  %s\n", i+1, h.seq.ID, h.seq.Len(), h.score, h.extra)
+	}
+	if *showAlign && n > 0 {
+		al := align.SWAlign(params, query.Residues, hits[0].seq.Residues)
+		fmt.Printf("\nbest alignment (query %d-%d, subject %d-%d, %.0f%% identity):\n%s\n",
+			al.AStart+1, al.AEnd, al.BStart+1, al.BEnd, 100*al.Identity,
+			al.Format(query.Residues, hits[0].seq.Residues))
+	}
+}
+
+func loadQuery(arg string) (*bio.Sequence, error) {
+	for _, q := range bio.PaperQueryTable {
+		if q.Accession == arg {
+			return bio.PaperQuery(arg), nil
+		}
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, fmt.Errorf("query %q is neither a Table II accession nor a readable file: %w", arg, err)
+	}
+	defer f.Close()
+	seqs, err := bio.ReadFASTA(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("no sequences in %s", arg)
+	}
+	return seqs[0], nil
+}
+
+func loadDB(arg string, query *bio.Sequence, related int) (*bio.Database, error) {
+	if rest, ok := strings.CutPrefix(arg, "synthetic:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("bad synthetic database size %q", rest)
+		}
+		spec := bio.DefaultDBSpec(n)
+		if related > 0 {
+			spec.Related = related
+			spec.RelatedTo = query
+		}
+		return bio.SyntheticDB(spec), nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seqs, err := bio.ReadFASTA(f)
+	if err != nil {
+		return nil, err
+	}
+	return bio.NewDatabase(seqs), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqalign:", err)
+	os.Exit(1)
+}

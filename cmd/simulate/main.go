@@ -1,0 +1,103 @@
+// Command simulate runs one workload trace through the out-of-order
+// processor model at a chosen configuration and reports the paper's
+// per-run metrics: IPC, cache and branch statistics, the trauma
+// distribution, and queue occupancies.
+//
+// Usage:
+//
+//	simulate -app blast -width 4 -mem 0
+//	simulate -app ssearch34 -bp perfect -seqs 16 -cap 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "ssearch34", "workload: "+strings.Join(workloads.Names, " | "))
+		seqs    = flag.Int("seqs", 16, "database sequences")
+		cap     = flag.Uint64("cap", 2_000_000, "max trace instructions simulated (0 = all)")
+		traceIn = flag.String("tracefile", "", "simulate this binary trace (from tracegen -o) instead of generating")
+		width   = flag.Int("width", 4, "machine width: 4, 8, 12 or 16 (Table IV)")
+		memIdx  = flag.Int("mem", 0, "memory configuration index into Table V (0=me1 .. 4=meinf)")
+		bp      = flag.String("bp", "gp", "branch predictor: gp | gshare | bimodal | perfect")
+		bpSize  = flag.Int("bpentries", 16384, "predictor table entries")
+		dl1lat  = flag.Int("dl1lat", 1, "DL1 hit latency (Figure 7 sweeps this)")
+		traumas = flag.Int("traumas", 10, "number of trauma classes to print")
+	)
+	flag.Parse()
+
+	mems := uarch.MemoryConfigs()
+	if *memIdx < 0 || *memIdx >= len(mems) {
+		fmt.Fprintln(os.Stderr, "simulate: -mem must be 0..4")
+		os.Exit(1)
+	}
+	cfg := uarch.ConfigByWidth(*width).WithMemory(mems[*memIdx]).WithPredictor(*bp, *bpSize)
+	cfg.Mem.DL1.Latency = *dl1lat
+
+	var insts []isa.Inst
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		insts, err = trace.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		*app = *traceIn
+	} else {
+		spec := workloads.PaperSpec(*seqs)
+		w, err := workloads.New(*app, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		var rec trace.Recorder
+		limit := *cap
+		if limit == 0 {
+			limit = 1 << 62
+		}
+		w.Trace(&trace.LimitSink{Inner: &rec, Limit: limit})
+		insts = rec.Insts
+	}
+
+	res, err := uarch.New(cfg).Run(trace.NewReplay(insts))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s / %s / %s(%d entries)\n", *app, cfg.Name, mems[*memIdx].Name, *bp, *bpSize)
+	fmt.Printf("  instructions  %12d\n", res.Retired)
+	fmt.Printf("  cycles        %12d\n", res.Cycles)
+	fmt.Printf("  IPC           %12.3f\n", res.IPC)
+	fmt.Printf("  DL1 miss rate %11.2f%%  (%d / %d)\n", 100*res.DL1MissRate, res.DL1Misses, res.DL1Accesses)
+	fmt.Printf("  L2 misses     %12d\n", res.L2Misses)
+	fmt.Printf("  BP accuracy   %11.2f%%  (%d mispredicts / %d cond branches)\n",
+		100*res.PredAccuracy, res.Mispredicts, res.CondBranches)
+	fmt.Printf("  mean in-flight %10.1f instructions\n", uarch.MeanOccupancy(res.InflightOcc))
+	fmt.Printf("top traumas (of %d total stall cycles):\n", res.Cycles-res.ProgressCycles)
+	for _, tc := range res.TopTraumas(*traumas) {
+		fmt.Printf("  %-10v %10d  %5.1f%%\n", tc.Trauma, tc.Cycles, 100*float64(tc.Cycles)/float64(res.Cycles))
+	}
+	fmt.Println("issue queue mean occupancy:")
+	for q := uarch.UnitClass(0); q < uarch.NumUnitClasses; q++ {
+		occ := uarch.MeanOccupancy(res.QueueOcc[q])
+		if occ > 0.005 {
+			fmt.Printf("  %-7v %6.2f\n", q, occ)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command tracegen generates the instruction trace of one of the
+// paper's workloads and reports its Table III / Figure 1 statistics,
+// optionally dumping decoded instructions.
+//
+// Usage:
+//
+//	tracegen -app ssearch34 -seqs 24
+//	tracegen -app blast -seqs 8 -dump 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "ssearch34", "workload: "+strings.Join(workloads.Names, " | "))
+		seqs = flag.Int("seqs", 24, "database sequences")
+		dump = flag.Int("dump", 0, "print the first N instructions")
+		out  = flag.String("o", "", "write the binary trace to this file (for cmd/simulate -tracefile)")
+		cap  = flag.Uint64("cap", 0, "cap the written trace at N instructions (0 = all)")
+	)
+	flag.Parse()
+
+	spec := workloads.PaperSpec(*seqs)
+	w, err := workloads.New(*app, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	var cs trace.CountingSink
+	sinks := trace.TeeSink{&cs}
+	var rec trace.Recorder
+	if *dump > 0 {
+		sinks = append(sinks, &trace.LimitSink{Inner: &rec, Limit: uint64(*dump)})
+	}
+	var full trace.Recorder
+	if *out != "" {
+		limit := *cap
+		if limit == 0 {
+			limit = 1 << 62
+		}
+		sinks = append(sinks, &trace.LimitSink{Inner: &full, Limit: limit})
+	}
+	info := w.Trace(sinks)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteTrace(f, full.Insts); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d instructions to %s\n", full.Len(), *out)
+	}
+
+	fmt.Printf("workload %s: %d instructions (query %d aa vs %d sequences)\n",
+		w.Name(), cs.Total, spec.Query.Len(), spec.DB.NumSeqs())
+	fmt.Println("instruction breakdown:")
+	bd := cs.Breakdown()
+	for c := isa.Breakdown(0); c < isa.NumBreakdowns; c++ {
+		if bd[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8v %12d  %5.1f%%\n", c, bd[c], 100*float64(bd[c])/float64(cs.Total))
+	}
+	top := 0
+	for _, s := range info.Scores {
+		if s > top {
+			top = s
+		}
+	}
+	fmt.Printf("best alignment score in run: %d\n", top)
+	if *dump > 0 {
+		fmt.Printf("\nfirst %d instructions:\n", rec.Len())
+		for _, in := range rec.Insts {
+			fmt.Println(" ", in)
+		}
+	}
+}

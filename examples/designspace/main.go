@@ -1,0 +1,38 @@
+// Designspace: use the cycle-accurate processor model to explore a
+// design decision the paper studies — how large the L1 data cache must
+// be for BLAST versus SSEARCH (Figure 5's question) — and print the
+// resulting miss-rate/IPC table.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/uarch"
+)
+
+func main() {
+	lab := experiments.NewLab(experiments.Scale{Seqs: 10, TraceCap: 300_000})
+	apps := []string{"blast", "ssearch34"}
+	sizes := []int{4, 16, 32, 128, 512}
+
+	fmt.Println("DL1 size sweep on the 4-way machine (2M L2):")
+	fmt.Printf("%-8s", "size")
+	for _, app := range apps {
+		fmt.Printf("%24s", app)
+	}
+	fmt.Println()
+	for _, kb := range sizes {
+		fmt.Printf("%-8s", fmt.Sprintf("%dK", kb))
+		for _, app := range apps {
+			cfg := uarch.Config4Way()
+			cfg.Mem.DL1.SizeBytes = kb << 10
+			cfg.Mem.L2.SizeBytes = 2 << 20
+			res := lab.Simulate(app, cfg)
+			fmt.Printf("   miss %5.2f%% IPC %5.2f", 100*res.DL1MissRate, res.IPC)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe shape to notice (paper Figure 5): BLAST's lookup structures")
+	fmt.Println("need hundreds of KB, while SSEARCH's working set fits almost anywhere.")
+}

@@ -1,0 +1,44 @@
+// Tracestudy: generate the instruction traces of a scalar and a SIMD
+// Smith-Waterman kernel over the same input, compare their instruction
+// mixes (the paper's Figure 1), and show a decoded window of each —
+// demonstrating the trace substrate that feeds the simulator.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec := workloads.PaperSpec(4)
+	for _, name := range []string{"ssearch34", "sw_vmx128"} {
+		w, err := workloads.New(name, spec)
+		if err != nil {
+			panic(err)
+		}
+		var cs trace.CountingSink
+		var rec trace.Recorder
+		w.Trace(trace.TeeSink{&cs, &trace.LimitSink{Inner: &rec, Limit: 1 << 62}})
+
+		fmt.Printf("=== %s: %d instructions ===\n", name, cs.Total)
+		bd := cs.Breakdown()
+		for c := isa.Breakdown(0); c < isa.NumBreakdowns; c++ {
+			if bd[c] > 0 {
+				fmt.Printf("  %-8v %6.2f%%\n", c, 100*float64(bd[c])/float64(cs.Total))
+			}
+		}
+		// Show a steady-state window (skip the setup prologue).
+		fmt.Println("  steady-state window:")
+		start := len(rec.Insts) / 2
+		for _, in := range rec.Insts[start : start+12] {
+			fmt.Println("   ", in)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note the contrast the paper builds on: the scalar kernel is")
+	fmt.Println("~25% branches with data-dependent outcomes; the SIMD kernel is")
+	fmt.Println("almost branch-free and lives on the vector units.")
+}

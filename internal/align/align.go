@@ -1,0 +1,181 @@
+// Package align implements the rigorous pairwise sequence aligners the
+// paper studies: the reference Smith-Waterman local alignment with
+// affine gaps (Gotoh), the SWAT-style computation-avoiding scalar
+// variant that SSEARCH34 uses, and the Wozniak anti-diagonal SIMD
+// variants (SW_vmx128 / SW_vmx256) built on the emulated Altivec engine
+// in internal/simd. Needleman-Wunsch global alignment and banded local
+// alignment are included as supporting algorithms (FASTA's "opt" stage
+// uses the banded form).
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bio"
+)
+
+// Params bundles the scoring model: a substitution matrix and affine
+// gap penalties. The paper's experiments all use BLOSUM62 with gap
+// open 10 / extend 1.
+type Params struct {
+	Matrix *bio.Matrix
+	Gaps   bio.GapPenalty
+}
+
+// PaperParams returns the scoring parameters used throughout the paper
+// (BLOSUM62, -f 11 -g 1).
+func PaperParams() Params {
+	return Params{Matrix: bio.Blosum62, Gaps: bio.PaperGaps}
+}
+
+// Profile is a query-indexed score profile: Rows[c][j] is the score of
+// database residue c against query position j. Both the scalar SSEARCH
+// kernel and the SIMD kernels walk profile rows instead of doing a
+// two-dimensional matrix lookup per cell, exactly as the real codes do.
+type Profile struct {
+	Query []uint8
+	Gaps  bio.GapPenalty
+	Rows  [bio.AlphabetSize][]int16
+}
+
+// NewProfile builds the score profile of query under params.
+func NewProfile(query []uint8, p Params) *Profile {
+	prof := &Profile{Query: query, Gaps: p.Gaps}
+	for c := 0; c < bio.AlphabetSize; c++ {
+		row := make([]int16, len(query))
+		mrow := p.Matrix.Row(uint8(c))
+		for j, q := range query {
+			row[j] = int16(mrow[q])
+		}
+		prof.Rows[c] = row
+	}
+	return prof
+}
+
+// Op is one run of edit operations in an alignment traceback.
+type Op struct {
+	Kind OpKind
+	Len  int
+}
+
+// OpKind discriminates alignment operations.
+type OpKind uint8
+
+// Alignment operation kinds. Insert means residues of B aligned against
+// a gap in A; Delete means residues of A against a gap in B.
+const (
+	OpMatch OpKind = iota // aligned pair (match or substitution)
+	OpInsert
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMatch:
+		return "match"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Alignment is a scored local or global alignment of A[AStart:AEnd]
+// with B[BStart:BEnd], with the traceback as a run-length op list.
+type Alignment struct {
+	Score                  int
+	AStart, AEnd           int
+	BStart, BEnd           int
+	Ops                    []Op
+	Identity               float64 // fraction of aligned pairs that are identical
+	Matches, Substitutions int
+	GapResidues            int
+}
+
+// fillStats recomputes Identity/Matches/Substitutions/GapResidues from
+// the op list against the aligned residues.
+func (al *Alignment) fillStats(a, b []uint8) {
+	al.Matches, al.Substitutions, al.GapResidues = 0, 0, 0
+	i, j := al.AStart, al.BStart
+	for _, op := range al.Ops {
+		switch op.Kind {
+		case OpMatch:
+			for k := 0; k < op.Len; k++ {
+				if a[i+k] == b[j+k] {
+					al.Matches++
+				} else {
+					al.Substitutions++
+				}
+			}
+			i += op.Len
+			j += op.Len
+		case OpDelete:
+			al.GapResidues += op.Len
+			i += op.Len
+		case OpInsert:
+			al.GapResidues += op.Len
+			j += op.Len
+		}
+	}
+	pairs := al.Matches + al.Substitutions
+	if pairs > 0 {
+		al.Identity = float64(al.Matches) / float64(pairs)
+	}
+}
+
+// Format renders the classic three-line alignment view:
+//
+//	A = c s - t t p g
+//	    | |   |     |
+//	B = c s d t - n g
+func (al *Alignment) Format(a, b []uint8) string {
+	var top, mid, bot strings.Builder
+	i, j := al.AStart, al.BStart
+	for _, op := range al.Ops {
+		for k := 0; k < op.Len; k++ {
+			switch op.Kind {
+			case OpMatch:
+				ca, cb := bio.DecodeByte(a[i]), bio.DecodeByte(b[j])
+				top.WriteByte(ca)
+				bot.WriteByte(cb)
+				if ca == cb {
+					mid.WriteByte('|')
+				} else {
+					mid.WriteByte(' ')
+				}
+				i++
+				j++
+			case OpDelete:
+				top.WriteByte(bio.DecodeByte(a[i]))
+				mid.WriteByte(' ')
+				bot.WriteByte('-')
+				i++
+			case OpInsert:
+				top.WriteByte('-')
+				mid.WriteByte(' ')
+				bot.WriteByte(bio.DecodeByte(b[j]))
+				j++
+			}
+		}
+	}
+	return fmt.Sprintf("A = %s\n    %s\nB = %s", top.String(), mid.String(), bot.String())
+}
+
+// AlignedLen returns the number of alignment columns.
+func (al *Alignment) AlignedLen() int {
+	n := 0
+	for _, op := range al.Ops {
+		n += op.Len
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

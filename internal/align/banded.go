@@ -1,0 +1,78 @@
+package align
+
+// BandedSWScore computes the best local alignment score restricted to
+// the diagonal band |(j - i) - center| <= halfWidth, where i indexes a
+// and j indexes b. FASTA's "opt" stage scores library sequences with
+// exactly this computation centered on the best initial diagonal
+// region; it is also a useful aligner in its own right when the
+// expected alignment is near-diagonal.
+//
+// With a band wide enough to cover the optimal alignment path it
+// returns the SWScore value; narrower bands return a lower bound.
+func BandedSWScore(p Params, a, b []uint8, center, halfWidth int) int {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 || halfWidth < 0 {
+		return 0
+	}
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+	hrow := make([]int, n)
+	frow := make([]int, n)
+	for j := range frow {
+		frow[j] = minInf
+	}
+	best := 0
+	for i := 0; i < m; i++ {
+		lo := i + center - halfWidth
+		hi := i + center + halfWidth + 1 // exclusive
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			// Band is entirely off the matrix for this row; later rows
+			// may re-enter (center can place it left of column 0).
+			continue
+		}
+		mrow := p.Matrix.Row(a[i])
+		var hdiag, hleft int
+		if lo > 0 {
+			// H[i-1][lo-1] was the first in-band cell of the previous
+			// row (the band shifts right by one per row), so hrow
+			// holds it; outside that it is an unreachable cell.
+			hdiag = hrow[lo-1]
+			hleft = minInf / 2
+		}
+		e := minInf / 2
+		for j := lo; j < hi; j++ {
+			e = maxInt(hleft-first, e-ext)
+			f := maxInt(hrow[j]-first, frow[j]-ext)
+			h := hdiag + int(mrow[b[j]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			if h < 0 {
+				h = 0
+			}
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+			if h > best {
+				best = h
+			}
+		}
+		// The cell just right of the band must read as unreachable
+		// when the next row's last cell looks up its vertical inputs.
+		if hi < n {
+			hrow[hi] = minInf / 2
+			frow[hi] = minInf
+		}
+	}
+	return best
+}

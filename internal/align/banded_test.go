@@ -1,0 +1,108 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func TestBandedFullWidthEqualsSW(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 1+rng.Intn(40))
+		b := randSeq(rng, 1+rng.Intn(40))
+		want := SWScore(p, a, b)
+		// A band covering the whole matrix must reproduce SW exactly.
+		got := BandedSWScore(p, a, b, 0, len(a)+len(b))
+		if got != want {
+			t.Fatalf("trial %d: full-width band %d, SW %d", trial, got, want)
+		}
+	}
+}
+
+func TestBandedNeverExceedsSW(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 1+rng.Intn(40))
+		b := randSeq(rng, 1+rng.Intn(40))
+		sw := SWScore(p, a, b)
+		for _, hw := range []int{0, 2, 5, 10} {
+			center := rng.Intn(21) - 10
+			got := BandedSWScore(p, a, b, center, hw)
+			if got > sw {
+				t.Fatalf("band (c=%d,hw=%d) score %d exceeds SW %d", center, hw, got, sw)
+			}
+			if got < 0 {
+				t.Fatalf("negative banded score")
+			}
+		}
+	}
+}
+
+func TestBandedMonotoneInWidth(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		a := randSeq(rng, 20+rng.Intn(30))
+		b := randSeq(rng, 20+rng.Intn(30))
+		prev := -1
+		for hw := 0; hw < 30; hw += 3 {
+			got := BandedSWScore(p, a, b, 0, hw)
+			if got < prev {
+				t.Fatalf("widening the band lowered the score: %d -> %d at hw=%d", prev, got, hw)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestBandedZeroWidthIsBestDiagonalRun(t *testing.T) {
+	// A zero-width band centered at 0 only sees the main diagonal, so
+	// it returns the best positive run of diagonal scores.
+	p := PaperParams()
+	a := bio.Encode("ACDEFG")
+	b := bio.Encode("ACDEFG")
+	self := 0
+	for _, c := range a {
+		self += p.Matrix.Score(c, c)
+	}
+	if got := BandedSWScore(p, a, b, 0, 0); got != self {
+		t.Errorf("diagonal band self score %d, want %d", got, self)
+	}
+}
+
+func TestBandedOffMatrixBand(t *testing.T) {
+	p := PaperParams()
+	a := bio.Encode("ACDEF")
+	b := bio.Encode("ACDEF")
+	// A band centered far off the matrix scores 0.
+	if got := BandedSWScore(p, a, b, 100, 2); got != 0 {
+		t.Errorf("off-matrix band scored %d", got)
+	}
+	if got := BandedSWScore(p, a, b, -100, 2); got != 0 {
+		t.Errorf("off-matrix band scored %d", got)
+	}
+	if got := BandedSWScore(p, a, b, 0, -1); got != 0 {
+		t.Errorf("negative width band scored %d", got)
+	}
+}
+
+func TestBandedShiftedCenter(t *testing.T) {
+	// Sequence b embeds a at offset 5: the alignment lies on diagonal
+	// +5, so a narrow band centered there must find the full score.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(24))
+	a := randSeq(rng, 25)
+	prefix := randSeq(rng, 5)
+	b := append(append([]uint8{}, prefix...), a...)
+	self := 0
+	for _, c := range a {
+		self += p.Matrix.Score(c, c)
+	}
+	if got := BandedSWScore(p, a, b, 5, 1); got < self {
+		t.Errorf("narrow band on the right diagonal scored %d, want >= %d", got, self)
+	}
+}

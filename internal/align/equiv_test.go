@@ -1,0 +1,128 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/simd"
+)
+
+// The central correctness contract of the repository: every
+// implementation of Smith-Waterman (reference, SWAT scalar, plain
+// Gotoh, 128-bit SIMD, 256-bit SIMD) computes the same score. This is
+// what lets the traced workloads of internal/workloads claim they run
+// "the same computation" the paper traced.
+
+func TestAllSWImplementationsAgree(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		a := randSeq(rng, 1+rng.Intn(70))
+		b := randSeq(rng, 1+rng.Intn(70))
+		prof := NewProfile(a, p)
+		want := SWScore(p, a, b)
+		if got := SSEARCHScore(prof, b); got != want {
+			t.Fatalf("trial %d: SSEARCHScore=%d want %d (|a|=%d |b|=%d)",
+				trial, got, want, len(a), len(b))
+		}
+		if got := GotohScore(prof, b); got != want {
+			t.Fatalf("trial %d: GotohScore=%d want %d", trial, got, want)
+		}
+		if got := SWScoreVMX128(prof, b); got != want {
+			t.Fatalf("trial %d: SWScoreVMX128=%d want %d (|a|=%d |b|=%d)",
+				trial, got, want, len(a), len(b))
+		}
+		if got := SWScoreVMX256(prof, b); got != want {
+			t.Fatalf("trial %d: SWScoreVMX256=%d want %d (|a|=%d |b|=%d)",
+				trial, got, want, len(a), len(b))
+		}
+	}
+}
+
+func TestSWImplementationsAgreeOnRealisticSizes(t *testing.T) {
+	// Paper-scale shapes: the 222-residue Glutathione query against
+	// SwissProt-length database sequences.
+	p := PaperParams()
+	q := bio.GlutathioneQuery()
+	prof := NewProfile(q.Residues, p)
+	db := bio.SyntheticDB(bio.DefaultDBSpec(6))
+	for i, s := range db.Seqs {
+		want := SWScore(p, q.Residues, s.Residues)
+		if got := SSEARCHScore(prof, s.Residues); got != want {
+			t.Errorf("seq %d: SSEARCH %d want %d", i, got, want)
+		}
+		if got := SWScoreVMX128(prof, s.Residues); got != want {
+			t.Errorf("seq %d: vmx128 %d want %d", i, got, want)
+		}
+		if got := SWScoreVMX256(prof, s.Residues); got != want {
+			t.Errorf("seq %d: vmx256 %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSWSIMDLaneWidthsBeyondPaper(t *testing.T) {
+	// The anti-diagonal kernel is width-generic; spot-check unusual
+	// widths including 1 (degenerate scalar) and a non-power-of-two.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(8))
+	for _, lanes := range []int{1, 3, 4, 8, 16, 32} {
+		a := randSeq(rng, 33)
+		b := randSeq(rng, 47)
+		prof := NewProfile(a, p)
+		want := SWScore(p, a, b)
+		if got := SWScoreSIMD(prof, b, lanes); got != want {
+			t.Errorf("lanes=%d: got %d want %d", lanes, got, want)
+		}
+	}
+}
+
+func TestSWSIMDEdgeShapes(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(9))
+	shapes := []struct{ m, n int }{
+		{1, 1}, {1, 100}, {100, 1},
+		{7, 7},   // below one vector
+		{8, 8},   // exactly one 128-bit strip
+		{9, 3},   // strip + 1 row, db shorter than vector
+		{16, 2},  // exactly one 256-bit strip
+		{17, 31}, // ragged both ways
+	}
+	for _, sh := range shapes {
+		a := randSeq(rng, sh.m)
+		b := randSeq(rng, sh.n)
+		prof := NewProfile(a, p)
+		want := SWScore(p, a, b)
+		if got := SWScoreVMX128(prof, b); got != want {
+			t.Errorf("%dx%d vmx128: got %d want %d", sh.m, sh.n, got, want)
+		}
+		if got := SWScoreVMX256(prof, b); got != want {
+			t.Errorf("%dx%d vmx256: got %d want %d", sh.m, sh.n, got, want)
+		}
+	}
+}
+
+func TestSWSIMDEmpty(t *testing.T) {
+	p := PaperParams()
+	prof := NewProfile(bio.Encode("ACD"), p)
+	if SWScoreSIMD(prof, nil, simd.Lanes128) != 0 {
+		t.Error("empty b should score 0")
+	}
+	empty := NewProfile(nil, p)
+	if SWScoreSIMD(empty, bio.Encode("ACD"), simd.Lanes128) != 0 {
+		t.Error("empty query should score 0")
+	}
+}
+
+func TestProfileRows(t *testing.T) {
+	p := PaperParams()
+	q := bio.Encode("ACDW")
+	prof := NewProfile(q, p)
+	for c := uint8(0); c < bio.AlphabetSize; c++ {
+		for j, qc := range q {
+			if int(prof.Rows[c][j]) != p.Matrix.Score(c, qc) {
+				t.Fatalf("profile[%d][%d] mismatch", c, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package align
+
+// SWAlignLocalized computes a full local alignment while keeping the
+// dynamic programming in O(len(b)) memory: it locates the alignment's
+// end with a linear-space forward pass, its start with a linear-space
+// reverse pass, and only then runs the quadratic-memory traceback on
+// the matched segments. This is how the search tools themselves
+// display alignments: scoring scans the whole database in linear
+// space, and the traceback touches only the reported region.
+//
+// The result is score-identical to SWAlign; coordinates may differ
+// among co-optimal alignments.
+func SWAlignLocalized(p Params, a, b []uint8) *Alignment {
+	score, aEnd, bEnd := SWEnd(p, a, b)
+	if score == 0 {
+		return &Alignment{}
+	}
+	// The start of an optimal alignment ending at (aEnd, bEnd) is the
+	// end of an optimal alignment of the reversed prefixes.
+	ra := reverseSeq(a[:aEnd])
+	rb := reverseSeq(b[:bEnd])
+	rscore, raEnd, rbEnd := SWEnd(p, ra, rb)
+	if rscore != score {
+		// Defensive: the two passes must agree on the optimum.
+		panic("align: forward/reverse local scores disagree")
+	}
+	aStart := aEnd - raEnd
+	bStart := bEnd - rbEnd
+
+	// An optimal alignment lies entirely inside the located box (the
+	// reverse pass found one starting at its lower corner), so a
+	// quadratic traceback confined to the box reproduces the optimum.
+	segA := a[aStart:aEnd]
+	segB := b[bStart:bEnd]
+	al := SWAlign(p, segA, segB)
+	if al.Score != score {
+		// The located region must reproduce the score exactly.
+		panic("align: localized traceback score mismatch")
+	}
+	al.AStart += aStart
+	al.AEnd += aStart
+	al.BStart += bStart
+	al.BEnd += bStart
+	al.fillStats(a, b)
+	return al
+}
+
+func reverseSeq(s []uint8) []uint8 {
+	out := make([]uint8, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func TestLocalizedMatchesSWAlign(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 80; trial++ {
+		a := randSeq(rng, 1+rng.Intn(80))
+		b := randSeq(rng, 1+rng.Intn(80))
+		want := SWScore(p, a, b)
+		al := SWAlignLocalized(p, a, b)
+		if al.Score != want {
+			t.Fatalf("trial %d: localized score %d, want %d", trial, al.Score, want)
+		}
+		if want == 0 {
+			continue
+		}
+		if got := scoreFromOps(t, p, a, b, al); got != want {
+			t.Fatalf("trial %d: localized traceback recomputes %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestLocalizedOnHomologs(t *testing.T) {
+	p := PaperParams()
+	q := bio.GlutathioneQuery()
+	spec := bio.DefaultDBSpec(8)
+	spec.Related = 3
+	spec.RelatedTo = q
+	db := bio.SyntheticDB(spec)
+	for _, s := range db.Seqs {
+		want := SWScore(p, q.Residues, s.Residues)
+		if want == 0 {
+			continue
+		}
+		al := SWAlignLocalized(p, q.Residues, s.Residues)
+		if al.Score != want {
+			t.Errorf("%s: localized %d, want %d", s.ID, al.Score, want)
+		}
+		if got := scoreFromOps(t, p, q.Residues, s.Residues, al); got != want {
+			t.Errorf("%s: traceback recomputes %d, want %d", s.ID, got, want)
+		}
+	}
+}
+
+func TestLocalizedBoxIsTight(t *testing.T) {
+	// Embed a strong match in long random flanks: the traceback box
+	// must cover the embedded region, not the whole matrix.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(52))
+	core := randSeq(rng, 40)
+	a := append(append(randSeq(rng, 200), core...), randSeq(rng, 200)...)
+	b := append(append(randSeq(rng, 150), core...), randSeq(rng, 150)...)
+	al := SWAlignLocalized(p, a, b)
+	if al.Score <= 0 {
+		t.Fatal("embedded core should align")
+	}
+	if al.AEnd-al.AStart > 3*len(core) || al.BEnd-al.BStart > 3*len(core) {
+		t.Errorf("alignment box [%d:%d]x[%d:%d] far larger than the %d-residue core",
+			al.AStart, al.AEnd, al.BStart, al.BEnd, len(core))
+	}
+}
+
+func TestLocalizedEmpty(t *testing.T) {
+	p := PaperParams()
+	al := SWAlignLocalized(p, bio.Encode("AAAA"), bio.Encode("RRRR"))
+	if al.Score != 0 || len(al.Ops) != 0 {
+		t.Errorf("no-match inputs should give the empty alignment, got %+v", al)
+	}
+}

@@ -1,0 +1,171 @@
+package align
+
+// Needleman-Wunsch global alignment with affine gaps (global Gotoh).
+// The paper's introduction cites it as the origin of the DP family;
+// the library includes it so the repository is usable as a complete
+// alignment toolkit, and the test suite uses it as an invariants
+// cross-check (a global score can never exceed the local score).
+
+const minInf = -(1 << 28) // low enough to never win, far from overflow
+
+// NWScore computes the optimal global alignment score of a and b in
+// O(len(b)) memory. Aligning anything with an empty sequence costs the
+// full-length gap.
+func NWScore(p Params, a, b []uint8) int {
+	m, n := len(a), len(b)
+	if m == 0 && n == 0 {
+		return 0
+	}
+	if m == 0 {
+		return -p.Gaps.Cost(n)
+	}
+	if n == 0 {
+		return -p.Gaps.Cost(m)
+	}
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+	hrow := make([]int, n+1)
+	frow := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		hrow[j] = -p.Gaps.Cost(j)
+		frow[j] = minInf
+	}
+	for i := 1; i <= m; i++ {
+		mrow := p.Matrix.Row(a[i-1])
+		hdiag := hrow[0]
+		hrow[0] = -p.Gaps.Cost(i)
+		hleft := hrow[0]
+		e := minInf
+		for j := 1; j <= n; j++ {
+			e = maxInt(hleft-first, e-ext)
+			f := maxInt(hrow[j]-first, frow[j]-ext)
+			h := maxInt(hdiag+int(mrow[b[j-1]]), maxInt(e, f))
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+		}
+	}
+	return hrow[n]
+}
+
+// NWAlign computes the optimal global alignment with full traceback.
+// Memory is O(len(a)*len(b)).
+func NWAlign(p Params, a, b []uint8) *Alignment {
+	m, n := len(a), len(b)
+	al := &Alignment{AEnd: m, BEnd: n}
+	switch {
+	case m == 0 && n == 0:
+		return al
+	case m == 0:
+		al.Score = -p.Gaps.Cost(n)
+		al.Ops = []Op{{Kind: OpInsert, Len: n}}
+		al.GapResidues = n
+		return al
+	case n == 0:
+		al.Score = -p.Gaps.Cost(m)
+		al.Ops = []Op{{Kind: OpDelete, Len: m}}
+		al.GapResidues = m
+		return al
+	}
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+
+	dirH := make([]uint8, m*n) // hFromDiag / hFromE / hFromF
+	eExt := make([]bool, m*n)
+	fExt := make([]bool, m*n)
+
+	hrow := make([]int, n+1)
+	frow := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		hrow[j] = -p.Gaps.Cost(j)
+		frow[j] = minInf
+	}
+	for i := 1; i <= m; i++ {
+		mrow := p.Matrix.Row(a[i-1])
+		hdiag := hrow[0]
+		hrow[0] = -p.Gaps.Cost(i)
+		hleft := hrow[0]
+		e := minInf
+		for j := 1; j <= n; j++ {
+			idx := (i-1)*n + (j - 1)
+			eOpen, eExtend := hleft-first, e-ext
+			if eExtend > eOpen {
+				e = eExtend
+				eExt[idx] = true
+			} else {
+				e = eOpen
+			}
+			fOpen, fExtend := hrow[j]-first, frow[j]-ext
+			var f int
+			if fExtend > fOpen {
+				f = fExtend
+				fExt[idx] = true
+			} else {
+				f = fOpen
+			}
+			h := hdiag + int(mrow[b[j-1]])
+			src := hFromDiag
+			if e > h {
+				h, src = e, hFromE
+			}
+			if f > h {
+				h, src = f, hFromF
+			}
+			dirH[idx] = src
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+		}
+	}
+	al.Score = hrow[n]
+
+	var ops []Op
+	push := func(k OpKind, l int) {
+		if l == 0 {
+			return
+		}
+		if len(ops) > 0 && ops[len(ops)-1].Kind == k {
+			ops[len(ops)-1].Len += l
+		} else {
+			ops = append(ops, Op{Kind: k, Len: l})
+		}
+	}
+	i, j := m-1, n-1
+	for i >= 0 && j >= 0 {
+		switch dirH[i*n+j] {
+		case hFromDiag:
+			push(OpMatch, 1)
+			i--
+			j--
+		case hFromE:
+			for {
+				push(OpInsert, 1)
+				wasExt := eExt[i*n+j]
+				j--
+				if !wasExt || j < 0 {
+					break
+				}
+			}
+		case hFromF:
+			for {
+				push(OpDelete, 1)
+				wasExt := fExt[i*n+j]
+				i--
+				if !wasExt || i < 0 {
+					break
+				}
+			}
+		}
+	}
+	// Leading boundary gaps.
+	push(OpInsert, j+1)
+	push(OpDelete, i+1)
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	al.Ops = ops
+	al.fillStats(a, b)
+	return al
+}

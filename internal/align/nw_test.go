@@ -1,0 +1,113 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func TestNWScoreKnown(t *testing.T) {
+	p := PaperParams()
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"A", "A", 4},
+		{"A", "R", -1},      // must align, substitution
+		{"AA", "A", 4 - 11}, // one match, one gap residue
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		got := NWScore(p, bio.Encode(c.a), bio.Encode(c.b))
+		if got != c.want {
+			t.Errorf("NWScore(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNWScoreEmptySides(t *testing.T) {
+	p := PaperParams()
+	b := bio.Encode("ACDEF")
+	if got := NWScore(p, nil, b); got != -p.Gaps.Cost(5) {
+		t.Errorf("empty a: %d, want %d", got, -p.Gaps.Cost(5))
+	}
+	if got := NWScore(p, b, nil); got != -p.Gaps.Cost(5) {
+		t.Errorf("empty b: %d, want %d", got, -p.Gaps.Cost(5))
+	}
+}
+
+func TestNWNeverExceedsSW(t *testing.T) {
+	// A global alignment is one particular path, so its score cannot
+	// exceed the optimal local score.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		a := randSeq(rng, 1+rng.Intn(50))
+		b := randSeq(rng, 1+rng.Intn(50))
+		if NWScore(p, a, b) > SWScore(p, a, b) {
+			t.Fatalf("trial %d: global exceeds local", trial)
+		}
+	}
+}
+
+func TestNWSelfAlignment(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(12))
+	a := randSeq(rng, 30)
+	self := 0
+	for _, c := range a {
+		self += p.Matrix.Score(c, c)
+	}
+	if got := NWScore(p, a, a); got != self {
+		t.Errorf("self global score %d, want %d", got, self)
+	}
+}
+
+func TestNWAlignMatchesScoreAndConsumesAll(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		a := randSeq(rng, rng.Intn(40))
+		b := randSeq(rng, rng.Intn(40))
+		want := NWScore(p, a, b)
+		al := NWAlign(p, a, b)
+		if al.Score != want {
+			t.Fatalf("trial %d: NWAlign score %d, NWScore %d (m=%d n=%d)",
+				trial, al.Score, want, len(a), len(b))
+		}
+		// Global alignments consume both sequences entirely.
+		ai, bj := 0, 0
+		for _, op := range al.Ops {
+			switch op.Kind {
+			case OpMatch:
+				ai += op.Len
+				bj += op.Len
+			case OpDelete:
+				ai += op.Len
+			case OpInsert:
+				bj += op.Len
+			}
+		}
+		if ai != len(a) || bj != len(b) {
+			t.Fatalf("trial %d: ops consume (%d,%d) of (%d,%d)", trial, ai, bj, len(a), len(b))
+		}
+		if len(a) > 0 && len(b) > 0 {
+			if got := scoreFromOps(t, p, a, b, al); got != want {
+				t.Fatalf("trial %d: traceback recomputes %d, want %d", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestNWSymmetric(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		a := randSeq(rng, rng.Intn(40))
+		b := randSeq(rng, rng.Intn(40))
+		if NWScore(p, a, b) != NWScore(p, b, a) {
+			t.Fatalf("trial %d: global score asymmetric", trial)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Metamorphic properties of local alignment, checked across the whole
+// implementation family. These catch classes of bugs the example-based
+// tests cannot (boundary handling, asymmetries, clamping errors).
+
+func reverse(s []uint8) []uint8 {
+	out := make([]uint8, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+func TestPropertyReversalInvariance(t *testing.T) {
+	// Reversing both sequences preserves the optimal local score (the
+	// alignment graph is symmetric under reversal).
+	p := PaperParams()
+	f := func(seed int64, la, lb uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, int(la%50)+1)
+		b := randSeq(rng, int(lb%50)+1)
+		return SWScore(p, a, b) == SWScore(p, reverse(a), reverse(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConcatenationDominance(t *testing.T) {
+	// Any alignment against b alone also exists against b++c, so the
+	// local score cannot decrease under concatenation.
+	p := PaperParams()
+	f := func(seed int64, la, lb, lc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, int(la%40)+1)
+		b := randSeq(rng, int(lb%40)+1)
+		c := randSeq(rng, int(lc%40)+1)
+		bc := append(append([]uint8{}, b...), c...)
+		s := SWScore(p, a, bc)
+		return s >= SWScore(p, a, b) && s >= SWScore(p, a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubstringUpperBound(t *testing.T) {
+	// A sequence aligned against one of its own substrings scores at
+	// most its self-score and at least the substring's self-score.
+	p := PaperParams()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, int(n%40)+5)
+		lo := rng.Intn(len(a) / 2)
+		hi := lo + 1 + rng.Intn(len(a)-lo-1)
+		sub := a[lo:hi]
+		subSelf, aSelf := 0, 0
+		for _, c := range sub {
+			subSelf += p.Matrix.Score(c, c)
+		}
+		for _, c := range a {
+			aSelf += p.Matrix.Score(c, c)
+		}
+		s := SWScore(p, a, sub)
+		return s >= subSelf && s <= aSelf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGapPenaltyMonotonicity(t *testing.T) {
+	// Raising gap penalties can only lower (or preserve) the score.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		a := randSeq(rng, 10+rng.Intn(40))
+		b := randSeq(rng, 10+rng.Intn(40))
+		cheap := PaperParams()
+		cheap.Gaps.Open = 5
+		dear := PaperParams()
+		dear.Gaps.Open = 20
+		if SWScore(p2(dear), a, b) > SWScore(p2(cheap), a, b) {
+			t.Fatalf("trial %d: dearer gaps raised the score", trial)
+		}
+	}
+}
+
+// p2 is an identity helper that keeps the call sites readable.
+func p2(p Params) Params { return p }
+
+func TestPropertyImplementationFamilyOnMutants(t *testing.T) {
+	// Homolog-like pairs (substitutions + indels) are the adversarial
+	// input for banded/SIMD boundary handling; all implementations
+	// must agree.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		a := randSeq(rng, 30+rng.Intn(60))
+		b := make([]uint8, 0, len(a)+8)
+		for _, c := range a {
+			switch r := rng.Float64(); {
+			case r < 0.03: // deletion
+			case r < 0.06: // insertion
+				b = append(b, uint8(rng.Intn(20)), c)
+			case r < 0.25: // substitution
+				b = append(b, uint8(rng.Intn(20)))
+			default:
+				b = append(b, c)
+			}
+		}
+		if len(b) == 0 {
+			continue
+		}
+		want := SWScore(p, a, b)
+		prof := NewProfile(a, p)
+		if got := SSEARCHScore(prof, b); got != want {
+			t.Fatalf("trial %d: ssearch %d want %d", trial, got, want)
+		}
+		if got := SWScoreVMX128(prof, b); got != want {
+			t.Fatalf("trial %d: vmx128 %d want %d", trial, got, want)
+		}
+		sp := NewStripedProfile(a, p, 8)
+		if got := SWScoreStriped(sp, b); got != want {
+			t.Fatalf("trial %d: striped %d want %d", trial, got, want)
+		}
+		if al := SWAlign(p, a, b); al.Score != want {
+			t.Fatalf("trial %d: traceback %d want %d", trial, al.Score, want)
+		}
+	}
+}

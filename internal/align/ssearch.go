@@ -1,0 +1,117 @@
+package align
+
+// SSEARCHScore is the SWAT-optimized scalar Smith-Waterman kernel, the
+// structure SSEARCH34 uses (paper Listing 2). It walks the database
+// sequence in the outer loop and the query profile in the inner loop,
+// keeping per-query-position H and E state, a register-carried
+// horizontal gap f, and the computation-avoidance branches ("avoid gap
+// computation unless the cell can open one") that make the code fast on
+// scalar processors but hard on branch predictors.
+//
+// It returns exactly the SWScore value: the avoidance tests only skip
+// work that provably cannot change the result (E and F values clamped
+// at zero never influence H in a local alignment).
+func SSEARCHScore(prof *Profile, b []uint8) int {
+	m := len(prof.Query)
+	if m == 0 || len(b) == 0 {
+		return 0
+	}
+	first := int32(prof.Gaps.First())
+	ext := int32(prof.Gaps.Extend)
+
+	// hh[j] holds H[i-1][j]; ee[j] holds the pre-computed vertical gap
+	// value E[i][j] (stored while processing row i-1), matching the
+	// ssj->H / ssj->E walk of the real code.
+	hh := make([]int32, m)
+	ee := make([]int32, m)
+	var best int32
+
+	for _, c := range b {
+		row := prof.Rows[c]
+		var p, f int32 // p: H[i-1][j-1]; f: F[i][j] for the next cell
+		for j := 0; j < m; j++ {
+			h := p + int32(row[j])
+			p = hh[j]
+			e := ee[j]
+			if h < 0 {
+				h = 0
+			}
+			if e > 0 && h < e {
+				h = e
+			}
+			if f > 0 && h < f {
+				h = f
+			}
+			hh[j] = h
+			if h > best {
+				best = h
+			}
+			// Pre-compute E[i+1][j] = max(H[i][j]-first, E[i][j]-ext),
+			// clamped at zero; skip the open test when h can't open.
+			if h > first {
+				e -= ext
+				if ho := h - first; e < ho {
+					e = ho
+				}
+			} else {
+				e -= ext
+				if e < 0 {
+					e = 0
+				}
+			}
+			ee[j] = e
+			// F[i][j+1] = max(H[i][j]-first, F[i][j]-ext), clamped.
+			if h > first {
+				f -= ext
+				if ho := h - first; f < ho {
+					f = ho
+				}
+			} else {
+				f -= ext
+				if f < 0 {
+					f = 0
+				}
+			}
+		}
+	}
+	return int(best)
+}
+
+// GotohScore is the plain (non-avoiding) scalar Gotoh loop over a query
+// profile: the same result as SSEARCHScore but with branch-free gap
+// updates. It exists as the ablation partner for the paper's
+// observation that SSEARCH's computation-avoidance optimizations are
+// what make it branch-predictor-bound.
+func GotohScore(prof *Profile, b []uint8) int {
+	m := len(prof.Query)
+	if m == 0 || len(b) == 0 {
+		return 0
+	}
+	first := int32(prof.Gaps.First())
+	ext := int32(prof.Gaps.Extend)
+	hh := make([]int32, m)
+	ee := make([]int32, m)
+	var best int32
+	for _, c := range b {
+		row := prof.Rows[c]
+		var p, f int32
+		for j := 0; j < m; j++ {
+			h := p + int32(row[j])
+			p = hh[j]
+			e := ee[j]
+			h = max32(max32(h, e), max32(f, 0))
+			hh[j] = h
+			best = max32(best, h)
+			ee[j] = max32(h-first, max32(e-ext, 0))
+			f = max32(h-first, max32(f-ext, 0))
+		}
+	}
+	return int(best)
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package align
+
+import "repro/internal/simd"
+
+// Striped SIMD Smith-Waterman in the style Farrar later popularized,
+// included as the ablation partner of the anti-diagonal (Wozniak)
+// layout the paper's SW_vmx kernels use (see DESIGN.md).
+//
+// The striped layout assigns query positions to lanes with stride
+// m/V: lane k of segment j covers query position j + k*segLen. The H
+// and E rows live in memory as vectors in striped order; the vertical
+// F dependency is resolved lazily — recompute the row only while some
+// lane's F can still improve H. Compared to the anti-diagonal form it
+// trades the per-step score gather (the vperm pressure the paper
+// measures) for an occasional data-dependent correction loop.
+
+// StripedProfile is a query profile in striped vector layout:
+// Vecs[c][j] holds the scores of database residue c against query
+// positions {j + k*segLen}.
+type StripedProfile struct {
+	Query  []uint8
+	Gaps   gapModel
+	Lanes  int
+	SegLen int
+	Vecs   [][]simd.Vec // [residue][segment]
+}
+
+// gapModel pre-narrows the gap penalties to the lane width once, so
+// the kernel splats them without per-row conversions.
+type gapModel struct{ First, Extend int16 }
+
+// NewStripedProfile builds the striped profile of query under p for
+// the given lane count.
+func NewStripedProfile(query []uint8, p Params, lanes int) *StripedProfile {
+	m := len(query)
+	segLen := (m + lanes - 1) / lanes
+	sp := &StripedProfile{
+		Query:  query,
+		Gaps:   gapModel{First: int16(p.Gaps.First()), Extend: int16(p.Gaps.Extend)},
+		Lanes:  lanes,
+		SegLen: segLen,
+		Vecs:   make([][]simd.Vec, 0, 24),
+	}
+	for c := 0; c < 24; c++ {
+		row := make([]simd.Vec, segLen)
+		for j := 0; j < segLen; j++ {
+			lanesVals := make([]int16, lanes)
+			for k := 0; k < lanes; k++ {
+				qi := j + k*segLen
+				if qi < m {
+					lanesVals[k] = int16(p.Matrix.Score(uint8(c), query[qi]))
+				} else {
+					lanesVals[k] = invalidScore
+				}
+			}
+			row[j] = simd.FromSlice(lanesVals)
+		}
+		sp.Vecs = append(sp.Vecs, row)
+	}
+	return sp
+}
+
+// SWScoreStriped computes the Smith-Waterman score of the striped
+// profile's query against b. The result equals SWScore below the
+// 16-bit saturation bound.
+func SWScoreStriped(sp *StripedProfile, b []uint8) int {
+	m := len(sp.Query)
+	if m == 0 || len(b) == 0 {
+		return 0
+	}
+	lanes := sp.Lanes
+	segLen := sp.SegLen
+	vFirst := simd.Splat(lanes, sp.Gaps.First)
+	vExt := simd.Splat(lanes, sp.Gaps.Extend)
+	vZero := simd.New(lanes)
+
+	hRow := make([]simd.Vec, segLen)
+	eRow := make([]simd.Vec, segLen)
+	hNew := make([]simd.Vec, segLen)
+	for j := 0; j < segLen; j++ {
+		hRow[j] = simd.New(lanes)
+		eRow[j] = simd.New(lanes)
+		hNew[j] = simd.New(lanes)
+	}
+	best := simd.New(lanes)
+
+	for _, c := range b {
+		prof := sp.Vecs[c]
+		// vH carries H[i-1][j-1] in striped order: the previous row's
+		// last segment shifted by one lane.
+		vH := hRow[segLen-1].ShiftInLow(0)
+		vF := simd.Splat(lanes, invalidScore).Max(vZero) // F starts clamped at 0 each row
+
+		for j := 0; j < segLen; j++ {
+			vH = vH.AddSat(prof[j]).Max(eRow[j]).Max(vF).Max(vZero)
+			best = best.Max(vH)
+			hNew[j] = vH
+
+			// Next-row E and in-row F updates.
+			eRow[j] = vH.SubSat(vFirst).Max(eRow[j].SubSat(vExt)).Max(vZero)
+			vF = vH.SubSat(vFirst).Max(vF.SubSat(vExt)).Max(vZero)
+			vH = hRow[j]
+		}
+
+		// Lazy F: the in-row F above never crossed a segment boundary
+		// (query stride segLen). Cross-boundary influence travels one
+		// lane per shift, so `lanes` correction rounds — each a full
+		// forward sweep carrying extensions and re-opens from the
+		// corrected H — are sufficient. Rounds that change nothing
+		// terminate the loop early.
+		var prevEnd simd.Vec
+		for round := 0; round < lanes; round++ {
+			vF = vF.ShiftInLow(0)
+			improved := false
+			for j := 0; j < segLen; j++ {
+				h := hNew[j].Max(vF)
+				if lanesGT(h, hNew[j]) {
+					improved = true
+					hNew[j] = h
+					best = best.Max(h)
+					// E for the next row must see the corrected H.
+					eRow[j] = eRow[j].Max(h.SubSat(vFirst)).Max(vZero)
+				}
+				vF = vF.SubSat(vExt).Max(h.SubSat(vFirst)).Max(vZero)
+			}
+			// A round that changed no H and reproduced the same
+			// end-of-row F is a fixed point: F can pass through quiet
+			// lanes, so reaching the `lanes` bound is the general
+			// guarantee and this is just the early exit.
+			if !improved && round > 0 && vecEqual(vF, prevEnd) {
+				break
+			}
+			prevEnd = vF
+		}
+		copy(hRow, hNew)
+	}
+	return int(best.HorizontalMax())
+}
+
+// lanesGT reports whether any lane of a exceeds the same lane of b.
+func lanesGT(a, b simd.Vec) bool {
+	for i := 0; i < a.Width(); i++ {
+		if a.Lane(i) > b.Lane(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// vecEqual reports lane-wise equality.
+func vecEqual(a, b simd.Vec) bool {
+	if a.Width() != b.Width() {
+		return false
+	}
+	for i := 0; i < a.Width(); i++ {
+		if a.Lane(i) != b.Lane(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func TestStripedMatchesReference(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		a := randSeq(rng, 1+rng.Intn(80))
+		b := randSeq(rng, 1+rng.Intn(80))
+		want := SWScore(p, a, b)
+		for _, lanes := range []int{4, 8, 16} {
+			sp := NewStripedProfile(a, p, lanes)
+			if got := SWScoreStriped(sp, b); got != want {
+				t.Fatalf("trial %d lanes %d (m=%d n=%d): striped %d, reference %d",
+					trial, lanes, len(a), len(b), got, want)
+			}
+		}
+	}
+}
+
+func TestStripedGapHeavyCases(t *testing.T) {
+	// Gap-dominated alignments exercise the lazy-F correction,
+	// including F paths that must cross several segment boundaries.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		// A sequence aligned against a copy of itself with a large
+		// block deleted forces a long vertical gap.
+		a := randSeq(rng, 40+rng.Intn(40))
+		cut := 5 + rng.Intn(len(a)/2)
+		at := rng.Intn(len(a) - cut)
+		b := append(append([]uint8{}, a[:at]...), a[at+cut:]...)
+		want := SWScore(p, a, b)
+		sp := NewStripedProfile(a, p, 8)
+		if got := SWScoreStriped(sp, b); got != want {
+			t.Fatalf("trial %d: striped %d, reference %d (cut %d@%d)", trial, got, want, cut, at)
+		}
+	}
+}
+
+func TestStripedPaperScale(t *testing.T) {
+	p := PaperParams()
+	q := bio.GlutathioneQuery()
+	db := bio.SyntheticDB(bio.DefaultDBSpec(4))
+	sp := NewStripedProfile(q.Residues, p, 8)
+	for i, s := range db.Seqs {
+		want := SWScore(p, q.Residues, s.Residues)
+		if got := SWScoreStriped(sp, s.Residues); got != want {
+			t.Errorf("seq %d: striped %d, reference %d", i, got, want)
+		}
+	}
+}
+
+func TestStripedHomologs(t *testing.T) {
+	// Real homologous pairs (indels included) are the workload case.
+	p := PaperParams()
+	q := bio.GlutathioneQuery()
+	spec := bio.DefaultDBSpec(6)
+	spec.Related = 3
+	spec.RelatedTo = q
+	db := bio.SyntheticDB(spec)
+	sp := NewStripedProfile(q.Residues, p, 16)
+	for i, s := range db.Seqs {
+		want := SWScore(p, q.Residues, s.Residues)
+		if got := SWScoreStriped(sp, s.Residues); got != want {
+			t.Errorf("seq %d (%s): striped %d, reference %d", i, s.Desc, got, want)
+		}
+	}
+}
+
+func TestStripedEmpty(t *testing.T) {
+	p := PaperParams()
+	sp := NewStripedProfile(bio.Encode("ACD"), p, 8)
+	if SWScoreStriped(sp, nil) != 0 {
+		t.Error("empty subject should score 0")
+	}
+	empty := NewStripedProfile(nil, p, 8)
+	if SWScoreStriped(empty, bio.Encode("ACD")) != 0 {
+		t.Error("empty query should score 0")
+	}
+}
+
+func TestStripedProfileLayout(t *testing.T) {
+	p := PaperParams()
+	q := bio.Encode("ACDEFGHIKLMNP") // 13 residues, 8 lanes -> segLen 2
+	sp := NewStripedProfile(q, p, 8)
+	if sp.SegLen != 2 {
+		t.Fatalf("segLen = %d, want 2", sp.SegLen)
+	}
+	// Lane k of segment j covers query position j + k*segLen.
+	c := bio.EncodeByte('W')
+	for j := 0; j < sp.SegLen; j++ {
+		for k := 0; k < 8; k++ {
+			qi := j + k*sp.SegLen
+			got := sp.Vecs[c][j].Lane(k)
+			if qi < len(q) {
+				if int(got) != p.Matrix.Score(c, q[qi]) {
+					t.Errorf("vec[%d] lane %d: %d, want score(W,%c)", j, k, got, bio.DecodeByte(q[qi]))
+				}
+			} else if got != invalidScore {
+				t.Errorf("padding lane %d holds %d, want invalid", k, got)
+			}
+		}
+	}
+}

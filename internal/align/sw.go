@@ -1,0 +1,249 @@
+package align
+
+// Reference Smith-Waterman local alignment with affine gaps (Gotoh's
+// recurrence):
+//
+//	E[i][j] = max(H[i][j-1] - (open+ext), E[i][j-1] - ext)   gap in A
+//	F[i][j] = max(H[i-1][j] - (open+ext), F[i-1][j] - ext)   gap in B
+//	H[i][j] = max(0, H[i-1][j-1] + s(a_i, b_j), E[i][j], F[i][j])
+//
+// This is the ground truth every other implementation in the repository
+// (SSEARCH scalar, SW_vmx128, SW_vmx256, FASTA opt, BLAST gapped
+// extension) is verified against.
+
+// SWScore computes the optimal local alignment score of a and b in
+// O(len(b)) memory. Either sequence may be empty (score 0).
+func SWScore(p Params, a, b []uint8) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+	n := len(b)
+	hrow := make([]int, n) // H[i-1][j]
+	frow := make([]int, n) // F[i-1][j] during row i
+	for j := range frow {
+		frow[j] = -first // "no gap yet" sentinel low enough to never win
+	}
+	best := 0
+	for i := 0; i < len(a); i++ {
+		mrow := p.Matrix.Row(a[i])
+		hdiag := 0 // H[i-1][j-1]
+		hleft := 0 // H[i][j-1]
+		e := -first
+		for j := 0; j < n; j++ {
+			e = maxInt(hleft-first, e-ext)
+			f := maxInt(hrow[j]-first, frow[j]-ext)
+			h := hdiag + int(mrow[b[j]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			if h < 0 {
+				h = 0
+			}
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best
+}
+
+// SWEnd reports the optimal local score together with the coordinates
+// (exclusive) of the best-scoring cell, in O(len(b)) memory. Used by
+// hit reporting to locate alignments without a full traceback.
+func SWEnd(p Params, a, b []uint8) (score, aEnd, bEnd int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+	n := len(b)
+	hrow := make([]int, n)
+	frow := make([]int, n)
+	for j := range frow {
+		frow[j] = -first
+	}
+	for i := 0; i < len(a); i++ {
+		mrow := p.Matrix.Row(a[i])
+		hdiag, hleft := 0, 0
+		e := -first
+		for j := 0; j < n; j++ {
+			e = maxInt(hleft-first, e-ext)
+			f := maxInt(hrow[j]-first, frow[j]-ext)
+			h := hdiag + int(mrow[b[j]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			if h < 0 {
+				h = 0
+			}
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+			if h > score {
+				score, aEnd, bEnd = h, i+1, j+1
+			}
+		}
+	}
+	return score, aEnd, bEnd
+}
+
+// Traceback direction planes for the full-matrix aligner.
+const (
+	hFromStop uint8 = iota // local alignment start
+	hFromDiag
+	hFromE
+	hFromF
+)
+
+// SWAlign computes the optimal local alignment with a full traceback.
+// Memory is O(len(a)*len(b)) direction bytes; use SWScore for scoring
+// large batches. Returns a zero-length alignment (Score 0, empty Ops)
+// when no positive-scoring pair exists.
+func SWAlign(p Params, a, b []uint8) *Alignment {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return &Alignment{}
+	}
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+
+	// dirH[i*n+j]: where H came from; eExt/fExt: whether E/F extended.
+	dirH := make([]uint8, m*n)
+	eExt := make([]bool, m*n)
+	fExt := make([]bool, m*n)
+
+	hrow := make([]int, n)
+	frow := make([]int, n)
+	for j := range frow {
+		frow[j] = -first
+	}
+	best, bi, bj := 0, -1, -1
+	for i := 0; i < m; i++ {
+		mrow := p.Matrix.Row(a[i])
+		hdiag, hleft := 0, 0
+		e := -first
+		for j := 0; j < n; j++ {
+			idx := i*n + j
+			eOpen := hleft - first
+			eExtend := e - ext
+			if eExtend > eOpen {
+				e = eExtend
+				eExt[idx] = true
+			} else {
+				e = eOpen
+			}
+			fOpen := hrow[j] - first
+			fExtend := frow[j] - ext
+			var f int
+			if fExtend > fOpen {
+				f = fExtend
+				fExt[idx] = true
+			} else {
+				f = fOpen
+			}
+			h := hdiag + int(mrow[b[j]])
+			src := hFromDiag
+			if e > h {
+				h, src = e, hFromE
+			}
+			if f > h {
+				h, src = f, hFromF
+			}
+			if h <= 0 {
+				h, src = 0, hFromStop
+			}
+			dirH[idx] = src
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+			if h > best {
+				best, bi, bj = h, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return &Alignment{}
+	}
+
+	// Traceback from (bi, bj) through the three matrices.
+	al := &Alignment{Score: best, AEnd: bi + 1, BEnd: bj + 1}
+	var ops []Op
+	push := func(k OpKind) {
+		if len(ops) > 0 && ops[len(ops)-1].Kind == k {
+			ops[len(ops)-1].Len++
+		} else {
+			ops = append(ops, Op{Kind: k, Len: 1})
+		}
+	}
+	i, j := bi, bj
+	state := dirH[i*n+j]
+	for {
+		switch state {
+		case hFromStop:
+			// reached the local start
+			al.AStart, al.BStart = i+1, j+1
+			goto done
+		case hFromDiag:
+			push(OpMatch)
+			i--
+			j--
+			if i < 0 || j < 0 {
+				al.AStart, al.BStart = i+1, j+1
+				goto done
+			}
+			state = dirH[i*n+j]
+		case hFromE:
+			// gap in A: consume B residues leftwards.
+			for {
+				push(OpInsert)
+				ext := eExt[i*n+j]
+				j--
+				if !ext {
+					break
+				}
+			}
+			if j < 0 {
+				al.AStart, al.BStart = i, j+1
+				goto done
+			}
+			state = dirH[i*n+j]
+		case hFromF:
+			// gap in B: consume A residues upwards.
+			for {
+				push(OpDelete)
+				ext := fExt[i*n+j]
+				i--
+				if !ext {
+					break
+				}
+			}
+			if i < 0 {
+				al.AStart, al.BStart = i+1, j
+				goto done
+			}
+			state = dirH[i*n+j]
+		}
+	}
+done:
+	// ops were accumulated end-to-start; reverse runs.
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	al.Ops = ops
+	al.fillStats(a, b)
+	return al
+}

@@ -1,0 +1,251 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bio"
+)
+
+func randSeq(rng *rand.Rand, n int) []uint8 {
+	s := make([]uint8, n)
+	for i := range s {
+		s[i] = uint8(rng.Intn(bio.NumStandard))
+	}
+	return s
+}
+
+// scoreFromOps recomputes an alignment's score from its traceback, the
+// strongest validity check available for an alignment result.
+func scoreFromOps(t *testing.T, p Params, a, b []uint8, al *Alignment) int {
+	t.Helper()
+	score := 0
+	i, j := al.AStart, al.BStart
+	for _, op := range al.Ops {
+		switch op.Kind {
+		case OpMatch:
+			for k := 0; k < op.Len; k++ {
+				score += p.Matrix.Score(a[i+k], b[j+k])
+			}
+			i += op.Len
+			j += op.Len
+		case OpDelete:
+			score -= p.Gaps.Cost(op.Len)
+			i += op.Len
+		case OpInsert:
+			score -= p.Gaps.Cost(op.Len)
+			j += op.Len
+		}
+	}
+	if i != al.AEnd || j != al.BEnd {
+		t.Fatalf("ops end at (%d,%d), header says (%d,%d)", i, j, al.AEnd, al.BEnd)
+	}
+	return score
+}
+
+func TestSWScoreKnown(t *testing.T) {
+	p := PaperParams()
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"A", "A", 4},           // single match
+		{"W", "W", 11},          // best diagonal
+		{"A", "R", 0},           // negative pair clamps to 0
+		{"AAAA", "AAAA", 16},    // run of matches
+		{"ACDEFG", "ACDEFG", 0}, // computed below
+	}
+	// Fill in the self-alignment score for ACDEFG from the matrix.
+	self := 0
+	for _, c := range bio.Encode("ACDEFG") {
+		self += p.Matrix.Score(c, c)
+	}
+	cases[4].want = self
+	for _, c := range cases {
+		got := SWScore(p, bio.Encode(c.a), bio.Encode(c.b))
+		if got != c.want {
+			t.Errorf("SWScore(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSWScoreGapChoice(t *testing.T) {
+	p := PaperParams()
+	// Aligning AAAA against AAGAA: either take the mismatch (-? no,
+	// G:A=0) or open a gap. Hand-check the gap case: two flanking
+	// matches around a 1-gap costs 4*4 - 11 = 5 vs straight local run.
+	a := bio.Encode("AAAA")
+	b := bio.Encode("AAGAA")
+	got := SWScore(p, a, b)
+	// Best is AA|AA aligned with AA..AA skipping G via gap (16-11=5) or
+	// AA-GA alignment with G:A substitution 0: AA + G:A + A = 4+4+0+4 = 12.
+	if got != 12 {
+		t.Errorf("SWScore = %d, want 12 (substitution beats gap here)", got)
+	}
+}
+
+func TestSWScoreEmpty(t *testing.T) {
+	p := PaperParams()
+	if SWScore(p, nil, bio.Encode("ACD")) != 0 {
+		t.Error("empty a should score 0")
+	}
+	if SWScore(p, bio.Encode("ACD"), nil) != 0 {
+		t.Error("empty b should score 0")
+	}
+}
+
+func TestSWScoreSymmetric(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 1+rng.Intn(60))
+		b := randSeq(rng, 1+rng.Intn(60))
+		if SWScore(p, a, b) != SWScore(p, b, a) {
+			t.Fatalf("asymmetric local score on trial %d", trial)
+		}
+	}
+}
+
+func TestSWScoreNonNegativeAndMonotone(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 1+rng.Intn(40))
+		b := randSeq(rng, 1+rng.Intn(40))
+		s := SWScore(p, a, b)
+		if s < 0 {
+			t.Fatalf("negative local score %d", s)
+		}
+		// Appending residues can only help or keep the local score.
+		ext := append(append([]uint8{}, a...), randSeq(rng, 5)...)
+		if SWScore(p, ext, b) < s {
+			t.Fatalf("extending a sequence lowered the local score")
+		}
+	}
+}
+
+func TestSWAlignMatchesScore(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		a := randSeq(rng, 1+rng.Intn(50))
+		b := randSeq(rng, 1+rng.Intn(50))
+		want := SWScore(p, a, b)
+		al := SWAlign(p, a, b)
+		if al.Score != want {
+			t.Fatalf("trial %d: SWAlign score %d, SWScore %d", trial, al.Score, want)
+		}
+		if want == 0 {
+			continue
+		}
+		if got := scoreFromOps(t, p, a, b, al); got != want {
+			t.Fatalf("trial %d: traceback recomputes to %d, want %d", trial, got, want)
+		}
+		if al.AStart < 0 || al.AEnd > len(a) || al.BStart < 0 || al.BEnd > len(b) {
+			t.Fatalf("trial %d: alignment coordinates out of range", trial)
+		}
+	}
+}
+
+func TestSWAlignLocalBoundariesAreMatches(t *testing.T) {
+	// Optimal local alignments never start or end with a gap.
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		a := randSeq(rng, 5+rng.Intn(40))
+		b := randSeq(rng, 5+rng.Intn(40))
+		al := SWAlign(p, a, b)
+		if len(al.Ops) == 0 {
+			continue
+		}
+		if al.Ops[0].Kind != OpMatch || al.Ops[len(al.Ops)-1].Kind != OpMatch {
+			t.Fatalf("local alignment bounded by gaps: %+v", al.Ops)
+		}
+	}
+}
+
+func TestSWEndCoordinates(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		a := randSeq(rng, 1+rng.Intn(50))
+		b := randSeq(rng, 1+rng.Intn(50))
+		score, aEnd, bEnd := SWEnd(p, a, b)
+		if score != SWScore(p, a, b) {
+			t.Fatalf("SWEnd score mismatch")
+		}
+		if score == 0 {
+			continue
+		}
+		// The alignment ends exactly at (aEnd, bEnd): prefixes must
+		// reproduce the score.
+		if SWScore(p, a[:aEnd], b[:bEnd]) != score {
+			t.Fatalf("prefix at reported end scores differently")
+		}
+	}
+}
+
+func TestSWAlignIdentityStats(t *testing.T) {
+	p := PaperParams()
+	a := bio.Encode("ACDEFGHIKL")
+	al := SWAlign(p, a, a)
+	if al.Identity != 1.0 {
+		t.Errorf("self alignment identity %.2f, want 1.0", al.Identity)
+	}
+	if al.Matches != 10 || al.Substitutions != 0 || al.GapResidues != 0 {
+		t.Errorf("self alignment stats: %d/%d/%d", al.Matches, al.Substitutions, al.GapResidues)
+	}
+	if al.AlignedLen() != 10 {
+		t.Errorf("AlignedLen = %d", al.AlignedLen())
+	}
+}
+
+func TestPaperIntroExample(t *testing.T) {
+	// The paper's intro aligns csttpggg with csdtnglawgg. Check that we
+	// produce a valid positive-scoring alignment and can format it.
+	p := PaperParams()
+	a := bio.Encode("CSTTPGGG")
+	b := bio.Encode("CSDTNGLAWGG")
+	al := SWAlign(p, a, b)
+	if al.Score <= 0 {
+		t.Fatalf("intro example should align, got score %d", al.Score)
+	}
+	out := al.Format(a, b)
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+	if got := scoreFromOps(t, p, a, b, al); got != al.Score {
+		t.Fatalf("format example traceback score %d != %d", got, al.Score)
+	}
+}
+
+func TestSWAllZeroMatrix(t *testing.T) {
+	// Sequences with no positive pair produce the empty alignment.
+	p := PaperParams()
+	a := bio.Encode("AAAA")
+	b := bio.Encode("RRRR") // A:R = -1
+	al := SWAlign(p, a, b)
+	if al.Score != 0 || len(al.Ops) != 0 {
+		t.Errorf("want empty alignment, got score %d ops %v", al.Score, al.Ops)
+	}
+}
+
+func TestSWQuickAgainstAffineInvariant(t *testing.T) {
+	// Property: doubling a sequence never lowers its self-score, and
+	// the self-score is the sum of diagonal scores (no gaps needed).
+	p := PaperParams()
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, n)
+		self := 0
+		for _, c := range a {
+			self += p.Matrix.Score(c, c)
+		}
+		return SWScore(p, a, a) == self
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package align
+
+import "repro/internal/simd"
+
+// Anti-diagonal SIMD Smith-Waterman in the style of Wozniak's
+// video-instruction implementation, the approach the Fasta-suite
+// Altivec kernel (and therefore the paper's SW_vmx128 / SW_vmx256
+// workloads) uses. The query is processed in strips of V rows (V = the
+// vector lane count); within a strip the vector travels along
+// anti-diagonals so that every lane's dependencies come from the
+// previous one or two steps:
+//
+//	lane k at step t computes cell (i0+k, j) with j = t-k
+//	H(i-1,j-1) = lane k-1 of the H vector two steps ago
+//	H(i,j-1), E(i,j-1) = lane k of the vectors one step ago
+//	H(i-1,j), F(i-1,j) = lane k-1 of the vectors one step ago
+//
+// Lane 0 takes its upper inputs from the previous strip's last row,
+// carried in boundary arrays. All values are clamped at zero (safe for
+// local alignment, see SSEARCHScore) and use saturating 16-bit lanes
+// exactly like the Altivec code.
+
+// invalidScore poisons lanes whose cell lies outside the matrix: the
+// saturating add pushes H far negative, so the zero clamp erases it.
+const invalidScore = simd.MinInt16 / 2
+
+// SWScoreSIMD computes the Smith-Waterman score of the profile's query
+// versus b using the emulated vector engine with the given lane count
+// (simd.Lanes128 for SW_vmx128, simd.Lanes256 for SW_vmx256). The
+// result equals SWScore as long as it stays below the 16-bit
+// saturation bound, which holds for protein-scale sequences.
+func SWScoreSIMD(prof *Profile, b []uint8, lanes int) int {
+	m, n := len(prof.Query), len(b)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	first := int16(prof.Gaps.First())
+	ext := int16(prof.Gaps.Extend)
+	vFirst := simd.Splat(lanes, first)
+	vExt := simd.Splat(lanes, ext)
+	vZero := simd.New(lanes)
+
+	// Boundary rows from the previous strip: H and F of row i0-1.
+	hBound := make([]int16, n)
+	fBound := make([]int16, n)
+
+	bestVec := simd.New(lanes)
+	scoreLanes := make([]int16, lanes)
+
+	for i0 := 0; i0 < m; i0 += lanes {
+		var (
+			hm1 = simd.New(lanes) // H at step t-1
+			hm2 = simd.New(lanes) // H at step t-2
+			em1 = simd.New(lanes) // E at step t-1
+			fm1 = simd.New(lanes) // F at step t-1
+		)
+		newHBound := make([]int16, n)
+		newFBound := make([]int16, n)
+		steps := n + lanes - 1
+		for t := 0; t < steps; t++ {
+			// Gather substitution scores: lane k scores query[i0+k]
+			// against b[t-k] (the vperm matrix lookup).
+			for k := 0; k < lanes; k++ {
+				j := t - k
+				qi := i0 + k
+				if j >= 0 && j < n && qi < m {
+					scoreLanes[k] = prof.Rows[b[j]][qi]
+				} else {
+					scoreLanes[k] = invalidScore
+				}
+			}
+			scoreVec := simd.FromSlice(scoreLanes)
+
+			var diagFill, upHFill, upFFill int16
+			if t-1 >= 0 && t-1 < n {
+				diagFill = hBound[t-1]
+			}
+			if t < n {
+				upHFill = hBound[t]
+				upFFill = fBound[t]
+			}
+			hdiag := hm2.ShiftInLow(diagFill)
+			hup := hm1.ShiftInLow(upHFill)
+			fup := fm1.ShiftInLow(upFFill)
+
+			e := hm1.SubSat(vFirst).Max(em1.SubSat(vExt)).Max(vZero)
+			f := hup.SubSat(vFirst).Max(fup.SubSat(vExt)).Max(vZero)
+			h := hdiag.AddSat(scoreVec).Max(e).Max(f).Max(vZero)
+			bestVec = bestVec.Max(h)
+
+			// The strip's last row becomes the next strip's boundary.
+			if j := t - (lanes - 1); j >= 0 && j < n {
+				newHBound[j] = h.Lane(lanes - 1)
+				newFBound[j] = f.Lane(lanes - 1)
+			}
+
+			hm2, hm1, em1, fm1 = hm1, h, e, f
+		}
+		hBound, fBound = newHBound, newFBound
+	}
+	return int(bestVec.HorizontalMax())
+}
+
+// SWScoreVMX128 scores with the 128-bit (8-lane) Altivec register
+// width, the paper's SW_vmx128 workload.
+func SWScoreVMX128(prof *Profile, b []uint8) int {
+	return SWScoreSIMD(prof, b, simd.Lanes128)
+}
+
+// SWScoreVMX256 scores with the futuristic 256-bit (16-lane) register
+// width, the paper's SW_vmx256 workload.
+func SWScoreVMX256(prof *Profile, b []uint8) int {
+	return SWScoreSIMD(prof, b, simd.Lanes256)
+}

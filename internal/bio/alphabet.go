@@ -1,0 +1,87 @@
+package bio
+
+// The protein alphabet used throughout the repository. The ordering is
+// the classical NCBI matrix ordering so that embedded BLOSUM tables can
+// be copied row for row from their published form.
+//
+// Codes 0..19 are the 20 standard amino acids; 20..22 are the ambiguity
+// codes B (Asx), Z (Glx) and X (unknown); 23 is the stop/gap filler '*'.
+const (
+	// AlphabetSize is the number of distinct residue codes.
+	AlphabetSize = 24
+	// NumStandard is the number of standard (unambiguous) amino acids.
+	NumStandard = 20
+	// CodeX is the residue code of the unknown residue 'X'.
+	CodeX = 22
+	// CodeStop is the residue code of '*'.
+	CodeStop = 23
+)
+
+// Letters lists the alphabet in code order: Letters[c] is the letter of
+// residue code c.
+const Letters = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+// letterToCode maps an upper-case ASCII letter to its residue code.
+// Non-residue letters map to CodeX. Built at init from Letters plus the
+// common aliases U (selenocysteine, scored as C), O (pyrrolysine, scored
+// as K) and J (Leu/Ile ambiguity, scored as L).
+var letterToCode [256]uint8
+
+func init() {
+	for i := range letterToCode {
+		letterToCode[i] = CodeX
+	}
+	for c := 0; c < AlphabetSize; c++ {
+		upper := Letters[c]
+		letterToCode[upper] = uint8(c)
+		if upper >= 'A' && upper <= 'Z' {
+			letterToCode[upper+'a'-'A'] = uint8(c)
+		}
+	}
+	alias := map[byte]byte{'U': 'C', 'O': 'K', 'J': 'L'}
+	for from, to := range alias {
+		letterToCode[from] = letterToCode[to]
+		letterToCode[from+'a'-'A'] = letterToCode[to]
+	}
+}
+
+// EncodeByte returns the residue code for one ASCII letter. Unknown
+// letters (including digits and punctuation) encode as X so that dirty
+// database input degrades gracefully instead of failing.
+func EncodeByte(b byte) uint8 { return letterToCode[b] }
+
+// DecodeByte returns the ASCII letter for a residue code. Codes outside
+// the alphabet decode as 'X'.
+func DecodeByte(c uint8) byte {
+	if int(c) >= AlphabetSize {
+		return 'X'
+	}
+	return Letters[c]
+}
+
+// Encode converts an ASCII protein string into residue codes.
+func Encode(s string) []uint8 {
+	out := make([]uint8, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = letterToCode[s[i]]
+	}
+	return out
+}
+
+// Decode converts residue codes back into an ASCII protein string.
+func Decode(codes []uint8) string {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = DecodeByte(c)
+	}
+	return string(out)
+}
+
+// ValidLetter reports whether b is a letter of the protein alphabet
+// (including ambiguity codes and recognized aliases), in either case.
+func ValidLetter(b byte) bool {
+	if b == 'X' || b == 'x' {
+		return true
+	}
+	return letterToCode[b] != CodeX
+}

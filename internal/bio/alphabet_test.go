@@ -1,0 +1,84 @@
+package bio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := "ARNDCQEGHILKMFPSTWYVBZX*"
+	if got := Decode(Encode(in)); got != in {
+		t.Errorf("Decode(Encode(%q)) = %q", in, got)
+	}
+}
+
+func TestEncodeCaseInsensitive(t *testing.T) {
+	upper := Encode("ACDEFGHIKLMNPQRSTVWY")
+	lower := Encode("acdefghiklmnpqrstvwy")
+	for i := range upper {
+		if upper[i] != lower[i] {
+			t.Errorf("case mismatch at %d: %d vs %d", i, upper[i], lower[i])
+		}
+	}
+}
+
+func TestEncodeAliases(t *testing.T) {
+	cases := []struct{ alias, canonical byte }{
+		{'U', 'C'}, {'O', 'K'}, {'J', 'L'},
+		{'u', 'C'}, {'o', 'K'}, {'j', 'L'},
+	}
+	for _, c := range cases {
+		if EncodeByte(c.alias) != EncodeByte(c.canonical) {
+			t.Errorf("alias %c should encode as %c", c.alias, c.canonical)
+		}
+	}
+}
+
+func TestEncodeUnknownIsX(t *testing.T) {
+	for _, b := range []byte{'1', '-', '.', ' ', 0, 200} {
+		if EncodeByte(b) != CodeX {
+			t.Errorf("EncodeByte(%q) = %d, want CodeX", b, EncodeByte(b))
+		}
+	}
+}
+
+func TestCodesAreDistinct(t *testing.T) {
+	seen := map[uint8]byte{}
+	for i := 0; i < len(Letters); i++ {
+		c := EncodeByte(Letters[i])
+		if prev, dup := seen[c]; dup {
+			t.Errorf("letters %c and %c share code %d", prev, Letters[i], c)
+		}
+		seen[c] = Letters[i]
+	}
+	if len(seen) != AlphabetSize {
+		t.Errorf("got %d distinct codes, want %d", len(seen), AlphabetSize)
+	}
+}
+
+func TestEncodeNeverOutOfRange(t *testing.T) {
+	f := func(data []byte) bool {
+		for _, b := range data {
+			if int(EncodeByte(b)) >= AlphabetSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidLetter(t *testing.T) {
+	for i := 0; i < len(Letters); i++ {
+		if !ValidLetter(Letters[i]) {
+			t.Errorf("ValidLetter(%c) = false", Letters[i])
+		}
+	}
+	for _, b := range []byte{'1', '-', '@'} {
+		if ValidLetter(b) {
+			t.Errorf("ValidLetter(%q) = true", b)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package bio provides the biological substrate for the sequence
+// alignment workloads: the amino-acid alphabet, protein sequences,
+// substitution score matrices (BLOSUM62, BLOSUM50), FASTA-format I/O,
+// and a deterministic synthetic protein database that stands in for
+// SwissProt in the paper's experiments.
+//
+// All sequences are stored residue-encoded (see Encode) so that the
+// aligners in internal/align, internal/blast and internal/fasta can
+// index substitution matrices directly without per-cell translation.
+package bio

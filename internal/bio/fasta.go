@@ -1,0 +1,96 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses FASTA-format protein records from r. Header lines
+// start with '>'; the first whitespace-delimited token is the ID, the
+// remainder the description. Residue lines are concatenated and
+// encoded; whitespace inside them is ignored. Records with no residues
+// are rejected, as is residue data before the first header.
+func ReadFASTA(r io.Reader) ([]*Sequence, error) {
+	var (
+		seqs    []*Sequence
+		cur     *Sequence
+		lineNum int
+	)
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if len(cur.Residues) == 0 {
+			return fmt.Errorf("bio: FASTA record %q has no residues", cur.ID)
+		}
+		seqs = append(seqs, cur)
+		cur = nil
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			id, desc := header, ""
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				id, desc = header[:i], strings.TrimSpace(header[i+1:])
+			}
+			if id == "" {
+				return nil, fmt.Errorf("bio: line %d: empty FASTA header", lineNum)
+			}
+			cur = &Sequence{ID: id, Desc: desc}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("bio: line %d: residue data before first header", lineNum)
+		}
+		for i := 0; i < len(line); i++ {
+			b := line[i]
+			if b == ' ' || b == '\t' {
+				continue
+			}
+			cur.Residues = append(cur.Residues, EncodeByte(b))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bio: reading FASTA: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return seqs, nil
+}
+
+// WriteFASTA writes sequences in FASTA format with 60-column residue
+// lines, the layout SwissProt distributions use.
+func WriteFASTA(w io.Writer, seqs []*Sequence) error {
+	bw := bufio.NewWriter(w)
+	const width = 60
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Header()); err != nil {
+			return err
+		}
+		text := s.String()
+		for start := 0; start < len(text); start += width {
+			end := start + width
+			if end > len(text) {
+				end = len(text)
+			}
+			if _, err := fmt.Fprintln(bw, text[start:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,93 @@
+package bio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTABasic(t *testing.T) {
+	in := ">sp|P1 test protein\nACDEF\nGHIKL\n>P2\nMNPQ RSTVW\n"
+	seqs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d records, want 2", len(seqs))
+	}
+	if seqs[0].ID != "sp|P1" || seqs[0].Desc != "test protein" {
+		t.Errorf("header parse: id=%q desc=%q", seqs[0].ID, seqs[0].Desc)
+	}
+	if seqs[0].String() != "ACDEFGHIKL" {
+		t.Errorf("residues = %q, want ACDEFGHIKL", seqs[0].String())
+	}
+	if seqs[1].String() != "MNPQRSTVW" {
+		t.Errorf("whitespace in residue lines should be skipped, got %q", seqs[1].String())
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := map[string]string{
+		"residues before header": "ACDEF\n>P1\nACD\n",
+		"empty record":           ">P1\n>P2\nACD\n",
+		"empty trailing record":  ">P1\nACD\n>P2\n",
+		"empty header":           ">\nACD\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFASTA(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadFASTAEmptyInput(t *testing.T) {
+	seqs, err := ReadFASTA(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Errorf("empty input produced %d records", len(seqs))
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	db := SyntheticDB(DefaultDBSpec(20))
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, db.Seqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != db.NumSeqs() {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), db.NumSeqs())
+	}
+	for i, s := range back {
+		orig := db.Seqs[i]
+		if s.ID != orig.ID {
+			t.Errorf("record %d: id %q vs %q", i, s.ID, orig.ID)
+		}
+		if s.String() != orig.String() {
+			t.Errorf("record %d: residues differ", i)
+		}
+	}
+}
+
+func TestWriteFASTAWraps(t *testing.T) {
+	s := RandomSequence("LONG", 150, 1)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []*Sequence{s}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + ceil(150/60) = 1 + 3 lines
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines[1:] {
+		if len(l) > 60 {
+			t.Errorf("residue line longer than 60: %d", len(l))
+		}
+	}
+}

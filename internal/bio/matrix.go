@@ -1,0 +1,183 @@
+package bio
+
+import "fmt"
+
+// Matrix is a residue substitution score matrix over the full alphabet
+// (24 codes). Scores are small integers; BLOSUM62 and BLOSUM50 are
+// embedded in their published NCBI form.
+type Matrix struct {
+	Name   string
+	scores [AlphabetSize][AlphabetSize]int8
+}
+
+// Score returns the substitution score for residue codes a and b.
+func (m *Matrix) Score(a, b uint8) int { return int(m.scores[a][b]) }
+
+// Row returns the score row for residue code a; Row(a)[b] == Score(a,b).
+// Aligners use rows to build query profiles without a double index per
+// cell.
+func (m *Matrix) Row(a uint8) *[AlphabetSize]int8 { return &m.scores[a] }
+
+// MaxScore returns the largest score in the matrix (the best possible
+// per-residue match), used for X-drop bounds and ungapped score caps.
+func (m *Matrix) MaxScore() int {
+	best := int(m.scores[0][0])
+	for i := 0; i < AlphabetSize; i++ {
+		for j := 0; j < AlphabetSize; j++ {
+			if int(m.scores[i][j]) > best {
+				best = int(m.scores[i][j])
+			}
+		}
+	}
+	return best
+}
+
+// MinScore returns the smallest score in the matrix.
+func (m *Matrix) MinScore() int {
+	worst := int(m.scores[0][0])
+	for i := 0; i < AlphabetSize; i++ {
+		for j := 0; j < AlphabetSize; j++ {
+			if int(m.scores[i][j]) < worst {
+				worst = int(m.scores[i][j])
+			}
+		}
+	}
+	return worst
+}
+
+// MatrixByName returns the embedded matrix with the given name. It
+// accepts the full names ("BLOSUM62") and the ssearch abbreviations the
+// paper's command lines use ("BL62", "BL50").
+func MatrixByName(name string) (*Matrix, error) {
+	switch name {
+	case "BLOSUM62", "BL62":
+		return Blosum62, nil
+	case "BLOSUM50", "BL50":
+		return Blosum50, nil
+	}
+	return nil, fmt.Errorf("bio: unknown matrix %q", name)
+}
+
+// GapPenalty is the affine gap model used throughout: a gap of length L
+// costs Open + L*Extend. The paper's runs use Open=10, Extend=1 (the
+// ssearch flags "-f 11 -g 1" charge 11 for the first gapped residue,
+// which is the same model written as first-residue cost Open+Extend).
+type GapPenalty struct {
+	Open   int // charged once when a gap is opened
+	Extend int // charged for every residue in the gap
+}
+
+// PaperGaps is the gap penalty used in every experiment of the paper:
+// gap open 10, gap extension 1.
+var PaperGaps = GapPenalty{Open: 10, Extend: 1}
+
+// First returns the cost of the first residue of a gap (Open+Extend).
+func (g GapPenalty) First() int { return g.Open + g.Extend }
+
+// Cost returns the total cost of a gap of length n (0 for n <= 0).
+func (g GapPenalty) Cost(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return g.Open + n*g.Extend
+}
+
+// newMatrix builds a Matrix from a 20x20 core over the standard amino
+// acids plus scores for the ambiguity codes. rows is indexed in
+// alphabet order (A R N D C Q E G H I L K M F P S T W Y V).
+func newMatrix(name string, core [NumStandard][NumStandard]int8, bRow, zRow [NumStandard]int8, bb, bz, zz, xAny, starStar int8) *Matrix {
+	m := &Matrix{Name: name}
+	// Everything defaults to the X penalty, then known cells overwrite.
+	for i := 0; i < AlphabetSize; i++ {
+		for j := 0; j < AlphabetSize; j++ {
+			m.scores[i][j] = xAny
+		}
+	}
+	for i := 0; i < NumStandard; i++ {
+		for j := 0; j < NumStandard; j++ {
+			m.scores[i][j] = core[i][j]
+		}
+	}
+	const b, z = 20, 21
+	for j := 0; j < NumStandard; j++ {
+		m.scores[b][j], m.scores[j][b] = bRow[j], bRow[j]
+		m.scores[z][j], m.scores[j][z] = zRow[j], zRow[j]
+	}
+	m.scores[b][b] = bb
+	m.scores[b][z], m.scores[z][b] = bz, bz
+	m.scores[z][z] = zz
+	// '*' aligns badly with everything except itself.
+	for i := 0; i < AlphabetSize; i++ {
+		m.scores[i][CodeStop] = starStar - 5
+		m.scores[CodeStop][i] = starStar - 5
+	}
+	m.scores[CodeStop][CodeStop] = starStar
+	return m
+}
+
+// Blosum62 is the standard BLOSUM62 matrix (Henikoff & Henikoff), the
+// matrix every experiment in the paper uses ("-s BL62").
+var Blosum62 = newMatrix("BLOSUM62",
+	[NumStandard][NumStandard]int8{
+		//       A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+		/*A*/ {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+		/*R*/ {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+		/*N*/ {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+		/*D*/ {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+		/*C*/ {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+		/*Q*/ {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+		/*E*/ {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+		/*G*/ {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+		/*H*/ {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+		/*I*/ {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+		/*L*/ {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+		/*K*/ {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+		/*M*/ {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+		/*F*/ {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+		/*P*/ {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+		/*S*/ {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+		/*T*/ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+		/*W*/ {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+		/*Y*/ {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+		/*V*/ {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+	},
+	// B row (Asx) and Z row (Glx) against the 20 standard residues.
+	[NumStandard]int8{-2, -1, 3, 4, -3, 0, 1, -1, 0, -3, -4, 0, -3, -3, -2, 0, -1, -4, -3, -3},
+	[NumStandard]int8{-1, 0, 0, 1, -3, 3, 4, -2, 0, -3, -3, 1, -1, -3, -1, 0, -1, -3, -2, -2},
+	4, 1, 4, // B:B, B:Z, Z:Z
+	-1, // X vs anything
+	1,  // * vs *
+)
+
+// Blosum50 is the standard BLOSUM50 matrix (the FASTA-suite default,
+// provided for completeness and the sensitivity comparisons).
+var Blosum50 = newMatrix("BLOSUM50",
+	[NumStandard][NumStandard]int8{
+		//       A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+		/*A*/ {5, -2, -1, -2, -1, -1, -1, 0, -2, -1, -2, -1, -1, -3, -1, 1, 0, -3, -2, 0},
+		/*R*/ {-2, 7, -1, -2, -4, 1, 0, -3, 0, -4, -3, 3, -2, -3, -3, -1, -1, -3, -1, -3},
+		/*N*/ {-1, -1, 7, 2, -2, 0, 0, 0, 1, -3, -4, 0, -2, -4, -2, 1, 0, -4, -2, -3},
+		/*D*/ {-2, -2, 2, 8, -4, 0, 2, -1, -1, -4, -4, -1, -4, -5, -1, 0, -1, -5, -3, -4},
+		/*C*/ {-1, -4, -2, -4, 13, -3, -3, -3, -3, -2, -2, -3, -2, -2, -4, -1, -1, -5, -3, -1},
+		/*Q*/ {-1, 1, 0, 0, -3, 7, 2, -2, 1, -3, -2, 2, 0, -4, -1, 0, -1, -1, -1, -3},
+		/*E*/ {-1, 0, 0, 2, -3, 2, 6, -3, 0, -4, -3, 1, -2, -3, -1, -1, -1, -3, -2, -3},
+		/*G*/ {0, -3, 0, -1, -3, -2, -3, 8, -2, -4, -4, -2, -3, -4, -2, 0, -2, -3, -3, -4},
+		/*H*/ {-2, 0, 1, -1, -3, 1, 0, -2, 10, -4, -3, 0, -1, -1, -2, -1, -2, -3, 2, -4},
+		/*I*/ {-1, -4, -3, -4, -2, -3, -4, -4, -4, 5, 2, -3, 2, 0, -3, -3, -1, -3, -1, 4},
+		/*L*/ {-2, -3, -4, -4, -2, -2, -3, -4, -3, 2, 5, -3, 3, 1, -4, -3, -1, -2, -1, 1},
+		/*K*/ {-1, 3, 0, -1, -3, 2, 1, -2, 0, -3, -3, 6, -2, -4, -1, 0, -1, -3, -2, -3},
+		/*M*/ {-1, -2, -2, -4, -2, 0, -2, -3, -1, 2, 3, -2, 7, 0, -3, -2, -1, -1, 0, 1},
+		/*F*/ {-3, -3, -4, -5, -2, -4, -3, -4, -1, 0, 1, -4, 0, 8, -4, -3, -2, 1, 4, -1},
+		/*P*/ {-1, -3, -2, -1, -4, -1, -1, -2, -2, -3, -4, -1, -3, -4, 10, -1, -1, -4, -3, -3},
+		/*S*/ {1, -1, 1, 0, -1, 0, -1, 0, -1, -3, -3, 0, -2, -3, -1, 5, 2, -4, -2, -2},
+		/*T*/ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 2, 5, -3, -2, 0},
+		/*W*/ {-3, -3, -4, -5, -5, -1, -3, -3, -3, -3, -2, -3, -1, 1, -4, -4, -3, 15, 2, -3},
+		/*Y*/ {-2, -1, -2, -3, -3, -1, -2, -3, 2, -1, -1, -2, 0, 4, -3, -2, -2, 2, 8, -1},
+		/*V*/ {0, -3, -3, -4, -1, -3, -3, -4, -4, 4, 1, -3, 1, -1, -3, -2, 0, -3, -1, 5},
+	},
+	[NumStandard]int8{-2, -1, 5, 6, -3, 0, 1, -1, 0, -4, -4, 0, -3, -4, -2, 0, 0, -5, -3, -3},
+	[NumStandard]int8{-1, 0, 0, 1, -3, 4, 5, -2, 0, -3, -3, 1, -1, -4, -1, 0, -1, -2, -2, -3},
+	6, 1, 5,
+	-1,
+	1,
+)

@@ -1,0 +1,120 @@
+package bio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlosum62KnownValues(t *testing.T) {
+	// Spot checks against the published matrix.
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'C', 'C', 9},
+		{'A', 'R', -1}, {'W', 'C', -2}, {'I', 'V', 3},
+		{'D', 'E', 2}, {'N', 'B', 3}, {'Q', 'Z', 3},
+		{'L', 'I', 2}, {'G', 'G', 6}, {'P', 'F', -4},
+	}
+	for _, c := range cases {
+		got := Blosum62.Score(EncodeByte(c.a), EncodeByte(c.b))
+		if got != c.want {
+			t.Errorf("BLOSUM62[%c][%c] = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBlosum50KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 5}, {'W', 'W', 15}, {'C', 'C', 13},
+		{'H', 'H', 10}, {'P', 'P', 10}, {'F', 'Y', 4},
+	}
+	for _, c := range cases {
+		got := Blosum50.Score(EncodeByte(c.a), EncodeByte(c.b))
+		if got != c.want {
+			t.Errorf("BLOSUM50[%c][%c] = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMatricesSymmetric(t *testing.T) {
+	for _, m := range []*Matrix{Blosum62, Blosum50} {
+		for a := uint8(0); a < AlphabetSize; a++ {
+			for b := uint8(0); b < AlphabetSize; b++ {
+				if m.Score(a, b) != m.Score(b, a) {
+					t.Fatalf("%s not symmetric at [%c][%c]: %d vs %d",
+						m.Name, DecodeByte(a), DecodeByte(b), m.Score(a, b), m.Score(b, a))
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixDiagonalIsMaxOfRow(t *testing.T) {
+	// Identity should never score worse than substitution for the 20
+	// standard residues (a defining property of BLOSUM matrices).
+	for _, m := range []*Matrix{Blosum62, Blosum50} {
+		for a := uint8(0); a < NumStandard; a++ {
+			diag := m.Score(a, a)
+			for b := uint8(0); b < NumStandard; b++ {
+				if m.Score(a, b) > diag {
+					t.Errorf("%s[%c][%c]=%d exceeds diagonal %d",
+						m.Name, DecodeByte(a), DecodeByte(b), m.Score(a, b), diag)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixRowMatchesScore(t *testing.T) {
+	f := func(a, b uint8) bool {
+		a %= AlphabetSize
+		b %= AlphabetSize
+		return int(Blosum62.Row(a)[b]) == Blosum62.Score(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixByName(t *testing.T) {
+	for _, name := range []string{"BL62", "BLOSUM62", "BL50", "BLOSUM50"} {
+		if _, err := MatrixByName(name); err != nil {
+			t.Errorf("MatrixByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MatrixByName("PAM250"); err == nil {
+		t.Error("MatrixByName(PAM250) should fail: not embedded")
+	}
+}
+
+func TestMatrixExtremes(t *testing.T) {
+	if Blosum62.MaxScore() != 11 {
+		t.Errorf("BLOSUM62 max = %d, want 11 (W:W)", Blosum62.MaxScore())
+	}
+	if Blosum62.MinScore() >= 0 {
+		t.Errorf("BLOSUM62 min = %d, want negative", Blosum62.MinScore())
+	}
+}
+
+func TestGapPenalty(t *testing.T) {
+	g := PaperGaps
+	if g.First() != 11 {
+		t.Errorf("First() = %d, want 11 (ssearch -f 11)", g.First())
+	}
+	if g.Cost(0) != 0 || g.Cost(-3) != 0 {
+		t.Error("zero-length gaps must cost 0")
+	}
+	if g.Cost(1) != 11 || g.Cost(5) != 15 {
+		t.Errorf("Cost(1)=%d Cost(5)=%d, want 11, 15", g.Cost(1), g.Cost(5))
+	}
+	// Affine consistency: extending is never cheaper than a fresh gap.
+	for n := 1; n < 50; n++ {
+		if g.Cost(n+1)-g.Cost(n) != g.Extend {
+			t.Fatalf("marginal cost at %d is %d, want %d", n, g.Cost(n+1)-g.Cost(n), g.Extend)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package bio
+
+// QueryInfo describes one entry of the paper's Table II: a well
+// characterized protein family, its SwissProt accession, and its exact
+// length in residues.
+type QueryInfo struct {
+	Family    string
+	Accession string
+	Length    int
+}
+
+// PaperQueryTable reproduces Table II of the paper. (The text says 11
+// query sequences; the published table lists these ten rows, which is
+// what we reproduce.) Lengths range from 143 to 567 residues.
+var PaperQueryTable = []QueryInfo{
+	{"Globin", "P02232", 143},
+	{"Ras", "P01111", 189},
+	{"Glutathione S-transferase", "P14942", 222},
+	{"Serine Protease", "P00762", 246},
+	{"Histocompatibility antigen", "P10318", 362},
+	{"Alcohol dehydrogenase", "P07327", 375},
+	{"Serine Protease inhibitor", "P01008", 464},
+	{"Cytochrome P450", "P10635", 497},
+	{"H+-transporting ATP synthase", "P25705", 553},
+	{"Hemaglutinin", "P03435", 567},
+}
+
+// PaperQueries synthesizes the Table II query set: one sequence per
+// accession with the exact published length, deterministic in the
+// accession string. We cannot redistribute SwissProt content, and the
+// characterization depends only on query length and composition (see
+// DESIGN.md), so synthetic stand-ins preserve the experiments.
+func PaperQueries() []*Sequence {
+	out := make([]*Sequence, len(PaperQueryTable))
+	for i, q := range PaperQueryTable {
+		out[i] = PaperQuery(q.Accession)
+	}
+	return out
+}
+
+// PaperQuery synthesizes the Table II query with the given accession.
+// It panics on unknown accessions: the set is closed by construction.
+func PaperQuery(accession string) *Sequence {
+	for _, q := range PaperQueryTable {
+		if q.Accession == accession {
+			s := RandomSequence(q.Accession, q.Length, seedFor(q.Accession))
+			s.Desc = q.Family
+			return s
+		}
+	}
+	panic("bio: unknown paper query accession " + accession)
+}
+
+// GlutathioneQuery returns the Glutathione S-transferase query (P14942,
+// 222 residues), the one query whose results the paper reports.
+func GlutathioneQuery() *Sequence { return PaperQuery("P14942") }
+
+// seedFor derives a stable RNG seed from an accession (FNV-1a).
+func seedFor(accession string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(accession); i++ {
+		h ^= uint64(accession[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

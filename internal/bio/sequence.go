@@ -1,0 +1,74 @@
+package bio
+
+import "fmt"
+
+// Sequence is a residue-encoded protein sequence with its database
+// identity. Residues hold alphabet codes (see Encode), not ASCII.
+type Sequence struct {
+	ID       string
+	Desc     string
+	Residues []uint8
+}
+
+// NewSequence encodes an ASCII protein string into a Sequence.
+func NewSequence(id, desc, residues string) *Sequence {
+	return &Sequence{ID: id, Desc: desc, Residues: Encode(residues)}
+}
+
+// Len returns the number of residues.
+func (s *Sequence) Len() int { return len(s.Residues) }
+
+// String returns the decoded ASCII residue string.
+func (s *Sequence) String() string { return Decode(s.Residues) }
+
+// Header returns the FASTA header line content (without the '>').
+func (s *Sequence) Header() string {
+	if s.Desc == "" {
+		return s.ID
+	}
+	return s.ID + " " + s.Desc
+}
+
+// Database is an ordered collection of sequences, the unit the search
+// tools scan. It caches the total residue count because Karlin-Altschul
+// statistics and the paper's Table III both need it.
+type Database struct {
+	Seqs []*Sequence
+
+	totalResidues int
+}
+
+// NewDatabase builds a Database over the given sequences.
+func NewDatabase(seqs []*Sequence) *Database {
+	db := &Database{Seqs: seqs}
+	for _, s := range seqs {
+		db.totalResidues += s.Len()
+	}
+	return db
+}
+
+// NumSeqs returns the number of sequences in the database.
+func (db *Database) NumSeqs() int { return len(db.Seqs) }
+
+// TotalResidues returns the summed length of all sequences.
+func (db *Database) TotalResidues() int { return db.totalResidues }
+
+// MeanLen returns the mean sequence length, or 0 for an empty database.
+func (db *Database) MeanLen() float64 {
+	if len(db.Seqs) == 0 {
+		return 0
+	}
+	return float64(db.totalResidues) / float64(len(db.Seqs))
+}
+
+// Subset returns a new Database over the first n sequences. It panics
+// if n is negative; n larger than the database is clamped.
+func (db *Database) Subset(n int) *Database {
+	if n < 0 {
+		panic(fmt.Sprintf("bio: negative subset size %d", n))
+	}
+	if n > len(db.Seqs) {
+		n = len(db.Seqs)
+	}
+	return NewDatabase(db.Seqs[:n])
+}

@@ -1,0 +1,210 @@
+package bio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// swissProtFreqs is the published amino-acid composition of
+// UniProtKB/Swiss-Prot (percent), in alphabet order A..V. The synthetic
+// database samples residues from this distribution so that word-hit
+// rates, substitution score distributions and ungapped-extension
+// behavior match what the real database induces.
+var swissProtFreqs = [NumStandard]float64{
+	8.25, // A
+	5.53, // R
+	4.06, // N
+	5.45, // D
+	1.37, // C
+	3.93, // Q
+	6.75, // E
+	7.07, // G
+	2.27, // H
+	5.96, // I
+	9.66, // L
+	5.84, // K
+	2.42, // M
+	3.86, // F
+	4.70, // P
+	6.56, // S
+	5.34, // T
+	1.08, // W
+	2.92, // Y
+	6.87, // V
+}
+
+// SwissProtComposition returns the residue frequency distribution
+// (normalized to sum to 1) the synthetic database is drawn from.
+func SwissProtComposition() [NumStandard]float64 {
+	var out [NumStandard]float64
+	total := 0.0
+	for _, f := range swissProtFreqs {
+		total += f
+	}
+	for i, f := range swissProtFreqs {
+		out[i] = f / total
+	}
+	return out
+}
+
+// DBSpec describes a synthetic database. The zero value is not useful;
+// use DefaultDBSpec and override fields as needed.
+type DBSpec struct {
+	Seed    int64 // RNG seed; equal specs generate identical databases
+	NumSeqs int   // number of sequences
+	MinLen  int   // hard lower clamp on sequence length
+	MaxLen  int   // hard upper clamp on sequence length
+	// MeanLen and LenSpread parameterize the log-normal length model:
+	// lengths are exp(N(ln MeanLen - LenSpread^2/2, LenSpread)), which
+	// has mean close to MeanLen. SwissProt's mean length is ~360 with a
+	// long right tail, which LenSpread 0.55 approximates.
+	MeanLen   int
+	LenSpread float64
+	// Related, if > 0, is the number of sequences (cycled through the
+	// database) that carry a mutated copy of RelatedTo, giving the
+	// heuristics true positives to find like real family databases do.
+	Related   int
+	RelatedTo *Sequence
+	// MutRate is the per-residue substitution probability applied to
+	// related sequences (default 0.3 when Related > 0 and MutRate == 0).
+	MutRate float64
+}
+
+// DefaultDBSpec returns the database specification used by the
+// experiment harness: SwissProt-like composition, mean length ~360.
+func DefaultDBSpec(numSeqs int) DBSpec {
+	return DBSpec{
+		Seed:      20061001, // IISWC 2006
+		NumSeqs:   numSeqs,
+		MinLen:    40,
+		MaxLen:    2000,
+		MeanLen:   360,
+		LenSpread: 0.55,
+	}
+}
+
+// SyntheticDB generates a deterministic synthetic protein database per
+// spec. Sequence IDs are "SYN00001"-style accession strings.
+func SyntheticDB(spec DBSpec) *Database {
+	if spec.NumSeqs < 0 {
+		panic("bio: negative NumSeqs")
+	}
+	if spec.MeanLen <= 0 {
+		spec.MeanLen = 360
+	}
+	if spec.LenSpread <= 0 {
+		spec.LenSpread = 0.55
+	}
+	if spec.MinLen <= 0 {
+		spec.MinLen = 40
+	}
+	if spec.MaxLen <= spec.MinLen {
+		spec.MaxLen = spec.MinLen + 2000
+	}
+	if spec.Related > 0 && spec.MutRate == 0 {
+		spec.MutRate = 0.3
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sampler := newCompositionSampler()
+	seqs := make([]*Sequence, 0, spec.NumSeqs)
+	relatedEvery := 0
+	if spec.Related > 0 && spec.RelatedTo != nil {
+		relatedEvery = spec.NumSeqs / spec.Related
+		if relatedEvery < 1 {
+			relatedEvery = 1
+		}
+	}
+	for i := 0; i < spec.NumSeqs; i++ {
+		id := fmt.Sprintf("SYN%05d", i+1)
+		if relatedEvery > 0 && i%relatedEvery == relatedEvery/2 {
+			seqs = append(seqs, mutate(spec.RelatedTo, id, spec.MutRate, rng))
+			continue
+		}
+		n := sampleLength(rng, spec)
+		res := make([]uint8, n)
+		for j := range res {
+			res[j] = sampler.sample(rng)
+		}
+		seqs = append(seqs, &Sequence{ID: id, Desc: "synthetic protein", Residues: res})
+	}
+	return NewDatabase(seqs)
+}
+
+// RandomSequence generates one synthetic sequence of exactly n residues
+// drawn from the SwissProt composition, deterministic in seed.
+func RandomSequence(id string, n int, seed int64) *Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	sampler := newCompositionSampler()
+	res := make([]uint8, n)
+	for i := range res {
+		res[i] = sampler.sample(rng)
+	}
+	return &Sequence{ID: id, Desc: "synthetic protein", Residues: res}
+}
+
+// mutate returns a copy of src under per-residue substitution at rate
+// mutRate plus occasional short indels, mimicking homologous family
+// members.
+func mutate(src *Sequence, id string, mutRate float64, rng *rand.Rand) *Sequence {
+	sampler := newCompositionSampler()
+	res := make([]uint8, 0, src.Len()+8)
+	for _, c := range src.Residues {
+		r := rng.Float64()
+		switch {
+		case r < mutRate*0.08: // deletion
+		case r < mutRate*0.16: // insertion
+			res = append(res, sampler.sample(rng), c)
+		case r < mutRate: // substitution
+			res = append(res, sampler.sample(rng))
+		default:
+			res = append(res, c)
+		}
+	}
+	if len(res) == 0 {
+		res = append(res, src.Residues...)
+	}
+	return &Sequence{ID: id, Desc: "synthetic homolog of " + src.ID, Residues: res}
+}
+
+func sampleLength(rng *rand.Rand, spec DBSpec) int {
+	mu := math.Log(float64(spec.MeanLen)) - spec.LenSpread*spec.LenSpread/2
+	n := int(math.Exp(rng.NormFloat64()*spec.LenSpread + mu))
+	if n < spec.MinLen {
+		n = spec.MinLen
+	}
+	if n > spec.MaxLen {
+		n = spec.MaxLen
+	}
+	return n
+}
+
+// compositionSampler draws residues from the SwissProt composition via
+// a cumulative table.
+type compositionSampler struct {
+	cum [NumStandard]float64
+}
+
+func newCompositionSampler() *compositionSampler {
+	s := &compositionSampler{}
+	total := 0.0
+	for i, f := range swissProtFreqs {
+		total += f
+		s.cum[i] = total
+	}
+	for i := range s.cum {
+		s.cum[i] /= total
+	}
+	s.cum[NumStandard-1] = 1.0
+	return s
+}
+
+func (s *compositionSampler) sample(rng *rand.Rand) uint8 {
+	r := rng.Float64()
+	for i, c := range s.cum {
+		if r <= c {
+			return uint8(i)
+		}
+	}
+	return NumStandard - 1
+}

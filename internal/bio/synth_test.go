@@ -1,0 +1,142 @@
+package bio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticDBDeterministic(t *testing.T) {
+	a := SyntheticDB(DefaultDBSpec(30))
+	b := SyntheticDB(DefaultDBSpec(30))
+	if a.NumSeqs() != b.NumSeqs() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Seqs {
+		if a.Seqs[i].String() != b.Seqs[i].String() {
+			t.Fatalf("sequence %d differs between runs with same seed", i)
+		}
+	}
+	spec := DefaultDBSpec(30)
+	spec.Seed++
+	c := SyntheticDB(spec)
+	same := 0
+	for i := range a.Seqs {
+		if a.Seqs[i].String() == c.Seqs[i].String() {
+			same++
+		}
+	}
+	if same == len(a.Seqs) {
+		t.Error("different seeds produced identical database")
+	}
+}
+
+func TestSyntheticDBLengths(t *testing.T) {
+	spec := DefaultDBSpec(400)
+	db := SyntheticDB(spec)
+	if db.NumSeqs() != 400 {
+		t.Fatalf("NumSeqs = %d", db.NumSeqs())
+	}
+	for _, s := range db.Seqs {
+		if s.Len() < spec.MinLen || s.Len() > spec.MaxLen {
+			t.Fatalf("length %d outside [%d,%d]", s.Len(), spec.MinLen, spec.MaxLen)
+		}
+	}
+	// Mean length should approximate the SwissProt-like target.
+	mean := db.MeanLen()
+	if mean < 250 || mean > 500 {
+		t.Errorf("mean length %.1f outside plausible range around %d", mean, spec.MeanLen)
+	}
+}
+
+func TestSyntheticDBComposition(t *testing.T) {
+	db := SyntheticDB(DefaultDBSpec(300))
+	var counts [NumStandard]int
+	total := 0
+	for _, s := range db.Seqs {
+		for _, c := range s.Residues {
+			if c < NumStandard {
+				counts[c]++
+				total++
+			} else {
+				t.Fatalf("synthetic residue outside standard alphabet: %d", c)
+			}
+		}
+	}
+	want := SwissProtComposition()
+	for i := 0; i < NumStandard; i++ {
+		got := float64(counts[i]) / float64(total)
+		if math.Abs(got-want[i]) > 0.012 {
+			t.Errorf("residue %c frequency %.4f, want ~%.4f", Letters[i], got, want[i])
+		}
+	}
+}
+
+func TestSyntheticDBRelated(t *testing.T) {
+	q := GlutathioneQuery()
+	spec := DefaultDBSpec(20)
+	spec.Related = 4
+	spec.RelatedTo = q
+	db := SyntheticDB(spec)
+	related := 0
+	for _, s := range db.Seqs {
+		if len(s.Desc) > 9 && s.Desc[:9] == "synthetic" && s.Desc != "synthetic protein" {
+			related++
+			// Homologs should be near the parent length.
+			if s.Len() < q.Len()/2 || s.Len() > q.Len()*2 {
+				t.Errorf("homolog length %d far from parent %d", s.Len(), q.Len())
+			}
+		}
+	}
+	if related != 4 {
+		t.Errorf("got %d related sequences, want 4", related)
+	}
+}
+
+func TestPaperQueries(t *testing.T) {
+	qs := PaperQueries()
+	if len(qs) != len(PaperQueryTable) {
+		t.Fatalf("got %d queries, want %d", len(qs), len(PaperQueryTable))
+	}
+	for i, q := range qs {
+		want := PaperQueryTable[i]
+		if q.Len() != want.Length {
+			t.Errorf("%s length %d, want %d (Table II)", want.Accession, q.Len(), want.Length)
+		}
+		if q.ID != want.Accession {
+			t.Errorf("query %d id %q, want %q", i, q.ID, want.Accession)
+		}
+	}
+	// Determinism: same accession, same residues.
+	if PaperQuery("P14942").String() != GlutathioneQuery().String() {
+		t.Error("paper query not deterministic")
+	}
+	if GlutathioneQuery().Len() != 222 {
+		t.Errorf("Glutathione query length %d, want 222", GlutathioneQuery().Len())
+	}
+}
+
+func TestRandomSequenceDeterministic(t *testing.T) {
+	a := RandomSequence("X", 100, 42)
+	b := RandomSequence("X", 100, 42)
+	if a.String() != b.String() {
+		t.Error("RandomSequence not deterministic")
+	}
+	c := RandomSequence("X", 100, 43)
+	if a.String() == c.String() {
+		t.Error("different seeds gave identical sequence")
+	}
+}
+
+func TestDatabaseSubset(t *testing.T) {
+	db := SyntheticDB(DefaultDBSpec(10))
+	sub := db.Subset(4)
+	if sub.NumSeqs() != 4 {
+		t.Errorf("Subset(4) has %d seqs", sub.NumSeqs())
+	}
+	if sub.TotalResidues() >= db.TotalResidues() {
+		t.Error("subset should have fewer residues")
+	}
+	if db.Subset(99).NumSeqs() != 10 {
+		t.Error("oversized subset should clamp")
+	}
+}

@@ -1,0 +1,191 @@
+// Package blast implements a BLASTP-style heuristic protein database
+// search in the structure of NCBI BLAST, the fastest and most memory-
+// hungry of the paper's five workloads: a neighborhood word index over
+// the query, a two-hit diagonal seeding rule, ungapped X-drop
+// extension, gapped extension, and Karlin-Altschul E-value statistics.
+//
+// The components mirror the real program's data structures because the
+// paper's characterization hangs on them: the word lookup table is the
+// large randomly-accessed structure that blows out the L1 cache
+// (Section V-D), and the word-finder inner loop carries the
+// if-then-else chains of Listing 1.
+package blast
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/stats"
+)
+
+// Params configures a BLASTP search. DefaultParams matches the paper's
+// run: BLOSUM62, gap open 10 / extend 1 ("blastp -G 10 -E 1").
+type Params struct {
+	Matrix *bio.Matrix
+	Gaps   bio.GapPenalty
+
+	WordSize  int // word length w (3 for blastp)
+	Threshold int // neighborhood score threshold T
+
+	TwoHit       bool // require two non-overlapping hits on a diagonal
+	TwoHitWindow int  // max distance between the two hits (A)
+
+	XDropUngapped  int // ungapped extension X-drop
+	UngappedCutoff int // min ungapped HSP score to try gapped extension
+	GappedHalfBand int // half-width of the banded gapped extension
+	// GappedWindowMargin bounds the gapped extension to the HSP's
+	// query rows plus this margin, the bounded-work analogue of
+	// NCBI's X-drop gapped termination.
+	GappedWindowMargin int
+
+	MaxEValue float64 // report hits with E-value at or below this
+	// Karlin-Altschul parameters of the scoring system.
+	LambdaUngapped, KUngapped float64
+	LambdaGapped, KGapped     float64
+}
+
+// DefaultParams returns the paper's search configuration. The
+// Karlin-Altschul constants are the standard BLOSUM62 values (ungapped
+// lambda 0.3176 / K 0.134; gapped(10,1) lambda 0.255 / K 0.035).
+func DefaultParams() Params {
+	return Params{
+		Matrix:             bio.Blosum62,
+		Gaps:               bio.PaperGaps,
+		WordSize:           3,
+		Threshold:          11,
+		TwoHit:             true,
+		TwoHitWindow:       40,
+		XDropUngapped:      16,
+		UngappedCutoff:     38,
+		GappedHalfBand:     24,
+		GappedWindowMargin: 48,
+		MaxEValue:          10,
+		LambdaUngapped:     0.3176,
+		KUngapped:          0.134,
+		LambdaGapped:       0.255,
+		KGapped:            0.035,
+	}
+}
+
+// WithEstimatedStatistics replaces the embedded ungapped
+// Karlin-Altschul constants with values derived from the parameter
+// matrix and the SwissProt residue composition via internal/stats,
+// supporting matrices without published tables. Gapped parameters have
+// no closed form; the convention (followed by BLAST itself, which
+// simulates them offline) is to keep tabulated values, so they are
+// left untouched.
+func (p Params) WithEstimatedStatistics() (Params, error) {
+	ka, err := stats.EstimateUngapped(p.Matrix, bio.SwissProtComposition())
+	if err != nil {
+		return p, err
+	}
+	p.LambdaUngapped = ka.Lambda
+	p.KUngapped = ka.K
+	return p, nil
+}
+
+// Hit is one reported database match.
+type Hit struct {
+	Seq      *bio.Sequence
+	Score    int     // gapped raw score
+	BitScore float64 // Karlin-Altschul bit score
+	EValue   float64
+	// Seed HSP information (diagnostics and the paper's selectivity
+	// discussion): the ungapped HSP that triggered gapped extension.
+	UngappedScore int
+	QStart, QEnd  int // ungapped HSP extent in the query
+	SStart, SEnd  int // ungapped HSP extent in the subject
+}
+
+// SearchStats counts the work a search performed, the quantities the
+// heuristic trades against sensitivity (and the knobs the traced
+// workload kernel reproduces).
+type SearchStats struct {
+	WordsScanned      int // database words looked up
+	WordHits          int // (query,db) position pairs found
+	SeedsExtended     int // hits surviving the two-hit rule
+	UngappedHSPs      int // extensions reaching the ungapped cutoff
+	GappedExtensions  int
+	ReportedHits      int
+	DatabaseResidues  int
+	DatabaseSequences int
+}
+
+// Search runs the full BLASTP pipeline of query against db and returns
+// hits sorted by decreasing score, plus the work statistics.
+func Search(db *bio.Database, query *bio.Sequence, p Params) ([]Hit, SearchStats) {
+	idx := NewIndex(query.Residues, p)
+	var stats SearchStats
+	stats.DatabaseSequences = db.NumSeqs()
+	stats.DatabaseResidues = db.TotalResidues()
+	searchSpace := float64(query.Len()) * float64(db.TotalResidues())
+	var hits []Hit
+	scan := NewScanner(idx, query.Residues, p)
+	for _, subject := range db.Seqs {
+		best := scan.ScanSequence(subject.Residues, &stats)
+		if best == nil {
+			continue
+		}
+		evalue := p.KGapped * searchSpace * math.Exp(-p.LambdaGapped*float64(best.Score))
+		if evalue > p.MaxEValue {
+			continue
+		}
+		bits := (p.LambdaGapped*float64(best.Score) - math.Log(p.KGapped)) / math.Ln2
+		hits = append(hits, Hit{
+			Seq:           subject,
+			Score:         best.Score,
+			BitScore:      bits,
+			EValue:        evalue,
+			UngappedScore: best.UngappedScore,
+			QStart:        best.QStart,
+			QEnd:          best.QEnd,
+			SStart:        best.SStart,
+			SEnd:          best.SEnd,
+		})
+		stats.ReportedHits++
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
+	return hits, stats
+}
+
+// SeqResult is the best gapped result for one subject sequence.
+type SeqResult struct {
+	Score         int
+	UngappedScore int
+	QStart, QEnd  int
+	SStart, SEnd  int
+}
+
+// gappedWindow returns the query-row window [r0, r1) the gapped
+// extension explores for an HSP. A strong HSP (twice the trigger
+// score) extends over the whole query — an X-drop extension through a
+// real homolog keeps going — while marginal HSPs explore only the HSP
+// rows plus the margin, which is what bounds BLAST's extension work on
+// chance hits.
+func gappedWindow(p Params, queryLen int, hsp ungappedHSP) (r0, r1 int) {
+	if hsp.score >= 2*p.UngappedCutoff {
+		return 0, queryLen
+	}
+	r0 = hsp.qStart - p.GappedWindowMargin
+	if r0 < 0 {
+		r0 = 0
+	}
+	r1 = hsp.qEnd + p.GappedWindowMargin
+	if r1 > queryLen {
+		r1 = queryLen
+	}
+	return r0, r1
+}
+
+// gappedScore runs the gapped extension: a banded Smith-Waterman
+// centered on the HSP's diagonal over the HSP's row window, the
+// bounded-work stand-in for NCBI's X-drop gapped extension (see
+// DESIGN.md).
+func gappedScore(p Params, query, subject []uint8, hsp ungappedHSP) int {
+	ap := align.Params{Matrix: p.Matrix, Gaps: p.Gaps}
+	center := hsp.sStart - hsp.qStart
+	r0, r1 := gappedWindow(p, len(query), hsp)
+	return align.BandedSWScore(ap, query[r0:r1], subject, center+r0, p.GappedHalfBand)
+}

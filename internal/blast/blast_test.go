@@ -1,0 +1,165 @@
+package blast
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+)
+
+// plantedDB builds a database where some sequences are mutated copies
+// of the query, the ground truth for sensitivity checks.
+func plantedDB(q *bio.Sequence, total, related int) *bio.Database {
+	spec := bio.DefaultDBSpec(total)
+	spec.Related = related
+	spec.RelatedTo = q
+	return bio.SyntheticDB(spec)
+}
+
+func TestSearchFindsPlantedHomologs(t *testing.T) {
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 30, 5)
+	hits, stats := Search(db, q, DefaultParams())
+	if len(hits) < 5 {
+		t.Fatalf("found %d hits, want at least the 5 planted homologs", len(hits))
+	}
+	// The homologs should dominate the top of the ranking.
+	for i := 0; i < 5; i++ {
+		if hits[i].Seq.Desc == "synthetic protein" {
+			t.Errorf("rank %d is an unrelated sequence (score %d)", i, hits[i].Score)
+		}
+	}
+	if stats.WordsScanned == 0 || stats.WordHits == 0 || stats.SeedsExtended == 0 {
+		t.Errorf("implausible stats: %+v", stats)
+	}
+	if stats.DatabaseSequences != 30 {
+		t.Errorf("stats.DatabaseSequences = %d", stats.DatabaseSequences)
+	}
+}
+
+func TestHitsSortedAndScored(t *testing.T) {
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 20, 4)
+	hits, _ := Search(db, q, DefaultParams())
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+	for _, h := range hits {
+		if h.EValue < 0 {
+			t.Errorf("negative E-value %g", h.EValue)
+		}
+		if h.BitScore <= 0 {
+			t.Errorf("non-positive bit score %g for raw %d", h.BitScore, h.Score)
+		}
+		if h.UngappedScore > h.Score {
+			t.Errorf("ungapped %d exceeds gapped %d", h.UngappedScore, h.Score)
+		}
+	}
+	// E-values must rank inversely with scores.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score < hits[i-1].Score && hits[i].EValue < hits[i-1].EValue {
+			t.Fatal("lower score got better E-value")
+		}
+	}
+}
+
+func TestGappedNeverExceedsSW(t *testing.T) {
+	// BLAST's gapped score is a banded (bounded-work) alignment, so it
+	// can never exceed the rigorous Smith-Waterman score — this is the
+	// paper's speed-for-sensitivity tradeoff made precise.
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 15, 3)
+	hits, _ := Search(db, q, DefaultParams())
+	ap := align.PaperParams()
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range hits {
+		sw := align.SWScore(ap, q.Residues, h.Seq.Residues)
+		if h.Score > sw {
+			t.Errorf("%s: blast %d > SW %d", h.Seq.ID, h.Score, sw)
+		}
+		// On strong homologs the heuristic should recover most of it.
+		if sw > 200 && float64(h.Score) < 0.7*float64(sw) {
+			t.Errorf("%s: blast %d recovers too little of SW %d", h.Seq.ID, h.Score, sw)
+		}
+	}
+}
+
+func TestTwoHitReducesSeeds(t *testing.T) {
+	// The two-hit rule exists to cut extension work; verify the
+	// mechanism (this is the ablation DESIGN.md lists).
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 20, 3)
+	oneHit := DefaultParams()
+	oneHit.TwoHit = false
+	twoHit := DefaultParams()
+
+	_, s1 := Search(db, q, oneHit)
+	_, s2 := Search(db, q, twoHit)
+	if s2.SeedsExtended >= s1.SeedsExtended {
+		t.Errorf("two-hit (%d seeds) should extend fewer than one-hit (%d)",
+			s2.SeedsExtended, s1.SeedsExtended)
+	}
+	if s1.WordHits != s2.WordHits {
+		t.Errorf("word hits should not depend on the seeding rule: %d vs %d",
+			s1.WordHits, s2.WordHits)
+	}
+}
+
+func TestUngappedExtensionProperties(t *testing.T) {
+	p := DefaultParams()
+	q := bio.Encode("ACDEFGHIKLMNPQRSTVWYACDEFGHIKL")
+	idx := NewIndex(q, p)
+	sc := NewScanner(idx, q, p)
+	sc.ensure(len(q), len(q))
+	// Self-hit at the diagonal: extension must cover the whole
+	// sequence (every prefix/suffix extends positively for identity).
+	hsp := sc.extendUngapped(q, q, 10, 10)
+	self := 0
+	for _, c := range q {
+		self += p.Matrix.Score(c, c)
+	}
+	if hsp.score != self {
+		t.Errorf("self extension score %d, want %d", hsp.score, self)
+	}
+	if hsp.qStart != 0 || hsp.qEnd != len(q) || hsp.sStart != 0 || hsp.sEnd != len(q) {
+		t.Errorf("self extension bounds: q[%d:%d] s[%d:%d]", hsp.qStart, hsp.qEnd, hsp.sStart, hsp.sEnd)
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	p := DefaultParams()
+	q := bio.NewSequence("Q", "", "ACDEFGHIKL")
+	empty := bio.NewDatabase(nil)
+	hits, stats := Search(empty, q, p)
+	if len(hits) != 0 || stats.WordsScanned != 0 {
+		t.Error("empty database should produce nothing")
+	}
+	tiny := bio.NewDatabase([]*bio.Sequence{bio.NewSequence("T", "", "AC")})
+	hits, _ = Search(tiny, q, p)
+	if len(hits) != 0 {
+		t.Error("subject shorter than the word size cannot hit")
+	}
+}
+
+func TestMaxEValueFilters(t *testing.T) {
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 20, 3)
+	loose := DefaultParams()
+	loose.MaxEValue = 1e6
+	strict := DefaultParams()
+	strict.MaxEValue = 1e-20
+	hl, _ := Search(db, q, loose)
+	hs, _ := Search(db, q, strict)
+	if len(hs) > len(hl) {
+		t.Error("stricter E-value cutoff produced more hits")
+	}
+	for _, h := range hs {
+		if h.EValue > strict.MaxEValue {
+			t.Errorf("hit with E=%g above cutoff", h.EValue)
+		}
+	}
+}

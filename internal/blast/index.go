@@ -1,0 +1,147 @@
+package blast
+
+import "repro/internal/bio"
+
+// wordBase is the radix used to pack residue codes into word keys.
+// Using the full alphabet size keeps packing branch-free; ambiguous
+// residues simply index their own (rarely populated) buckets.
+const wordBase = bio.AlphabetSize
+
+// Index is the neighborhood word lookup table over a query: for every
+// possible database word, the query positions whose word scores at
+// least Threshold against it. This is NCBI BLAST's big lookup
+// structure; it is stored CSR-style (a dense bucket-offset array plus
+// a positions array) to reproduce its size and access pattern: the
+// offset array alone is wordBase^w entries, which at w=3 is 13824
+// buckets — combined with the positions array it comfortably exceeds a
+// 32K L1, which is the root of the paper's "BLAST is memory bound"
+// finding.
+type Index struct {
+	WordSize int
+	// offsets has numWords+1 entries; bucket w spans
+	// positions[offsets[w]:offsets[w+1]].
+	offsets   []int32
+	positions []int32
+	numWords  int
+}
+
+// NewIndex builds the neighborhood index of query under p. Query words
+// containing non-standard residues are indexed only for exact matches.
+func NewIndex(query []uint8, p Params) *Index {
+	w := p.WordSize
+	numWords := 1
+	for i := 0; i < w; i++ {
+		numWords *= wordBase
+	}
+	idx := &Index{WordSize: w, numWords: numWords}
+	if len(query) < w {
+		idx.offsets = make([]int32, numWords+1)
+		return idx
+	}
+
+	// Pass 1: count positions per bucket; pass 2: fill. The
+	// neighborhood of each query word is enumerated once per position
+	// by recursive expansion with score-bound pruning: extending a
+	// partial word can add at most maxScore per remaining residue.
+	counts := make([]int32, numWords+1)
+	maxRow := make([]int, bio.NumStandard) // best score in each matrix row
+	for a := 0; a < bio.NumStandard; a++ {
+		best := p.Matrix.Score(uint8(a), 0)
+		for b := 1; b < bio.NumStandard; b++ {
+			if s := p.Matrix.Score(uint8(a), uint8(b)); s > best {
+				best = s
+			}
+		}
+		maxRow[a] = best
+	}
+
+	forEachNeighbor := func(qpos int, visit func(word int32)) {
+		word := query[qpos : qpos+w]
+		// Bound on the total remaining attainable score from residue
+		// position i onward.
+		remain := make([]int, w+1)
+		exact := true
+		for i := w - 1; i >= 0; i-- {
+			r := word[i]
+			if r >= bio.NumStandard {
+				exact = false
+				break
+			}
+			remain[i] = remain[i+1] + maxRow[r]
+		}
+		if !exact {
+			// Ambiguous query word: index the identity word only.
+			var key int32
+			for i := 0; i < w; i++ {
+				key = key*wordBase + int32(word[i])
+			}
+			visit(key)
+			return
+		}
+		var expand func(i int, key int32, score int)
+		expand = func(i int, key int32, score int) {
+			if i == w {
+				if score >= p.Threshold {
+					visit(key)
+				}
+				return
+			}
+			row := p.Matrix.Row(word[i])
+			for c := 0; c < bio.NumStandard; c++ {
+				s := score + int(row[c])
+				if s+remain[i+1] < p.Threshold {
+					continue
+				}
+				expand(i+1, key*wordBase+int32(c), s)
+			}
+		}
+		expand(0, 0, 0)
+	}
+
+	for qpos := 0; qpos+w <= len(query); qpos++ {
+		forEachNeighbor(qpos, func(word int32) { counts[word+1]++ })
+	}
+	for i := 1; i <= numWords; i++ {
+		counts[i] += counts[i-1]
+	}
+	idx.offsets = counts
+	idx.positions = make([]int32, counts[numWords])
+	cursor := make([]int32, numWords)
+	copy(cursor, counts[:numWords])
+	for qpos := 0; qpos+w <= len(query); qpos++ {
+		qp := int32(qpos)
+		forEachNeighbor(qpos, func(word int32) {
+			idx.positions[cursor[word]] = qp
+			cursor[word]++
+		})
+	}
+	return idx
+}
+
+// Lookup returns the query positions whose neighborhood contains the
+// packed word key. The returned slice aliases the index; callers must
+// not modify it.
+func (idx *Index) Lookup(word int32) []int32 {
+	return idx.positions[idx.offsets[word]:idx.offsets[word+1]]
+}
+
+// NumWords returns the size of the bucket table (wordBase^WordSize).
+func (idx *Index) NumWords() int { return idx.numWords }
+
+// NumEntries returns the total number of (word, query position) pairs.
+func (idx *Index) NumEntries() int { return len(idx.positions) }
+
+// FootprintBytes estimates the index's memory footprint, the quantity
+// that drives BLAST's cache behavior in the paper's Figure 5.
+func (idx *Index) FootprintBytes() int {
+	return 4 * (len(idx.offsets) + len(idx.positions))
+}
+
+// PackWord packs w residue codes starting at s[i] into a word key.
+func PackWord(s []uint8, i, w int) int32 {
+	var key int32
+	for k := 0; k < w; k++ {
+		key = key*wordBase + int32(s[i+k])
+	}
+	return key
+}

@@ -1,0 +1,128 @@
+package blast
+
+import (
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func TestIndexIdentityWordsPresent(t *testing.T) {
+	// Every query word scores maximally against itself, so every query
+	// position must appear in its own word's bucket (identity score of
+	// any 3 standard residues under BLOSUM62 is >= 12 > T=11).
+	p := DefaultParams()
+	q := bio.GlutathioneQuery().Residues
+	idx := NewIndex(q, p)
+	for i := 0; i+p.WordSize <= len(q); i++ {
+		self := 0
+		for k := 0; k < p.WordSize; k++ {
+			self += p.Matrix.Score(q[i+k], q[i+k])
+		}
+		if self < p.Threshold {
+			continue // ambiguous-ish word, identity not guaranteed indexed
+		}
+		word := PackWord(q, i, p.WordSize)
+		found := false
+		for _, pos := range idx.Lookup(word) {
+			if int(pos) == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query position %d missing from its own word bucket", i)
+		}
+	}
+}
+
+func TestIndexRespectsThreshold(t *testing.T) {
+	// Exhaustively verify the neighborhood on a small query: a word w
+	// is in position i's neighborhood iff score(w, query[i:i+3]) >= T.
+	p := DefaultParams()
+	q := bio.Encode("ACDEFGHIKLMNPQRSTVWY")[:8]
+	idx := NewIndex(q, p)
+
+	inIndex := make(map[[2]int32]bool)
+	for w := int32(0); w < int32(idx.NumWords()); w++ {
+		for _, pos := range idx.Lookup(w) {
+			inIndex[[2]int32{w, pos}] = true
+		}
+	}
+	var word [3]uint8
+	for a := uint8(0); a < bio.NumStandard; a++ {
+		for b := uint8(0); b < bio.NumStandard; b++ {
+			for c := uint8(0); c < bio.NumStandard; c++ {
+				word[0], word[1], word[2] = a, b, c
+				key := PackWord(word[:], 0, 3)
+				for i := 0; i+3 <= len(q); i++ {
+					score := p.Matrix.Score(a, q[i]) +
+						p.Matrix.Score(b, q[i+1]) +
+						p.Matrix.Score(c, q[i+2])
+					want := score >= p.Threshold
+					if got := inIndex[[2]int32{key, int32(i)}]; got != want {
+						t.Fatalf("word %v pos %d: indexed=%v, score=%d T=%d",
+							word, i, got, score, p.Threshold)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexThresholdShrinksNeighborhood(t *testing.T) {
+	q := bio.GlutathioneQuery().Residues
+	loose := DefaultParams()
+	loose.Threshold = 9
+	strict := DefaultParams()
+	strict.Threshold = 13
+	if NewIndex(q, strict).NumEntries() >= NewIndex(q, loose).NumEntries() {
+		t.Error("raising T should shrink the neighborhood")
+	}
+}
+
+func TestIndexFootprintExceedsL1(t *testing.T) {
+	// The paper's central claim about BLAST requires the lookup
+	// structure to be bigger than a 32K L1 cache for realistic
+	// queries.
+	p := DefaultParams()
+	q := bio.GlutathioneQuery().Residues
+	idx := NewIndex(q, p)
+	if idx.FootprintBytes() <= 32*1024 {
+		t.Errorf("index footprint %d bytes; expected > 32K for a 222-residue query",
+			idx.FootprintBytes())
+	}
+}
+
+func TestIndexShortQuery(t *testing.T) {
+	p := DefaultParams()
+	idx := NewIndex(bio.Encode("AC"), p) // shorter than the word size
+	if idx.NumEntries() != 0 {
+		t.Error("short query should index nothing")
+	}
+	if got := idx.Lookup(0); len(got) != 0 {
+		t.Error("lookup on empty index should be empty")
+	}
+}
+
+func TestIndexAmbiguousWord(t *testing.T) {
+	// Words containing X are indexed only for their identity.
+	p := DefaultParams()
+	q := bio.Encode("AXA")
+	idx := NewIndex(q, p)
+	if idx.NumEntries() != 1 {
+		t.Fatalf("ambiguous word indexed %d entries, want 1", idx.NumEntries())
+	}
+	hits := idx.Lookup(PackWord(q, 0, 3))
+	if len(hits) != 1 || hits[0] != 0 {
+		t.Errorf("identity lookup = %v", hits)
+	}
+}
+
+func TestPackWordRoundTrip(t *testing.T) {
+	s := bio.Encode("WYV")
+	key := PackWord(s, 0, 3)
+	want := (int32(s[0])*wordBase+int32(s[1]))*wordBase + int32(s[2])
+	if key != want {
+		t.Errorf("PackWord = %d, want %d", key, want)
+	}
+}

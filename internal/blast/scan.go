@@ -1,0 +1,217 @@
+package blast
+
+// The word-finder: scan a subject sequence against the neighborhood
+// index, apply the two-hit diagonal rule, run ungapped X-drop
+// extensions, and trigger gapped extension for strong HSPs. This is
+// the BlastWordFinder stage that the paper's profiling attributes ~75%
+// of BLAST's execution time to.
+
+// ungappedHSP is a high-scoring segment pair found by ungapped
+// extension, in half-open coordinates.
+type ungappedHSP struct {
+	score        int
+	qStart, qEnd int
+	sStart, sEnd int
+}
+
+// Scanner carries the per-database-scan state: the diagonal arrays the
+// two-hit rule and extension-deduplication need. Diagonals use the
+// epoch trick (a generation tag per entry) so that state resets between
+// subject sequences cost O(1), exactly like the real implementation —
+// which is why the diagonal arrays stay resident in cache and the
+// lookup table is what misses.
+type Scanner struct {
+	idx   *Index
+	p     Params
+	query []uint8 // the residues the index was built from
+
+	// lastHit[d]: subject offset of the most recent word hit on
+	// diagonal d (two-hit rule); extended[d]: subject offset up to
+	// which diagonal d is already covered by an extension.
+	lastHit    []int32
+	extended   []int32
+	lastEpoch  []int32
+	extEpoch   []int32
+	epoch      int32
+	diagOffset int // added to (sPos - qPos) to index the arrays
+	queryLen   int
+
+	// Regions already covered by a gapped extension this subject:
+	// an HSP fully inside an existing gapped band and row window is
+	// contained in its alignment and skipped, like NCBI's containment
+	// test.
+	gappedRegions []gappedRegion
+}
+
+// gappedRegion records the band and query-row window one gapped
+// extension explored.
+type gappedRegion struct {
+	center, r0, r1 int
+}
+
+// NewScanner prepares a scanner for subjects of any length against the
+// given index. query must be the residues the index was built from.
+func NewScanner(idx *Index, query []uint8, p Params) *Scanner {
+	return &Scanner{idx: idx, query: query, p: p}
+}
+
+func (sc *Scanner) ensure(subjectLen, queryLen int) {
+	need := subjectLen + queryLen + 1
+	if len(sc.lastHit) < need {
+		sc.lastHit = make([]int32, need)
+		sc.extended = make([]int32, need)
+		sc.lastEpoch = make([]int32, need)
+		sc.extEpoch = make([]int32, need)
+		sc.epoch = 0
+	}
+	sc.diagOffset = queryLen
+	sc.queryLen = queryLen
+	sc.epoch++
+	sc.gappedRegions = sc.gappedRegions[:0]
+}
+
+// gappedCovered reports whether a gapped extension already explored a
+// band and row window containing this HSP.
+func (sc *Scanner) gappedCovered(center, qStart, qEnd int) bool {
+	for _, g := range sc.gappedRegions {
+		d := center - g.center
+		if d < 0 {
+			d = -d
+		}
+		if d <= sc.p.GappedHalfBand && qStart >= g.r0 && qEnd <= g.r1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanSequence scans one subject sequence and returns its best gapped
+// result, or nil if nothing reached the ungapped cutoff.
+func (sc *Scanner) ScanSequence(subject []uint8, stats *SearchStats) *SeqResult {
+	p := sc.p
+	idx := sc.idx
+	w := idx.WordSize
+	query := sc.query
+	if len(subject) < w || len(query) < w {
+		return nil
+	}
+	sc.ensure(len(subject), len(query))
+
+	var best *SeqResult
+	// Incrementally packed word key: key = (key*base + next) mod base^w.
+	var key int32
+	var mod int32 = 1
+	for i := 0; i < w; i++ {
+		mod *= wordBase
+	}
+	for i := 0; i < w-1; i++ {
+		key = key*wordBase + int32(subject[i])
+	}
+	for s := w - 1; s < len(subject); s++ {
+		key = (key*wordBase + int32(subject[s])) % mod
+		stats.WordsScanned++
+		hits := idx.Lookup(key)
+		if len(hits) == 0 {
+			continue
+		}
+		sPos := s - w + 1 // start of this subject word
+		for _, qp := range hits {
+			stats.WordHits++
+			qPos := int(qp)
+			d := sPos - qPos + sc.diagOffset
+
+			// Skip hits already inside an extended region.
+			if sc.extEpoch[d] == sc.epoch && int32(sPos) < sc.extended[d] {
+				continue
+			}
+			if p.TwoHit {
+				prev, seen := int32(-1), false
+				if sc.lastEpoch[d] == sc.epoch {
+					prev, seen = sc.lastHit[d], true
+				}
+				sc.lastHit[d] = int32(sPos)
+				sc.lastEpoch[d] = sc.epoch
+				if !seen || int(prev)+w > sPos || sPos-int(prev) > p.TwoHitWindow {
+					continue
+				}
+			}
+			stats.SeedsExtended++
+			hsp := sc.extendUngapped(query, subject, qPos, sPos)
+			sc.extended[d] = int32(hsp.sEnd)
+			sc.extEpoch[d] = sc.epoch
+			if hsp.score < p.UngappedCutoff {
+				continue
+			}
+			stats.UngappedHSPs++
+			center := hsp.sStart - hsp.qStart
+			if sc.gappedCovered(center, hsp.qStart, hsp.qEnd) {
+				continue
+			}
+			r0, r1 := gappedWindow(p, len(query), hsp)
+			sc.gappedRegions = append(sc.gappedRegions, gappedRegion{center: center, r0: r0, r1: r1})
+			stats.GappedExtensions++
+			gs := gappedScore(p, query, subject, hsp)
+			if best == nil || gs > best.Score {
+				best = &SeqResult{
+					Score:         gs,
+					UngappedScore: hsp.score,
+					QStart:        hsp.qStart,
+					QEnd:          hsp.qEnd,
+					SStart:        hsp.sStart,
+					SEnd:          hsp.sEnd,
+				}
+			}
+		}
+	}
+	return best
+}
+
+// extendUngapped grows a word hit at (qPos, sPos) in both directions
+// along the diagonal, stopping when the running score drops more than
+// XDropUngapped below the best seen (the classic X-drop rule).
+func (sc *Scanner) extendUngapped(query, subject []uint8, qPos, sPos int) ungappedHSP {
+	p := sc.p
+	w := sc.idx.WordSize
+	m := p.Matrix
+
+	// Seed score of the word itself.
+	score := 0
+	for k := 0; k < w; k++ {
+		score += m.Score(query[qPos+k], subject[sPos+k])
+	}
+	best := score
+	qEnd, sEnd := qPos+w, sPos+w
+	bq, bs := qEnd, sEnd
+
+	// Extend right.
+	run := score
+	for qi, si := qEnd, sEnd; qi < len(query) && si < len(subject); qi, si = qi+1, si+1 {
+		run += m.Score(query[qi], subject[si])
+		if run > best {
+			best = run
+			bq, bs = qi+1, si+1
+		}
+		if run <= best-p.XDropUngapped {
+			break
+		}
+	}
+	qEnd, sEnd = bq, bs
+
+	// Extend left from the word start.
+	run = best
+	qStart, sStart := qPos, sPos
+	bq, bs = qStart, sStart
+	for qi, si := qPos-1, sPos-1; qi >= 0 && si >= 0; qi, si = qi-1, si-1 {
+		run += m.Score(query[qi], subject[si])
+		if run > best {
+			best = run
+			bq, bs = qi, si
+		}
+		if run <= best-p.XDropUngapped {
+			break
+		}
+	}
+	qStart, sStart = bq, bs
+
+	return ungappedHSP{score: best, qStart: qStart, qEnd: qEnd, sStart: sStart, sEnd: sEnd}
+}

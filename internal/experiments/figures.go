@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/uarch"
+)
+
+// Fig2Result reproduces Figure 2: the trauma histogram of every
+// application on the 4-way, 32K/32K/1M, real-predictor configuration.
+type Fig2Result struct {
+	Apps    []string
+	Results []*uarch.Result
+}
+
+// Fig2 runs the trauma characterization.
+func Fig2(lab *Lab) *Fig2Result {
+	out := &Fig2Result{}
+	cfg := uarch.Config4Way()
+	for _, name := range AppNames {
+		out.Apps = append(out.Apps, name)
+		out.Results = append(out.Results, lab.Simulate(name, cfg))
+	}
+	return out
+}
+
+// Traumas returns the full trauma vector for one app.
+func (f *Fig2Result) Traumas(app string) [uarch.NumTraumas]uint64 {
+	for i, n := range f.Apps {
+		if n == app {
+			return f.Results[i].Traumas
+		}
+	}
+	return [uarch.NumTraumas]uint64{}
+}
+
+// Render formats the top stall classes per app (the full 56-class
+// vector is available via Traumas).
+func (f *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 2: STALL CYCLES BY TRAUMA (4-way, 32K/32K/1M, real BP)\n")
+	for i, name := range f.Apps {
+		r := f.Results[i]
+		fmt.Fprintf(&b, "%-12s cycles=%d\n", name, r.Cycles)
+		for _, tc := range r.TopTraumas(8) {
+			fmt.Fprintf(&b, "    %-10v %10d (%4.1f%%)\n",
+				tc.Trauma, tc.Cycles, 100*float64(tc.Cycles)/float64(r.Cycles))
+		}
+	}
+	return b.String()
+}
+
+// FigMemGrid holds the width x memory-configuration sweep behind
+// Figures 3 (cycles) and 4 (IPC).
+type FigMemGrid struct {
+	Apps   []string
+	Widths []int
+	Mems   []string
+	Cycles map[string]map[int]map[string]uint64
+	IPC    map[string]map[int]map[string]float64
+}
+
+// Fig3And4 runs the width x memory sweep once; Figure 3 reads the
+// cycle counts, Figure 4 the IPC values.
+func Fig3And4(lab *Lab) *FigMemGrid {
+	mems := uarch.MemoryConfigs()
+	out := &FigMemGrid{
+		Apps:   AppNames,
+		Widths: sweepWidths,
+		Cycles: map[string]map[int]map[string]uint64{},
+		IPC:    map[string]map[int]map[string]float64{},
+	}
+	for _, m := range mems {
+		out.Mems = append(out.Mems, m.Name)
+	}
+	for _, app := range AppNames {
+		out.Cycles[app] = map[int]map[string]uint64{}
+		out.IPC[app] = map[int]map[string]float64{}
+		for _, w := range sweepWidths {
+			out.Cycles[app][w] = map[string]uint64{}
+			out.IPC[app][w] = map[string]float64{}
+			for _, m := range mems {
+				res := lab.Simulate(app, uarch.ConfigByWidth(w).WithMemory(m))
+				out.Cycles[app][w][m.Name] = res.Cycles
+				out.IPC[app][w][m.Name] = res.IPC
+			}
+		}
+	}
+	return out
+}
+
+// RenderCycles formats Figure 3.
+func (f *FigMemGrid) RenderCycles() string {
+	return f.render("FIGURE 3: CYCLES vs MEMORY CONFIGURATION", func(app string, w int, m string) string {
+		return fmt.Sprintf("%11d", f.Cycles[app][w][m])
+	})
+}
+
+// RenderIPC formats Figure 4.
+func (f *FigMemGrid) RenderIPC() string {
+	return f.render("FIGURE 4: IPC vs MEMORY CONFIGURATION", func(app string, w int, m string) string {
+		return fmt.Sprintf("%11.2f", f.IPC[app][w][m])
+	})
+}
+
+func (f *FigMemGrid) render(title string, cell func(string, int, string) string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for _, app := range f.Apps {
+		fmt.Fprintf(&b, "%s\n", app)
+		fmt.Fprintf(&b, "  %-8s", "width")
+		for _, m := range f.Mems {
+			fmt.Fprintf(&b, "%14s", m)
+		}
+		fmt.Fprintln(&b)
+		for _, w := range f.Widths {
+			fmt.Fprintf(&b, "  %-8d", w)
+			for _, m := range f.Mems {
+				fmt.Fprintf(&b, "%14s", cell(app, w, m))
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces Figure 5: DL1 miss rate and IPC vs L1 size.
+type Fig5Result struct {
+	Apps     []string
+	SizesKB  []int
+	MissRate map[string]map[int]float64
+	IPC      map[string]map[int]float64
+}
+
+// Fig5 sweeps the L1 caches from 1K to 2M over a 2M L2 on the 4-way
+// machine, as the paper does.
+func Fig5(lab *Lab) *Fig5Result {
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	out := &Fig5Result{
+		Apps:     AppNames,
+		SizesKB:  sizes,
+		MissRate: map[string]map[int]float64{},
+		IPC:      map[string]map[int]float64{},
+	}
+	for _, app := range AppNames {
+		out.MissRate[app] = map[int]float64{}
+		out.IPC[app] = map[int]float64{}
+		for _, kb := range sizes {
+			cfg := uarch.Config4Way()
+			cfg.Mem.DL1.SizeBytes = kb << 10
+			cfg.Mem.IL1.SizeBytes = kb << 10
+			cfg.Mem.L2.SizeBytes = 2 << 20
+			res := lab.Simulate(app, cfg)
+			out.MissRate[app][kb] = res.DL1MissRate
+			out.IPC[app][kb] = res.IPC
+		}
+	}
+	return out
+}
+
+// Render formats both panels of Figure 5.
+func (f *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 5: DL1 MISS RATE [%] AND IPC vs CACHE SIZE (4-way, L2 2M)")
+	fmt.Fprintf(&b, "%-12s", "size")
+	for _, app := range f.Apps {
+		fmt.Fprintf(&b, "%22s", app)
+	}
+	fmt.Fprintln(&b)
+	for _, kb := range f.SizesKB {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%dK", kb))
+		for _, app := range f.Apps {
+			fmt.Fprintf(&b, "%13.2f%% %6.2f ", 100*f.MissRate[app][kb], f.IPC[app][kb])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig6Result reproduces Figure 6: miss rate and IPC vs associativity.
+type Fig6Result struct {
+	Apps     []string
+	Assocs   []int
+	MissRate map[string]map[int]float64
+	IPC      map[string]map[int]float64
+}
+
+// Fig6 sweeps DL1 associativity at 32K on the 4-way machine.
+func Fig6(lab *Lab) *Fig6Result {
+	out := &Fig6Result{
+		Apps:     AppNames,
+		Assocs:   []int{1, 2, 4, 8},
+		MissRate: map[string]map[int]float64{},
+		IPC:      map[string]map[int]float64{},
+	}
+	for _, app := range AppNames {
+		out.MissRate[app] = map[int]float64{}
+		out.IPC[app] = map[int]float64{}
+		for _, a := range out.Assocs {
+			cfg := uarch.Config4Way()
+			cfg.Mem.DL1.Assoc = a
+			res := lab.Simulate(app, cfg)
+			out.MissRate[app][a] = res.DL1MissRate
+			out.IPC[app][a] = res.IPC
+		}
+	}
+	return out
+}
+
+// Render formats Figure 6.
+func (f *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 6: DL1 MISS RATE [%] AND IPC vs ASSOCIATIVITY (32K DL1)")
+	fmt.Fprintf(&b, "%-8s", "assoc")
+	for _, app := range f.Apps {
+		fmt.Fprintf(&b, "%22s", app)
+	}
+	fmt.Fprintln(&b)
+	for _, a := range f.Assocs {
+		fmt.Fprintf(&b, "%-8d", a)
+		for _, app := range f.Apps {
+			fmt.Fprintf(&b, "%13.2f%% %6.2f ", 100*f.MissRate[app][a], f.IPC[app][a])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig7Result reproduces Figure 7: IPC vs L1 hit latency.
+type Fig7Result struct {
+	Apps      []string
+	Latencies []int
+	IPC       map[string]map[int]float64
+}
+
+// Fig7 sweeps the DL1 hit latency from 1 to 10 cycles.
+func Fig7(lab *Lab) *Fig7Result {
+	out := &Fig7Result{
+		Apps:      AppNames,
+		Latencies: []int{1, 2, 4, 6, 8, 10},
+		IPC:       map[string]map[int]float64{},
+	}
+	for _, app := range AppNames {
+		out.IPC[app] = map[int]float64{}
+		for _, lat := range out.Latencies {
+			cfg := uarch.Config4Way()
+			cfg.Mem.DL1.Latency = lat
+			res := lab.Simulate(app, cfg)
+			out.IPC[app][lat] = res.IPC
+		}
+	}
+	return out
+}
+
+// Render formats Figure 7.
+func (f *Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 7: IPC vs L1 LATENCY (4-way, 32K/32K/1M)")
+	fmt.Fprintf(&b, "%-8s", "latency")
+	for _, app := range f.Apps {
+		fmt.Fprintf(&b, "%12s", app)
+	}
+	fmt.Fprintln(&b)
+	for _, lat := range f.Latencies {
+		fmt.Fprintf(&b, "%-8d", lat)
+		for _, app := range f.Apps {
+			fmt.Fprintf(&b, "%12.2f", f.IPC[app][lat])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/uarch"
+	"repro/internal/uarch/bpred"
+)
+
+// Fig8Result reproduces Figure 8: the speedup of the SIMD variants
+// versus machine width, including the "+1 cycle vector load latency"
+// variant that equalizes load/store bandwidth against the 128-bit
+// version.
+type Fig8Result struct {
+	Widths []int
+	// Speedup[variant][width], relative to SW_vmx128 at each width on
+	// a work-normalized basis (cycles scaled to full-run instruction
+	// counts, since the two kernels execute different counts for the
+	// same alignment work).
+	Speedup map[string]map[int]float64
+}
+
+// Fig8 variants, in the figure's legend order.
+var Fig8Variants = []string{"sw_vmx128", "sw_vmx256", "sw_vmx256+1lat"}
+
+// Fig8 sweeps widths 4, 8, 12, 16 for the two SIMD kernels and the
+// latency-handicapped 256-bit variant.
+func Fig8(lab *Lab) *Fig8Result {
+	out := &Fig8Result{
+		Widths:  []int{4, 8, 12, 16},
+		Speedup: map[string]map[int]float64{},
+	}
+	for _, v := range Fig8Variants {
+		out.Speedup[v] = map[int]float64{}
+	}
+	full128 := float64(lab.Trace("sw_vmx128").FullCount)
+	full256 := float64(lab.Trace("sw_vmx256").FullCount)
+	for _, w := range out.Widths {
+		base := lab.Simulate("sw_vmx128", uarch.ConfigByWidth(w))
+		// Work-normalized full-run time of the 128-bit baseline.
+		t128 := float64(base.Cycles) * full128 / float64(base.Retired)
+
+		r256 := lab.Simulate("sw_vmx256", uarch.ConfigByWidth(w))
+		t256 := float64(r256.Cycles) * full256 / float64(r256.Retired)
+
+		slow := uarch.ConfigByWidth(w)
+		slow.Latency[isa.VLoad]++
+		rSlow := lab.Simulate("sw_vmx256", slow)
+		tSlow := float64(rSlow.Cycles) * full256 / float64(rSlow.Retired)
+
+		out.Speedup["sw_vmx128"][w] = 1.0
+		out.Speedup["sw_vmx256"][w] = t128 / t256
+		out.Speedup["sw_vmx256+1lat"][w] = t128 / tSlow
+	}
+	return out
+}
+
+// Render formats Figure 8.
+func (f *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 8: SPEEDUP vs WIDTH (relative to SW_vmx128, work-normalized)")
+	fmt.Fprintf(&b, "%-18s", "variant")
+	for _, w := range f.Widths {
+		fmt.Fprintf(&b, "%8dW", w)
+	}
+	fmt.Fprintln(&b)
+	for _, v := range Fig8Variants {
+		fmt.Fprintf(&b, "%-18s", v)
+		for _, w := range f.Widths {
+			fmt.Fprintf(&b, "%9.3f", f.Speedup[v][w])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig9Result reproduces Figure 9: IPC under the real predictor versus
+// a perfect predictor, across widths.
+type Fig9Result struct {
+	Apps    []string
+	Widths  []int
+	Real    map[string]map[int]float64
+	Perfect map[string]map[int]float64
+}
+
+// Fig9 runs every workload with the Table VI predictor and with the
+// oracle.
+func Fig9(lab *Lab) *Fig9Result {
+	out := &Fig9Result{
+		Apps:    AppNames,
+		Widths:  sweepWidths,
+		Real:    map[string]map[int]float64{},
+		Perfect: map[string]map[int]float64{},
+	}
+	for _, app := range AppNames {
+		out.Real[app] = map[int]float64{}
+		out.Perfect[app] = map[int]float64{}
+		for _, w := range sweepWidths {
+			out.Real[app][w] = lab.Simulate(app, uarch.ConfigByWidth(w)).IPC
+			out.Perfect[app][w] = lab.Simulate(app,
+				uarch.ConfigByWidth(w).WithPredictor("perfect", 0)).IPC
+		}
+	}
+	return out
+}
+
+// Render formats Figure 9.
+func (f *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 9: PERFECT vs REAL BRANCH PREDICTOR (IPC)")
+	fmt.Fprintf(&b, "%-12s %-6s %10s %10s %8s\n", "app", "width", "perfect", "real", "gain")
+	for _, app := range f.Apps {
+		for _, w := range f.Widths {
+			p, r := f.Perfect[app][w], f.Real[app][w]
+			gain := 0.0
+			if r > 0 {
+				gain = p / r
+			}
+			fmt.Fprintf(&b, "%-12s %-6d %10.2f %10.2f %7.2fx\n", app, w, p, r, gain)
+		}
+	}
+	return b.String()
+}
+
+// Fig10Result reproduces Figure 10: issue-queue utilization and
+// in-flight instruction histograms for FASTA34 and SW_vmx128.
+type Fig10Result struct {
+	Apps    []string
+	Results map[string]*uarch.Result
+}
+
+// Fig10 collects the occupancy histograms on the 4-way machine.
+func Fig10(lab *Lab) *Fig10Result {
+	out := &Fig10Result{
+		Apps:    []string{"fasta34", "sw_vmx128"},
+		Results: map[string]*uarch.Result{},
+	}
+	for _, app := range out.Apps {
+		out.Results[app] = lab.Simulate(app, uarch.Config4Way())
+	}
+	return out
+}
+
+// MeanQueueOcc returns the mean occupancy of one issue queue.
+func (f *Fig10Result) MeanQueueOcc(app string, q uarch.UnitClass) float64 {
+	return uarch.MeanOccupancy(f.Results[app].QueueOcc[q])
+}
+
+// MeanInflight returns the mean in-flight instruction count.
+func (f *Fig10Result) MeanInflight(app string) float64 {
+	return uarch.MeanOccupancy(f.Results[app].InflightOcc)
+}
+
+// Render formats the queue-utilization summaries and histograms.
+func (f *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 10: ISSUE QUEUE AND IN-FLIGHT UTILIZATION (4-way)")
+	queues := []uarch.UnitClass{uarch.UFix, uarch.ULdSt, uarch.UBr, uarch.UVi, uarch.UVper}
+	for _, app := range f.Apps {
+		r := f.Results[app]
+		fmt.Fprintf(&b, "%s: mean in-flight %.1f\n", app, uarch.MeanOccupancy(r.InflightOcc))
+		for _, q := range queues {
+			fmt.Fprintf(&b, "    %-6v queue mean occupancy %.2f\n", q, uarch.MeanOccupancy(r.QueueOcc[q]))
+		}
+		fmt.Fprintf(&b, "    in-flight histogram (cycles at occupancy, 16-wide buckets):\n")
+		hist := r.InflightOcc
+		for base := 0; base < len(hist); base += 16 {
+			var sum uint64
+			for i := base; i < base+16 && i < len(hist); i++ {
+				sum += hist[i]
+			}
+			if sum > 0 {
+				fmt.Fprintf(&b, "      [%3d-%3d] %d\n", base, base+15, sum)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Fig11Result reproduces Figure 11: branch prediction accuracy versus
+// predictor table size per strategy and application.
+type Fig11Result struct {
+	Apps       []string
+	Sizes      []int
+	Strategies []string
+	// Accuracy[app][strategy][size]
+	Accuracy map[string]map[string]map[int]float64
+}
+
+// Fig11 extracts each workload's conditional-branch stream and drives
+// the three predictors directly, the same measurement the paper's
+// "prediction rate" figure makes. The paper plots ssearch34,
+// sw_vmx128, fasta34 and blast.
+func Fig11(lab *Lab) *Fig11Result {
+	out := &Fig11Result{
+		Apps:       []string{"ssearch34", "sw_vmx128", "fasta34", "blast"},
+		Sizes:      []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768},
+		Strategies: []string{"bimodal", "gshare", "gp"},
+		Accuracy:   map[string]map[string]map[int]float64{},
+	}
+	for _, app := range out.Apps {
+		rec := lab.Trace(app)
+		// Collect the conditional branch stream once.
+		var pcs []uint32
+		var outcomes []bool
+		for i := range rec.Insts {
+			in := &rec.Insts[i]
+			if in.Class() == isa.Br && in.Conditional() {
+				pcs = append(pcs, in.PC)
+				outcomes = append(outcomes, in.Taken())
+			}
+		}
+		out.Accuracy[app] = map[string]map[int]float64{}
+		for _, strat := range out.Strategies {
+			out.Accuracy[app][strat] = map[int]float64{}
+			for _, size := range out.Sizes {
+				p, err := bpred.New(strat, size)
+				if err != nil {
+					panic(err)
+				}
+				correct := 0
+				for i, pc := range pcs {
+					if p.Predict(pc) == outcomes[i] {
+						correct++
+					}
+					p.Update(pc, outcomes[i])
+				}
+				acc := 1.0
+				if len(pcs) > 0 {
+					acc = float64(correct) / float64(len(pcs))
+				}
+				out.Accuracy[app][strat][size] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Render formats Figure 11.
+func (f *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "FIGURE 11: BRANCH PREDICTOR ACCURACY [%] vs TABLE SIZE")
+	for _, app := range f.Apps {
+		fmt.Fprintf(&b, "%s\n", app)
+		fmt.Fprintf(&b, "  %-8s", "entries")
+		for _, s := range f.Strategies {
+			fmt.Fprintf(&b, "%10s", strings.ToUpper(s))
+		}
+		fmt.Fprintln(&b)
+		for _, size := range f.Sizes {
+			fmt.Fprintf(&b, "  %-8d", size)
+			for _, s := range f.Strategies {
+				fmt.Fprintf(&b, "%9.1f%%", 100*f.Accuracy[app][s][size])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}

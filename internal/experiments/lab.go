@@ -1,0 +1,105 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section. Each experiment is a function over a Lab — a
+// cache of recorded workload traces at a chosen scale — returning a
+// typed result that renders the same rows/series the paper reports.
+//
+// The mapping from experiment to paper item is in DESIGN.md's
+// per-experiment index; EXPERIMENTS.md records measured-vs-paper
+// values.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// Scale sizes an experiment run: the synthetic database and the
+// simulated trace window. The paper simulates representative windows
+// of full SwissProt runs; we simulate windows of full synthetic-DB
+// runs. Ratios (IPC, miss rates, breakdowns) are stable in scale.
+type Scale struct {
+	Seqs     int    // database sequences
+	TraceCap uint64 // instructions simulated per workload (0 = all)
+}
+
+// TestScale is small enough for unit tests.
+func TestScale() Scale { return Scale{Seqs: 6, TraceCap: 120_000} }
+
+// DefaultScale drives cmd/repro and the benchmarks.
+func DefaultScale() Scale { return Scale{Seqs: 24, TraceCap: 2_000_000} }
+
+// Lab caches one recorded trace per workload at a fixed scale, so each
+// figure's configuration sweep replays rather than regenerates.
+type Lab struct {
+	Scale  Scale
+	Spec   workloads.Spec
+	traces map[string]*Recorded
+}
+
+// Recorded is a captured workload trace plus full-run statistics.
+type Recorded struct {
+	Name      string
+	Insts     []isa.Inst
+	FullCount uint64 // instructions of the uncapped run (Table III)
+	Breakdown [isa.NumBreakdowns]uint64
+	Scores    []int
+}
+
+// NewLab builds a lab over the paper's query/database at this scale.
+func NewLab(scale Scale) *Lab {
+	return &Lab{
+		Scale:  scale,
+		Spec:   workloads.PaperSpec(scale.Seqs),
+		traces: make(map[string]*Recorded),
+	}
+}
+
+// Trace returns the recorded trace of the named workload, generating
+// it on first use.
+func (l *Lab) Trace(name string) *Recorded {
+	if r, ok := l.traces[name]; ok {
+		return r
+	}
+	w, err := workloads.New(name, l.Spec)
+	if err != nil {
+		panic(err)
+	}
+	var rec trace.Recorder
+	var cs trace.CountingSink
+	cap := l.Scale.TraceCap
+	if cap == 0 {
+		cap = 1 << 62
+	}
+	lim := &trace.LimitSink{Inner: &rec, Limit: cap}
+	info := w.Trace(trace.TeeSink{lim, &cs})
+	r := &Recorded{
+		Name:      name,
+		Insts:     rec.Insts,
+		FullCount: cs.Total,
+		Breakdown: cs.Breakdown(),
+		Scores:    info.Scores,
+	}
+	l.traces[name] = r
+	return r
+}
+
+// Simulate replays the named workload's trace through a processor
+// configuration.
+func (l *Lab) Simulate(name string, cfg uarch.Config) *uarch.Result {
+	r := l.Trace(name)
+	res, err := uarch.New(cfg).Run(trace.NewReplay(r.Insts))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", name, cfg.Name, err))
+	}
+	return res
+}
+
+// AppNames lists the workloads in the paper's order.
+var AppNames = workloads.Names
+
+// widths used by the width sweeps (Figures 3, 4, 9).
+var sweepWidths = []int{4, 8, 16}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bio"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/workloads"
+)
+
+// QuerySweepResult extends the paper's evaluation across its full
+// Table II query set. The paper ran all queries but, "for space
+// reasons", reported only Glutathione S-transferase; this experiment
+// verifies that the characterization is stable across query lengths
+// 143-567, which is what justifies reporting one.
+type QuerySweepResult struct {
+	Queries []bio.QueryInfo
+	Apps    []string
+	// Instr[accession][app]: full-run dynamic instructions.
+	Instr map[string]map[string]uint64
+	// IPC[accession][app] on the 4-way me1 configuration.
+	IPC map[string]map[string]float64
+}
+
+// QuerySweep runs every workload for every Table II query at the given
+// scale. It builds its own per-query labs; the caller's lab is not
+// reused because each query changes the workload input.
+func QuerySweep(scale Scale) *QuerySweepResult {
+	out := &QuerySweepResult{
+		Queries: bio.PaperQueryTable,
+		Apps:    AppNames,
+		Instr:   map[string]map[string]uint64{},
+		IPC:     map[string]map[string]float64{},
+	}
+	cfg := uarch.Config4Way()
+	for _, q := range out.Queries {
+		spec := workloads.SpecForQuery(q.Accession, scale.Seqs)
+		out.Instr[q.Accession] = map[string]uint64{}
+		out.IPC[q.Accession] = map[string]float64{}
+		for _, name := range AppNames {
+			w, err := workloads.New(name, spec)
+			if err != nil {
+				panic(err)
+			}
+			var rec trace.Recorder
+			var cs trace.CountingSink
+			cap := scale.TraceCap
+			if cap == 0 {
+				cap = 1 << 62
+			}
+			w.Trace(trace.TeeSink{&trace.LimitSink{Inner: &rec, Limit: cap}, &cs})
+			res, err := uarch.New(cfg).Run(trace.NewReplay(rec.Insts))
+			if err != nil {
+				panic(err)
+			}
+			out.Instr[q.Accession][name] = cs.Total
+			out.IPC[q.Accession][name] = res.IPC
+		}
+	}
+	return out
+}
+
+// Render formats the sweep.
+func (s *QuerySweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "QUERY SWEEP: all Table II queries (instructions / 4-way IPC)")
+	fmt.Fprintf(&b, "%-10s %-5s", "query", "len")
+	for _, app := range s.Apps {
+		fmt.Fprintf(&b, "%20s", app)
+	}
+	fmt.Fprintln(&b)
+	for _, q := range s.Queries {
+		fmt.Fprintf(&b, "%-10s %-5d", q.Accession, q.Length)
+		for _, app := range s.Apps {
+			fmt.Fprintf(&b, "%12d %6.2f ", s.Instr[q.Accession][app], s.IPC[q.Accession][app])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuerySweepStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query sweep in short mode")
+	}
+	s := QuerySweep(Scale{Seqs: 3, TraceCap: 60_000})
+	if len(s.Queries) != 10 {
+		t.Fatalf("swept %d queries, want 10", len(s.Queries))
+	}
+	for _, q := range s.Queries {
+		// The Table III ordering holds for every query.
+		prev := uint64(1 << 62)
+		for _, app := range s.Apps {
+			n := s.Instr[q.Accession][app]
+			if n == 0 {
+				t.Fatalf("%s/%s produced no instructions", q.Accession, app)
+			}
+			if n >= prev {
+				t.Errorf("%s: %s (%d instr) breaks the trace-size ordering", q.Accession, app, n)
+			}
+			prev = n
+		}
+		// The IPC signature holds for every query: SIMD above scalar.
+		if s.IPC[q.Accession]["sw_vmx128"] <= s.IPC[q.Accession]["fasta34"] {
+			t.Errorf("%s: vmx128 IPC %.2f not above fasta %.2f",
+				q.Accession, s.IPC[q.Accession]["sw_vmx128"], s.IPC[q.Accession]["fasta34"])
+		}
+	}
+	// Instruction counts grow with query length for the rigorous apps
+	// (O(m*n) work): the longest query must far exceed the shortest.
+	short := s.Instr["P02232"]["ssearch34"] // 143 aa
+	long := s.Instr["P03435"]["ssearch34"]  // 567 aa
+	if float64(long) < 2.5*float64(short) {
+		t.Errorf("ssearch work should scale with query length: %d vs %d", long, short)
+	}
+	if !strings.Contains(s.Render(), "P14942") {
+		t.Error("render missing query rows")
+	}
+}

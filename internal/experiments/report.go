@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunAll executes every experiment at the lab's scale and writes the
+// full report — the regenerated evaluation section — to w. The
+// progress callback (may be nil) is invoked before each experiment.
+func RunAll(lab *Lab, w io.Writer, progress func(string)) error {
+	step := func(name string, f func() string) error {
+		if progress != nil {
+			progress(name)
+		}
+		start := time.Now()
+		text := f()
+		if _, err := fmt.Fprintf(w, "%s\n(generated in %v)\n\n", text, time.Since(start).Round(time.Millisecond)); err != nil {
+			return err
+		}
+		return nil
+	}
+	steps := []struct {
+		name string
+		f    func() string
+	}{
+		{"Table II", func() string { return TableII().Render() }},
+		{"Table III", func() string { return TableIII(lab).Render() }},
+		{"Figure 1", func() string { return Fig1(lab).Render() }},
+		{"Figure 2", func() string { return Fig2(lab).Render() }},
+		{"Figures 3 and 4", func() string {
+			g := Fig3And4(lab)
+			return g.RenderCycles() + "\n" + g.RenderIPC()
+		}},
+		{"Figure 5", func() string { return Fig5(lab).Render() }},
+		{"Figure 6", func() string { return Fig6(lab).Render() }},
+		{"Figure 7", func() string { return Fig7(lab).Render() }},
+		{"Figure 8", func() string { return Fig8(lab).Render() }},
+		{"Figure 9", func() string { return Fig9(lab).Render() }},
+		{"Figure 10", func() string { return Fig10(lab).Render() }},
+		{"Figure 11", func() string { return Fig11(lab).Render() }},
+	}
+	fmt.Fprintf(w, "REPRODUCTION REPORT: Performance Analysis of Sequence Alignment Applications (IISWC 2006)\n")
+	fmt.Fprintf(w, "scale: %d database sequences, %d-instruction trace windows\n\n",
+		lab.Scale.Seqs, lab.Scale.TraceCap)
+	for _, s := range steps {
+		if err := step(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bio"
+	"repro/internal/isa"
+)
+
+// TableIIResult reproduces Table II: the query sequence set.
+type TableIIResult struct {
+	Rows []bio.QueryInfo
+}
+
+// TableII returns the paper's query set.
+func TableII() *TableIIResult {
+	return &TableIIResult{Rows: bio.PaperQueryTable}
+}
+
+// Render formats the table.
+func (t *TableIIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II: QUERY SEQUENCES\n")
+	fmt.Fprintf(&b, "%-30s %-10s %s\n", "Protein Family", "Accession", "Length")
+	for _, q := range t.Rows {
+		fmt.Fprintf(&b, "%-30s %-10s %d\n", q.Family, q.Accession, q.Length)
+	}
+	return b.String()
+}
+
+// TableIIIResult reproduces Table III: trace sizes per application.
+type TableIIIResult struct {
+	Apps   []string
+	Counts []uint64 // full-run dynamic instruction counts
+}
+
+// TableIII measures the dynamic instruction count of every workload's
+// full run at the lab's scale.
+func TableIII(lab *Lab) *TableIIIResult {
+	out := &TableIIIResult{}
+	for _, name := range AppNames {
+		out.Apps = append(out.Apps, name)
+		out.Counts = append(out.Counts, lab.Trace(name).FullCount)
+	}
+	return out
+}
+
+// Ratio returns app a's count divided by app b's.
+func (t *TableIIIResult) Ratio(a, b string) float64 {
+	var ca, cb uint64
+	for i, n := range t.Apps {
+		if n == a {
+			ca = t.Counts[i]
+		}
+		if n == b {
+			cb = t.Counts[i]
+		}
+	}
+	if cb == 0 {
+		return 0
+	}
+	return float64(ca) / float64(cb)
+}
+
+// Render formats the table.
+func (t *TableIIIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III: TRACE SIZE (instruction count)\n")
+	for i, name := range t.Apps {
+		fmt.Fprintf(&b, "%-12s %12d\n", name, t.Counts[i])
+	}
+	fmt.Fprintf(&b, "ratios: ssearch/vmx128=%.2f  vmx256/vmx128=%.2f  fasta/ssearch=%.3f  blast/ssearch=%.3f\n",
+		t.Ratio("ssearch34", "sw_vmx128"), t.Ratio("sw_vmx256", "sw_vmx128"),
+		t.Ratio("fasta34", "ssearch34"), t.Ratio("blast", "ssearch34"))
+	return b.String()
+}
+
+// Fig1Result reproduces Figure 1: the instruction-class breakdown.
+type Fig1Result struct {
+	Apps      []string
+	Fractions [][isa.NumBreakdowns]float64
+	Counts    [][isa.NumBreakdowns]uint64
+}
+
+// Fig1 measures the instruction breakdown of every workload.
+func Fig1(lab *Lab) *Fig1Result {
+	out := &Fig1Result{}
+	for _, name := range AppNames {
+		r := lab.Trace(name)
+		var frac [isa.NumBreakdowns]float64
+		for i, n := range r.Breakdown {
+			frac[i] = float64(n) / float64(r.FullCount)
+		}
+		out.Apps = append(out.Apps, name)
+		out.Fractions = append(out.Fractions, frac)
+		out.Counts = append(out.Counts, r.Breakdown)
+	}
+	return out
+}
+
+// Fraction returns the share of category cat in app's instruction mix.
+func (f *Fig1Result) Fraction(app string, cat isa.Breakdown) float64 {
+	for i, n := range f.Apps {
+		if n == app {
+			return f.Fractions[i][cat]
+		}
+	}
+	return 0
+}
+
+// Render formats the breakdown.
+func (f *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 1: INSTRUCTION BREAKDOWN (%% of dynamic instructions)\n")
+	fmt.Fprintf(&b, "%-12s", "app")
+	for c := isa.Breakdown(0); c < isa.NumBreakdowns; c++ {
+		fmt.Fprintf(&b, "%9s", c)
+	}
+	fmt.Fprintln(&b)
+	for i, name := range f.Apps {
+		fmt.Fprintf(&b, "%-12s", name)
+		for c := isa.Breakdown(0); c < isa.NumBreakdowns; c++ {
+			fmt.Fprintf(&b, "%8.1f%%", 100*f.Fractions[i][c])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

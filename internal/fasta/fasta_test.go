@@ -1,0 +1,170 @@
+package fasta
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+)
+
+func plantedDB(q *bio.Sequence, total, related int) *bio.Database {
+	spec := bio.DefaultDBSpec(total)
+	spec.Related = related
+	spec.RelatedTo = q
+	return bio.SyntheticDB(spec)
+}
+
+func TestSearchFindsPlantedHomologs(t *testing.T) {
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 30, 5)
+	hits, stats := Search(db, q, DefaultParams())
+	if len(hits) < 5 {
+		t.Fatalf("found %d hits, want at least the 5 planted homologs", len(hits))
+	}
+	for i := 0; i < 5; i++ {
+		if hits[i].Seq.Desc == "synthetic protein" {
+			t.Errorf("rank %d is an unrelated sequence (opt %d)", i, hits[i].Opt)
+		}
+	}
+	if stats.WordsScanned == 0 || stats.WordHits == 0 {
+		t.Errorf("implausible stats: %+v", stats)
+	}
+}
+
+func TestScoreHierarchy(t *testing.T) {
+	// FASTA's classic invariant: init1 <= initn and init1 <= opt, and
+	// opt never exceeds the rigorous Smith-Waterman score.
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 25, 4)
+	hits, _ := Search(db, q, DefaultParams())
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	ap := align.PaperParams()
+	for _, h := range hits {
+		if h.Init1 > h.Initn {
+			t.Errorf("%s: init1 %d > initn %d", h.Seq.ID, h.Init1, h.Initn)
+		}
+		if h.Init1 > h.Opt {
+			t.Errorf("%s: init1 %d > opt %d", h.Seq.ID, h.Init1, h.Opt)
+		}
+		sw := align.SWScore(ap, q.Residues, h.Seq.Residues)
+		if h.Opt > sw {
+			t.Errorf("%s: opt %d exceeds SW %d", h.Seq.ID, h.Opt, sw)
+		}
+		if sw > 200 && float64(h.Opt) < 0.6*float64(sw) {
+			t.Errorf("%s: opt %d recovers too little of SW %d", h.Seq.ID, h.Opt, sw)
+		}
+	}
+}
+
+func TestHitsSorted(t *testing.T) {
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 20, 3)
+	hits, _ := Search(db, q, DefaultParams())
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Opt > hits[i-1].Opt {
+			t.Fatal("hits not sorted by opt")
+		}
+	}
+}
+
+func TestSelfSearchIsTopHit(t *testing.T) {
+	// A database containing the query itself must rank it first with
+	// opt equal to the self Smith-Waterman score.
+	q := bio.GlutathioneQuery()
+	db := bio.NewDatabase([]*bio.Sequence{
+		bio.RandomSequence("D1", 300, 1),
+		{ID: "SELF", Residues: q.Residues},
+		bio.RandomSequence("D2", 300, 2),
+	})
+	hits, _ := Search(db, q, DefaultParams())
+	if len(hits) == 0 || hits[0].Seq.ID != "SELF" {
+		t.Fatal("self sequence not ranked first")
+	}
+	self := 0
+	for _, c := range q.Residues {
+		self += bio.Blosum62.Score(c, c)
+	}
+	if hits[0].Opt != self {
+		t.Errorf("self opt %d, want %d", hits[0].Opt, self)
+	}
+}
+
+func TestKtupTableMatchesQuery(t *testing.T) {
+	p := DefaultParams()
+	q := bio.Encode("ACACAC")
+	sc := NewScanner(q, p)
+	// Word "AC" occurs at positions 0, 2, 4; "CA" at 1, 3.
+	ac := packWord(bio.Encode("AC"), 0, 2)
+	ca := packWord(bio.Encode("CA"), 0, 2)
+	acHits := sc.offsets[ac+1] - sc.offsets[ac]
+	caHits := sc.offsets[ca+1] - sc.offsets[ca]
+	if acHits != 3 || caHits != 2 {
+		t.Errorf("AC hits=%d CA hits=%d, want 3 and 2", acHits, caHits)
+	}
+}
+
+func TestKtupTableIsSmall(t *testing.T) {
+	// The deliberate contrast with BLAST: FASTA's lookup structure for
+	// a paper query is a few KB, well inside any L1 in Table V.
+	q := bio.GlutathioneQuery()
+	sc := NewScanner(q.Residues, DefaultParams())
+	bytes := 4 * (len(sc.offsets) + len(sc.positions))
+	if bytes >= 8*1024 {
+		t.Errorf("ktup table is %d bytes; expected a small cache-resident structure", bytes)
+	}
+}
+
+func TestChainRegions(t *testing.T) {
+	// Two compatible regions chain with one join penalty; an
+	// incompatible region does not chain.
+	rs := []region{
+		{diag: 0, qStart: 0, qEnd: 10, score: 50},
+		{diag: 5, qStart: 20, qEnd: 30, score: 40},
+		{diag: -8, qStart: 5, qEnd: 12, score: 60}, // overlaps the first
+	}
+	got := chainRegions(rs, 14)
+	want := 50 + 40 - 14 // chain of the two compatible regions
+	if got < want {
+		t.Errorf("chain score %d, want at least %d", got, want)
+	}
+	single := chainRegions(rs[:1], 14)
+	if single != 50 {
+		t.Errorf("single region chain = %d", single)
+	}
+	if chainRegions(nil, 14) != 0 {
+		t.Error("empty chain should be 0")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	p := DefaultParams()
+	q := bio.NewSequence("Q", "", "ACDEFGHIKL")
+	empty := bio.NewDatabase(nil)
+	hits, stats := Search(empty, q, p)
+	if len(hits) != 0 || stats.WordsScanned != 0 {
+		t.Error("empty database should produce nothing")
+	}
+	tiny := bio.NewDatabase([]*bio.Sequence{bio.NewSequence("T", "", "A")})
+	if hits, _ := Search(tiny, q, p); len(hits) != 0 {
+		t.Error("subject shorter than ktup cannot hit")
+	}
+}
+
+func TestOptCutoffControlsWork(t *testing.T) {
+	q := bio.GlutathioneQuery()
+	db := plantedDB(q, 25, 3)
+	cheap := DefaultParams()
+	cheap.OptCutoff = 1 << 30 // never optimize
+	full := DefaultParams()
+	full.OptCutoff = 0 // always optimize
+	_, sc := Search(db, q, cheap)
+	_, sf := Search(db, q, full)
+	if sc.OptComputed != 0 {
+		t.Errorf("cutoff %d still computed %d opts", cheap.OptCutoff, sc.OptComputed)
+	}
+	if sf.OptComputed == 0 {
+		t.Error("zero cutoff computed no opts")
+	}
+}

@@ -1,0 +1,286 @@
+package fasta
+
+import (
+	"sort"
+
+	"repro/internal/bio"
+)
+
+// The FASTA scan machinery: ktup lookup table over the query, diagonal
+// run accumulation with epoch-tagged arrays, region rescoring (init1),
+// region chaining (initn) and the banded opt trigger.
+
+const tableBase = bio.AlphabetSize
+
+// region is a closed diagonal hit run.
+type region struct {
+	diag   int // subject pos - query pos
+	qStart int
+	qEnd   int // exclusive
+	score  int // run score from the scan stage, then rescored value
+}
+
+// Scanner holds the query-derived lookup table and reusable per-subject
+// state for FASTA scans.
+type Scanner struct {
+	p     Params
+	query []uint8
+
+	// ktup lookup table, CSR layout: bucket w spans
+	// positions[offsets[w]:offsets[w+1]]. At ktup=2 this is 576+1
+	// offsets — a few KB that stay cache-resident, in deliberate
+	// contrast to BLAST's neighborhood table.
+	offsets   []int32
+	positions []int32
+
+	// Diagonal run state, epoch-tagged so per-subject reset is O(1).
+	lastPos  []int32 // subject offset of the last hit in the open run
+	runScore []int32
+	runStart []int32 // query offset where the open run started
+	diagTag  []int32
+	epoch    int32
+
+	regions []region // scratch, reused across subjects
+}
+
+// NewScanner builds the ktup table for query.
+func NewScanner(query []uint8, p Params) *Scanner {
+	sc := &Scanner{p: p, query: query}
+	k := p.Ktup
+	numWords := 1
+	for i := 0; i < k; i++ {
+		numWords *= tableBase
+	}
+	counts := make([]int32, numWords+1)
+	if len(query) >= k {
+		for i := 0; i+k <= len(query); i++ {
+			counts[packWord(query, i, k)+1]++
+		}
+	}
+	for i := 1; i <= numWords; i++ {
+		counts[i] += counts[i-1]
+	}
+	sc.offsets = counts
+	sc.positions = make([]int32, counts[numWords])
+	cursor := make([]int32, numWords)
+	copy(cursor, counts[:numWords])
+	if len(query) >= k {
+		for i := 0; i+k <= len(query); i++ {
+			w := packWord(query, i, k)
+			sc.positions[cursor[w]] = int32(i)
+			cursor[w]++
+		}
+	}
+	return sc
+}
+
+func packWord(s []uint8, i, k int) int32 {
+	var key int32
+	for j := 0; j < k; j++ {
+		key = key*tableBase + int32(s[i+j])
+	}
+	return key
+}
+
+func (sc *Scanner) ensure(subjectLen int) {
+	need := subjectLen + len(sc.query) + 1
+	if len(sc.lastPos) < need {
+		sc.lastPos = make([]int32, need)
+		sc.runScore = make([]int32, need)
+		sc.runStart = make([]int32, need)
+		sc.diagTag = make([]int32, need)
+		sc.epoch = 0
+	}
+	sc.epoch++
+}
+
+// ScanSequence runs the full FASTA pipeline on one subject and returns
+// its scores (Seq field left nil for the caller to fill).
+func (sc *Scanner) ScanSequence(subject []uint8, stats *SearchStats) Hit {
+	p := sc.p
+	k := p.Ktup
+	m := len(sc.query)
+	if len(subject) < k || m < k {
+		return Hit{}
+	}
+	sc.ensure(len(subject))
+	sc.regions = sc.regions[:0]
+	diagOffset := m
+
+	// Stage 1: ktup scan accumulating diagonal runs.
+	var key int32
+	var mod int32 = 1
+	for i := 0; i < k; i++ {
+		mod *= tableBase
+	}
+	for i := 0; i < k-1; i++ {
+		key = key*tableBase + int32(subject[i])
+	}
+	wordScore := int32(2 * k) // flat per-hit run contribution
+	for s := k - 1; s < len(subject); s++ {
+		key = (key*tableBase + int32(subject[s])) % mod
+		stats.WordsScanned++
+		start := sc.offsets[key]
+		end := sc.offsets[key+1]
+		for pi := start; pi < end; pi++ {
+			stats.WordHits++
+			q := int(sc.positions[pi])
+			sPos := s - k + 1
+			d := sPos - q + diagOffset
+			if sc.diagTag[d] == sc.epoch {
+				gap := int32(sPos) - sc.lastPos[d]
+				if gap <= int32(p.RunGap) {
+					// Continue the open run: overlapping words only
+					// contribute their new residues; skipped residues
+					// pay the per-residue run penalty.
+					add := gap * 2
+					if gap > int32(k) {
+						add = wordScore - (gap-int32(k))*int32(p.RunPenalty)
+					}
+					sc.runScore[d] += add
+					sc.lastPos[d] = int32(sPos)
+					continue
+				}
+				// Close the open run and start a new one.
+				sc.closeRun(d, diagOffset, stats)
+			}
+			sc.diagTag[d] = sc.epoch
+			sc.runScore[d] = wordScore
+			sc.runStart[d] = int32(q)
+			sc.lastPos[d] = int32(sPos)
+		}
+	}
+	// Close every run still open at the end of the subject.
+	for d := range sc.diagTag {
+		if sc.diagTag[d] == sc.epoch && sc.runScore[d] > 0 {
+			sc.closeRun(d, diagOffset, stats)
+		}
+	}
+	if len(sc.regions) == 0 {
+		return Hit{}
+	}
+
+	// Keep only the MaxRegions best scan regions ("savemax").
+	regions := sc.regions
+	if len(regions) > p.MaxRegions {
+		// Partial selection: simple insertion of top-k, the lists are
+		// short (tens of entries).
+		sortRegionsByScore(regions)
+		regions = regions[:p.MaxRegions]
+	}
+
+	// Stage 2: rescore regions with the substitution matrix (init1 is
+	// the best single rescored region).
+	init1 := 0
+	bestDiag := 0
+	for i := range regions {
+		stats.RegionsRescored++
+		r := &regions[i]
+		r.score = sc.rescore(subject, r, k)
+		if r.score > init1 {
+			init1 = r.score
+			bestDiag = r.diag
+		}
+	}
+
+	// Stage 3: chain compatible regions (initn).
+	initn := chainRegions(regions, p.JoinPenalty)
+	if init1 > initn {
+		initn = init1
+	}
+
+	// Stage 4: banded optimization around the best region's diagonal.
+	opt := init1
+	if init1 >= p.OptCutoff {
+		stats.OptComputed++
+		opt = optScore(p, sc.query, subject, bestDiag)
+		if opt < init1 {
+			opt = init1
+		}
+	}
+	return Hit{Init1: init1, Initn: initn, Opt: opt}
+}
+
+// closeRun records the open run on diagonal d as a region and clears
+// its score so the final sweep does not double-count it.
+func (sc *Scanner) closeRun(d, diagOffset int, stats *SearchStats) {
+	stats.RunsClosed++
+	qStart := int(sc.runStart[d])
+	// Run covered query positions qStart .. lastPos-diag inclusive.
+	qEnd := int(sc.lastPos[d]) - (d - diagOffset) + sc.p.Ktup
+	sc.regions = append(sc.regions, region{
+		diag:   d - diagOffset,
+		qStart: qStart,
+		qEnd:   qEnd,
+		score:  int(sc.runScore[d]),
+	})
+	sc.runScore[d] = 0
+}
+
+// rescore computes the best contiguous substitution-score sum (Kadane)
+// along the region's diagonal span, slightly widened — this is FASTA's
+// init1 rescoring of scan regions with the real matrix.
+func (sc *Scanner) rescore(subject []uint8, r *region, k int) int {
+	const margin = 8
+	m := sc.p.Matrix
+	qs := r.qStart - margin
+	if qs < 0 {
+		qs = 0
+	}
+	qe := r.qEnd + margin
+	if qe > len(sc.query) {
+		qe = len(sc.query)
+	}
+	best, run := 0, 0
+	for q := qs; q < qe; q++ {
+		s := q + r.diag
+		if s < 0 {
+			continue
+		}
+		if s >= len(subject) {
+			break
+		}
+		run += m.Score(sc.query[q], subject[s])
+		if run < 0 {
+			run = 0
+		}
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// chainRegions computes the best chain of strictly-ordered regions
+// (both query and subject coordinates increasing) with a flat join
+// penalty per link: FASTA's initn.
+func chainRegions(regions []region, joinPenalty int) int {
+	if len(regions) == 0 {
+		return 0
+	}
+	rs := make([]region, len(regions))
+	copy(rs, regions)
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].qStart < rs[j].qStart })
+	best := 0
+	chain := make([]int, len(rs))
+	for i := range rs {
+		chain[i] = rs[i].score
+		for j := 0; j < i; j++ {
+			if rs[j].qEnd <= rs[i].qStart &&
+				rs[j].qEnd+rs[j].diag <= rs[i].qStart+rs[i].diag {
+				if v := chain[j] + rs[i].score - joinPenalty; v > chain[i] {
+					chain[i] = v
+				}
+			}
+		}
+		if chain[i] > best {
+			best = chain[i]
+		}
+	}
+	return best
+}
+
+// sortRegionsByScore orders regions by decreasing scan score.
+func sortRegionsByScore(rs []region) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
+}

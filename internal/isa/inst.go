@@ -1,0 +1,91 @@
+package isa
+
+import "fmt"
+
+// Inst is one dynamic instruction of a trace. The struct is packed to
+// 16 bytes so that multi-million-instruction traces stay cheap to
+// record and replay.
+type Inst struct {
+	PC   uint32 // static instruction address
+	Addr uint32 // memory effective address, or branch target for Br
+	Meta uint16 // class | flags | access-size (see below)
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	_    uint8 // padding, keeps the struct at 16 bytes
+}
+
+// Meta layout.
+const (
+	metaClassMask = 0x000f
+	metaTaken     = 0x0010
+	metaCond      = 0x0020
+	metaSizeShift = 6
+	metaSizeMask  = 0x7 << metaSizeShift // log2 of the access size
+)
+
+// Make assembles an instruction. size (memory ops only) must be a
+// power of two up to 128 bytes.
+func Make(pc uint32, class Class, dst, src1, src2 Reg) Inst {
+	return Inst{PC: pc, Meta: uint16(class), Dst: dst, Src1: src1, Src2: src2}
+}
+
+// Class returns the execution class.
+func (in *Inst) Class() Class { return Class(in.Meta & metaClassMask) }
+
+// Taken reports the actual branch outcome (branches only).
+func (in *Inst) Taken() bool { return in.Meta&metaTaken != 0 }
+
+// Conditional reports whether the branch is conditional.
+func (in *Inst) Conditional() bool { return in.Meta&metaCond != 0 }
+
+// SetBranch marks the instruction as a branch with the given
+// conditionality, outcome and target.
+func (in *Inst) SetBranch(conditional, taken bool, target uint32) {
+	in.Addr = target
+	if conditional {
+		in.Meta |= metaCond
+	}
+	if taken {
+		in.Meta |= metaTaken
+	}
+}
+
+// Size returns the memory access size in bytes (memory ops only).
+func (in *Inst) Size() int {
+	return 1 << ((in.Meta & metaSizeMask) >> metaSizeShift)
+}
+
+// SetMem records the effective address and access size of a memory op.
+func (in *Inst) SetMem(addr uint32, size int) {
+	log2 := uint16(0)
+	for s := size; s > 1; s >>= 1 {
+		log2++
+	}
+	if 1<<log2 != size || log2 > 7 {
+		panic(fmt.Sprintf("isa: invalid access size %d", size))
+	}
+	in.Addr = addr
+	in.Meta = (in.Meta &^ metaSizeMask) | (log2 << metaSizeShift)
+}
+
+func (in Inst) String() string {
+	c := in.Class()
+	switch {
+	case c == Br:
+		dir := "not-taken"
+		if in.Taken() {
+			dir = "taken"
+		}
+		kind := "uncond"
+		if in.Conditional() {
+			kind = "cond"
+		}
+		return fmt.Sprintf("%08x %s %s->%08x (%s) src=%s", in.PC, c, kind, in.Addr, dir, in.Src1)
+	case c.IsMem():
+		return fmt.Sprintf("%08x %s addr=%08x size=%d dst=%s src=%s,%s",
+			in.PC, c, in.Addr, in.Size(), in.Dst, in.Src1, in.Src2)
+	default:
+		return fmt.Sprintf("%08x %s dst=%s src=%s,%s", in.PC, c, in.Dst, in.Src1, in.Src2)
+	}
+}

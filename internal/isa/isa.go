@@ -1,0 +1,115 @@
+// Package isa defines the abstract PowerPC+Altivec-like instruction
+// set the traced workloads are written in and the cycle simulator
+// executes. It is deliberately minimal: an instruction carries exactly
+// the information micro-architecture simulation needs — a static PC,
+// an execution class, register operands, a memory address, and branch
+// outcome/target — matching what the paper's Aria/MET trace tool
+// captured for Turandot.
+package isa
+
+import "fmt"
+
+// Class is the execution class of an instruction. The classes are the
+// Turandot instruction categories the paper's tables and trauma
+// taxonomy use: scalar fixed-point (split into simple, logical and
+// complex), scalar memory, branch, scalar float, and the five Altivec
+// classes.
+type Class uint8
+
+// Instruction classes.
+const (
+	Fix     Class = iota // integer add/sub/compare ("ialu")
+	Log                  // integer logical/shift (also "ialu" in Fig. 1)
+	Cmplx                // integer multiply/divide
+	Load                 // scalar load ("iload")
+	Store                // scalar store ("istore")
+	Br                   // branch or jump ("ctrl")
+	Fpu                  // scalar floating point ("other")
+	VLoad                // vector load
+	VStore               // vector store
+	VSimple              // vector simple integer (VI units)
+	VPerm                // vector permute (VPER units)
+	VCmplx               // vector complex integer (VCMPLX units)
+	VFpu                 // vector float (VFP units)
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"fix", "log", "cmplx", "load", "store", "br", "fpu",
+	"vload", "vstore", "vsimple", "vperm", "vcmplx", "vfpu",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool {
+	return c == Load || c == Store || c == VLoad || c == VStore
+}
+
+// IsStore reports whether the class writes data memory.
+func (c Class) IsStore() bool { return c == Store || c == VStore }
+
+// IsLoad reports whether the class reads data memory.
+func (c Class) IsLoad() bool { return c == Load || c == VLoad }
+
+// IsVector reports whether the class executes in the Altivec unit pool.
+func (c Class) IsVector() bool { return c >= VLoad }
+
+// Breakdown is the Figure 1 instruction-histogram category.
+type Breakdown uint8
+
+// Figure 1 categories, in the legend's order.
+const (
+	BkOther Breakdown = iota
+	BkCtrl
+	BkVPerm
+	BkVSimple
+	BkVLoad
+	BkVStore
+	BkILoad
+	BkIStore
+	BkIALU
+	NumBreakdowns
+)
+
+var breakdownNames = [NumBreakdowns]string{
+	"other", "ctrl", "vperm", "vsimple", "vload", "vstore", "iload", "istore", "ialu",
+}
+
+func (b Breakdown) String() string {
+	if int(b) < len(breakdownNames) {
+		return breakdownNames[b]
+	}
+	return fmt.Sprintf("Breakdown(%d)", uint8(b))
+}
+
+// BreakdownOf maps an execution class to its Figure 1 category.
+// Complex-integer and vector-complex fold into ialu/vsimple the way the
+// paper's histogram groups them; scalar float counts as "other".
+func BreakdownOf(c Class) Breakdown {
+	switch c {
+	case Fix, Log, Cmplx:
+		return BkIALU
+	case Load:
+		return BkILoad
+	case Store:
+		return BkIStore
+	case Br:
+		return BkCtrl
+	case VLoad:
+		return BkVLoad
+	case VStore:
+		return BkVStore
+	case VSimple, VCmplx:
+		return BkVSimple
+	case VPerm:
+		return BkVPerm
+	default:
+		return BkOther
+	}
+}

@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                          Class
+		mem, load, store, vec, brn bool
+	}{
+		{Fix, false, false, false, false, false},
+		{Load, true, true, false, false, false},
+		{Store, true, false, true, false, false},
+		{VLoad, true, true, false, true, false},
+		{VStore, true, false, true, true, false},
+		{VSimple, false, false, false, true, false},
+		{VPerm, false, false, false, true, false},
+		{Br, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.c.IsMem() != c.mem || c.c.IsLoad() != c.load || c.c.IsStore() != c.store {
+			t.Errorf("%v memory predicates wrong", c.c)
+		}
+		if c.c.IsVector() != c.vec {
+			t.Errorf("%v IsVector() = %v", c.c, c.c.IsVector())
+		}
+		if (c.c == Br) != c.brn {
+			t.Errorf("%v branch predicate wrong", c.c)
+		}
+	}
+}
+
+func TestBreakdownCoversAllClasses(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		b := BreakdownOf(c)
+		if b >= NumBreakdowns {
+			t.Errorf("class %v maps to invalid breakdown %d", c, b)
+		}
+		if len(c.String()) == 0 || len(b.String()) == 0 {
+			t.Errorf("class %v has empty name", c)
+		}
+	}
+	if BreakdownOf(Fix) != BkIALU || BreakdownOf(Log) != BkIALU || BreakdownOf(Cmplx) != BkIALU {
+		t.Error("integer classes must fold into ialu")
+	}
+	if BreakdownOf(Fpu) != BkOther {
+		t.Error("scalar float folds into other")
+	}
+}
+
+func TestInstEncodingRoundTrip(t *testing.T) {
+	in := Make(0x1000, Load, GPR(3), GPR(4), RegNone)
+	in.SetMem(0xdeadbeef&^0x3, 8)
+	if in.Class() != Load || in.Size() != 8 || in.Addr != 0xdeadbeef&^0x3 {
+		t.Errorf("memory encoding lost: %v", in)
+	}
+	br := Make(0x2000, Br, RegNone, GPR(1), RegNone)
+	br.SetBranch(true, true, 0x3000)
+	if !br.Conditional() || !br.Taken() || br.Addr != 0x3000 {
+		t.Errorf("branch encoding lost: %v", br)
+	}
+	nt := Make(0x2004, Br, RegNone, GPR(1), RegNone)
+	nt.SetBranch(true, false, 0x3000)
+	if nt.Taken() {
+		t.Error("not-taken branch reads as taken")
+	}
+}
+
+func TestInstSizeEncoding(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 8, 16, 32, 128} {
+		in := Make(0, Load, GPR(1), RegNone, RegNone)
+		in.SetMem(0x100, size)
+		if in.Size() != size {
+			t.Errorf("size %d round-trips to %d", size, in.Size())
+		}
+	}
+}
+
+func TestInstInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two size")
+		}
+	}()
+	in := Make(0, Load, GPR(1), RegNone, RegNone)
+	in.SetMem(0, 3)
+}
+
+func TestRegOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for register index 32")
+		}
+	}()
+	_ = GPR(32)
+}
+
+func TestInstIs16Bytes(t *testing.T) {
+	// The trace format is sized for multi-million instruction runs.
+	var in Inst
+	if got := int(unsafeSizeof(in)); got != 16 {
+		t.Errorf("Inst is %d bytes, want 16", got)
+	}
+}
+
+func unsafeSizeof(in Inst) uintptr {
+	// small wrapper so the test file avoids importing unsafe at top
+	// level more than once
+	return sizeofInst(in)
+}
+
+func TestMetaFlagsDoNotCollide(t *testing.T) {
+	f := func(taken, cond bool, sizeLog uint8) bool {
+		in := Make(0, Br, RegNone, GPR(1), RegNone)
+		in.SetBranch(cond, taken, 0x40)
+		return in.Taken() == taken && in.Conditional() == cond && in.Class() == Br
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

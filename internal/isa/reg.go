@@ -1,0 +1,105 @@
+package isa
+
+import "fmt"
+
+// Reg names an architectural register: 32 general-purpose (GPR), 32
+// floating-point (FPR) and 32 vector (VPR) registers, like the
+// PowerPC/Altivec register files the paper's processor models rename
+// (Table IV's GPR/VPR/FPR physical pools). Reg 0 is "no register".
+type Reg uint8
+
+// RegNone marks an absent operand.
+const RegNone Reg = 0
+
+// Register file boundaries within the Reg encoding.
+const (
+	gprBase = 1
+	fprBase = 33
+	vprBase = 65
+	regEnd  = 97
+	// NumArchRegs is the number of architectural registers per file.
+	NumArchRegs = 32
+)
+
+// File identifies a register file.
+type File uint8
+
+// Register files.
+const (
+	FileNone File = iota
+	FileGPR
+	FileFPR
+	FileVPR
+)
+
+func (f File) String() string {
+	switch f {
+	case FileGPR:
+		return "gpr"
+	case FileFPR:
+		return "fpr"
+	case FileVPR:
+		return "vpr"
+	default:
+		return "none"
+	}
+}
+
+// GPR returns general-purpose register i (0..31).
+func GPR(i int) Reg { return mk(gprBase, i) }
+
+// FPR returns floating-point register i (0..31).
+func FPR(i int) Reg { return mk(fprBase, i) }
+
+// VPR returns vector register i (0..31).
+func VPR(i int) Reg { return mk(vprBase, i) }
+
+func mk(base, i int) Reg {
+	if i < 0 || i >= NumArchRegs {
+		panic(fmt.Sprintf("isa: register index %d out of range", i))
+	}
+	return Reg(base + i)
+}
+
+// File returns the register file r belongs to.
+func (r Reg) File() File {
+	switch {
+	case r == RegNone:
+		return FileNone
+	case r < fprBase:
+		return FileGPR
+	case r < vprBase:
+		return FileFPR
+	case r < regEnd:
+		return FileVPR
+	default:
+		return FileNone
+	}
+}
+
+// Index returns the register's index within its file.
+func (r Reg) Index() int {
+	switch r.File() {
+	case FileGPR:
+		return int(r - gprBase)
+	case FileFPR:
+		return int(r - fprBase)
+	case FileVPR:
+		return int(r - vprBase)
+	default:
+		return -1
+	}
+}
+
+func (r Reg) String() string {
+	switch r.File() {
+	case FileGPR:
+		return fmt.Sprintf("r%d", r.Index())
+	case FileFPR:
+		return fmt.Sprintf("f%d", r.Index())
+	case FileVPR:
+		return fmt.Sprintf("v%d", r.Index())
+	default:
+		return "-"
+	}
+}

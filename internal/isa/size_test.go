@@ -1,0 +1,6 @@
+package isa
+
+import "unsafe"
+
+// sizeofInst reports the in-memory size of an instruction (test helper).
+func sizeofInst(in Inst) uintptr { return unsafe.Sizeof(in) }

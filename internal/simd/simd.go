@@ -1,0 +1,221 @@
+// Package simd emulates the Altivec-style SIMD engine the paper's
+// parallel Smith-Waterman implementations run on: fixed-width vectors
+// of signed 16-bit lanes with the saturating add/subtract, max, splat
+// and lane-shift (permute) operations the VMX kernels use.
+//
+// Two widths are provided, mirroring the paper's two hardware targets:
+// 128-bit registers (8 lanes, the real Altivec) and the paper's
+// "futuristic" 256-bit extension (16 lanes). A Vec is a slice of lanes
+// behind a fixed-width façade: operations verify width agreement so an
+// algorithm written for one width runs unchanged at the other, exactly
+// like recompiling the VMX kernel for wider registers.
+package simd
+
+import "fmt"
+
+// Lane widths of the two register files the paper evaluates.
+const (
+	Lanes128 = 8  // 128-bit Altivec register: 8 x int16
+	Lanes256 = 16 // 256-bit futuristic register: 16 x int16
+)
+
+// MaxInt16 and MinInt16 are the saturation bounds of a lane.
+const (
+	MaxInt16 = 1<<15 - 1
+	MinInt16 = -(1 << 15)
+)
+
+// Vec is a SIMD register value: a fixed number of int16 lanes. Lane 0
+// is the "leftmost" element. Vecs are values; operations return new
+// Vecs and never alias their inputs.
+type Vec struct {
+	lanes []int16
+}
+
+// New returns a zero vector with the given lane count (Lanes128 or
+// Lanes256; any positive width is accepted for testability).
+func New(width int) Vec {
+	if width <= 0 {
+		panic(fmt.Sprintf("simd: invalid vector width %d", width))
+	}
+	return Vec{lanes: make([]int16, width)}
+}
+
+// Splat returns a vector with every lane set to v (vspltish).
+func Splat(width int, v int16) Vec {
+	out := New(width)
+	for i := range out.lanes {
+		out.lanes[i] = v
+	}
+	return out
+}
+
+// FromSlice builds a vector from the given lane values (copied).
+func FromSlice(vals []int16) Vec {
+	out := New(len(vals))
+	copy(out.lanes, vals)
+	return out
+}
+
+// Width returns the lane count.
+func (v Vec) Width() int { return len(v.lanes) }
+
+// Lane returns lane i.
+func (v Vec) Lane(i int) int16 { return v.lanes[i] }
+
+// Lanes returns a copy of the lane values.
+func (v Vec) Lanes() []int16 {
+	out := make([]int16, len(v.lanes))
+	copy(out, v.lanes)
+	return out
+}
+
+// String renders the lanes for debugging.
+func (v Vec) String() string { return fmt.Sprintf("%v", v.lanes) }
+
+func (v Vec) check(o Vec, op string) {
+	if len(v.lanes) != len(o.lanes) {
+		panic(fmt.Sprintf("simd: %s width mismatch %d vs %d", op, len(v.lanes), len(o.lanes)))
+	}
+}
+
+func sat(x int32) int16 {
+	if x > MaxInt16 {
+		return MaxInt16
+	}
+	if x < MinInt16 {
+		return MinInt16
+	}
+	return int16(x)
+}
+
+// AddSat is the lane-wise signed saturating add (vaddshs).
+func (v Vec) AddSat(o Vec) Vec {
+	v.check(o, "AddSat")
+	out := New(len(v.lanes))
+	for i := range out.lanes {
+		out.lanes[i] = sat(int32(v.lanes[i]) + int32(o.lanes[i]))
+	}
+	return out
+}
+
+// SubSat is the lane-wise signed saturating subtract (vsubshs).
+func (v Vec) SubSat(o Vec) Vec {
+	v.check(o, "SubSat")
+	out := New(len(v.lanes))
+	for i := range out.lanes {
+		out.lanes[i] = sat(int32(v.lanes[i]) - int32(o.lanes[i]))
+	}
+	return out
+}
+
+// Max is the lane-wise signed maximum (vmaxsh).
+func (v Vec) Max(o Vec) Vec {
+	v.check(o, "Max")
+	out := New(len(v.lanes))
+	for i := range out.lanes {
+		if v.lanes[i] >= o.lanes[i] {
+			out.lanes[i] = v.lanes[i]
+		} else {
+			out.lanes[i] = o.lanes[i]
+		}
+	}
+	return out
+}
+
+// Min is the lane-wise signed minimum (vminsh).
+func (v Vec) Min(o Vec) Vec {
+	v.check(o, "Min")
+	out := New(len(v.lanes))
+	for i := range out.lanes {
+		if v.lanes[i] <= o.lanes[i] {
+			out.lanes[i] = v.lanes[i]
+		} else {
+			out.lanes[i] = o.lanes[i]
+		}
+	}
+	return out
+}
+
+// ShiftInLow returns the vector with every lane moved one position
+// toward higher indices and fill placed in lane 0. This is the
+// anti-diagonal "carry" operation the VMX SW kernels implement with
+// vperm/vsldoi on real hardware.
+func (v Vec) ShiftInLow(fill int16) Vec {
+	out := New(len(v.lanes))
+	out.lanes[0] = fill
+	copy(out.lanes[1:], v.lanes[:len(v.lanes)-1])
+	return out
+}
+
+// ShiftInHigh is the opposite carry: lanes move one position toward
+// lane 0 and fill enters the highest lane.
+func (v Vec) ShiftInHigh(fill int16) Vec {
+	out := New(len(v.lanes))
+	copy(out.lanes, v.lanes[1:])
+	out.lanes[len(out.lanes)-1] = fill
+	return out
+}
+
+// HorizontalMax reduces the vector to its largest lane, the score
+// extraction step at the end of the kernel.
+func (v Vec) HorizontalMax() int16 {
+	best := v.lanes[0]
+	for _, l := range v.lanes[1:] {
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// Gather builds a vector whose lane k is table[idx[k]], the emulation
+// of the vperm-based score-matrix lookup in the VMX kernels. idx must
+// have exactly the vector width.
+func Gather(table []int16, idx []int) Vec {
+	out := New(len(idx))
+	for k, ix := range idx {
+		out.lanes[k] = table[ix]
+	}
+	return out
+}
+
+// CmpGT returns lanes of all-ones (-1) where v > o, else 0 (vcmpgtsh).
+func (v Vec) CmpGT(o Vec) Vec {
+	v.check(o, "CmpGT")
+	out := New(len(v.lanes))
+	for i := range out.lanes {
+		if v.lanes[i] > o.lanes[i] {
+			out.lanes[i] = -1
+		}
+	}
+	return out
+}
+
+// Select returns mask-selected lanes: lane i of the result is t.lanes[i]
+// where mask lane i is nonzero, else f.lanes[i] (vsel).
+func Select(mask, t, f Vec) Vec {
+	mask.check(t, "Select")
+	mask.check(f, "Select")
+	out := New(len(mask.lanes))
+	for i := range out.lanes {
+		if mask.lanes[i] != 0 {
+			out.lanes[i] = t.lanes[i]
+		} else {
+			out.lanes[i] = f.lanes[i]
+		}
+	}
+	return out
+}
+
+// AnyGT reports whether any lane of v exceeds the scalar bound; the
+// kernels use it (via vcmpgtsh + the condition register) to detect
+// saturation overflow.
+func (v Vec) AnyGT(bound int16) bool {
+	for _, l := range v.lanes {
+		if l > bound {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package simd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplatAndLanes(t *testing.T) {
+	v := Splat(Lanes128, 7)
+	if v.Width() != 8 {
+		t.Fatalf("width %d", v.Width())
+	}
+	for i := 0; i < v.Width(); i++ {
+		if v.Lane(i) != 7 {
+			t.Errorf("lane %d = %d", i, v.Lane(i))
+		}
+	}
+}
+
+func TestAddSatSaturates(t *testing.T) {
+	a := Splat(4, MaxInt16)
+	b := Splat(4, 1)
+	c := a.AddSat(b)
+	for i := 0; i < 4; i++ {
+		if c.Lane(i) != MaxInt16 {
+			t.Errorf("lane %d = %d, want saturation at %d", i, c.Lane(i), MaxInt16)
+		}
+	}
+	d := Splat(4, MinInt16).SubSat(Splat(4, 1))
+	for i := 0; i < 4; i++ {
+		if d.Lane(i) != MinInt16 {
+			t.Errorf("negative saturation failed: %d", d.Lane(i))
+		}
+	}
+}
+
+func TestAddSubRoundTripAwayFromSaturation(t *testing.T) {
+	f := func(a, b int16) bool {
+		// Stay well inside the representable range.
+		a /= 4
+		b /= 4
+		va, vb := Splat(8, a), Splat(8, b)
+		return va.AddSat(vb).SubSat(vb).Lane(3) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	a := FromSlice([]int16{1, -5, 3, 0})
+	b := FromSlice([]int16{0, 2, 3, -7})
+	mx := a.Max(b)
+	mn := a.Min(b)
+	wantMax := []int16{1, 2, 3, 0}
+	wantMin := []int16{0, -5, 3, -7}
+	for i := 0; i < 4; i++ {
+		if mx.Lane(i) != wantMax[i] {
+			t.Errorf("max lane %d = %d, want %d", i, mx.Lane(i), wantMax[i])
+		}
+		if mn.Lane(i) != wantMin[i] {
+			t.Errorf("min lane %d = %d, want %d", i, mn.Lane(i), wantMin[i])
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := FromSlice([]int16{1, 2, 3, 4})
+	low := v.ShiftInLow(9)
+	if got := low.Lanes(); got[0] != 9 || got[1] != 1 || got[3] != 3 {
+		t.Errorf("ShiftInLow = %v", got)
+	}
+	high := v.ShiftInHigh(9)
+	if got := high.Lanes(); got[0] != 2 || got[3] != 9 {
+		t.Errorf("ShiftInHigh = %v", got)
+	}
+	// Shifts are inverses around the carried lane.
+	back := low.ShiftInHigh(4)
+	for i, want := range []int16{1, 2, 3, 4} {
+		if back.Lane(i) != want {
+			t.Errorf("round trip lane %d = %d, want %d", i, back.Lane(i), want)
+		}
+	}
+}
+
+func TestHorizontalMax(t *testing.T) {
+	v := FromSlice([]int16{-3, 7, 7, -9})
+	if v.HorizontalMax() != 7 {
+		t.Errorf("HorizontalMax = %d", v.HorizontalMax())
+	}
+	neg := FromSlice([]int16{-3, -1, -2, -9})
+	if neg.HorizontalMax() != -1 {
+		t.Errorf("all-negative HorizontalMax = %d", neg.HorizontalMax())
+	}
+}
+
+func TestGather(t *testing.T) {
+	table := []int16{10, 20, 30, 40, 50}
+	v := Gather(table, []int{4, 0, 2, 2})
+	want := []int16{50, 10, 30, 30}
+	for i := range want {
+		if v.Lane(i) != want[i] {
+			t.Errorf("gather lane %d = %d, want %d", i, v.Lane(i), want[i])
+		}
+	}
+}
+
+func TestCmpGTSelect(t *testing.T) {
+	a := FromSlice([]int16{5, 1, 3, 3})
+	b := FromSlice([]int16{4, 2, 3, -3})
+	mask := a.CmpGT(b)
+	want := []int16{-1, 0, 0, -1}
+	for i := range want {
+		if mask.Lane(i) != want[i] {
+			t.Errorf("CmpGT lane %d = %d, want %d", i, mask.Lane(i), want[i])
+		}
+	}
+	sel := Select(mask, a, b)
+	wantSel := []int16{5, 2, 3, 3}
+	for i := range wantSel {
+		if sel.Lane(i) != wantSel[i] {
+			t.Errorf("Select lane %d = %d, want %d", i, sel.Lane(i), wantSel[i])
+		}
+	}
+}
+
+func TestAnyGT(t *testing.T) {
+	v := FromSlice([]int16{0, 5, -2, 1})
+	if !v.AnyGT(4) {
+		t.Error("AnyGT(4) should be true")
+	}
+	if v.AnyGT(5) {
+		t.Error("AnyGT(5) should be false")
+	}
+}
+
+func TestOperationsDoNotAliasInputs(t *testing.T) {
+	a := FromSlice([]int16{1, 2, 3, 4})
+	b := FromSlice([]int16{5, 6, 7, 8})
+	_ = a.AddSat(b)
+	_ = a.Max(b)
+	_ = a.ShiftInLow(0)
+	if a.Lane(0) != 1 || b.Lane(0) != 5 {
+		t.Error("operations mutated their inputs")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on width mismatch")
+		}
+	}()
+	_ = New(8).AddSat(New(4))
+}
+
+func TestNewInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero width")
+		}
+	}()
+	_ = New(0)
+}

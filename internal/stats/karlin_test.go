@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+)
+
+func TestLambdaMatchesPublishedBlosum62(t *testing.T) {
+	// The published ungapped lambda for BLOSUM62 under standard
+	// composition is ~0.318 (the constant internal/blast embeds).
+	p, err := EstimateUngapped(bio.Blosum62, bio.SwissProtComposition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda < 0.28 || p.Lambda > 0.36 {
+		t.Errorf("BLOSUM62 lambda = %.4f, published ~0.318", p.Lambda)
+	}
+	if p.H <= 0 {
+		t.Errorf("relative entropy %.4f must be positive", p.H)
+	}
+	if p.K <= 0 || p.K > 1 {
+		t.Errorf("K = %.4f outside (0,1]", p.K)
+	}
+}
+
+func TestLambdaSolvesTheEquation(t *testing.T) {
+	// The defining property: sum p(s) e^(lambda s) == 1.
+	comp := bio.SwissProtComposition()
+	for _, m := range []*bio.Matrix{bio.Blosum62, bio.Blosum50} {
+		p, err := EstimateUngapped(m, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for a := 0; a < bio.NumStandard; a++ {
+			for b := 0; b < bio.NumStandard; b++ {
+				sum += comp[a] * comp[b] *
+					math.Exp(p.Lambda*float64(m.Score(uint8(a), uint8(b))))
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: sum p e^(lambda s) = %.12f, want 1", m.Name, sum)
+		}
+	}
+}
+
+func TestBlosum50HasSmallerLambda(t *testing.T) {
+	// Softer matrices (BLOSUM50 scores are on a /3-bit scale) have
+	// smaller lambda than BLOSUM62 (/2-bit scale).
+	comp := bio.SwissProtComposition()
+	p62, _ := EstimateUngapped(bio.Blosum62, comp)
+	p50, _ := EstimateUngapped(bio.Blosum50, comp)
+	if p50.Lambda >= p62.Lambda {
+		t.Errorf("lambda(BLOSUM50)=%.4f should be below lambda(BLOSUM62)=%.4f",
+			p50.Lambda, p62.Lambda)
+	}
+}
+
+func TestExpectedScoreNegative(t *testing.T) {
+	comp := bio.SwissProtComposition()
+	for _, m := range []*bio.Matrix{bio.Blosum62, bio.Blosum50} {
+		if e := ExpectedScore(m, comp); e >= 0 {
+			t.Errorf("%s expected score %.4f must be negative", m.Name, e)
+		}
+	}
+}
+
+func TestInvalidScoringRejected(t *testing.T) {
+	// A uniform composition concentrated on a single residue makes
+	// every pair an identity (positive mean): invalid for KA stats.
+	var comp [bio.NumStandard]float64
+	comp[0] = 1.0
+	if _, err := EstimateUngapped(bio.Blosum62, comp); err == nil {
+		t.Error("single-residue composition should be rejected (positive mean)")
+	}
+}
+
+func TestEValueProperties(t *testing.T) {
+	p, err := EstimateUngapped(bio.Blosum62, bio.SwissProtComposition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := 222, 62_615_309 // the paper's query and SwissProt size
+	// E-values decrease monotonically (and fast) with score.
+	prev := math.Inf(1)
+	for s := 30; s <= 300; s += 30 {
+		e := p.EValue(s, m, n)
+		if e >= prev {
+			t.Fatalf("E-value not decreasing at score %d", s)
+		}
+		prev = e
+	}
+	// Bit scores grow linearly in the raw score.
+	if p.BitScore(100) <= p.BitScore(50) {
+		t.Error("bit score not increasing")
+	}
+	// ScoreForEValue inverts EValue.
+	for _, target := range []float64{10, 1e-3, 1e-10} {
+		s := p.ScoreForEValue(target, m, n)
+		if p.EValue(s, m, n) > target {
+			t.Errorf("score %d for E=%g still above target: %g", s, target, p.EValue(s, m, n))
+		}
+		if p.EValue(s-1, m, n) < target {
+			t.Errorf("score %d not minimal for E=%g", s, target)
+		}
+	}
+}
+
+func TestEValueCalibrationAgainstRandomScores(t *testing.T) {
+	// Empirical sanity: among random (unrelated) sequence pairs, the
+	// count of pairs whose ungapped-ish local score exceeds the E=1
+	// threshold should be small — the same order as predicted. This
+	// ties the analytical machinery to the simulator-facing library.
+	p, err := EstimateUngapped(bio.Blosum62, bio.SwissProtComposition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := align.PaperParams()
+	q := bio.RandomSequence("Q", 150, 7).Residues
+	db := bio.SyntheticDB(bio.DefaultDBSpec(60))
+	cutoff := p.ScoreForEValue(1.0, len(q), db.TotalResidues())
+	exceed := 0
+	for _, s := range db.Seqs {
+		// Gapped scores exceed ungapped, so this is a conservative
+		// upper bound on the tail.
+		if align.SWScore(params, q, s.Residues) >= cutoff+20 {
+			exceed++
+		}
+	}
+	if exceed > 3 {
+		t.Errorf("%d random sequences far above the E=1 cutoff %d; statistics miscalibrated",
+			exceed, cutoff)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import "fmt"
+
+// AddressSpace is a bump allocator over the traced program's virtual
+// data segment. Workload kernels allocate their arrays here and
+// compute per-access effective addresses from the returned bases, so
+// the cache and TLB models in the simulator see realistic address
+// streams: sequential profile rows, streaming database reads, the big
+// randomly-indexed BLAST lookup table, and so on.
+type AddressSpace struct {
+	next uint32
+}
+
+// Data segment layout constants.
+const (
+	dataBase  = 0x1000_0000 // keeps data far from the text segment
+	cacheLine = 128         // matches the paper's line size
+)
+
+// NewAddressSpace returns an empty data segment.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: dataBase}
+}
+
+// Alloc reserves size bytes aligned to a cache line and returns the
+// base address. Alignment to the 128-byte line keeps accidental
+// false-sharing between arrays out of the cache statistics.
+func (a *AddressSpace) Alloc(size int) uint32 {
+	if size < 0 {
+		panic(fmt.Sprintf("trace: negative allocation %d", size))
+	}
+	base := a.next
+	a.next += uint32((size + cacheLine - 1) &^ (cacheLine - 1))
+	if a.next < base {
+		panic("trace: address space exhausted")
+	}
+	return base
+}
+
+// Used returns the number of data bytes allocated.
+func (a *AddressSpace) Used() uint32 { return a.next - dataBase }

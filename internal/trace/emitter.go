@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Emitter is the pseudo-assembler the traced kernels use. Kernels
+// pre-register basic blocks (which fixes static PCs), then emit
+// instructions through class-specific helpers. Each helper emits
+// exactly one instruction; the kernels are responsible for address
+// arithmetic, loop-control branches and everything else a compiler
+// would have produced — that is what makes the resulting traces
+// faithful enough for micro-architecture characterization.
+type Emitter struct {
+	sink   Sink
+	nextPC uint32
+	blocks map[string]*Block
+	cur    *Block
+	curOff uint32
+	count  uint64
+}
+
+// NewEmitter returns an emitter delivering instructions to sink.
+// Static code is laid out from pc 0x10000 ("text segment").
+func NewEmitter(sink Sink) *Emitter {
+	return &Emitter{sink: sink, nextPC: 0x10000, blocks: make(map[string]*Block)}
+}
+
+// Count returns the number of instructions emitted so far.
+func (e *Emitter) Count() uint64 { return e.count }
+
+// Block is a static basic block: a run of instruction slots at fixed
+// PCs. Re-entering a block (Begin) rewinds its slot cursor, so every
+// dynamic execution of the block reuses the same PCs — which is what
+// lets branch predictors and the BTB in the simulator learn.
+type Block struct {
+	Name string
+	Base uint32
+	Size int // reserved instruction slots
+}
+
+// PC returns the address of slot i.
+func (b *Block) PC(i int) uint32 { return b.Base + uint32(i)*4 }
+
+// Block registers (or retrieves) a basic block with room for size
+// instructions. Size is a hard reservation: emitting past it panics,
+// catching kernels whose dynamic emission diverges from their static
+// shape.
+func (e *Emitter) Block(name string, size int) *Block {
+	if b, ok := e.blocks[name]; ok {
+		if b.Size != size {
+			panic(fmt.Sprintf("trace: block %q re-registered with size %d != %d", name, size, b.Size))
+		}
+		return b
+	}
+	b := &Block{Name: name, Base: e.nextPC, Size: size}
+	e.nextPC += uint32(size) * 4
+	e.blocks[name] = b
+	return b
+}
+
+// Begin enters a basic block: subsequent emits occupy its slots in
+// order.
+func (e *Emitter) Begin(b *Block) {
+	e.cur = b
+	e.curOff = 0
+}
+
+func (e *Emitter) pc() uint32 {
+	if e.cur == nil {
+		panic("trace: emit outside any block; call Begin first")
+	}
+	if int(e.curOff) >= e.cur.Size {
+		panic(fmt.Sprintf("trace: block %q overflowed its %d slots", e.cur.Name, e.cur.Size))
+	}
+	pc := e.cur.Base + e.curOff*4
+	e.curOff++
+	return pc
+}
+
+func (e *Emitter) emit(in isa.Inst) {
+	e.count++
+	e.sink.Emit(in)
+}
+
+// Op emits a computational instruction of the given class.
+func (e *Emitter) Op(class isa.Class, dst, src1, src2 isa.Reg) {
+	e.emit(isa.Make(e.pc(), class, dst, src1, src2))
+}
+
+// Fix emits an integer ALU op (add/sub/compare).
+func (e *Emitter) Fix(dst, src1, src2 isa.Reg) { e.Op(isa.Fix, dst, src1, src2) }
+
+// FixImm emits an integer ALU op with an immediate operand (li, addi,
+// cmpi): one register source.
+func (e *Emitter) FixImm(dst, src isa.Reg) { e.Op(isa.Fix, dst, src, isa.RegNone) }
+
+// Log emits a logical/shift op.
+func (e *Emitter) Log(dst, src1, src2 isa.Reg) { e.Op(isa.Log, dst, src1, src2) }
+
+// Cmplx emits an integer multiply/divide.
+func (e *Emitter) Cmplx(dst, src1, src2 isa.Reg) { e.Op(isa.Cmplx, dst, src1, src2) }
+
+// Fpu emits a scalar float op.
+func (e *Emitter) Fpu(dst, src1, src2 isa.Reg) { e.Op(isa.Fpu, dst, src1, src2) }
+
+// Load emits a scalar load of size bytes from addr; dst receives the
+// value, addrSrc is the address-generation dependency.
+func (e *Emitter) Load(dst, addrSrc isa.Reg, addr uint32, size int) {
+	in := isa.Make(e.pc(), isa.Load, dst, addrSrc, isa.RegNone)
+	in.SetMem(addr, size)
+	e.emit(in)
+}
+
+// Store emits a scalar store of size bytes: val is the data
+// dependency, addrSrc the address dependency.
+func (e *Emitter) Store(val, addrSrc isa.Reg, addr uint32, size int) {
+	in := isa.Make(e.pc(), isa.Store, isa.RegNone, val, addrSrc)
+	in.SetMem(addr, size)
+	e.emit(in)
+}
+
+// VLoad emits a vector load (16 or 32 bytes).
+func (e *Emitter) VLoad(dst, addrSrc isa.Reg, addr uint32, size int) {
+	in := isa.Make(e.pc(), isa.VLoad, dst, addrSrc, isa.RegNone)
+	in.SetMem(addr, size)
+	e.emit(in)
+}
+
+// VStore emits a vector store.
+func (e *Emitter) VStore(val, addrSrc isa.Reg, addr uint32, size int) {
+	in := isa.Make(e.pc(), isa.VStore, isa.RegNone, val, addrSrc)
+	in.SetMem(addr, size)
+	e.emit(in)
+}
+
+// VSimple emits a vector simple-integer op (vaddshs, vmaxsh, ...).
+func (e *Emitter) VSimple(dst, src1, src2 isa.Reg) { e.Op(isa.VSimple, dst, src1, src2) }
+
+// VPerm emits a vector permute op (vperm, vsldoi).
+func (e *Emitter) VPerm(dst, src1, src2 isa.Reg) { e.Op(isa.VPerm, dst, src1, src2) }
+
+// VCmplx emits a vector complex-integer op.
+func (e *Emitter) VCmplx(dst, src1, src2 isa.Reg) { e.Op(isa.VCmplx, dst, src1, src2) }
+
+// VFpu emits a vector float op.
+func (e *Emitter) VFpu(dst, src1, src2 isa.Reg) { e.Op(isa.VFpu, dst, src1, src2) }
+
+// CondBranch emits a conditional branch on condSrc with the actual
+// outcome taken, targeting the first slot of target.
+func (e *Emitter) CondBranch(condSrc isa.Reg, taken bool, target *Block) {
+	in := isa.Make(e.pc(), isa.Br, isa.RegNone, condSrc, isa.RegNone)
+	in.SetBranch(true, taken, target.PC(0))
+	e.emit(in)
+}
+
+// Jump emits an unconditional branch to target.
+func (e *Emitter) Jump(target *Block) {
+	in := isa.Make(e.pc(), isa.Br, isa.RegNone, isa.RegNone, isa.RegNone)
+	in.SetBranch(false, true, target.PC(0))
+	e.emit(in)
+}
+
+// IndirectJump emits an unconditional register-indirect branch (blr,
+// bctr) whose target depends on src.
+func (e *Emitter) IndirectJump(src isa.Reg, target uint32) {
+	in := isa.Make(e.pc(), isa.Br, isa.RegNone, src, isa.RegNone)
+	in.SetBranch(false, true, target)
+	e.emit(in)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace format: a 16-byte header (magic, version, instruction
+// count) followed by fixed 16-byte little-endian instruction records.
+// Traces are written by cmd/tracegen and consumed by cmd/simulate, so
+// expensive workload generation can be paid once per scale and the
+// simulator sweeps re-read the file — the same workflow the paper's
+// Aria traces supported for Turandot.
+
+var traceMagic = [8]byte{'S', 'E', 'Q', 'T', 'R', 'C', '0', '1'}
+
+const recordSize = 16
+
+// WriteTrace writes instructions in the binary trace format.
+func WriteTrace(w io.Writer, insts []isa.Inst) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(insts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	var rec [recordSize]byte
+	for i := range insts {
+		in := &insts[i]
+		binary.LittleEndian.PutUint32(rec[0:], in.PC)
+		binary.LittleEndian.PutUint32(rec[4:], in.Addr)
+		binary.LittleEndian.PutUint16(rec[8:], in.Meta)
+		rec[10] = byte(in.Dst)
+		rec[11] = byte(in.Src1)
+		rec[12] = byte(in.Src2)
+		rec[13], rec[14], rec[15] = 0, 0, 0
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads a binary trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]isa.Inst, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, b := range traceMagic {
+		if hdr[i] != b {
+			return nil, fmt.Errorf("trace: bad magic %q", hdr[:8])
+		}
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const maxTrace = 1 << 31
+	if count > maxTrace {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	}
+	insts := make([]isa.Inst, count)
+	var rec [recordSize]byte
+	for i := range insts {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, count, err)
+		}
+		insts[i] = isa.Inst{
+			PC:   binary.LittleEndian.Uint32(rec[0:]),
+			Addr: binary.LittleEndian.Uint32(rec[4:]),
+			Meta: binary.LittleEndian.Uint16(rec[8:]),
+			Dst:  isa.Reg(rec[10]),
+			Src1: isa.Reg(rec[11]),
+			Src2: isa.Reg(rec[12]),
+		}
+	}
+	return insts, nil
+}

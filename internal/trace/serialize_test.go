@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func sampleTrace(t *testing.T) []isa.Inst {
+	t.Helper()
+	var rec Recorder
+	e := NewEmitter(&rec)
+	blk := e.Block("b", 6)
+	other := e.Block("o", 1)
+	for i := 0; i < 100; i++ {
+		e.Begin(blk)
+		e.Fix(isa.GPR(1), isa.GPR(2), isa.GPR(3))
+		e.Load(isa.GPR(4), isa.GPR(1), uint32(0x1000_0000+i*64), 8)
+		e.Store(isa.GPR(4), isa.GPR(1), uint32(0x2000_0000+i*4), 4)
+		e.VLoad(isa.VPR(1), isa.GPR(4), uint32(0x3000_0000+i*16), 16)
+		e.VPerm(isa.VPR(2), isa.VPR(1), isa.VPR(2))
+		e.CondBranch(isa.GPR(4), i%3 == 0, other)
+	}
+	return rec.Insts
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	insts := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(insts) {
+		t.Fatalf("round trip lost instructions: %d vs %d", len(back), len(insts))
+	}
+	for i := range insts {
+		if back[i] != insts[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, back[i], insts[i])
+		}
+	}
+}
+
+func TestTraceRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty trace read back %d instructions", len(back))
+	}
+}
+
+func TestTraceSizeOnDisk(t *testing.T) {
+	insts := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	want := 16 + 16*len(insts)
+	if buf.Len() != want {
+		t.Errorf("trace is %d bytes, want %d (16-byte records)", buf.Len(), want)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOTATRACE0000000",
+		"truncated": "SEQTRC01\x05\x00\x00\x00\x00\x00\x00\x00partial",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadTraceRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("SEQTRC01"))
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Error("implausible count should be rejected before allocation")
+	}
+}

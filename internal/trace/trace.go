@@ -1,0 +1,112 @@
+// Package trace provides the instruction-trace substrate between the
+// workloads and the micro-architecture simulator: an Emitter the
+// traced kernels (internal/workloads) write pseudo-assembly against,
+// with stable static PCs per basic block, an address-space model for
+// realistic effective addresses, and recording/streaming plumbing that
+// delivers the instruction stream to internal/uarch.
+//
+// This plays the role of the Aria/MET tracing framework in the paper's
+// methodology: the workloads execute for real (computing genuine
+// alignment scores) while every dynamic instruction of their inner
+// loops is captured with true register dependencies, addresses, and
+// branch outcomes.
+package trace
+
+import "repro/internal/isa"
+
+// Sink consumes emitted instructions.
+type Sink interface {
+	Emit(isa.Inst)
+}
+
+// Recorder is a Sink collecting the full trace in memory for repeated
+// replay across simulator configurations.
+type Recorder struct {
+	Insts []isa.Inst
+}
+
+// Emit appends the instruction.
+func (r *Recorder) Emit(in isa.Inst) { r.Insts = append(r.Insts, in) }
+
+// Len returns the number of recorded instructions.
+func (r *Recorder) Len() int { return len(r.Insts) }
+
+// Source yields a trace one instruction at a time.
+type Source interface {
+	// Next returns the next instruction; ok is false at end of trace.
+	Next() (in isa.Inst, ok bool)
+}
+
+// Replay iterates over a recorded trace.
+type Replay struct {
+	insts []isa.Inst
+	pos   int
+}
+
+// NewReplay returns a Source over the instructions.
+func NewReplay(insts []isa.Inst) *Replay { return &Replay{insts: insts} }
+
+// Next implements Source.
+func (r *Replay) Next() (isa.Inst, bool) {
+	if r.pos >= len(r.insts) {
+		return isa.Inst{}, false
+	}
+	in := r.insts[r.pos]
+	r.pos++
+	return in, true
+}
+
+// Reset rewinds the replay to the beginning.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// CountingSink counts instructions by class without storing them, for
+// Table III / Figure 1 style statistics at any scale.
+type CountingSink struct {
+	Total   uint64
+	ByClass [isa.NumClasses]uint64
+}
+
+// Emit implements Sink.
+func (c *CountingSink) Emit(in isa.Inst) {
+	c.Total++
+	c.ByClass[in.Class()]++
+}
+
+// Breakdown folds the class counts into Figure 1 categories.
+func (c *CountingSink) Breakdown() [isa.NumBreakdowns]uint64 {
+	var out [isa.NumBreakdowns]uint64
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		out[isa.BreakdownOf(cl)] += c.ByClass[cl]
+	}
+	return out
+}
+
+// TeeSink fans one instruction stream out to several sinks.
+type TeeSink []Sink
+
+// Emit implements Sink.
+func (t TeeSink) Emit(in isa.Inst) {
+	for _, s := range t {
+		s.Emit(in)
+	}
+}
+
+// LimitSink forwards at most Limit instructions to the wrapped sink
+// and drops the rest, used to cap trace sizes at large scales the way
+// the paper's representative traces cap full program runs.
+type LimitSink struct {
+	Inner   Sink
+	Limit   uint64
+	Dropped uint64
+	seen    uint64
+}
+
+// Emit implements Sink.
+func (l *LimitSink) Emit(in isa.Inst) {
+	l.seen++
+	if l.seen > l.Limit {
+		l.Dropped++
+		return
+	}
+	l.Inner.Emit(in)
+}

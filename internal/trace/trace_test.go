@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBlockPCsStableAcrossIterations(t *testing.T) {
+	var rec Recorder
+	e := NewEmitter(&rec)
+	blk := e.Block("loop", 3)
+	r1, r2 := isa.GPR(1), isa.GPR(2)
+	for i := 0; i < 4; i++ {
+		e.Begin(blk)
+		e.Fix(r1, r1, r2)
+		e.Load(r2, r1, uint32(i*8), 4)
+		e.CondBranch(r2, i < 3, blk)
+	}
+	if rec.Len() != 12 {
+		t.Fatalf("emitted %d instructions, want 12", rec.Len())
+	}
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 3; k++ {
+			if rec.Insts[i*3+k].PC != rec.Insts[k].PC {
+				t.Fatalf("iteration %d slot %d PC differs", i, k)
+			}
+		}
+	}
+	// The three slots have distinct, consecutive PCs.
+	if rec.Insts[1].PC != rec.Insts[0].PC+4 || rec.Insts[2].PC != rec.Insts[1].PC+4 {
+		t.Error("slots not consecutive")
+	}
+}
+
+func TestDistinctBlocksGetDistinctPCs(t *testing.T) {
+	e := NewEmitter(&Recorder{})
+	a := e.Block("a", 10)
+	b := e.Block("b", 10)
+	if a.Base == b.Base {
+		t.Error("blocks share a base PC")
+	}
+	if a.PC(9) >= b.PC(0) && b.Base > a.Base {
+		t.Error("blocks overlap")
+	}
+	// Re-registration returns the same block.
+	if e.Block("a", 10) != a {
+		t.Error("re-registration created a new block")
+	}
+}
+
+func TestBlockOverflowPanics(t *testing.T) {
+	e := NewEmitter(&Recorder{})
+	blk := e.Block("tiny", 1)
+	e.Begin(blk)
+	e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on block overflow")
+		}
+	}()
+	e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+}
+
+func TestEmitOutsideBlockPanics(t *testing.T) {
+	e := NewEmitter(&Recorder{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic emitting with no current block")
+		}
+	}()
+	e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+}
+
+func TestBlockSizeMismatchPanics(t *testing.T) {
+	e := NewEmitter(&Recorder{})
+	e.Block("x", 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on size mismatch")
+		}
+	}()
+	e.Block("x", 5)
+}
+
+func TestInstructionEncoding(t *testing.T) {
+	var rec Recorder
+	e := NewEmitter(&rec)
+	blk := e.Block("b", 8)
+	e.Begin(blk)
+	e.Load(isa.GPR(3), isa.GPR(4), 0xdead00, 4)
+	e.Store(isa.GPR(3), isa.GPR(5), 0xbeef00, 8)
+	e.VLoad(isa.VPR(1), isa.GPR(4), 0x100, 16)
+	e.CondBranch(isa.GPR(7), true, blk)
+	e.Jump(blk)
+
+	ld := rec.Insts[0]
+	if ld.Class() != isa.Load || ld.Addr != 0xdead00 || ld.Size() != 4 ||
+		ld.Dst != isa.GPR(3) || ld.Src1 != isa.GPR(4) {
+		t.Errorf("load encoded wrong: %v", ld)
+	}
+	st := rec.Insts[1]
+	if st.Class() != isa.Store || st.Size() != 8 || st.Src1 != isa.GPR(3) {
+		t.Errorf("store encoded wrong: %v", st)
+	}
+	vl := rec.Insts[2]
+	if vl.Class() != isa.VLoad || vl.Size() != 16 || vl.Dst != isa.VPR(1) {
+		t.Errorf("vload encoded wrong: %v", vl)
+	}
+	br := rec.Insts[3]
+	if br.Class() != isa.Br || !br.Conditional() || !br.Taken() || br.Addr != blk.PC(0) {
+		t.Errorf("branch encoded wrong: %v", br)
+	}
+	j := rec.Insts[4]
+	if j.Conditional() || !j.Taken() {
+		t.Errorf("jump encoded wrong: %v", j)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	var rec Recorder
+	e := NewEmitter(&rec)
+	blk := e.Block("b", 2)
+	e.Begin(blk)
+	e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+	e.Fix(isa.GPR(2), isa.GPR(1), isa.RegNone)
+
+	r := NewReplay(rec.Insts)
+	n := 0
+	for {
+		_, ok := r.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d, want 2", n)
+	}
+	r.Reset()
+	if _, ok := r.Next(); !ok {
+		t.Error("reset replay should yield again")
+	}
+}
+
+func TestCountingSinkBreakdown(t *testing.T) {
+	var cs CountingSink
+	e := NewEmitter(&cs)
+	blk := e.Block("b", 6)
+	e.Begin(blk)
+	e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+	e.Log(isa.GPR(1), isa.GPR(1), isa.RegNone)
+	e.Cmplx(isa.GPR(2), isa.GPR(1), isa.RegNone)
+	e.Load(isa.GPR(3), isa.GPR(1), 0, 4)
+	e.VPerm(isa.VPR(1), isa.VPR(1), isa.VPR(2))
+	e.Jump(blk)
+
+	if cs.Total != 6 {
+		t.Fatalf("total %d", cs.Total)
+	}
+	bd := cs.Breakdown()
+	if bd[isa.BkIALU] != 3 {
+		t.Errorf("ialu = %d, want 3 (fix+log+cmplx)", bd[isa.BkIALU])
+	}
+	if bd[isa.BkILoad] != 1 || bd[isa.BkVPerm] != 1 || bd[isa.BkCtrl] != 1 {
+		t.Errorf("breakdown = %v", bd)
+	}
+}
+
+func TestLimitSink(t *testing.T) {
+	var rec Recorder
+	lim := &LimitSink{Inner: &rec, Limit: 3}
+	e := NewEmitter(lim)
+	blk := e.Block("b", 10)
+	e.Begin(blk)
+	for i := 0; i < 10; i++ {
+		e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+	}
+	if rec.Len() != 3 {
+		t.Errorf("recorded %d, want 3", rec.Len())
+	}
+	if lim.Dropped != 7 {
+		t.Errorf("dropped %d, want 7", lim.Dropped)
+	}
+}
+
+func TestAddressSpace(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc(100)
+	b := as.Alloc(1)
+	c := as.Alloc(0)
+	if a%128 != 0 || b%128 != 0 || c%128 != 0 {
+		t.Error("allocations not line-aligned")
+	}
+	if b-a < 100 {
+		t.Error("allocations overlap")
+	}
+	if b == c-128 && c != as.Alloc(16)-128 {
+		t.Log("zero-size allocation reserves nothing, as intended")
+	}
+	if as.Used() == 0 {
+		t.Error("Used should reflect allocations")
+	}
+}
+
+func TestRegEncoding(t *testing.T) {
+	cases := []struct {
+		r    isa.Reg
+		file isa.File
+		idx  int
+	}{
+		{isa.GPR(0), isa.FileGPR, 0},
+		{isa.GPR(31), isa.FileGPR, 31},
+		{isa.FPR(5), isa.FileFPR, 5},
+		{isa.VPR(31), isa.FileVPR, 31},
+		{isa.RegNone, isa.FileNone, -1},
+	}
+	for _, c := range cases {
+		if c.r.File() != c.file || c.r.Index() != c.idx {
+			t.Errorf("%v: file=%v idx=%d, want %v/%d", c.r, c.r.File(), c.r.Index(), c.file, c.idx)
+		}
+	}
+	// All 96 registers are distinct.
+	seen := map[isa.Reg]bool{}
+	for i := 0; i < 32; i++ {
+		for _, r := range []isa.Reg{isa.GPR(i), isa.FPR(i), isa.VPR(i)} {
+			if seen[r] {
+				t.Fatalf("register collision at %v", r)
+			}
+			seen[r] = true
+		}
+	}
+}

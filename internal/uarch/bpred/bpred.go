@@ -1,0 +1,237 @@
+// Package bpred implements the branch prediction structures of the
+// paper's processor model (Table VI): a bimodal predictor, a gshare
+// predictor, the combined "GP" predictor that selects between them, a
+// perfect oracle, and the NFA next-fetch-address table used for branch
+// targets. Figure 11 sweeps these predictors over table sizes.
+package bpred
+
+import "fmt"
+
+// Predictor predicts conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint32, taken bool)
+	Name() string
+}
+
+// counter is a 2-bit saturating counter; >= 2 predicts taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func log2floor(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func checkSize(entries int) int {
+	if entries <= 0 {
+		panic(fmt.Sprintf("bpred: invalid table size %d", entries))
+	}
+	// Round down to a power of two so masking works.
+	return 1 << log2floor(entries)
+}
+
+// Bimodal is a per-PC 2-bit counter table.
+type Bimodal struct {
+	table []counter
+	mask  uint32
+}
+
+// NewBimodal returns a bimodal predictor with the given entry count
+// (rounded down to a power of two). Counters start weakly taken,
+// matching the usual hardware reset state.
+func NewBimodal(entries int) *Bimodal {
+	n := checkSize(entries)
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint32(n - 1)}
+}
+
+func (b *Bimodal) index(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "BIMODAL" }
+
+// Gshare xors global history into the table index.
+type Gshare struct {
+	table    []counter
+	mask     uint32
+	history  uint32
+	histBits uint
+}
+
+// NewGshare returns a gshare predictor with the given entry count.
+// History length tracks the index width, capped at 16 bits.
+func NewGshare(entries int) *Gshare {
+	n := checkSize(entries)
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	bits := log2floor(n)
+	if bits > 16 {
+		bits = 16
+	}
+	return &Gshare{table: t, mask: uint32(n - 1), histBits: bits}
+}
+
+func (g *Gshare) index(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint32) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. The global history shifts in the actual
+// outcome.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histBits) - 1
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return "GSHARE" }
+
+// Combined is the paper's "GP" predictor: gshare and bimodal with a
+// per-PC selector trained toward whichever component was right.
+type Combined struct {
+	gshare   *Gshare
+	bimodal  *Bimodal
+	selector []counter // >= 2 selects gshare
+	mask     uint32
+}
+
+// NewCombined returns a combined predictor; each component table and
+// the selector get the given entry count.
+func NewCombined(entries int) *Combined {
+	n := checkSize(entries)
+	sel := make([]counter, n)
+	for i := range sel {
+		sel[i] = 2
+	}
+	return &Combined{
+		gshare:   NewGshare(entries),
+		bimodal:  NewBimodal(entries),
+		selector: sel,
+		mask:     uint32(n - 1),
+	}
+}
+
+// Predict implements Predictor.
+func (c *Combined) Predict(pc uint32) bool {
+	if c.selector[(pc>>2)&c.mask].taken() {
+		return c.gshare.Predict(pc)
+	}
+	return c.bimodal.Predict(pc)
+}
+
+// Update implements Predictor.
+func (c *Combined) Update(pc uint32, taken bool) {
+	gp := c.gshare.Predict(pc)
+	bp := c.bimodal.Predict(pc)
+	if gp != bp {
+		i := (pc >> 2) & c.mask
+		c.selector[i] = c.selector[i].update(gp == taken)
+	}
+	c.gshare.Update(pc, taken)
+	c.bimodal.Update(pc, taken)
+}
+
+// Name implements Predictor.
+func (c *Combined) Name() string { return "GP" }
+
+// Perfect is the oracle predictor used for the Figure 9 limit study.
+// The pipeline special-cases it: Predict is never consulted against a
+// wrong outcome, so it simply reports "taken" and never mispredicts.
+type Perfect struct{}
+
+// Predict implements Predictor. The caller must treat a Perfect
+// predictor as always agreeing with the actual outcome.
+func (Perfect) Predict(pc uint32) bool { return true }
+
+// Update implements Predictor.
+func (Perfect) Update(pc uint32, taken bool) {}
+
+// Name implements Predictor.
+func (Perfect) Name() string { return "PERFECT" }
+
+// New constructs a predictor by strategy name: "bimodal", "gshare",
+// "gp" (combined), or "perfect".
+func New(strategy string, entries int) (Predictor, error) {
+	switch strategy {
+	case "bimodal":
+		return NewBimodal(entries), nil
+	case "gshare":
+		return NewGshare(entries), nil
+	case "gp", "combined":
+		return NewCombined(entries), nil
+	case "perfect":
+		return Perfect{}, nil
+	}
+	return nil, fmt.Errorf("bpred: unknown strategy %q", strategy)
+}
+
+// NFA is the next-fetch-address table: a direct-mapped cache of branch
+// targets. A taken branch whose target is absent costs the front end
+// the NFA miss latency (Table VI: 2 cycles).
+type NFA struct {
+	tags    []uint32
+	targets []uint32
+	mask    uint32
+	Hits    uint64
+	Misses  uint64
+}
+
+// NewNFA returns an NFA table with the given entry count.
+func NewNFA(entries int) *NFA {
+	n := checkSize(entries)
+	return &NFA{tags: make([]uint32, n), targets: make([]uint32, n), mask: uint32(n - 1)}
+}
+
+// Lookup returns whether the taken branch at pc has its target cached;
+// it installs the target on a miss.
+func (n *NFA) Lookup(pc, target uint32) bool {
+	i := (pc >> 2) & n.mask
+	if n.tags[i] == pc+1 && n.targets[i] == target {
+		n.Hits++
+		return true
+	}
+	n.tags[i] = pc + 1 // +1 so pc 0 is never a false hit
+	n.targets[i] = target
+	n.Misses++
+	return false
+}

@@ -1,0 +1,176 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// measure returns the prediction accuracy of p on the branch stream.
+func measure(p Predictor, pcs []uint32, outcomes []bool) float64 {
+	correct := 0
+	for i, pc := range pcs {
+		if p.Predict(pc) == outcomes[i] {
+			correct++
+		}
+		p.Update(pc, outcomes[i])
+	}
+	return float64(correct) / float64(len(pcs))
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := uint32(0x1000)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal should predict taken after taken history")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal should flip after not-taken history")
+	}
+}
+
+func TestBimodalHysteresis(t *testing.T) {
+	b := NewBimodal(64)
+	pc := uint32(0x40)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	// One contrary outcome must not flip a saturated counter.
+	b.Update(pc, false)
+	if !b.Predict(pc) {
+		t.Error("2-bit counter flipped on a single contrary outcome")
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// Alternating T/N correlates perfectly with one bit of history;
+	// gshare must learn it, bimodal cannot.
+	n := 4000
+	pcs := make([]uint32, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = 0x2000
+		outs[i] = i%2 == 0
+	}
+	warm := n / 2
+	g := NewGshare(4096)
+	b := NewBimodal(4096)
+	gAcc := measure(g, pcs[warm:], outs[warm:])
+	bAcc := measure(b, pcs[warm:], outs[warm:])
+	if gAcc < 0.95 {
+		t.Errorf("gshare accuracy %.3f on alternating pattern, want ~1", gAcc)
+	}
+	if bAcc > 0.65 {
+		t.Errorf("bimodal accuracy %.3f on alternating pattern, expected poor", bAcc)
+	}
+}
+
+func TestCombinedAtLeastNearBestComponent(t *testing.T) {
+	// On a mix of biased and pattern branches, the combined GP should
+	// track the better component per branch.
+	rng := rand.New(rand.NewSource(42))
+	n := 20000
+	pcs := make([]uint32, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		if i%2 == 0 {
+			pcs[i] = 0x100 // strongly biased branch
+			outs[i] = rng.Float64() < 0.95
+		} else {
+			pcs[i] = 0x200 // alternating branch
+			outs[i] = (i/2)%2 == 0
+		}
+	}
+	acc := measure(NewCombined(4096), pcs, outs)
+	if acc < 0.90 {
+		t.Errorf("combined accuracy %.3f, want >= 0.90", acc)
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	pcs := make([]uint32, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = uint32(0x1000 + 4*(i%37))
+		outs[i] = rng.Intn(2) == 0
+	}
+	for _, p := range []Predictor{NewBimodal(4096), NewGshare(4096), NewCombined(4096)} {
+		acc := measure(p, pcs, outs)
+		if acc < 0.40 || acc > 0.60 {
+			t.Errorf("%s accuracy %.3f on random branches, want ~0.5", p.Name(), acc)
+		}
+	}
+}
+
+func TestAliasingHurtsSmallTables(t *testing.T) {
+	// Many branches with conflicting biases: a tiny table must alias
+	// and lose accuracy relative to a big one (Figure 11's x-axis).
+	rng := rand.New(rand.NewSource(9))
+	n := 40000
+	pcs := make([]uint32, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		b := uint32(rng.Intn(512))
+		pcs[i] = 0x1000 + b*4
+		outs[i] = b%3 == 0 // aliasing branches disagree in a 16-entry table
+	}
+	small := measure(NewBimodal(16), pcs, outs)
+	large := measure(NewBimodal(4096), pcs, outs)
+	if small >= large {
+		t.Errorf("16-entry accuracy %.3f should be below 4096-entry %.3f", small, large)
+	}
+	if large < 0.95 {
+		t.Errorf("large-table accuracy %.3f on perfectly biased branches", large)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, s := range []string{"bimodal", "gshare", "gp", "combined", "perfect"} {
+		if _, err := New(s, 1024); err != nil {
+			t.Errorf("New(%q): %v", s, err)
+		}
+	}
+	if _, err := New("neural", 1024); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+func TestNFA(t *testing.T) {
+	n := NewNFA(16)
+	if n.Lookup(0x100, 0x500) {
+		t.Error("first lookup must miss")
+	}
+	if !n.Lookup(0x100, 0x500) {
+		t.Error("second lookup must hit")
+	}
+	if n.Lookup(0x100, 0x900) {
+		t.Error("changed target must miss")
+	}
+	// Aliasing: a conflicting pc evicts.
+	if n.Lookup(0x100+16*4, 0x700) {
+		t.Error("aliased entry should miss")
+	}
+	if n.Lookup(0x100, 0x900) {
+		t.Error("evicted entry should miss again")
+	}
+	if n.Hits != 1 || n.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 1/4", n.Hits, n.Misses)
+	}
+}
+
+func TestTableSizeRounding(t *testing.T) {
+	// Non-power-of-two sizes round down and must still work.
+	b := NewBimodal(1000) // -> 512
+	b.Update(0x1234, true)
+	_ = b.Predict(0x1234)
+	g := NewGshare(3) // -> 2
+	g.Update(0x10, false)
+	_ = g.Predict(0x10)
+}

@@ -1,0 +1,304 @@
+// Package uarch is the cycle-accurate out-of-order processor model the
+// reproduction runs its traces through: the stand-in for the paper's
+// Turandot/MET simulator. It models the pipeline of Table IV (fetch
+// through retire with per-class issue queues and functional units),
+// the memory hierarchy of Table V, and the branch prediction machinery
+// of Table VI, and attributes every zero-progress cycle to one of the
+// trauma classes of Figure 2.
+package uarch
+
+import (
+	"repro/internal/isa"
+	"repro/internal/uarch/mem"
+)
+
+// UnitClass indexes the functional-unit pools and their issue queues
+// (Table IV's LD/ST, FX, FP, BR, VI, VPER, VCMPLX, VFP rows).
+type UnitClass uint8
+
+// Functional unit classes.
+const (
+	ULdSt UnitClass = iota
+	UFix
+	UFpu
+	UBr
+	UVi
+	UVper
+	UVcmplx
+	UVfpu
+	NumUnitClasses
+)
+
+var unitNames = [NumUnitClasses]string{"LD/ST", "FX", "FP", "BR", "VI", "VPER", "VCMPLX", "VFP"}
+
+func (u UnitClass) String() string { return unitNames[u] }
+
+// UnitOf maps an instruction class to the unit pool that executes it.
+// Logical and complex integer ops share the FX units (their issue
+// queues are distinguished only in the trauma taxonomy).
+func UnitOf(c isa.Class) UnitClass {
+	switch c {
+	case isa.Fix, isa.Log, isa.Cmplx:
+		return UFix
+	case isa.Load, isa.Store:
+		return ULdSt
+	case isa.Br:
+		return UBr
+	case isa.Fpu:
+		return UFpu
+	case isa.VLoad, isa.VStore:
+		return ULdSt
+	case isa.VSimple:
+		return UVi
+	case isa.VPerm:
+		return UVper
+	case isa.VCmplx:
+		return UVcmplx
+	case isa.VFpu:
+		return UVfpu
+	default:
+		return UFix
+	}
+}
+
+// Config is the full processor configuration: one column of Table IV
+// plus a memory configuration and branch predictor settings.
+type Config struct {
+	Name string
+
+	// Widths.
+	FetchWidth    int
+	RenameWidth   int
+	DispatchWidth int
+	RetireWidth   int
+
+	// Capacities.
+	Inflight    int // max renamed-but-not-retired instructions
+	PhysGPR     int
+	PhysVPR     int
+	PhysFPR     int
+	IBuffer     int
+	RetireQueue int // ROB entries
+	StoreQueue  int
+
+	// Per-class functional unit counts and issue queue sizes.
+	Units  [NumUnitClasses]int
+	IssueQ [NumUnitClasses]int
+
+	// Memory ports and outstanding misses.
+	DL1ReadPorts  int
+	DL1WritePorts int
+	MaxMisses     int // MSHRs
+
+	// Execution latencies per instruction class (cycles in the unit,
+	// excluding memory time for loads).
+	Latency [isa.NumClasses]int
+
+	// Front end.
+	DecodeLatency   int // fetch-to-rename pipe depth
+	BranchRecovery  int // Table VI: 3 cycles
+	MaxPredBranches int // Table VI: 12 unresolved conditional branches
+	NFAEntries      int // Table VI: 4K
+	NFAMissLatency  int // Table VI: 2 cycles
+
+	// Branch prediction.
+	Predictor        string // "gp", "gshare", "bimodal", "perfect"
+	PredictorEntries int    // Table VI: 16K
+
+	// Accounting selects the trauma attribution policy.
+	// AccountZeroRetire (the default, Moreno-style) charges only the
+	// cycles in which nothing retires; AccountEveryCycle charges every
+	// cycle by the oldest instruction's state, so the trauma total
+	// equals the cycle count. DESIGN.md lists this as an ablation.
+	Accounting AccountingPolicy
+
+	// Memory hierarchy.
+	Mem mem.HierarchyConfig
+}
+
+// AccountingPolicy selects how stall cycles are attributed.
+type AccountingPolicy uint8
+
+// Accounting policies.
+const (
+	AccountZeroRetire AccountingPolicy = iota
+	AccountEveryCycle
+)
+
+func defaultLatencies() [isa.NumClasses]int {
+	// Latencies follow the PowerPC 970 class of machines the paper's
+	// 4-way column represents: 2-cycle simple integer, 3-cycle
+	// load-to-use on an L1 hit.
+	var l [isa.NumClasses]int
+	l[isa.Fix] = 2
+	l[isa.Log] = 2
+	l[isa.Cmplx] = 7
+	l[isa.Load] = 3 // address generation + access pipe; cache adds more
+	l[isa.Store] = 1
+	l[isa.Br] = 1
+	l[isa.Fpu] = 4
+	l[isa.VLoad] = 3
+	l[isa.VStore] = 1
+	l[isa.VSimple] = 2
+	l[isa.VPerm] = 2
+	l[isa.VCmplx] = 5
+	l[isa.VFpu] = 6
+	return l
+}
+
+// MemoryConfigs returns the paper's Table V memory configurations in
+// order: me1 (32K/32K/1M), me2 (64K/64K/2M), me3 (128K/128K/4M), me4
+// (128K/128K/Inf), meinf (Inf/Inf/Inf).
+func MemoryConfigs() []NamedMemory {
+	mk := func(name string, il1, dl1 int, l2 int, il1Inf, dl1Inf, l2Inf bool) NamedMemory {
+		return NamedMemory{
+			Name: name,
+			Cfg: mem.HierarchyConfig{
+				IL1:         mem.CacheConfig{SizeBytes: il1, Assoc: 1, LineBytes: 128, Latency: 1, Infinite: il1Inf},
+				DL1:         mem.CacheConfig{SizeBytes: dl1, Assoc: 2, LineBytes: 128, Latency: 1, Infinite: dl1Inf},
+				L2:          mem.CacheConfig{SizeBytes: l2, Assoc: 8, LineBytes: 128, Latency: 12, Infinite: l2Inf},
+				MemLatency:  300,
+				ITLBEntries: 256,
+				DTLBEntries: 512,
+				TLBMissLat:  30,
+			},
+		}
+	}
+	return []NamedMemory{
+		mk("32k/32k/1M", 32<<10, 32<<10, 1<<20, false, false, false),
+		mk("64k/64k/2M", 64<<10, 64<<10, 2<<20, false, false, false),
+		mk("128k/128k/4M", 128<<10, 128<<10, 4<<20, false, false, false),
+		mk("128k/128k/INF", 128<<10, 128<<10, 0, false, false, true),
+		mk("INF/INF/INF", 0, 0, 0, true, true, true),
+	}
+}
+
+// NamedMemory pairs a Table V column with its label.
+type NamedMemory struct {
+	Name string
+	Cfg  mem.HierarchyConfig
+}
+
+// baseConfig fills the fields shared by every width.
+func baseConfig(name string) Config {
+	c := Config{
+		Name:             name,
+		Latency:          defaultLatencies(),
+		DecodeLatency:    6,
+		BranchRecovery:   3,
+		MaxPredBranches:  12,
+		NFAEntries:       4096,
+		NFAMissLatency:   2,
+		Predictor:        "gp",
+		PredictorEntries: 16384,
+		Mem:              MemoryConfigs()[0].Cfg,
+	}
+	return c
+}
+
+// Config4Way is Table IV's 4-way column: a mainstream superscalar in
+// the class of the PowerPC 970 / Alpha 21264.
+func Config4Way() Config {
+	c := baseConfig("4way")
+	c.FetchWidth, c.RenameWidth, c.DispatchWidth, c.RetireWidth = 4, 4, 4, 6
+	c.Inflight = 160
+	c.PhysGPR, c.PhysVPR, c.PhysFPR = 96, 96, 96
+	c.IBuffer = 18
+	c.RetireQueue = 128
+	c.StoreQueue = 16
+	c.Units = [NumUnitClasses]int{2, 3, 2, 2, 1, 1, 1, 1}
+	for i := range c.IssueQ {
+		c.IssueQ[i] = 20
+	}
+	c.DL1ReadPorts, c.DL1WritePorts = 2, 1
+	c.MaxMisses = 4
+	return c
+}
+
+// Config8Way is Table IV's 8-way column: an aggressive design in the
+// class of a possible Power6 / Alpha 21464.
+func Config8Way() Config {
+	c := baseConfig("8way")
+	c.FetchWidth, c.RenameWidth, c.DispatchWidth, c.RetireWidth = 8, 8, 8, 12
+	c.Inflight = 255
+	c.PhysGPR, c.PhysVPR, c.PhysFPR = 128, 128, 128
+	c.IBuffer = 36
+	c.RetireQueue = 180
+	c.StoreQueue = 32
+	c.Units = [NumUnitClasses]int{4, 6, 4, 3, 2, 2, 2, 2}
+	for i := range c.IssueQ {
+		c.IssueQ[i] = 40
+	}
+	c.DL1ReadPorts, c.DL1WritePorts = 3, 2
+	c.MaxMisses = 8
+	return c
+}
+
+// Config12Way interpolates between the paper's 8- and 16-way columns;
+// Figure 8 sweeps widths {4, 8, 12, 16}.
+func Config12Way() Config {
+	c := baseConfig("12way")
+	c.FetchWidth, c.RenameWidth, c.DispatchWidth, c.RetireWidth = 12, 12, 12, 16
+	c.Inflight = 255
+	c.PhysGPR, c.PhysVPR, c.PhysFPR = 128, 128, 128
+	c.IBuffer = 54
+	c.RetireQueue = 180
+	c.StoreQueue = 48
+	c.Units = [NumUnitClasses]int{6, 8, 6, 5, 4, 3, 3, 3}
+	for i := range c.IssueQ {
+		c.IssueQ[i] = 60
+	}
+	c.DL1ReadPorts, c.DL1WritePorts = 5, 3
+	c.MaxMisses = 12
+	return c
+}
+
+// Config16Way is Table IV's 16-way column, the paper's ILP limit
+// configuration.
+func Config16Way() Config {
+	c := baseConfig("16way")
+	c.FetchWidth, c.RenameWidth, c.DispatchWidth, c.RetireWidth = 16, 16, 16, 20
+	c.Inflight = 255
+	c.PhysGPR, c.PhysVPR, c.PhysFPR = 128, 128, 128
+	c.IBuffer = 72
+	c.RetireQueue = 180
+	c.StoreQueue = 64
+	c.Units = [NumUnitClasses]int{8, 10, 8, 7, 6, 4, 4, 4}
+	for i := range c.IssueQ {
+		c.IssueQ[i] = 80
+	}
+	c.DL1ReadPorts, c.DL1WritePorts = 7, 4
+	c.MaxMisses = 16
+	return c
+}
+
+// ConfigByWidth returns the Table IV column for width 4, 8, 12 or 16.
+func ConfigByWidth(width int) Config {
+	switch width {
+	case 4:
+		return Config4Way()
+	case 8:
+		return Config8Way()
+	case 12:
+		return Config12Way()
+	case 16:
+		return Config16Way()
+	}
+	panic("uarch: no configuration for this width")
+}
+
+// WithMemory returns a copy of c using the given memory configuration.
+func (c Config) WithMemory(m NamedMemory) Config {
+	c.Mem = m.Cfg
+	return c
+}
+
+// WithPredictor returns a copy of c using the given branch prediction
+// strategy and table size.
+func (c Config) WithPredictor(strategy string, entries int) Config {
+	c.Predictor = strategy
+	if entries > 0 {
+		c.PredictorEntries = entries
+	}
+	return c
+}

@@ -1,0 +1,246 @@
+// Package mem models the paper's memory hierarchy (Table V): set-
+// associative LRU L1 instruction and data caches, a shared L2, main
+// memory, and TLBs. Caches can be configured "infinite" for the
+// meinf-style limit studies.
+package mem
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int  // total capacity; ignored when Infinite
+	Assoc     int  // ways
+	LineBytes int  // line size
+	Latency   int  // hit latency in cycles
+	Infinite  bool // always hits (the paper's "Inf" entries)
+}
+
+// Cache is a set-associative LRU cache. It tracks content only (no
+// data), which is all trace-driven simulation needs.
+type Cache struct {
+	cfg       CacheConfig
+	sets      int
+	lineShift uint
+	setMask   uint32
+	// tags[set*assoc+way]; order[set*assoc+way] holds ways in MRU..LRU
+	// order as indexes into tags.
+	tags  []uint32
+	order []uint8
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache from cfg. Size, associativity and line size
+// must be powers of two with at least one set.
+func NewCache(cfg CacheConfig) *Cache {
+	c := &Cache{cfg: cfg}
+	if cfg.Infinite {
+		return c
+	}
+	if cfg.LineBytes <= 0 || cfg.Assoc <= 0 || cfg.SizeBytes < cfg.LineBytes*cfg.Assoc {
+		panic("mem: invalid cache geometry")
+	}
+	c.sets = cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	if c.sets&(c.sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("mem: cache geometry must be a power of two")
+	}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	c.setMask = uint32(c.sets - 1)
+	c.tags = make([]uint32, c.sets*cfg.Assoc)
+	c.order = make([]uint8, c.sets*cfg.Assoc)
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < cfg.Assoc; w++ {
+			c.order[s*cfg.Assoc+w] = uint8(w)
+		}
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access touches the line containing addr and returns whether it hit.
+// Misses install the line (allocate on read and write alike).
+func (c *Cache) Access(addr uint32) bool {
+	c.Accesses++
+	if c.cfg.Infinite {
+		return true
+	}
+	line := (addr >> c.lineShift) + 1 // +1: tag 0 means empty
+	set := (addr >> c.lineShift) & c.setMask
+	base := int(set) * c.cfg.Assoc
+	ways := c.order[base : base+c.cfg.Assoc]
+	tags := c.tags[base : base+c.cfg.Assoc]
+	for i, w := range ways {
+		if tags[w] == line {
+			// Move way to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = w
+			return true
+		}
+	}
+	c.Misses++
+	// Evict LRU.
+	victim := ways[len(ways)-1]
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = victim
+	tags[victim] = line
+	return false
+}
+
+// Probe reports whether the line containing addr is resident without
+// touching LRU state or statistics. The pipeline uses it to test
+// whether an access would miss before committing resources (MSHRs) to
+// it.
+func (c *Cache) Probe(addr uint32) bool {
+	if c.cfg.Infinite {
+		return true
+	}
+	line := (addr >> c.lineShift) + 1
+	set := (addr >> c.lineShift) & c.setMask
+	base := int(set) * c.cfg.Assoc
+	for _, w := range c.order[base : base+c.cfg.Assoc] {
+		if c.tags[base : base+c.cfg.Assoc][w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/accesses, or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// TLB is a direct-mapped translation buffer over 4K pages.
+type TLB struct {
+	entries          []uint32
+	mask             uint32
+	Accesses, Misses uint64
+}
+
+const pageShift = 12
+
+// NewTLB returns a TLB with the given (power of two) entry count.
+func NewTLB(entries int) *TLB {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &TLB{entries: make([]uint32, n), mask: uint32(n - 1)}
+}
+
+// Access touches the page of addr, returning whether it hit.
+func (t *TLB) Access(addr uint32) bool {
+	t.Accesses++
+	page := (addr >> pageShift) + 1
+	i := (addr >> pageShift) & t.mask
+	if t.entries[i] == page {
+		return true
+	}
+	t.entries[i] = page
+	t.Misses++
+	return false
+}
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMemory
+)
+
+// Hierarchy is a two-level data/instruction cache hierarchy with a
+// shared L2 in front of fixed-latency main memory, plus TLBs.
+type Hierarchy struct {
+	IL1, DL1, L2 *Cache
+	ITLB, DTLB   *TLB
+	MemLatency   int
+	TLBMissLat   int
+}
+
+// HierarchyConfig parameterizes NewHierarchy.
+type HierarchyConfig struct {
+	IL1, DL1, L2 CacheConfig
+	MemLatency   int
+	ITLBEntries  int
+	DTLBEntries  int
+	TLBMissLat   int
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		IL1:        NewCache(cfg.IL1),
+		DL1:        NewCache(cfg.DL1),
+		L2:         NewCache(cfg.L2),
+		MemLatency: cfg.MemLatency,
+		TLBMissLat: cfg.TLBMissLat,
+	}
+	if cfg.ITLBEntries > 0 {
+		h.ITLB = NewTLB(cfg.ITLBEntries)
+	}
+	if cfg.DTLBEntries > 0 {
+		h.DTLB = NewTLB(cfg.DTLBEntries)
+	}
+	return h
+}
+
+// ProbeData reports which level would satisfy a data access, without
+// changing any cache state.
+func (h *Hierarchy) ProbeData(addr uint32) Level {
+	if h.DL1.Probe(addr) {
+		return LevelL1
+	}
+	if h.L2.Probe(addr) {
+		return LevelL2
+	}
+	return LevelMemory
+}
+
+// DataAccess performs a data-side access and returns the total latency
+// in cycles, the level that satisfied it, and the extra TLB penalty.
+func (h *Hierarchy) DataAccess(addr uint32) (lat int, level Level, tlbMiss bool) {
+	lat = h.DL1.Config().Latency
+	level = LevelL1
+	if h.DTLB != nil && !h.DTLB.Access(addr) {
+		lat += h.TLBMissLat
+		tlbMiss = true
+	}
+	if !h.DL1.Access(addr) {
+		lat += h.L2.Config().Latency
+		level = LevelL2
+		if !h.L2.Access(addr) {
+			lat += h.MemLatency
+			level = LevelMemory
+		}
+	}
+	return lat, level, tlbMiss
+}
+
+// InstAccess performs an instruction-side access with the same
+// semantics.
+func (h *Hierarchy) InstAccess(addr uint32) (lat int, level Level, tlbMiss bool) {
+	lat = h.IL1.Config().Latency
+	level = LevelL1
+	if h.ITLB != nil && !h.ITLB.Access(addr) {
+		lat += h.TLBMissLat
+		tlbMiss = true
+	}
+	if !h.IL1.Access(addr) {
+		lat += h.L2.Config().Latency
+		level = LevelL2
+		if !h.L2.Access(addr) {
+			lat += h.MemLatency
+			level = LevelMemory
+		}
+	}
+	return lat, level, tlbMiss
+}

@@ -1,0 +1,682 @@
+package uarch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/uarch/bpred"
+	"repro/internal/uarch/mem"
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	inst isa.Inst
+	seq  uint64
+
+	dep1, dep2 int64 // producer sequence numbers, -1 when ready
+
+	dispatched bool
+	issued     bool
+	done       bool
+	doneCycle  int64
+
+	// Branch state.
+	mispredicted bool
+	condPending  bool // conditional branch not yet resolved
+
+	// Memory state.
+	missLevel  mem.Level
+	tlbMiss    bool
+	inSQ       bool
+	waitReason Trauma // why the last issue attempt failed
+}
+
+// Pipeline is the out-of-order processor model. Create one per
+// simulation with New, feed it a trace Source via Run.
+type Pipeline struct {
+	cfg       Config
+	hier      *mem.Hierarchy
+	pred      bpred.Predictor
+	nfa       *bpred.NFA
+	perfectBP bool
+
+	// ROB ring buffer.
+	rob        []robEntry
+	head       uint64     // sequence number of the oldest in-flight entry
+	tail       uint64     // next sequence number to allocate
+	lastWriter [128]int64 // per architectural register: last renamed producer
+
+	// Front end.
+	src            trace.Source
+	pending        *isa.Inst // one-instruction lookahead
+	srcDone        bool
+	ibuffer        []fetchedInst
+	fetchBlocked   int64 // cycle fetch may resume; -1 when mispredict-stalled
+	fetchReason    Trauma
+	curFetchLine   uint32
+	unresolvedCond int
+
+	// Rename resources.
+	freeRegs [4]int // indexed by isa.File
+
+	// Issue queues per unit class (sequence numbers in age order).
+	queues [NumUnitClasses][]uint64
+
+	// Store queue: sequence numbers of in-flight stores.
+	storeQ []uint64
+
+	// Issued-but-unfinished instructions (completion scan set).
+	executing []uint64
+
+	// Outstanding cache misses (completion cycles).
+	misses []int64
+
+	memInFlight int // dispatched, unretired memory ops
+	ibufferCond int // conditional branches sitting in the ibuffer
+
+	// refillAfterMispredict marks front-end refill cycles that belong
+	// to a misprediction, so they charge if_pred like the paper does.
+	refillAfterMispredict bool
+
+	cycle int64
+	stats Result
+
+	dispatchBlock Trauma
+}
+
+// fetchedInst is an ibuffer slot.
+type fetchedInst struct {
+	inst       isa.Inst
+	fetchCycle int64
+	misp       bool // conditional branch fetched down the wrong path
+}
+
+// New builds a pipeline for the given configuration.
+func New(cfg Config) *Pipeline {
+	p := &Pipeline{cfg: cfg}
+	p.hier = mem.NewHierarchy(cfg.Mem)
+	var err error
+	p.pred, err = bpred.New(cfg.Predictor, cfg.PredictorEntries)
+	if err != nil {
+		panic(err)
+	}
+	_, p.perfectBP = p.pred.(bpred.Perfect)
+	p.nfa = bpred.NewNFA(cfg.NFAEntries)
+	p.rob = make([]robEntry, cfg.RetireQueue)
+	for i := range p.lastWriter {
+		p.lastWriter[i] = -1
+	}
+	p.freeRegs[isa.FileGPR] = cfg.PhysGPR - isa.NumArchRegs
+	p.freeRegs[isa.FileFPR] = cfg.PhysFPR - isa.NumArchRegs
+	p.freeRegs[isa.FileVPR] = cfg.PhysVPR - isa.NumArchRegs
+	p.ibuffer = make([]fetchedInst, 0, cfg.IBuffer)
+	p.fetchBlocked = 0
+	p.curFetchLine = ^uint32(0)
+	p.stats.QueueOcc = make([][]uint64, NumUnitClasses)
+	for i := range p.stats.QueueOcc {
+		p.stats.QueueOcc[i] = make([]uint64, cfg.IssueQ[i]+1)
+	}
+	p.stats.InflightOcc = make([]uint64, cfg.Inflight+1)
+	p.stats.RetireQOcc = make([]uint64, cfg.RetireQueue+1)
+	p.stats.MemQOcc = make([]uint64, cfg.RetireQueue+1)
+	return p
+}
+
+func (p *Pipeline) entry(seq uint64) *robEntry {
+	return &p.rob[seq%uint64(len(p.rob))]
+}
+
+func (p *Pipeline) robSize() int { return int(p.tail - p.head) }
+
+// resolved reports whether the producer with sequence number dep has
+// its result available.
+func (p *Pipeline) resolved(dep int64) bool {
+	if dep < 0 || uint64(dep) < p.head {
+		return true
+	}
+	return p.entry(uint64(dep)).done
+}
+
+// Run simulates the trace to completion and returns the results.
+func (p *Pipeline) Run(src trace.Source) (*Result, error) {
+	p.src = src
+	maxCycles := int64(1 << 62)
+	lastProgressCycle := int64(0)
+	lastRetired := uint64(0)
+	for {
+		if p.finished() {
+			break
+		}
+		p.step()
+		if p.stats.Retired > lastRetired {
+			lastRetired = p.stats.Retired
+			lastProgressCycle = p.cycle
+		} else if p.cycle-lastProgressCycle > 1_000_000 {
+			return nil, fmt.Errorf("uarch: no retirement in 1M cycles at cycle %d (deadlock): %s", p.cycle, p.deadlockState())
+		}
+		if p.cycle > maxCycles {
+			return nil, fmt.Errorf("uarch: cycle limit exceeded")
+		}
+	}
+	p.finalize()
+	return &p.stats, nil
+}
+
+// deadlockState renders the machine state for deadlock diagnostics.
+func (p *Pipeline) deadlockState() string {
+	if p.robSize() == 0 {
+		return fmt.Sprintf("rob empty, ibuffer=%d, fetchBlocked=%d reason=%v dispatchBlock=%v",
+			len(p.ibuffer), p.fetchBlocked, p.fetchReason, p.dispatchBlock)
+	}
+	e := p.entry(p.head)
+	return fmt.Sprintf("head seq=%d %v issued=%v done=%v dep1=%d dep2=%d wait=%v sq=%d misses=%d",
+		e.seq, e.inst, e.issued, e.done, e.dep1, e.dep2, e.waitReason, len(p.storeQ), len(p.misses))
+}
+
+func (p *Pipeline) finished() bool {
+	return p.srcDone && p.pending == nil && len(p.ibuffer) == 0 && p.robSize() == 0
+}
+
+// step advances one cycle: completion, retire, issue, dispatch, fetch,
+// then trauma attribution and occupancy statistics.
+func (p *Pipeline) step() {
+	retired := p.retireAndComplete()
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	p.account(retired)
+	p.cycle++
+}
+
+// retireAndComplete marks finished executions done, then retires from
+// the ROB head. Returns the number retired this cycle.
+func (p *Pipeline) retireAndComplete() int {
+	// Completion.
+	still := p.executing[:0]
+	for _, seq := range p.executing {
+		e := p.entry(seq)
+		if e.doneCycle > p.cycle {
+			still = append(still, seq)
+			continue
+		}
+		e.done = true
+		if e.condPending {
+			e.condPending = false
+			p.unresolvedCond--
+		}
+		if e.mispredicted {
+			// Fetch restarts after the recovery penalty.
+			p.fetchBlocked = p.cycle + int64(p.cfg.BranchRecovery)
+			p.fetchReason = IfPred
+			p.refillAfterMispredict = true
+		}
+	}
+	p.executing = still
+	// Expire outstanding misses.
+	live := p.misses[:0]
+	for _, c := range p.misses {
+		if c > p.cycle {
+			live = append(live, c)
+		}
+	}
+	p.misses = live
+
+	// Retire.
+	retired := 0
+	storeRetires := 0
+	for retired < p.cfg.RetireWidth && p.robSize() > 0 {
+		e := p.entry(p.head)
+		if !e.done {
+			break
+		}
+		if e.inst.Class().IsStore() {
+			if storeRetires >= p.cfg.DL1WritePorts {
+				break
+			}
+			storeRetires++
+			p.releaseStore(e.seq)
+		}
+		if e.inst.Class().IsMem() {
+			p.memInFlight--
+		}
+		if e.inst.Dst != isa.RegNone {
+			p.freeRegs[e.inst.Dst.File()]++
+			if p.lastWriter[e.inst.Dst] == int64(e.seq) {
+				p.lastWriter[e.inst.Dst] = -1
+			}
+		}
+		p.head++
+		retired++
+		p.stats.Retired++
+	}
+	return retired
+}
+
+func (p *Pipeline) releaseStore(seq uint64) {
+	for i, s := range p.storeQ {
+		if s == seq {
+			p.storeQ = append(p.storeQ[:i], p.storeQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// issue selects ready instructions from each class queue, oldest
+// first, bounded by the unit counts and memory ports.
+func (p *Pipeline) issue() {
+	loadPorts := p.cfg.DL1ReadPorts
+	for uc := UnitClass(0); uc < NumUnitClasses; uc++ {
+		slots := p.cfg.Units[uc]
+		q := p.queues[uc]
+		out := q[:0]
+		for _, seq := range q {
+			e := p.entry(seq)
+			if slots == 0 {
+				e.waitReason = fulTraumaOf(e.inst.Class())
+				out = append(out, seq)
+				continue
+			}
+			if !p.resolved(e.dep1) || !p.resolved(e.dep2) {
+				e.waitReason = p.depTrauma(e)
+				out = append(out, seq)
+				continue
+			}
+			ok := true
+			switch {
+			case e.inst.Class().IsLoad():
+				ok = p.issueLoad(e, &loadPorts)
+			case e.inst.Class().IsStore():
+				ok = p.issueStore(e)
+			default:
+				p.execute(e, p.cfg.Latency[e.inst.Class()])
+			}
+			if !ok {
+				out = append(out, seq)
+				continue
+			}
+			slots--
+		}
+		p.queues[uc] = out
+	}
+}
+
+// depTrauma classifies which producer the entry is waiting on.
+func (p *Pipeline) depTrauma(e *robEntry) Trauma {
+	for _, dep := range [2]int64{e.dep1, e.dep2} {
+		if dep >= 0 && uint64(dep) >= p.head && !p.entry(uint64(dep)).done {
+			return rgTraumaOf(p.entry(uint64(dep)).inst.Class())
+		}
+	}
+	return TrOther
+}
+
+// issueLoad attempts to issue a load; returns false if it must wait.
+func (p *Pipeline) issueLoad(e *robEntry, loadPorts *int) bool {
+	if *loadPorts == 0 {
+		e.waitReason = FulMem
+		return false
+	}
+	// Conflicting older store?
+	addr, size := e.inst.Addr, uint32(e.inst.Size())
+	for _, sseq := range p.storeQ {
+		if sseq >= e.seq {
+			continue
+		}
+		se := p.entry(sseq)
+		saddr, ssize := se.inst.Addr, uint32(se.inst.Size())
+		if addr < saddr+ssize && saddr < addr+size {
+			if !se.done {
+				// Store data/address not ready: stall the load.
+				e.waitReason = MmStnd
+				return false
+			}
+			// Forward from the store queue.
+			*loadPorts--
+			e.missLevel = mem.LevelL1
+			p.execute(e, 2)
+			return true
+		}
+	}
+	// Test for a miss before committing an MSHR — and before touching
+	// cache state, so a blocked load does not install its line.
+	if p.hier.ProbeData(addr) != mem.LevelL1 && len(p.misses) >= p.cfg.MaxMisses {
+		e.waitReason = MmDmqf
+		return false
+	}
+	lat, level, tlbMiss := p.hier.DataAccess(addr)
+	if level != mem.LevelL1 {
+		p.misses = append(p.misses, p.cycle+int64(lat))
+	}
+	*loadPorts--
+	e.missLevel = level
+	e.tlbMiss = tlbMiss
+	p.execute(e, p.cfg.Latency[e.inst.Class()]+lat-1)
+	return true
+}
+
+// issueStore issues a store (its SQ entry was allocated at dispatch).
+func (p *Pipeline) issueStore(e *robEntry) bool {
+	// The store completes into the store queue; the cache sees the
+	// write now (write-allocate) for content statistics.
+	lat, level, tlbMiss := p.hier.DataAccess(e.inst.Addr)
+	if level != mem.LevelL1 && len(p.misses) < p.cfg.MaxMisses {
+		p.misses = append(p.misses, p.cycle+int64(lat))
+	}
+	e.missLevel = level
+	e.tlbMiss = tlbMiss
+	p.execute(e, p.cfg.Latency[e.inst.Class()])
+	return true
+}
+
+func (p *Pipeline) execute(e *robEntry, lat int) {
+	if lat < 1 {
+		lat = 1
+	}
+	e.issued = true
+	e.doneCycle = p.cycle + int64(lat)
+	e.waitReason = TrOther
+	p.executing = append(p.executing, e.seq)
+}
+
+// dispatch renames and dispatches from the ibuffer into the ROB and
+// issue queues.
+func (p *Pipeline) dispatch() {
+	p.dispatchBlock = TrOther
+	dispatched := 0
+	for dispatched < p.cfg.DispatchWidth && len(p.ibuffer) > 0 {
+		fi := p.ibuffer[0]
+		if p.cycle < fi.fetchCycle+int64(p.cfg.DecodeLatency) {
+			p.dispatchBlock = TrDecode
+			break
+		}
+		if p.robSize() >= p.cfg.RetireQueue || p.robSize() >= p.cfg.Inflight {
+			p.dispatchBlock = MmRoqf
+			break
+		}
+		in := fi.inst
+		if in.Dst != isa.RegNone && p.freeRegs[in.Dst.File()] <= 0 {
+			p.dispatchBlock = TrRename
+			break
+		}
+		uc := UnitOf(in.Class())
+		if len(p.queues[uc]) >= p.cfg.IssueQ[uc] {
+			p.dispatchBlock = diqTraumaOf(in.Class())
+			break
+		}
+		// Store queue entries are allocated in program order at
+		// dispatch; allocating at issue can deadlock an older store
+		// behind younger ones.
+		if in.Class().IsStore() && len(p.storeQ) >= p.cfg.StoreQueue {
+			p.dispatchBlock = MmStqf
+			break
+		}
+
+		seq := p.tail
+		p.tail++
+		e := p.entry(seq)
+		*e = robEntry{inst: in, seq: seq, dep1: -1, dep2: -1, dispatched: true}
+		if in.Src1 != isa.RegNone {
+			e.dep1 = p.lastWriter[in.Src1]
+		}
+		if in.Src2 != isa.RegNone {
+			e.dep2 = p.lastWriter[in.Src2]
+		}
+		if in.Dst != isa.RegNone {
+			p.freeRegs[in.Dst.File()]--
+			p.lastWriter[in.Dst] = int64(seq)
+		}
+		if in.Class() == isa.Br && in.Conditional() {
+			e.condPending = true
+			p.unresolvedCond++
+			p.ibufferCond--
+			e.mispredicted = fi.misp
+		}
+		if in.Class().IsMem() {
+			p.memInFlight++
+			if in.Class().IsStore() {
+				p.storeQ = append(p.storeQ, seq)
+				e.inSQ = true
+			}
+		}
+		p.queues[uc] = append(p.queues[uc], seq)
+		p.ibuffer = p.ibuffer[1:]
+		dispatched++
+	}
+	if dispatched > 0 {
+		// The front end has recovered from any flush.
+		p.refillAfterMispredict = false
+	}
+	if len(p.ibuffer) == 0 && dispatched == 0 {
+		p.dispatchBlock = TrOther
+	}
+	if dispatched == 0 && p.dispatchBlock != TrOther {
+		p.stats.DispatchBlocks[p.dispatchBlock]++
+	}
+}
+
+// fetch brings instructions from the trace into the ibuffer, modeling
+// the I-cache, branch prediction, the NFA, and the paper's fetch
+// stop conditions.
+func (p *Pipeline) fetch() {
+	if p.fetchBlocked < 0 || p.cycle < p.fetchBlocked {
+		if !p.srcDone || p.pending != nil {
+			p.stats.FetchBlocks[p.fetchReason]++
+		}
+		return // blocked; reason already in fetchReason
+	}
+	fetched := 0
+	for fetched < p.cfg.FetchWidth {
+		if len(p.ibuffer) >= p.cfg.IBuffer {
+			p.fetchReason = IfFull
+			return
+		}
+		in, ok := p.next()
+		if !ok {
+			p.fetchReason = TrOther
+			return
+		}
+		// Unresolved-conditional-branch limit.
+		if in.Class() == isa.Br && in.Conditional() &&
+			p.unresolvedCond+p.ibufferCond >= p.cfg.MaxPredBranches {
+			p.fetchReason = IfBrch
+			p.stats.FetchBlocks[IfBrch]++
+			return
+		}
+		// I-cache: access once per new line.
+		line := in.PC >> 7
+		if line != p.curFetchLine {
+			lat, level, tlbMiss := p.hier.InstAccess(in.PC)
+			p.curFetchLine = line
+			if level != mem.LevelL1 || tlbMiss {
+				p.fetchBlocked = p.cycle + int64(lat)
+				switch {
+				case tlbMiss:
+					p.fetchReason = IfTlb1
+				case level == mem.LevelMemory:
+					p.fetchReason = IfL2
+				default:
+					p.fetchReason = IfL1
+				}
+				return
+			}
+		}
+		p.consume()
+		fi := fetchedInst{inst: in, fetchCycle: p.cycle}
+
+		if in.Class() == isa.Br {
+			taken := in.Taken()
+			if in.Conditional() {
+				p.stats.CondBranches++
+				p.ibufferCond++
+				var predicted bool
+				if p.perfectBP {
+					predicted = taken
+				} else {
+					predicted = p.pred.Predict(in.PC)
+					p.pred.Update(in.PC, taken)
+				}
+				if predicted != taken {
+					p.stats.Mispredicts++
+					fi.misp = true
+					p.ibuffer = append(p.ibuffer, fi)
+					// Fetch stalls until the branch resolves; the
+					// right-path line must be re-fetched afterwards.
+					p.fetchBlocked = -1
+					p.fetchReason = IfPred
+					p.curFetchLine = ^uint32(0)
+					return
+				}
+			}
+			if taken {
+				// Redirect: the fetch group ends here, and a target
+				// miss in the NFA costs extra bubbles.
+				p.ibuffer = append(p.ibuffer, fi)
+				p.curFetchLine = ^uint32(0)
+				if !p.nfa.Lookup(in.PC, in.Addr) {
+					p.fetchBlocked = p.cycle + 1 + int64(p.cfg.NFAMissLatency)
+					p.fetchReason = IfNfa
+				} else {
+					p.fetchBlocked = p.cycle + 1
+					p.fetchReason = IfPref
+				}
+				return
+			}
+		}
+		p.ibuffer = append(p.ibuffer, fi)
+		fetched++
+	}
+}
+
+// next peeks the next trace instruction.
+func (p *Pipeline) next() (isa.Inst, bool) {
+	if p.pending != nil {
+		return *p.pending, true
+	}
+	if p.srcDone {
+		return isa.Inst{}, false
+	}
+	in, ok := p.src.Next()
+	if !ok {
+		p.srcDone = true
+		return isa.Inst{}, false
+	}
+	p.pending = &in
+	p.stats.Instructions++
+	p.stats.ByClass[in.Class()]++
+	return in, true
+}
+
+func (p *Pipeline) consume() { p.pending = nil }
+
+// account performs the per-cycle trauma attribution and occupancy
+// statistics.
+func (p *Pipeline) account(retired int) {
+	p.stats.Cycles++
+	// Occupancy histograms (Figure 10).
+	for uc := range p.queues {
+		occ := len(p.queues[uc])
+		h := p.stats.QueueOcc[uc]
+		if occ >= len(h) {
+			occ = len(h) - 1
+		}
+		h[occ]++
+	}
+	inflight := p.robSize()
+	if inflight < len(p.stats.InflightOcc) {
+		p.stats.InflightOcc[inflight]++
+	}
+	if inflight < len(p.stats.RetireQOcc) {
+		p.stats.RetireQOcc[inflight]++
+	}
+	if p.memInFlight < len(p.stats.MemQOcc) {
+		p.stats.MemQOcc[p.memInFlight]++
+	}
+
+	if retired > 0 {
+		p.stats.ProgressCycles++
+		if p.cfg.Accounting != AccountEveryCycle {
+			return
+		}
+	}
+	if p.finished() {
+		return
+	}
+	p.stats.Traumas[p.classifyStall()]++
+}
+
+// classifyStall derives the trauma for a zero-retirement cycle from
+// the oldest instruction's state (or the front end when empty).
+func (p *Pipeline) classifyStall() Trauma {
+	if p.robSize() > 0 {
+		e := p.entry(p.head)
+		if e.issued && !e.done {
+			c := e.inst.Class()
+			if c.IsLoad() {
+				switch {
+				case e.missLevel == mem.LevelMemory:
+					return MmDl2
+				case e.missLevel == mem.LevelL2:
+					return MmDl1
+				case e.tlbMiss:
+					return MmTlb1
+				}
+			}
+			// The whole window is serialized behind this executing
+			// multi-cycle result: charge the class producing it, the
+			// way dependence traumas accumulate on Figure 2.
+			return rgTraumaOf(c)
+		}
+		if !e.issued {
+			if !p.resolved(e.dep1) || !p.resolved(e.dep2) {
+				if e.inst.Class().IsStore() && !p.resolved(e.dep1) {
+					// dep1 of a store is its data operand.
+					dep := e.dep1
+					if dep >= 0 && uint64(dep) >= p.head && !p.entry(uint64(dep)).done {
+						return StData
+					}
+				}
+				return p.depTrauma(e)
+			}
+			if e.waitReason != TrOther {
+				return e.waitReason
+			}
+			return fulTraumaOf(e.inst.Class())
+		}
+		return TrOther
+	}
+	// Window empty: the front end is the bottleneck.
+	if len(p.ibuffer) > 0 {
+		if p.dispatchBlock == TrDecode && p.refillAfterMispredict {
+			// The decode pipe is refilling because of a flush: the
+			// misprediction owns these cycles.
+			return IfPred
+		}
+		if p.dispatchBlock != TrOther {
+			return p.dispatchBlock
+		}
+		return TrDecode
+	}
+	if p.fetchBlocked < 0 || p.cycle <= p.fetchBlocked {
+		return p.fetchReason
+	}
+	return IfPref
+}
+
+func (p *Pipeline) finalize() {
+	p.stats.Name = p.cfg.Name
+	if p.stats.Cycles > 0 {
+		p.stats.IPC = float64(p.stats.Retired) / float64(p.stats.Cycles)
+	}
+	if p.stats.CondBranches > 0 {
+		p.stats.PredAccuracy = 1 - float64(p.stats.Mispredicts)/float64(p.stats.CondBranches)
+	}
+	p.stats.DL1Accesses = p.hier.DL1.Accesses
+	p.stats.DL1Misses = p.hier.DL1.Misses
+	p.stats.DL1MissRate = p.hier.DL1.MissRate()
+	p.stats.L2Accesses = p.hier.L2.Accesses
+	p.stats.L2Misses = p.hier.L2.Misses
+	p.stats.IL1Misses = p.hier.IL1.Misses
+	p.stats.NFAHits = p.nfa.Hits
+	p.stats.NFAMisses = p.nfa.Misses
+}

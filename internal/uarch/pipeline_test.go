@@ -1,0 +1,349 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// microTrace builds a synthetic trace from an emit function.
+func microTrace(t *testing.T, emit func(e *trace.Emitter)) *trace.Replay {
+	t.Helper()
+	var rec trace.Recorder
+	e := trace.NewEmitter(&rec)
+	emit(e)
+	return trace.NewReplay(rec.Insts)
+}
+
+func run(t *testing.T, cfg Config, src trace.Source) *Result {
+	t.Helper()
+	res, err := New(cfg).Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIndependentOpsReachWidth(t *testing.T) {
+	// 10k independent integer ops on a 4-way machine: IPC should
+	// approach the FX unit count (3), far above 1.
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 8)
+		for i := 0; i < 1250; i++ {
+			e.Begin(blk)
+			for j := 0; j < 8; j++ {
+				e.Fix(isa.GPR(j%16+1), isa.RegNone, isa.RegNone)
+			}
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.IPC < 2.0 {
+		t.Errorf("independent ops IPC = %.2f, want >= 2", res.IPC)
+	}
+	if res.Retired != 10000 {
+		t.Errorf("retired %d, want 10000", res.Retired)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// A strict single-cycle dependency chain retires at most 1
+	// op/cycle regardless of machine width.
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 8)
+		for i := 0; i < 1250; i++ {
+			e.Begin(blk)
+			for j := 0; j < 8; j++ {
+				e.Fix(isa.GPR(1), isa.GPR(1), isa.GPR(1))
+			}
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.IPC > 1.05 {
+		t.Errorf("dependent chain IPC = %.2f, want <= 1", res.IPC)
+	}
+}
+
+func TestMultiCycleChainChargesDependencyTraumas(t *testing.T) {
+	// A multiply chain (7-cycle latency) leaves most cycles without a
+	// retirement; those must be charged to rg_cmplx, the mechanism
+	// behind the paper's dependence traumas.
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 4)
+		for i := 0; i < 1000; i++ {
+			e.Begin(blk)
+			for j := 0; j < 4; j++ {
+				e.Cmplx(isa.GPR(1), isa.GPR(1), isa.GPR(2))
+			}
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.IPC > 0.2 {
+		t.Errorf("multiply chain IPC = %.2f, want ~1/7", res.IPC)
+	}
+	if res.Traumas[RgCmplx] == 0 {
+		t.Error("expected rg_cmplx traumas on a multiply dependency chain")
+	}
+	var total uint64
+	for _, n := range res.Traumas {
+		total += n
+	}
+	if float64(res.Traumas[RgCmplx]) < 0.8*float64(total) {
+		t.Errorf("rg_cmplx %d should dominate traumas (total %d)", res.Traumas[RgCmplx], total)
+	}
+}
+
+func TestWiderMachineHelpsParallelCode(t *testing.T) {
+	emit := func(e *trace.Emitter) {
+		blk := e.Block("b", 16)
+		for i := 0; i < 2000; i++ {
+			e.Begin(blk)
+			for j := 0; j < 16; j++ {
+				e.Fix(isa.GPR(j+1), isa.RegNone, isa.RegNone)
+			}
+		}
+	}
+	r4 := run(t, Config4Way(), microTrace(t, emit))
+	r16 := run(t, Config16Way(), microTrace(t, emit))
+	if r16.IPC <= r4.IPC*1.5 {
+		t.Errorf("16-way IPC %.2f should be well above 4-way %.2f on parallel code", r16.IPC, r4.IPC)
+	}
+}
+
+func TestCacheMissesStallAndCharge(t *testing.T) {
+	// A pointer-chase over a 8MB region: every load misses in DL1 and
+	// L2, execution serializes on memory, and mm_dl2 dominates.
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 2)
+		addr := uint32(0x1000_0000)
+		for i := 0; i < 3000; i++ {
+			e.Begin(blk)
+			e.Load(isa.GPR(1), isa.GPR(1), addr, 8)
+			e.Fix(isa.GPR(2), isa.GPR(1), isa.RegNone)
+			addr += 8 << 20 / 2048 // stride through 8MB
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.DL1MissRate < 0.9 {
+		t.Errorf("DL1 miss rate %.2f, want ~1 for a huge stride", res.DL1MissRate)
+	}
+	if res.Traumas[MmDl2] == 0 {
+		t.Error("expected mm_dl2 traumas for memory-latency-bound code")
+	}
+	if res.IPC > 0.1 {
+		t.Errorf("IPC %.3f implausibly high for serialized memory misses", res.IPC)
+	}
+}
+
+func TestCacheHitsDoNotStall(t *testing.T) {
+	// Repeatedly loading the same line: after the cold miss everything
+	// hits, and loads being independent, IPC stays healthy.
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 4)
+		for i := 0; i < 2500; i++ {
+			e.Begin(blk)
+			e.Load(isa.GPR(1), isa.RegNone, 0x1000_0000, 8)
+			e.Load(isa.GPR(2), isa.RegNone, 0x1000_0008, 8)
+			e.Fix(isa.GPR(3), isa.RegNone, isa.RegNone)
+			e.Fix(isa.GPR(4), isa.RegNone, isa.RegNone)
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.DL1MissRate > 0.01 {
+		t.Errorf("DL1 miss rate %.3f, want ~0", res.DL1MissRate)
+	}
+	if res.IPC < 1.5 {
+		t.Errorf("IPC %.2f, want >= 1.5 for L1-resident loads", res.IPC)
+	}
+}
+
+func TestMispredictedBranchesCostCycles(t *testing.T) {
+	// Random (unpredictable) branches vs perfectly biased ones: the
+	// random stream must run slower and charge if_pred.
+	rng := rand.New(rand.NewSource(3))
+	mk := func(random bool) *trace.Replay {
+		return microTrace(t, func(e *trace.Emitter) {
+			body := e.Block("body", 4)
+			other := e.Block("other", 1)
+			for i := 0; i < 3000; i++ {
+				taken := false
+				if random {
+					taken = rng.Intn(2) == 0
+				}
+				e.Begin(body)
+				e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+				e.Fix(isa.GPR(2), isa.GPR(1), isa.RegNone)
+				e.CondBranch(isa.GPR(2), taken, other)
+				e.Fix(isa.GPR(3), isa.RegNone, isa.RegNone)
+			}
+		})
+	}
+	biased := run(t, Config4Way(), mk(false))
+	random := run(t, Config4Way(), mk(true))
+	if random.Cycles <= biased.Cycles {
+		t.Errorf("random branches (%d cycles) should be slower than biased (%d)",
+			random.Cycles, biased.Cycles)
+	}
+	if random.Traumas[IfPred] == 0 {
+		t.Error("expected if_pred traumas with random branches")
+	}
+	if biased.PredAccuracy < 0.99 {
+		t.Errorf("biased accuracy %.3f, want ~1", biased.PredAccuracy)
+	}
+	if random.PredAccuracy > 0.65 {
+		t.Errorf("random accuracy %.3f, want ~0.5", random.PredAccuracy)
+	}
+}
+
+func TestPerfectPredictorRemovesBranchCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	outcomes := make([]bool, 3000)
+	for i := range outcomes {
+		outcomes[i] = rng.Intn(2) == 0
+	}
+	mk := func() *trace.Replay {
+		return microTrace(t, func(e *trace.Emitter) {
+			body := e.Block("body", 4)
+			other := e.Block("other", 1)
+			for _, taken := range outcomes {
+				e.Begin(body)
+				e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+				e.Fix(isa.GPR(2), isa.GPR(1), isa.RegNone)
+				e.CondBranch(isa.GPR(2), taken, other)
+				e.Fix(isa.GPR(3), isa.RegNone, isa.RegNone)
+			}
+		})
+	}
+	real := run(t, Config4Way(), mk())
+	perfect := run(t, Config4Way().WithPredictor("perfect", 0), mk())
+	if perfect.Cycles >= real.Cycles {
+		t.Errorf("perfect BP (%d cycles) should beat real BP (%d)", perfect.Cycles, real.Cycles)
+	}
+	if perfect.Mispredicts != 0 {
+		t.Error("perfect predictor mispredicted")
+	}
+	if perfect.Traumas[IfPred] != 0 {
+		t.Error("perfect predictor charged if_pred")
+	}
+}
+
+func TestVectorChainChargesVectorTraumas(t *testing.T) {
+	// A vsimple/vperm dependency chain: the paper's SIMD trauma
+	// signature (rg_vi, rg_vper).
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 4)
+		for i := 0; i < 3000; i++ {
+			e.Begin(blk)
+			e.VSimple(isa.VPR(1), isa.VPR(1), isa.VPR(2))
+			e.VPerm(isa.VPR(2), isa.VPR(1), isa.VPR(2))
+			e.VSimple(isa.VPR(3), isa.VPR(2), isa.VPR(1))
+			e.VSimple(isa.VPR(1), isa.VPR(3), isa.VPR(2))
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.Traumas[RgVi]+res.Traumas[RgVper] == 0 {
+		t.Error("expected vector dependency traumas")
+	}
+	if res.Traumas[RgVi]+res.Traumas[RgVper] < res.Traumas[RgFix] {
+		t.Error("vector traumas should dominate fix traumas in vector code")
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	// A store followed by a dependent load of the same address: the
+	// load must wait for the store (or forward), never read stale
+	// timing. Just verify it completes and the loads don't all miss.
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 3)
+		for i := 0; i < 2000; i++ {
+			e.Begin(blk)
+			e.Fix(isa.GPR(1), isa.RegNone, isa.RegNone)
+			e.Store(isa.GPR(1), isa.RegNone, 0x1000_0000, 8)
+			e.Load(isa.GPR(2), isa.RegNone, 0x1000_0000, 8)
+		}
+	})
+	res := run(t, Config4Way(), src)
+	if res.Retired != 6000 {
+		t.Errorf("retired %d, want 6000", res.Retired)
+	}
+	if res.DL1MissRate > 0.01 {
+		t.Errorf("same-line store/load traffic should hit, miss rate %.3f", res.DL1MissRate)
+	}
+}
+
+func TestIssueQueueOccupancyRecorded(t *testing.T) {
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 2)
+		for i := 0; i < 1000; i++ {
+			e.Begin(blk)
+			e.Fix(isa.GPR(1), isa.GPR(1), isa.RegNone)
+			e.Fix(isa.GPR(1), isa.GPR(1), isa.RegNone)
+		}
+	})
+	res := run(t, Config4Way(), src)
+	var total uint64
+	for _, n := range res.QueueOcc[UFix] {
+		total += n
+	}
+	if total != res.Cycles {
+		t.Errorf("FX occupancy histogram covers %d cycles of %d", total, res.Cycles)
+	}
+	if MeanOccupancy(res.QueueOcc[UFix]) <= 0 {
+		t.Error("dependency chain should back up the FX queue")
+	}
+}
+
+func TestTraumaAccountingCoversStallCycles(t *testing.T) {
+	// Progress cycles + trauma cycles == total cycles (modulo drain).
+	src := microTrace(t, func(e *trace.Emitter) {
+		blk := e.Block("b", 2)
+		for i := 0; i < 500; i++ {
+			e.Begin(blk)
+			e.Load(isa.GPR(1), isa.GPR(1), uint32(0x1000_0000+i*128*64), 8)
+			e.Fix(isa.GPR(2), isa.GPR(1), isa.RegNone)
+		}
+	})
+	res := run(t, Config4Way(), src)
+	var traumas uint64
+	for _, n := range res.Traumas {
+		traumas += n
+	}
+	if res.ProgressCycles+traumas > res.Cycles {
+		t.Errorf("progress %d + traumas %d exceeds cycles %d",
+			res.ProgressCycles, traumas, res.Cycles)
+	}
+	if res.ProgressCycles+traumas < res.Cycles-5 {
+		t.Errorf("attribution gap: progress %d + traumas %d vs cycles %d",
+			res.ProgressCycles, traumas, res.Cycles)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := run(t, Config4Way(), trace.NewReplay(nil))
+	if res.Retired != 0 {
+		t.Error("empty trace retired instructions")
+	}
+}
+
+func TestL1LatencySlowsLoads(t *testing.T) {
+	// Figure 7's mechanism: raising the DL1 hit latency slows
+	// load-dependent code even with perfect hit rates.
+	emit := func(e *trace.Emitter) {
+		blk := e.Block("b", 2)
+		for i := 0; i < 3000; i++ {
+			e.Begin(blk)
+			e.Load(isa.GPR(1), isa.GPR(1), 0x1000_0000, 8)
+			e.Fix(isa.GPR(1), isa.GPR(1), isa.RegNone)
+		}
+	}
+	fast := Config4Way()
+	slow := Config4Way()
+	slow.Mem.DL1.Latency = 10
+	rFast := run(t, fast, microTrace(t, emit))
+	rSlow := run(t, slow, microTrace(t, emit))
+	if rSlow.Cycles <= rFast.Cycles {
+		t.Errorf("DL1 latency 10 (%d cycles) should be slower than 1 (%d)",
+			rSlow.Cycles, rFast.Cycles)
+	}
+}

@@ -1,0 +1,89 @@
+package uarch
+
+import "repro/internal/isa"
+
+// Result carries everything the experiment harness reads out of one
+// simulation: cycle and instruction counts, the trauma distribution
+// (Figure 2), cache statistics (Figures 5-6), branch prediction
+// statistics (Figures 9, 11) and occupancy histograms (Figure 10).
+type Result struct {
+	Name string
+
+	Cycles       uint64
+	Instructions uint64 // fetched from the trace
+	Retired      uint64
+	IPC          float64
+
+	ProgressCycles uint64
+	Traumas        [NumTraumas]uint64
+
+	// Diagnostic counters: cycles the front end could not fetch and
+	// cycles dispatch was blocked, by reason. Unlike Traumas these are
+	// not exclusive per cycle — a blocked fetch behind a busy backend
+	// is invisible in the trauma histogram but recorded here.
+	FetchBlocks    [NumTraumas]uint64
+	DispatchBlocks [NumTraumas]uint64
+
+	NFAHits   uint64
+	NFAMisses uint64
+
+	ByClass [isa.NumClasses]uint64
+
+	CondBranches uint64
+	Mispredicts  uint64
+	PredAccuracy float64
+
+	DL1Accesses uint64
+	DL1Misses   uint64
+	DL1MissRate float64
+	L2Accesses  uint64
+	L2Misses    uint64
+	IL1Misses   uint64
+
+	// QueueOcc[class][n] counts cycles the class issue queue held n
+	// entries; InflightOcc / RetireQOcc / MemQOcc likewise for the
+	// in-flight window, the ROB, and in-flight memory operations.
+	QueueOcc    [][]uint64
+	InflightOcc []uint64
+	RetireQOcc  []uint64
+	MemQOcc     []uint64
+}
+
+// TopTraumas returns the n largest trauma classes in decreasing cycle
+// order.
+func (r *Result) TopTraumas(n int) []TraumaCount {
+	all := make([]TraumaCount, 0, NumTraumas)
+	for t := Trauma(0); t < NumTraumas; t++ {
+		if r.Traumas[t] > 0 {
+			all = append(all, TraumaCount{Trauma: t, Cycles: r.Traumas[t]})
+		}
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Cycles > all[j-1].Cycles; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// TraumaCount pairs a trauma with its cycle count.
+type TraumaCount struct {
+	Trauma Trauma
+	Cycles uint64
+}
+
+// MeanOccupancy returns the mean of an occupancy histogram.
+func MeanOccupancy(hist []uint64) float64 {
+	var cycles, weighted uint64
+	for occ, n := range hist {
+		cycles += n
+		weighted += uint64(occ) * n
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(cycles)
+}

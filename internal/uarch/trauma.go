@@ -1,0 +1,191 @@
+package uarch
+
+import "repro/internal/isa"
+
+// Trauma is a stall cause: the reason the processor made no forward
+// progress in a cycle, in the taxonomy of Moreno et al. that the paper
+// uses (Table VII and the 56 categories on Figure 2's axis).
+//
+// The attribution policy matches the paper's methodology: every cycle
+// in which no instruction retires is charged to exactly one trauma,
+// derived from the state of the oldest instruction in the machine (or
+// of the front end when the window is empty).
+type Trauma uint8
+
+// Trauma classes, in Figure 2's axis order.
+const (
+	StData Trauma = iota // store waiting for its data operand
+
+	RgVfpu // dependency on a vector-float result
+	RgVcmplx
+	RgVper
+	RgVi
+	RgCmplx
+	RgLog
+	RgBr
+	RgMem // dependency on a load result
+	RgFpu
+	RgFix
+
+	MmDl1  // load miss satisfied by L2
+	MmDl2  // load miss going to memory
+	MmTlb2 // L2 TLB miss (unused by this model, kept for the taxonomy)
+	MmTlb1 // data TLB miss
+	MmStnd // load blocked on an older store's unready data
+	MmDcqf // cache queue full (unused)
+	MmDmqf // miss queue (MSHR) full
+	MmRoqf // memory reorder queue full (unused)
+	MmStqc // store queue commit port busy (unused)
+	MmStqf // store queue full
+
+	FulVfpu // ready but all units of the class busy
+	FulVcmplx
+	FulVper
+	FulVi
+	FulCmplx
+	FulLog
+	FulBr
+	FulMem
+	FulFpu
+	FulFix
+
+	DiqVfpu // dispatch blocked: issue queue full
+	DiqVcmplx
+	DiqVper
+	DiqVi
+	DiqCmplx
+	DiqLog
+	DiqBr
+	DiqMem
+	DiqFpu
+	DiqFix
+
+	TrRename // no free physical register
+	TrDecode // decode pipe refilling
+
+	IfLdst // fetch blocked: load/store limit (unused)
+	IfBrch // fetch blocked: unresolved-branch limit
+	IfFlit // fetch blocked: fetch group limit (unused)
+	IfFull // instruction buffer full
+	IfPred // branch misprediction recovery
+	IfPref // front end starved, miscellaneous
+	IfL1   // I-fetch miss satisfied by L2
+	IfL15  // I-fetch L1.5 miss (unused, taxonomy slot)
+	IfL2   // I-fetch miss going to memory
+	IfTlb2 // I-side L2 TLB miss (unused)
+	IfTlb1 // I-side TLB miss
+	IfNfa  // next-fetch-address (target) miss bubble
+
+	TrOther // anything else (e.g. head executing a long op)
+	NumTraumas
+)
+
+var traumaNames = [NumTraumas]string{
+	"st_data",
+	"rg_vfpu", "rg_vcmplx", "rg_vper", "rg_vi", "rg_cmplx", "rg_log",
+	"rg_br", "rg_mem", "rg_fpu", "rg_fix",
+	"mm_dl1", "mm_dl2", "mm_tlb2", "mm_tlb1", "mm_stnd", "mm_dcqf",
+	"mm_dmqf", "mm_roqf", "mm_stqc", "mm_stqf",
+	"ful_vfpu", "ful_vcmplx", "ful_vper", "ful_vi", "ful_cmplx",
+	"ful_log", "ful_br", "ful_mem", "ful_fpu", "ful_fix",
+	"diq_vfpu", "diq_vcmplx", "diq_vper", "diq_vi", "diq_cmplx",
+	"diq_log", "diq_br", "diq_mem", "diq_fpu", "diq_fix",
+	"rename", "decode",
+	"if_ldst", "if_brch", "if_flit", "if_full", "if_pred", "if_pref",
+	"if_l1", "if_l15", "if_l2", "if_tlb2", "if_tlb1", "if_nfa",
+	"other",
+}
+
+func (t Trauma) String() string {
+	if int(t) < len(traumaNames) {
+		return traumaNames[t]
+	}
+	return "trauma?"
+}
+
+// rgTraumaOf maps a producing instruction class to the register-
+// dependency trauma charged to consumers waiting on it.
+func rgTraumaOf(c isa.Class) Trauma {
+	switch c {
+	case isa.Fix:
+		return RgFix
+	case isa.Log:
+		return RgLog
+	case isa.Cmplx:
+		return RgCmplx
+	case isa.Load, isa.VLoad:
+		return RgMem
+	case isa.Br:
+		return RgBr
+	case isa.Fpu:
+		return RgFpu
+	case isa.VSimple:
+		return RgVi
+	case isa.VPerm:
+		return RgVper
+	case isa.VCmplx:
+		return RgVcmplx
+	case isa.VFpu:
+		return RgVfpu
+	default:
+		return TrOther
+	}
+}
+
+// fulTraumaOf maps an instruction's own class to the structural
+// (units-busy) trauma.
+func fulTraumaOf(c isa.Class) Trauma {
+	switch c {
+	case isa.Fix:
+		return FulFix
+	case isa.Log:
+		return FulLog
+	case isa.Cmplx:
+		return FulCmplx
+	case isa.Load, isa.Store, isa.VLoad, isa.VStore:
+		return FulMem
+	case isa.Br:
+		return FulBr
+	case isa.Fpu:
+		return FulFpu
+	case isa.VSimple:
+		return FulVi
+	case isa.VPerm:
+		return FulVper
+	case isa.VCmplx:
+		return FulVcmplx
+	case isa.VFpu:
+		return FulVfpu
+	default:
+		return TrOther
+	}
+}
+
+// diqTraumaOf maps an instruction's class to the dispatch-queue-full
+// trauma.
+func diqTraumaOf(c isa.Class) Trauma {
+	switch c {
+	case isa.Fix:
+		return DiqFix
+	case isa.Log:
+		return DiqLog
+	case isa.Cmplx:
+		return DiqCmplx
+	case isa.Load, isa.Store, isa.VLoad, isa.VStore:
+		return DiqMem
+	case isa.Br:
+		return DiqBr
+	case isa.Fpu:
+		return DiqFpu
+	case isa.VSimple:
+		return DiqVi
+	case isa.VPerm:
+		return DiqVper
+	case isa.VCmplx:
+		return DiqVcmplx
+	case isa.VFpu:
+		return DiqVfpu
+	default:
+		return TrOther
+	}
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// bandedEmit is the traced banded Smith-Waterman shared by the FASTA
+// opt stage and BLAST's gapped extension: the same computation as
+// align.BandedSWScore, emitting one load/compute/store template per
+// band cell with the data-dependent zero-clamp branch that gives both
+// heuristics their branchy tails.
+//
+// The caller provides the four static blocks (row head, cell, clamp,
+// loop) so each workload keeps its own PCs, and the base addresses of
+// the two sequences, the substitution matrix and the H/F row arrays.
+func bandedEmit(em *trace.Emitter, bHead, bCell, bClamp, bLoop *trace.Block,
+	p align.Params, a, b []uint8, center, halfWidth int,
+	aBase, bBase, matBase, hBase, fBase uint32) int {
+
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 || halfWidth < 0 {
+		return 0
+	}
+	const negInf = -(1 << 28)
+	first := p.Gaps.First()
+	ext := p.Gaps.Extend
+	hrow := make([]int, n)
+	frow := make([]int, n)
+	for j := range frow {
+		frow[j] = negInf
+	}
+	r1, r2, r3, r4 := isa.GPR(1), isa.GPR(2), isa.GPR(3), isa.GPR(4)
+	r5, r6, r7 := isa.GPR(5), isa.GPR(6), isa.GPR(7)
+	best := 0
+	for i := 0; i < m; i++ {
+		lo := i + center - halfWidth
+		hi := i + center + halfWidth + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		em.Begin(bHead)
+		em.Load(r1, r7, aBase+uint32(i), 1)
+		em.Cmplx(r2, r1, isa.RegNone)
+		em.FixImm(r3, isa.RegNone)
+		em.FixImm(r4, isa.RegNone)
+		em.Jump(bCell)
+
+		mrow := p.Matrix.Row(a[i])
+		var hdiag, hleft int
+		if lo > 0 {
+			hdiag = hrow[lo-1]
+			hleft = negInf / 2
+		}
+		e := negInf / 2
+		for j := lo; j < hi; j++ {
+			e = maxOf(hleft-first, e-ext)
+			f := maxOf(hrow[j]-first, frow[j]-ext)
+			h := hdiag + int(mrow[b[j]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			clamped := h < 0
+			if clamped {
+				h = 0
+			}
+			em.Begin(bCell)
+			em.Load(r3, r7, bBase+uint32(j), 1)
+			em.Load(r4, r3, matBase+uint32(a[i])*bio.AlphabetSize+uint32(b[j]), 1)
+			em.Load(r5, r7, hBase+uint32(j)*4, 4)
+			em.Load(r6, r7, fBase+uint32(j)*4, 4)
+			em.Fix(r5, r5, r4) // e update
+			em.Fix(r6, r6, r5) // f update
+			em.Fix(r4, r4, r2) // h = hdiag + score
+			em.Fix(r4, r4, r6) // max merges
+			em.CondBranch(r4, clamped, bClamp)
+			em.Store(r4, r7, hBase+uint32(j)*4, 4)
+			em.Store(r6, r7, fBase+uint32(j)*4, 4)
+			if clamped {
+				em.Begin(bClamp)
+				em.FixImm(r4, isa.RegNone)
+			}
+			em.Begin(bLoop)
+			em.FixImm(r7, r7)
+			em.CondBranch(r7, j+1 < hi, bCell)
+
+			hdiag = hrow[j]
+			hrow[j] = h
+			frow[j] = f
+			hleft = h
+			if h > best {
+				best = h
+			}
+		}
+		if hi < n {
+			hrow[hi] = negInf / 2
+			frow[hi] = negInf
+		}
+	}
+	return best
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,302 @@
+package workloads
+
+import (
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/blast"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// BLAST is the traced BLAST workload: the word-finder inner loop over
+// the neighborhood lookup table (the paper's Listing 1 stage), the
+// two-hit diagonal rule, ungapped X-drop extensions, and gapped
+// extension for strong HSPs. Its hot structure — the CSR word table,
+// ~100KB for a paper-scale query — is accessed at data-dependent
+// random offsets every database position, which is exactly why BLAST
+// is the memory-bound application of Figure 5.
+type BLAST struct {
+	spec Spec
+}
+
+// NewBLAST builds the workload.
+func NewBLAST(spec Spec) *BLAST { return &BLAST{spec: spec} }
+
+// Name implements Workload.
+func (b *BLAST) Name() string { return "blast" }
+
+// Trace implements Workload.
+func (b *BLAST) Trace(sink trace.Sink) *RunInfo {
+	em := trace.NewEmitter(sink)
+	as := trace.NewAddressSpace()
+	p := blast.DefaultParams()
+	query := b.spec.Query.Residues
+	m := len(query)
+	w := p.WordSize
+	idx := blast.NewIndex(query, p)
+
+	// Reconstruct the CSR offsets for address modeling.
+	numWords := idx.NumWords()
+	offs := make([]int32, numWords+1)
+	for word := 0; word < numWords; word++ {
+		offs[word+1] = offs[word] + int32(len(idx.Lookup(int32(word))))
+	}
+
+	// Memory layout: thick-backbone presence bytes, CSR offsets and
+	// positions, diagonal arrays ({value,epoch} int32 pairs), matrix,
+	// query and database bytes, banded-DP rows.
+	countBase := as.Alloc(numWords)
+	offBase := as.Alloc((numWords + 1) * 4)
+	posBase := as.Alloc(idx.NumEntries() * 4)
+	matBase := as.Alloc(bio.AlphabetSize * bio.AlphabetSize)
+	queryBase := as.Alloc(m)
+	maxLen := 0
+	seqBase := make([]uint32, b.spec.DB.NumSeqs())
+	for i, seq := range b.spec.DB.Seqs {
+		seqBase[i] = as.Alloc(seq.Len())
+		if seq.Len() > maxLen {
+			maxLen = seq.Len()
+		}
+	}
+	need := m + maxLen + 1
+	lastBase := as.Alloc(need * 8) // {lastHit, lastEpoch}
+	extBase := as.Alloc(need * 8)  // {extended, extEpoch}
+	hBase := as.Alloc(maxLen * 4)
+	fBase := as.Alloc(maxLen * 4)
+
+	// Static code.
+	bSeq := em.Block("bl.seq_setup", 6)
+	bScan := em.Block("bl.scan", 10)
+	bBucket := em.Block("bl.bucket", 3)
+	bHit := em.Block("bl.hit", 6)
+	bTwoHit := em.Block("bl.two_hit", 6)
+	bExtSetup := em.Block("bl.ext_setup", 5)
+	bExtStep := em.Block("bl.ext_step", 8)
+	bExtDone := em.Block("bl.ext_done", 3)
+	bGapHead := em.Block("bl.gap_row", 5)
+	bGapCell := em.Block("bl.gap_cell", 11)
+	bGapClamp := em.Block("bl.gap_clamp", 1)
+	bGapLoop := em.Block("bl.gap_loop", 2)
+
+	r1, r2, r3, r4 := isa.GPR(1), isa.GPR(2), isa.GPR(3), isa.GPR(4)
+	r5, r6, r7, r8 := isa.GPR(5), isa.GPR(6), isa.GPR(7), isa.GPR(8)
+
+	// Diagonal state (epoch-tagged, mirrors blast.Scanner).
+	lastHit := make([]int32, need)
+	lastEpoch := make([]int32, need)
+	extended := make([]int32, need)
+	extEpoch := make([]int32, need)
+	var epoch int32
+
+	ap := align.Params{Matrix: p.Matrix, Gaps: p.Gaps}
+	scores := make([]int, b.spec.DB.NumSeqs())
+	for si, seq := range b.spec.DB.Seqs {
+		subject := seq.Residues
+		em.Begin(bSeq)
+		for x := 0; x < 5; x++ {
+			em.FixImm(r1, isa.RegNone)
+		}
+		em.Jump(bScan)
+		if len(subject) < w {
+			scores[si] = 0
+			continue
+		}
+		epoch++
+		diagOffset := m
+		best := 0
+		type gapRegion struct{ center, r0, r1 int }
+		var gappedRegions []gapRegion
+		covered := func(center, qStart, qEnd int) bool {
+			for _, g := range gappedRegions {
+				d := center - g.center
+				if d < 0 {
+					d = -d
+				}
+				if d <= p.GappedHalfBand && qStart >= g.r0 && qEnd <= g.r1 {
+					return true
+				}
+			}
+			return false
+		}
+
+		var key int32
+		var mod int32 = 1
+		for i := 0; i < w; i++ {
+			mod *= bio.AlphabetSize
+		}
+		for i := 0; i < w-1; i++ {
+			key = key*bio.AlphabetSize + int32(subject[i])
+		}
+		for s := w - 1; s < len(subject); s++ {
+			key = (key*bio.AlphabetSize + int32(subject[s])) % mod
+			hits := idx.Lookup(key)
+			// Word-finder step: unpack the residue, roll the key,
+			// probe the backbone (Listing 1's branchy structure).
+			em.Begin(bScan)
+			em.Load(r1, r2, seqBase[si]+uint32(s), 1)
+			em.Log(r3, r1, isa.RegNone)
+			em.Log(r3, r3, isa.RegNone)
+			em.Log(r3, r3, r1)
+			em.Fix(r4, r3, isa.RegNone)
+			em.Fix(r4, r4, isa.RegNone)
+			em.Fix(r4, r4, isa.RegNone)
+			em.Load(r5, r3, countBase+uint32(key), 1)
+			em.Fix(r6, r5, isa.RegNone)
+			em.CondBranch(r6, len(hits) > 0, bBucket)
+			if len(hits) == 0 {
+				continue
+			}
+			em.Begin(bBucket)
+			em.Load(r4, r3, offBase+uint32(key)*4, 4)
+			em.Load(r5, r3, offBase+uint32(key)*4+4, 4)
+			em.CondBranch(r5, true, bHit)
+
+			sPos := s - w + 1
+			for hi, qp := range hits {
+				qPos := int(qp)
+				d := sPos - qPos + diagOffset
+				skip := extEpoch[d] == epoch && int32(sPos) < extended[d]
+				em.Begin(bHit)
+				em.Load(r7, r4, posBase+uint32(offs[key]+int32(hi))*4, 4)
+				em.Fix(r8, r1, r7)
+				em.Fix(r8, r8, isa.RegNone)
+				em.Load(r2, r8, extBase+uint32(d)*8, 8)
+				em.Fix(r2, r2, isa.RegNone)
+				em.CondBranch(r2, skip, bHit)
+				if skip {
+					continue
+				}
+				trigger := true
+				if p.TwoHit {
+					prev, seen := int32(-1), false
+					if lastEpoch[d] == epoch {
+						prev, seen = lastHit[d], true
+					}
+					lastHit[d] = int32(sPos)
+					lastEpoch[d] = epoch
+					trigger = seen && int(prev)+w <= sPos && sPos-int(prev) <= p.TwoHitWindow
+					em.Begin(bTwoHit)
+					em.Load(r3, r8, lastBase+uint32(d)*8, 8)
+					em.Fix(r3, r3, r1)
+					em.Store(r1, r8, lastBase+uint32(d)*8, 8)
+					em.Fix(r5, r3, isa.RegNone)
+					em.Fix(r5, r5, isa.RegNone)
+					em.CondBranch(r5, trigger, bExtSetup)
+				}
+				if !trigger {
+					continue
+				}
+				hsp := b.extendEmit(em, bExtSetup, bExtStep, p, query, subject,
+					qPos, sPos, queryBase, seqBase[si], matBase)
+				extended[d] = int32(hsp.sEnd)
+				extEpoch[d] = epoch
+				reached := hsp.score >= p.UngappedCutoff
+				em.Begin(bExtDone)
+				em.Store(r1, r8, extBase+uint32(d)*8, 8)
+				em.Fix(r2, r2, isa.RegNone)
+				em.CondBranch(r2, reached, bGapHead)
+				if !reached {
+					continue
+				}
+				center := hsp.sStart - hsp.qStart
+				if covered(center, hsp.qStart, hsp.qEnd) {
+					continue
+				}
+				r0, r1 := 0, m
+				if hsp.score < 2*p.UngappedCutoff {
+					if r0 = hsp.qStart - p.GappedWindowMargin; r0 < 0 {
+						r0 = 0
+					}
+					if r1 = hsp.qEnd + p.GappedWindowMargin; r1 > m {
+						r1 = m
+					}
+				}
+				gappedRegions = append(gappedRegions, gapRegion{center: center, r0: r0, r1: r1})
+				gs := bandedEmit(em, bGapHead, bGapCell, bGapClamp, bGapLoop,
+					ap, query[r0:r1], subject, center+r0, p.GappedHalfBand,
+					queryBase+uint32(r0), seqBase[si], matBase, hBase, fBase)
+				if gs > best {
+					best = gs
+				}
+			}
+		}
+		scores[si] = best
+	}
+	return &RunInfo{Scores: scores, Instructions: em.Count()}
+}
+
+// tracedHSP mirrors blast's ungapped HSP.
+type tracedHSP struct {
+	score        int
+	qStart, qEnd int
+	sStart, sEnd int
+}
+
+// extendEmit is the traced ungapped X-drop extension, mirroring
+// blast.Scanner.extendUngapped exactly.
+func (b *BLAST) extendEmit(em *trace.Emitter, bSetup, bStep *trace.Block,
+	p blast.Params, query, subject []uint8, qPos, sPos int,
+	queryBase, subjBase, matBase uint32) tracedHSP {
+
+	r1, r2, r3, r4, r5 := isa.GPR(1), isa.GPR(2), isa.GPR(3), isa.GPR(4), isa.GPR(5)
+	m := p.Matrix
+	w := p.WordSize
+
+	em.Begin(bSetup)
+	em.Load(r1, r5, queryBase+uint32(qPos), 4)
+	em.Load(r2, r5, subjBase+uint32(sPos), 4)
+	em.Load(r3, r5, matBase, 4)
+	em.Fix(r4, r1, r2)
+	em.Fix(r4, r4, r3)
+
+	step := func(qi, si int, stop bool) {
+		em.Begin(bStep)
+		em.Load(r1, r5, queryBase+uint32(qi), 1)
+		em.Load(r2, r5, subjBase+uint32(si), 1)
+		em.Load(r3, r1, matBase+uint32(query[qi])*bio.AlphabetSize+uint32(subject[si]), 1)
+		em.Fix(r4, r4, r3)
+		em.Fix(r5, r4, isa.RegNone)
+		em.CondBranch(r4, stop, bStep)
+		em.Fix(r5, r5, isa.RegNone)
+		em.CondBranch(r5, !stop, bStep)
+	}
+
+	score := 0
+	for k := 0; k < w; k++ {
+		score += m.Score(query[qPos+k], subject[sPos+k])
+	}
+	best := score
+	qEnd, sEnd := qPos+w, sPos+w
+	bq, bs := qEnd, sEnd
+	run := score
+	for qi, si := qEnd, sEnd; qi < len(query) && si < len(subject); qi, si = qi+1, si+1 {
+		run += m.Score(query[qi], subject[si])
+		if run > best {
+			best = run
+			bq, bs = qi+1, si+1
+		}
+		stop := run <= best-p.XDropUngapped
+		step(qi, si, stop)
+		if stop {
+			break
+		}
+	}
+	qEnd, sEnd = bq, bs
+	run = best
+	qStart, sStart := qPos, sPos
+	bq, bs = qStart, sStart
+	for qi, si := qPos-1, sPos-1; qi >= 0 && si >= 0; qi, si = qi-1, si-1 {
+		run += m.Score(query[qi], subject[si])
+		if run > best {
+			best = run
+			bq, bs = qi, si
+		}
+		stop := run <= best-p.XDropUngapped
+		step(qi, si, stop)
+		if stop {
+			break
+		}
+	}
+	qStart, sStart = bq, bs
+	return tracedHSP{score: best, qStart: qStart, qEnd: qEnd, sStart: sStart, sEnd: sEnd}
+}

@@ -1,0 +1,349 @@
+package workloads
+
+import (
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/fasta"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// FASTA is the traced FASTA34 workload. It performs the same pipeline
+// as internal/fasta (ktup scan over diagonal runs, region rescoring,
+// chaining, banded optimization) while emitting the corresponding
+// instruction stream: a small-working-set scan (the ktup table and
+// epoch-tagged diagonal arrays stay cache resident) followed by a
+// branchy banded DP — which is why FASTA in the paper is insensitive
+// to cache size but bound by branch prediction.
+type FASTA struct {
+	spec Spec
+}
+
+// NewFASTA builds the workload.
+func NewFASTA(spec Spec) *FASTA { return &FASTA{spec: spec} }
+
+// Name implements Workload.
+func (f *FASTA) Name() string { return "fasta34" }
+
+// fastaRegion mirrors the region bookkeeping of internal/fasta.
+type fastaRegion struct {
+	diag   int
+	qStart int
+	qEnd   int
+	score  int
+}
+
+// Trace implements Workload.
+func (f *FASTA) Trace(sink trace.Sink) *RunInfo {
+	em := trace.NewEmitter(sink)
+	as := trace.NewAddressSpace()
+	p := fasta.DefaultParams()
+	query := f.spec.Query.Residues
+	m := len(query)
+	k := p.Ktup
+
+	// Memory layout: ktup table (CSR), diagonal state arrays, matrix.
+	numWords := 1
+	for i := 0; i < k; i++ {
+		numWords *= bio.AlphabetSize
+	}
+	offBase := as.Alloc((numWords + 1) * 4)
+	posBase := as.Alloc(m * 4)
+	maxLen := 0
+	seqBase := make([]uint32, f.spec.DB.NumSeqs())
+	for i, seq := range f.spec.DB.Seqs {
+		seqBase[i] = as.Alloc(seq.Len())
+		if seq.Len() > maxLen {
+			maxLen = seq.Len()
+		}
+	}
+	diagBase := as.Alloc((m + maxLen + 1) * 16) // 4 int32 fields per diagonal
+	matBase := as.Alloc(bio.AlphabetSize * bio.AlphabetSize)
+	hBase := as.Alloc(maxLen * 4)
+	fBase := as.Alloc(maxLen * 4)
+	queryBase := as.Alloc(m)
+
+	// Build the ktup table (same layout as fasta.NewScanner).
+	counts := make([]int32, numWords+1)
+	for i := 0; i+k <= m; i++ {
+		counts[packKtup(query, i, k)+1]++
+	}
+	for i := 1; i <= numWords; i++ {
+		counts[i] += counts[i-1]
+	}
+	positions := make([]int32, counts[numWords])
+	cursor := make([]int32, numWords)
+	copy(cursor, counts[:numWords])
+	for i := 0; i+k <= m; i++ {
+		w := packKtup(query, i, k)
+		positions[cursor[w]] = int32(i)
+		cursor[w]++
+	}
+
+	// Static code.
+	bSeq := em.Block("fa.seq_setup", 6)
+	bScan := em.Block("fa.scan", 7)
+	bHit := em.Block("fa.hit", 6)
+	bRunOpen := em.Block("fa.run_open", 3)
+	bCont := em.Block("fa.run_cont", 4)
+	bClose := em.Block("fa.run_close", 8)
+	bNew := em.Block("fa.run_new", 4)
+	bSweep := em.Block("fa.sweep", 3)
+	bSweepClose := em.Block("fa.sweep_close", 5)
+	bRescore := em.Block("fa.rescore", 8)
+	bChain := em.Block("fa.chain", 6)
+	bOptHead := em.Block("fa.opt_row", 5)
+	bOptCell := em.Block("fa.opt_cell", 11)
+	bOptClamp := em.Block("fa.opt_clamp", 1)
+	bOptLoop := em.Block("fa.opt_loop", 2)
+
+	r1, r2, r3, r4, r5 := isa.GPR(1), isa.GPR(2), isa.GPR(3), isa.GPR(4), isa.GPR(5)
+	r6, r7, r8 := isa.GPR(6), isa.GPR(7), isa.GPR(8)
+
+	// Diagonal run state (epoch-tagged like the real code).
+	need := m + maxLen + 1
+	lastPos := make([]int32, need)
+	runScore := make([]int32, need)
+	runStart := make([]int32, need)
+	diagTag := make([]int32, need)
+	var epoch int32
+
+	scores := make([]int, f.spec.DB.NumSeqs())
+	for si, seq := range f.spec.DB.Seqs {
+		subject := seq.Residues
+		em.Begin(bSeq)
+		for x := 0; x < 5; x++ {
+			em.FixImm(r1, isa.RegNone)
+		}
+		em.Jump(bScan)
+		if len(subject) < k {
+			scores[si] = 0
+			continue
+		}
+		epoch++
+		diagOffset := m
+		var regions []fastaRegion
+
+		closeRun := func(d int) {
+			qStart := int(runStart[d])
+			qEnd := int(lastPos[d]) - (d - diagOffset) + k
+			regions = append(regions, fastaRegion{
+				diag: d - diagOffset, qStart: qStart, qEnd: qEnd, score: int(runScore[d]),
+			})
+			runScore[d] = 0
+		}
+
+		// Stage 1: scan.
+		var key int32
+		var mod int32 = 1
+		for i := 0; i < k; i++ {
+			mod *= bio.AlphabetSize
+		}
+		for i := 0; i < k-1; i++ {
+			key = key*bio.AlphabetSize + int32(subject[i])
+		}
+		wordScore := int32(2 * k)
+		for s := k - 1; s < len(subject); s++ {
+			key = (key*bio.AlphabetSize + int32(subject[s])) % mod
+			start, end := counts[key], counts[key+1]
+			// Scan step: load the residue, roll the key, probe the
+			// table (two adjacent offset loads), branch on hits.
+			em.Begin(bScan)
+			em.Load(r1, r2, seqBase[si]+uint32(s), 1)
+			em.Log(r3, r3, r1)
+			em.Log(r3, r3, isa.RegNone)
+			em.Load(r4, r3, offBase+uint32(key)*4, 4)
+			em.Load(r5, r3, offBase+uint32(key)*4+4, 4)
+			em.Fix(r6, r5, r4)
+			em.CondBranch(r6, end > start, bHit)
+			for pi := start; pi < end; pi++ {
+				q := int(positions[pi])
+				sPos := s - k + 1
+				d := sPos - q + diagOffset
+				open := diagTag[d] == epoch
+				em.Begin(bHit)
+				em.Load(r7, r4, posBase+uint32(pi)*4, 4)
+				em.Fix(r8, r1, r7) // diagonal index
+				em.Fix(r8, r8, isa.RegNone)
+				em.Load(r2, r8, diagBase+uint32(d)*16+12, 4) // tag
+				em.Fix(r2, r2, isa.RegNone)
+				em.CondBranch(r2, open, bRunOpen)
+				if open {
+					gap := int32(sPos) - lastPos[d]
+					em.Begin(bRunOpen)
+					em.Load(r3, r8, diagBase+uint32(d)*16, 4) // lastPos
+					em.Fix(r3, r1, r3)
+					em.CondBranch(r3, gap <= int32(p.RunGap), bCont)
+					if gap <= int32(p.RunGap) {
+						add := gap * 2
+						if gap > int32(k) {
+							add = wordScore - (gap-int32(k))*int32(p.RunPenalty)
+						}
+						runScore[d] += add
+						lastPos[d] = int32(sPos)
+						em.Begin(bCont)
+						em.Load(r5, r8, diagBase+uint32(d)*16+4, 4)
+						em.Fix(r5, r5, r3)
+						em.Store(r5, r8, diagBase+uint32(d)*16+4, 4)
+						em.Store(r1, r8, diagBase+uint32(d)*16, 4)
+						continue
+					}
+					closeRun(d)
+					em.Begin(bClose)
+					em.Load(r5, r8, diagBase+uint32(d)*16+4, 4)
+					em.Fix(r5, r5, isa.RegNone)
+					em.Store(r5, r8, diagBase+uint32(d)*16+4, 4)
+					em.Fix(r6, r8, isa.RegNone)
+					em.Store(r6, r8, diagBase+uint32(d)*16+8, 4)
+					em.Fix(r6, r6, isa.RegNone)
+					em.Store(r1, r8, diagBase+uint32(d)*16, 4)
+					em.Fix(r7, r7, isa.RegNone)
+				}
+				diagTag[d] = epoch
+				runScore[d] = wordScore
+				runStart[d] = int32(q)
+				lastPos[d] = int32(sPos)
+				em.Begin(bNew)
+				em.Store(r2, r8, diagBase+uint32(d)*16+12, 4)
+				em.Store(r7, r8, diagBase+uint32(d)*16+8, 4)
+				em.Store(r1, r8, diagBase+uint32(d)*16, 4)
+				em.Fix(r7, r7, isa.RegNone)
+			}
+		}
+		// Close remaining runs: sweep the touched diagonal range.
+		for d := 0; d < m+len(subject); d++ {
+			open := diagTag[d] == epoch && runScore[d] > 0
+			em.Begin(bSweep)
+			em.Load(r2, r8, diagBase+uint32(d)*16+12, 4)
+			em.Fix(r2, r2, isa.RegNone)
+			em.CondBranch(r2, open, bSweepClose)
+			if open {
+				closeRun(d)
+				em.Begin(bSweepClose)
+				em.Load(r5, r8, diagBase+uint32(d)*16+4, 4)
+				em.Fix(r5, r5, isa.RegNone)
+				em.Store(r5, r8, diagBase+uint32(d)*16+4, 4)
+				em.Fix(r6, r6, isa.RegNone)
+				em.Store(r6, r8, diagBase+uint32(d)*16+8, 4)
+			}
+		}
+		if len(regions) == 0 {
+			scores[si] = 0
+			continue
+		}
+		if len(regions) > p.MaxRegions {
+			sort.SliceStable(regions, func(i, j int) bool {
+				return regions[i].score > regions[j].score
+			})
+			regions = regions[:p.MaxRegions]
+		}
+
+		// Stage 2: rescore (Kadane along each region's diagonal).
+		init1, bestDiag := 0, 0
+		for ri := range regions {
+			r := &regions[ri]
+			r.score = f.rescoreEmit(em, bRescore, p, subject, r,
+				queryBase, seqBase[si], matBase)
+			if r.score > init1 {
+				init1 = r.score
+				bestDiag = r.diag
+			}
+		}
+		// Stage 3: chain (initn, tracked but not ranked by).
+		chainBest := 0
+		rs := make([]fastaRegion, len(regions))
+		copy(rs, regions)
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].qStart < rs[j].qStart })
+		chain := make([]int, len(rs))
+		for i := range rs {
+			chain[i] = rs[i].score
+			for j := 0; j < i; j++ {
+				compatible := rs[j].qEnd <= rs[i].qStart &&
+					rs[j].qEnd+rs[j].diag <= rs[i].qStart+rs[i].diag
+				em.Begin(bChain)
+				em.Load(r2, r1, diagBase, 4)
+				em.Fix(r3, r2, r1)
+				em.Fix(r4, r3, r2)
+				em.CondBranch(r4, compatible, bChain)
+				em.Fix(r5, r4, isa.RegNone)
+				em.Fix(r6, r5, isa.RegNone)
+				if compatible {
+					if v := chain[j] + rs[i].score - p.JoinPenalty; v > chain[i] {
+						chain[i] = v
+					}
+				}
+			}
+			if chain[i] > chainBest {
+				chainBest = chain[i]
+			}
+		}
+		_ = chainBest
+
+		// Stage 4: banded optimization.
+		opt := init1
+		if init1 >= p.OptCutoff {
+			ap := align.Params{Matrix: p.Matrix, Gaps: p.Gaps}
+			opt = bandedEmit(em, bOptHead, bOptCell, bOptClamp, bOptLoop,
+				ap, query, subject, bestDiag, p.BandHalfWidth,
+				queryBase, seqBase[si], matBase, hBase, fBase)
+			if opt < init1 {
+				opt = init1
+			}
+		}
+		scores[si] = opt
+	}
+	return &RunInfo{Scores: scores, Instructions: em.Count()}
+}
+
+// rescoreEmit is the traced Kadane rescoring pass of one region.
+func (f *FASTA) rescoreEmit(em *trace.Emitter, blk *trace.Block, p fasta.Params,
+	subject []uint8, r *fastaRegion, queryBase, subjBase, matBase uint32) int {
+	const margin = 8
+	query := f.spec.Query.Residues
+	qs := r.qStart - margin
+	if qs < 0 {
+		qs = 0
+	}
+	qe := r.qEnd + margin
+	if qe > len(query) {
+		qe = len(query)
+	}
+	r1, r2, r3, r4 := isa.GPR(1), isa.GPR(2), isa.GPR(3), isa.GPR(4)
+	best, run := 0, 0
+	for q := qs; q < qe; q++ {
+		s := q + r.diag
+		if s < 0 {
+			continue
+		}
+		if s >= len(subject) {
+			break
+		}
+		run += p.Matrix.Score(query[q], subject[s])
+		em.Begin(blk)
+		em.Load(r1, r4, queryBase+uint32(q), 1)
+		em.Load(r2, r4, subjBase+uint32(s), 1)
+		em.Log(r3, r1, r2)
+		em.Load(r3, r3, matBase+uint32(query[q])*bio.AlphabetSize+uint32(subject[s]), 1)
+		em.Fix(r4, r4, r3)
+		em.CondBranch(r4, run < 0, blk)
+		if run < 0 {
+			run = 0
+		}
+		em.Fix(r4, r4, isa.RegNone)
+		em.CondBranch(r4, q+1 < qe, blk)
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+func packKtup(s []uint8, i, k int) int32 {
+	var key int32
+	for j := 0; j < k; j++ {
+		key = key*bio.AlphabetSize + int32(s[i+j])
+	}
+	return key
+}

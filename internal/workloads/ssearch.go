@@ -1,0 +1,225 @@
+package workloads
+
+import (
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// SSEARCH is the traced SSEARCH34 workload: the SWAT-optimized scalar
+// Smith-Waterman of the paper's Listing 2. The kernel walks the
+// database sequence in the outer loop and the query profile in the
+// inner loop, with per-cell data-dependent branches (zero clamp, gap
+// liveness tests, gap-open avoidance) that make it the paper's most
+// branch-bound workload, and a small working set (the profile plus one
+// H/E struct array) that fits in the smallest caches of Figure 5.
+type SSEARCH struct {
+	spec Spec
+}
+
+// NewSSEARCH builds the workload.
+func NewSSEARCH(spec Spec) *SSEARCH { return &SSEARCH{spec: spec} }
+
+// Name implements Workload.
+func (s *SSEARCH) Name() string { return "ssearch34" }
+
+// Register conventions of the ssearch kernel.
+var (
+	rPwaa = isa.GPR(1)  // profile row cursor
+	rSsj  = isa.GPR(2)  // ss[] struct cursor
+	rH    = isa.GPR(3)  // h
+	rP    = isa.GPR(4)  // p = H[i-1][j]
+	rE    = isa.GPR(5)  // e
+	rF    = isa.GPR(6)  // f
+	rW    = isa.GPR(7)  // profile value
+	rJ    = isa.GPR(8)  // inner counter
+	rC    = isa.GPR(9)  // database residue
+	rBest = isa.GPR(10) // running best
+	rI    = isa.GPR(11) // outer counter
+	rT    = isa.GPR(12) // scratch
+)
+
+// Trace implements Workload.
+func (s *SSEARCH) Trace(sink trace.Sink) *RunInfo {
+	em := trace.NewEmitter(sink)
+	as := trace.NewAddressSpace()
+	query := s.spec.Query.Residues
+	m := len(query)
+	params := align.PaperParams()
+	prof := align.NewProfile(query, params)
+	first := int32(params.Gaps.First())
+	ext := int32(params.Gaps.Extend)
+
+	// Memory layout: the profile (24 rows x m int16), the ss[] array
+	// of {H,E} int32 pairs, and each database sequence as bytes.
+	profBase := as.Alloc(bio.AlphabetSize * m * 2)
+	ssBase := as.Alloc(m * 8)
+	seqBase := make([]uint32, s.spec.DB.NumSeqs())
+	for i, seq := range s.spec.DB.Seqs {
+		seqBase[i] = as.Alloc(seq.Len())
+	}
+
+	// Static code layout.
+	bSeq := em.Block("ss.seq_setup", 6)
+	bClear := em.Block("ss.clear", 3)
+	bRow := em.Block("ss.row_head", 8)
+	bA := em.Block("ss.cell_load", 4)
+	bClampBr := em.Block("ss.clamp_br", 1)
+	bClamp := em.Block("ss.clamp", 1)
+	bEBr := em.Block("ss.e_br", 1)
+	bECmp := em.Block("ss.e_cmp", 1)
+	bESet := em.Block("ss.e_set", 1)
+	bFBr := em.Block("ss.f_br", 1)
+	bFCmp := em.Block("ss.f_cmp", 1)
+	bFSet := em.Block("ss.f_set", 1)
+	bMid := em.Block("ss.store_h", 2) // best select + store H
+	bJBr := em.Block("ss.open_br", 1)
+	bOpen := em.Block("ss.open", 5)
+	bNoOpen := em.Block("ss.no_open", 4)
+	bTail := em.Block("ss.cell_tail", 3) // store E, pointer bumps
+	bLoop := em.Block("ss.cell_loop", 2)
+	bRowEnd := em.Block("ss.row_end", 2)
+
+	// DP state mirrors align.SSEARCHScore exactly.
+	hh := make([]int32, m)
+	ee := make([]int32, m)
+
+	scores := make([]int, s.spec.DB.NumSeqs())
+	for si, seq := range s.spec.DB.Seqs {
+		// Per-sequence setup and ss[] clear loop.
+		em.Begin(bSeq)
+		em.FixImm(rI, isa.RegNone)
+		em.FixImm(rBest, isa.RegNone)
+		em.FixImm(rSsj, isa.RegNone)
+		em.FixImm(rJ, isa.RegNone)
+		em.Fix(rT, rSsj, rJ)
+		em.Jump(bClear)
+		for j := 0; j < m; j++ {
+			hh[j], ee[j] = 0, 0
+			em.Begin(bClear)
+			em.Store(rT, rSsj, ssBase+uint32(j)*8, 8)
+			em.FixImm(rJ, rJ)
+			em.CondBranch(rJ, j+1 < m, bClear)
+		}
+
+		var best int32
+		for i := 0; i < seq.Len(); i++ {
+			c := seq.Residues[i]
+			row := prof.Rows[c]
+			// Row head: load the residue, compute the profile row
+			// base, reset the row-carried state.
+			em.Begin(bRow)
+			em.Load(rC, rI, seqBase[si]+uint32(i), 1)
+			em.Cmplx(rPwaa, rC, isa.RegNone) // row base multiply
+			em.FixImm(rPwaa, rPwaa)
+			em.FixImm(rSsj, isa.RegNone)
+			em.FixImm(rP, isa.RegNone)
+			em.FixImm(rF, isa.RegNone)
+			em.FixImm(rJ, isa.RegNone)
+			em.Jump(bA)
+
+			var p, f int32
+			rowAddr := profBase + uint32(int(c)*m)*2
+			for j := 0; j < m; j++ {
+				h := p + int32(row[j])
+				em.Begin(bA)
+				em.Load(rW, rPwaa, rowAddr+uint32(j)*2, 2)
+				em.Fix(rH, rP, rW)
+				em.Load(rP, rSsj, ssBase+uint32(j)*8, 4)
+				em.Load(rE, rSsj, ssBase+uint32(j)*8+4, 4)
+				p = hh[j]
+				e := ee[j]
+
+				// Zero clamp: the hard-to-predict branch.
+				em.Begin(bClampBr)
+				em.CondBranch(rH, h < 0, bClamp)
+				if h < 0 {
+					h = 0
+					em.Begin(bClamp)
+					em.FixImm(rH, isa.RegNone)
+				}
+				// Vertical gap live?
+				em.Begin(bEBr)
+				em.CondBranch(rE, e > 0, bECmp)
+				if e > 0 {
+					em.Begin(bECmp)
+					em.CondBranch(rH, h < e, bESet)
+					if h < e {
+						h = e
+						em.Begin(bESet)
+						em.Fix(rH, rE, isa.RegNone)
+					}
+				}
+				// Horizontal gap live?
+				em.Begin(bFBr)
+				em.CondBranch(rF, f > 0, bFCmp)
+				if f > 0 {
+					em.Begin(bFCmp)
+					em.CondBranch(rH, h < f, bFSet)
+					if h < f {
+						h = f
+						em.Begin(bFSet)
+						em.Fix(rH, rF, isa.RegNone)
+					}
+				}
+				hh[j] = h
+				if h > best {
+					best = h
+				}
+				em.Begin(bMid)
+				em.Fix(rBest, rBest, rH) // best select
+				em.Store(rH, rSsj, ssBase+uint32(j)*8, 4)
+
+				// Gap-open avoidance: only compute opens when h can
+				// open (h > first), the SWAT optimization.
+				em.Begin(bJBr)
+				em.CondBranch(rH, h > first, bOpen)
+				if h > first {
+					e -= ext
+					if ho := h - first; e < ho {
+						e = ho
+					}
+					f -= ext
+					if ho := h - first; f < ho {
+						f = ho
+					}
+					em.Begin(bOpen)
+					em.Fix(rT, rH, isa.RegNone) // ho = h - first
+					em.Fix(rE, rE, isa.RegNone) // e -= ext
+					em.Fix(rE, rE, rT)          // e = max(e, ho)
+					em.Fix(rF, rF, isa.RegNone) // f -= ext
+					em.Fix(rF, rF, rT)          // f = max(f, ho)
+				} else {
+					e -= ext
+					if e < 0 {
+						e = 0
+					}
+					f -= ext
+					if f < 0 {
+						f = 0
+					}
+					em.Begin(bNoOpen)
+					em.Fix(rE, rE, isa.RegNone)
+					em.Fix(rE, rE, isa.RegNone) // floor select
+					em.Fix(rF, rF, isa.RegNone)
+					em.Fix(rF, rF, isa.RegNone)
+				}
+				ee[j] = e
+
+				em.Begin(bTail)
+				em.Store(rE, rSsj, ssBase+uint32(j)*8+4, 4)
+				em.FixImm(rSsj, rSsj)
+				em.FixImm(rPwaa, rPwaa)
+				em.Begin(bLoop)
+				em.FixImm(rJ, rJ)
+				em.CondBranch(rJ, j+1 < m, bA)
+			}
+			em.Begin(bRowEnd)
+			em.FixImm(rI, rI)
+			em.CondBranch(rI, i+1 < seq.Len(), bRow)
+		}
+		scores[si] = int(best)
+	}
+	return &RunInfo{Scores: scores, Instructions: em.Count()}
+}

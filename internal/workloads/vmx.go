@@ -1,0 +1,377 @@
+package workloads
+
+import (
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// VMX is the traced SW_vmx128 / SW_vmx256 workload: the Wozniak
+// anti-diagonal SIMD Smith-Waterman over the emulated Altivec register
+// file (8 lanes at 128 bits, 16 at 256). The kernel processes the
+// query in strips of `lanes` rows and streams the database along
+// anti-diagonals; every step emits the vector instruction template of
+// the real kernel — profile gathers (vload+vperm), boundary-column
+// loads, the shift permutes that carry the diagonal dependencies, the
+// saturating max/add arithmetic, and a thin scalar loop around it.
+//
+// The 256-bit variant emits roughly 1.6x the vector work per step
+// (wider gathers and double-pumped cross-half permutes) over half the
+// steps, reproducing the paper's observation that doubling the
+// register width cuts instructions by far less than half and shifts
+// stall pressure toward the permute unit.
+type VMX struct {
+	spec  Spec
+	lanes int
+}
+
+// NewVMX builds the SIMD workload with the given lane count (8 or 16).
+func NewVMX(spec Spec, lanes int) *VMX { return &VMX{spec: spec, lanes: lanes} }
+
+// Name implements Workload.
+func (v *VMX) Name() string {
+	if v.lanes == 8 {
+		return "sw_vmx128"
+	}
+	return "sw_vmx256"
+}
+
+// stepShape is the per-step instruction template, sized per register
+// width (see the package comment for the calibration rationale).
+type stepShape struct {
+	vload, vperm, vsimple int
+	scalarFix, scalarLoad int
+}
+
+func (v *VMX) shape() stepShape {
+	if v.lanes == 8 {
+		return stepShape{vload: 3, vperm: 6, vsimple: 12, scalarFix: 5, scalarLoad: 2}
+	}
+	return stepShape{vload: 5, vperm: 19, vsimple: 22, scalarFix: 6, scalarLoad: 2}
+}
+
+// Trace implements Workload.
+func (v *VMX) Trace(sink trace.Sink) *RunInfo {
+	em := trace.NewEmitter(sink)
+	as := trace.NewAddressSpace()
+	query := v.spec.Query.Residues
+	m := len(query)
+	params := align.PaperParams()
+	prof := align.NewProfile(query, params)
+	first := int16(params.Gaps.First())
+	ext := int16(params.Gaps.Extend)
+	lanes := v.lanes
+	sh := v.shape()
+
+	profBase := as.Alloc(bio.AlphabetSize * m * 2)
+	maxLen := 0
+	seqBase := make([]uint32, v.spec.DB.NumSeqs())
+	for i, seq := range v.spec.DB.Seqs {
+		seqBase[i] = as.Alloc(seq.Len())
+		if seq.Len() > maxLen {
+			maxLen = seq.Len()
+		}
+	}
+	// Ping-pong boundary arrays of interleaved {H,F} int16 pairs.
+	boundA := as.Alloc(maxLen * 4)
+	boundB := as.Alloc(maxLen * 4)
+
+	// Static code.
+	bSeq := em.Block("vmx.seq_setup", 8)
+	bStrip := em.Block("vmx.strip_head", 6)
+	bStep := em.Block("vmx.step", sh.scalarFix+sh.scalarLoad+sh.vload+sh.vperm+sh.vsimple)
+	bBoundSt := em.Block("vmx.bound_store", 3)
+	bLoop := em.Block("vmx.step_loop", 2)
+	bStripEnd := em.Block("vmx.strip_end", 2)
+
+	// Vector register pools rotated Go-side so loop-carried
+	// dependencies land on real registers without move instructions.
+	hRegs := []isa.Reg{isa.VPR(1), isa.VPR(2), isa.VPR(3)}
+	eRegs := []isa.Reg{isa.VPR(4), isa.VPR(5)}
+	fRegs := []isa.Reg{isa.VPR(6), isa.VPR(7)}
+	vScore := isa.VPR(8)
+	vTmp := isa.VPR(9)
+	vTmp2 := isa.VPR(10)
+	vBest := isa.VPR(11)
+	vBound := isa.VPR(12)
+	vDb := isa.VPR(13)
+	vConst := isa.VPR(14) // splatted gap penalties / zero
+	vScratch := isa.VPR(15)
+	rT := isa.GPR(1)
+	rPtrA := isa.GPR(2)
+	rPtrB := isa.GPR(3)
+	rPtrC := isa.GPR(4)
+
+	scores := make([]int, v.spec.DB.NumSeqs())
+	// DP lane state, reused across steps.
+	hm1 := make([]int16, lanes)
+	hm2 := make([]int16, lanes)
+	em1 := make([]int16, lanes)
+	fm1 := make([]int16, lanes)
+	hCur := make([]int16, lanes)
+	eCur := make([]int16, lanes)
+	fCur := make([]int16, lanes)
+
+	for si, seq := range v.spec.DB.Seqs {
+		b := seq.Residues
+		n := len(b)
+		em.Begin(bSeq)
+		for k := 0; k < 7; k++ {
+			em.FixImm(rT, isa.RegNone)
+		}
+		em.Jump(bStrip)
+		if n == 0 {
+			scores[si] = 0
+			continue
+		}
+
+		hBound := make([]int16, n)
+		fBound := make([]int16, n)
+		newH := make([]int16, n)
+		newF := make([]int16, n)
+		var best int16
+
+		curBound, nextBound := boundA, boundB
+		for i0 := 0; i0 < m; i0 += lanes {
+			em.Begin(bStrip)
+			em.FixImm(rT, isa.RegNone)
+			em.FixImm(rPtrA, isa.RegNone)
+			em.FixImm(rPtrB, isa.RegNone)
+			em.FixImm(rPtrC, isa.RegNone)
+			em.VSimple(vConst, vConst, vConst) // re-splat constants
+			em.Jump(bStep)
+
+			for k := range hm1 {
+				hm1[k], hm2[k], em1[k], fm1[k] = 0, 0, 0, 0
+			}
+			steps := n + lanes - 1
+			for t := 0; t < steps; t++ {
+				// --- compute (identical to align.SWScoreSIMD) ---
+				for k := 0; k < lanes; k++ {
+					j := t - k
+					qi := i0 + k
+					var score int16 = -16384
+					if j >= 0 && j < n && qi < m {
+						score = prof.Rows[b[j]][qi]
+					}
+					var diag, upH, upF, leftH, leftE int16
+					if k == 0 {
+						if t-1 >= 0 && t-1 < n {
+							diag = hBound[t-1]
+						}
+						if t < n {
+							upH = hBound[t]
+							upF = fBound[t]
+						}
+					} else {
+						diag = hm2[k-1]
+						upH = hm1[k-1]
+						upF = fm1[k-1]
+					}
+					leftH = hm1[k]
+					leftE = em1[k]
+					e := maxI16(maxI16(satSub(leftH, first), satSub(leftE, ext)), 0)
+					f := maxI16(maxI16(satSub(upH, first), satSub(upF, ext)), 0)
+					h := maxI16(maxI16(satAdd(diag, score), e), maxI16(f, 0))
+					hCur[k], eCur[k], fCur[k] = h, e, f
+					if h > best {
+						best = h
+					}
+				}
+				lastValid := t-(lanes-1) >= 0 && t-(lanes-1) < n
+				if lastValid {
+					j := t - (lanes - 1)
+					newH[j] = hCur[lanes-1]
+					newF[j] = fCur[lanes-1]
+				}
+				hm2, hm1, hCur = hm1, hCur, hm2
+				em1, eCur = eCur, em1
+				fm1, fCur = fCur, fm1
+
+				// --- emit the step template ---
+				hc := hRegs[t%3]      // h written this step
+				hp := hRegs[(t+2)%3]  // h from t-1
+				hp2 := hRegs[(t+1)%3] // h from t-2
+				ec := eRegs[t%2]
+				ep := eRegs[(t+1)%2]
+				fc := fRegs[t%2]
+				fp := fRegs[(t+1)%2]
+
+				em.Begin(bStep)
+				// Scalar loop overhead: counters, cursors, and the
+				// boundary-column scalar reads.
+				em.FixImm(rT, rT)
+				em.FixImm(rPtrA, rPtrA)
+				em.FixImm(rPtrB, rPtrB)
+				em.FixImm(rPtrC, rPtrC)
+				for k := 4; k < sh.scalarFix; k++ {
+					em.FixImm(rT, rT)
+				}
+				jLead := clampIdx(t, n)
+				jTail := clampIdx(t-(lanes-1), n)
+				// The entering residue's load feeds the gather
+				// addresses one step later (the kernel software-
+				// pipelines the residue read): a load-to-load chain
+				// that couples the kernel's critical path to the L1
+				// hit latency (Figure 7).
+				rDbCur := isa.GPR(5 + t%2)
+				rDbPrev := isa.GPR(5 + (t+1)%2)
+				em.Load(rDbCur, rPtrB, seqBase[si]+uint32(clampIdx(t+1, n)), 1)
+				em.Load(isa.GPR(7), rPtrC, curBound+uint32(jLead)*4, 2)
+				for k := 2; k < sh.scalarLoad; k++ {
+					em.Load(isa.GPR(7), rPtrC, curBound+uint32(jLead)*4+2, 2)
+				}
+				// Vector loads: profile gather rows, db window,
+				// boundary columns.
+				em.VLoad(vScore, rDbPrev, profBase+uint32((int(b[jLead])*m+i0))*2, 16)
+				if sh.vload > 3 {
+					em.VLoad(vTmp, rDbPrev, profBase+uint32((int(b[jTail])*m+i0))*2, 16)
+					mid := clampIdx(t-lanes/2, n)
+					em.VLoad(vTmp2, rDbPrev, profBase+uint32((int(b[mid])*m+i0))*2, 16)
+				}
+				em.VLoad(vDb, rPtrB, seqBase[si]+uint32(jLead&^15), 16)
+				em.VLoad(vBound, isa.GPR(7), curBound+uint32(clampIdx(t, n))*4, 16)
+				// Permutes: gather merge, window align, and the three
+				// dependency-carrying shifts.
+				em.VPerm(vScore, vScore, vTmp)
+				em.VPerm(vDb, vDb, vScore)
+				permBase := 5
+				if lanes == 8 {
+					// One-lane shifts are single permutes at 128 bits.
+					em.VPerm(vTmp, hp2, vBound)  // hdiag with boundary fill
+					em.VPerm(vTmp2, hp, vBound)  // hup
+					em.VPerm(vBound, fp, vBound) // fup
+				} else {
+					// At 256 bits a one-lane shift crosses the 128-bit
+					// halves: each decomposes into low-half shift,
+					// high-half shift and a dependent merge, which is
+					// what moves the permute unit onto the critical
+					// path of the wide kernel.
+					em.VPerm(vTmp, hp2, vBound)
+					em.VPerm(vScratch, hp2, hp2)
+					em.VPerm(vTmp, vTmp, vScratch)
+					em.VPerm(vTmp2, hp, vBound)
+					em.VPerm(vScratch, hp, hp)
+					em.VPerm(vTmp2, vTmp2, vScratch)
+					em.VPerm(vBound, fp, vBound)
+					em.VPerm(vScratch, fp, fp)
+					em.VPerm(vBound, vBound, vScratch)
+					permBase = 11
+				}
+				permsLeft := sh.vperm - permBase
+				chainPerms := 0
+				if lanes != 8 {
+					chainPerms = 5
+					if chainPerms > permsLeft {
+						chainPerms = permsLeft
+					}
+				}
+				for k := 0; k < permsLeft-chainPerms; k++ {
+					// Remaining cross-half traffic: independent pairs.
+					if k%2 == 0 {
+						em.VPerm(vDb, hp, vDb)
+					} else {
+						em.VPerm(vScore, hp2, vScore)
+					}
+				}
+				// Arithmetic: E, F, H, best (saturating adds, maxes).
+				// vTmp holds the hdiag permute, vTmp2 the hup permute
+				// and vBound the fup permute from above.
+				vs := 0
+				em.VSimple(ec, hp, vConst) // e = hm1 - first
+				em.VSimple(vScratch, ep, vConst)
+				em.VSimple(ec, ec, vScratch)  // max with em1 - ext
+				em.VSimple(fc, vTmp2, vConst) // f = hup - first
+				em.VSimple(vScratch, vBound, vConst)
+				em.VSimple(fc, fc, vScratch) // max with fup - ext
+				em.VSimple(fc, fc, vConst)   // clamp 0
+				vs += 7
+				if lanes != 8 {
+					// Lane-boundary fixups of the wide F recurrence.
+					em.VSimple(fc, fc, vTmp2)
+					em.VSimple(fc, fc, vBound)
+					vs += 2
+				}
+				em.VSimple(hc, vTmp, vScore) // hdiag + score
+				em.VSimple(hc, hc, ec)       // max e
+				em.VSimple(hc, hc, fc)       // max f
+				em.VSimple(hc, hc, vConst)   // clamp 0
+				em.VSimple(vBest, vBest, hc) // running best
+				vs += 5
+				// Saturation-overflow flag accumulation: the kernels
+				// OR every step's compare result into a flag register,
+				// a genuinely serial chain; the wide version threads
+				// it through cross-half permutes as well.
+				for i := 0; i < chainPerms; i++ {
+					em.VPerm(vScratch, vScratch, hc)
+					if vs < sh.vsimple {
+						em.VSimple(vScratch, vScratch, hc)
+						vs++
+					}
+				}
+				for ; vs < sh.vsimple; vs++ {
+					em.VSimple(vScratch, vScratch, hc)
+				}
+				// Boundary store of the strip's last row.
+				if lastValid {
+					j := t - (lanes - 1)
+					em.Begin(bBoundSt)
+					em.VPerm(vTmp, hc, fc)
+					em.Store(rT, rPtrC, nextBound+uint32(j)*4, 2)
+					em.Store(rT, rPtrC, nextBound+uint32(j)*4+2, 2)
+				}
+				em.Begin(bLoop)
+				em.FixImm(rT, rT)
+				em.CondBranch(rT, t+1 < steps, bStep)
+			}
+			copy(hBound, newH)
+			copy(fBound, newF)
+			curBound, nextBound = nextBound, curBound
+			em.Begin(bStripEnd)
+			em.FixImm(rT, rT)
+			em.CondBranch(rT, i0+lanes < m, bStrip)
+		}
+		scores[si] = int(best)
+	}
+	return &RunInfo{Scores: scores, Instructions: em.Count()}
+}
+
+func clampIdx(j, n int) int {
+	if j < 0 {
+		return 0
+	}
+	if j >= n {
+		return n - 1
+	}
+	return j
+}
+
+func maxI16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func satAdd(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+func satSub(a, b int16) int16 {
+	s := int32(a) - int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}

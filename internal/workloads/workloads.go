@@ -1,0 +1,99 @@
+// Package workloads contains the traced implementations of the five
+// applications the paper characterizes: SSEARCH34 (SWAT-optimized
+// scalar Smith-Waterman), SW_vmx128 and SW_vmx256 (anti-diagonal SIMD
+// Smith-Waterman at 128- and 256-bit register widths), FASTA34, and
+// BLAST.
+//
+// Each workload actually performs its search — computing real
+// alignment scores that the test suite verifies against the clean
+// implementations in internal/align, internal/fasta and internal/blast
+// — while emitting a pseudo-assembly instruction stream through
+// internal/trace. The emitted inner loops mirror the structure of the
+// real programs' kernels (the paper's Listings 1-3): same memory
+// layout, same data-dependent branch structure, same dependency
+// chains. This plays the role of the paper's Aria/MET trace capture.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/bio"
+	"repro/internal/trace"
+)
+
+// Workload generates the instruction trace of one application run.
+type Workload interface {
+	// Name returns the paper's label for the application.
+	Name() string
+	// Trace runs the workload against its query/database, emitting
+	// the instruction stream into sink and returning the scores it
+	// computed (one per database sequence, in database order).
+	Trace(sink trace.Sink) *RunInfo
+}
+
+// RunInfo reports what a traced run computed, for verification and
+// Table III statistics.
+type RunInfo struct {
+	Scores       []int
+	Instructions uint64
+}
+
+// Spec identifies the input of a workload run: the paper's fixed
+// query/database pair.
+type Spec struct {
+	Query *bio.Sequence
+	DB    *bio.Database
+}
+
+// PaperSpec builds the experiment input: the Glutathione S-transferase
+// query against a synthetic SwissProt subset with numSeqs sequences
+// (a handful of which are planted homologs, as in any real protein
+// database).
+func PaperSpec(numSeqs int) Spec {
+	return SpecForQuery("P14942", numSeqs)
+}
+
+// SpecForQuery builds the input for any Table II query, for sweeps
+// across the full query set.
+func SpecForQuery(accession string, numSeqs int) Spec {
+	q := bio.PaperQuery(accession)
+	dbSpec := bio.DefaultDBSpec(numSeqs)
+	if numSeqs >= 8 {
+		dbSpec.Related = numSeqs / 8
+		dbSpec.RelatedTo = q
+	}
+	return Spec{Query: q, DB: bio.SyntheticDB(dbSpec)}
+}
+
+// Names lists the workloads in the paper's presentation order.
+var Names = []string{"ssearch34", "sw_vmx128", "sw_vmx256", "fasta34", "blast"}
+
+// New constructs a workload by name.
+func New(name string, spec Spec) (Workload, error) {
+	switch name {
+	case "ssearch34":
+		return NewSSEARCH(spec), nil
+	case "sw_vmx128":
+		return NewVMX(spec, 8), nil
+	case "sw_vmx256":
+		return NewVMX(spec, 16), nil
+	case "fasta34":
+		return NewFASTA(spec), nil
+	case "blast":
+		return NewBLAST(spec), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// All constructs the five paper workloads over the same input.
+func All(spec Spec) []Workload {
+	out := make([]Workload, len(Names))
+	for i, n := range Names {
+		w, err := New(n, spec)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = w
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/blast"
+	"repro/internal/fasta"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// testSpec is a small but non-trivial input: real query, synthetic
+// database with planted homologs so the heuristics' trigger paths run.
+func testSpec(t *testing.T, seqs int) Spec {
+	t.Helper()
+	return PaperSpec(seqs)
+}
+
+// The central contract: every traced kernel computes exactly what the
+// clean library implementation computes. This is what makes the traces
+// "the same computation the paper traced" rather than synthetic noise.
+
+func TestSSEARCHTraceMatchesReference(t *testing.T) {
+	spec := testSpec(t, 10)
+	var cs trace.CountingSink
+	info := NewSSEARCH(spec).Trace(&cs)
+	p := align.PaperParams()
+	for i, seq := range spec.DB.Seqs {
+		want := align.SWScore(p, spec.Query.Residues, seq.Residues)
+		if info.Scores[i] != want {
+			t.Errorf("seq %d: traced score %d, reference %d", i, info.Scores[i], want)
+		}
+	}
+	if info.Instructions == 0 || cs.Total != info.Instructions {
+		t.Errorf("instruction accounting: info=%d sink=%d", info.Instructions, cs.Total)
+	}
+}
+
+func TestVMXTracesMatchReference(t *testing.T) {
+	spec := testSpec(t, 8)
+	p := align.PaperParams()
+	for _, lanes := range []int{8, 16} {
+		var cs trace.CountingSink
+		info := NewVMX(spec, lanes).Trace(&cs)
+		for i, seq := range spec.DB.Seqs {
+			want := align.SWScore(p, spec.Query.Residues, seq.Residues)
+			if info.Scores[i] != want {
+				t.Errorf("lanes=%d seq %d: traced score %d, reference %d",
+					lanes, i, info.Scores[i], want)
+			}
+		}
+	}
+}
+
+func TestFASTATraceMatchesReference(t *testing.T) {
+	spec := testSpec(t, 10)
+	var cs trace.CountingSink
+	info := NewFASTA(spec).Trace(&cs)
+	sc := fasta.NewScanner(spec.Query.Residues, fasta.DefaultParams())
+	var stats fasta.SearchStats
+	for i, seq := range spec.DB.Seqs {
+		want := sc.ScanSequence(seq.Residues, &stats)
+		if info.Scores[i] != want.Opt {
+			t.Errorf("seq %d: traced opt %d, reference %d", i, info.Scores[i], want.Opt)
+		}
+	}
+}
+
+func TestBLASTTraceMatchesReference(t *testing.T) {
+	spec := testSpec(t, 10)
+	var cs trace.CountingSink
+	info := NewBLAST(spec).Trace(&cs)
+	p := blast.DefaultParams()
+	idx := blast.NewIndex(spec.Query.Residues, p)
+	sc := blast.NewScanner(idx, spec.Query.Residues, p)
+	var stats blast.SearchStats
+	for i, seq := range spec.DB.Seqs {
+		want := 0
+		if res := sc.ScanSequence(seq.Residues, &stats); res != nil {
+			want = res.Score
+		}
+		if info.Scores[i] != want {
+			t.Errorf("seq %d: traced score %d, reference %d", i, info.Scores[i], want)
+		}
+	}
+}
+
+func TestTraceSizeOrdering(t *testing.T) {
+	// Table III's shape: ssearch >> vmx128 > vmx256 > fasta > blast.
+	spec := testSpec(t, 10)
+	counts := map[string]uint64{}
+	for _, w := range All(spec) {
+		var cs trace.CountingSink
+		w.Trace(&cs)
+		counts[w.Name()] = cs.Total
+	}
+	order := []string{"ssearch34", "sw_vmx128", "sw_vmx256", "fasta34", "blast"}
+	for i := 1; i < len(order); i++ {
+		if counts[order[i]] >= counts[order[i-1]] {
+			t.Errorf("trace size order violated: %s (%d) >= %s (%d)",
+				order[i], counts[order[i]], order[i-1], counts[order[i-1]])
+		}
+	}
+	// The ssearch/vmx128 ratio should be near the paper's 4x.
+	ratio := float64(counts["ssearch34"]) / float64(counts["sw_vmx128"])
+	if ratio < 2.5 || ratio > 8 {
+		t.Errorf("ssearch/vmx128 instruction ratio %.2f far from the paper's ~4", ratio)
+	}
+	// vmx256 should reduce instructions moderately, not halve them.
+	r256 := float64(counts["sw_vmx256"]) / float64(counts["sw_vmx128"])
+	if r256 < 0.6 || r256 > 0.95 {
+		t.Errorf("vmx256/vmx128 ratio %.2f, paper has ~0.83", r256)
+	}
+}
+
+func TestInstructionMixes(t *testing.T) {
+	// Figure 1's qualitative shape.
+	spec := testSpec(t, 8)
+	mixes := map[string][isa.NumBreakdowns]float64{}
+	for _, w := range All(spec) {
+		var cs trace.CountingSink
+		w.Trace(&cs)
+		bd := cs.Breakdown()
+		var frac [isa.NumBreakdowns]float64
+		for i, n := range bd {
+			frac[i] = float64(n) / float64(cs.Total)
+		}
+		mixes[w.Name()] = frac
+	}
+
+	// Scalar apps: substantial control (>= 12%), negligible vector.
+	for _, name := range []string{"ssearch34", "fasta34", "blast"} {
+		m := mixes[name]
+		if m[isa.BkCtrl] < 0.12 || m[isa.BkCtrl] > 0.40 {
+			t.Errorf("%s ctrl fraction %.2f outside the paper's range", name, m[isa.BkCtrl])
+		}
+		if m[isa.BkVSimple]+m[isa.BkVPerm]+m[isa.BkVLoad] != 0 {
+			t.Errorf("%s should have no vector instructions", name)
+		}
+		if m[isa.BkIALU] < 0.30 {
+			t.Errorf("%s ialu fraction %.2f, want dominant", name, m[isa.BkIALU])
+		}
+	}
+	// SIMD apps: tiny control, heavy vector integer.
+	for _, name := range []string{"sw_vmx128", "sw_vmx256"} {
+		m := mixes[name]
+		if m[isa.BkCtrl] > 0.08 {
+			t.Errorf("%s ctrl fraction %.2f, paper has ~2%%", name, m[isa.BkCtrl])
+		}
+		if m[isa.BkVSimple] < 0.20 {
+			t.Errorf("%s vsimple fraction %.2f, want >= 0.20", name, m[isa.BkVSimple])
+		}
+		if m[isa.BkVPerm] <= 0 {
+			t.Errorf("%s has no permutes", name)
+		}
+	}
+	// vmx256 shifts work toward permutes relative to vmx128.
+	if mixes["sw_vmx256"][isa.BkVPerm] <= mixes["sw_vmx128"][isa.BkVPerm] {
+		t.Error("vmx256 should have a larger vperm fraction than vmx128")
+	}
+	// Loads outnumber stores everywhere (the paper's observation).
+	for name, m := range mixes {
+		loads := m[isa.BkILoad] + m[isa.BkVLoad]
+		stores := m[isa.BkIStore] + m[isa.BkVStore]
+		if loads <= stores {
+			t.Errorf("%s: loads %.2f should exceed stores %.2f", name, loads, stores)
+		}
+	}
+}
+
+func TestWorkloadFactory(t *testing.T) {
+	spec := testSpec(t, 4)
+	for _, name := range Names {
+		w, err := New(name, spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if w.Name() != name {
+			t.Errorf("Name() = %q, want %q", w.Name(), name)
+		}
+	}
+	if _, err := New("hmmer", spec); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if len(All(spec)) != 5 {
+		t.Error("All should return the five paper workloads")
+	}
+}
+
+func TestBandedEmitMatchesAlign(t *testing.T) {
+	spec := testSpec(t, 3)
+	var rec trace.Recorder
+	em := trace.NewEmitter(&rec)
+	bH := em.Block("t.h", 5)
+	bC := em.Block("t.c", 11)
+	bCl := em.Block("t.cl", 1)
+	bL := em.Block("t.l", 2)
+	p := align.PaperParams()
+	q := spec.Query.Residues
+	for i, seq := range spec.DB.Seqs {
+		for _, hw := range []int{0, 5, 16, 40} {
+			center := (i - 1) * 7
+			want := align.BandedSWScore(p, q, seq.Residues, center, hw)
+			got := bandedEmit(em, bH, bC, bCl, bL, p, q, seq.Residues, center, hw,
+				0x1000, 0x2000, 0x3000, 0x4000, 0x5000)
+			if got != want {
+				t.Errorf("seq %d center %d hw %d: bandedEmit %d, align %d",
+					i, center, hw, got, want)
+			}
+		}
+	}
+	if rec.Len() == 0 {
+		t.Error("bandedEmit emitted nothing")
+	}
+}
+
+func TestTracesAreDeterministic(t *testing.T) {
+	spec := testSpec(t, 4)
+	for _, name := range []string{"ssearch34", "blast"} {
+		w1, _ := New(name, spec)
+		w2, _ := New(name, spec)
+		var r1, r2 trace.Recorder
+		w1.Trace(&r1)
+		w2.Trace(&r2)
+		if r1.Len() != r2.Len() {
+			t.Fatalf("%s: lengths differ across runs", name)
+		}
+		for i := range r1.Insts {
+			if r1.Insts[i] != r2.Insts[i] {
+				t.Fatalf("%s: instruction %d differs across runs", name, i)
+			}
+		}
+	}
+}
