@@ -1,0 +1,126 @@
+// Command benchsnap measures the scoring kernels and the parallel
+// scan harness programmatically and writes a JSON snapshot (ns/op,
+// GCUPS, allocs/op per kernel) so the repository's performance
+// trajectory is recorded PR over PR (see DESIGN.md). CI emits
+// BENCH_<n>.json artifacts with it.
+//
+// Usage:
+//
+//	benchsnap [-o BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/simd"
+)
+
+// KernelResult is one kernel's measurement.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	McellsPerS  float64 `json:"mcells_per_s"`
+	GCUPS       float64 `json:"gcups"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Query      string         `json:"query"`
+	QueryLen   int            `json:"query_len"`
+	SubjectLen int            `json:"subject_len"`
+	Kernels    []KernelResult `json:"kernels"`
+	Scan       []KernelResult `json:"scan"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output file")
+	flag.Parse()
+
+	p := align.PaperParams()
+	q := bio.GlutathioneQuery()
+	subject := bio.RandomSequence("S", 360, 99).Residues
+	prof := align.NewProfile(q.Residues, p)
+	sp := align.NewStripedProfile(q.Residues, p, simd.Lanes128)
+	cells := float64(q.Len() * len(subject))
+
+	mark := func(name string, cells float64, f func(*align.Scratch)) KernelResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			scr := align.NewScratch()
+			f(scr) // size the scratch before measuring
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f(scr)
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		rate := cells / ns * 1e9
+		return KernelResult{
+			Name:        name,
+			NsPerOp:     ns,
+			McellsPerS:  rate / 1e6,
+			GCUPS:       rate / 1e9,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Query:      q.ID,
+		QueryLen:   q.Len(),
+		SubjectLen: len(subject),
+	}
+	snap.Kernels = append(snap.Kernels,
+		mark("sw", cells, func(s *align.Scratch) { s.SWScore(p, q.Residues, subject) }),
+		mark("ssearch", cells, func(s *align.Scratch) { s.SSEARCHScore(prof, subject) }),
+		mark("gotoh", cells, func(s *align.Scratch) { s.GotohScore(prof, subject) }),
+		mark("vmx128", cells, func(s *align.Scratch) { s.SWScoreVMX128(prof, subject) }),
+		mark("vmx256", cells, func(s *align.Scratch) { s.SWScoreVMX256(prof, subject) }),
+		mark("striped", cells, func(s *align.Scratch) { s.SWScoreStriped(sp, subject) }),
+	)
+
+	spec := bio.DefaultDBSpec(100)
+	spec.Related = 5
+	spec.RelatedTo = q
+	db := bio.SyntheticDB(spec)
+	scanCells := float64(q.Len() * db.TotalResidues())
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		w := workers
+		snap.Scan = append(snap.Scan,
+			mark(fmt.Sprintf("searchdb-ssearch-w%d", w), scanCells, func(*align.Scratch) {
+				align.SearchDB(p, q.Residues, db, align.SearchConfig{
+					Kernel: align.KernelSSEARCH, Workers: w, TopK: 20,
+				})
+			}))
+		if runtime.GOMAXPROCS(0) == 1 {
+			break
+		}
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d kernels, %d scan points)\n", *out, len(snap.Kernels), len(snap.Scan))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -26,11 +26,12 @@ func main() {
 	var (
 		queryArg  = flag.String("query", "P14942", "query: FASTA file path or a Table II accession")
 		dbArg     = flag.String("db", "synthetic:100", "database: FASTA file path or synthetic:<n>")
-		method    = flag.String("method", "ssearch", "ssearch | vmx128 | vmx256 | blast | fasta | sw")
+		method    = flag.String("method", "ssearch", "ssearch | vmx128 | vmx256 | striped | gotoh | sw | blast | fasta")
 		matrix    = flag.String("s", "BL62", "substitution matrix (BL62, BL50)")
 		gapOpen   = flag.Int("gopen", 10, "gap open penalty")
 		gapExt    = flag.Int("gext", 1, "gap extension penalty")
 		best      = flag.Int("best", 10, "number of hits to report (-b)")
+		workers   = flag.Int("workers", 0, "parallel scan workers (0 = all CPUs)")
 		related   = flag.Int("related", 0, "plant this many homologs in a synthetic database")
 		showAlign = flag.Bool("align", false, "print the top hit's alignment")
 	)
@@ -59,50 +60,46 @@ func main() {
 		extra string
 	}
 	var hits []hit
-	switch *method {
-	case "ssearch", "sw", "vmx128", "vmx256":
-		prof := align.NewProfile(query.Residues, params)
-		for _, s := range db.Seqs {
-			var score int
-			switch *method {
-			case "ssearch":
-				score = align.SSEARCHScore(prof, s.Residues)
-			case "sw":
-				score = align.SWScore(params, query.Residues, s.Residues)
-			case "vmx128":
-				score = align.SWScoreVMX128(prof, s.Residues)
-			case "vmx256":
-				score = align.SWScoreVMX256(prof, s.Residues)
-			}
-			if score > 0 {
-				hits = append(hits, hit{seq: s, score: score})
-			}
-		}
-	case "blast":
-		p := blast.DefaultParams()
-		p.Matrix = m
-		p.Gaps = params.Gaps
-		res, stats := blast.Search(db, query, p)
+	if kernel, kerr := align.KernelByName(*method); kerr == nil {
+		// Rigorous scans run through the parallel sharded search
+		// harness; results are identical for every worker count.
+		res := align.SearchDB(params, query.Residues, db, align.SearchConfig{
+			Kernel:  kernel,
+			Workers: *workers,
+			TopK:    *best,
+		})
 		for _, h := range res {
-			hits = append(hits, hit{seq: h.Seq, score: h.Score,
-				extra: fmt.Sprintf("bits=%.1f E=%.2g", h.BitScore, h.EValue)})
+			hits = append(hits, hit{seq: h.Seq, score: h.Score})
 		}
-		fmt.Printf("blast stats: %d words scanned, %d word hits, %d seeds extended, %d gapped\n",
-			stats.WordsScanned, stats.WordHits, stats.SeedsExtended, stats.GappedExtensions)
-	case "fasta":
-		p := fasta.DefaultParams()
-		p.Matrix = m
-		p.Gaps = params.Gaps
-		res, _ := fasta.Search(db, query, p)
-		for _, h := range res {
-			hits = append(hits, hit{seq: h.Seq, score: h.Opt,
-				extra: fmt.Sprintf("init1=%d initn=%d", h.Init1, h.Initn)})
+	} else {
+		switch *method {
+		case "blast":
+			p := blast.DefaultParams()
+			p.Matrix = m
+			p.Gaps = params.Gaps
+			res, stats := blast.Search(db, query, p)
+			for _, h := range res {
+				hits = append(hits, hit{seq: h.Seq, score: h.Score,
+					extra: fmt.Sprintf("bits=%.1f E=%.2g", h.BitScore, h.EValue)})
+			}
+			fmt.Printf("blast stats: %d words scanned, %d word hits, %d seeds extended, %d gapped\n",
+				stats.WordsScanned, stats.WordHits, stats.SeedsExtended, stats.GappedExtensions)
+		case "fasta":
+			p := fasta.DefaultParams()
+			p.Matrix = m
+			p.Gaps = params.Gaps
+			res, _ := fasta.Search(db, query, p)
+			for _, h := range res {
+				hits = append(hits, hit{seq: h.Seq, score: h.Opt,
+					extra: fmt.Sprintf("init1=%d initn=%d", h.Init1, h.Initn)})
+			}
+		default:
+			fatal(fmt.Errorf("unknown method %q", *method))
 		}
-	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
-	// Scalar methods produce unsorted hits; sort by score.
+	// SearchDB hits arrive ranked; re-sorting is a no-op for them and
+	// orders the heuristic methods' results by score.
 	for i := 1; i < len(hits); i++ {
 		for j := i; j > 0 && hits[j].score > hits[j-1].score; j-- {
 			hits[j], hits[j-1] = hits[j-1], hits[j]

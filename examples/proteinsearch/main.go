@@ -5,7 +5,6 @@ package main
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -28,21 +27,15 @@ func main() {
 		return strings.Contains(s.Desc, "homolog")
 	}
 
-	// Rigorous search: Smith-Waterman over every sequence.
+	// Rigorous search: Smith-Waterman over every sequence, sharded
+	// across all CPUs by the parallel scan harness (identical hits at
+	// any worker count).
 	params := align.PaperParams()
-	prof := align.NewProfile(query.Residues, params)
 	start := time.Now()
-	type scored struct {
-		seq   *bio.Sequence
-		score int
-	}
-	var swHits []scored
-	for _, s := range db.Seqs {
-		if sc := align.SSEARCHScore(prof, s.Residues); sc >= 70 {
-			swHits = append(swHits, scored{s, sc})
-		}
-	}
-	sort.Slice(swHits, func(i, j int) bool { return swHits[i].score > swHits[j].score })
+	swHits := align.SearchDB(params, query.Residues, db, align.SearchConfig{
+		Kernel:   align.KernelSSEARCH,
+		MinScore: 70,
+	})
 	swTime := time.Since(start)
 
 	// Heuristic searches.
@@ -64,7 +57,7 @@ func main() {
 	}
 	var swSeqs, blSeqs, faSeqs []*bio.Sequence
 	for _, h := range swHits {
-		swSeqs = append(swSeqs, h.seq)
+		swSeqs = append(swSeqs, h.Seq)
 	}
 	for _, h := range blastHits {
 		blSeqs = append(blSeqs, h.Seq)
@@ -88,9 +81,9 @@ func main() {
 			break
 		}
 		marker := ""
-		if isHomolog(h.seq) {
+		if isHomolog(h.Seq) {
 			marker = "  <- planted homolog"
 		}
-		fmt.Printf("  %d. %-10s score %4d%s\n", i+1, h.seq.ID, h.score, marker)
+		fmt.Printf("  %d. %-10s score %4d%s\n", i+1, h.Seq.ID, h.Score, marker)
 	}
 }

@@ -1,0 +1,92 @@
+package align
+
+import (
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/simd"
+)
+
+// The allocation regression contract of this package: once a Scratch
+// has grown to the problem size, every kernel scores with zero
+// allocations, so a database scan is never GC-bound. The pooled
+// one-shot wrappers are held to (almost) the same bar — the pool can
+// be emptied by a concurrent GC, so they get a small tolerance.
+
+func allocInput() (*Profile, *StripedProfile, []uint8, []uint8, Params) {
+	p := PaperParams()
+	q := bio.GlutathioneQuery()
+	subject := bio.RandomSequence("S", 360, 99)
+	return NewProfile(q.Residues, p),
+		NewStripedProfile(q.Residues, p, simd.Lanes128),
+		q.Residues, subject.Residues, p
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // grow the scratch buffers before measuring
+	if avg := testing.AllocsPerRun(50, f); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, avg)
+	}
+}
+
+func TestScratchScalarKernelsAllocationFree(t *testing.T) {
+	prof, _, query, subject, p := allocInput()
+	scr := NewScratch()
+	assertZeroAllocs(t, "Scratch.SWScore", func() { scr.SWScore(p, query, subject) })
+	assertZeroAllocs(t, "Scratch.SWEnd", func() { scr.SWEnd(p, query, subject) })
+	assertZeroAllocs(t, "Scratch.SSEARCHScore", func() { scr.SSEARCHScore(prof, subject) })
+	assertZeroAllocs(t, "Scratch.GotohScore", func() { scr.GotohScore(prof, subject) })
+	assertZeroAllocs(t, "Scratch.BandedSWScore", func() { scr.BandedSWScore(p, query, subject, 0, 32) })
+}
+
+func TestScratchSIMDKernelsAllocationFree(t *testing.T) {
+	prof, sp, _, subject, _ := allocInput()
+	scr := NewScratch()
+	assertZeroAllocs(t, "Scratch.SWScoreVMX128", func() { scr.SWScoreVMX128(prof, subject) })
+	assertZeroAllocs(t, "Scratch.SWScoreVMX256", func() { scr.SWScoreVMX256(prof, subject) })
+	assertZeroAllocs(t, "Scratch.SWScoreSIMD-32", func() { scr.SWScoreSIMD(prof, subject, 32) })
+	assertZeroAllocs(t, "Scratch.SWScoreStriped", func() { scr.SWScoreStriped(sp, subject) })
+}
+
+// The simd engine itself must never heap-allocate: a full kernel pass
+// over value vectors has to stay on the stack.
+func TestSIMDEngineAllocationFree(t *testing.T) {
+	a := simd.Splat(simd.Lanes128, 3)
+	b := simd.Splat(simd.Lanes128, -7)
+	var sink int16
+	if avg := testing.AllocsPerRun(50, func() {
+		v := a.AddSat(b).SubSat(b).Max(b).Min(a).ShiftInLow(1).ShiftInHigh(2)
+		v = simd.AffineGap(v, a, 11, 1)
+		v = simd.AffineGapCarry(v, a, 0, 0, 11, 1)
+		v = simd.LocalCell(v, a, b, b)
+		v = simd.LocalCellCarry(v, 0, a, b, b)
+		v, _ = v.MaxAny(a)
+		sink = v.HorizontalMax()
+	}); avg != 0 {
+		t.Errorf("simd op chain: %.2f allocs/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// The pooled one-shot wrappers should also settle into zero steady-
+// state allocations. A concurrent GC can clear the pool mid-measure,
+// so tolerate a rare refill instead of flaking.
+func TestPooledOneShotWrappersNearZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops objects under the race detector; pooling is asserted in normal builds")
+	}
+	prof, sp, query, subject, p := allocInput()
+	for name, f := range map[string]func(){
+		"SWScore":        func() { SWScore(p, query, subject) },
+		"SSEARCHScore":   func() { SSEARCHScore(prof, subject) },
+		"GotohScore":     func() { GotohScore(prof, subject) },
+		"SWScoreVMX128":  func() { SWScoreVMX128(prof, subject) },
+		"SWScoreStriped": func() { SWScoreStriped(sp, subject) },
+	} {
+		f()
+		if avg := testing.AllocsPerRun(50, f); avg > 0.5 {
+			t.Errorf("%s: %.2f allocs/op in steady state, want ~0", name, avg)
+		}
+	}
+}

@@ -10,15 +10,26 @@ package align
 // With a band wide enough to cover the optimal alignment path it
 // returns the SWScore value; narrower bands return a lower bound.
 func BandedSWScore(p Params, a, b []uint8, center, halfWidth int) int {
+	s := getScratch()
+	score := s.BandedSWScore(p, a, b, center, halfWidth)
+	putScratch(s)
+	return score
+}
+
+// BandedSWScore is the scratch-threaded form of the package-level
+// BandedSWScore.
+func (s *Scratch) BandedSWScore(p Params, a, b []uint8, center, halfWidth int) int {
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 || halfWidth < 0 {
 		return 0
 	}
 	first := p.Gaps.First()
 	ext := p.Gaps.Extend
-	hrow := make([]int, n)
-	frow := make([]int, n)
-	for j := range frow {
+	s.hrow = grow(s.hrow, n)
+	s.frow = grow(s.frow, n)
+	hrow, frow := s.hrow, s.frow
+	for j := range hrow {
+		hrow[j] = 0
 		frow[j] = minInf
 	}
 	best := 0

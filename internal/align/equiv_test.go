@@ -114,6 +114,68 @@ func TestSWSIMDEmpty(t *testing.T) {
 	}
 }
 
+// A single Scratch reused across calls of every kernel — with shapes
+// that shrink and grow so stale buffer contents would surface — must
+// agree with the fresh-allocation reference path.
+func TestScratchReuseAgreesWithReference(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(11))
+	scr := NewScratch()
+	for trial := 0; trial < 60; trial++ {
+		a := randSeq(rng, 1+rng.Intn(90))
+		b := randSeq(rng, 1+rng.Intn(90))
+		prof := NewProfile(a, p)
+		sp := NewStripedProfile(a, p, simd.Lanes128)
+		want := SWScore(p, a, b)
+		if got := scr.SWScore(p, a, b); got != want {
+			t.Fatalf("trial %d: Scratch.SWScore=%d want %d", trial, got, want)
+		}
+		if got, _, _ := scr.SWEnd(p, a, b); got != want {
+			t.Fatalf("trial %d: Scratch.SWEnd=%d want %d", trial, got, want)
+		}
+		if got := scr.SSEARCHScore(prof, b); got != want {
+			t.Fatalf("trial %d: Scratch.SSEARCHScore=%d want %d", trial, got, want)
+		}
+		if got := scr.GotohScore(prof, b); got != want {
+			t.Fatalf("trial %d: Scratch.GotohScore=%d want %d", trial, got, want)
+		}
+		if got := scr.SWScoreVMX128(prof, b); got != want {
+			t.Fatalf("trial %d: Scratch.SWScoreVMX128=%d want %d", trial, got, want)
+		}
+		if got := scr.SWScoreVMX256(prof, b); got != want {
+			t.Fatalf("trial %d: Scratch.SWScoreVMX256=%d want %d", trial, got, want)
+		}
+		if got := scr.SWScoreStriped(sp, b); got != want {
+			t.Fatalf("trial %d: Scratch.SWScoreStriped=%d want %d", trial, got, want)
+		}
+		if got := scr.BandedSWScore(p, a, b, 0, len(a)+len(b)); got != want {
+			t.Fatalf("trial %d: Scratch.BandedSWScore=%d want %d", trial, got, want)
+		}
+	}
+}
+
+// The pooled one-shot wrappers go through the same scratch machinery;
+// interleaving them with explicit-scratch calls must stay consistent.
+func TestPooledWrappersAgreeWithScratch(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(12))
+	scr := NewScratch()
+	for trial := 0; trial < 40; trial++ {
+		a := randSeq(rng, 1+rng.Intn(60))
+		b := randSeq(rng, 1+rng.Intn(60))
+		prof := NewProfile(a, p)
+		if SWScore(p, a, b) != scr.SWScore(p, a, b) {
+			t.Fatalf("trial %d: pooled SWScore disagrees with scratch", trial)
+		}
+		if SSEARCHScore(prof, b) != scr.SSEARCHScore(prof, b) {
+			t.Fatalf("trial %d: pooled SSEARCHScore disagrees with scratch", trial)
+		}
+		if SWScoreVMX128(prof, b) != scr.SWScoreVMX128(prof, b) {
+			t.Fatalf("trial %d: pooled SWScoreVMX128 disagrees with scratch", trial)
+		}
+	}
+}
+
 func TestProfileRows(t *testing.T) {
 	p := PaperParams()
 	q := bio.Encode("ACDW")

@@ -1,0 +1,6 @@
+//go:build !race
+
+package align
+
+// raceEnabled is false in normal test builds; see race_test.go.
+const raceEnabled = false

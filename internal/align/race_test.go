@@ -1,0 +1,8 @@
+//go:build race
+
+package align
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops pooled objects and the
+// pooled-wrapper allocation bar cannot hold.
+const raceEnabled = true

@@ -1,0 +1,44 @@
+package align
+
+import (
+	"sync"
+
+	"repro/internal/simd"
+)
+
+// Scratch holds the reusable DP state of every scoring kernel in the
+// package: the linear rows of the scalar kernels, the strip-boundary
+// arrays of the anti-diagonal SIMD kernel, and the striped row vectors
+// of the Farrar-layout kernel. A database scan that reuses one Scratch
+// per worker performs zero steady-state allocations — buffers grow to
+// the longest query/subject seen and are reused thereafter.
+//
+// A Scratch is not safe for concurrent use; give each goroutine its
+// own (SearchDB does exactly that).
+type Scratch struct {
+	hrow, frow []int      // SWScore / SWEnd / BandedSWScore rows, sized to |b|
+	hh, ee     []int32    // SSEARCH / Gotoh profile rows, sized to |query|
+	hb, fb     []int16    // anti-diagonal strip boundary (previous strip's last row)
+	nhb, nfb   []int16    // anti-diagonal boundary under construction
+	hv, ev, nv []simd.Vec // striped H row, E row, and H row under construction
+}
+
+// NewScratch returns an empty Scratch; buffers are grown on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the one-shot package-level kernels, so even code
+// that never threads a Scratch through its calls settles into
+// zero-allocation steady state.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }
+
+// grow returns buf resized to n, reusing capacity. Contents are
+// unspecified; callers initialize what they read.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,174 @@
+package align
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bio"
+	"repro/internal/simd"
+)
+
+// SearchDB is the batch database-scan harness: the paper's rigorous
+// tools spend essentially all their time scoring one query against
+// every library sequence, so the scan — not just the cell kernel —
+// decides end-to-end throughput. SearchDB shards the database across
+// workers, gives each worker its own Scratch (so the whole scan is
+// allocation-free in steady state), and merges the per-sequence scores
+// into a deterministic ranked hit list: results are bit-identical for
+// every worker count, including 1.
+
+// Kernel selects the scoring implementation SearchDB drives.
+type Kernel int
+
+// The scoring kernels a scan can run, in the paper's naming.
+const (
+	KernelSSEARCH Kernel = iota // SWAT computation-avoiding scalar (ssearch34)
+	KernelSW                    // reference scalar Smith-Waterman
+	KernelGotoh                 // branch-free scalar Gotoh
+	KernelVMX128                // anti-diagonal SIMD, 128-bit (8 lanes)
+	KernelVMX256                // anti-diagonal SIMD, 256-bit (16 lanes)
+	KernelStriped               // striped (Farrar) SIMD, 128-bit
+)
+
+var kernelNames = map[Kernel]string{
+	KernelSSEARCH: "ssearch",
+	KernelSW:      "sw",
+	KernelGotoh:   "gotoh",
+	KernelVMX128:  "vmx128",
+	KernelVMX256:  "vmx256",
+	KernelStriped: "striped",
+}
+
+func (k Kernel) String() string {
+	if n, ok := kernelNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// KernelByName resolves the command-line names of the kernels.
+func KernelByName(name string) (Kernel, error) {
+	for k, n := range kernelNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("align: unknown kernel %q", name)
+}
+
+// Hit is one database sequence that scored at least the configured
+// minimum against the query.
+type Hit struct {
+	Index int // position of Seq in the database's sequence order
+	Seq   *bio.Sequence
+	Score int
+}
+
+// SearchConfig tunes a SearchDB scan. The zero value scans with the
+// SSEARCH kernel on every available CPU and reports all positive hits.
+type SearchConfig struct {
+	Kernel   Kernel
+	Workers  int // worker goroutines; <= 0 means GOMAXPROCS
+	TopK     int // keep the best K hits; <= 0 means all
+	MinScore int // report hits scoring >= MinScore; <= 0 means >= 1
+}
+
+// searchBatch is how many sequences a worker claims at a time: small
+// enough to balance ragged sequence lengths, large enough that the
+// claim counter never contends.
+const searchBatch = 8
+
+// SearchDB scores query against every sequence of db with the
+// configured kernel and returns the ranked hits (score descending,
+// database order breaking ties). Sharding across workers changes the
+// wall-clock, never the result.
+func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit {
+	seqs := db.Seqs
+	if len(query) == 0 || len(seqs) == 0 {
+		return nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seqs) {
+		workers = len(seqs)
+	}
+	minScore := cfg.MinScore
+	if minScore <= 0 {
+		minScore = 1
+	}
+
+	// Profiles are read-only and shared across workers; each worker
+	// carries its own DP scratch.
+	var prof *Profile
+	var sp *StripedProfile
+	switch cfg.Kernel {
+	case KernelSSEARCH, KernelGotoh, KernelVMX128, KernelVMX256:
+		prof = NewProfile(query, p)
+	case KernelStriped:
+		sp = NewStripedProfile(query, p, simd.Lanes128)
+	}
+
+	scores := make([]int, len(seqs))
+	score1 := func(scr *Scratch, b []uint8) int {
+		switch cfg.Kernel {
+		case KernelSSEARCH:
+			return scr.SSEARCHScore(prof, b)
+		case KernelSW:
+			return scr.SWScore(p, query, b)
+		case KernelGotoh:
+			return scr.GotohScore(prof, b)
+		case KernelVMX128:
+			return scr.SWScoreVMX128(prof, b)
+		case KernelVMX256:
+			return scr.SWScoreVMX256(prof, b)
+		case KernelStriped:
+			return scr.SWScoreStriped(sp, b)
+		default:
+			panic("align: unknown search kernel")
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := getScratch()
+			defer putScratch(scr)
+			for {
+				lo := int(next.Add(searchBatch)) - searchBatch
+				if lo >= len(seqs) {
+					return
+				}
+				hi := min(lo+searchBatch, len(seqs))
+				for i := lo; i < hi; i++ {
+					scores[i] = score1(scr, seqs[i].Residues)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits := make([]Hit, 0, len(seqs)/4+1)
+	for i, sc := range scores {
+		if sc >= minScore {
+			hits = append(hits, Hit{Index: i, Seq: seqs[i], Score: sc})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Index < hits[j].Index
+	})
+	if cfg.TopK > 0 && len(hits) > cfg.TopK {
+		hits = hits[:cfg.TopK]
+	}
+	return hits
+}

@@ -1,0 +1,169 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func searchTestDB(t *testing.T) (*bio.Database, *bio.Sequence) {
+	t.Helper()
+	q := bio.GlutathioneQuery()
+	spec := bio.DefaultDBSpec(40)
+	spec.Related = 5
+	spec.RelatedTo = q
+	return bio.SyntheticDB(spec), q
+}
+
+// Every kernel run through SearchDB must reproduce the reference
+// serial SWScore scan exactly.
+func TestSearchDBMatchesReferenceScan(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+
+	want := make(map[int]int)
+	for i, s := range db.Seqs {
+		if sc := SWScore(p, q.Residues, s.Residues); sc >= 1 {
+			want[i] = sc
+		}
+	}
+	for _, k := range []Kernel{KernelSSEARCH, KernelSW, KernelGotoh, KernelVMX128, KernelVMX256, KernelStriped} {
+		hits := SearchDB(p, q.Residues, db, SearchConfig{Kernel: k, Workers: 4})
+		if len(hits) != len(want) {
+			t.Fatalf("%v: %d hits, want %d", k, len(hits), len(want))
+		}
+		for _, h := range hits {
+			if sc, ok := want[h.Index]; !ok || sc != h.Score {
+				t.Errorf("%v: seq %d score %d, want %d", k, h.Index, h.Score, sc)
+			}
+			if h.Seq != db.Seqs[h.Index] {
+				t.Errorf("%v: hit %d carries wrong sequence", k, h.Index)
+			}
+		}
+	}
+}
+
+// Sharding must never change the result: every worker count returns
+// bit-identical hits in identical order.
+func TestSearchDBWorkerCountInvariance(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+	for _, k := range []Kernel{KernelSSEARCH, KernelVMX128, KernelStriped} {
+		ref := SearchDB(p, q.Residues, db, SearchConfig{Kernel: k, Workers: 1})
+		for _, workers := range []int{2, 3, 7, 16} {
+			got := SearchDB(p, q.Residues, db, SearchConfig{Kernel: k, Workers: workers})
+			if len(got) != len(ref) {
+				t.Fatalf("%v workers=%d: %d hits, want %d", k, workers, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%v workers=%d: hit %d = %+v, want %+v", k, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchDBRanking(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+	hits := SearchDB(p, q.Residues, db, SearchConfig{Kernel: KernelSSEARCH})
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by descending score")
+		}
+		if hits[i].Score == hits[i-1].Score && hits[i].Index < hits[i-1].Index {
+			t.Fatal("equal scores not tie-broken by database order")
+		}
+	}
+
+	top3 := SearchDB(p, q.Residues, db, SearchConfig{Kernel: KernelSSEARCH, TopK: 3})
+	if len(top3) != 3 {
+		t.Fatalf("TopK=3 returned %d hits", len(top3))
+	}
+	for i := range top3 {
+		if top3[i] != hits[i] {
+			t.Errorf("TopK hit %d differs from full ranking", i)
+		}
+	}
+
+	strict := SearchDB(p, q.Residues, db, SearchConfig{Kernel: KernelSSEARCH, MinScore: 70})
+	for _, h := range strict {
+		if h.Score < 70 {
+			t.Errorf("MinScore=70 returned score %d", h.Score)
+		}
+	}
+	for _, h := range hits {
+		if h.Score >= 70 {
+			found := false
+			for _, s := range strict {
+				if s.Index == h.Index {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("MinScore=70 lost hit %d (score %d)", h.Index, h.Score)
+			}
+		}
+	}
+}
+
+func TestSearchDBEdgeCases(t *testing.T) {
+	p := PaperParams()
+	db, q := searchTestDB(t)
+	if hits := SearchDB(p, nil, db, SearchConfig{}); hits != nil {
+		t.Error("empty query should return no hits")
+	}
+	empty := bio.NewDatabase(nil)
+	if hits := SearchDB(p, q.Residues, empty, SearchConfig{}); hits != nil {
+		t.Error("empty database should return no hits")
+	}
+	// More workers than sequences must still cover everything.
+	one := bio.NewDatabase(db.Seqs[:1])
+	hits := SearchDB(p, q.Residues, one, SearchConfig{Workers: 64})
+	if len(hits) != 1 {
+		t.Fatalf("1-sequence db returned %d hits", len(hits))
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	for _, name := range []string{"ssearch", "sw", "gotoh", "vmx128", "vmx256", "striped"} {
+		k, err := KernelByName(name)
+		if err != nil {
+			t.Fatalf("KernelByName(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("Kernel %v renders as %q", k, k.String())
+		}
+	}
+	if _, err := KernelByName("blast"); err == nil {
+		t.Error("heuristic methods are not scan kernels; want error")
+	}
+}
+
+// Randomized cross-check on small shapes, where boundary handling in
+// the sharded scan is most likely to go wrong.
+func TestSearchDBRandomized(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		q := randSeq(rng, 1+rng.Intn(50))
+		var seqs []*bio.Sequence
+		for i := 0; i < 1+rng.Intn(30); i++ {
+			seqs = append(seqs, &bio.Sequence{ID: "R", Residues: randSeq(rng, 1+rng.Intn(60))})
+		}
+		db := bio.NewDatabase(seqs)
+		ref := SearchDB(p, q, db, SearchConfig{Kernel: KernelVMX128, Workers: 1})
+		got := SearchDB(p, q, db, SearchConfig{Kernel: KernelVMX128, Workers: 5})
+		if len(ref) != len(got) {
+			t.Fatalf("trial %d: hit counts differ: %d vs %d", trial, len(ref), len(got))
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("trial %d: hit %d differs", trial, i)
+			}
+		}
+	}
+}

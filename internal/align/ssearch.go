@@ -12,6 +12,16 @@ package align
 // work that provably cannot change the result (E and F values clamped
 // at zero never influence H in a local alignment).
 func SSEARCHScore(prof *Profile, b []uint8) int {
+	s := getScratch()
+	score := s.SSEARCHScore(prof, b)
+	putScratch(s)
+	return score
+}
+
+// SSEARCHScore is the scratch-threaded form of the package-level
+// SSEARCHScore: identical result, zero allocations once the rows have
+// grown to the query length.
+func (s *Scratch) SSEARCHScore(prof *Profile, b []uint8) int {
 	m := len(prof.Query)
 	if m == 0 || len(b) == 0 {
 		return 0
@@ -22,8 +32,13 @@ func SSEARCHScore(prof *Profile, b []uint8) int {
 	// hh[j] holds H[i-1][j]; ee[j] holds the pre-computed vertical gap
 	// value E[i][j] (stored while processing row i-1), matching the
 	// ssj->H / ssj->E walk of the real code.
-	hh := make([]int32, m)
-	ee := make([]int32, m)
+	s.hh = grow(s.hh, m)
+	s.ee = grow(s.ee, m)
+	hh, ee := s.hh, s.ee
+	for j := range hh {
+		hh[j] = 0
+		ee[j] = 0
+	}
 	var best int32
 
 	for _, c := range b {
@@ -83,14 +98,28 @@ func SSEARCHScore(prof *Profile, b []uint8) int {
 // observation that SSEARCH's computation-avoidance optimizations are
 // what make it branch-predictor-bound.
 func GotohScore(prof *Profile, b []uint8) int {
+	s := getScratch()
+	score := s.GotohScore(prof, b)
+	putScratch(s)
+	return score
+}
+
+// GotohScore is the scratch-threaded form of the package-level
+// GotohScore.
+func (s *Scratch) GotohScore(prof *Profile, b []uint8) int {
 	m := len(prof.Query)
 	if m == 0 || len(b) == 0 {
 		return 0
 	}
 	first := int32(prof.Gaps.First())
 	ext := int32(prof.Gaps.Extend)
-	hh := make([]int32, m)
-	ee := make([]int32, m)
+	s.hh = grow(s.hh, m)
+	s.ee = grow(s.ee, m)
+	hh, ee := s.hh, s.ee
+	for j := range hh {
+		hh[j] = 0
+		ee[j] = 0
+	}
 	var best int32
 	for _, c := range b {
 		row := prof.Rows[c]

@@ -41,10 +41,10 @@ func NewStripedProfile(query []uint8, p Params, lanes int) *StripedProfile {
 		SegLen: segLen,
 		Vecs:   make([][]simd.Vec, 0, 24),
 	}
+	var lanesVals [simd.MaxLanes]int16
 	for c := 0; c < 24; c++ {
 		row := make([]simd.Vec, segLen)
 		for j := 0; j < segLen; j++ {
-			lanesVals := make([]int16, lanes)
 			for k := 0; k < lanes; k++ {
 				qi := j + k*segLen
 				if qi < m {
@@ -53,7 +53,7 @@ func NewStripedProfile(query []uint8, p Params, lanes int) *StripedProfile {
 					lanesVals[k] = invalidScore
 				}
 			}
-			row[j] = simd.FromSlice(lanesVals)
+			row[j] = simd.FromSlice(lanesVals[:lanes])
 		}
 		sp.Vecs = append(sp.Vecs, row)
 	}
@@ -64,23 +64,34 @@ func NewStripedProfile(query []uint8, p Params, lanes int) *StripedProfile {
 // profile's query against b. The result equals SWScore below the
 // 16-bit saturation bound.
 func SWScoreStriped(sp *StripedProfile, b []uint8) int {
+	s := getScratch()
+	score := s.SWScoreStriped(sp, b)
+	putScratch(s)
+	return score
+}
+
+// SWScoreStriped is the scratch-threaded form of the package-level
+// SWScoreStriped: identical result, zero allocations once the striped
+// rows have grown to the profile's segment length.
+func (s *Scratch) SWScoreStriped(sp *StripedProfile, b []uint8) int {
 	m := len(sp.Query)
 	if m == 0 || len(b) == 0 {
 		return 0
 	}
 	lanes := sp.Lanes
 	segLen := sp.SegLen
-	vFirst := simd.Splat(lanes, sp.Gaps.First)
-	vExt := simd.Splat(lanes, sp.Gaps.Extend)
+	first, ext := sp.Gaps.First, sp.Gaps.Extend
+	vFirst := simd.Splat(lanes, first)
 	vZero := simd.New(lanes)
 
-	hRow := make([]simd.Vec, segLen)
-	eRow := make([]simd.Vec, segLen)
-	hNew := make([]simd.Vec, segLen)
+	s.hv = grow(s.hv, segLen)
+	s.ev = grow(s.ev, segLen)
+	s.nv = grow(s.nv, segLen)
+	hRow, eRow, hNew := s.hv, s.ev, s.nv
 	for j := 0; j < segLen; j++ {
-		hRow[j] = simd.New(lanes)
-		eRow[j] = simd.New(lanes)
-		hNew[j] = simd.New(lanes)
+		hRow[j] = vZero
+		eRow[j] = vZero
+		hNew[j] = vZero
 	}
 	best := simd.New(lanes)
 
@@ -89,16 +100,16 @@ func SWScoreStriped(sp *StripedProfile, b []uint8) int {
 		// vH carries H[i-1][j-1] in striped order: the previous row's
 		// last segment shifted by one lane.
 		vH := hRow[segLen-1].ShiftInLow(0)
-		vF := simd.Splat(lanes, invalidScore).Max(vZero) // F starts clamped at 0 each row
+		vF := vZero // F starts clamped at 0 each row
 
 		for j := 0; j < segLen; j++ {
-			vH = vH.AddSat(prof[j]).Max(eRow[j]).Max(vF).Max(vZero)
+			vH = simd.LocalCell(vH, prof[j], eRow[j], vF)
 			best = best.Max(vH)
 			hNew[j] = vH
 
 			// Next-row E and in-row F updates.
-			eRow[j] = vH.SubSat(vFirst).Max(eRow[j].SubSat(vExt)).Max(vZero)
-			vF = vH.SubSat(vFirst).Max(vF.SubSat(vExt)).Max(vZero)
+			eRow[j] = simd.AffineGap(vH, eRow[j], first, ext)
+			vF = simd.AffineGap(vH, vF, first, ext)
 			vH = hRow[j]
 		}
 
@@ -113,49 +124,26 @@ func SWScoreStriped(sp *StripedProfile, b []uint8) int {
 			vF = vF.ShiftInLow(0)
 			improved := false
 			for j := 0; j < segLen; j++ {
-				h := hNew[j].Max(vF)
-				if lanesGT(h, hNew[j]) {
+				h, raised := hNew[j].MaxAny(vF)
+				if raised {
 					improved = true
 					hNew[j] = h
 					best = best.Max(h)
 					// E for the next row must see the corrected H.
 					eRow[j] = eRow[j].Max(h.SubSat(vFirst)).Max(vZero)
 				}
-				vF = vF.SubSat(vExt).Max(h.SubSat(vFirst)).Max(vZero)
+				vF = simd.AffineGap(h, vF, first, ext)
 			}
 			// A round that changed no H and reproduced the same
 			// end-of-row F is a fixed point: F can pass through quiet
 			// lanes, so reaching the `lanes` bound is the general
 			// guarantee and this is just the early exit.
-			if !improved && round > 0 && vecEqual(vF, prevEnd) {
+			if !improved && round > 0 && vF.Eq(prevEnd) {
 				break
 			}
 			prevEnd = vF
 		}
-		copy(hRow, hNew)
+		hRow, hNew = hNew, hRow
 	}
 	return int(best.HorizontalMax())
-}
-
-// lanesGT reports whether any lane of a exceeds the same lane of b.
-func lanesGT(a, b simd.Vec) bool {
-	for i := 0; i < a.Width(); i++ {
-		if a.Lane(i) > b.Lane(i) {
-			return true
-		}
-	}
-	return false
-}
-
-// vecEqual reports lane-wise equality.
-func vecEqual(a, b simd.Vec) bool {
-	if a.Width() != b.Width() {
-		return false
-	}
-	for i := 0; i < a.Width(); i++ {
-		if a.Lane(i) != b.Lane(i) {
-			return false
-		}
-	}
-	return true
 }

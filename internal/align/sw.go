@@ -12,17 +12,31 @@ package align
 // extension) is verified against.
 
 // SWScore computes the optimal local alignment score of a and b in
-// O(len(b)) memory. Either sequence may be empty (score 0).
+// O(len(b)) memory. Either sequence may be empty (score 0). This
+// one-shot form borrows a pooled Scratch; scans that hold their own
+// should call Scratch.SWScore directly.
 func SWScore(p Params, a, b []uint8) int {
+	s := getScratch()
+	score := s.SWScore(p, a, b)
+	putScratch(s)
+	return score
+}
+
+// SWScore is the scratch-threaded form of the package-level SWScore:
+// identical result, zero allocations once the rows have grown to the
+// subject length.
+func (s *Scratch) SWScore(p Params, a, b []uint8) int {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
 	first := p.Gaps.First()
 	ext := p.Gaps.Extend
 	n := len(b)
-	hrow := make([]int, n) // H[i-1][j]
-	frow := make([]int, n) // F[i-1][j] during row i
-	for j := range frow {
+	s.hrow = grow(s.hrow, n)
+	s.frow = grow(s.frow, n)
+	hrow, frow := s.hrow, s.frow // H[i-1][j]; F[i-1][j] during row i
+	for j := range hrow {
+		hrow[j] = 0
 		frow[j] = -first // "no gap yet" sentinel low enough to never win
 	}
 	best := 0
@@ -60,15 +74,25 @@ func SWScore(p Params, a, b []uint8) int {
 // (exclusive) of the best-scoring cell, in O(len(b)) memory. Used by
 // hit reporting to locate alignments without a full traceback.
 func SWEnd(p Params, a, b []uint8) (score, aEnd, bEnd int) {
+	s := getScratch()
+	score, aEnd, bEnd = s.SWEnd(p, a, b)
+	putScratch(s)
+	return score, aEnd, bEnd
+}
+
+// SWEnd is the scratch-threaded form of the package-level SWEnd.
+func (s *Scratch) SWEnd(p Params, a, b []uint8) (score, aEnd, bEnd int) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, 0, 0
 	}
 	first := p.Gaps.First()
 	ext := p.Gaps.Extend
 	n := len(b)
-	hrow := make([]int, n)
-	frow := make([]int, n)
-	for j := range frow {
+	s.hrow = grow(s.hrow, n)
+	s.frow = grow(s.frow, n)
+	hrow, frow := s.hrow, s.frow
+	for j := range hrow {
+		hrow[j] = 0
 		frow[j] = -first
 	}
 	for i := 0; i < len(a); i++ {

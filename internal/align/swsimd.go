@@ -19,6 +19,14 @@ import "repro/internal/simd"
 // carried in boundary arrays. All values are clamped at zero (safe for
 // local alignment, see SSEARCHScore) and use saturating 16-bit lanes
 // exactly like the Altivec code.
+//
+// The kernel is allocation-free in steady state: vectors are value
+// types, the per-step score gather fills a stack array, and the strip
+// boundary rows live in the Scratch. Steps are split into a ragged
+// prologue/epilogue (lanes partially outside the matrix, gathered with
+// bounds tests) and an interior body where every active lane is in
+// bounds and the gather runs branch-free — the matrix-lookup layout the
+// real kernels bake into their vperm tables.
 
 // invalidScore poisons lanes whose cell lies outside the matrix: the
 // saturating add pushes H far negative, so the zero clamp erases it.
@@ -30,22 +38,38 @@ const invalidScore = simd.MinInt16 / 2
 // result equals SWScore as long as it stays below the 16-bit
 // saturation bound, which holds for protein-scale sequences.
 func SWScoreSIMD(prof *Profile, b []uint8, lanes int) int {
+	s := getScratch()
+	score := s.SWScoreSIMD(prof, b, lanes)
+	putScratch(s)
+	return score
+}
+
+// SWScoreSIMD is the scratch-threaded form of the package-level
+// SWScoreSIMD: identical result, zero allocations once the boundary
+// rows have grown to the subject length.
+func (s *Scratch) SWScoreSIMD(prof *Profile, b []uint8, lanes int) int {
 	m, n := len(prof.Query), len(b)
 	if m == 0 || n == 0 {
 		return 0
 	}
 	first := int16(prof.Gaps.First())
 	ext := int16(prof.Gaps.Extend)
-	vFirst := simd.Splat(lanes, first)
-	vExt := simd.Splat(lanes, ext)
-	vZero := simd.New(lanes)
 
 	// Boundary rows from the previous strip: H and F of row i0-1.
-	hBound := make([]int16, n)
-	fBound := make([]int16, n)
+	s.hb = grow(s.hb, n)
+	s.fb = grow(s.fb, n)
+	s.nhb = grow(s.nhb, n)
+	s.nfb = grow(s.nfb, n)
+	hBound, fBound := s.hb, s.fb
+	newHBound, newFBound := s.nhb, s.nfb
+	for j := 0; j < n; j++ {
+		hBound[j] = 0
+		fBound[j] = 0
+	}
 
 	bestVec := simd.New(lanes)
-	scoreLanes := make([]int16, lanes)
+	var scoreBuf [simd.MaxLanes]int16
+	scoreLanes := scoreBuf[:lanes]
 
 	for i0 := 0; i0 < m; i0 += lanes {
 		var (
@@ -54,19 +78,31 @@ func SWScoreSIMD(prof *Profile, b []uint8, lanes int) int {
 			em1 = simd.New(lanes) // E at step t-1
 			fm1 = simd.New(lanes) // F at step t-1
 		)
-		newHBound := make([]int16, n)
-		newFBound := make([]int16, n)
+		// Lanes at or beyond the query end stay poisoned for the whole
+		// strip; the per-step gathers only touch the active ones.
+		vl := lanes
+		if rest := m - i0; rest < vl {
+			vl = rest
+		}
+		for k := vl; k < lanes; k++ {
+			scoreLanes[k] = invalidScore
+		}
 		steps := n + lanes - 1
 		for t := 0; t < steps; t++ {
 			// Gather substitution scores: lane k scores query[i0+k]
-			// against b[t-k] (the vperm matrix lookup).
-			for k := 0; k < lanes; k++ {
-				j := t - k
-				qi := i0 + k
-				if j >= 0 && j < n && qi < m {
-					scoreLanes[k] = prof.Rows[b[j]][qi]
-				} else {
-					scoreLanes[k] = invalidScore
+			// against b[t-k] (the vperm matrix lookup). Interior steps
+			// have every active lane in bounds.
+			if t >= vl-1 && t < n {
+				for k := 0; k < vl; k++ {
+					scoreLanes[k] = prof.Rows[b[t-k]][i0+k]
+				}
+			} else {
+				for k := 0; k < vl; k++ {
+					if j := t - k; uint(j) < uint(n) {
+						scoreLanes[k] = prof.Rows[b[j]][i0+k]
+					} else {
+						scoreLanes[k] = invalidScore
+					}
 				}
 			}
 			scoreVec := simd.FromSlice(scoreLanes)
@@ -79,13 +115,12 @@ func SWScoreSIMD(prof *Profile, b []uint8, lanes int) int {
 				upHFill = hBound[t]
 				upFFill = fBound[t]
 			}
-			hdiag := hm2.ShiftInLow(diagFill)
-			hup := hm1.ShiftInLow(upHFill)
-			fup := fm1.ShiftInLow(upFFill)
 
-			e := hm1.SubSat(vFirst).Max(em1.SubSat(vExt)).Max(vZero)
-			f := hup.SubSat(vFirst).Max(fup.SubSat(vExt)).Max(vZero)
-			h := hdiag.AddSat(scoreVec).Max(e).Max(f).Max(vZero)
+			// The carry-fused ops fold the three dependency-carrying
+			// shifts (vperm/vsldoi) into the recurrences they feed.
+			e := simd.AffineGap(hm1, em1, first, ext)
+			f := simd.AffineGapCarry(hm1, fm1, upHFill, upFFill, first, ext)
+			h := simd.LocalCellCarry(hm2, diagFill, scoreVec, e, f)
 			bestVec = bestVec.Max(h)
 
 			// The strip's last row becomes the next strip's boundary.
@@ -96,7 +131,8 @@ func SWScoreSIMD(prof *Profile, b []uint8, lanes int) int {
 
 			hm2, hm1, em1, fm1 = hm1, h, e, f
 		}
-		hBound, fBound = newHBound, newFBound
+		hBound, newHBound = newHBound, hBound
+		fBound, newFBound = newFBound, fBound
 	}
 	return int(bestVec.HorizontalMax())
 }
@@ -107,8 +143,20 @@ func SWScoreVMX128(prof *Profile, b []uint8) int {
 	return SWScoreSIMD(prof, b, simd.Lanes128)
 }
 
+// SWScoreVMX128 is the scratch-threaded form of the package-level
+// SWScoreVMX128.
+func (s *Scratch) SWScoreVMX128(prof *Profile, b []uint8) int {
+	return s.SWScoreSIMD(prof, b, simd.Lanes128)
+}
+
 // SWScoreVMX256 scores with the futuristic 256-bit (16-lane) register
 // width, the paper's SW_vmx256 workload.
 func SWScoreVMX256(prof *Profile, b []uint8) int {
 	return SWScoreSIMD(prof, b, simd.Lanes256)
+}
+
+// SWScoreVMX256 is the scratch-threaded form of the package-level
+// SWScoreVMX256.
+func (s *Scratch) SWScoreVMX256(prof *Profile, b []uint8) int {
+	return s.SWScoreSIMD(prof, b, simd.Lanes256)
 }

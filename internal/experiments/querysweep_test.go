@@ -9,7 +9,7 @@ func TestQuerySweepStability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("query sweep in short mode")
 	}
-	s := QuerySweep(Scale{Seqs: 3, TraceCap: 60_000})
+	s := QuerySweep(Scale{Seqs: 3, TraceCap: 40_000})
 	if len(s.Queries) != 10 {
 		t.Fatalf("swept %d queries, want 10", len(s.Queries))
 	}

@@ -5,10 +5,21 @@
 //
 // Two widths are provided, mirroring the paper's two hardware targets:
 // 128-bit registers (8 lanes, the real Altivec) and the paper's
-// "futuristic" 256-bit extension (16 lanes). A Vec is a slice of lanes
-// behind a fixed-width façade: operations verify width agreement so an
+// "futuristic" 256-bit extension (16 lanes). A Vec is a value type — a
+// fixed backing array with a width field selecting the active lanes —
+// so vector operations allocate nothing, inline into their callers,
+// and live entirely in registers/stack, exactly like the machine
+// registers they model. Operations verify width agreement so an
 // algorithm written for one width runs unchanged at the other, exactly
 // like recompiling the VMX kernel for wider registers.
+//
+// Implementation notes: every operation body is kept under the
+// compiler's inlining budget (constant-string panics, min/max
+// builtins, receiver-copy mutation instead of a separate output), so
+// the DP kernels built on this package compile to straight-line lane
+// loops with no call or copy overhead. Lanes beyond the active width
+// are kept at zero by every constructor and operation, which lets
+// whole-value comparison (Eq) stay a single array compare.
 package simd
 
 import "fmt"
@@ -19,6 +30,10 @@ const (
 	Lanes256 = 16 // 256-bit futuristic register: 16 x int16
 )
 
+// MaxLanes is the widest register the engine models (a hypothetical
+// 512-bit file, used by the lane-width ablation sweeps).
+const MaxLanes = 32
+
 // MaxInt16 and MinInt16 are the saturation bounds of a lane.
 const (
 	MaxInt16 = 1<<15 - 1
@@ -26,25 +41,32 @@ const (
 )
 
 // Vec is a SIMD register value: a fixed number of int16 lanes. Lane 0
-// is the "leftmost" element. Vecs are values; operations return new
-// Vecs and never alias their inputs.
+// is the "leftmost" element. Vecs are values backed by a fixed-size
+// array; operations return new Vecs, never alias their inputs, and
+// never touch the heap.
 type Vec struct {
-	lanes []int16
+	width int
+	lanes [MaxLanes]int16
+}
+
+func checkWidth(width int) {
+	if width <= 0 || width > MaxLanes {
+		panic("simd: vector width out of range")
+	}
 }
 
 // New returns a zero vector with the given lane count (Lanes128 or
-// Lanes256; any positive width is accepted for testability).
+// Lanes256; any width in 1..MaxLanes is accepted for testability).
 func New(width int) Vec {
-	if width <= 0 {
-		panic(fmt.Sprintf("simd: invalid vector width %d", width))
-	}
-	return Vec{lanes: make([]int16, width)}
+	checkWidth(width)
+	return Vec{width: width}
 }
 
 // Splat returns a vector with every lane set to v (vspltish).
 func Splat(width int, v int16) Vec {
-	out := New(width)
-	for i := range out.lanes {
+	checkWidth(width)
+	out := Vec{width: width}
+	for i := 0; i < width; i++ {
 		out.lanes[i] = v
 	}
 	return out
@@ -52,89 +74,77 @@ func Splat(width int, v int16) Vec {
 
 // FromSlice builds a vector from the given lane values (copied).
 func FromSlice(vals []int16) Vec {
-	out := New(len(vals))
-	copy(out.lanes, vals)
+	checkWidth(len(vals))
+	out := Vec{width: len(vals)}
+	copy(out.lanes[:], vals)
 	return out
 }
 
 // Width returns the lane count.
-func (v Vec) Width() int { return len(v.lanes) }
+func (v Vec) Width() int { return v.width }
 
 // Lane returns lane i.
-func (v Vec) Lane(i int) int16 { return v.lanes[i] }
+func (v Vec) Lane(i int) int16 {
+	if uint(i) >= uint(v.width) {
+		panic("simd: lane index out of range")
+	}
+	return v.lanes[i]
+}
 
-// Lanes returns a copy of the lane values.
+// Lanes returns a copy of the active lane values.
 func (v Vec) Lanes() []int16 {
-	out := make([]int16, len(v.lanes))
-	copy(out, v.lanes)
+	out := make([]int16, v.width)
+	copy(out, v.lanes[:v.width])
 	return out
 }
 
 // String renders the lanes for debugging.
-func (v Vec) String() string { return fmt.Sprintf("%v", v.lanes) }
+func (v Vec) String() string { return fmt.Sprintf("%v", v.lanes[:v.width]) }
 
+// check panics with op when the operand widths disagree. The message
+// is a constant so the guard inlines along with the operation.
 func (v Vec) check(o Vec, op string) {
-	if len(v.lanes) != len(o.lanes) {
-		panic(fmt.Sprintf("simd: %s width mismatch %d vs %d", op, len(v.lanes), len(o.lanes)))
+	if v.width != o.width {
+		panic(op)
 	}
-}
-
-func sat(x int32) int16 {
-	if x > MaxInt16 {
-		return MaxInt16
-	}
-	if x < MinInt16 {
-		return MinInt16
-	}
-	return int16(x)
 }
 
 // AddSat is the lane-wise signed saturating add (vaddshs).
 func (v Vec) AddSat(o Vec) Vec {
-	v.check(o, "AddSat")
-	out := New(len(v.lanes))
-	for i := range out.lanes {
-		out.lanes[i] = sat(int32(v.lanes[i]) + int32(o.lanes[i]))
+	v.check(o, "simd: AddSat width mismatch")
+	for i := 0; i < v.width; i++ {
+		x := int32(v.lanes[i]) + int32(o.lanes[i])
+		v.lanes[i] = int16(min(max(x, MinInt16), MaxInt16))
 	}
-	return out
+	return v
 }
 
 // SubSat is the lane-wise signed saturating subtract (vsubshs).
 func (v Vec) SubSat(o Vec) Vec {
-	v.check(o, "SubSat")
-	out := New(len(v.lanes))
-	for i := range out.lanes {
-		out.lanes[i] = sat(int32(v.lanes[i]) - int32(o.lanes[i]))
+	v.check(o, "simd: SubSat width mismatch")
+	for i := 0; i < v.width; i++ {
+		x := int32(v.lanes[i]) - int32(o.lanes[i])
+		v.lanes[i] = int16(min(max(x, MinInt16), MaxInt16))
 	}
-	return out
+	return v
 }
 
 // Max is the lane-wise signed maximum (vmaxsh).
 func (v Vec) Max(o Vec) Vec {
-	v.check(o, "Max")
-	out := New(len(v.lanes))
-	for i := range out.lanes {
-		if v.lanes[i] >= o.lanes[i] {
-			out.lanes[i] = v.lanes[i]
-		} else {
-			out.lanes[i] = o.lanes[i]
-		}
+	v.check(o, "simd: Max width mismatch")
+	for i := 0; i < v.width; i++ {
+		v.lanes[i] = max(v.lanes[i], o.lanes[i])
 	}
-	return out
+	return v
 }
 
 // Min is the lane-wise signed minimum (vminsh).
 func (v Vec) Min(o Vec) Vec {
-	v.check(o, "Min")
-	out := New(len(v.lanes))
-	for i := range out.lanes {
-		if v.lanes[i] <= o.lanes[i] {
-			out.lanes[i] = v.lanes[i]
-		} else {
-			out.lanes[i] = o.lanes[i]
-		}
+	v.check(o, "simd: Min width mismatch")
+	for i := 0; i < v.width; i++ {
+		v.lanes[i] = min(v.lanes[i], o.lanes[i])
 	}
-	return out
+	return v
 }
 
 // ShiftInLow returns the vector with every lane moved one position
@@ -142,29 +152,25 @@ func (v Vec) Min(o Vec) Vec {
 // anti-diagonal "carry" operation the VMX SW kernels implement with
 // vperm/vsldoi on real hardware.
 func (v Vec) ShiftInLow(fill int16) Vec {
-	out := New(len(v.lanes))
-	out.lanes[0] = fill
-	copy(out.lanes[1:], v.lanes[:len(v.lanes)-1])
-	return out
+	copy(v.lanes[1:v.width], v.lanes[:v.width-1])
+	v.lanes[0] = fill
+	return v
 }
 
 // ShiftInHigh is the opposite carry: lanes move one position toward
 // lane 0 and fill enters the highest lane.
 func (v Vec) ShiftInHigh(fill int16) Vec {
-	out := New(len(v.lanes))
-	copy(out.lanes, v.lanes[1:])
-	out.lanes[len(out.lanes)-1] = fill
-	return out
+	copy(v.lanes[:v.width-1], v.lanes[1:v.width])
+	v.lanes[v.width-1] = fill
+	return v
 }
 
 // HorizontalMax reduces the vector to its largest lane, the score
 // extraction step at the end of the kernel.
 func (v Vec) HorizontalMax() int16 {
 	best := v.lanes[0]
-	for _, l := range v.lanes[1:] {
-		if l > best {
-			best = l
-		}
+	for i := 1; i < v.width; i++ {
+		best = max(best, v.lanes[i])
 	}
 	return best
 }
@@ -173,7 +179,8 @@ func (v Vec) HorizontalMax() int16 {
 // of the vperm-based score-matrix lookup in the VMX kernels. idx must
 // have exactly the vector width.
 func Gather(table []int16, idx []int) Vec {
-	out := New(len(idx))
+	checkWidth(len(idx))
+	out := Vec{width: len(idx)}
 	for k, ix := range idx {
 		out.lanes[k] = table[ix]
 	}
@@ -182,40 +189,132 @@ func Gather(table []int16, idx []int) Vec {
 
 // CmpGT returns lanes of all-ones (-1) where v > o, else 0 (vcmpgtsh).
 func (v Vec) CmpGT(o Vec) Vec {
-	v.check(o, "CmpGT")
-	out := New(len(v.lanes))
-	for i := range out.lanes {
+	v.check(o, "simd: CmpGT width mismatch")
+	for i := 0; i < v.width; i++ {
 		if v.lanes[i] > o.lanes[i] {
-			out.lanes[i] = -1
+			v.lanes[i] = -1
+		} else {
+			v.lanes[i] = 0
 		}
 	}
-	return out
+	return v
 }
 
 // Select returns mask-selected lanes: lane i of the result is t.lanes[i]
 // where mask lane i is nonzero, else f.lanes[i] (vsel).
 func Select(mask, t, f Vec) Vec {
-	mask.check(t, "Select")
-	mask.check(f, "Select")
-	out := New(len(mask.lanes))
-	for i := range out.lanes {
+	mask.check(t, "simd: Select width mismatch")
+	mask.check(f, "simd: Select width mismatch")
+	for i := 0; i < mask.width; i++ {
 		if mask.lanes[i] != 0 {
-			out.lanes[i] = t.lanes[i]
+			mask.lanes[i] = t.lanes[i]
 		} else {
-			out.lanes[i] = f.lanes[i]
+			mask.lanes[i] = f.lanes[i]
 		}
 	}
-	return out
+	return mask
+}
+
+// AffineGap evaluates the affine-gap recurrence of the DP kernels in
+// one pass: lane-wise max(sat(h-first), sat(g-ext), 0). On the real
+// hardware this is the fixed vsubshs/vsubshs/vmaxsh/vmaxsh sequence
+// every kernel issues per step for E (and again for F); fusing it lets
+// the emulation spend its cycles on lane arithmetic instead of copying
+// intermediate registers. The penalties are taken in their immediate
+// (pre-splat) form, as the kernels hold them.
+func AffineGap(h, g Vec, first, ext int16) Vec {
+	h.check(g, "simd: AffineGap width mismatch")
+	for i := 0; i < h.width; i++ {
+		a := int32(h.lanes[i]) - int32(first)
+		b := int32(g.lanes[i]) - int32(ext)
+		h.lanes[i] = int16(min(max(a, b, 0), MaxInt16))
+	}
+	return h
+}
+
+// LocalCell evaluates the local-alignment H recurrence in one pass:
+// lane-wise max(sat(hdiag+score), e, f, 0) — the vaddshs followed by
+// the three vmaxsh of the kernels' cell update. e and f must already
+// be clamped at zero (AffineGap guarantees this).
+func LocalCell(hdiag, score, e, f Vec) Vec {
+	if hdiag.width != score.width || hdiag.width != e.width || hdiag.width != f.width {
+		panic("simd: LocalCell width mismatch")
+	}
+	for i := 0; i < hdiag.width; i++ {
+		x := int32(hdiag.lanes[i]) + int32(score.lanes[i])
+		x = min(max(x, MinInt16), MaxInt16)
+		x = max(x, int32(e.lanes[i]), int32(f.lanes[i]), 0)
+		hdiag.lanes[i] = int16(x)
+	}
+	return hdiag
+}
+
+// AffineGapCarry is AffineGap with both inputs pre-shifted one lane
+// toward higher indices — the anti-diagonal carry (ShiftInLow) fused
+// into the recurrence, exactly how the kernels chain vperm into the
+// gap arithmetic: result lane i is max(sat(h[i-1]-first),
+// sat(g[i-1]-ext), 0), with hFill/gFill entering lane 0.
+func AffineGapCarry(h, g Vec, hFill, gFill, first, ext int16) Vec {
+	h.check(g, "simd: AffineGapCarry width mismatch")
+	ph, pg := hFill, gFill
+	for i := 0; i < h.width; i++ {
+		a := int32(ph) - int32(first)
+		b := int32(pg) - int32(ext)
+		ph, pg = h.lanes[i], g.lanes[i]
+		h.lanes[i] = int16(min(max(a, b, 0), MaxInt16))
+	}
+	return h
+}
+
+// LocalCellCarry is LocalCell with the diagonal input pre-shifted one
+// lane (the carry of H from two steps ago): result lane i is
+// max(sat(hdiag[i-1]+score[i]), e[i], f[i], 0), with diagFill entering
+// lane 0. Unlike LocalCell, only the hdiag/score pair is
+// width-checked — the full four-operand check pushes this op past the
+// inlining budget; e and f widths are the caller's responsibility
+// (mismatched ones read zero lanes).
+func LocalCellCarry(hdiag Vec, diagFill int16, score, e, f Vec) Vec {
+	hdiag.check(score, "simd: LocalCellCarry width mismatch")
+	pd := diagFill
+	for i := 0; i < hdiag.width; i++ {
+		x := int32(pd) + int32(score.lanes[i])
+		pd = hdiag.lanes[i]
+		x = min(max(x, MinInt16), MaxInt16)
+		x = max(x, int32(e.lanes[i]), int32(f.lanes[i]), 0)
+		hdiag.lanes[i] = int16(x)
+	}
+	return hdiag
+}
+
+// MaxAny returns the lane-wise maximum of v and o together with
+// whether any lane of o strictly exceeded v — the vmaxsh plus
+// vcmpgtsh/condition-register pair the lazy-F correction loop of the
+// striped kernel issues per segment.
+func (v Vec) MaxAny(o Vec) (Vec, bool) {
+	v.check(o, "simd: MaxAny width mismatch")
+	any := false
+	for i := 0; i < v.width; i++ {
+		if o.lanes[i] > v.lanes[i] {
+			v.lanes[i] = o.lanes[i]
+			any = true
+		}
+	}
+	return v, any
 }
 
 // AnyGT reports whether any lane of v exceeds the scalar bound; the
 // kernels use it (via vcmpgtsh + the condition register) to detect
 // saturation overflow.
 func (v Vec) AnyGT(bound int16) bool {
-	for _, l := range v.lanes {
-		if l > bound {
+	for i := 0; i < v.width; i++ {
+		if v.lanes[i] > bound {
 			return true
 		}
 	}
 	return false
+}
+
+// Eq reports lane-wise equality of two vectors of the same width.
+func (v Vec) Eq(o Vec) bool {
+	return v.width == o.width && v.lanes == o.lanes
 }

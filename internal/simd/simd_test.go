@@ -134,6 +134,78 @@ func TestAnyGT(t *testing.T) {
 	}
 }
 
+// The fused DP macro-ops must agree exactly with the primitive-op
+// sequences they replace, across the full lane range including both
+// saturation bounds.
+func TestFusedOpsMatchPrimitiveSequences(t *testing.T) {
+	const first, ext = 11, 1
+	vals := []int16{MinInt16, MinInt16 / 2, -first - 1, -1, 0, 1, ext, first, 100, MaxInt16 - 1, MaxInt16}
+	pick := func(seed int, w int) Vec {
+		out := make([]int16, w)
+		for i := range out {
+			out[i] = vals[(seed+3*i)%len(vals)]
+		}
+		return FromSlice(out)
+	}
+	for _, w := range []int{1, 4, 8, 16, MaxLanes} {
+		vFirst := Splat(w, first)
+		vExt := Splat(w, ext)
+		vZero := New(w)
+		for seed := 0; seed < len(vals); seed++ {
+			h := pick(seed, w)
+			g := pick(seed+1, w)
+			e := pick(seed+2, w).Max(vZero)
+			f := pick(seed+3, w).Max(vZero)
+			score := pick(seed+4, w)
+
+			want := h.SubSat(vFirst).Max(g.SubSat(vExt)).Max(vZero)
+			if got := AffineGap(h, g, first, ext); !got.Eq(want) {
+				t.Fatalf("w=%d seed=%d: AffineGap=%v want %v", w, seed, got, want)
+			}
+			want = h.ShiftInLow(7).SubSat(vFirst).Max(g.ShiftInLow(9).SubSat(vExt)).Max(vZero)
+			if got := AffineGapCarry(h, g, 7, 9, first, ext); !got.Eq(want) {
+				t.Fatalf("w=%d seed=%d: AffineGapCarry=%v want %v", w, seed, got, want)
+			}
+			want = h.AddSat(score).Max(e).Max(f).Max(vZero)
+			if got := LocalCell(h, score, e, f); !got.Eq(want) {
+				t.Fatalf("w=%d seed=%d: LocalCell=%v want %v", w, seed, got, want)
+			}
+			want = h.ShiftInLow(5).AddSat(score).Max(e).Max(f).Max(vZero)
+			if got := LocalCellCarry(h, 5, score, e, f); !got.Eq(want) {
+				t.Fatalf("w=%d seed=%d: LocalCellCarry=%v want %v", w, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxAny(t *testing.T) {
+	a := FromSlice([]int16{5, 1, 3, 3})
+	b := FromSlice([]int16{4, 2, 3, -3})
+	m, raised := a.MaxAny(b)
+	if !raised {
+		t.Error("lane 1 of b exceeds a; raised should be true")
+	}
+	if !m.Eq(a.Max(b)) {
+		t.Errorf("MaxAny result %v != Max %v", m, a.Max(b))
+	}
+	if _, raised := m.MaxAny(b); raised {
+		t.Error("no lane of b exceeds the max; raised should be false")
+	}
+}
+
+func TestEq(t *testing.T) {
+	a := FromSlice([]int16{1, 2, 3})
+	if !a.Eq(FromSlice([]int16{1, 2, 3})) {
+		t.Error("identical vectors must be Eq")
+	}
+	if a.Eq(FromSlice([]int16{1, 2, 4})) {
+		t.Error("different lanes must not be Eq")
+	}
+	if a.Eq(FromSlice([]int16{1, 2, 3, 0})) {
+		t.Error("different widths must not be Eq")
+	}
+}
+
 func TestOperationsDoNotAliasInputs(t *testing.T) {
 	a := FromSlice([]int16{1, 2, 3, 4})
 	b := FromSlice([]int16{5, 6, 7, 8})

@@ -112,6 +112,12 @@ func (v *VMX) Trace(sink trace.Sink) *RunInfo {
 	hCur := make([]int16, lanes)
 	eCur := make([]int16, lanes)
 	fCur := make([]int16, lanes)
+	// Boundary rows sized once to the longest sequence and reused, the
+	// same steady-state-allocation-free shape as the align kernels.
+	hBound := make([]int16, maxLen)
+	fBound := make([]int16, maxLen)
+	newH := make([]int16, maxLen)
+	newF := make([]int16, maxLen)
 
 	for si, seq := range v.spec.DB.Seqs {
 		b := seq.Residues
@@ -126,10 +132,10 @@ func (v *VMX) Trace(sink trace.Sink) *RunInfo {
 			continue
 		}
 
-		hBound := make([]int16, n)
-		fBound := make([]int16, n)
-		newH := make([]int16, n)
-		newF := make([]int16, n)
+		for j := 0; j < n; j++ {
+			hBound[j] = 0
+			fBound[j] = 0
+		}
 		var best int16
 
 		curBound, nextBound := boundA, boundB
@@ -325,8 +331,8 @@ func (v *VMX) Trace(sink trace.Sink) *RunInfo {
 				em.FixImm(rT, rT)
 				em.CondBranch(rT, t+1 < steps, bStep)
 			}
-			copy(hBound, newH)
-			copy(fBound, newF)
+			copy(hBound[:n], newH[:n])
+			copy(fBound[:n], newF[:n])
 			curBound, nextBound = nextBound, curBound
 			em.Begin(bStripEnd)
 			em.FixImm(rT, rT)
