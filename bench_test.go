@@ -304,7 +304,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	var res *uarch.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = uarch.New(uarch.Config4Way()).Run(trace.NewReplay(r.Insts))
+		res, err = uarch.New(uarch.Config4Way()).Run(r.Source())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -473,7 +473,7 @@ func BenchmarkAblationAccounting(b *testing.B) {
 				cfg := uarch.Config4Way()
 				cfg.Accounting = policy
 				var err error
-				res, err = uarch.New(cfg).Run(trace.NewReplay(r.Insts))
+				res, err = uarch.New(cfg).Run(r.Source())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,12 +1,13 @@
-// Command benchsnap measures the scoring kernels and the parallel
-// scan harness programmatically and writes a JSON snapshot (ns/op,
-// GCUPS, allocs/op per kernel) so the repository's performance
+// Command benchsnap measures the scoring kernels, the parallel scan
+// harness, and the simulation sweep engine programmatically and writes
+// a JSON snapshot (ns/op, GCUPS, allocs/op per kernel; configs
+// simulated per second for sweeps) so the repository's performance
 // trajectory is recorded PR over PR (see DESIGN.md). CI emits
 // BENCH_<n>.json artifacts with it.
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_1.json]
+//	benchsnap [-o BENCH_2.json]
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/bio"
+	"repro/internal/experiments"
 	"repro/internal/simd"
+	"repro/internal/uarch"
 )
 
 // KernelResult is one kernel's measurement.
@@ -32,6 +35,15 @@ type KernelResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// SweepResult is one measurement of the multi-configuration
+// simulation sweep engine (experiments.Lab.SimulateSweep).
+type SweepResult struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Configs       int     `json:"configs"`
+	ConfigsPerSec float64 `json:"configs_per_sec"`
+}
+
 // Snapshot is the file format.
 type Snapshot struct {
 	GoVersion  string         `json:"go_version"`
@@ -41,10 +53,11 @@ type Snapshot struct {
 	SubjectLen int            `json:"subject_len"`
 	Kernels    []KernelResult `json:"kernels"`
 	Scan       []KernelResult `json:"scan"`
+	Sweep      []SweepResult  `json:"sweep"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_1.json", "output file")
+	out := flag.String("o", "BENCH_2.json", "output file")
 	flag.Parse()
 
 	p := align.PaperParams()
@@ -109,6 +122,37 @@ func main() {
 		}
 	}
 
+	// Sweep throughput: one captured trace replayed through a grid of
+	// configurations, serial vs all cores (bit-identical results — the
+	// determinism tests assert it; this records the rate).
+	lab := experiments.NewLab(experiments.Scale{Seqs: 4, TraceCap: 60_000})
+	var sweepCfgs []uarch.Config
+	memCfgs := uarch.MemoryConfigs()
+	for _, w := range []int{4, 8, 16} {
+		sweepCfgs = append(sweepCfgs,
+			uarch.ConfigByWidth(w),
+			uarch.ConfigByWidth(w).WithMemory(memCfgs[len(memCfgs)-1]))
+	}
+	lab.Trace("fasta34") // capture outside the timed region
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		lab.Workers = workers
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab.SimulateSweep("fasta34", sweepCfgs)
+			}
+		})
+		secPerSweep := r.T.Seconds() / float64(r.N)
+		snap.Sweep = append(snap.Sweep, SweepResult{
+			Name:          fmt.Sprintf("simulatesweep-fasta34-w%d", workers),
+			Workers:       workers,
+			Configs:       len(sweepCfgs),
+			ConfigsPerSec: float64(len(sweepCfgs)) / secPerSweep,
+		})
+		if runtime.GOMAXPROCS(0) == 1 {
+			break
+		}
+	}
+
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -117,7 +161,8 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d kernels, %d scan points)\n", *out, len(snap.Kernels), len(snap.Scan))
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points)\n",
+		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep))
 }
 
 func fatal(err error) {

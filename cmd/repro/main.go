@@ -1,11 +1,15 @@
 // Command repro regenerates every table and figure of the paper's
 // evaluation section at a configurable scale and writes the full
-// report. This is the one-command reproduction entry point.
+// report. This is the one-command reproduction entry point. Sweeps
+// fan out across -workers cores with bit-identical results at any
+// worker count; -spill pages captured traces through disk so the
+// scale is bounded by disk, not RAM.
 //
 // Usage:
 //
 //	repro                      # default scale, report to stdout
-//	repro -seqs 48 -cap 4000000 -o report.txt
+//	repro -seqs 48 -cap 4000000 -workers 8 -o report.txt
+//	repro -seqs 96 -cap 0 -spill /tmp/traces
 package main
 
 import (
@@ -19,10 +23,12 @@ import (
 
 func main() {
 	var (
-		seqs    = flag.Int("seqs", 24, "database sequences")
-		cap     = flag.Uint64("cap", 2_000_000, "simulated trace window per workload")
-		out     = flag.String("o", "-", "output path ('-' for stdout)")
-		queries = flag.Bool("queries", false, "also sweep all Table II queries (slower)")
+		seqs     = flag.Int("seqs", 24, "database sequences")
+		traceCap = flag.Uint64("cap", 2_000_000, "simulated trace window per workload (0 = all)")
+		out      = flag.String("o", "-", "output path ('-' for stdout)")
+		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		spill    = flag.String("spill", "", "spill captured traces to files in this directory instead of RAM")
+		queries  = flag.Bool("queries", false, "also sweep all Table II queries (slower)")
 	)
 	flag.Parse()
 
@@ -36,7 +42,16 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	lab := experiments.NewLab(experiments.Scale{Seqs: *seqs, TraceCap: *cap})
+	if *spill != "" {
+		if err := os.MkdirAll(*spill, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+	lab := experiments.NewLab(experiments.Scale{Seqs: *seqs, TraceCap: *traceCap})
+	lab.Workers = *workers
+	lab.SpillDir = *spill
+	defer lab.Close()
 	start := time.Now()
 	err := experiments.RunAll(lab, w, func(name string) {
 		fmt.Fprintf(os.Stderr, "[%7.1fs] running %s...\n", time.Since(start).Seconds(), name)
@@ -47,7 +62,7 @@ func main() {
 	}
 	if *queries {
 		fmt.Fprintf(os.Stderr, "[%7.1fs] running query sweep...\n", time.Since(start).Seconds())
-		sweep := experiments.QuerySweep(experiments.Scale{Seqs: *seqs / 4, TraceCap: *cap / 4})
+		sweep := experiments.QuerySweep(experiments.Scale{Seqs: *seqs / 4, TraceCap: *traceCap / 4})
 		fmt.Fprintln(w, sweep.Render())
 	}
 	fmt.Fprintf(os.Stderr, "repro: done in %v\n", time.Since(start).Round(time.Second))

@@ -1,21 +1,30 @@
 // Command simulate runs one workload trace through the out-of-order
-// processor model at a chosen configuration and reports the paper's
-// per-run metrics: IPC, cache and branch statistics, the trauma
-// distribution, and queue occupancies.
+// processor model and reports the paper's per-run metrics: IPC, cache
+// and branch statistics, the trauma distribution, and queue
+// occupancies.
+//
+// It can sweep several machine widths in one invocation (-widths); the
+// trace is then either streamed from a file — one independent
+// fixed-memory reader per configuration, so peak memory never depends
+// on trace length — or generated exactly once and broadcast to all
+// simulations concurrently.
 //
 // Usage:
 //
 //	simulate -app blast -width 4 -mem 0
 //	simulate -app ssearch34 -bp perfect -seqs 16 -cap 1000000
+//	simulate -app fasta34 -widths 4,8,16            # one capture pass, three machines
+//	simulate -tracefile ssearch.trc -widths 4,8,16 -workers 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 
-	"repro/internal/isa"
 	"repro/internal/trace"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
@@ -23,16 +32,18 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "ssearch34", "workload: "+strings.Join(workloads.Names, " | "))
-		seqs    = flag.Int("seqs", 16, "database sequences")
-		cap     = flag.Uint64("cap", 2_000_000, "max trace instructions simulated (0 = all)")
-		traceIn = flag.String("tracefile", "", "simulate this binary trace (from tracegen -o) instead of generating")
-		width   = flag.Int("width", 4, "machine width: 4, 8, 12 or 16 (Table IV)")
-		memIdx  = flag.Int("mem", 0, "memory configuration index into Table V (0=me1 .. 4=meinf)")
-		bp      = flag.String("bp", "gp", "branch predictor: gp | gshare | bimodal | perfect")
-		bpSize  = flag.Int("bpentries", 16384, "predictor table entries")
-		dl1lat  = flag.Int("dl1lat", 1, "DL1 hit latency (Figure 7 sweeps this)")
-		traumas = flag.Int("traumas", 10, "number of trauma classes to print")
+		app      = flag.String("app", "ssearch34", "workload: "+strings.Join(workloads.Names, " | "))
+		seqs     = flag.Int("seqs", 16, "database sequences")
+		traceCap = flag.Uint64("cap", 2_000_000, "max trace instructions simulated (0 = all)")
+		traceIn  = flag.String("tracefile", "", "simulate this binary trace (from tracegen -o) instead of generating")
+		width    = flag.Int("width", 4, "machine width: 4, 8, 12 or 16 (Table IV)")
+		widths   = flag.String("widths", "", "comma-separated width sweep (e.g. 4,8,16); overrides -width")
+		workers  = flag.Int("workers", 0, "concurrent simulations for -tracefile sweeps (0 = all at once)")
+		memIdx   = flag.Int("mem", 0, "memory configuration index into Table V (0=me1 .. 4=meinf)")
+		bp       = flag.String("bp", "gp", "branch predictor: gp | gshare | bimodal | perfect")
+		bpSize   = flag.Int("bpentries", 16384, "predictor table entries")
+		dl1lat   = flag.Int("dl1lat", 1, "DL1 hit latency (Figure 7 sweeps this)")
+		traumas  = flag.Int("traumas", 10, "number of trauma classes to print")
 	)
 	flag.Parse()
 
@@ -41,46 +52,130 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simulate: -mem must be 0..4")
 		os.Exit(1)
 	}
-	cfg := uarch.ConfigByWidth(*width).WithMemory(mems[*memIdx]).WithPredictor(*bp, *bpSize)
-	cfg.Mem.DL1.Latency = *dl1lat
-
-	var insts []isa.Inst
-	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simulate:", err)
-			os.Exit(1)
+	widthList := []int{*width}
+	if *widths != "" {
+		widthList = nil
+		for _, s := range strings.Split(*widths, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || (w != 4 && w != 8 && w != 12 && w != 16) {
+				fmt.Fprintf(os.Stderr, "simulate: bad -widths entry %q (want 4, 8, 12 or 16)\n", s)
+				os.Exit(1)
+			}
+			widthList = append(widthList, w)
 		}
-		insts, err = trace.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simulate:", err)
-			os.Exit(1)
-		}
-		*app = *traceIn
-	} else {
-		spec := workloads.PaperSpec(*seqs)
-		w, err := workloads.New(*app, spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simulate:", err)
-			os.Exit(1)
-		}
-		var rec trace.Recorder
-		limit := *cap
-		if limit == 0 {
-			limit = 1 << 62
-		}
-		w.Trace(&trace.LimitSink{Inner: &rec, Limit: limit})
-		insts = rec.Insts
+	}
+	cfgs := make([]uarch.Config, len(widthList))
+	for i, w := range widthList {
+		cfg := uarch.ConfigByWidth(w).WithMemory(mems[*memIdx]).WithPredictor(*bp, *bpSize)
+		cfg.Mem.DL1.Latency = *dl1lat
+		cfgs[i] = cfg
 	}
 
-	res, err := uarch.New(cfg).Run(trace.NewReplay(insts))
+	label := *app
+	var results []*uarch.Result
+	var err error
+	if *traceIn != "" {
+		label = *traceIn
+		results, err = simulateFromFile(*traceIn, cfgs, *workers)
+	} else {
+		results, err = simulateGenerated(*app, *seqs, *traceCap, cfgs)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
+	for i, res := range results {
+		report(label, cfgs[i], mems[*memIdx].Name, *bp, *bpSize, res, *traumas)
+		if i < len(results)-1 {
+			fmt.Println()
+		}
+	}
+}
 
-	fmt.Printf("%s on %s / %s / %s(%d entries)\n", *app, cfg.Name, mems[*memIdx].Name, *bp, *bpSize)
+// simulateFromFile streams the trace file into each configuration
+// through its own reader: per-simulation memory is a fixed 1 MiB
+// buffer regardless of how many instructions the file holds.
+func simulateFromFile(path string, cfgs []uarch.Config, workers int) ([]*uarch.Result, error) {
+	if workers <= 0 || workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*uarch.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f, err := os.Open(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer f.Close()
+			src, err := trace.NewFileSource(f)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := uarch.New(cfgs[i]).Run(src)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := src.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// simulateGenerated captures the workload once and broadcasts the
+// stream to every configuration's pipeline concurrently — the paper's
+// capture-once, simulate-many workflow in a single process, without
+// ever materializing the trace.
+func simulateGenerated(app string, seqs int, traceCap uint64, cfgs []uarch.Config) ([]*uarch.Result, error) {
+	spec := workloads.PaperSpec(seqs)
+	w, err := workloads.New(app, spec)
+	if err != nil {
+		return nil, err
+	}
+	bc := trace.NewBroadcast(len(cfgs))
+	results := make([]*uarch.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, src := range bc.Sources() {
+		wg.Add(1)
+		go func(i int, src *trace.BroadcastCursor) {
+			defer wg.Done()
+			defer src.Close() // unblock the generator if this sim dies early
+			results[i], errs[i] = uarch.New(cfgs[i]).Run(src)
+		}(i, src)
+	}
+	w.Trace(&trace.LimitSink{Inner: bc, Limit: traceCap})
+	bc.CloseSend()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func report(label string, cfg uarch.Config, memName, bp string, bpSize int, res *uarch.Result, traumas int) {
+	fmt.Printf("%s on %s / %s / %s(%d entries)\n", label, cfg.Name, memName, bp, bpSize)
 	fmt.Printf("  instructions  %12d\n", res.Retired)
 	fmt.Printf("  cycles        %12d\n", res.Cycles)
 	fmt.Printf("  IPC           %12.3f\n", res.IPC)
@@ -90,7 +185,7 @@ func main() {
 		100*res.PredAccuracy, res.Mispredicts, res.CondBranches)
 	fmt.Printf("  mean in-flight %10.1f instructions\n", uarch.MeanOccupancy(res.InflightOcc))
 	fmt.Printf("top traumas (of %d total stall cycles):\n", res.Cycles-res.ProgressCycles)
-	for _, tc := range res.TopTraumas(*traumas) {
+	for _, tc := range res.TopTraumas(traumas) {
 		fmt.Printf("  %-10v %10d  %5.1f%%\n", tc.Trauma, tc.Cycles, 100*float64(tc.Cycles)/float64(res.Cycles))
 	}
 	fmt.Println("issue queue mean occupancy:")

@@ -1,11 +1,15 @@
 // Command tracegen generates the instruction trace of one of the
 // paper's workloads and reports its Table III / Figure 1 statistics,
-// optionally dumping decoded instructions.
+// optionally dumping decoded instructions. With -o the trace is
+// streamed straight into the binary file format as it is emitted —
+// tracegen's memory footprint is flat no matter how many instructions
+// the run produces.
 //
 // Usage:
 //
 //	tracegen -app ssearch34 -seqs 24
 //	tracegen -app blast -seqs 8 -dump 40
+//	tracegen -app ssearch34 -seqs 96 -o ssearch.trc -cap 50000000
 package main
 
 import (
@@ -21,11 +25,11 @@ import (
 
 func main() {
 	var (
-		app  = flag.String("app", "ssearch34", "workload: "+strings.Join(workloads.Names, " | "))
-		seqs = flag.Int("seqs", 24, "database sequences")
-		dump = flag.Int("dump", 0, "print the first N instructions")
-		out  = flag.String("o", "", "write the binary trace to this file (for cmd/simulate -tracefile)")
-		cap  = flag.Uint64("cap", 0, "cap the written trace at N instructions (0 = all)")
+		app      = flag.String("app", "ssearch34", "workload: "+strings.Join(workloads.Names, " | "))
+		seqs     = flag.Int("seqs", 24, "database sequences")
+		dump     = flag.Int("dump", 0, "print the first N instructions")
+		out      = flag.String("o", "", "stream the binary trace to this file (for cmd/simulate -tracefile)")
+		traceCap = flag.Uint64("cap", 0, "cap the written trace at N instructions (0 = all)")
 	)
 	flag.Parse()
 
@@ -41,30 +45,32 @@ func main() {
 	if *dump > 0 {
 		sinks = append(sinks, &trace.LimitSink{Inner: &rec, Limit: uint64(*dump)})
 	}
-	var full trace.Recorder
+	var fw *trace.FileWriter
+	var outFile *os.File
 	if *out != "" {
-		limit := *cap
-		if limit == 0 {
-			limit = 1 << 62
-		}
-		sinks = append(sinks, &trace.LimitSink{Inner: &full, Limit: limit})
-	}
-	info := w.Trace(sinks)
-	if *out != "" {
-		f, err := os.Create(*out)
+		outFile, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		if err := trace.WriteTrace(f, full.Insts); err != nil {
+		fw, err = trace.NewFileWriter(outFile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		if err := f.Close(); err != nil {
+		sinks = append(sinks, &trace.LimitSink{Inner: fw, Limit: *traceCap})
+	}
+	info := w.Trace(sinks)
+	if fw != nil {
+		if err := fw.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: wrote %d instructions to %s\n", full.Len(), *out)
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d instructions to %s\n", fw.Count(), *out)
 	}
 
 	fmt.Printf("workload %s: %d instructions (query %d aa vs %d sequences)\n",

@@ -75,13 +75,24 @@ func Fig3And4(lab *Lab) *FigMemGrid {
 		out.Mems = append(out.Mems, m.Name)
 	}
 	for _, app := range AppNames {
+		// One flat sweep per application: every width x memory cell of
+		// the figure runs off the same captured trace in parallel.
+		var cfgs []uarch.Config
+		for _, w := range sweepWidths {
+			for _, m := range mems {
+				cfgs = append(cfgs, uarch.ConfigByWidth(w).WithMemory(m))
+			}
+		}
+		results := lab.SimulateSweep(app, cfgs)
 		out.Cycles[app] = map[int]map[string]uint64{}
 		out.IPC[app] = map[int]map[string]float64{}
+		i := 0
 		for _, w := range sweepWidths {
 			out.Cycles[app][w] = map[string]uint64{}
 			out.IPC[app][w] = map[string]float64{}
 			for _, m := range mems {
-				res := lab.Simulate(app, uarch.ConfigByWidth(w).WithMemory(m))
+				res := results[i]
+				i++
 				out.Cycles[app][w][m.Name] = res.Cycles
 				out.IPC[app][w][m.Name] = res.IPC
 			}
@@ -144,16 +155,20 @@ func Fig5(lab *Lab) *Fig5Result {
 		IPC:      map[string]map[int]float64{},
 	}
 	for _, app := range AppNames {
-		out.MissRate[app] = map[int]float64{}
-		out.IPC[app] = map[int]float64{}
+		cfgs := make([]uarch.Config, 0, len(sizes))
 		for _, kb := range sizes {
 			cfg := uarch.Config4Way()
 			cfg.Mem.DL1.SizeBytes = kb << 10
 			cfg.Mem.IL1.SizeBytes = kb << 10
 			cfg.Mem.L2.SizeBytes = 2 << 20
-			res := lab.Simulate(app, cfg)
-			out.MissRate[app][kb] = res.DL1MissRate
-			out.IPC[app][kb] = res.IPC
+			cfgs = append(cfgs, cfg)
+		}
+		results := lab.SimulateSweep(app, cfgs)
+		out.MissRate[app] = map[int]float64{}
+		out.IPC[app] = map[int]float64{}
+		for i, kb := range sizes {
+			out.MissRate[app][kb] = results[i].DL1MissRate
+			out.IPC[app][kb] = results[i].IPC
 		}
 	}
 	return out
@@ -195,14 +210,18 @@ func Fig6(lab *Lab) *Fig6Result {
 		IPC:      map[string]map[int]float64{},
 	}
 	for _, app := range AppNames {
-		out.MissRate[app] = map[int]float64{}
-		out.IPC[app] = map[int]float64{}
+		cfgs := make([]uarch.Config, 0, len(out.Assocs))
 		for _, a := range out.Assocs {
 			cfg := uarch.Config4Way()
 			cfg.Mem.DL1.Assoc = a
-			res := lab.Simulate(app, cfg)
-			out.MissRate[app][a] = res.DL1MissRate
-			out.IPC[app][a] = res.IPC
+			cfgs = append(cfgs, cfg)
+		}
+		results := lab.SimulateSweep(app, cfgs)
+		out.MissRate[app] = map[int]float64{}
+		out.IPC[app] = map[int]float64{}
+		for i, a := range out.Assocs {
+			out.MissRate[app][a] = results[i].DL1MissRate
+			out.IPC[app][a] = results[i].IPC
 		}
 	}
 	return out
@@ -242,12 +261,16 @@ func Fig7(lab *Lab) *Fig7Result {
 		IPC:       map[string]map[int]float64{},
 	}
 	for _, app := range AppNames {
-		out.IPC[app] = map[int]float64{}
+		cfgs := make([]uarch.Config, 0, len(out.Latencies))
 		for _, lat := range out.Latencies {
 			cfg := uarch.Config4Way()
 			cfg.Mem.DL1.Latency = lat
-			res := lab.Simulate(app, cfg)
-			out.IPC[app][lat] = res.IPC
+			cfgs = append(cfgs, cfg)
+		}
+		results := lab.SimulateSweep(app, cfgs)
+		out.IPC[app] = map[int]float64{}
+		for i, lat := range out.Latencies {
+			out.IPC[app][lat] = results[i].IPC
 		}
 	}
 	return out

@@ -37,17 +37,27 @@ func Fig8(lab *Lab) *Fig8Result {
 	}
 	full128 := float64(lab.Trace("sw_vmx128").FullCount)
 	full256 := float64(lab.Trace("sw_vmx256").FullCount)
+	// Two sweeps, one per captured trace: the 128-bit baseline across
+	// the widths, and the 256-bit kernel across widths x {plain, +1lat}.
+	cfgs128 := make([]uarch.Config, 0, len(out.Widths))
+	cfgs256 := make([]uarch.Config, 0, 2*len(out.Widths))
 	for _, w := range out.Widths {
-		base := lab.Simulate("sw_vmx128", uarch.ConfigByWidth(w))
+		cfgs128 = append(cfgs128, uarch.ConfigByWidth(w))
+		slow := uarch.ConfigByWidth(w)
+		slow.Latency[isa.VLoad]++
+		cfgs256 = append(cfgs256, uarch.ConfigByWidth(w), slow)
+	}
+	res128 := lab.SimulateSweep("sw_vmx128", cfgs128)
+	res256 := lab.SimulateSweep("sw_vmx256", cfgs256)
+	for i, w := range out.Widths {
+		base := res128[i]
 		// Work-normalized full-run time of the 128-bit baseline.
 		t128 := float64(base.Cycles) * full128 / float64(base.Retired)
 
-		r256 := lab.Simulate("sw_vmx256", uarch.ConfigByWidth(w))
+		r256 := res256[2*i]
 		t256 := float64(r256.Cycles) * full256 / float64(r256.Retired)
 
-		slow := uarch.ConfigByWidth(w)
-		slow.Latency[isa.VLoad]++
-		rSlow := lab.Simulate("sw_vmx256", slow)
+		rSlow := res256[2*i+1]
 		tSlow := float64(rSlow.Cycles) * full256 / float64(rSlow.Retired)
 
 		out.Speedup["sw_vmx128"][w] = 1.0
@@ -95,12 +105,18 @@ func Fig9(lab *Lab) *Fig9Result {
 		Perfect: map[string]map[int]float64{},
 	}
 	for _, app := range AppNames {
+		cfgs := make([]uarch.Config, 0, 2*len(sweepWidths))
+		for _, w := range sweepWidths {
+			cfgs = append(cfgs,
+				uarch.ConfigByWidth(w),
+				uarch.ConfigByWidth(w).WithPredictor("perfect", 0))
+		}
+		results := lab.SimulateSweep(app, cfgs)
 		out.Real[app] = map[int]float64{}
 		out.Perfect[app] = map[int]float64{}
-		for _, w := range sweepWidths {
-			out.Real[app][w] = lab.Simulate(app, uarch.ConfigByWidth(w)).IPC
-			out.Perfect[app][w] = lab.Simulate(app,
-				uarch.ConfigByWidth(w).WithPredictor("perfect", 0)).IPC
+		for i, w := range sweepWidths {
+			out.Real[app][w] = results[2*i].IPC
+			out.Perfect[app][w] = results[2*i+1].IPC
 		}
 	}
 	return out
@@ -202,15 +218,23 @@ func Fig11(lab *Lab) *Fig11Result {
 	}
 	for _, app := range out.Apps {
 		rec := lab.Trace(app)
-		// Collect the conditional branch stream once.
+		// Collect the conditional branch stream once, streaming through
+		// a cursor (the trace may be spilled to disk).
 		var pcs []uint32
 		var outcomes []bool
-		for i := range rec.Insts {
-			in := &rec.Insts[i]
+		src := rec.Source()
+		for {
+			in, ok := src.Next()
+			if !ok {
+				break
+			}
 			if in.Class() == isa.Br && in.Conditional() {
 				pcs = append(pcs, in.PC)
 				outcomes = append(outcomes, in.Taken())
 			}
+		}
+		if err := src.Err(); err != nil {
+			panic(fmt.Sprintf("experiments: %s branch stream: %v", app, err))
 		}
 		out.Accuracy[app] = map[string]map[int]float64{}
 		for _, strat := range out.Strategies {

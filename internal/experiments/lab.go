@@ -1,6 +1,6 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation section. Each experiment is a function over a Lab — a
-// cache of recorded workload traces at a chosen scale — returning a
+// cache of captured workload traces at a chosen scale — returning a
 // typed result that renders the same rows/series the paper reports.
 //
 // The mapping from experiment to paper item is in DESIGN.md's
@@ -10,6 +10,10 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/isa"
 	"repro/internal/trace"
@@ -32,70 +36,230 @@ func TestScale() Scale { return Scale{Seqs: 6, TraceCap: 120_000} }
 // DefaultScale drives cmd/repro and the benchmarks.
 func DefaultScale() Scale { return Scale{Seqs: 24, TraceCap: 2_000_000} }
 
-// Lab caches one recorded trace per workload at a fixed scale, so each
-// figure's configuration sweep replays rather than regenerates.
+// Lab caches one captured trace per workload at a fixed scale, so each
+// figure's configuration sweep replays rather than regenerates. Traces
+// are chunked (trace.ChunkedTrace): every simulation reads through its
+// own cursor, which is what lets SimulateSweep fan configurations out
+// across workers. The cache itself is concurrency-safe — concurrent
+// Trace/Simulate calls for different workloads generate in parallel,
+// the same workload is generated exactly once.
 type Lab struct {
-	Scale  Scale
-	Spec   workloads.Spec
-	traces map[string]*Recorded
+	Scale Scale
+	Spec  workloads.Spec
+
+	// Workers bounds SimulateSweep's concurrency; 0 means GOMAXPROCS.
+	// Results are bit-identical at every worker count.
+	Workers int
+
+	// SpillDir, when set, spills each captured trace to a file in that
+	// directory instead of holding it resident, so Scale is bounded by
+	// disk rather than RAM. Close releases the spill files.
+	SpillDir string
+
+	mu     sync.Mutex
+	closed bool
+	traces map[string]*traceEntry
+}
+
+// traceEntry guards one workload's capture so the lab lock is never
+// held across trace generation.
+type traceEntry struct {
+	once sync.Once
+	rec  *Recorded
 }
 
 // Recorded is a captured workload trace plus full-run statistics.
 type Recorded struct {
 	Name      string
-	Insts     []isa.Inst
+	Trace     *trace.ChunkedTrace
 	FullCount uint64 // instructions of the uncapped run (Table III)
 	Breakdown [isa.NumBreakdowns]uint64
 	Scores    []int
 }
 
+// Source returns a fresh replay cursor over the captured window; every
+// simulation must use its own. Callers that can fail quietly mid-read
+// (spilled traces) must check Cursor.Err after draining.
+func (r *Recorded) Source() *trace.Cursor { return r.Trace.Cursor() }
+
+// run replays the trace through one configuration, surfacing both
+// simulator errors and spill read errors (which otherwise look like a
+// clean, silently truncated end-of-trace).
+func (r *Recorded) run(cfg uarch.Config) (*uarch.Result, error) {
+	src := r.Source()
+	res, err := uarch.New(cfg).Run(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Len returns the captured (simulated-window) instruction count.
+func (r *Recorded) Len() uint64 { return r.Trace.Len() }
+
 // NewLab builds a lab over the paper's query/database at this scale.
 func NewLab(scale Scale) *Lab {
+	return NewLabWithSpec(scale, workloads.PaperSpec(scale.Seqs))
+}
+
+// NewLabWithSpec builds a lab over an arbitrary workload input (for
+// the Table II query sweeps).
+func NewLabWithSpec(scale Scale, spec workloads.Spec) *Lab {
 	return &Lab{
 		Scale:  scale,
-		Spec:   workloads.PaperSpec(scale.Seqs),
-		traces: make(map[string]*Recorded),
+		Spec:   spec,
+		traces: make(map[string]*traceEntry),
 	}
 }
 
-// Trace returns the recorded trace of the named workload, generating
-// it on first use.
-func (l *Lab) Trace(name string) *Recorded {
-	if r, ok := l.traces[name]; ok {
-		return r
+func (l *Lab) workers() int {
+	if l.Workers > 0 {
+		return l.Workers
 	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Trace returns the captured trace of the named workload, generating
+// it on first use. Safe for concurrent use.
+func (l *Lab) Trace(name string) *Recorded {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		panic("experiments: Lab.Trace after Close")
+	}
+	e, ok := l.traces[name]
+	if !ok {
+		e = &traceEntry{}
+		l.traces[name] = e
+	}
+	l.mu.Unlock()
+	e.once.Do(func() { e.rec = l.capture(name) })
+	if e.rec == nil {
+		// Close raced this call and consumed the entry's once.
+		panic("experiments: Lab closed during Trace")
+	}
+	return e.rec
+}
+
+// capture runs the workload once, streaming the simulated window into
+// a chunked trace while the counting sink sees the full run.
+func (l *Lab) capture(name string) *Recorded {
 	w, err := workloads.New(name, l.Spec)
 	if err != nil {
 		panic(err)
 	}
-	var rec trace.Recorder
-	var cs trace.CountingSink
-	cap := l.Scale.TraceCap
-	if cap == 0 {
-		cap = 1 << 62
+	var ct *trace.ChunkedTrace
+	if l.SpillDir != "" {
+		ct, err = trace.NewChunkedSpill(filepath.Join(l.SpillDir, name+".spill"))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", name, err))
+		}
+	} else {
+		ct = trace.NewChunked()
 	}
-	lim := &trace.LimitSink{Inner: &rec, Limit: cap}
+	var cs trace.CountingSink
+	lim := &trace.LimitSink{Inner: ct, Limit: l.Scale.TraceCap}
 	info := w.Trace(trace.TeeSink{lim, &cs})
-	r := &Recorded{
+	if err := ct.Seal(); err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", name, err))
+	}
+	return &Recorded{
 		Name:      name,
-		Insts:     rec.Insts,
+		Trace:     ct,
 		FullCount: cs.Total,
 		Breakdown: cs.Breakdown(),
 		Scores:    info.Scores,
 	}
-	l.traces[name] = r
-	return r
 }
 
-// Simulate replays the named workload's trace through a processor
+// Close releases any spilled traces; the lab is unusable afterwards.
+// Labs without SpillDir need no Close.
+func (l *Lab) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	entries := make([]*traceEntry, 0, len(l.traces))
+	for _, e := range l.traces {
+		entries = append(entries, e)
+	}
+	l.mu.Unlock()
+	var first error
+	for _, e := range entries {
+		// The empty Do waits out any in-flight capture (and publishes
+		// its e.rec write to us); captures cannot start anymore because
+		// closed is set.
+		e.once.Do(func() {})
+		if e.rec != nil && e.rec.Trace != nil {
+			if err := e.rec.Trace.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Simulate replays the named workload's trace through one processor
 // configuration.
 func (l *Lab) Simulate(name string, cfg uarch.Config) *uarch.Result {
-	r := l.Trace(name)
-	res, err := uarch.New(cfg).Run(trace.NewReplay(r.Insts))
+	res, err := l.Trace(name).run(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s on %s: %v", name, cfg.Name, err))
 	}
 	return res
+}
+
+// SimulateSweep replays the named workload's trace through every
+// configuration, fanned out across the lab's workers, each simulation
+// reading its own cursor over the one shared trace. Results come back
+// in cfgs order and are bit-identical at any worker count (the same
+// determinism contract as align.SearchDB).
+func (l *Lab) SimulateSweep(name string, cfgs []uarch.Config) []*uarch.Result {
+	rec := l.Trace(name)
+	results := make([]*uarch.Result, len(cfgs))
+	workers := l.workers()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			res, err := rec.run(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %s on %s: %v", name, cfg.Name, err))
+			}
+			results[i] = res
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				res, err := rec.run(cfgs[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("experiments: %s on %s: %w", name, cfgs[i].Name, err)
+					return
+				}
+				results[i] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	return results
 }
 
 // AppNames lists the workloads in the paper's order.

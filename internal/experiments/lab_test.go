@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+// sweepScale is deliberately tiny: these tests assert plumbing
+// invariants (determinism, cache safety), not figure shapes.
+var sweepScale = Scale{Seqs: 3, TraceCap: 30_000}
+
+func sweepConfigs() []uarch.Config {
+	mems := uarch.MemoryConfigs()
+	return []uarch.Config{
+		uarch.Config4Way(),
+		uarch.ConfigByWidth(8),
+		uarch.Config4Way().WithMemory(mems[len(mems)-1]),
+		uarch.Config4Way().WithPredictor("perfect", 0),
+		uarch.ConfigByWidth(16),
+	}
+}
+
+// TestSimulateSweepBitIdenticalAcrossWorkerCounts is the acceptance
+// check for the sweep engine: every worker count must produce results
+// indistinguishable from the serial run, field for field.
+func TestSimulateSweepBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	l := NewLab(sweepScale)
+	cfgs := sweepConfigs()
+	l.Workers = 1
+	want := l.SimulateSweep("fasta34", cfgs)
+	if len(want) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(want), len(cfgs))
+	}
+	for _, workers := range []int{2, 3, len(cfgs), len(cfgs) + 3} {
+		l.Workers = workers
+		got := l.SimulateSweep("fasta34", cfgs)
+		for i := range cfgs {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("workers=%d: result %d (%s) differs from serial run",
+					workers, i, cfgs[i].Name)
+			}
+		}
+	}
+}
+
+// TestSimulateSweepMatchesSimulate pins the sweep engine to the
+// single-run path.
+func TestSimulateSweepMatchesSimulate(t *testing.T) {
+	l := NewLab(sweepScale)
+	l.Workers = 2
+	cfg := uarch.Config4Way()
+	single := l.Simulate("blast", cfg)
+	swept := l.SimulateSweep("blast", []uarch.Config{cfg, cfg})
+	for i, res := range swept {
+		if !reflect.DeepEqual(single, res) {
+			t.Errorf("sweep result %d differs from Simulate", i)
+		}
+	}
+}
+
+// TestLabTraceCacheConcurrent hammers the trace cache from many
+// goroutines: each workload must be captured exactly once and every
+// caller must see the same Recorded.
+func TestLabTraceCacheConcurrent(t *testing.T) {
+	l := NewLab(sweepScale)
+	apps := []string{"fasta34", "blast", "sw_vmx128"}
+	const callers = 4
+	got := make([][]*Recorded, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, app := range apps {
+				got[c] = append(got[c], l.Trace(app))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		for i := range apps {
+			if got[c][i] != got[0][i] {
+				t.Errorf("caller %d saw a different Recorded for %s", c, apps[i])
+			}
+		}
+	}
+}
+
+// TestLabSpillMatchesResident runs the same simulation from a resident
+// lab and a disk-spilled lab: identical inputs must give identical
+// results, proving the spill path is a faithful trace currency.
+func TestLabSpillMatchesResident(t *testing.T) {
+	resident := NewLab(sweepScale)
+	spilled := NewLab(sweepScale)
+	spilled.SpillDir = t.TempDir()
+	defer spilled.Close()
+
+	if !spilled.Trace("fasta34").Trace.Spilled() {
+		t.Fatal("lab with SpillDir should spill its traces")
+	}
+	if got, want := spilled.Trace("fasta34").Len(), resident.Trace("fasta34").Len(); got != want {
+		t.Fatalf("spilled window %d insts, resident %d", got, want)
+	}
+	cfg := uarch.Config4Way()
+	a := resident.Simulate("fasta34", cfg)
+	b := spilled.Simulate("fasta34", cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("spilled trace simulation differs from resident")
+	}
+}

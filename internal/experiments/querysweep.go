@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/bio"
-	"repro/internal/trace"
 	"repro/internal/uarch"
 	"repro/internal/workloads"
 )
@@ -25,8 +24,10 @@ type QuerySweepResult struct {
 }
 
 // QuerySweep runs every workload for every Table II query at the given
-// scale. It builds its own per-query labs; the caller's lab is not
-// reused because each query changes the workload input.
+// scale. It builds its own per-query labs (the caller's lab is not
+// reused because each query changes the workload input) and rides the
+// labs' sweep engine, so captures happen once per (query, workload)
+// and replay through cursors like every other experiment.
 func QuerySweep(scale Scale) *QuerySweepResult {
 	out := &QuerySweepResult{
 		Queries: bio.PaperQueryTable,
@@ -36,26 +37,12 @@ func QuerySweep(scale Scale) *QuerySweepResult {
 	}
 	cfg := uarch.Config4Way()
 	for _, q := range out.Queries {
-		spec := workloads.SpecForQuery(q.Accession, scale.Seqs)
+		lab := NewLabWithSpec(scale, workloads.SpecForQuery(q.Accession, scale.Seqs))
 		out.Instr[q.Accession] = map[string]uint64{}
 		out.IPC[q.Accession] = map[string]float64{}
 		for _, name := range AppNames {
-			w, err := workloads.New(name, spec)
-			if err != nil {
-				panic(err)
-			}
-			var rec trace.Recorder
-			var cs trace.CountingSink
-			cap := scale.TraceCap
-			if cap == 0 {
-				cap = 1 << 62
-			}
-			w.Trace(trace.TeeSink{&trace.LimitSink{Inner: &rec, Limit: cap}, &cs})
-			res, err := uarch.New(cfg).Run(trace.NewReplay(rec.Insts))
-			if err != nil {
-				panic(err)
-			}
-			out.Instr[q.Accession][name] = cs.Total
+			res := lab.SimulateSweep(name, []uarch.Config{cfg})[0]
+			out.Instr[q.Accession][name] = lab.Trace(name).FullCount
 			out.IPC[q.Accession][name] = res.IPC
 		}
 	}

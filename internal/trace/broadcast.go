@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// DefaultBroadcastWindow is how many chunks a Broadcast buffers
+// between the generator and the slowest reader: 8 x DefaultChunkSize
+// records (8 MiB) of elasticity.
+const DefaultBroadcastWindow = 8
+
+// Broadcast fans one instruction stream out to N independent Source
+// cursors without materializing it: the generator Emits (blocking when
+// the bounded chunk window is full), each reader consumes its own
+// cursor, and a chunk is recycled once every active reader has moved
+// past it. One workload generation pass can therefore feed a whole
+// configuration sweep — the capture-once, simulate-many workflow —
+// at fixed memory no matter how long the trace is.
+//
+// Protocol: create with the number of readers, hand each reader a
+// cursor from Sources, run the generator (typically workload.Trace)
+// against the Broadcast as its Sink, then CloseSend. Every cursor must
+// be driven to exhaustion or Closed, or the generator blocks forever;
+// readers and generator must be distinct goroutines.
+type Broadcast struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	chunkSize int
+	window    int
+
+	base      int          // absolute index of bufs[0]
+	bufs      [][]isa.Inst // published, unreclaimed chunks
+	remaining []int        // per published chunk: active readers still to pass it
+	free      [][]isa.Inst // recycled chunk buffers
+	cur       []isa.Inst   // chunk being filled by the generator
+	active    int          // readers not yet Closed/exhausted
+	closed    bool         // CloseSend called
+
+	cursors []*BroadcastCursor
+}
+
+// NewBroadcast returns a broadcast for the given reader count with the
+// default chunk and window sizes.
+func NewBroadcast(readers int) *Broadcast {
+	return NewBroadcastSized(readers, DefaultChunkSize, DefaultBroadcastWindow)
+}
+
+// NewBroadcastSized sets the chunk size (instructions) and window
+// (chunks buffered); window must be at least 2 so the generator and
+// the slowest reader are never lockstepped.
+func NewBroadcastSized(readers, chunkSize, window int) *Broadcast {
+	if readers < 1 {
+		panic("trace: Broadcast needs at least one reader")
+	}
+	if chunkSize < 1 || window < 2 {
+		panic("trace: Broadcast chunkSize must be >=1 and window >=2")
+	}
+	b := &Broadcast{chunkSize: chunkSize, window: window, active: readers}
+	b.cond = sync.NewCond(&b.mu)
+	b.cursors = make([]*BroadcastCursor, readers)
+	for i := range b.cursors {
+		b.cursors[i] = &BroadcastCursor{b: b, abs: -1}
+	}
+	return b
+}
+
+// Sources returns the per-reader cursors, one each.
+func (b *Broadcast) Sources() []*BroadcastCursor { return b.cursors }
+
+// Emit implements Sink for the generator side. It blocks while the
+// window is full and every reader is still active.
+func (b *Broadcast) Emit(in isa.Inst) {
+	if b.cur == nil {
+		b.cur = b.newChunk()
+	}
+	b.cur = append(b.cur, in)
+	if len(b.cur) == b.chunkSize {
+		b.publish(b.cur)
+		b.cur = b.newChunk()
+	}
+}
+
+func (b *Broadcast) newChunk() []isa.Inst {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n := len(b.free); n > 0 {
+		buf := b.free[n-1]
+		b.free = b.free[:n-1]
+		return buf[:0]
+	}
+	return make([]isa.Inst, 0, b.chunkSize)
+}
+
+func (b *Broadcast) publish(chunk []isa.Inst) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.bufs) >= b.window && b.active > 0 {
+		b.cond.Wait()
+	}
+	if b.active == 0 {
+		// Every reader is gone; drop the stream on the floor so the
+		// generator can finish its pass unimpeded.
+		b.free = append(b.free, chunk)
+		return
+	}
+	b.bufs = append(b.bufs, chunk)
+	b.remaining = append(b.remaining, b.active)
+	b.cond.Broadcast()
+}
+
+// CloseSend marks the end of the stream, flushing any partial chunk.
+// The generator must call it exactly once, after the last Emit.
+func (b *Broadcast) CloseSend() {
+	if len(b.cur) > 0 {
+		b.publish(b.cur)
+		b.cur = nil
+	}
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reclaim pops fully-consumed chunks off the front. Callers hold b.mu.
+func (b *Broadcast) reclaim() {
+	freed := false
+	for len(b.bufs) > 0 && b.remaining[0] <= 0 {
+		b.free = append(b.free, b.bufs[0])
+		b.bufs = b.bufs[1:]
+		b.remaining = b.remaining[1:]
+		b.base++
+		freed = true
+	}
+	if freed {
+		b.cond.Broadcast()
+	}
+}
+
+// BroadcastCursor is one reader's Source over the broadcast stream.
+type BroadcastCursor struct {
+	b      *Broadcast
+	abs    int // absolute index of the chunk currently held; -1 none
+	buf    []isa.Inst
+	pos    int
+	closed bool
+}
+
+// Next implements Source, blocking until the generator publishes the
+// next chunk or closes the stream.
+func (c *BroadcastCursor) Next() (isa.Inst, bool) {
+	for c.pos >= len(c.buf) {
+		if !c.advance() {
+			return isa.Inst{}, false
+		}
+	}
+	in := c.buf[c.pos]
+	c.pos++
+	return in, true
+}
+
+func (c *BroadcastCursor) advance() bool {
+	b := c.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if c.abs >= 0 {
+		b.remaining[c.abs-b.base]--
+		b.reclaim()
+	}
+	target := c.abs + 1
+	for target >= b.base+len(b.bufs) && !b.closed {
+		b.cond.Wait()
+	}
+	if target >= b.base+len(b.bufs) {
+		// Stream over: this reader has released everything up to
+		// target-1 already, so nothing left to disclaim.
+		c.abs = -1
+		c.buf = nil
+		c.dropLocked(target - 1)
+		return false
+	}
+	c.abs = target
+	c.buf = b.bufs[target-b.base]
+	c.pos = 0
+	return true
+}
+
+// Close releases the cursor before end-of-stream (e.g. when its
+// simulation failed) so the generator and chunk reclamation do not
+// wait on it. Safe to call on an exhausted cursor; not required after
+// a clean full read.
+func (c *BroadcastCursor) Close() {
+	b := c.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.closed {
+		return
+	}
+	last := c.abs
+	if c.abs >= 0 {
+		b.remaining[c.abs-b.base]--
+		c.abs = -1
+	}
+	c.buf = nil
+	c.dropLocked(last)
+	b.reclaim()
+}
+
+// dropLocked removes the cursor from the active count and releases its
+// claim on every buffered chunk it had not yet accounted for — those
+// with absolute index above last, the newest chunk this reader has
+// already decremented. Callers hold b.mu.
+func (c *BroadcastCursor) dropLocked(last int) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	b := c.b
+	b.active--
+	for i := range b.remaining {
+		if b.base+i > last {
+			b.remaining[i]--
+		}
+	}
+	b.cond.Broadcast()
+}

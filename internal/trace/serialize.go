@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -14,33 +16,102 @@ import (
 // Traces are written by cmd/tracegen and consumed by cmd/simulate, so
 // expensive workload generation can be paid once per scale and the
 // simulator sweeps re-read the file — the same workflow the paper's
-// Aria traces supported for Turandot.
+// Aria traces supported for Turandot. Reading is streaming (NewFileSource)
+// so simulation memory never depends on trace length; ReadTrace remains
+// for callers that do want the whole trace in memory.
 
-var traceMagic = [8]byte{'S', 'E', 'Q', 'T', 'R', 'C', '0', '1'}
+// traceMagic identifies the file family; traceVersion the record
+// layout revision. A file with the right magic but another version is
+// a real trace we cannot parse — reported distinctly from garbage.
+var (
+	traceMagic   = [6]byte{'S', 'E', 'Q', 'T', 'R', 'C'}
+	traceVersion = [2]byte{'0', '1'}
+)
 
-const recordSize = 16
+const (
+	recordSize = 16
+	headerSize = 16
+
+	// maxTraceCount bounds the header's record count: 2^40 records
+	// (16 TiB) — anything above is corruption, not a trace.
+	maxTraceCount = 1 << 40
+
+	// unterminatedCount is the placeholder count FileWriter stamps
+	// until Close backpatches the real one, deliberately invalid so a
+	// writer killed mid-stream leaves a detectably broken file rather
+	// than a plausible empty trace.
+	unterminatedCount = ^uint64(0)
+)
+
+// Sentinel errors for the file-format failure modes, so callers (and
+// tests) can tell corrupt files, old-version files, and short files
+// apart.
+var (
+	ErrBadMagic     = errors.New("trace: not a trace file (bad magic)")
+	ErrBadVersion   = errors.New("trace: unsupported trace version")
+	ErrTruncated    = errors.New("trace: truncated trace file")
+	ErrImplausible  = errors.New("trace: implausible instruction count")
+	ErrUnterminated = errors.New("trace: unterminated trace file (writer never closed)")
+)
+
+// encodeRecord packs one instruction into its 16-byte wire form.
+func encodeRecord(rec *[recordSize]byte, in *isa.Inst) {
+	binary.LittleEndian.PutUint32(rec[0:], in.PC)
+	binary.LittleEndian.PutUint32(rec[4:], in.Addr)
+	binary.LittleEndian.PutUint16(rec[8:], in.Meta)
+	rec[10] = byte(in.Dst)
+	rec[11] = byte(in.Src1)
+	rec[12] = byte(in.Src2)
+	rec[13], rec[14], rec[15] = 0, 0, 0
+}
+
+// decodeRecord unpacks one 16-byte wire record.
+func decodeRecord(rec *[recordSize]byte) isa.Inst {
+	return isa.Inst{
+		PC:   binary.LittleEndian.Uint32(rec[0:]),
+		Addr: binary.LittleEndian.Uint32(rec[4:]),
+		Meta: binary.LittleEndian.Uint16(rec[8:]),
+		Dst:  isa.Reg(rec[10]),
+		Src1: isa.Reg(rec[11]),
+		Src2: isa.Reg(rec[12]),
+	}
+}
+
+func encodeHeader(hdr *[headerSize]byte, count uint64) {
+	copy(hdr[0:6], traceMagic[:])
+	copy(hdr[6:8], traceVersion[:])
+	binary.LittleEndian.PutUint64(hdr[8:], count)
+}
+
+// decodeHeader validates a header and returns the record count.
+func decodeHeader(hdr *[headerSize]byte) (uint64, error) {
+	if !bytes.Equal(hdr[0:6], traceMagic[:]) {
+		return 0, fmt.Errorf("%w: %q", ErrBadMagic, hdr[:8])
+	}
+	if !bytes.Equal(hdr[6:8], traceVersion[:]) {
+		return 0, fmt.Errorf("%w %q (want %q)", ErrBadVersion, hdr[6:8], traceVersion[:])
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	if count == unterminatedCount {
+		return 0, ErrUnterminated
+	}
+	if count > maxTraceCount {
+		return 0, fmt.Errorf("%w: %d", ErrImplausible, count)
+	}
+	return count, nil
+}
 
 // WriteTrace writes instructions in the binary trace format.
 func WriteTrace(w io.Writer, insts []isa.Inst) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(traceMagic[:]); err != nil {
-		return fmt.Errorf("trace: writing header: %w", err)
-	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(insts)))
+	var hdr [headerSize]byte
+	encodeHeader(&hdr, uint64(len(insts)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("trace: writing header: %w", err)
 	}
 	var rec [recordSize]byte
 	for i := range insts {
-		in := &insts[i]
-		binary.LittleEndian.PutUint32(rec[0:], in.PC)
-		binary.LittleEndian.PutUint32(rec[4:], in.Addr)
-		binary.LittleEndian.PutUint16(rec[8:], in.Meta)
-		rec[10] = byte(in.Dst)
-		rec[11] = byte(in.Src1)
-		rec[12] = byte(in.Src2)
-		rec[13], rec[14], rec[15] = 0, 0, 0
+		encodeRecord(&rec, &insts[i])
 		if _, err := bw.Write(rec[:]); err != nil {
 			return fmt.Errorf("trace: writing record %d: %w", i, err)
 		}
@@ -48,37 +119,147 @@ func WriteTrace(w io.Writer, insts []isa.Inst) error {
 	return bw.Flush()
 }
 
-// ReadTrace reads a binary trace written by WriteTrace.
+// ReadTrace reads a whole binary trace into memory. Prefer
+// NewFileSource for simulation: it streams and its footprint does not
+// grow with the trace.
 func ReadTrace(r io.Reader) ([]isa.Inst, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	fs, err := NewFileSource(r)
+	if err != nil {
+		return nil, err
 	}
-	for i, b := range traceMagic {
-		if hdr[i] != b {
-			return nil, fmt.Errorf("trace: bad magic %q", hdr[:8])
-		}
+	// The header count sizes the first allocation but is not trusted
+	// with it: clamp so a corrupt count cannot demand terabytes before
+	// the truncation check ever sees a record.
+	sizeHint := fs.Count()
+	if sizeHint > 1<<22 {
+		sizeHint = 1 << 22
 	}
-	count := binary.LittleEndian.Uint64(hdr[8:])
-	const maxTrace = 1 << 31
-	if count > maxTrace {
-		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	insts := make([]isa.Inst, 0, sizeHint)
+	for {
+		in, ok := fs.Next()
+		if !ok {
+			break
+		}
+		insts = append(insts, in)
 	}
-	insts := make([]isa.Inst, count)
-	var rec [recordSize]byte
-	for i := range insts {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, count, err)
-		}
-		insts[i] = isa.Inst{
-			PC:   binary.LittleEndian.Uint32(rec[0:]),
-			Addr: binary.LittleEndian.Uint32(rec[4:]),
-			Meta: binary.LittleEndian.Uint16(rec[8:]),
-			Dst:  isa.Reg(rec[10]),
-			Src1: isa.Reg(rec[11]),
-			Src2: isa.Reg(rec[12]),
-		}
+	if err := fs.Err(); err != nil {
+		return nil, err
 	}
 	return insts, nil
+}
+
+// FileSource streams a binary trace from a reader one instruction at a
+// time with a fixed-size buffer: simulating from a file costs the same
+// memory at 10^4 and 10^9 instructions. The header count is not
+// trusted — a file ending before the promised record count surfaces
+// ErrTruncated through Err.
+type FileSource struct {
+	br    *bufio.Reader
+	count uint64 // records promised by the header
+	read  uint64 // records delivered so far
+	rec   [recordSize]byte
+	err   error
+}
+
+// NewFileSource validates the header and returns a streaming Source.
+func NewFileSource(r io.Reader) (*FileSource, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: file shorter than the %d-byte header", ErrTruncated, headerSize)
+		}
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	count, err := decodeHeader(&hdr)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{br: br, count: count}, nil
+}
+
+// Count returns the instruction count promised by the header.
+func (s *FileSource) Count() uint64 { return s.count }
+
+// Next implements Source. After it returns ok=false, Err distinguishes
+// clean end-of-trace from a read failure or truncation.
+func (s *FileSource) Next() (isa.Inst, bool) {
+	if s.err != nil || s.read >= s.count {
+		return isa.Inst{}, false
+	}
+	if _, err := io.ReadFull(s.br, s.rec[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			s.err = fmt.Errorf("%w: file ends after %d of %d records", ErrTruncated, s.read, s.count)
+		} else {
+			s.err = fmt.Errorf("trace: reading record %d of %d: %w", s.read, s.count, err)
+		}
+		return isa.Inst{}, false
+	}
+	s.read++
+	return decodeRecord(&s.rec), true
+}
+
+// Err reports the first failure encountered while streaming, nil after
+// a clean full read.
+func (s *FileSource) Err() error { return s.err }
+
+// FileWriter is a Sink streaming instructions into the binary trace
+// format as they are emitted, so cmd/tracegen never holds the trace in
+// memory. The header's record count is backpatched on Close, which is
+// why the destination must be seekable (a file, not a pipe).
+type FileWriter struct {
+	ws    io.WriteSeeker
+	bw    *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewFileWriter writes a placeholder header and returns the sink. The
+// placeholder count is deliberately invalid until Close backpatches
+// it, so an interrupted write cannot masquerade as a valid trace.
+func NewFileWriter(ws io.WriteSeeker) (*FileWriter, error) {
+	w := &FileWriter{ws: ws, bw: bufio.NewWriterSize(ws, 1<<20)}
+	var hdr [headerSize]byte
+	encodeHeader(&hdr, unterminatedCount)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return w, nil
+}
+
+// Emit implements Sink. Write errors are held and surfaced by Close.
+func (w *FileWriter) Emit(in isa.Inst) {
+	if w.err != nil {
+		return
+	}
+	var rec [recordSize]byte
+	encodeRecord(&rec, &in)
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		w.err = fmt.Errorf("trace: writing record %d: %w", w.count, err)
+		return
+	}
+	w.count++
+}
+
+// Count returns the number of instructions written so far.
+func (w *FileWriter) Count() uint64 { return w.count }
+
+// Close flushes the records and backpatches the real count into the
+// header. It returns the first error of the whole write.
+func (w *FileWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	if _, err := w.ws.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking to header: %w", err)
+	}
+	var hdr [headerSize]byte
+	encodeHeader(&hdr, w.count)
+	if _, err := w.ws.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: rewriting header: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,441 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// randomInsts builds instructions with randomized PC/Addr/Meta/register
+// fields (every bit the wire format must carry), deterministic per seed.
+func randomInsts(n int, seed int64) []isa.Inst {
+	rng := rand.New(rand.NewSource(seed))
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{
+			PC:   rng.Uint32(),
+			Addr: rng.Uint32(),
+			Meta: uint16(rng.Uint32()),
+			Dst:  isa.Reg(rng.Intn(256)),
+			Src1: isa.Reg(rng.Intn(256)),
+			Src2: isa.Reg(rng.Intn(256)),
+		}
+	}
+	return insts
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		n := int(seed * 137)
+		insts := randomInsts(n, seed)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, insts); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(back) != n {
+			t.Fatalf("seed %d: %d insts back, want %d", seed, len(back), n)
+		}
+		for i := range insts {
+			if back[i] != insts[i] {
+				t.Fatalf("seed %d inst %d: %v != %v", seed, i, back[i], insts[i])
+			}
+		}
+	}
+}
+
+func TestReadTraceTruncationError(t *testing.T) {
+	insts := randomInsts(100, 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut mid-way through the records (and mid-record).
+	for _, cut := range []int{headerSize, headerSize + 5*recordSize, headerSize + 5*recordSize + 7} {
+		_, err := ReadTrace(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+	// A header shorter than 16 bytes is also truncation, not bad magic.
+	if _, err := ReadTrace(bytes.NewReader(full[:10])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadTraceVersionVsMagic(t *testing.T) {
+	insts := randomInsts(4, 9)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	wrongVersion := append([]byte(nil), good...)
+	wrongVersion[6], wrongVersion[7] = '9', '9'
+	if _, err := ReadTrace(bytes.NewReader(wrongVersion)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version mismatch: got %v, want ErrBadVersion", err)
+	}
+
+	wrongMagic := append([]byte(nil), good...)
+	wrongMagic[0] = 'X'
+	if _, err := ReadTrace(bytes.NewReader(wrongMagic)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFileWriterStreamsAndBackpatches(t *testing.T) {
+	insts := randomInsts(10_000, 5)
+	path := filepath.Join(t.TempDir(), "w.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFileWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		w.Emit(in)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(insts) {
+		t.Fatalf("%d back, want %d (header backpatch)", len(back), len(insts))
+	}
+	for i := range insts {
+		if back[i] != insts[i] {
+			t.Fatalf("inst %d differs", i)
+		}
+	}
+}
+
+// TestUnterminatedFileDetected: a FileWriter that never Closed (the
+// process died mid-capture) must not read back as a valid empty trace.
+func TestUnterminatedFileDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dead.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFileWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough records to push the placeholder header through the 1 MiB
+	// buffer onto disk; no w.Close(), simulating a killed writer.
+	for _, in := range randomInsts(80_000, 1) {
+		w.Emit(in)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(data)); !errors.Is(err, ErrUnterminated) {
+		t.Errorf("got %v, want ErrUnterminated", err)
+	}
+}
+
+// TestFileSourceMemoryIndependentOfLength is the acceptance check that
+// streaming a trace file costs the same allocations at any length:
+// the per-run allocation count must not grow with the trace.
+func TestFileSourceMemoryIndependentOfLength(t *testing.T) {
+	dir := t.TempDir()
+	mkFile := func(n int) string {
+		path := filepath.Join(dir, fmt.Sprintf("t%d.trc", n))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTrace(f, randomInsts(n, 42)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	consume := func(path string) uint64 {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		src, err := NewFileSource(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n uint64
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := src.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	small, big := mkFile(2_000), mkFile(200_000)
+	allocsSmall := testing.AllocsPerRun(3, func() { consume(small) })
+	allocsBig := testing.AllocsPerRun(3, func() { consume(big) })
+	if n := consume(big); n != 200_000 {
+		t.Fatalf("big file streamed %d records", n)
+	}
+	if allocsBig > allocsSmall+4 {
+		t.Errorf("allocations grow with trace length: %g (200k) vs %g (2k)", allocsBig, allocsSmall)
+	}
+	if allocsBig > 32 {
+		t.Errorf("streaming a trace took %g allocations, want a fixed handful", allocsBig)
+	}
+}
+
+func chunkedDrain(t *testing.T, cu *Cursor) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	for {
+		in, ok := cu.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	if err := cu.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestChunkedTraceRoundTrip(t *testing.T) {
+	// Sizes straddling chunk boundaries, including empty and exact.
+	for _, n := range []int{0, 1, DefaultChunkSize - 1, DefaultChunkSize, DefaultChunkSize + 1, 3*DefaultChunkSize + 17} {
+		insts := randomInsts(n, int64(n)+1)
+		ct := NewChunked()
+		for _, in := range insts {
+			ct.Emit(in)
+		}
+		if err := ct.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if ct.Len() != uint64(n) {
+			t.Fatalf("n=%d: Len=%d", n, ct.Len())
+		}
+		back := chunkedDrain(t, ct.Cursor())
+		if len(back) != n {
+			t.Fatalf("n=%d: drained %d", n, len(back))
+		}
+		for i := range insts {
+			if back[i] != insts[i] {
+				t.Fatalf("n=%d inst %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestChunkedSpillRoundTripAndConcurrentCursors(t *testing.T) {
+	n := 2*DefaultChunkSize + 999
+	insts := randomInsts(n, 77)
+	ct, err := NewChunkedSpill(filepath.Join(t.TempDir(), "spill.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	for _, in := range insts {
+		ct.Emit(in)
+	}
+	if err := ct.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Spilled() {
+		t.Fatal("trace should report spilled")
+	}
+	// Several cursors iterate the same spill file concurrently; each
+	// must see the identical full stream.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cu := ct.Cursor()
+			i := 0
+			for {
+				in, ok := cu.Next()
+				if !ok {
+					break
+				}
+				if in != insts[i] {
+					errs[w] = fmt.Errorf("cursor %d: inst %d differs", w, i)
+					return
+				}
+				i++
+			}
+			if cu.Err() != nil {
+				errs[w] = cu.Err()
+				return
+			}
+			if i != n {
+				errs[w] = fmt.Errorf("cursor %d: drained %d of %d", w, i, n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedFromInstsAndCursorReset(t *testing.T) {
+	insts := randomInsts(1000, 5)
+	ct := ChunkedFromInsts(insts)
+	cu := ct.Cursor()
+	if got := chunkedDrain(t, cu); len(got) != 1000 {
+		t.Fatalf("drained %d", len(got))
+	}
+	cu.Reset()
+	if got := chunkedDrain(t, cu); len(got) != 1000 || got[0] != insts[0] {
+		t.Fatal("reset cursor should replay from the start")
+	}
+}
+
+func TestLimitSinkZeroMeansUnlimited(t *testing.T) {
+	var rec Recorder
+	lim := &LimitSink{Inner: &rec, Limit: 0}
+	for _, in := range randomInsts(100, 2) {
+		lim.Emit(in)
+	}
+	if rec.Len() != 100 || lim.Dropped != 0 {
+		t.Errorf("Limit 0 should forward everything: kept %d, dropped %d", rec.Len(), lim.Dropped)
+	}
+}
+
+func TestCursorAfterCloseErrsCleanly(t *testing.T) {
+	ct, err := NewChunkedSpill(filepath.Join(t.TempDir(), "s.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range randomInsts(10, 3) {
+		ct.Emit(in)
+	}
+	if err := ct.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	cu := ct.Cursor()
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cu.Next(); ok {
+		t.Fatal("cursor on a closed spill should yield nothing")
+	}
+	if cu.Err() == nil {
+		t.Error("cursor on a closed spill should report an error, not clean EOF")
+	}
+}
+
+func TestBroadcastDeliversIdenticalStreams(t *testing.T) {
+	const readers = 3
+	n := 5*1024 + 321
+	insts := randomInsts(n, 11)
+	// Small chunks and window so the test exercises wrap-around and
+	// generator back-pressure.
+	b := NewBroadcastSized(readers, 128, 2)
+	got := make([][]isa.Inst, readers)
+	var wg sync.WaitGroup
+	for i, src := range b.Sources() {
+		wg.Add(1)
+		go func(i int, src *BroadcastCursor) {
+			defer wg.Done()
+			for {
+				in, ok := src.Next()
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], in)
+			}
+		}(i, src)
+	}
+	for _, in := range insts {
+		b.Emit(in)
+	}
+	b.CloseSend()
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if len(got[i]) != n {
+			t.Fatalf("reader %d got %d of %d", i, len(got[i]), n)
+		}
+		for k := range insts {
+			if got[i][k] != insts[k] {
+				t.Fatalf("reader %d inst %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestBroadcastEarlyCloseDoesNotDeadlock(t *testing.T) {
+	const readers = 2
+	n := 4096
+	insts := randomInsts(n, 13)
+	b := NewBroadcastSized(readers, 64, 2)
+	srcs := b.Sources()
+	var wg sync.WaitGroup
+	counts := make([]int, readers)
+	// Reader 0 abandons after a few instructions; reader 1 drains.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			srcs[0].Next()
+		}
+		srcs[0].Close()
+		counts[0] = 10
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := srcs[1].Next(); !ok {
+				return
+			}
+			counts[1]++
+		}
+	}()
+	for _, in := range insts {
+		b.Emit(in)
+	}
+	b.CloseSend()
+	wg.Wait()
+	if counts[1] != n {
+		t.Fatalf("surviving reader got %d of %d", counts[1], n)
+	}
+}

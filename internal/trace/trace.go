@@ -93,7 +93,9 @@ func (t TeeSink) Emit(in isa.Inst) {
 
 // LimitSink forwards at most Limit instructions to the wrapped sink
 // and drops the rest, used to cap trace sizes at large scales the way
-// the paper's representative traces cap full program runs.
+// the paper's representative traces cap full program runs. Limit 0
+// means unlimited — the semantics every "-cap 0" flag documents, owned
+// here so callers need no sentinel translation.
 type LimitSink struct {
 	Inner   Sink
 	Limit   uint64
@@ -104,7 +106,7 @@ type LimitSink struct {
 // Emit implements Sink.
 func (l *LimitSink) Emit(in isa.Inst) {
 	l.seen++
-	if l.seen > l.Limit {
+	if l.Limit > 0 && l.seen > l.Limit {
 		l.Dropped++
 		return
 	}

@@ -1,0 +1,82 @@
+package uarch
+
+// Merge folds several Results into one aggregate, for combining
+// simulations of trace shards or windows of the same run: counters
+// add, occupancy histograms add element-wise (sized to the widest
+// input), and the derived rates (IPC, miss rates, prediction accuracy)
+// are recomputed from the merged counters rather than averaged. The
+// Name of the first result is kept. Merge(nil...) and Merge() return
+// an empty Result; inputs are not modified.
+func Merge(rs ...*Result) *Result {
+	out := &Result{}
+	first := true
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if first {
+			out.Name = r.Name
+			first = false
+		}
+		out.Cycles += r.Cycles
+		out.Instructions += r.Instructions
+		out.Retired += r.Retired
+		out.ProgressCycles += r.ProgressCycles
+		for i := range r.Traumas {
+			out.Traumas[i] += r.Traumas[i]
+		}
+		for i := range r.FetchBlocks {
+			out.FetchBlocks[i] += r.FetchBlocks[i]
+			out.DispatchBlocks[i] += r.DispatchBlocks[i]
+		}
+		out.NFAHits += r.NFAHits
+		out.NFAMisses += r.NFAMisses
+		for i := range r.ByClass {
+			out.ByClass[i] += r.ByClass[i]
+		}
+		out.CondBranches += r.CondBranches
+		out.Mispredicts += r.Mispredicts
+		out.DL1Accesses += r.DL1Accesses
+		out.DL1Misses += r.DL1Misses
+		out.L2Accesses += r.L2Accesses
+		out.L2Misses += r.L2Misses
+		out.IL1Misses += r.IL1Misses
+		out.QueueOcc = mergeHistGrid(out.QueueOcc, r.QueueOcc)
+		out.InflightOcc = mergeHist(out.InflightOcc, r.InflightOcc)
+		out.RetireQOcc = mergeHist(out.RetireQOcc, r.RetireQOcc)
+		out.MemQOcc = mergeHist(out.MemQOcc, r.MemQOcc)
+	}
+	if out.Cycles > 0 {
+		out.IPC = float64(out.Retired) / float64(out.Cycles)
+	}
+	if out.CondBranches > 0 {
+		out.PredAccuracy = 1 - float64(out.Mispredicts)/float64(out.CondBranches)
+	}
+	if out.DL1Accesses > 0 {
+		out.DL1MissRate = float64(out.DL1Misses) / float64(out.DL1Accesses)
+	}
+	return out
+}
+
+// mergeHist adds src into dst element-wise, growing dst as needed.
+func mergeHist(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, n := range src {
+		dst[i] += n
+	}
+	return dst
+}
+
+func mergeHistGrid(dst, src [][]uint64) [][]uint64 {
+	for len(dst) < len(src) {
+		dst = append(dst, nil)
+	}
+	for i := range src {
+		dst[i] = mergeHist(dst[i], src[i])
+	}
+	return dst
+}

@@ -1,0 +1,93 @@
+package uarch
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// shardTrace emits the same loop body n times and returns the insts.
+func shardTrace(n int) []isa.Inst {
+	var rec trace.Recorder
+	e := trace.NewEmitter(&rec)
+	blk := e.Block("loop", 4)
+	for i := 0; i < n; i++ {
+		e.Begin(blk)
+		e.Fix(isa.GPR(1), isa.GPR(1), isa.GPR(2))
+		e.Load(isa.GPR(3), isa.GPR(1), uint32(0x1000+i*64), 8)
+		e.Store(isa.GPR(3), isa.GPR(1), uint32(0x9000+i*8), 8)
+		e.CondBranch(isa.GPR(3), i%4 != 0, blk)
+	}
+	return rec.Insts
+}
+
+func TestMergeAggregatesShards(t *testing.T) {
+	insts := shardTrace(500)
+	mid := len(insts) / 2
+	runOn := func(part []isa.Inst) *Result {
+		res, err := New(Config4Way()).Run(trace.NewReplay(part))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOn(insts[:mid]), runOn(insts[mid:])
+	m := Merge(a, b)
+
+	if m.Retired != a.Retired+b.Retired {
+		t.Errorf("Retired %d != %d+%d", m.Retired, a.Retired, b.Retired)
+	}
+	if m.Cycles != a.Cycles+b.Cycles {
+		t.Errorf("Cycles %d != %d+%d", m.Cycles, a.Cycles, b.Cycles)
+	}
+	if m.DL1Accesses != a.DL1Accesses+b.DL1Accesses || m.DL1Misses != a.DL1Misses+b.DL1Misses {
+		t.Error("cache counters not summed")
+	}
+	wantIPC := float64(m.Retired) / float64(m.Cycles)
+	if m.IPC != wantIPC {
+		t.Errorf("IPC %f not recomputed from merged counters (%f)", m.IPC, wantIPC)
+	}
+	if m.CondBranches != a.CondBranches+b.CondBranches {
+		t.Error("branch counters not summed")
+	}
+	var at, bt, mt uint64
+	for i := range m.Traumas {
+		at += a.Traumas[i]
+		bt += b.Traumas[i]
+		mt += m.Traumas[i]
+	}
+	if mt != at+bt {
+		t.Errorf("trauma cycles %d != %d+%d", mt, at, bt)
+	}
+	// Histograms element-wise.
+	for i := range m.InflightOcc {
+		var want uint64
+		if i < len(a.InflightOcc) {
+			want += a.InflightOcc[i]
+		}
+		if i < len(b.InflightOcc) {
+			want += b.InflightOcc[i]
+		}
+		if m.InflightOcc[i] != want {
+			t.Fatalf("InflightOcc[%d] = %d, want %d", i, m.InflightOcc[i], want)
+		}
+	}
+	if m.Name != a.Name {
+		t.Errorf("merged name %q, want first input's %q", m.Name, a.Name)
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	if m := Merge(); m.Cycles != 0 || m.IPC != 0 {
+		t.Error("empty merge should be zero")
+	}
+	res, err := New(Config4Way()).Run(trace.NewReplay(shardTrace(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(nil, res, nil)
+	if m.Retired != res.Retired || m.IPC != res.IPC {
+		t.Error("merge with nils should equal the single result")
+	}
+}

@@ -139,6 +139,15 @@ func (p *Pipeline) resolved(dep int64) bool {
 }
 
 // Run simulates the trace to completion and returns the results.
+//
+// Concurrency contract (audited for the sweep engine): a Pipeline is
+// single-use and single-goroutine, but it shares nothing between
+// instances — the predictor, NFA and cache hierarchy are built per
+// pipeline in New, the Config is copied by value, and every
+// instruction read from src is copied into the ROB rather than
+// referenced. Any number of pipelines may therefore Run concurrently
+// over one shared immutable trace, as long as each gets its own
+// exclusive Source cursor; results are bit-identical to serial runs.
 func (p *Pipeline) Run(src trace.Source) (*Result, error) {
 	p.src = src
 	maxCycles := int64(1 << 62)
@@ -160,7 +169,12 @@ func (p *Pipeline) Run(src trace.Source) (*Result, error) {
 		}
 	}
 	p.finalize()
-	return &p.stats, nil
+	// Return a copy: handing out &p.stats would keep the whole
+	// pipeline (ROB ring, cache metadata, predictor tables) reachable
+	// for as long as the caller holds the Result — a real cost when a
+	// sweep retains hundreds of them.
+	res := p.stats
+	return &res, nil
 }
 
 // deadlockState renders the machine state for deadlock diagnostics.
@@ -664,6 +678,10 @@ func (p *Pipeline) classifyStall() Trauma {
 }
 
 func (p *Pipeline) finalize() {
+	// Drop the trace cursor so a finished pipeline does not pin its
+	// source's paging buffers while the caller holds the Result.
+	p.src = nil
+	p.pending = nil
 	p.stats.Name = p.cfg.Name
 	if p.stats.Cycles > 0 {
 		p.stats.IPC = float64(p.stats.Retired) / float64(p.stats.Cycles)
