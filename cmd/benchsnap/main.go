@@ -1,13 +1,14 @@
 // Command benchsnap measures the scoring kernels, the parallel scan
-// harness, and the simulation sweep engine programmatically and writes
-// a JSON snapshot (ns/op, GCUPS, allocs/op per kernel; configs
-// simulated per second for sweeps) so the repository's performance
-// trajectory is recorded PR over PR (see DESIGN.md). CI emits
-// BENCH_<n>.json artifacts with it.
+// harness, the simulation sweep engine, and the indexed
+// seed-and-extend search programmatically and writes a JSON snapshot
+// (ns/op, GCUPS, allocs/op per kernel; configs simulated per second
+// for sweeps; queries per second and recall@10 for indexed search) so
+// the repository's performance trajectory is recorded PR over PR (see
+// DESIGN.md). CI emits BENCH_<n>.json artifacts with it.
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_2.json]
+//	benchsnap [-o BENCH_3.json]
 package main
 
 import (
@@ -16,11 +17,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/bio"
 	"repro/internal/experiments"
+	"repro/internal/index"
 	"repro/internal/simd"
 	"repro/internal/uarch"
 )
@@ -44,20 +48,38 @@ type SweepResult struct {
 	ConfigsPerSec float64 `json:"configs_per_sec"`
 }
 
+// IndexedResult measures the seed-and-extend pipeline against the
+// exact scan it replaces: throughput on both sides, the speedup, and
+// the recall@10 the heuristic pays for it.
+type IndexedResult struct {
+	Name          string  `json:"name"`
+	DBSeqs        int     `json:"db_seqs"`
+	DBResidues    int     `json:"db_residues"`
+	IndexK        int     `json:"index_k"`
+	IndexBuildMs  float64 `json:"index_build_ms"`
+	IndexBytes    int64   `json:"index_bytes"`
+	ExactQPS      float64 `json:"exact_queries_per_sec"`
+	IndexedQPS    float64 `json:"indexed_queries_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	RecallQueries int     `json:"recall_queries"`
+	RecallAt10    float64 `json:"recall_at_10"`
+}
+
 // Snapshot is the file format.
 type Snapshot struct {
-	GoVersion  string         `json:"go_version"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Query      string         `json:"query"`
-	QueryLen   int            `json:"query_len"`
-	SubjectLen int            `json:"subject_len"`
-	Kernels    []KernelResult `json:"kernels"`
-	Scan       []KernelResult `json:"scan"`
-	Sweep      []SweepResult  `json:"sweep"`
+	GoVersion     string          `json:"go_version"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Query         string          `json:"query"`
+	QueryLen      int             `json:"query_len"`
+	SubjectLen    int             `json:"subject_len"`
+	Kernels       []KernelResult  `json:"kernels"`
+	Scan          []KernelResult  `json:"scan"`
+	Sweep         []SweepResult   `json:"sweep"`
+	IndexedSearch []IndexedResult `json:"indexed_search"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_2.json", "output file")
+	out := flag.String("o", "BENCH_3.json", "output file")
 	flag.Parse()
 
 	p := align.PaperParams()
@@ -153,6 +175,76 @@ func main() {
 		}
 	}
 
+	// Indexed seed-and-extend search vs the exact scan it replaces, on
+	// the homolog-rich benchmark database (the setting where recall of
+	// a seeding heuristic is meaningful: the paper's heuristics are
+	// judged on finding true relatives). The index is built once and
+	// amortized across queries, mirroring production use.
+	idxSpec := bio.DefaultDBSpec(1000)
+	idxSpec.Related = 20
+	idxSpec.RelatedTo = q
+	idxDB := bio.SyntheticDB(idxSpec)
+	buildStart := time.Now()
+	ix := index.Build(idxDB, index.Options{})
+	buildMs := float64(time.Since(buildStart).Microseconds()) / 1e3
+	searcher := index.NewSearcher(ix, idxDB, p, index.SearchOptions{})
+	exactCfg := align.SearchConfig{Kernel: align.KernelSSEARCH, TopK: 10}
+	indexedCfg := exactCfg
+	indexedCfg.Filter = searcher
+
+	// Recall@10 over the planted parent plus a few of its homologs as
+	// queries — each has a well-defined exact top-10 dominated by the
+	// family.
+	queries := [][]uint8{q.Residues}
+	for _, s := range idxDB.Seqs {
+		if strings.Contains(s.Desc, "homolog") {
+			queries = append(queries, s.Residues)
+			if len(queries) == 4 {
+				break
+			}
+		}
+	}
+	found, total := 0, 0
+	for _, query := range queries {
+		exactHits := align.SearchDB(p, query, idxDB, exactCfg)
+		got := map[int]bool{}
+		for _, h := range align.SearchDB(p, query, idxDB, indexedCfg) {
+			got[h.Index] = true
+		}
+		for _, h := range exactHits {
+			total++
+			if got[h.Index] {
+				found++
+			}
+		}
+	}
+
+	exactBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.SearchDB(p, q.Residues, idxDB, exactCfg)
+		}
+	})
+	indexedBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			align.SearchDB(p, q.Residues, idxDB, indexedCfg)
+		}
+	})
+	exactQPS := 1e9 / (float64(exactBench.T.Nanoseconds()) / float64(exactBench.N))
+	indexedQPS := 1e9 / (float64(indexedBench.T.Nanoseconds()) / float64(indexedBench.N))
+	snap.IndexedSearch = append(snap.IndexedSearch, IndexedResult{
+		Name:          "seed-and-extend-vs-ssearch",
+		DBSeqs:        idxDB.NumSeqs(),
+		DBResidues:    idxDB.TotalResidues(),
+		IndexK:        ix.K(),
+		IndexBuildMs:  buildMs,
+		IndexBytes:    ix.Stats().FootprintBytes,
+		ExactQPS:      exactQPS,
+		IndexedQPS:    indexedQPS,
+		Speedup:       indexedQPS / exactQPS,
+		RecallQueries: len(queries),
+		RecallAt10:    float64(found) / float64(total),
+	})
+
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -161,8 +253,9 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points)\n",
-		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep))
+	ir := snap.IndexedSearch[0]
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; indexed search %.1fx at recall@10 %.2f)\n",
+		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), ir.Speedup, ir.RecallAt10)
 }
 
 func fatal(err error) {

@@ -1,0 +1,169 @@
+// Command indexbuild builds, saves, and inspects k-mer seed indexes
+// (internal/index) over a protein database. The saved index is what
+// turns seqalign's exhaustive scans into seed-and-extend searches
+// (seqalign -index); building it once and reusing it across queries
+// is the whole point of indexing the database rather than the query.
+//
+// Usage:
+//
+//	indexbuild -db synthetic:2000 -o db.seqidx          # build + save
+//	indexbuild -db swissprot.fasta -k 5 -o sp.seqidx    # from FASTA
+//	indexbuild -inspect db.seqidx                       # header + stats
+//
+// Synthetic databases are generated with the same defaults as dbgen
+// and seqalign (seed 20061001), so `indexbuild -db synthetic:N` and
+// `seqalign -db synthetic:N` agree on the database bit for bit; pass
+// the same -seed/-related/-parent to all of them when overriding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+func main() {
+	var (
+		dbArg    = flag.String("db", "", "database to index: FASTA file path or synthetic:<n>")
+		dbSeed   = flag.Int64("seed", 20061001, "synthetic database generator seed")
+		related  = flag.Int("related", 0, "plant this many homologs in a synthetic database")
+		parent   = flag.String("parent", "P14942", "Table II accession the planted homologs derive from")
+		k        = flag.Int("k", index.DefaultK, "k-mer length")
+		capFlag  = flag.Int("cap", index.DefaultMaxPostings, "max postings per k-mer (-1 = uncapped)")
+		workers  = flag.Int("workers", 0, "build workers (0 = all CPUs; any count builds the identical index)")
+		out      = flag.String("o", "", "write the index to this path")
+		inspect  = flag.String("inspect", "", "load an index file and print its statistics")
+		topKmers = flag.Int("top", 5, "with -inspect, show the most frequent k-mers")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectIndex(*inspect, *topKmers)
+		return
+	}
+	if *dbArg == "" {
+		fatal(fmt.Errorf("nothing to do: pass -db to build or -inspect to examine an index"))
+	}
+
+	if *k < index.MinK || *k > index.MaxK {
+		fatal(fmt.Errorf("-k %d outside [%d, %d]", *k, index.MinK, index.MaxK))
+	}
+	// The parent accession is only resolved when homologs are planted:
+	// bio.PaperQuery panics on unknown accessions, and -parent is
+	// meaningless without -related.
+	var parentSeq *bio.Sequence
+	if *related > 0 {
+		parentSeq = bio.PaperQuery(*parent)
+	}
+	db, err := bio.LoadDatabase(*dbArg, *dbSeed, *related, parentSeq)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	ix := index.Build(db, index.Options{K: *k, MaxPostings: *capFlag, Workers: *workers})
+	buildTime := time.Since(start)
+	printStats(ix.Stats())
+	fmt.Printf("built in %v over %d sequences\n", buildTime.Round(time.Millisecond), db.NumSeqs())
+
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := index.WriteIndex(f, ix); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	// Read the file straight back: a save that cannot round-trip is a
+	// bug worth failing loudly on, and the reload re-checks the
+	// database fingerprint the searches will rely on.
+	rf, err := os.Open(*out)
+	if err != nil {
+		fatal(err)
+	}
+	reloaded, err := index.ReadIndex(rf)
+	rf.Close()
+	if err != nil {
+		fatal(fmt.Errorf("verifying %s: %w", *out, err))
+	}
+	if err := reloaded.Validate(db); err != nil {
+		fatal(fmt.Errorf("verifying %s: %w", *out, err))
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes, verified round-trip)\n", *out, info.Size())
+}
+
+func inspectIndex(path string, topKmers int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ix, err := index.ReadIndex(f)
+	if err != nil {
+		fatal(err)
+	}
+	printStats(ix.Stats())
+	if topKmers > 0 {
+		top := mostFrequent(ix, topKmers)
+		fmt.Printf("most frequent k-mers:\n")
+		for _, e := range top {
+			note := ""
+			if e.stored == 0 && e.raw > 0 {
+				note = "  (capped: postings dropped)"
+			}
+			fmt.Printf("  %-13s x%-6d stored %d%s\n", bio.Decode(index.UnpackKmer(e.key, ix.K())), e.raw, e.stored, note)
+		}
+	}
+}
+
+type kmerFreq struct {
+	key         uint64
+	raw, stored int
+}
+
+// mostFrequent ranks the index's k-mers by raw occurrence count,
+// keeping a small insertion-sorted top list while streaming entries.
+func mostFrequent(ix *index.Index, n int) []kmerFreq {
+	top := make([]kmerFreq, 0, n+1)
+	ix.ForEachEntry(func(key uint64, raw, stored int) {
+		top = append(top, kmerFreq{key: key, raw: raw, stored: stored})
+		for i := len(top) - 1; i > 0 && top[i].raw > top[i-1].raw; i-- {
+			top[i], top[i-1] = top[i-1], top[i]
+		}
+		if len(top) > n {
+			top = top[:n]
+		}
+	})
+	return top
+}
+
+func printStats(st index.Stats) {
+	capStr := strconv.Itoa(st.MaxPostings)
+	if st.MaxPostings < 0 {
+		capStr = "uncapped"
+	}
+	fmt.Printf("seed index: k=%d cap=%s\n", st.K, capStr)
+	fmt.Printf("  database:       %d sequences, %d residues\n", st.NumTargets, st.TotalResidues)
+	fmt.Printf("  distinct k-mers: %d (of %d possible)\n", st.DistinctKmers, index.PossibleKmers(st.K))
+	fmt.Printf("  postings:       %d stored / %d raw, %d k-mers capped\n", st.Postings, st.RawPostings, st.CappedKmers)
+	fmt.Printf("  footprint:      %.1f MiB\n", float64(st.FootprintBytes)/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indexbuild:", err)
+	os.Exit(1)
+}

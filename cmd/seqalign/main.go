@@ -7,25 +7,28 @@
 //
 //	seqalign -query P14942 -db synthetic:100 -method ssearch -best 10
 //	seqalign -query query.fasta -db swissprot.fasta -method blast -align
+//	seqalign -db synthetic:2000 -index db.seqidx -best 10     # seed-and-extend
+//	seqalign -db synthetic:2000 -index build -k 5             # index on the fly
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/align"
 	"repro/internal/bio"
 	"repro/internal/blast"
 	"repro/internal/fasta"
+	"repro/internal/index"
 )
 
 func main() {
 	var (
 		queryArg  = flag.String("query", "P14942", "query: FASTA file path or a Table II accession")
 		dbArg     = flag.String("db", "synthetic:100", "database: FASTA file path or synthetic:<n>")
+		dbSeed    = flag.Int64("seed", 20061001, "synthetic database generator seed (must match the one the index was built with)")
 		method    = flag.String("method", "ssearch", "ssearch | vmx128 | vmx256 | striped | gotoh | sw | blast | fasta")
 		matrix    = flag.String("s", "BL62", "substitution matrix (BL62, BL50)")
 		gapOpen   = flag.Int("gopen", 10, "gap open penalty")
@@ -34,6 +37,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel scan workers (0 = all CPUs)")
 		related   = flag.Int("related", 0, "plant this many homologs in a synthetic database")
 		showAlign = flag.Bool("align", false, "print the top hit's alignment")
+
+		indexArg = flag.String("index", "", "seed-and-extend: an indexbuild file, or 'build' to index the database in-process")
+		kFlag    = flag.Int("k", index.DefaultK, "k-mer length when -index build")
+		maxCand  = flag.Int("max-candidates", 0, "candidates the seed filter passes to exact rescoring (0 = default; >= database size = exact scan)")
 	)
 	flag.Parse()
 
@@ -47,7 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	db, err := loadDB(*dbArg, query, *related)
+	db, err := bio.LoadDatabase(*dbArg, *dbSeed, *related, query)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,16 +69,37 @@ func main() {
 	var hits []hit
 	if kernel, kerr := align.KernelByName(*method); kerr == nil {
 		// Rigorous scans run through the parallel sharded search
-		// harness; results are identical for every worker count.
-		res := align.SearchDB(params, query.Residues, db, align.SearchConfig{
+		// harness; results are identical for every worker count. With
+		// -index the same harness runs seed-and-extend: the filter
+		// proposes candidates, the selected kernel rescored them.
+		cfg := align.SearchConfig{
 			Kernel:  kernel,
 			Workers: *workers,
 			TopK:    *best,
-		})
+		}
+		if *indexArg != "" {
+			searcher, err := loadSearcher(*indexArg, *kFlag, db, params)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Filter = searcher
+			cfg.MaxCandidates = *maxCand
+			st := searcher.Index().Stats()
+			fmt.Printf("seed index: k=%d, %d distinct k-mers, %d postings (%d capped), %.1f MiB\n",
+				st.K, st.DistinctKmers, st.Postings, st.CappedKmers, float64(st.FootprintBytes)/(1<<20))
+		}
+		res := align.SearchDB(params, query.Residues, db, cfg)
 		for _, h := range res {
 			hits = append(hits, hit{seq: h.Seq, score: h.Score})
 		}
 	} else {
+		if *indexArg != "" {
+			// The heuristic methods run their own seeding; silently
+			// dropping -index would let the user attribute their
+			// results to a pipeline that never ran.
+			fatal(fmt.Errorf("-index only applies to the exact kernels (%s), not -method %s",
+				strings.Join(align.KernelNames(), ", "), *method))
+		}
 		switch *method {
 		case "blast":
 			p := blast.DefaultParams()
@@ -94,7 +122,7 @@ func main() {
 					extra: fmt.Sprintf("init1=%d initn=%d", h.Init1, h.Initn)})
 			}
 		default:
-			fatal(fmt.Errorf("unknown method %q", *method))
+			fatal(fmt.Errorf("unknown method %q (valid: %s, blast, fasta)", *method, strings.Join(align.KernelNames(), ", ")))
 		}
 	}
 
@@ -122,6 +150,34 @@ func main() {
 	}
 }
 
+// loadSearcher resolves -index: "build" constructs a fresh index over
+// db in-process; anything else is an indexbuild file, whose database
+// fingerprint must match db (NewSearcher enforces it — searching the
+// wrong database would return silently wrong candidates).
+func loadSearcher(arg string, k int, db *bio.Database, params align.Params) (*index.Searcher, error) {
+	var ix *index.Index
+	if arg == "build" {
+		if k < index.MinK || k > index.MaxK {
+			return nil, fmt.Errorf("-k %d outside [%d, %d]", k, index.MinK, index.MaxK)
+		}
+		ix = index.Build(db, index.Options{K: k})
+	} else {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, fmt.Errorf("loading index: %w", err)
+		}
+		defer f.Close()
+		ix, err = index.ReadIndex(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading index %s: %w", arg, err)
+		}
+		if err := ix.Validate(db); err != nil {
+			return nil, fmt.Errorf("index %s: %w (rebuild it for this database, or pass the same -db/-seed/-related to indexbuild and seqalign)", arg, err)
+		}
+	}
+	return index.NewSearcher(ix, db, params, index.SearchOptions{}), nil
+}
+
 func loadQuery(arg string) (*bio.Sequence, error) {
 	for _, q := range bio.PaperQueryTable {
 		if q.Accession == arg {
@@ -141,31 +197,6 @@ func loadQuery(arg string) (*bio.Sequence, error) {
 		return nil, fmt.Errorf("no sequences in %s", arg)
 	}
 	return seqs[0], nil
-}
-
-func loadDB(arg string, query *bio.Sequence, related int) (*bio.Database, error) {
-	if rest, ok := strings.CutPrefix(arg, "synthetic:"); ok {
-		n, err := strconv.Atoi(rest)
-		if err != nil {
-			return nil, fmt.Errorf("bad synthetic database size %q", rest)
-		}
-		spec := bio.DefaultDBSpec(n)
-		if related > 0 {
-			spec.Related = related
-			spec.RelatedTo = query
-		}
-		return bio.SyntheticDB(spec), nil
-	}
-	f, err := os.Open(arg)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	seqs, err := bio.ReadFASTA(f)
-	if err != nil {
-		return nil, err
-	}
-	return bio.NewDatabase(seqs), nil
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,14 +50,26 @@ func (k Kernel) String() string {
 	return fmt.Sprintf("Kernel(%d)", int(k))
 }
 
-// KernelByName resolves the command-line names of the kernels.
+// KernelNames returns the command-line names of every kernel, sorted,
+// for help text and error messages.
+func KernelNames() []string {
+	names := make([]string, 0, len(kernelNames))
+	for _, n := range kernelNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KernelByName resolves the command-line names of the kernels. The
+// error of an unknown name enumerates the valid ones.
 func KernelByName(name string) (Kernel, error) {
 	for k, n := range kernelNames {
 		if n == name {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("align: unknown kernel %q", name)
+	return 0, fmt.Errorf("align: unknown kernel %q (valid: %s)", name, strings.Join(KernelNames(), ", "))
 }
 
 // Hit is one database sequence that scored at least the configured
@@ -67,6 +80,20 @@ type Hit struct {
 	Score int
 }
 
+// CandidateFilter proposes the database sequences worth exact scoring
+// for a query — the seeding half of a seed-and-extend search.
+// internal/index's Searcher is the canonical implementation. The
+// returned indexes need not be sorted or unique; SearchDB normalizes
+// them. Implementations MUST degrade to proposing every sequence when
+// max is at least the database size (the caller asked for everything,
+// so filtering can only lose recall) — SearchConfig.MaxCandidates
+// documents that as the exactness guarantee. Candidates is called
+// once per SearchDB invocation, from the calling goroutine, so
+// implementations may reuse internal buffers without locking.
+type CandidateFilter interface {
+	Candidates(query []uint8, max int) []int
+}
+
 // SearchConfig tunes a SearchDB scan. The zero value scans with the
 // SSEARCH kernel on every available CPU and reports all positive hits.
 type SearchConfig struct {
@@ -74,6 +101,19 @@ type SearchConfig struct {
 	Workers  int // worker goroutines; <= 0 means GOMAXPROCS
 	TopK     int // keep the best K hits; <= 0 means all
 	MinScore int // report hits scoring >= MinScore; <= 0 means >= 1
+
+	// Filter, when non-nil, switches the scan from exhaustive to
+	// seed-and-extend: only the sequences the filter proposes are
+	// scored with the kernel, trading bounded recall for throughput.
+	// Ranking, tie-breaking, and worker-count invariance are
+	// unchanged — the hit list is bit-identical at any worker count,
+	// it just draws from the candidate set.
+	Filter CandidateFilter
+	// MaxCandidates is passed to the filter; <= 0 selects the
+	// filter's default. Setting it to the database size makes the
+	// filtered scan provably identical to the exhaustive one (the
+	// filter contract requires degrading to all sequences then).
+	MaxCandidates int
 }
 
 // searchBatch is how many sequences a worker claims at a time: small
@@ -81,21 +121,48 @@ type SearchConfig struct {
 // claim counter never contends.
 const searchBatch = 8
 
-// SearchDB scores query against every sequence of db with the
-// configured kernel and returns the ranked hits (score descending,
-// database order breaking ties). Sharding across workers changes the
-// wall-clock, never the result.
+// SearchDB scores query against the database with the configured
+// kernel and returns the ranked hits (score descending, database
+// order breaking ties). With a nil Filter every sequence is scored;
+// with a Filter only its candidates are. Sharding across workers
+// changes the wall-clock, never the result.
 func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit {
 	seqs := db.Seqs
 	if len(query) == 0 || len(seqs) == 0 {
 		return nil
 	}
+
+	// The scan items are either the whole database (cand == nil) or
+	// the filter's candidate set, normalized to unique ascending
+	// indexes so the ranked output keeps the exhaustive scan's
+	// tie-break order.
+	var cand []int
+	if cfg.Filter != nil {
+		proposed := cfg.Filter.Candidates(query, cfg.MaxCandidates)
+		cand = make([]int, 0, len(proposed))
+		for _, i := range proposed {
+			if i < 0 || i >= len(seqs) {
+				panic(fmt.Sprintf("align: candidate filter proposed sequence %d of %d", i, len(seqs)))
+			}
+			cand = append(cand, i)
+		}
+		sort.Ints(cand)
+		cand = uniqInts(cand)
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	numItems := len(seqs)
+	if cand != nil {
+		numItems = len(cand)
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(seqs) {
-		workers = len(seqs)
+	if workers > numItems {
+		workers = numItems
 	}
 	minScore := cfg.MinScore
 	if minScore <= 0 {
@@ -113,7 +180,7 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 		sp = NewStripedProfile(query, p, simd.Lanes128)
 	}
 
-	scores := make([]int, len(seqs))
+	scores := make([]int, numItems)
 	score1 := func(scr *Scratch, b []uint8) int {
 		switch cfg.Kernel {
 		case KernelSSEARCH:
@@ -143,22 +210,30 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 			defer putScratch(scr)
 			for {
 				lo := int(next.Add(searchBatch)) - searchBatch
-				if lo >= len(seqs) {
+				if lo >= numItems {
 					return
 				}
-				hi := min(lo+searchBatch, len(seqs))
+				hi := min(lo+searchBatch, numItems)
 				for i := lo; i < hi; i++ {
-					scores[i] = score1(scr, seqs[i].Residues)
+					seqIdx := i
+					if cand != nil {
+						seqIdx = cand[i]
+					}
+					scores[i] = score1(scr, seqs[seqIdx].Residues)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	hits := make([]Hit, 0, len(seqs)/4+1)
+	hits := make([]Hit, 0, numItems/4+1)
 	for i, sc := range scores {
 		if sc >= minScore {
-			hits = append(hits, Hit{Index: i, Seq: seqs[i], Score: sc})
+			seqIdx := i
+			if cand != nil {
+				seqIdx = cand[i]
+			}
+			hits = append(hits, Hit{Index: seqIdx, Seq: seqs[seqIdx], Score: sc})
 		}
 	}
 	sort.Slice(hits, func(i, j int) bool {
@@ -171,4 +246,15 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 		hits = hits[:cfg.TopK]
 	}
 	return hits
+}
+
+// uniqInts deduplicates a sorted int slice in place.
+func uniqInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -2,6 +2,8 @@ package align
 
 import (
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/bio"
@@ -165,5 +167,114 @@ func TestSearchDBRandomized(t *testing.T) {
 				t.Fatalf("trial %d: hit %d differs", trial, i)
 			}
 		}
+	}
+}
+
+// KernelNames, the stringer, and the name lookup must stay in sync:
+// every kernel constant renders to a name the list contains and
+// KernelByName resolves, with no extras.
+func TestKernelNamesInSyncWithStringer(t *testing.T) {
+	kernels := []Kernel{KernelSSEARCH, KernelSW, KernelGotoh, KernelVMX128, KernelVMX256, KernelStriped}
+	names := KernelNames()
+	if len(names) != len(kernels) {
+		t.Fatalf("KernelNames lists %d names, %d kernel constants exist", len(names), len(kernels))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("KernelNames not sorted: %v", names)
+	}
+	listed := map[string]bool{}
+	for _, n := range names {
+		listed[n] = true
+	}
+	for _, k := range kernels {
+		n := k.String()
+		if strings.HasPrefix(n, "Kernel(") {
+			t.Errorf("kernel %d has no stringer name", int(k))
+		}
+		if !listed[n] {
+			t.Errorf("kernel %v missing from KernelNames %v", k, names)
+		}
+		got, err := KernelByName(n)
+		if err != nil || got != k {
+			t.Errorf("KernelByName(%q) = %v, %v; want %v", n, got, err, k)
+		}
+	}
+}
+
+// The unknown-kernel error must enumerate every valid name, so the
+// command line's -method help stays self-correcting.
+func TestKernelByNameErrorEnumeratesNames(t *testing.T) {
+	_, err := KernelByName("nope")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	for _, n := range KernelNames() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention kernel %q", err, n)
+		}
+	}
+}
+
+// fixedFilter is a CandidateFilter stub proposing a fixed index set,
+// deliberately unsorted and with duplicates: SearchDB must normalize.
+type fixedFilter struct {
+	proposed []int
+	gotMax   int
+}
+
+func (f *fixedFilter) Candidates(query []uint8, max int) []int {
+	f.gotMax = max
+	return f.proposed
+}
+
+// A filtered scan must equal the exhaustive scan restricted to the
+// candidate set: same scores, same order, candidates outside the set
+// never scored into the result.
+func TestSearchDBFilterRestrictsScan(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+	exhaustive := SearchDB(p, q.Residues, db, SearchConfig{Kernel: KernelSSEARCH})
+	byIndex := map[int]Hit{}
+	for _, h := range exhaustive {
+		byIndex[h.Index] = h
+	}
+
+	filter := &fixedFilter{proposed: []int{17, 3, 3, 0, 25, 17, 9}}
+	got := SearchDB(p, q.Residues, db, SearchConfig{
+		Kernel: KernelSSEARCH, Filter: filter, MaxCandidates: 7, Workers: 3,
+	})
+	if filter.gotMax != 7 {
+		t.Errorf("filter saw max=%d, want 7", filter.gotMax)
+	}
+	allowed := map[int]bool{17: true, 3: true, 0: true, 25: true, 9: true}
+	var want []Hit
+	for _, idx := range []int{0, 3, 9, 17, 25} {
+		if h, ok := byIndex[idx]; ok {
+			want = append(want, h)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Score != want[j].Score {
+			return want[i].Score > want[j].Score
+		}
+		return want[i].Index < want[j].Index
+	})
+	if len(got) != len(want) {
+		t.Fatalf("%d filtered hits, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !allowed[got[i].Index] {
+			t.Fatalf("hit %d is sequence %d, outside the candidate set", i, got[i].Index)
+		}
+		if got[i] != want[i] {
+			t.Fatalf("hit %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// An empty candidate set means no hits, not a fallback full scan.
+	if got := SearchDB(p, q.Residues, db, SearchConfig{
+		Kernel: KernelSSEARCH, Filter: &fixedFilter{},
+	}); got != nil {
+		t.Fatalf("empty candidate set produced %d hits", len(got))
 	}
 }

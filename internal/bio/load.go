@@ -1,0 +1,41 @@
+package bio
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadDatabase resolves the database argument the command-line tools
+// share: "synthetic:<n>" generates the deterministic synthetic
+// database (DefaultDBSpec with the given seed; related > 0 plants
+// that many mutated copies of relatedTo), anything else is read as a
+// FASTA file. seqalign and indexbuild must agree bit-for-bit on the
+// database an argument denotes — the seed index's fingerprint check
+// depends on it — which is why this logic lives here exactly once.
+func LoadDatabase(arg string, seed int64, related int, relatedTo *Sequence) (*Database, error) {
+	if rest, ok := strings.CutPrefix(arg, "synthetic:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("bad synthetic database size %q", rest)
+		}
+		spec := DefaultDBSpec(n)
+		spec.Seed = seed
+		if related > 0 {
+			spec.Related = related
+			spec.RelatedTo = relatedTo
+		}
+		return SyntheticDB(spec), nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seqs, err := ReadFASTA(f)
+	if err != nil {
+		return nil, err
+	}
+	return NewDatabase(seqs), nil
+}

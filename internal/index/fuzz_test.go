@@ -1,0 +1,94 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// FuzzReadIndex feeds arbitrary bytes to the deserializer: it must
+// never panic, and anything it does accept must be byte-stable across
+// a re-serialize/re-read cycle. The corpus seeds the interesting
+// failure families explicitly — valid file, truncations, bad magic,
+// bad version, implausible header — so they are exercised on every
+// plain `go test` run, not only under -fuzz.
+func FuzzReadIndex(f *testing.F) {
+	spec := bio.DefaultDBSpec(8)
+	db := bio.SyntheticDB(spec)
+	var valid bytes.Buffer
+	if err := WriteIndex(&valid, Build(db, Options{K: 3, MaxPostings: 4})); err != nil {
+		f.Fatal(err)
+	}
+	data := valid.Bytes()
+
+	f.Add(data)
+	f.Add(data[:0])                                // empty
+	f.Add(data[:indexHeaderSize-2])                // truncated header
+	f.Add(data[:indexHeaderSize+9])                // truncated entry table
+	f.Add(data[:len(data)-3])                      // truncated postings
+	f.Add(append([]byte("NOTIDX01"), data[8:]...)) // bad magic
+	f.Add(append([]byte("SEQIDX99"), data[8:]...)) // bad version
+	big := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(big[32:], 1<<50) // implausible entry count
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ix, err := ReadIndex(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteIndex(&out, ix); err != nil {
+			t.Fatalf("accepted index failed to serialize: %v", err)
+		}
+		again, err := ReadIndex(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("accepted index failed to re-read: %v", err)
+		}
+		var final bytes.Buffer
+		if err := WriteIndex(&final, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), final.Bytes()) {
+			t.Fatal("serialization not byte-stable for accepted input")
+		}
+	})
+}
+
+// FuzzPackKmer asserts the packing properties on arbitrary residue
+// windows: accepted windows round-trip through UnpackKmer exactly and
+// pack below maxKey; windows touching non-standard residues are
+// rejected.
+func FuzzPackKmer(f *testing.F) {
+	f.Add([]byte("ARNDCQEGHILKMFPSTWYV"), 0, 5)
+	f.Add([]byte("AAAAAAAAAAAAA"), 0, 13)
+	f.Add([]byte("ARXDC"), 0, 5)
+	f.Add([]byte{}, 0, 2)
+	f.Fuzz(func(t *testing.T, ascii []byte, pos, k int) {
+		seq := bio.Encode(string(ascii))
+		key, ok := PackKmer(seq, pos, k)
+		clean := pos >= 0 && k >= MinK && k <= MaxK && pos <= len(seq)-k
+		if clean {
+			for i := pos; i < pos+k; i++ {
+				if seq[i] >= bio.NumStandard {
+					clean = false
+					break
+				}
+			}
+		}
+		if ok != clean {
+			t.Fatalf("PackKmer(%v, %d, %d) ok=%v, want %v", seq, pos, k, ok, clean)
+		}
+		if !ok {
+			return
+		}
+		if key >= maxKey(k) {
+			t.Fatalf("key %d >= maxKey(%d)=%d", key, k, maxKey(k))
+		}
+		if got := UnpackKmer(key, k); !bytes.Equal(got, seq[pos:pos+k]) {
+			t.Fatalf("unpack(pack) = %v, want %v", got, seq[pos:pos+k])
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+)
+
+// familyDB builds the homolog-rich benchmark shape: a synthetic
+// database with planted mutated copies of a query, the setting in
+// which recall of a seed-and-extend heuristic is meaningful (the
+// paper's heuristics are judged on finding true relatives, not on
+// reproducing the ranking of random noise).
+func familyDB(t testing.TB, n, related int, seed int64) (*bio.Database, *bio.Sequence) {
+	t.Helper()
+	query := bio.RandomSequence(fmt.Sprintf("Q%d", seed), 320, seed*1000+17)
+	spec := bio.DefaultDBSpec(n)
+	spec.Seed = seed
+	spec.Related = related
+	spec.RelatedTo = query
+	return bio.SyntheticDB(spec), query
+}
+
+// The exactness contract: with MaxCandidates = NumSeqs and no seed
+// capping, the indexed search must return exactly the exact scan's
+// top-K — same indexes, same scores, same order, bit for bit.
+func TestIndexedEqualsExactWhenUnconstrained(t *testing.T) {
+	p := align.PaperParams()
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		db, query := familyDB(t, 40, 6, seed)
+		ix := Build(db, Options{MaxPostings: -1})
+		s := NewSearcher(ix, db, p, SearchOptions{})
+
+		exact := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+			Kernel: align.KernelSSEARCH, TopK: 10,
+		})
+		indexed := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+			Kernel: align.KernelSSEARCH, TopK: 10,
+			Filter: s, MaxCandidates: db.NumSeqs(),
+		})
+		if len(exact) != len(indexed) {
+			t.Fatalf("seed %d: %d indexed hits, want %d", seed, len(indexed), len(exact))
+		}
+		for i := range exact {
+			if exact[i] != indexed[i] {
+				t.Fatalf("seed %d: hit %d = %+v, want %+v", seed, i, indexed[i], exact[i])
+			}
+		}
+	}
+}
+
+// At default settings on homolog-rich databases, indexed top-10 must
+// recover at least 95% of the exact scan's top-10 across randomized
+// instances.
+func TestIndexedRecallAt10(t *testing.T) {
+	p := align.PaperParams()
+	found, total := 0, 0
+	for _, seed := range []int64{10, 20, 30, 40, 50} {
+		db, query := familyDB(t, 120, 15, seed)
+		ix := Build(db, Options{})
+		s := NewSearcher(ix, db, p, SearchOptions{})
+
+		exact := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+			Kernel: align.KernelSSEARCH, TopK: 10,
+		})
+		indexed := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+			Kernel: align.KernelSSEARCH, TopK: 10, Filter: s,
+		})
+		got := map[int]bool{}
+		for _, h := range indexed {
+			got[h.Index] = true
+		}
+		for _, h := range exact {
+			total++
+			if got[h.Index] {
+				found++
+			}
+		}
+	}
+	recall := float64(found) / float64(total)
+	t.Logf("recall@10 over randomized family databases: %d/%d = %.3f", found, total, recall)
+	if recall < 0.95 {
+		t.Fatalf("recall@10 = %.3f, want >= 0.95", recall)
+	}
+}
+
+// The indexed pipeline inherits SearchDB's determinism contract:
+// bit-identical hits at every worker count.
+func TestIndexedWorkerCountInvariance(t *testing.T) {
+	p := align.PaperParams()
+	db, query := familyDB(t, 80, 10, 77)
+	ix := Build(db, Options{})
+
+	var ref []align.Hit
+	for _, workers := range []int{1, 2, 4, 8} {
+		// A fresh Searcher per worker count: determinism must not
+		// depend on shared-buffer warmup either.
+		s := NewSearcher(ix, db, p, SearchOptions{})
+		got := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+			Kernel: align.KernelVMX128, TopK: 10, Workers: workers, Filter: s,
+		})
+		if ref == nil {
+			ref = got
+			if len(ref) == 0 {
+				t.Fatal("indexed search found nothing on a family database")
+			}
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d hits, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: hit %d = %+v, want %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Candidates must degrade to the full database for queries shorter
+// than k, and to nothing (not everything) when no k-mer matches.
+func TestCandidatesDegenerateInputs(t *testing.T) {
+	p := align.PaperParams()
+	db, _ := familyDB(t, 20, 3, 5)
+	ix := Build(db, Options{})
+	s := NewSearcher(ix, db, p, SearchOptions{})
+
+	short := bio.Encode("ARN") // shorter than DefaultK
+	if got := s.Candidates(short, 4); len(got) != db.NumSeqs() {
+		t.Errorf("short query proposed %d candidates, want all %d", len(got), db.NumSeqs())
+	}
+	if got := s.Candidates(nil, 4); len(got) != db.NumSeqs() {
+		t.Errorf("empty query proposed %d candidates, want all %d", len(got), db.NumSeqs())
+	}
+	if got := s.Candidates(short, db.NumSeqs()); len(got) != db.NumSeqs() {
+		t.Errorf("max=NumSeqs proposed %d candidates, want all %d", len(got), db.NumSeqs())
+	}
+}
+
+// The Search convenience wrapper must equal driving SearchDB with the
+// Searcher as filter by hand.
+func TestSearcherSearchWrapper(t *testing.T) {
+	p := align.PaperParams()
+	db, query := familyDB(t, 60, 8, 13)
+	ix := Build(db, Options{})
+	cfg := align.SearchConfig{Kernel: align.KernelStriped, TopK: 5}
+
+	byHand := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+		Kernel: cfg.Kernel, TopK: cfg.TopK, Filter: NewSearcher(ix, db, p, SearchOptions{}),
+	})
+	wrapped := NewSearcher(ix, db, p, SearchOptions{}).Search(query.Residues, cfg)
+	if len(byHand) != len(wrapped) {
+		t.Fatalf("%d wrapped hits, want %d", len(wrapped), len(byHand))
+	}
+	for i := range byHand {
+		if byHand[i] != wrapped[i] {
+			t.Fatalf("hit %d = %+v, want %+v", i, wrapped[i], byHand[i])
+		}
+	}
+}
+
+func TestNewSearcherRejectsMismatchedDB(t *testing.T) {
+	db, _ := familyDB(t, 10, 2, 3)
+	other, _ := familyDB(t, 11, 2, 4)
+	ix := Build(db, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSearcher accepted an index built for another database")
+		}
+	}()
+	NewSearcher(ix, other, align.PaperParams(), SearchOptions{})
+}

@@ -1,0 +1,210 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary index format, mirroring internal/trace's file discipline: a
+// fixed header (magic, version, geometry), then the entry table in
+// canonical key order, then the postings array. Everything is
+// little-endian. The probe table is not stored — rebuilding it from
+// the canonical entry order is deterministic and cheaper than the
+// bytes.
+//
+//	header (48 bytes):
+//	  [0:6)   magic "SEQIDX"
+//	  [6:8)   version "01"
+//	  [8:10)  k (uint16)
+//	  [10:12) reserved, zero
+//	  [12:16) maxPostings cap (int32; -1 = uncapped)
+//	  [16:24) numTargets (uint64)
+//	  [24:32) totalResidues (uint64)
+//	  [32:40) numEntries (uint64)
+//	  [40:48) numPostings (uint64)
+//	entries: numEntries x 16 bytes (key uint64, raw uint32, stored uint32)
+//	postings: numPostings x 8 bytes (target uint32, pos uint32)
+var (
+	indexMagic   = [6]byte{'S', 'E', 'Q', 'I', 'D', 'X'}
+	indexVersion = [2]byte{'0', '1'}
+)
+
+const (
+	indexHeaderSize = 48
+	entryRecordSize = 16
+	postingRecord   = 8
+	// Plausibility bounds on header counts. Entries must stay below
+	// 2^31 because the probe table encodes entry indexes as int32;
+	// anything above either bound is corruption, not an index (2^31
+	// distinct k-mers exceeds the whole k<=7 key space, and 2^38
+	// postings is a 2 TiB postings array).
+	maxIndexEntries  = 1<<31 - 1
+	maxIndexPostings = 1 << 38
+)
+
+// Sentinel errors for the file-format failure modes, matching
+// internal/trace's taxonomy so callers can tell garbage, old-version
+// files, short files, and internally inconsistent files apart.
+var (
+	ErrBadMagic    = errors.New("index: not a seed-index file (bad magic)")
+	ErrBadVersion  = errors.New("index: unsupported seed-index version")
+	ErrTruncated   = errors.New("index: truncated seed-index file")
+	ErrImplausible = errors.New("index: implausible seed-index header")
+	ErrCorrupt     = errors.New("index: corrupt seed-index file")
+)
+
+// WriteIndex writes ix in the binary index format.
+func WriteIndex(w io.Writer, ix *Index) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [indexHeaderSize]byte
+	copy(hdr[0:6], indexMagic[:])
+	copy(hdr[6:8], indexVersion[:])
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(ix.k))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(int32(ix.maxPostings)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(ix.numTargets))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(ix.totalRes))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(ix.keys)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(ix.postings)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("index: writing header: %w", err)
+	}
+	var rec [entryRecordSize]byte
+	for e, key := range ix.keys {
+		binary.LittleEndian.PutUint64(rec[0:], key)
+		binary.LittleEndian.PutUint32(rec[8:], ix.raw[e])
+		binary.LittleEndian.PutUint32(rec[12:], uint32(ix.offs[e+1]-ix.offs[e]))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("index: writing entry %d: %w", e, err)
+		}
+	}
+	var prec [postingRecord]byte
+	for i, p := range ix.postings {
+		binary.LittleEndian.PutUint32(prec[0:], uint32(p.Target))
+		binary.LittleEndian.PutUint32(prec[4:], uint32(p.Pos))
+		if _, err := bw.Write(prec[:]); err != nil {
+			return fmt.Errorf("index: writing posting %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIndex reads a binary seed index and rebuilds its probe table.
+// The header's counts are not trusted: short files surface
+// ErrTruncated, and internal inconsistencies (non-canonical key
+// order, out-of-range postings, count mismatches) surface ErrCorrupt
+// rather than a quietly wrong index.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [indexHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: file shorter than the %d-byte header", ErrTruncated, indexHeaderSize)
+		}
+		return nil, fmt.Errorf("index: reading header: %w", err)
+	}
+	if !bytes.Equal(hdr[0:6], indexMagic[:]) {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, hdr[:8])
+	}
+	if !bytes.Equal(hdr[6:8], indexVersion[:]) {
+		return nil, fmt.Errorf("%w %q (want %q)", ErrBadVersion, hdr[6:8], indexVersion[:])
+	}
+	k := int(binary.LittleEndian.Uint16(hdr[8:]))
+	cap32 := int32(binary.LittleEndian.Uint32(hdr[12:]))
+	numTargets := binary.LittleEndian.Uint64(hdr[16:])
+	totalRes := binary.LittleEndian.Uint64(hdr[24:])
+	numEntries := binary.LittleEndian.Uint64(hdr[32:])
+	numPostings := binary.LittleEndian.Uint64(hdr[40:])
+	switch {
+	case k < MinK || k > MaxK:
+		return nil, fmt.Errorf("%w: k=%d outside [%d, %d]", ErrImplausible, k, MinK, MaxK)
+	case numEntries > maxIndexEntries:
+		return nil, fmt.Errorf("%w: %d entries", ErrImplausible, numEntries)
+	case numPostings > maxIndexPostings:
+		return nil, fmt.Errorf("%w: %d postings", ErrImplausible, numPostings)
+	case numTargets > 1<<31 || totalRes > 1<<40:
+		return nil, fmt.Errorf("%w: %d targets / %d residues", ErrImplausible, numTargets, totalRes)
+	case numEntries > maxKey(k):
+		return nil, fmt.Errorf("%w: %d entries exceed the %d possible %d-mers", ErrImplausible, numEntries, maxKey(k), k)
+	}
+
+	ix := &Index{
+		k:           k,
+		maxPostings: int(cap32),
+		numTargets:  int(numTargets),
+		totalRes:    int(totalRes),
+	}
+	// The counts size the allocations but are clamped first, so a
+	// corrupt header cannot demand terabytes before the truncation
+	// check ever sees a record.
+	ix.keys = make([]uint64, 0, clampHint(numEntries))
+	ix.raw = make([]uint32, 0, clampHint(numEntries))
+	ix.offs = make([]int64, 1, clampHint(numEntries)+1)
+	ix.postings = make([]Posting, 0, clampHint(numPostings))
+
+	var rec [entryRecordSize]byte
+	var off int64
+	keyLimit := maxKey(k)
+	for e := uint64(0); e < numEntries; e++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: file ends after %d of %d entries", ErrTruncated, e, numEntries)
+			}
+			return nil, fmt.Errorf("index: reading entry %d: %w", e, err)
+		}
+		key := binary.LittleEndian.Uint64(rec[0:])
+		raw := binary.LittleEndian.Uint32(rec[8:])
+		stored := binary.LittleEndian.Uint32(rec[12:])
+		if key >= keyLimit {
+			return nil, fmt.Errorf("%w: entry %d key %d is not a packed %d-mer", ErrCorrupt, e, key, k)
+		}
+		if e > 0 && key <= ix.keys[e-1] {
+			return nil, fmt.Errorf("%w: entry %d key %d out of canonical order", ErrCorrupt, e, key)
+		}
+		if stored > raw {
+			return nil, fmt.Errorf("%w: entry %d stores %d of %d postings", ErrCorrupt, e, stored, raw)
+		}
+		off += int64(stored)
+		if uint64(off) > numPostings {
+			return nil, fmt.Errorf("%w: entry counts overrun the %d postings promised", ErrCorrupt, numPostings)
+		}
+		ix.keys = append(ix.keys, key)
+		ix.raw = append(ix.raw, raw)
+		ix.offs = append(ix.offs, off)
+	}
+	if uint64(off) != numPostings {
+		return nil, fmt.Errorf("%w: entry counts sum to %d postings, header promises %d", ErrCorrupt, off, numPostings)
+	}
+	var prec [postingRecord]byte
+	for i := uint64(0); i < numPostings; i++ {
+		if _, err := io.ReadFull(br, prec[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: file ends after %d of %d postings", ErrTruncated, i, numPostings)
+			}
+			return nil, fmt.Errorf("index: reading posting %d: %w", i, err)
+		}
+		target := int32(binary.LittleEndian.Uint32(prec[0:]))
+		pos := int32(binary.LittleEndian.Uint32(prec[4:]))
+		if target < 0 || uint64(target) >= numTargets {
+			return nil, fmt.Errorf("%w: posting %d targets sequence %d of %d", ErrCorrupt, i, target, numTargets)
+		}
+		if pos < 0 || uint64(pos) > totalRes {
+			return nil, fmt.Errorf("%w: posting %d at offset %d", ErrCorrupt, i, pos)
+		}
+		ix.postings = append(ix.postings, Posting{Target: target, Pos: pos})
+	}
+	ix.buildTable()
+	return ix, nil
+}
+
+// clampHint bounds an untrusted header count used as an allocation
+// size hint.
+func clampHint(n uint64) int {
+	if n > 1<<20 {
+		return 1 << 20
+	}
+	return int(n)
+}

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func serialized(t testing.TB, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A write/read round trip must preserve the index exactly: same
+// stats, same serialized bytes, same lookups.
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		db := testDB(t, 25, seed)
+		ix := Build(db, Options{K: 4, MaxPostings: 16})
+		data := serialized(t, ix)
+
+		got, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Stats(), ix.Stats()) {
+			t.Fatalf("seed %d: stats changed across round trip:\n%+v\n%+v", seed, got.Stats(), ix.Stats())
+		}
+		if err := got.Validate(db); err != nil {
+			t.Fatalf("seed %d: loaded index rejects its database: %v", seed, err)
+		}
+		if !bytes.Equal(serialized(t, got), data) {
+			t.Fatalf("seed %d: re-serialized bytes differ", seed)
+		}
+		for _, s := range db.Seqs[:5] {
+			for i := 0; i+4 <= len(s.Residues); i++ {
+				key, ok := PackKmer(s.Residues, i, 4)
+				if !ok {
+					continue
+				}
+				a, b := ix.Lookup(key), got.Lookup(key)
+				if len(a) != len(b) {
+					t.Fatalf("seed %d key %d: %d vs %d postings", seed, key, len(a), len(b))
+				}
+			}
+		}
+	}
+}
+
+func TestReadIndexTruncated(t *testing.T) {
+	db := testDB(t, 12, 9)
+	data := serialized(t, Build(db, Options{}))
+	// Cut inside the header, at the header boundary, inside the entry
+	// table, and inside the postings array.
+	for _, cut := range []int{0, 3, indexHeaderSize - 1, indexHeaderSize,
+		indexHeaderSize + 5, len(data) - 1, len(data) - postingRecord - 3} {
+		_, err := ReadIndex(bytes.NewReader(data[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d of %d: err = %v, want ErrTruncated", cut, len(data), err)
+		}
+	}
+	if _, err := ReadIndex(bytes.NewReader(data)); err != nil {
+		t.Fatalf("uncut file failed: %v", err)
+	}
+}
+
+func TestReadIndexBadMagic(t *testing.T) {
+	db := testDB(t, 5, 9)
+	data := serialized(t, Build(db, Options{}))
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadIndex(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadIndexBadVersion(t *testing.T) {
+	db := testDB(t, 5, 9)
+	data := serialized(t, Build(db, Options{}))
+	bad := append([]byte(nil), data...)
+	bad[6], bad[7] = '9', '9'
+	if _, err := ReadIndex(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadIndexImplausibleHeader(t *testing.T) {
+	db := testDB(t, 5, 9)
+	data := serialized(t, Build(db, Options{}))
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), data...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"k too large": mutate(func(b []byte) { binary.LittleEndian.PutUint16(b[8:], 200) }),
+		"k zero":      mutate(func(b []byte) { binary.LittleEndian.PutUint16(b[8:], 0) }),
+		"entry count": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[32:], 1<<40+1) }),
+		"postings":    mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[40:], 1<<40+1) }),
+		"targets":     mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<40) }),
+	}
+	for name, b := range cases {
+		if _, err := ReadIndex(bytes.NewReader(b)); !errors.Is(err, ErrImplausible) {
+			t.Errorf("%s: err = %v, want ErrImplausible", name, err)
+		}
+	}
+}
+
+func TestReadIndexCorrupt(t *testing.T) {
+	db := testDB(t, 12, 9)
+	data := serialized(t, Build(db, Options{K: 4}))
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), data...)
+		f(b)
+		return b
+	}
+	entry := func(b []byte, e int) []byte {
+		return b[indexHeaderSize+e*entryRecordSize:]
+	}
+	numEntries := int(binary.LittleEndian.Uint64(data[32:]))
+	if numEntries < 2 {
+		t.Fatal("test database indexed fewer than 2 distinct k-mers")
+	}
+	postingsOff := indexHeaderSize + numEntries*entryRecordSize
+	cases := map[string][]byte{
+		// Second entry's key rewritten below the first: canonical
+		// order violated.
+		"key order": mutate(func(b []byte) { binary.LittleEndian.PutUint64(entry(b, 1), 0) }),
+		// Key outside the packed range for k=4.
+		"key range": mutate(func(b []byte) { binary.LittleEndian.PutUint64(entry(b, 1), maxKey(4)+7) }),
+		// Entry claims more stored postings than raw occurrences.
+		"stored>raw": mutate(func(b []byte) {
+			raw := binary.LittleEndian.Uint32(entry(b, 0)[8:])
+			binary.LittleEndian.PutUint32(entry(b, 0)[12:], raw+1)
+		}),
+		// Posting targets a sequence past the database.
+		"target range": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[postingsOff:], 1<<30)
+		}),
+	}
+	for name, b := range cases {
+		if _, err := ReadIndex(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// Randomized round-trip property over varying shapes, mirroring the
+// trace package's serialization property test.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		db := testDB(t, 1+rng.Intn(30), rng.Int63())
+		opts := Options{
+			K:           MinK + rng.Intn(5),
+			MaxPostings: []int{-1, 0, 4, 64}[rng.Intn(4)],
+			Workers:     1 + rng.Intn(4),
+		}
+		ix := Build(db, opts)
+		data := serialized(t, ix)
+		got, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, opts, err)
+		}
+		if !bytes.Equal(serialized(t, got), data) {
+			t.Fatalf("trial %d (%+v): round trip not byte-stable", trial, opts)
+		}
+	}
+}
