@@ -219,6 +219,21 @@ func BenchmarkKernelVMX256(b *testing.B) {
 	reportCellRate(b, cells)
 }
 
+func BenchmarkKernelSWAR(b *testing.B) {
+	p := align.PaperParams()
+	q := bio.GlutathioneQuery()
+	subject := bio.RandomSequence("S", 360, 99).Residues
+	sp := align.NewSWARProfile(q.Residues, p)
+	cells := float64(q.Len() * len(subject))
+	scr := align.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scr.SWScoreSWAR(sp, subject)
+	}
+	reportCellRate(b, cells)
+}
+
 func BenchmarkKernelStriped(b *testing.B) {
 	p := align.PaperParams()
 	q := bio.GlutathioneQuery()

@@ -8,7 +8,12 @@
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_3.json]
+//	benchsnap [-o BENCH_4.json] [-min-swar-speedup 1.0]
+//
+// The snapshot carries a swar_vs_sw_speedup field (the SWAR kernel's
+// Mcells/s over the scalar reference's); -min-swar-speedup makes the
+// run fail when the ratio drops below the bound, which is how CI keeps
+// the multi-lane kernel from regressing below scalar.
 package main
 
 import (
@@ -72,6 +77,7 @@ type Snapshot struct {
 	Query         string          `json:"query"`
 	QueryLen      int             `json:"query_len"`
 	SubjectLen    int             `json:"subject_len"`
+	SwarVsSw      float64         `json:"swar_vs_sw_speedup"`
 	Kernels       []KernelResult  `json:"kernels"`
 	Scan          []KernelResult  `json:"scan"`
 	Sweep         []SweepResult   `json:"sweep"`
@@ -79,7 +85,9 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output file")
+	out := flag.String("o", "BENCH_4.json", "output file")
+	minSwar := flag.Float64("min-swar-speedup", 0,
+		"fail unless the swar kernel is at least this many times faster than scalar sw (0 disables)")
 	flag.Parse()
 
 	p := align.PaperParams()
@@ -87,6 +95,7 @@ func main() {
 	subject := bio.RandomSequence("S", 360, 99).Residues
 	prof := align.NewProfile(q.Residues, p)
 	sp := align.NewStripedProfile(q.Residues, p, simd.Lanes128)
+	swp := align.NewSWARProfile(q.Residues, p)
 	cells := float64(q.Len() * len(subject))
 
 	mark := func(name string, cells float64, f func(*align.Scratch)) KernelResult {
@@ -124,7 +133,18 @@ func main() {
 		mark("vmx128", cells, func(s *align.Scratch) { s.SWScoreVMX128(prof, subject) }),
 		mark("vmx256", cells, func(s *align.Scratch) { s.SWScoreVMX256(prof, subject) }),
 		mark("striped", cells, func(s *align.Scratch) { s.SWScoreStriped(sp, subject) }),
+		mark("swar", cells, func(s *align.Scratch) { s.SWScoreSWAR(swp, subject) }),
 	)
+	var swRate, swarRate float64
+	for _, k := range snap.Kernels {
+		switch k.Name {
+		case "sw":
+			swRate = k.McellsPerS
+		case "swar":
+			swarRate = k.McellsPerS
+		}
+	}
+	snap.SwarVsSw = swarRate / swRate
 
 	spec := bio.DefaultDBSpec(100)
 	spec.Related = 5
@@ -137,6 +157,11 @@ func main() {
 			mark(fmt.Sprintf("searchdb-ssearch-w%d", w), scanCells, func(*align.Scratch) {
 				align.SearchDB(p, q.Residues, db, align.SearchConfig{
 					Kernel: align.KernelSSEARCH, Workers: w, TopK: 20,
+				})
+			}),
+			mark(fmt.Sprintf("searchdb-swar-w%d", w), scanCells, func(*align.Scratch) {
+				align.SearchDB(p, q.Residues, db, align.SearchConfig{
+					Kernel: align.KernelSWAR, Workers: w, TopK: 20,
 				})
 			}))
 		if runtime.GOMAXPROCS(0) == 1 {
@@ -254,8 +279,11 @@ func main() {
 		fatal(err)
 	}
 	ir := snap.IndexedSearch[0]
-	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; indexed search %.1fx at recall@10 %.2f)\n",
-		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), ir.Speedup, ir.RecallAt10)
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f)\n",
+		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), snap.SwarVsSw, ir.Speedup, ir.RecallAt10)
+	if *minSwar > 0 && snap.SwarVsSw < *minSwar {
+		fatal(fmt.Errorf("swar kernel is %.2fx scalar sw, below the required %.2fx", snap.SwarVsSw, *minSwar))
+	}
 }
 
 func fatal(err error) {

@@ -1,7 +1,7 @@
 // Command seqalign searches a protein database with a query sequence
-// using any of the paper's five methods (or the reference
-// Smith-Waterman), in the spirit of the ssearch/blastp command lines
-// of Table I.
+// using any of the paper's five methods, the reference Smith-Waterman,
+// or the SWAR multi-lane kernel, in the spirit of the ssearch/blastp
+// command lines of Table I.
 //
 // Usage:
 //
@@ -26,10 +26,11 @@ import (
 
 func main() {
 	var (
-		queryArg  = flag.String("query", "P14942", "query: FASTA file path or a Table II accession")
-		dbArg     = flag.String("db", "synthetic:100", "database: FASTA file path or synthetic:<n>")
-		dbSeed    = flag.Int64("seed", 20061001, "synthetic database generator seed (must match the one the index was built with)")
-		method    = flag.String("method", "ssearch", "ssearch | vmx128 | vmx256 | striped | gotoh | sw | blast | fasta")
+		queryArg = flag.String("query", "P14942", "query: FASTA file path or a Table II accession")
+		dbArg    = flag.String("db", "synthetic:100", "database: FASTA file path or synthetic:<n>")
+		dbSeed   = flag.Int64("seed", 20061001, "synthetic database generator seed (must match the one the index was built with)")
+		method   = flag.String("method", "ssearch",
+			strings.Join(align.KernelNames(), " | ")+" | blast | fasta")
 		matrix    = flag.String("s", "BL62", "substitution matrix (BL62, BL50)")
 		gapOpen   = flag.Int("gopen", 10, "gap open penalty")
 		gapExt    = flag.Int("gext", 1, "gap extension penalty")

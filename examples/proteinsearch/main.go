@@ -41,8 +41,19 @@ func main() {
 	})
 	swTime := time.Since(start)
 
-	// Seed-and-extend: the k-mer index proposes candidates, the same
-	// exact kernel rescores only those. Index construction is paid
+	// The same rigorous scan on the SWAR multi-lane kernel: identical
+	// hits (the kernels agree score-for-score), several times the
+	// cell rate.
+	start = time.Now()
+	swarHits := align.SearchDB(params, query.Residues, db, align.SearchConfig{
+		Kernel:   align.KernelSWAR,
+		MinScore: 70,
+	})
+	swarTime := time.Since(start)
+
+	// Seed-and-extend: the k-mer index proposes candidates and the
+	// SWAR kernel rescores only those — the fastest exact kernel
+	// behind the cheapest candidate filter. Index construction is paid
 	// once per database, so it is timed separately from the query.
 	buildStart := time.Now()
 	ix := index.Build(db, index.Options{})
@@ -50,7 +61,7 @@ func main() {
 	searcher := index.NewSearcher(ix, db, params, index.SearchOptions{})
 	start = time.Now()
 	idxHits := searcher.Search(query.Residues, align.SearchConfig{
-		Kernel:   align.KernelSSEARCH,
+		Kernel:   align.KernelSWAR,
 		MinScore: 70,
 	})
 	idxTime := time.Since(start)
@@ -72,9 +83,12 @@ func main() {
 		}
 		return n
 	}
-	var swSeqs, ixSeqs, blSeqs, faSeqs []*bio.Sequence
+	var swSeqs, swarSeqs, ixSeqs, blSeqs, faSeqs []*bio.Sequence
 	for _, h := range swHits {
 		swSeqs = append(swSeqs, h.Seq)
+	}
+	for _, h := range swarHits {
+		swarSeqs = append(swarSeqs, h.Seq)
 	}
 	for _, h := range idxHits {
 		ixSeqs = append(ixSeqs, h.Seq)
@@ -90,6 +104,7 @@ func main() {
 
 	fmt.Printf("%-10s %10s %12s %16s\n", "method", "time", "hits>=70", "homologs found")
 	fmt.Printf("%-10s %10v %12d %13d/20\n", "ssearch", swTime.Round(time.Millisecond), len(swSeqs), found(isHomolog, swSeqs))
+	fmt.Printf("%-10s %10v %12d %13d/20\n", "swar", swarTime.Round(time.Millisecond), len(swarSeqs), found(isHomolog, swarSeqs))
 	fmt.Printf("%-10s %10v %12d %13d/20\n", "indexed", idxTime.Round(time.Millisecond), len(ixSeqs), found(isHomolog, ixSeqs))
 	fmt.Printf("%-10s %10v %12d %13d/20\n", "blast", blastTime.Round(time.Millisecond), len(blSeqs), found(isHomolog, blSeqs))
 	fmt.Printf("%-10s %10v %12d %13d/20\n", "fasta", fastaTime.Round(time.Millisecond), len(faSeqs), found(isHomolog, faSeqs))

@@ -41,16 +41,26 @@ type Profile struct {
 
 // NewProfile builds the score profile of query under params.
 func NewProfile(query []uint8, p Params) *Profile {
-	prof := &Profile{Query: query, Gaps: p.Gaps}
+	prof := &Profile{}
+	prof.Fill(query, p)
+	return prof
+}
+
+// Fill rebuilds the profile in place for a new query, reusing the row
+// buffers. A query-serving loop that holds one Profile per goroutine
+// pays zero steady-state allocations for profile construction
+// (index.Searcher does exactly that for its banded extensions).
+func (prof *Profile) Fill(query []uint8, p Params) {
+	prof.Query = query
+	prof.Gaps = p.Gaps
 	for c := 0; c < bio.AlphabetSize; c++ {
-		row := make([]int16, len(query))
+		row := grow(prof.Rows[c], len(query))
 		mrow := p.Matrix.Row(uint8(c))
 		for j, q := range query {
 			row[j] = int16(mrow[q])
 		}
 		prof.Rows[c] = row
 	}
-	return prof
 }
 
 // Op is one run of edit operations in an alignment traceback.

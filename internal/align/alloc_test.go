@@ -22,6 +22,23 @@ func allocInput() (*Profile, *StripedProfile, []uint8, []uint8, Params) {
 		q.Residues, subject.Residues, p
 }
 
+// The SWAR ladder: steady-state scoring must not allocate on the fast
+// 8-bit rung, nor on targets that promote to the 16-bit rung (both
+// rungs share the grown word rows).
+func TestScratchSWARKernelAllocationFree(t *testing.T) {
+	_, _, query, subject, p := allocInput()
+	sp := NewSWARProfile(query, p)
+	scr := NewScratch()
+	assertZeroAllocs(t, "Scratch.SWScoreSWAR", func() { scr.SWScoreSWAR(sp, subject) })
+
+	// A self-alignment of the query saturates 8-bit lanes and runs the
+	// 16-bit pass as well.
+	if _, ok := scr.swarScore8(sp, query); ok {
+		t.Fatal("query self-alignment did not exercise the promotion path")
+	}
+	assertZeroAllocs(t, "Scratch.SWScoreSWAR-promoted", func() { scr.SWScoreSWAR(sp, query) })
+}
+
 func assertZeroAllocs(t *testing.T, name string, f func()) {
 	t.Helper()
 	f() // grow the scratch buffers before measuring
@@ -77,12 +94,14 @@ func TestPooledOneShotWrappersNearZeroAllocs(t *testing.T) {
 		t.Skip("sync.Pool drops objects under the race detector; pooling is asserted in normal builds")
 	}
 	prof, sp, query, subject, p := allocInput()
+	swp := NewSWARProfile(query, p)
 	for name, f := range map[string]func(){
 		"SWScore":        func() { SWScore(p, query, subject) },
 		"SSEARCHScore":   func() { SSEARCHScore(prof, subject) },
 		"GotohScore":     func() { GotohScore(prof, subject) },
 		"SWScoreVMX128":  func() { SWScoreVMX128(prof, subject) },
 		"SWScoreStriped": func() { SWScoreStriped(sp, subject) },
+		"SWScoreSWAR":    func() { SWScoreSWAR(swp, subject) },
 	} {
 		f()
 		if avg := testing.AllocsPerRun(50, f); avg > 0.5 {

@@ -87,3 +87,98 @@ func (s *Scratch) BandedSWScore(p Params, a, b []uint8, center, halfWidth int) i
 	}
 	return best
 }
+
+// BandedSWScoreProfile is BandedSWScore driven by a query profile: the
+// same cell set (|(j - i) - center| <= halfWidth with i indexing the
+// profile's query and j indexing b) evaluated in subject-major order,
+// so each subject residue costs one profile-row pointer instead of a
+// per-cell matrix gather, and the DP state is sized and initialized to
+// the band's query window rather than the whole subject. A searcher
+// extending many candidates against one query builds the profile once
+// and pays neither per-target matrix lookups nor per-target
+// whole-row initialization — see index.Searcher.
+//
+// The traversal transposes the loop nest but computes the identical
+// recurrence over the identical cells, so the score is bit-identical
+// to BandedSWScore (banded_test.go asserts it over randomized bands).
+func (s *Scratch) BandedSWScoreProfile(prof *Profile, b []uint8, center, halfWidth int) int {
+	m, n := len(prof.Query), len(b)
+	if m == 0 || n == 0 || halfWidth < 0 {
+		return 0
+	}
+	first := prof.Gaps.First()
+	ext := prof.Gaps.Extend
+
+	// The union of the per-subject-row query windows, extended one
+	// cell left so the first row's diagonal input reads an initialized
+	// H (it is an H[-1][*] cell, value 0).
+	qlo := -center - halfWidth
+	qhi := (n - 1) - center + halfWidth + 1
+	if qlo < 1 {
+		qlo = 1
+	}
+	if qhi > m {
+		qhi = m
+	}
+	s.hrow = grow(s.hrow, m)
+	s.frow = grow(s.frow, m)
+	hrow, frow := s.hrow, s.frow
+	for q := qlo - 1; q < qhi; q++ {
+		hrow[q] = 0
+		frow[q] = minInf
+	}
+	best := 0
+	for t := 0; t < n; t++ {
+		lo := t - center - halfWidth
+		hi := t - center + halfWidth + 1 // exclusive
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > m {
+			hi = m
+		}
+		if lo >= m {
+			// lo is nondecreasing in t: once the band leaves the right
+			// edge of the query it never re-enters.
+			break
+		}
+		if lo >= hi {
+			// Band not yet on the matrix (hi <= 0); later subject
+			// positions re-enter from the left.
+			continue
+		}
+		row := prof.Rows[b[t]]
+		var hdiag, hleft int
+		if lo > 0 {
+			hdiag = hrow[lo-1]
+			hleft = minInf / 2
+		}
+		e := minInf / 2
+		for q := lo; q < hi; q++ {
+			e = maxInt(hleft-first, e-ext)
+			f := maxInt(hrow[q]-first, frow[q]-ext)
+			h := hdiag + int(row[q])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			if h < 0 {
+				h = 0
+			}
+			hdiag = hrow[q]
+			hrow[q] = h
+			frow[q] = f
+			hleft = h
+			if h > best {
+				best = h
+			}
+		}
+		if hi < m {
+			hrow[hi] = minInf / 2
+			frow[hi] = minInf
+		}
+	}
+	return best
+}

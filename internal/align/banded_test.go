@@ -90,6 +90,43 @@ func TestBandedOffMatrixBand(t *testing.T) {
 	}
 }
 
+// The profile-driven banded kernel must be bit-identical to the
+// matrix-walking one over arbitrary bands — it is the same cell set
+// and recurrence, just traversed subject-major off a reusable
+// profile. This is what lets index.Searcher swap it in without
+// changing a single candidate.
+func TestBandedProfileMatchesBanded(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(25))
+	scr := NewScratch()
+	for trial := 0; trial < 300; trial++ {
+		a := randSeq(rng, 1+rng.Intn(60))
+		b := randSeq(rng, 1+rng.Intn(60))
+		prof := NewProfile(a, p)
+		center := rng.Intn(81) - 40
+		hw := rng.Intn(20)
+		want := BandedSWScore(p, a, b, center, hw)
+		if got := scr.BandedSWScoreProfile(prof, b, center, hw); got != want {
+			t.Fatalf("trial %d (|a|=%d |b|=%d c=%d hw=%d): profile-banded %d, banded %d",
+				trial, len(a), len(b), center, hw, got, want)
+		}
+	}
+	// Degenerate shapes and off-matrix bands.
+	a := bio.Encode("ACDEF")
+	prof := NewProfile(a, p)
+	for _, c := range []int{100, -100} {
+		if got := scr.BandedSWScoreProfile(prof, a, c, 2); got != 0 {
+			t.Errorf("off-matrix profile band scored %d", got)
+		}
+	}
+	if got := scr.BandedSWScoreProfile(prof, a, 0, -1); got != 0 {
+		t.Errorf("negative width profile band scored %d", got)
+	}
+	if got := scr.BandedSWScoreProfile(NewProfile(nil, p), a, 0, 3); got != 0 {
+		t.Errorf("empty query profile band scored %d", got)
+	}
+}
+
 func TestBandedShiftedCenter(t *testing.T) {
 	// Sequence b embeds a at offset 5: the alignment lies on diagonal
 	// +5, so a narrow band centered there must find the full score.

@@ -21,6 +21,7 @@ type Scratch struct {
 	hb, fb     []int16    // anti-diagonal strip boundary (previous strip's last row)
 	nhb, nfb   []int16    // anti-diagonal boundary under construction
 	hv, ev, nv []simd.Vec // striped H row, E row, and H row under construction
+	hw, ew, nw []uint64   // SWAR striped H/E/new-H word rows, either lane width
 }
 
 // NewScratch returns an empty Scratch; buffers are grown on first use.

@@ -32,6 +32,7 @@ const (
 	KernelVMX128                // anti-diagonal SIMD, 128-bit (8 lanes)
 	KernelVMX256                // anti-diagonal SIMD, 256-bit (16 lanes)
 	KernelStriped               // striped (Farrar) SIMD, 128-bit
+	KernelSWAR                  // striped SWAR on uint64 words (8x8-bit lanes)
 )
 
 var kernelNames = map[Kernel]string{
@@ -41,6 +42,7 @@ var kernelNames = map[Kernel]string{
 	KernelVMX128:  "vmx128",
 	KernelVMX256:  "vmx256",
 	KernelStriped: "striped",
+	KernelSWAR:    "swar",
 }
 
 func (k Kernel) String() string {
@@ -173,11 +175,14 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 	// carries its own DP scratch.
 	var prof *Profile
 	var sp *StripedProfile
+	var swp *SWARProfile
 	switch cfg.Kernel {
 	case KernelSSEARCH, KernelGotoh, KernelVMX128, KernelVMX256:
 		prof = NewProfile(query, p)
 	case KernelStriped:
 		sp = NewStripedProfile(query, p, simd.Lanes128)
+	case KernelSWAR:
+		swp = NewSWARProfile(query, p)
 	}
 
 	scores := make([]int, numItems)
@@ -195,6 +200,8 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 			return scr.SWScoreVMX256(prof, b)
 		case KernelStriped:
 			return scr.SWScoreStriped(sp, b)
+		case KernelSWAR:
+			return scr.SWScoreSWAR(swp, b)
 		default:
 			panic("align: unknown search kernel")
 		}

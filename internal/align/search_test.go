@@ -30,7 +30,7 @@ func TestSearchDBMatchesReferenceScan(t *testing.T) {
 			want[i] = sc
 		}
 	}
-	for _, k := range []Kernel{KernelSSEARCH, KernelSW, KernelGotoh, KernelVMX128, KernelVMX256, KernelStriped} {
+	for _, k := range []Kernel{KernelSSEARCH, KernelSW, KernelGotoh, KernelVMX128, KernelVMX256, KernelStriped, KernelSWAR} {
 		hits := SearchDB(p, q.Residues, db, SearchConfig{Kernel: k, Workers: 4})
 		if len(hits) != len(want) {
 			t.Fatalf("%v: %d hits, want %d", k, len(hits), len(want))
@@ -51,7 +51,7 @@ func TestSearchDBMatchesReferenceScan(t *testing.T) {
 func TestSearchDBWorkerCountInvariance(t *testing.T) {
 	db, q := searchTestDB(t)
 	p := PaperParams()
-	for _, k := range []Kernel{KernelSSEARCH, KernelVMX128, KernelStriped} {
+	for _, k := range []Kernel{KernelSSEARCH, KernelVMX128, KernelStriped, KernelSWAR} {
 		ref := SearchDB(p, q.Residues, db, SearchConfig{Kernel: k, Workers: 1})
 		for _, workers := range []int{2, 3, 7, 16} {
 			got := SearchDB(p, q.Residues, db, SearchConfig{Kernel: k, Workers: workers})
@@ -131,7 +131,7 @@ func TestSearchDBEdgeCases(t *testing.T) {
 }
 
 func TestKernelByName(t *testing.T) {
-	for _, name := range []string{"ssearch", "sw", "gotoh", "vmx128", "vmx256", "striped"} {
+	for _, name := range []string{"ssearch", "sw", "gotoh", "vmx128", "vmx256", "striped", "swar"} {
 		k, err := KernelByName(name)
 		if err != nil {
 			t.Fatalf("KernelByName(%q): %v", name, err)
@@ -174,7 +174,7 @@ func TestSearchDBRandomized(t *testing.T) {
 // every kernel constant renders to a name the list contains and
 // KernelByName resolves, with no extras.
 func TestKernelNamesInSyncWithStringer(t *testing.T) {
-	kernels := []Kernel{KernelSSEARCH, KernelSW, KernelGotoh, KernelVMX128, KernelVMX256, KernelStriped}
+	kernels := []Kernel{KernelSSEARCH, KernelSW, KernelGotoh, KernelVMX128, KernelVMX256, KernelStriped, KernelSWAR}
 	names := KernelNames()
 	if len(names) != len(kernels) {
 		t.Fatalf("KernelNames lists %d names, %d kernel constants exist", len(names), len(kernels))

@@ -1,0 +1,306 @@
+package align
+
+import (
+	"repro/internal/bio"
+	"repro/internal/simd"
+)
+
+// SWScoreSWAR is the SWAR (SIMD-within-a-register) striped
+// Smith-Waterman kernel: the Farrar layout of SWScoreStriped, but
+// computed on plain uint64 words as 8 unsigned 8-bit lanes — real
+// multi-lane arithmetic on any 64-bit machine, not the per-lane
+// emulation loop of internal/simd.Vec. Scores are biased into
+// unsigned space exactly as the hardware uint8 kernels do, and the
+// zero floor of local alignment falls out of the saturating subtract
+// for free.
+//
+// The kernel runs on the restricted-domain U7/U15 ops of
+// internal/simd: every H/E/F lane is kept strictly below the lane-MSB
+// bound (128, or 32768 at 16-bit lanes), which halves the cost of
+// each vector operation, and a fused clamp-and-flag per cell detects
+// lanes that would cross the bound. That makes the kernel a promotion
+// ladder, the structure Farrar's code and SSW popularized: a fast
+// 8-bit pass covers the overwhelming majority of database sequences;
+// targets whose scores outgrow it are rescored with 4 unsigned 16-bit
+// lanes; in the (at these widths astronomically rare) event the
+// 16-bit pass overflows too, the scalar reference kernel finishes the
+// job. Every rung either returns the exact SWScore value or detects
+// that it cannot, so the ladder as a whole is bit-identical to
+// SWScore at any score magnitude — the property tests in swar_test.go
+// force both promotions.
+
+// SWARProfile is the query profile of the SWAR kernel: the striped
+// layouts of the biased substitution scores at both lane widths, built
+// once per query and reused across every database sequence of a scan.
+// Lane k of word j covers query position j + k*segLen (Farrar's
+// layout), and padding lanes hold the bias (a net-zero score), which
+// keeps them glued to values real lanes already produced — they can
+// never raise the maximum.
+type SWARProfile struct {
+	Query  []uint8
+	Params Params // retained for the scalar rung of the ladder
+	Bias   uint8  // -min substitution score; shifts scores into unsigned space
+	MaxPv  uint8  // largest biased profile value; sets the clamp limits
+
+	SegLen8  int // words per striped row in the 8-lane layout
+	SegLen16 int // words per striped row in the 4-lane layout
+	Rows8    [bio.AlphabetSize][]uint64
+	Rows16   [bio.AlphabetSize][]uint64
+}
+
+// NewSWARProfile builds the SWAR query profile of query under p.
+func NewSWARProfile(query []uint8, p Params) *SWARProfile {
+	sp := &SWARProfile{Query: query, Params: p}
+	m := len(query)
+	if m == 0 {
+		return sp
+	}
+	bias, maxs := 0, 0
+	for c := 0; c < bio.AlphabetSize; c++ {
+		for _, q := range query {
+			s := p.Matrix.Score(uint8(c), q)
+			if -s > bias {
+				bias = -s
+			}
+			if s > maxs {
+				maxs = s
+			}
+		}
+	}
+	sp.Bias = uint8(bias)
+	sp.MaxPv = uint8(maxs + bias)
+	sp.SegLen8 = (m + simd.LanesU8 - 1) / simd.LanesU8
+	sp.SegLen16 = (m + simd.LanesU16 - 1) / simd.LanesU16
+	for c := 0; c < bio.AlphabetSize; c++ {
+		row8 := make([]uint64, sp.SegLen8)
+		for j := 0; j < sp.SegLen8; j++ {
+			var w uint64
+			for k := 0; k < simd.LanesU8; k++ {
+				v := uint64(sp.Bias) // padding: net-zero score
+				if qi := j + k*sp.SegLen8; qi < m {
+					v = uint64(int(p.Matrix.Score(uint8(c), query[qi])) + bias)
+				}
+				w |= v << (8 * k)
+			}
+			row8[j] = w
+		}
+		sp.Rows8[c] = row8
+
+		row16 := make([]uint64, sp.SegLen16)
+		for j := 0; j < sp.SegLen16; j++ {
+			var w uint64
+			for k := 0; k < simd.LanesU16; k++ {
+				v := uint64(sp.Bias)
+				if qi := j + k*sp.SegLen16; qi < m {
+					v = uint64(int(p.Matrix.Score(uint8(c), query[qi])) + bias)
+				}
+				w |= v << (16 * k)
+			}
+			row16[j] = w
+		}
+		sp.Rows16[c] = row16
+	}
+	return sp
+}
+
+// SWScoreSWAR computes the Smith-Waterman score of the profile's query
+// against b; the result is bit-identical to SWScore. This one-shot
+// form borrows a pooled Scratch; scans that hold their own should call
+// Scratch.SWScoreSWAR directly.
+func SWScoreSWAR(sp *SWARProfile, b []uint8) int {
+	s := getScratch()
+	score := s.SWScoreSWAR(sp, b)
+	putScratch(s)
+	return score
+}
+
+// SWScoreSWAR is the scratch-threaded form of the package-level
+// SWScoreSWAR: identical result, zero allocations once the striped
+// word rows have grown to the profile's segment lengths.
+func (s *Scratch) SWScoreSWAR(sp *SWARProfile, b []uint8) int {
+	if len(sp.Query) == 0 || len(b) == 0 {
+		return 0
+	}
+	first := sp.Params.Gaps.First()
+	ext := sp.Params.Gaps.Extend
+	if first >= 0 && first < 128 && ext >= 0 && ext < 128 && int(sp.MaxPv) < 127 {
+		if score, ok := s.swarScore8(sp, b); ok {
+			return score
+		}
+	}
+	if first >= 0 && first < 32768 && ext >= 0 && ext < 32768 && int(sp.MaxPv) < 32767 {
+		if score, ok := s.swarScore16(sp, b); ok {
+			return score
+		}
+	}
+	return s.SWScore(sp.Params, sp.Query, b)
+}
+
+// swarScore8 is the 8-bit rung: 8 lanes per word, exact for scores up
+// to 127-MaxPv. ok reports whether the result is exact; a false
+// return means some lane was clamped and the caller must rescore
+// wider.
+func (s *Scratch) swarScore8(sp *SWARProfile, b []uint8) (int, bool) {
+	segLen := sp.SegLen8
+	// Overflow margin: adding it to an H lane sets the lane MSB exactly
+	// when H exceeds the U7 domain bound 127-MaxPv. Lanes beyond the
+	// bound are not clamped — once the flag has latched the pass will
+	// be discarded, and until a lane crosses the bound every value is
+	// small enough that no add can carry across a lane boundary, so
+	// the flag itself is always computed from uncorrupted lanes.
+	vMargin := simd.SplatU8(sp.MaxPv)
+	vBias := simd.SplatU8(sp.Bias)
+	vFirst := simd.SplatU8(uint8(sp.Params.Gaps.First()))
+	vExt := simd.SplatU8(uint8(sp.Params.Gaps.Extend))
+
+	s.hw = grow(s.hw, segLen)
+	s.ew = grow(s.ew, segLen)
+	s.nw = grow(s.nw, segLen)
+	hRow, eRow, hNew := s.hw[:segLen], s.ew[:segLen], s.nw[:segLen]
+	for j := range hRow {
+		hRow[j] = 0
+		eRow[j] = 0
+		hNew[j] = 0
+	}
+	var best, ovf uint64
+
+	for _, c := range b {
+		prof := sp.Rows8[c][:segLen]
+		// Re-slice after the row swap so the compiler can prove every
+		// in-loop index is in bounds.
+		hRow, hNew = hRow[:segLen], hNew[:segLen]
+		// vH carries H[i-1][j-1] in striped order: the previous row's
+		// last word shifted one lane up, zero entering lane 0.
+		vH := hRow[segLen-1] << 8
+		var vF uint64
+
+		for j := 0; j < segLen; j++ {
+			// H = max(Hdiag + biased score - bias, E, F, 0); the plain
+			// add cannot carry across lanes while in-domain, the U7
+			// subtract clamps at the local-alignment zero, and lanes
+			// outgrowing the domain latch the promotion flag.
+			vH = simd.SubSatU7(vH+prof[j], vBias)
+			ovf |= (vH + vMargin) & simd.MSB8
+			e := eRow[j]
+			vH = simd.MaxU7(vH, e)
+			vH = simd.MaxU7(vH, vF)
+			best = simd.MaxU7(best, vH)
+			hNew[j] = vH
+
+			hGap := simd.SubSatU7(vH, vFirst)
+			eRow[j] = simd.MaxU7(hGap, simd.SubSatU7(e, vExt))
+			vF = simd.MaxU7(hGap, simd.SubSatU7(vF, vExt))
+			vH = hRow[j]
+		}
+
+		// Lazy F: the in-row vF never crossed a lane boundary (query
+		// stride segLen). Farrar's correction loop carries it across:
+		// shift, re-sweep the row applying the full F recurrence
+		// (extensions AND re-opens from corrected cells — the re-open
+		// term is what keeps this exact when gap open <= gap extend),
+		// raising H and E so the next row sees corrected values. At a
+		// cell the carry could not raise, a carry that extends no
+		// better than that cell's own re-open is dominated by the main
+		// pass's F chain from here on, so nothing downstream can
+		// change and the loop stops.
+	lazyF8:
+		for round := 0; round < simd.LanesU8; round++ {
+			vF <<= 8
+			for j := 0; j < segLen; j++ {
+				h := hNew[j]
+				if raised := simd.MaxU7(h, vF); raised != h {
+					hNew[j] = raised
+					best = simd.MaxU7(best, raised)
+					hGap := simd.SubSatU7(raised, vFirst)
+					eRow[j] = simd.MaxU7(eRow[j], hGap)
+					vF = simd.MaxU7(hGap, simd.SubSatU7(vF, vExt))
+					continue
+				}
+				hGap := simd.SubSatU7(h, vFirst)
+				vF = simd.SubSatU7(vF, vExt)
+				if !simd.AnyGtU7(vF, hGap) {
+					break lazyF8
+				}
+				vF = simd.MaxU7(hGap, vF)
+			}
+		}
+		hRow, hNew = hNew, hRow
+	}
+	if ovf != 0 {
+		// Some lane hit the domain bound; every later value derived
+		// from it is garbage (though still in-domain), so the score
+		// must be recomputed at the next rung.
+		return 0, false
+	}
+	return int(simd.HMaxU8(best)), true
+}
+
+// swarScore16 is the 16-bit rung: 4 lanes per word, exact for scores
+// up to 32767-MaxPv.
+func (s *Scratch) swarScore16(sp *SWARProfile, b []uint8) (int, bool) {
+	segLen := sp.SegLen16
+	vMargin := simd.SplatU16(uint16(sp.MaxPv))
+	vBias := simd.SplatU16(uint16(sp.Bias))
+	vFirst := simd.SplatU16(uint16(sp.Params.Gaps.First()))
+	vExt := simd.SplatU16(uint16(sp.Params.Gaps.Extend))
+
+	s.hw = grow(s.hw, segLen)
+	s.ew = grow(s.ew, segLen)
+	s.nw = grow(s.nw, segLen)
+	hRow, eRow, hNew := s.hw[:segLen], s.ew[:segLen], s.nw[:segLen]
+	for j := range hRow {
+		hRow[j] = 0
+		eRow[j] = 0
+		hNew[j] = 0
+	}
+	var best, ovf uint64
+
+	for _, c := range b {
+		prof := sp.Rows16[c][:segLen]
+		hRow, hNew = hRow[:segLen], hNew[:segLen]
+		vH := hRow[segLen-1] << 16
+		var vF uint64
+
+		for j := 0; j < segLen; j++ {
+			vH = simd.SubSatU15(vH+prof[j], vBias)
+			ovf |= (vH + vMargin) & simd.MSB16
+			e := eRow[j]
+			vH = simd.MaxU15(vH, e)
+			vH = simd.MaxU15(vH, vF)
+			best = simd.MaxU15(best, vH)
+			hNew[j] = vH
+
+			hGap := simd.SubSatU15(vH, vFirst)
+			eRow[j] = simd.MaxU15(hGap, simd.SubSatU15(e, vExt))
+			vF = simd.MaxU15(hGap, simd.SubSatU15(vF, vExt))
+			vH = hRow[j]
+		}
+
+	lazyF16:
+		for round := 0; round < simd.LanesU16; round++ {
+			vF <<= 16
+			for j := 0; j < segLen; j++ {
+				h := hNew[j]
+				if raised := simd.MaxU15(h, vF); raised != h {
+					hNew[j] = raised
+					best = simd.MaxU15(best, raised)
+					hGap := simd.SubSatU15(raised, vFirst)
+					eRow[j] = simd.MaxU15(eRow[j], hGap)
+					vF = simd.MaxU15(hGap, simd.SubSatU15(vF, vExt))
+					continue
+				}
+				hGap := simd.SubSatU15(h, vFirst)
+				vF = simd.SubSatU15(vF, vExt)
+				if !simd.AnyGtU15(vF, hGap) {
+					break lazyF16
+				}
+				vF = simd.MaxU15(hGap, vF)
+			}
+		}
+		hRow, hNew = hNew, hRow
+	}
+	if ovf != 0 {
+		return 0, false
+	}
+	return int(simd.HMaxU16(best)), true
+}

@@ -1,0 +1,211 @@
+package align
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// The SWAR kernel's contract: bit-identical to SWScore at any score
+// magnitude, because the promotion ladder detects 8-bit and 16-bit
+// saturation and rescores wider. These tests drive both promotions
+// explicitly and sweep randomized shapes across several seeds.
+
+func TestSWARMatchesSWScoreRandomized(t *testing.T) {
+	p := PaperParams()
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6, 7} {
+		rng := rand.New(rand.NewSource(seed))
+		scr := NewScratch()
+		for trial := 0; trial < 40; trial++ {
+			a := randSeq(rng, 1+rng.Intn(120))
+			b := randSeq(rng, 1+rng.Intn(120))
+			sp := NewSWARProfile(a, p)
+			want := SWScore(p, a, b)
+			if got := scr.SWScoreSWAR(sp, b); got != want {
+				t.Fatalf("seed %d trial %d: SWScoreSWAR=%d want %d (|a|=%d |b|=%d)",
+					seed, trial, got, want, len(a), len(b))
+			}
+			if got := SWScoreSWAR(sp, b); got != want {
+				t.Fatalf("seed %d trial %d: pooled SWScoreSWAR=%d want %d", seed, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSWARMatchesSWScoreRealisticShapes(t *testing.T) {
+	p := PaperParams()
+	q := bio.GlutathioneQuery()
+	sp := NewSWARProfile(q.Residues, p)
+	scr := NewScratch()
+	db := bio.SyntheticDB(bio.DefaultDBSpec(8))
+	for i, s := range db.Seqs {
+		want := SWScore(p, q.Residues, s.Residues)
+		if got := scr.SWScoreSWAR(sp, s.Residues); got != want {
+			t.Errorf("seq %d: SWScoreSWAR=%d want %d", i, got, want)
+		}
+	}
+}
+
+// Lane-padding edges: query lengths around the 8-lane and 4-lane
+// segment boundaries, where padding lanes exist in the last words.
+func TestSWARPaddingEdges(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65} {
+		a := randSeq(rng, m)
+		b := randSeq(rng, 1+rng.Intn(90))
+		sp := NewSWARProfile(a, p)
+		want := SWScore(p, a, b)
+		if got := SWScoreSWAR(sp, b); got != want {
+			t.Errorf("m=%d |b|=%d: SWScoreSWAR=%d want %d", m, len(b), got, want)
+		}
+	}
+}
+
+// repeatSeq returns n copies of the residue encoded by letter —
+// aligned against itself it scores diag*n, the adversarial high-score
+// shape that forces lane saturation.
+func repeatSeq(t *testing.T, letter string, n int) []uint8 {
+	t.Helper()
+	enc := bio.Encode(letter)
+	if len(enc) != 1 {
+		t.Fatalf("repeatSeq: %q encodes to %d residues", letter, len(enc))
+	}
+	return bytes.Repeat(enc, n)
+}
+
+// The 8-bit rung must detect saturation and promote: a perfect
+// self-alignment of 200 tryptophans scores 2200, far beyond the 8-bit
+// ceiling (255-bias) and comfortably inside the 16-bit one.
+func TestSWARPromotionTo16Bit(t *testing.T) {
+	p := PaperParams()
+	a := repeatSeq(t, "W", 200)
+	sp := NewSWARProfile(a, p)
+	scr := NewScratch()
+	want := scr.SWScore(p, a, a)
+	if want < 0xFF {
+		t.Fatalf("adversarial pair scores only %d; not an overflow test", want)
+	}
+	if _, ok := scr.swarScore8(sp, a); ok {
+		t.Fatal("8-bit pass claimed exactness on a saturating input")
+	}
+	if got, ok := scr.swarScore16(sp, a); !ok || got != want {
+		t.Fatalf("16-bit pass: got %d (ok=%v) want %d", got, ok, want)
+	}
+	if got := scr.SWScoreSWAR(sp, a); got != want {
+		t.Fatalf("ladder: got %d want %d", got, want)
+	}
+}
+
+// The 16-bit rung must also detect saturation and fall back to the
+// scalar kernel: 6200 tryptophans score 68200 > 65535-bias.
+func TestSWARPromotionToScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("38M-cell scalar fallback; skipped with -short")
+	}
+	p := PaperParams()
+	a := repeatSeq(t, "W", 6200)
+	sp := NewSWARProfile(a, p)
+	scr := NewScratch()
+	want := scr.SWScore(p, a, a)
+	if want <= 0xFFFF {
+		t.Fatalf("adversarial pair scores only %d; not a 16-bit overflow test", want)
+	}
+	if _, ok := scr.swarScore8(sp, a); ok {
+		t.Fatal("8-bit pass claimed exactness on a saturating input")
+	}
+	if _, ok := scr.swarScore16(sp, a); ok {
+		t.Fatal("16-bit pass claimed exactness on a saturating input")
+	}
+	if got := scr.SWScoreSWAR(sp, a); got != want {
+		t.Fatalf("ladder: got %d want %d", got, want)
+	}
+}
+
+// Near-threshold scores: sweep self-alignments whose exact scores
+// bracket the 8-bit promotion bound so both sides of the detection
+// test are exercised (exact-below, promoted-at-and-above).
+func TestSWARPromotionBoundary(t *testing.T) {
+	p := PaperParams()
+	scr := NewScratch()
+	for n := 18; n <= 26; n++ { // scores 198..286 around the 251 bound
+		a := repeatSeq(t, "W", n)
+		sp := NewSWARProfile(a, p)
+		want := scr.SWScore(p, a, a)
+		if got := scr.SWScoreSWAR(sp, a); got != want {
+			t.Errorf("n=%d: SWScoreSWAR=%d want %d", n, got, want)
+		}
+	}
+}
+
+// Cheap gaps maximize cross-segment F traffic, the part of the
+// striped layout the lazy-F correction loop (and its early exit)
+// must get exactly right; sweep several gap models including ones
+// where extending costs the same as opening.
+func TestSWARLazyFGapStress(t *testing.T) {
+	for _, gaps := range []bio.GapPenalty{
+		{Open: 0, Extend: 1},
+		{Open: 1, Extend: 1},
+		{Open: 2, Extend: 1},
+		{Open: 10, Extend: 1},
+		{Open: 3, Extend: 3},
+	} {
+		p := Params{Matrix: bio.Blosum62, Gaps: gaps}
+		rng := rand.New(rand.NewSource(int64(31 + gaps.Open*10 + gaps.Extend)))
+		scr := NewScratch()
+		for trial := 0; trial < 60; trial++ {
+			a := randSeq(rng, 1+rng.Intn(100))
+			b := randSeq(rng, 1+rng.Intn(100))
+			sp := NewSWARProfile(a, p)
+			want := SWScore(p, a, b)
+			if got := scr.SWScoreSWAR(sp, b); got != want {
+				t.Fatalf("gaps %d/%d trial %d: SWScoreSWAR=%d want %d (|a|=%d |b|=%d)",
+					gaps.Open, gaps.Extend, trial, got, want, len(a), len(b))
+			}
+		}
+	}
+}
+
+// A Scratch reused across SWAR calls with shrinking and growing
+// shapes must not leak state between calls.
+func TestSWARScratchReuse(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(23))
+	scr := NewScratch()
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 1+rng.Intn(150))
+		b := randSeq(rng, 1+rng.Intn(150))
+		sp := NewSWARProfile(a, p)
+		if got, want := scr.SWScoreSWAR(sp, b), SWScore(p, a, b); got != want {
+			t.Fatalf("trial %d: got %d want %d", trial, got, want)
+		}
+	}
+}
+
+// Profile.Fill must be equivalent to NewProfile while reusing rows.
+func TestProfileFillReuse(t *testing.T) {
+	p := PaperParams()
+	rng := rand.New(rand.NewSource(29))
+	var prof Profile
+	for trial := 0; trial < 20; trial++ {
+		q := randSeq(rng, 1+rng.Intn(80))
+		prof.Fill(q, p)
+		fresh := NewProfile(q, p)
+		for c := 0; c < bio.AlphabetSize; c++ {
+			for j := range q {
+				if prof.Rows[c][j] != fresh.Rows[c][j] {
+					t.Fatalf("trial %d: Fill row %d col %d = %d, want %d",
+						trial, c, j, prof.Rows[c][j], fresh.Rows[c][j])
+				}
+			}
+		}
+	}
+	var sink float64
+	prof.Fill(randSeq(rng, 64), p)
+	if avg := testing.AllocsPerRun(20, func() { prof.Fill(prof.Query, p); sink++ }); avg != 0 {
+		t.Errorf("Profile.Fill steady state: %.2f allocs/op, want 0", avg)
+	}
+	_ = sink
+}

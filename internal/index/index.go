@@ -146,21 +146,20 @@ func maxKey(k int) uint64 {
 // report distinct-k-mer counts against.
 func PossibleKmers(k int) uint64 { return maxKey(k) }
 
-// rawHit is one (k-mer, occurrence) pair produced by the scan phase.
-type rawHit struct {
-	key uint64
-	p   Posting
-}
-
-// Build constructs the seed index of db. The database is scanned in
-// contiguous shards (one per worker) and the shard streams are merged
-// in canonical order, so the index — including its serialized bytes —
-// does not depend on Options.Workers.
+// Build constructs the seed index of db with a two-pass counting
+// build: a parallel counting pass over contiguous target shards, a
+// CSR skeleton (canonical key order, prefix-summed offsets) derived
+// from the merged counts, and a parallel fill pass that writes every
+// posting directly into its final slot. No intermediate (key,
+// posting) stream is ever materialized — peak transient memory is one
+// count per distinct (shard, k-mer) pair instead of ~32 bytes per
+// database residue, which is what lets the build scale to
+// RAM-bounded (1e9-residue) databases.
 //
-// Peak build memory is ~32 bytes per database residue (the occurrence
-// stream exists once per shard and once merged) against ~8 bytes per
-// posting in the finished index; databases beyond RAM scale need the
-// two-pass counting build ROADMAP.md lists as an open item.
+// Shards cover contiguous ascending target ranges and each shard
+// fills a precomputed contiguous slice of every posting list, so the
+// index — including its serialized bytes — does not depend on
+// Options.Workers.
 func Build(db *bio.Database, opts Options) *Index {
 	o := opts.normalized()
 	if o.K < MinK || o.K > MaxK {
@@ -174,120 +173,123 @@ func Build(db *bio.Database, opts Options) *Index {
 	if workers < 1 {
 		workers = 1
 	}
+	bound := func(w int) (int, int) { return n * w / workers, n * (w + 1) / workers }
 
-	// Scan phase: each worker packs the k-mers of a contiguous target
-	// range and sorts them into (key, target, pos) order. Contiguous
-	// ranges mean shard s's targets all precede shard s+1's, so the
-	// merge phase can order equal keys by shard.
-	shards := make([][]rawHit, workers)
+	// Pass 1: count k-mer occurrences per shard. The per-shard maps
+	// are kept — they become the fill pass's write cursors.
+	counts := make([]map[uint64]uint32, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
+		lo, hi := bound(w)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			shards[w] = scanRange(db, lo, hi, o.K)
+			counts[w] = countRange(db, lo, hi, o.K)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	merged := mergeShards(shards)
 
+	// Skeleton: merge the shard counts (order-independent sums),
+	// sort the distinct keys into canonical order, and prefix-sum the
+	// capped counts into CSR offsets. A k-mer over the cap keeps its
+	// raw count but stores no postings — truncating would bias
+	// seeding toward low-numbered targets.
+	total := make(map[uint64]uint32)
+	for _, m := range counts {
+		for key, c := range m {
+			total[key] += c
+		}
+	}
 	ix := &Index{
 		k:           o.K,
 		maxPostings: o.MaxPostings,
 		numTargets:  n,
 		totalRes:    db.TotalResidues(),
+		keys:        make([]uint64, 0, len(total)),
 	}
-	ix.fillFromMerged(merged)
+	for key := range total {
+		ix.keys = append(ix.keys, key)
+	}
+	sort.Slice(ix.keys, func(i, j int) bool { return ix.keys[i] < ix.keys[j] })
+	ix.raw = make([]uint32, len(ix.keys))
+	ix.offs = make([]int64, 1, len(ix.keys)+1)
+	stored := int64(0)
+	for e, key := range ix.keys {
+		c := total[key]
+		ix.raw[e] = c
+		if o.MaxPostings < 0 || int(c) <= o.MaxPostings {
+			stored += int64(c)
+		}
+		ix.offs = append(ix.offs, stored)
+	}
 	ix.buildTable()
+
+	// Fill cursors: shard w's slice of entry e's posting list starts
+	// after the slots of shards 0..w-1 (their targets all precede
+	// w's), which reproduces exactly the (target, pos) order of a
+	// single-shard build.
+	next := make([]int64, len(ix.keys))
+	starts := make([]map[uint64]int64, workers)
+	for w := 0; w < workers; w++ {
+		s := make(map[uint64]int64, len(counts[w]))
+		for key, c := range counts[w] {
+			e := ix.entryIndex(key)
+			if ix.offs[e+1] == ix.offs[e] {
+				continue // capped: nothing stored
+			}
+			s[key] = ix.offs[e] + next[e]
+			next[e] += int64(c)
+		}
+		starts[w] = s
+	}
+
+	// Pass 2: re-scan each shard in (target, pos) order and write
+	// postings in place. Shards write disjoint slots, so the fill is
+	// embarrassingly parallel.
+	ix.postings = make([]Posting, stored)
+	for w := 0; w < workers; w++ {
+		lo, hi := bound(w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fillRange(ix.postings, starts[w], db, lo, hi, o.K)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	return ix
 }
 
-func scanRange(db *bio.Database, lo, hi, k int) []rawHit {
-	var hits []rawHit
+// countRange tallies the packable k-mers of targets [lo, hi).
+func countRange(db *bio.Database, lo, hi, k int) map[uint64]uint32 {
+	m := make(map[uint64]uint32)
 	for t := lo; t < hi; t++ {
 		res := db.Seqs[t].Residues
 		for i := 0; i+k <= len(res); i++ {
 			if key, ok := PackKmer(res, i, k); ok {
-				hits = append(hits, rawHit{key: key, p: Posting{Target: int32(t), Pos: int32(i)}})
+				m[key]++
 			}
 		}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].key != hits[j].key {
-			return hits[i].key < hits[j].key
-		}
-		if hits[i].p.Target != hits[j].p.Target {
-			return hits[i].p.Target < hits[j].p.Target
-		}
-		return hits[i].p.Pos < hits[j].p.Pos
-	})
-	return hits
+	return m
 }
 
-// mergeShards k-way-merges per-shard sorted hit streams into one
-// globally sorted stream. Shards hold disjoint ascending target
-// ranges, so breaking key ties by shard order yields exactly the
-// (key, target, pos) order a single-shard build produces.
-func mergeShards(shards [][]rawHit) []rawHit {
-	if len(shards) == 1 {
-		return shards[0]
-	}
-	total := 0
-	for _, s := range shards {
-		total += len(s)
-	}
-	out := make([]rawHit, 0, total)
-	cursor := make([]int, len(shards))
-	for len(out) < total {
-		best := -1
-		var bestKey uint64
-		for s := range shards {
-			if cursor[s] >= len(shards[s]) {
+// fillRange writes the postings of targets [lo, hi) into their
+// precomputed slots, advancing the shard's write cursors in place.
+func fillRange(postings []Posting, starts map[uint64]int64, db *bio.Database, lo, hi, k int) {
+	for t := lo; t < hi; t++ {
+		res := db.Seqs[t].Residues
+		for i := 0; i+k <= len(res); i++ {
+			key, ok := PackKmer(res, i, k)
+			if !ok {
 				continue
 			}
-			k := shards[s][cursor[s]].key
-			if best < 0 || k < bestKey {
-				best, bestKey = s, k
+			slot, ok := starts[key]
+			if !ok {
+				continue // capped list
 			}
+			postings[slot] = Posting{Target: int32(t), Pos: int32(i)}
+			starts[key] = slot + 1
 		}
-		// Drain the whole run of bestKey from the winning shard: no
-		// later shard can hold an equal key that belongs earlier,
-		// because its targets are all larger.
-		s := shards[best]
-		i := cursor[best]
-		for i < len(s) && s[i].key == bestKey {
-			out = append(out, s[i])
-			i++
-		}
-		cursor[best] = i
-	}
-	return out
-}
-
-// fillFromMerged groups the sorted hit stream into entries and
-// postings, applying the overrepresentation cap: a k-mer whose raw
-// count exceeds the cap keeps its count (for stats and inspection)
-// but stores no postings at all — truncating would bias seeding
-// toward low-numbered targets.
-func (ix *Index) fillFromMerged(merged []rawHit) {
-	ix.offs = append(ix.offs[:0], 0)
-	for i := 0; i < len(merged); {
-		j := i
-		for j < len(merged) && merged[j].key == merged[i].key {
-			j++
-		}
-		count := j - i
-		ix.keys = append(ix.keys, merged[i].key)
-		ix.raw = append(ix.raw, uint32(count))
-		if ix.maxPostings < 0 || count <= ix.maxPostings {
-			for _, h := range merged[i:j] {
-				ix.postings = append(ix.postings, h.p)
-			}
-		}
-		ix.offs = append(ix.offs, int64(len(ix.postings)))
-		i = j
 	}
 }
 
@@ -317,25 +319,34 @@ func probeStart(key uint64) uint64 {
 	return (key * 0x9E3779B97F4A7C15) >> 17
 }
 
-// Lookup returns the posting list of the packed k-mer key, nil when
-// the k-mer is absent or its list was dropped by the cap. The slice
-// aliases the index; callers must not modify it.
-func (ix *Index) Lookup(key uint64) []Posting {
+// entryIndex resolves a packed key to its canonical entry index, -1
+// when the k-mer is not in the index.
+func (ix *Index) entryIndex(key uint64) int {
 	if len(ix.table) == 0 {
-		return nil
+		return -1
 	}
 	h := probeStart(key) & ix.mask
 	for {
 		s := ix.table[h]
 		if s == 0 {
-			return nil
+			return -1
 		}
-		e := int(s) - 1
-		if ix.keys[e] == key {
-			return ix.postings[ix.offs[e]:ix.offs[e+1]]
+		if e := int(s) - 1; ix.keys[e] == key {
+			return e
 		}
 		h = (h + 1) & ix.mask
 	}
+}
+
+// Lookup returns the posting list of the packed k-mer key, nil when
+// the k-mer is absent or its list was dropped by the cap. The slice
+// aliases the index; callers must not modify it.
+func (ix *Index) Lookup(key uint64) []Posting {
+	e := ix.entryIndex(key)
+	if e < 0 {
+		return nil
+	}
+	return ix.postings[ix.offs[e]:ix.offs[e+1]]
 }
 
 // K returns the index's k-mer length.

@@ -99,15 +99,15 @@ func TestLookupMatchesNaive(t *testing.T) {
 }
 
 // Building with any worker count must serialize to identical bytes:
-// the shard merge is required to reproduce the single-shard canonical
-// layout exactly.
+// the two-pass counting build's sharded fill is required to reproduce
+// the single-shard canonical layout exactly, slot for slot.
 func TestBuildWorkerInvariance(t *testing.T) {
 	db := testDB(t, 50, 23)
 	var ref bytes.Buffer
 	if err := WriteIndex(&ref, Build(db, Options{Workers: 1})); err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 3, 4, 8} {
+	for _, workers := range []int{2, 3, 4, 5, 7, 8, 16, 50} {
 		var got bytes.Buffer
 		if err := WriteIndex(&got, Build(db, Options{Workers: workers})); err != nil {
 			t.Fatal(err)

@@ -74,6 +74,7 @@ type Searcher struct {
 	opts SearchOptions
 
 	scr   *align.Scratch
+	prof  align.Profile // per-query banded-extension profile, rebuilt in place
 	seeds []seedHit
 	cands []candidate
 	out   []int
@@ -187,11 +188,16 @@ func (s *Searcher) Candidates(query []uint8, max int) []int {
 	// Stage 3: extend. A banded Smith-Waterman around the chain
 	// diagonal scores each candidate cheaply (band cells, not m*n);
 	// candidates below the floor drop, the rest rank by extension
-	// score. The final exact rescoring happens in align.SearchDB with
-	// whatever kernel the caller selected.
+	// score. The query profile is built once here and shared by every
+	// candidate's extension, so per-target work is just the band
+	// itself — no per-cell matrix gathers, no whole-row DP state
+	// rebuilt per target (the profile-driven kernel initializes only
+	// the band's query window). The final exact rescoring happens in
+	// align.SearchDB with whatever kernel the caller selected.
+	s.prof.Fill(query, s.p)
 	kept := cands[:0]
 	for _, c := range cands {
-		c.banded = s.scr.BandedSWScore(s.p, query, s.db.Seqs[c.index].Residues, c.center, s.opts.BandHalfWidth)
+		c.banded = s.scr.BandedSWScoreProfile(&s.prof, s.db.Seqs[c.index].Residues, c.center, s.opts.BandHalfWidth)
 		if s.opts.MinBandedScore > 0 && c.banded < s.opts.MinBandedScore {
 			continue
 		}

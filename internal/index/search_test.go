@@ -119,6 +119,37 @@ func TestIndexedWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// Indexed search rescoring with the SWAR kernel: the top-K must be
+// bit-identical at every worker count AND equal the SSEARCH-rescored
+// list (the kernels agree score-for-score, and the filter runs on the
+// calling goroutine, so the kernel choice cannot perturb ranking).
+func TestIndexedSWARRescoreWorkerInvariance(t *testing.T) {
+	p := align.PaperParams()
+	db, query := familyDB(t, 80, 10, 91)
+	ix := Build(db, Options{})
+
+	ref := NewSearcher(ix, db, p, SearchOptions{}).Search(query.Residues, align.SearchConfig{
+		Kernel: align.KernelSSEARCH, TopK: 10, Workers: 1,
+	})
+	if len(ref) == 0 {
+		t.Fatal("indexed search found nothing on a family database")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		s := NewSearcher(ix, db, p, SearchOptions{})
+		got := align.SearchDB(p, query.Residues, db, align.SearchConfig{
+			Kernel: align.KernelSWAR, TopK: 10, Workers: workers, Filter: s,
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d hits, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: hit %d = %+v, want %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
 // Candidates must degrade to the full database for queries shorter
 // than k, and to nothing (not everything) when no k-mer matches.
 func TestCandidatesDegenerateInputs(t *testing.T) {

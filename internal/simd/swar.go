@@ -1,0 +1,190 @@
+// SWAR (SIMD-within-a-register) primitives: a plain uint64 treated as
+// 8 unsigned 8-bit lanes or 4 unsigned 16-bit lanes, with the
+// saturating arithmetic, lane-wise max/min, compares, blends, and
+// horizontal reductions a striped Smith-Waterman kernel needs. Unlike
+// the emulated Vec engine above (which models the paper's Altivec
+// semantics faithfully, one Go loop iteration per lane), these
+// functions update every lane with a handful of 64-bit ALU operations
+// and no branches, so they run at genuine multi-lane speed on any
+// 64-bit machine — the pure-Go analogue of the uint8/uint16 SSE2
+// passes in Farrar's striped implementation and SSW.
+//
+// Lane 0 is the least-significant byte (or 16-bit group) of the word.
+// All arithmetic is unsigned with saturation at the lane bounds; the
+// alignment kernels bias their scores into unsigned space (see
+// align.SWARProfile), which is exactly how the real 8-bit SIMD
+// kernels handle negative substitution scores.
+//
+// The bit tricks are the classical carry/borrow-isolation forms: clear
+// the lane MSBs, do one full-width add/sub, then repair the MSBs and
+// read the per-lane carry/borrow out of the isolated top bits. Each
+// function is a short branch-free expression under the inlining
+// budget, and every one is verified lane-for-lane against a scalar
+// reference over exhaustive (u8) or boundary-exhaustive (u16) inputs
+// in swar_test.go.
+package simd
+
+// Lane counts of the two SWAR word layouts.
+const (
+	LanesU8  = 8 // uint64 as 8 unsigned 8-bit lanes
+	LanesU16 = 4 // uint64 as 4 unsigned 16-bit lanes
+)
+
+// Lane-MSB and low-bits masks of the two layouts. MSB8/MSB16 are
+// exported for callers that build their own overflow detectors on top
+// of the U7/U15 domain (see align's SWAR kernel).
+const (
+	MSB8  = 0x8080808080808080 // bit 7 of every byte lane
+	MSB16 = 0x8000800080008000 // bit 15 of every 16-bit lane
+
+	hi8  = MSB8
+	lo8  = 0x7F7F7F7F7F7F7F7F // low 7 bits of every byte lane
+	hi16 = MSB16
+	lo16 = 0x7FFF7FFF7FFF7FFF // low 15 bits of every 16-bit lane
+)
+
+// SplatU8 returns v broadcast into all 8 byte lanes.
+func SplatU8(v uint8) uint64 { return uint64(v) * 0x0101010101010101 }
+
+// SplatU16 returns v broadcast into all 4 uint16 lanes.
+func SplatU16(v uint16) uint64 { return uint64(v) * 0x0001000100010001 }
+
+// AddSatU8 is the lane-wise unsigned saturating add: each byte lane of
+// the result is min(x+y, 255).
+func AddSatU8(x, y uint64) uint64 {
+	s := (x & lo8) + (y & lo8) // 7-bit partial sums; carries land in lane MSBs
+	sum := s ^ ((x ^ y) & hi8) // true per-lane sum mod 256
+	cout := ((x & y) | ((x | y) &^ sum)) & hi8
+	return sum | ((cout >> 7) * 0xFF) // saturate lanes that carried out
+}
+
+// SubSatU8 is the lane-wise unsigned saturating subtract: each byte
+// lane of the result is max(x-y, 0).
+func SubSatU8(x, y uint64) uint64 {
+	d := (x | hi8) - (y & lo8)        // borrow-proof partial difference
+	diff := d ^ ((x ^ y ^ hi8) & hi8) // true per-lane difference mod 256
+	bout := ((^x & y) | (^(x ^ y) & diff)) & hi8
+	return diff &^ ((bout >> 7) * 0xFF) // zero lanes that borrowed
+}
+
+// MaxU8 is the lane-wise unsigned maximum.
+func MaxU8(x, y uint64) uint64 { return x + SubSatU8(y, x) }
+
+// MinU8 is the lane-wise unsigned minimum.
+func MinU8(x, y uint64) uint64 { return x - SubSatU8(x, y) }
+
+// GtMaskU8 returns 0xFF in every byte lane where x > y (unsigned) and
+// 0x00 elsewhere — the SWAR analogue of vcmpgtub.
+func GtMaskU8(x, y uint64) uint64 {
+	d := SubSatU8(x, y) // nonzero exactly in the x > y lanes
+	nz := ((d & lo8) + lo8) | d
+	return ((nz & hi8) >> 7) * 0xFF
+}
+
+// BlendU8 selects lanes by a full-lane mask (as GtMaskU8 produces):
+// lanes of t where the mask is set, lanes of f elsewhere.
+func BlendU8(mask, t, f uint64) uint64 { return (t & mask) | (f &^ mask) }
+
+// AnyGtU8 reports whether any byte lane of x exceeds the matching lane
+// of y — the condition-register read of the lazy-F loop.
+func AnyGtU8(x, y uint64) bool { return SubSatU8(x, y) != 0 }
+
+// HMaxU8 reduces the word to its largest byte lane.
+func HMaxU8(x uint64) uint8 {
+	x = MaxU8(x, x>>32)
+	x = MaxU8(x, x>>16)
+	x = MaxU8(x, x>>8)
+	return uint8(x)
+}
+
+// The U7 variants are the fast-path forms the SWAR alignment kernel
+// runs on: they require every lane of every operand to be below 128
+// (the lane MSB clear), which makes `(x | MSB) - y` borrow-proof
+// across lanes and collapses compare/max/subtract to a handful of
+// operations — roughly half the cost of the full-range forms above.
+// The alignment kernel maintains that invariant by clamping and
+// flagging lanes that would cross it (see align.Scratch.SWScoreSWAR's
+// promotion ladder); callers that cannot guarantee it must use the
+// full-range ops. Plain `+` is the matching add: two sub-128 operands
+// can never carry across a lane boundary.
+
+// MaxU7 is the lane-wise maximum of two words whose byte lanes are
+// all < 128.
+func MaxU7(x, y uint64) uint64 {
+	m := ((((x | hi8) - y) & hi8) >> 7) * 0xFF // full-lane mask of x >= y
+	return (x & m) | (y &^ m)
+}
+
+// SubSatU7 is the lane-wise max(x-y, 0) for words whose byte lanes
+// are all < 128.
+func SubSatU7(x, y uint64) uint64 {
+	d := (x | hi8) - y
+	m := ((d & hi8) >> 7) * 0xFF // full-lane mask of x >= y
+	return d & m & lo8
+}
+
+// AnyGtU7 reports whether any byte lane of x strictly exceeds the
+// matching lane of y, for words whose byte lanes are all < 128.
+func AnyGtU7(x, y uint64) bool { return ((y|hi8)-x)&hi8 != hi8 }
+
+// MaxU15 is MaxU7 at 16-bit lanes: both operands' lanes must be
+// below 32768.
+func MaxU15(x, y uint64) uint64 {
+	m := ((((x | hi16) - y) & hi16) >> 15) * 0xFFFF
+	return (x & m) | (y &^ m)
+}
+
+// SubSatU15 is SubSatU7 at 16-bit lanes: lanes must be below 32768.
+func SubSatU15(x, y uint64) uint64 {
+	d := (x | hi16) - y
+	m := ((d & hi16) >> 15) * 0xFFFF
+	return d & m & lo16
+}
+
+// AnyGtU15 is AnyGtU7 at 16-bit lanes: lanes must be below 32768.
+func AnyGtU15(x, y uint64) bool { return ((y|hi16)-x)&hi16 != hi16 }
+
+// AddSatU16 is the lane-wise unsigned saturating add on 16-bit lanes.
+func AddSatU16(x, y uint64) uint64 {
+	s := (x & lo16) + (y & lo16)
+	sum := s ^ ((x ^ y) & hi16)
+	cout := ((x & y) | ((x | y) &^ sum)) & hi16
+	return sum | ((cout >> 15) * 0xFFFF)
+}
+
+// SubSatU16 is the lane-wise unsigned saturating subtract on 16-bit
+// lanes.
+func SubSatU16(x, y uint64) uint64 {
+	d := (x | hi16) - (y & lo16)
+	diff := d ^ ((x ^ y ^ hi16) & hi16)
+	bout := ((^x & y) | (^(x ^ y) & diff)) & hi16
+	return diff &^ ((bout >> 15) * 0xFFFF)
+}
+
+// MaxU16 is the lane-wise unsigned maximum on 16-bit lanes.
+func MaxU16(x, y uint64) uint64 { return x + SubSatU16(y, x) }
+
+// MinU16 is the lane-wise unsigned minimum on 16-bit lanes.
+func MinU16(x, y uint64) uint64 { return x - SubSatU16(x, y) }
+
+// GtMaskU16 returns 0xFFFF in every 16-bit lane where x > y (unsigned)
+// and 0x0000 elsewhere.
+func GtMaskU16(x, y uint64) uint64 {
+	d := SubSatU16(x, y)
+	nz := ((d & lo16) + lo16) | d
+	return ((nz & hi16) >> 15) * 0xFFFF
+}
+
+// BlendU16 selects 16-bit lanes by a full-lane mask.
+func BlendU16(mask, t, f uint64) uint64 { return (t & mask) | (f &^ mask) }
+
+// AnyGtU16 reports whether any 16-bit lane of x exceeds the matching
+// lane of y.
+func AnyGtU16(x, y uint64) bool { return SubSatU16(x, y) != 0 }
+
+// HMaxU16 reduces the word to its largest 16-bit lane.
+func HMaxU16(x uint64) uint16 {
+	x = MaxU16(x, x>>32)
+	x = MaxU16(x, x>>16)
+	return uint16(x)
+}

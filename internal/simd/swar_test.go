@@ -1,0 +1,368 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Scalar lane references. Every SWAR op must match these lane for
+// lane; the tests below drive all 65536 (x, y) byte pairs through
+// every lane position with noise in the other lanes, so a formula
+// that leaks carries or borrows across lane boundaries cannot pass.
+
+func lanes8(w uint64) [8]uint8 {
+	var out [8]uint8
+	for i := range out {
+		out[i] = uint8(w >> (8 * i))
+	}
+	return out
+}
+
+func lanes16(w uint64) [4]uint16 {
+	var out [4]uint16
+	for i := range out {
+		out[i] = uint16(w >> (16 * i))
+	}
+	return out
+}
+
+func ref8(op string, a, b uint8) uint8 {
+	switch op {
+	case "addsat":
+		s := int(a) + int(b)
+		if s > 255 {
+			s = 255
+		}
+		return uint8(s)
+	case "subsat":
+		d := int(a) - int(b)
+		if d < 0 {
+			d = 0
+		}
+		return uint8(d)
+	case "max":
+		return max(a, b)
+	case "min":
+		return min(a, b)
+	case "gtmask":
+		if a > b {
+			return 0xFF
+		}
+		return 0
+	}
+	panic("unknown op")
+}
+
+func ref16(op string, a, b uint16) uint16 {
+	switch op {
+	case "addsat":
+		s := int(a) + int(b)
+		if s > 0xFFFF {
+			s = 0xFFFF
+		}
+		return uint16(s)
+	case "subsat":
+		d := int(a) - int(b)
+		if d < 0 {
+			d = 0
+		}
+		return uint16(d)
+	case "max":
+		return max(a, b)
+	case "min":
+		return min(a, b)
+	case "gtmask":
+		if a > b {
+			return 0xFFFF
+		}
+		return 0
+	}
+	panic("unknown op")
+}
+
+var ops8 = map[string]func(x, y uint64) uint64{
+	"addsat": AddSatU8,
+	"subsat": SubSatU8,
+	"max":    MaxU8,
+	"min":    MinU8,
+	"gtmask": GtMaskU8,
+}
+
+var ops16 = map[string]func(x, y uint64) uint64{
+	"addsat": AddSatU16,
+	"subsat": SubSatU16,
+	"max":    MaxU16,
+	"min":    MinU16,
+	"gtmask": GtMaskU16,
+}
+
+func checkWord8(t *testing.T, op string, f func(x, y uint64) uint64, x, y uint64) {
+	t.Helper()
+	got := lanes8(f(x, y))
+	xs, ys := lanes8(x), lanes8(y)
+	for l := 0; l < LanesU8; l++ {
+		if want := ref8(op, xs[l], ys[l]); got[l] != want {
+			t.Fatalf("%sU8 lane %d of (%#016x, %#016x): got %#02x want %#02x",
+				op, l, x, y, got[l], want)
+		}
+	}
+}
+
+func checkWord16(t *testing.T, op string, f func(x, y uint64) uint64, x, y uint64) {
+	t.Helper()
+	got := lanes16(f(x, y))
+	xs, ys := lanes16(x), lanes16(y)
+	for l := 0; l < LanesU16; l++ {
+		if want := ref16(op, xs[l], ys[l]); got[l] != want {
+			t.Fatalf("%sU16 lane %d of (%#016x, %#016x): got %#04x want %#04x",
+				op, l, x, y, got[l], want)
+		}
+	}
+}
+
+// Exhaustive over all 256*256 byte pairs: each pair is planted in a
+// rotating lane with deterministic pseudo-random noise in the other
+// lanes, and every lane of the result (noise lanes included) is
+// checked against the scalar reference.
+func TestSWARU8Exhaustive(t *testing.T) {
+	for op, f := range ops8 {
+		rng := rand.New(rand.NewSource(1))
+		for a := 0; a < 256; a++ {
+			for b := 0; b < 256; b++ {
+				lane := (a*256 + b) % LanesU8
+				x, y := rng.Uint64(), rng.Uint64()
+				x = x&^(0xFF<<(8*lane)) | uint64(a)<<(8*lane)
+				y = y&^(0xFF<<(8*lane)) | uint64(b)<<(8*lane)
+				checkWord8(t, op, f, x, y)
+			}
+		}
+	}
+}
+
+// U16 lanes: exhaustive over the carry/borrow boundary values crossed
+// with each other in every lane, plus a randomized sweep.
+func TestSWARU16BoundariesAndRandom(t *testing.T) {
+	bounds := []uint16{0, 1, 2, 0x7F, 0x80, 0xFF, 0x100, 0x7FFE, 0x7FFF, 0x8000, 0x8001, 0xFFFE, 0xFFFF}
+	for op, f := range ops16 {
+		rng := rand.New(rand.NewSource(2))
+		for _, a := range bounds {
+			for _, b := range bounds {
+				for lane := 0; lane < LanesU16; lane++ {
+					x, y := rng.Uint64(), rng.Uint64()
+					x = x&^(0xFFFF<<(16*lane)) | uint64(a)<<(16*lane)
+					y = y&^(0xFFFF<<(16*lane)) | uint64(b)<<(16*lane)
+					checkWord16(t, op, f, x, y)
+				}
+			}
+		}
+		for i := 0; i < 200000; i++ {
+			checkWord16(t, op, f, rng.Uint64(), rng.Uint64())
+		}
+	}
+}
+
+func TestSWARSplat(t *testing.T) {
+	for _, v := range []uint8{0, 1, 0x7F, 0x80, 0xFF} {
+		for _, l := range lanes8(SplatU8(v)) {
+			if l != v {
+				t.Fatalf("SplatU8(%#02x) lane = %#02x", v, l)
+			}
+		}
+	}
+	for _, v := range []uint16{0, 1, 0x7FFF, 0x8000, 0xFFFF} {
+		for _, l := range lanes16(SplatU16(v)) {
+			if l != v {
+				t.Fatalf("SplatU16(%#04x) lane = %#04x", v, l)
+			}
+		}
+	}
+}
+
+func TestSWARBlend(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		x, y, tv, fv := rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()
+		m8 := GtMaskU8(x, y)
+		got := lanes8(BlendU8(m8, tv, fv))
+		xs, ys, ts, fs := lanes8(x), lanes8(y), lanes8(tv), lanes8(fv)
+		for l := 0; l < LanesU8; l++ {
+			want := fs[l]
+			if xs[l] > ys[l] {
+				want = ts[l]
+			}
+			if got[l] != want {
+				t.Fatalf("BlendU8 lane %d: got %#02x want %#02x", l, got[l], want)
+			}
+		}
+		m16 := GtMaskU16(x, y)
+		got16 := lanes16(BlendU16(m16, tv, fv))
+		xs16, ys16, ts16, fs16 := lanes16(x), lanes16(y), lanes16(tv), lanes16(fv)
+		for l := 0; l < LanesU16; l++ {
+			want := fs16[l]
+			if xs16[l] > ys16[l] {
+				want = ts16[l]
+			}
+			if got16[l] != want {
+				t.Fatalf("BlendU16 lane %d: got %#04x want %#04x", l, got16[l], want)
+			}
+		}
+	}
+}
+
+func TestSWARAnyGtAndHMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		x, y := rng.Uint64(), rng.Uint64()
+		xs, ys := lanes8(x), lanes8(y)
+		want := false
+		var wantMax uint8
+		for l := 0; l < LanesU8; l++ {
+			want = want || xs[l] > ys[l]
+			wantMax = max(wantMax, xs[l])
+		}
+		if got := AnyGtU8(x, y); got != want {
+			t.Fatalf("AnyGtU8(%#x, %#x) = %v want %v", x, y, got, want)
+		}
+		if got := HMaxU8(x); got != wantMax {
+			t.Fatalf("HMaxU8(%#x) = %#02x want %#02x", x, got, wantMax)
+		}
+		xs16, ys16 := lanes16(x), lanes16(y)
+		want16 := false
+		var wantMax16 uint16
+		for l := 0; l < LanesU16; l++ {
+			want16 = want16 || xs16[l] > ys16[l]
+			wantMax16 = max(wantMax16, xs16[l])
+		}
+		if got := AnyGtU16(x, y); got != want16 {
+			t.Fatalf("AnyGtU16(%#x, %#x) = %v want %v", x, y, got, want16)
+		}
+		if got := HMaxU16(x); got != wantMax16 {
+			t.Fatalf("HMaxU16(%#x) = %#04x want %#04x", x, got, wantMax16)
+		}
+	}
+}
+
+// The U7 ops: exhaustive over their whole documented domain (all
+// 128*128 lane pairs in every lane position with in-domain noise in
+// the rest).
+func TestSWARU7Exhaustive(t *testing.T) {
+	const dom = 0x7F7F7F7F7F7F7F7F
+	rng := rand.New(rand.NewSource(5))
+	for a := 0; a < 128; a++ {
+		for b := 0; b < 128; b++ {
+			lane := (a*128 + b) % LanesU8
+			x := rng.Uint64() & dom
+			y := rng.Uint64() & dom
+			x = x&^(0xFF<<(8*lane)) | uint64(a)<<(8*lane)
+			y = y&^(0xFF<<(8*lane)) | uint64(b)<<(8*lane)
+			checkWord8(t, "max", MaxU7, x, y)
+			checkWord8(t, "subsat", SubSatU7, x, y)
+			xs, ys := lanes8(x), lanes8(y)
+			wantGt := false
+			for l := 0; l < LanesU8; l++ {
+				wantGt = wantGt || xs[l] > ys[l]
+			}
+			if got := AnyGtU7(x, y); got != wantGt {
+				t.Fatalf("AnyGtU7(%#x, %#x) = %v want %v", x, y, got, wantGt)
+			}
+		}
+	}
+}
+
+// The U15 ops: boundary-exhaustive plus randomized, mirroring the U16
+// coverage but restricted to the sub-32768 domain.
+func TestSWARU15BoundariesAndRandom(t *testing.T) {
+	const dom = 0x7FFF7FFF7FFF7FFF
+	bounds := []uint16{0, 1, 2, 0x7F, 0x80, 0xFF, 0x100, 0x3FFF, 0x4000, 0x7FFE, 0x7FFF}
+	rng := rand.New(rand.NewSource(6))
+	check := func(x, y uint64) {
+		t.Helper()
+		checkWord16(t, "max", MaxU15, x, y)
+		checkWord16(t, "subsat", SubSatU15, x, y)
+		xs, ys := lanes16(x), lanes16(y)
+		wantGt := false
+		for l := 0; l < LanesU16; l++ {
+			wantGt = wantGt || xs[l] > ys[l]
+		}
+		if got := AnyGtU15(x, y); got != wantGt {
+			t.Fatalf("AnyGtU15(%#x, %#x) = %v want %v", x, y, got, wantGt)
+		}
+	}
+	for _, a := range bounds {
+		for _, b := range bounds {
+			for lane := 0; lane < LanesU16; lane++ {
+				x := rng.Uint64() & dom
+				y := rng.Uint64() & dom
+				x = x&^(0xFFFF<<(16*lane)) | uint64(a)<<(16*lane)
+				y = y&^(0xFFFF<<(16*lane)) | uint64(b)<<(16*lane)
+				check(x, y)
+			}
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		check(rng.Uint64()&dom, rng.Uint64()&dom)
+	}
+}
+
+// The overflow latch the alignment kernel builds from MSB8/MSB16:
+// adding a margin of (128 - limit) to an in-domain word sets a lane
+// MSB exactly when that lane exceeds limit.
+func TestSWAROverflowLatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300000; i++ {
+		maxPv := uint8(1 + rng.Intn(127)) // the margin the kernel splats
+		limit := 127 - maxPv              // the U7 domain bound it enforces
+		margin := SplatU8(maxPv)
+		var x uint64
+		for l := 0; l < LanesU8; l++ {
+			x |= uint64(rng.Intn(128)) << (8 * l) // any U7-representable lane
+		}
+		flag := (x + margin) & MSB8
+		xs := lanes8(x)
+		anyOver := false
+		for l := 0; l < LanesU8; l++ {
+			anyOver = anyOver || xs[l] > limit
+		}
+		if (flag != 0) != anyOver {
+			t.Fatalf("u8 latch(%#x, maxPv=%d): flag=%#x anyOver=%v", x, maxPv, flag, anyOver)
+		}
+
+		maxPv16 := uint16(1 + rng.Intn(32767))
+		limit16 := 32767 - maxPv16
+		margin16 := SplatU16(maxPv16)
+		var x16 uint64
+		for l := 0; l < LanesU16; l++ {
+			x16 |= uint64(rng.Intn(32768)) << (16 * l)
+		}
+		flag16 := (x16 + margin16) & MSB16
+		xs16 := lanes16(x16)
+		anyOver16 := false
+		for l := 0; l < LanesU16; l++ {
+			anyOver16 = anyOver16 || xs16[l] > limit16
+		}
+		if (flag16 != 0) != anyOver16 {
+			t.Fatalf("u16 latch(%#x, maxPv=%d): flag=%#x anyOver=%v", x16, maxPv16, flag16, anyOver16)
+		}
+	}
+}
+
+// The SWAR layer must be allocation-free and branch-free enough to
+// stay on the stack: a full op chain may not touch the heap.
+func TestSWAREngineAllocationFree(t *testing.T) {
+	x, y := SplatU8(7), SplatU8(200)
+	var sink uint8
+	if avg := testing.AllocsPerRun(100, func() {
+		v := AddSatU8(x, y)
+		v = SubSatU8(v, y)
+		v = MaxU8(v, x)
+		v = MinU8(v, y)
+		v = BlendU8(GtMaskU8(v, x), v, x)
+		v = AddSatU16(v, x)
+		v = SubSatU16(v, y)
+		v = MaxU16(v, MinU16(x, y))
+		sink = HMaxU8(v) + uint8(HMaxU16(v))
+	}); avg != 0 {
+		t.Errorf("swar op chain: %.2f allocs/op, want 0", avg)
+	}
+	_ = sink
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -38,6 +39,13 @@ type ChunkedTrace struct {
 	spillOff  int64
 	closed    bool
 	err       error // first deferred spill-write error
+
+	// mu orders Close against concurrent cursor page-ins: cursors
+	// hold it shared around the closed-check plus ReadAt (so reads of
+	// many cursors still run in parallel), Close holds it exclusively
+	// while tearing down the spill state. Build-phase calls (Emit,
+	// Seal) are single-goroutine by contract and take no lock.
+	mu sync.RWMutex
 }
 
 // NewChunked returns an in-memory chunked trace builder.
@@ -119,8 +127,12 @@ func (c *ChunkedTrace) Spilled() bool { return c.spillPath != "" }
 
 // Close releases the spill file (removing it from disk). A spilled
 // trace is unreadable afterwards — cursors report an error, not a
-// panic. In-memory traces need no Close.
+// panic, including cursors actively reading when Close lands: Close
+// waits for in-flight page-ins, then any later page-in observes the
+// closed flag. In-memory traces need no Close.
 func (c *ChunkedTrace) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.closed = true
 	if c.spill == nil {
 		return nil
@@ -201,7 +213,13 @@ func (cu *Cursor) loadChunk() bool {
 	if cu.err != nil || cu.next >= t.numChunks() {
 		return false
 	}
-	if t.Spilled() && t.closed {
+	// Shared lock: many cursors page in concurrently; only Close
+	// excludes them. The closed/spill checks must happen under the
+	// lock or a racing Close could nil the file (or remove it) between
+	// check and ReadAt.
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed && t.Spilled() {
 		cu.err = fmt.Errorf("trace: cursor read after ChunkedTrace.Close")
 		return false
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -361,6 +362,79 @@ func TestCursorAfterCloseErrsCleanly(t *testing.T) {
 	}
 	if cu.Err() == nil {
 		t.Error("cursor on a closed spill should report an error, not clean EOF")
+	}
+}
+
+// Close racing active cursors (the ROADMAP-flagged hazard): cursors
+// paging from the spill while another goroutine calls Close must
+// never panic or trip the race detector — each either drains the full
+// stream or stops with the read-after-Close error. Run with -race.
+func TestChunkedCloseRacesActiveCursors(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		n := 3*DefaultChunkSize + 123
+		insts := randomInsts(n, int64(100+trial))
+		ct, err := NewChunkedSpill(filepath.Join(t.TempDir(), "race.trc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range insts {
+			ct.Emit(in)
+		}
+		if err := ct.Seal(); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make([]error, 4)
+		drained := make([]int, len(errs))
+		for w := range errs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				cu := ct.Cursor()
+				for {
+					in, ok := cu.Next()
+					if !ok {
+						break
+					}
+					if in != insts[drained[w]] {
+						errs[w] = fmt.Errorf("cursor %d: inst %d differs", w, drained[w])
+						return
+					}
+					drained[w]++
+				}
+				errs[w] = cu.Err()
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := ct.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			// A second Close must stay a safe no-op mid-race too.
+			if err := ct.Close(); err != nil {
+				t.Errorf("second Close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+
+		for w, err := range errs {
+			switch {
+			case err == nil:
+				if drained[w] != n {
+					t.Errorf("trial %d cursor %d: clean EOF after %d of %d insts", trial, w, drained[w], n)
+				}
+			case strings.Contains(err.Error(), "after ChunkedTrace.Close"):
+				// the documented loser's outcome
+			default:
+				t.Errorf("trial %d cursor %d: unexpected error %v", trial, w, err)
+			}
+		}
 	}
 }
 
