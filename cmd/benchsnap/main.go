@@ -1,25 +1,32 @@
 // Command benchsnap measures the scoring kernels, the parallel scan
-// harness, the simulation sweep engine, and the indexed
-// seed-and-extend search programmatically and writes a JSON snapshot
-// (ns/op, GCUPS, allocs/op per kernel; configs simulated per second
-// for sweeps; queries per second and recall@10 for indexed search) so
-// the repository's performance trajectory is recorded PR over PR (see
-// DESIGN.md). CI emits BENCH_<n>.json artifacts with it.
+// harness, the simulation sweep engine, the indexed seed-and-extend
+// search, and the HTTP search service programmatically and writes a
+// JSON snapshot (ns/op, GCUPS, allocs/op per kernel; configs simulated
+// per second for sweeps; queries per second and recall@10 for indexed
+// search; served qps cached and uncached) so the repository's
+// performance trajectory is recorded PR over PR (see DESIGN.md). CI
+// emits BENCH_<n>.json artifacts with it.
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_4.json] [-min-swar-speedup 1.0]
+//	benchsnap [-o BENCH_5.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0]
 //
 // The snapshot carries a swar_vs_sw_speedup field (the SWAR kernel's
-// Mcells/s over the scalar reference's); -min-swar-speedup makes the
-// run fail when the ratio drops below the bound, which is how CI keeps
-// the multi-lane kernel from regressing below scalar.
+// Mcells/s over the scalar reference's) and a cache_speedup field (the
+// service's cache-hit qps over its uncached qps). Both gates are
+// ratios measured in the same run, not absolute rates, so CI hardware
+// variance cannot flake them: -min-swar-speedup keeps the multi-lane
+// kernel from regressing below scalar, -min-cache-speedup keeps the
+// result cache paying for itself.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -30,6 +37,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/server"
 	"repro/internal/simd"
 	"repro/internal/uarch"
 )
@@ -70,6 +78,19 @@ type IndexedResult struct {
 	RecallAt10    float64 `json:"recall_at_10"`
 }
 
+// ServerResult is one measurement of the HTTP search service: full
+// request service through the handler (JSON decode, validation,
+// admission, batched indexed scan, ranking, JSON encode), with the
+// result cache disabled (server_qps) or serving steady-state hits
+// (cache_hit_qps).
+type ServerResult struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	DBSeqs  int     `json:"db_seqs"`
+	QPS     float64 `json:"qps"`
+	MeanUs  float64 `json:"mean_us"`
+}
+
 // Snapshot is the file format.
 type Snapshot struct {
 	GoVersion     string          `json:"go_version"`
@@ -78,16 +99,20 @@ type Snapshot struct {
 	QueryLen      int             `json:"query_len"`
 	SubjectLen    int             `json:"subject_len"`
 	SwarVsSw      float64         `json:"swar_vs_sw_speedup"`
+	CacheSpeedup  float64         `json:"cache_speedup"`
 	Kernels       []KernelResult  `json:"kernels"`
 	Scan          []KernelResult  `json:"scan"`
 	Sweep         []SweepResult   `json:"sweep"`
 	IndexedSearch []IndexedResult `json:"indexed_search"`
+	Server        []ServerResult  `json:"server"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output file")
+	out := flag.String("o", "BENCH_5.json", "output file")
 	minSwar := flag.Float64("min-swar-speedup", 0,
 		"fail unless the swar kernel is at least this many times faster than scalar sw (0 disables)")
+	minCache := flag.Float64("min-cache-speedup", 0,
+		"fail unless cached /search qps is at least this many times the uncached qps (0 disables)")
 	flag.Parse()
 
 	p := align.PaperParams()
@@ -270,6 +295,51 @@ func main() {
 		RecallAt10:    float64(found) / float64(total),
 	})
 
+	// The search service end to end, on the same indexed benchmark
+	// database: server_qps is the uncached rate (cache disabled, every
+	// request runs the batched indexed scan), cache_hit_qps the
+	// steady-state LRU-hit rate of an identical request stream. Both
+	// go through the full HTTP handler, so the ratio is the cache's
+	// real leverage including JSON and admission overhead.
+	serveDB := func(name string, cacheEntries int) ServerResult {
+		srv, err := server.New(idxDB, ix, server.Config{CacheEntries: cacheEntries})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		handler := srv.Handler()
+		body, err := json.Marshal(server.SearchRequest{Query: q.String(), K: 10})
+		if err != nil {
+			fatal(err)
+		}
+		post := func() {
+			rec := httptest.NewRecorder()
+			rq := httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body))
+			handler.ServeHTTP(rec, rq)
+			if rec.Code != http.StatusOK {
+				fatal(fmt.Errorf("%s: /search returned %d: %s", name, rec.Code, rec.Body.String()))
+			}
+		}
+		post() // warm scratch buffers and, when enabled, the cache
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				post()
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		return ServerResult{
+			Name:    name,
+			Workers: runtime.GOMAXPROCS(0),
+			DBSeqs:  idxDB.NumSeqs(),
+			QPS:     1e9 / ns,
+			MeanUs:  ns / 1e3,
+		}
+	}
+	uncachedRow := serveDB("server_qps", -1)
+	cachedRow := serveDB("cache_hit_qps", 0)
+	snap.Server = append(snap.Server, uncachedRow, cachedRow)
+	snap.CacheSpeedup = cachedRow.QPS / uncachedRow.QPS
+
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -279,10 +349,14 @@ func main() {
 		fatal(err)
 	}
 	ir := snap.IndexedSearch[0]
-	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f)\n",
-		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), snap.SwarVsSw, ir.Speedup, ir.RecallAt10)
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx)\n",
+		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), snap.SwarVsSw, ir.Speedup, ir.RecallAt10,
+		uncachedRow.QPS, cachedRow.QPS, snap.CacheSpeedup)
 	if *minSwar > 0 && snap.SwarVsSw < *minSwar {
 		fatal(fmt.Errorf("swar kernel is %.2fx scalar sw, below the required %.2fx", snap.SwarVsSw, *minSwar))
+	}
+	if *minCache > 0 && snap.CacheSpeedup < *minCache {
+		fatal(fmt.Errorf("cached /search is %.2fx uncached, below the required %.2fx", snap.CacheSpeedup, *minCache))
 	}
 }
 

@@ -1,0 +1,152 @@
+// Command seqserve is the long-lived alignment search service: it
+// loads a protein database and a seed index once at startup, then
+// serves deterministic top-K searches over HTTP until SIGTERM/SIGINT,
+// when it drains gracefully (stop accepting, finish in-flight
+// requests, flush final stats) and exits 0.
+//
+// Usage:
+//
+//	seqserve -db synthetic:1000 -related 20 -addr :8044
+//	seqserve -db swissprot.fasta -index sp.seqidx -workers 8
+//	curl -s localhost:8044/healthz
+//	curl -s -d '{"query":"MTDKL...","k":5}' localhost:8044/search
+//	curl -s localhost:8044/statsz
+//
+// The endpoints and the pipeline behind them (admission ->
+// micro-batch -> shard -> rescore -> rank -> cache) are documented in
+// internal/server and DESIGN.md's "Search service" section.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/index"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dbArg   = flag.String("db", "synthetic:1000", "database: FASTA file path or synthetic:<n>")
+		dbSeed  = flag.Int64("seed", 20061001, "synthetic database generator seed")
+		related = flag.Int("related", 0, "plant this many homologs in a synthetic database")
+		parent  = flag.String("parent", "P14942", "Table II accession the planted homologs derive from")
+
+		indexArg = flag.String("index", "build",
+			"seed index: an indexbuild file, 'build' to index in-process at startup, or 'none' for exhaustive-only")
+		kFlag = flag.Int("k", index.DefaultK, "k-mer length when -index build")
+
+		addr        = flag.String("addr", ":8044", "listen address")
+		workers     = flag.Int("workers", 0, "scan worker pool size (0 = all CPUs)")
+		kernel      = flag.String("kernel", "swar", "default scoring kernel for requests that pick none")
+		cacheSize   = flag.Int("cache", server.DefaultCacheEntries, "LRU result cache entries (0 disables)")
+		batchWindow = flag.Duration("batch-window", server.DefaultBatchWindow,
+			"how long to hold a micro-batch open under concurrent load (0 disables the wait)")
+		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "max requests coalesced into one batch")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	var parentSeq *bio.Sequence
+	if *related > 0 {
+		parentSeq = bio.PaperQuery(*parent)
+	}
+	db, err := bio.LoadDatabase(*dbArg, *dbSeed, *related, parentSeq)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ix *index.Index
+	switch *indexArg {
+	case "none":
+	case "build":
+		if *kFlag < index.MinK || *kFlag > index.MaxK {
+			fatal(fmt.Errorf("-k %d outside [%d, %d]", *kFlag, index.MinK, index.MaxK))
+		}
+		start := time.Now()
+		ix = index.Build(db, index.Options{K: *kFlag})
+		fmt.Printf("built seed index in %v (k=%d, %.1f MiB)\n",
+			time.Since(start).Round(time.Millisecond), ix.K(),
+			float64(ix.Stats().FootprintBytes)/(1<<20))
+	default:
+		f, err := os.Open(*indexArg)
+		if err != nil {
+			fatal(err)
+		}
+		ix, err = index.ReadIndex(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("loading index %s: %w", *indexArg, err))
+		}
+		// server.New validates the index fingerprint against db.
+	}
+
+	// At the flag layer the defaults are already spelled out, so an
+	// explicit 0 can only mean "off" — translate it to the Config
+	// disable sentinel (where 0 means "use the default").
+	if *cacheSize == 0 {
+		*cacheSize = -1
+	}
+	if *batchWindow == 0 {
+		*batchWindow = -1
+	}
+	srv, err := server.New(db, ix, server.Config{
+		Workers:       *workers,
+		DefaultKernel: *kernel,
+		CacheEntries:  *cacheSize,
+		BatchWindow:   *batchWindow,
+		MaxBatch:      *maxBatch,
+	})
+	if err != nil {
+		if ix != nil && *indexArg != "build" {
+			err = fmt.Errorf("%w (rebuild %s for this database, or pass the same -db/-seed/-related here and to indexbuild)", err, *indexArg)
+		}
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("seqserve: serving %d sequences (%d residues) on %s\n",
+		db.NumSeqs(), db.TotalResidues(), *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("seqserve: %v, draining\n", sig)
+	case err := <-errCh:
+		fatal(err) // the listener died before any signal
+	}
+
+	// Graceful drain: Shutdown stops accepting and waits for in-flight
+	// handlers; only then may the batching pipeline stop. Requests
+	// arriving after the signal are refused by the closed listener —
+	// none ever see a half-stopped pipeline.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// Handlers may still be mid-pipeline; stopping the dispatcher
+		// and workers under them would panic or hang. Report the
+		// failed drain honestly and exit non-zero.
+		fatal(fmt.Errorf("drain timed out after %v: %w", *drainWait, err))
+	}
+	srv.Close()
+
+	stats := srv.Stats()
+	fmt.Printf("seqserve: drained after %.1fs: %d requests (%.1f qps), %d errors, cache hit rate %.2f (%d hits, %d coalesced, %d misses)\n",
+		stats.UptimeS, stats.Requests, stats.QPS, stats.Errors,
+		stats.Cache.HitRate, stats.Cache.Hits, stats.Cache.Coalesced, stats.Cache.Misses)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqserve:", err)
+	os.Exit(1)
+}

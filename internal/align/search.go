@@ -82,6 +82,70 @@ type Hit struct {
 	Score int
 }
 
+// PreparedQuery bundles a query with the profile its kernel scans
+// from, built once and shared read-only across workers. SearchDB
+// prepares one per call; long-lived services (internal/server)
+// prepare one per request and drive Scratch.ScorePrepared from many
+// scan units, so kernel dispatch and profile construction live in one
+// place.
+type PreparedQuery struct {
+	kernel Kernel
+	params Params
+	query  []uint8
+	prof   *Profile
+	sp     *StripedProfile
+	swp    *SWARProfile
+}
+
+// PrepareQuery builds the profile kernel k needs to score query under
+// p. The result is read-only and safe to share across goroutines.
+func PrepareQuery(p Params, query []uint8, k Kernel) *PreparedQuery {
+	pq := &PreparedQuery{kernel: k, params: p, query: query}
+	switch k {
+	case KernelSSEARCH, KernelGotoh, KernelVMX128, KernelVMX256:
+		pq.prof = NewProfile(query, p)
+	case KernelStriped:
+		pq.sp = NewStripedProfile(query, p, simd.Lanes128)
+	case KernelSWAR:
+		pq.swp = NewSWARProfile(query, p)
+	case KernelSW:
+		// the reference scalar kernel reads the matrix directly
+	default:
+		panic(fmt.Sprintf("align: unknown kernel %d", int(k)))
+	}
+	return pq
+}
+
+// Kernel returns the kernel the query was prepared for.
+func (pq *PreparedQuery) Kernel() Kernel { return pq.kernel }
+
+// Query returns the residue-encoded query the profile was built from.
+func (pq *PreparedQuery) Query() []uint8 { return pq.query }
+
+// ScorePrepared scores one database sequence against a prepared query
+// with its kernel. Zero allocations once the Scratch has grown to the
+// query/subject sizes in play.
+func (s *Scratch) ScorePrepared(pq *PreparedQuery, b []uint8) int {
+	switch pq.kernel {
+	case KernelSSEARCH:
+		return s.SSEARCHScore(pq.prof, b)
+	case KernelSW:
+		return s.SWScore(pq.params, pq.query, b)
+	case KernelGotoh:
+		return s.GotohScore(pq.prof, b)
+	case KernelVMX128:
+		return s.SWScoreVMX128(pq.prof, b)
+	case KernelVMX256:
+		return s.SWScoreVMX256(pq.prof, b)
+	case KernelStriped:
+		return s.SWScoreStriped(pq.sp, b)
+	case KernelSWAR:
+		return s.SWScoreSWAR(pq.swp, b)
+	default:
+		panic("align: unknown search kernel")
+	}
+}
+
 // CandidateFilter proposes the database sequences worth exact scoring
 // for a query — the seeding half of a seed-and-extend search.
 // internal/index's Searcher is the canonical implementation. The
@@ -171,42 +235,11 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 		minScore = 1
 	}
 
-	// Profiles are read-only and shared across workers; each worker
-	// carries its own DP scratch.
-	var prof *Profile
-	var sp *StripedProfile
-	var swp *SWARProfile
-	switch cfg.Kernel {
-	case KernelSSEARCH, KernelGotoh, KernelVMX128, KernelVMX256:
-		prof = NewProfile(query, p)
-	case KernelStriped:
-		sp = NewStripedProfile(query, p, simd.Lanes128)
-	case KernelSWAR:
-		swp = NewSWARProfile(query, p)
-	}
+	// The prepared profile is read-only and shared across workers;
+	// each worker carries its own DP scratch.
+	pq := PrepareQuery(p, query, cfg.Kernel)
 
 	scores := make([]int, numItems)
-	score1 := func(scr *Scratch, b []uint8) int {
-		switch cfg.Kernel {
-		case KernelSSEARCH:
-			return scr.SSEARCHScore(prof, b)
-		case KernelSW:
-			return scr.SWScore(p, query, b)
-		case KernelGotoh:
-			return scr.GotohScore(prof, b)
-		case KernelVMX128:
-			return scr.SWScoreVMX128(prof, b)
-		case KernelVMX256:
-			return scr.SWScoreVMX256(prof, b)
-		case KernelStriped:
-			return scr.SWScoreStriped(sp, b)
-		case KernelSWAR:
-			return scr.SWScoreSWAR(swp, b)
-		default:
-			panic("align: unknown search kernel")
-		}
-	}
-
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -226,14 +259,25 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 					if cand != nil {
 						seqIdx = cand[i]
 					}
-					scores[i] = score1(scr, seqs[seqIdx].Residues)
+					scores[i] = scr.ScorePrepared(pq, seqs[seqIdx].Residues)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	hits := make([]Hit, 0, numItems/4+1)
+	return RankHits(seqs, cand, scores, minScore, cfg.TopK)
+}
+
+// RankHits turns per-item scores into the ranked hit list every scan
+// in the repository reports: score descending, database order breaking
+// ties, truncated to topK (<= 0 keeps all), items below minScore
+// dropped. cand maps item positions to database indexes; nil means
+// items are database indexes already. The ranking is deterministic, so
+// any scan that produces the same scores — whatever its sharding or
+// batching — produces bit-identical hits.
+func RankHits(seqs []*bio.Sequence, cand []int, scores []int, minScore, topK int) []Hit {
+	hits := make([]Hit, 0, len(scores)/4+1)
 	for i, sc := range scores {
 		if sc >= minScore {
 			seqIdx := i
@@ -249,8 +293,8 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 		}
 		return hits[i].Index < hits[j].Index
 	})
-	if cfg.TopK > 0 && len(hits) > cfg.TopK {
-		hits = hits[:cfg.TopK]
+	if topK > 0 && len(hits) > topK {
+		hits = hits[:topK]
 	}
 	return hits
 }

@@ -102,6 +102,15 @@ func NewSearcher(ix *Index, db *bio.Database, p align.Params, opts SearchOptions
 	return &Searcher{ix: ix, db: db, p: p, opts: opts.normalized(), scr: align.NewScratch()}
 }
 
+// Clone returns a new Searcher over the same index, database, params,
+// and options, with its own scratch buffers. A query-serving worker
+// pool clones one validated Searcher per worker: the clones share the
+// read-only Index and Database but never each other's DP state, so
+// they can run concurrently (internal/server does exactly that).
+func (s *Searcher) Clone() *Searcher {
+	return &Searcher{ix: s.ix, db: s.db, p: s.p, opts: s.opts, scr: align.NewScratch()}
+}
+
 // Candidates implements align.CandidateFilter: it returns the indexes
 // (ascending, unique) of the database sequences worth exact scoring
 // for query, at most max of them (max <= 0 means

@@ -1,0 +1,205 @@
+// Package server is the long-lived alignment search service: it loads
+// a database and (optionally) a seed index once at startup and serves
+// queries over HTTP as JSON. The pipeline behind POST /search is
+//
+//	admission -> micro-batch -> shard -> rescore -> rank -> cache
+//
+// with a bounded worker pool owning all DP state (per-worker
+// align.Scratch and index.Searcher clones), an LRU result cache with
+// single-flight deduplication of identical in-flight queries, and
+// /healthz + /statsz endpoints for operation. Results are
+// deterministic: the same query and knobs return bit-identical hits
+// across restarts, worker counts, batch compositions, and cache
+// hit/miss — only the `cached` flag and timings vary. DESIGN.md's
+// "Search service" section walks through the architecture.
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+// SearchRequest is the POST /search body. Only `query` is required;
+// the zero value of every knob selects the server default.
+type SearchRequest struct {
+	// Query is the ASCII protein sequence to search with.
+	Query string `json:"query"`
+	// Kernel names the exact scoring kernel (align.KernelNames);
+	// empty selects the server's default (swar).
+	Kernel string `json:"kernel,omitempty"`
+	// K is how many top hits to return; 0 selects DefaultTopK.
+	K int `json:"k,omitempty"`
+	// MaxCandidates bounds the seed filter's candidate set on the
+	// indexed path; 0 selects the index default, >= database size
+	// degrades to the exact scan.
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	// Exhaustive forces a full database scan, bypassing the seed
+	// index. Servers started without an index always scan
+	// exhaustively.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// MinScore drops hits scoring below it; 0 selects 1.
+	MinScore int `json:"min_score,omitempty"`
+}
+
+// Hit is one reported database hit, the wire form of align.Hit. It
+// round-trips through JSON without loss (api_test.go pins that).
+type Hit struct {
+	Index int    `json:"index"` // database sequence position
+	ID    string `json:"id"`
+	Desc  string `json:"desc,omitempty"`
+	Len   int    `json:"len"`
+	Score int    `json:"score"`
+}
+
+// SearchResponse is the POST /search success body. Hits is always
+// present (possibly empty) and bit-identical for identical requests;
+// Cached and TookUs are the only fields that vary between a computed
+// and a cache- or flight-served response.
+type SearchResponse struct {
+	QueryLen   int    `json:"query_len"`
+	Kernel     string `json:"kernel"`
+	K          int    `json:"k"`
+	Exhaustive bool   `json:"exhaustive"`
+	Cached     bool   `json:"cached"`
+	Hits       []Hit  `json:"hits"`
+	TookUs     int64  `json:"took_us"`
+}
+
+// ErrorResponse is the body of every non-2xx /search reply: a stable
+// sentinel code machines can switch on plus a human-readable detail.
+// Client errors are always 4xx with one of the Err* codes — the
+// handler has no 500 path for bad input.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail"`
+}
+
+// The sentinel error codes of ErrorResponse.Error, in the spirit of
+// the trace/index packages' sentinel errors: stable identifiers a
+// client can match without parsing prose.
+const (
+	ErrBadRequest    = "bad_request"    // malformed or oversized JSON body
+	ErrEmptyQuery    = "empty_query"    // query is empty
+	ErrQueryTooLong  = "query_too_long" // query exceeds MaxQueryLen
+	ErrBadResidue    = "bad_residue"    // query has a non-protein letter
+	ErrUnknownKernel = "unknown_kernel" // kernel not in align.KernelNames
+	ErrBadK          = "k_out_of_range" // k outside [1, MaxTopK]
+	ErrBadCandidates = "bad_candidates" // max_candidates negative
+	ErrBadMinScore   = "bad_min_score"  // min_score negative
+	ErrBadMethod     = "method_not_allowed"
+)
+
+// apiError pairs a sentinel code with its detail and HTTP status.
+type apiError struct {
+	status int
+	code   string
+	detail string
+}
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: 400, code: code, detail: fmt.Sprintf(format, args...)}
+}
+
+// Request-size limits. Generous for real proteins (titin is ~35k
+// residues) while keeping a single request from occupying the pipeline
+// indefinitely.
+const (
+	MaxQueryLen  = 100_000
+	MaxTopK      = 1_000
+	DefaultTopK  = 10
+	maxBodyBytes = 1 << 20
+)
+
+// normalized is a validated SearchRequest with every default applied,
+// the form the cache key and the job are built from — two requests
+// that normalize identically share a cache entry.
+type normalized struct {
+	residues   []uint8
+	kernel     align.Kernel
+	topK       int
+	maxCand    int
+	exhaustive bool
+	minScore   int
+}
+
+// validate checks req against the server's limits and resolves
+// defaults. Every failure maps to a 400 with a sentinel code; a nil
+// error means the request is serviceable as returned.
+func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
+	var n normalized
+	if len(req.Query) == 0 {
+		return n, badRequest(ErrEmptyQuery, "query is empty")
+	}
+	if len(req.Query) > MaxQueryLen {
+		return n, badRequest(ErrQueryTooLong, "query is %d residues, limit %d", len(req.Query), MaxQueryLen)
+	}
+	for i := 0; i < len(req.Query); i++ {
+		if !bio.ValidLetter(req.Query[i]) {
+			return n, badRequest(ErrBadResidue, "query position %d: %q is not a protein residue", i, string(req.Query[i]))
+		}
+	}
+	n.residues = bio.Encode(req.Query)
+
+	n.kernel = s.kernel
+	if req.Kernel != "" {
+		k, err := align.KernelByName(req.Kernel)
+		if err != nil {
+			return n, badRequest(ErrUnknownKernel, "unknown kernel %q (valid: %s)", req.Kernel, strings.Join(align.KernelNames(), ", "))
+		}
+		n.kernel = k
+	}
+
+	n.topK = req.K
+	if n.topK == 0 {
+		n.topK = DefaultTopK
+	}
+	if n.topK < 1 || n.topK > MaxTopK {
+		return n, badRequest(ErrBadK, "k %d outside [1, %d]", req.K, MaxTopK)
+	}
+
+	// Without an index every scan is exhaustive; normalizing here
+	// means the two spellings of the same scan share a cache entry.
+	n.exhaustive = req.Exhaustive || s.searchers == nil
+
+	if req.MaxCandidates < 0 {
+		return n, badRequest(ErrBadCandidates, "max_candidates %d is negative", req.MaxCandidates)
+	}
+	// Normalize max_candidates all the way so every equivalent
+	// spelling shares one cache/single-flight key: it is meaningless
+	// on the exhaustive path (zeroed), 0 means the index default, and
+	// anything past the database size degrades to the same full
+	// candidate set (clamped).
+	n.maxCand = req.MaxCandidates
+	if n.exhaustive {
+		n.maxCand = 0
+	} else {
+		if n.maxCand == 0 {
+			n.maxCand = index.DefaultMaxCandidates
+		}
+		if n.maxCand > s.db.NumSeqs() {
+			n.maxCand = s.db.NumSeqs()
+		}
+	}
+
+	if req.MinScore < 0 {
+		return n, badRequest(ErrBadMinScore, "min_score %d is negative", req.MinScore)
+	}
+	n.minScore = req.MinScore
+	if n.minScore == 0 {
+		n.minScore = 1
+	}
+	return n, nil
+}
+
+// wireHits converts ranked align.Hits to their wire form.
+func wireHits(hits []align.Hit) []Hit {
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{Index: h.Index, ID: h.Seq.ID, Desc: h.Seq.Desc, Len: h.Seq.Len(), Score: h.Score}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/index"
+)
+
+// The batching pipeline. Requests become jobs; a single dispatcher
+// goroutine collects jobs into micro-batches; a bounded pool of
+// workers executes each batch in phases:
+//
+//	seed  — indexed jobs get their candidate sets from per-worker
+//	        index.Searcher clones (one job per work unit);
+//	scan  — every exhaustive job in the batch is scored in ONE pass
+//	        over the sharded database: a work unit is a range of
+//	        database sequences, and the claiming worker scores that
+//	        range against every exhaustive job's prepared query while
+//	        the residues are hot in cache. Indexed jobs scan only
+//	        their candidate ranges, as their own units.
+//	rank  — the dispatcher ranks each job's scores (align.RankHits)
+//	        and completes it.
+//
+// Determinism: scores land in per-job slices indexed by item, exactly
+// as align.SearchDB's sharded scan fills its slice, so neither the
+// batch composition nor the worker count nor the unit size can change
+// a result — only who computes it and when.
+
+// job is one admitted /search computation.
+type job struct {
+	pq       *align.PreparedQuery
+	norm     normalized
+	cand     []int // indexed path: candidate database indexes
+	scores   []int // per item (database index, or cand position)
+	hits     []align.Hit
+	enqueued time.Time
+	done     chan struct{}
+}
+
+// jobPool recycles jobs and their score/candidate buffers so a loaded
+// server reaches a steady state where admission allocates only what
+// the response itself needs.
+var jobPool = sync.Pool{New: func() any { return &job{done: make(chan struct{}, 1)} }}
+
+func getJob() *job { return jobPool.Get().(*job) }
+func putJob(j *job) {
+	j.pq = nil
+	j.hits = nil
+	jobPool.Put(j)
+}
+
+// scanChunk is how many database sequences one scan unit covers:
+// small enough to balance ragged lengths across workers, large enough
+// to amortize unit claiming (same trade as align.SearchDB's
+// searchBatch, doubled because a batched unit does per-job work).
+const scanChunk = 8
+
+// unit is one claimable piece of a batch's scan phase.
+type unit struct {
+	job    *job // nil: exhaustive group unit covering every exhaustive job
+	lo, hi int  // database index range (job == nil) or cand range
+}
+
+// batchPhase is one barrier-synchronized stage of a batch, handed to
+// every worker; workers claim work units via the atomic cursor until
+// none remain.
+type batchPhase struct {
+	seedJobs []*job // seed phase: one unit per job
+	exJobs   []*job // scan phase: jobs every exhaustive unit scores
+	units    []unit // scan phase: claimable ranges
+	next     atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// worker is one pool member: the Scratch and Searcher it owns outlive
+// every batch, so steady-state scans allocate nothing.
+type worker struct {
+	scr      *align.Scratch
+	searcher *index.Searcher // nil when the server has no index
+}
+
+func (s *Server) workerLoop(w *worker) {
+	defer s.workerWG.Done()
+	for ph := range s.phaseCh {
+		w.runPhase(ph, s)
+		ph.wg.Done()
+	}
+}
+
+func (w *worker) runPhase(ph *batchPhase, s *Server) {
+	if ph.seedJobs != nil {
+		for {
+			i := int(ph.next.Add(1)) - 1
+			if i >= len(ph.seedJobs) {
+				return
+			}
+			j := ph.seedJobs[i]
+			// Candidates returns the searcher's reusable buffer; the
+			// job copies it because this worker may seed several jobs
+			// before any of them is scanned.
+			j.cand = append(j.cand[:0], w.searcher.Candidates(j.pq.Query(), j.norm.maxCand)...)
+		}
+	}
+	for {
+		i := int(ph.next.Add(1)) - 1
+		if i >= len(ph.units) {
+			return
+		}
+		u := ph.units[i]
+		if u.job == nil {
+			for si := u.lo; si < u.hi; si++ {
+				res := s.db.Seqs[si].Residues
+				for _, j := range ph.exJobs {
+					j.scores[si] = w.scr.ScorePrepared(j.pq, res)
+				}
+			}
+		} else {
+			j := u.job
+			for ci := u.lo; ci < u.hi; ci++ {
+				j.scores[ci] = w.scr.ScorePrepared(j.pq, s.db.Seqs[j.cand[ci]].Residues)
+			}
+		}
+	}
+}
+
+// runPhase fans one phase out to every worker and waits for the
+// barrier. The dispatcher is the only caller, so phases never overlap.
+func (s *Server) runPhase(ph *batchPhase) {
+	n := s.cfg.Workers
+	ph.wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.phaseCh <- ph
+	}
+	ph.wg.Wait()
+}
+
+// dispatch is the admission loop: it blocks for one job, then
+// opportunistically drains whatever else is already queued. Only when
+// that finds company — evidence of concurrent load — does it hold the
+// batch open for the configured window to coalesce more arrivals; a
+// lone request under light load pays no batching latency at all.
+func (s *Server) dispatch() {
+	defer s.dispatchWG.Done()
+	var batch []*job
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], j)
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case j2, ok := <-s.queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, j2)
+			default:
+				break drain
+			}
+		}
+		if len(batch) > 1 && s.cfg.BatchWindow > 0 && len(batch) < s.cfg.MaxBatch {
+			timer := time.NewTimer(s.cfg.BatchWindow)
+		window:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case j2, ok := <-s.queue:
+					if !ok {
+						break window
+					}
+					batch = append(batch, j2)
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch executes one batch through the seed/scan/rank phases and
+// completes every job.
+func (s *Server) runBatch(batch []*job) {
+	start := time.Now()
+	s.metrics.batches.Add(1)
+	s.metrics.batchJobs.Add(int64(len(batch)))
+	for _, j := range batch {
+		s.metrics.queueH.observe(start.Sub(j.enqueued))
+	}
+
+	var seedJobs, exJobs []*job
+	for _, j := range batch {
+		if j.norm.exhaustive {
+			exJobs = append(exJobs, j)
+		} else {
+			seedJobs = append(seedJobs, j)
+		}
+	}
+
+	if len(seedJobs) > 0 {
+		ph := &batchPhase{seedJobs: seedJobs}
+		s.runPhase(ph)
+		s.metrics.seedH.observe(time.Since(start))
+	}
+	scanStart := time.Now()
+
+	var units []unit
+	n := s.db.NumSeqs()
+	if len(exJobs) > 0 {
+		for _, j := range exJobs {
+			j.scores = growInts(j.scores, n)
+		}
+		for lo := 0; lo < n; lo += scanChunk {
+			units = append(units, unit{lo: lo, hi: min(lo+scanChunk, n)})
+		}
+	}
+	for _, j := range seedJobs {
+		j.scores = growInts(j.scores, len(j.cand))
+		for lo := 0; lo < len(j.cand); lo += scanChunk {
+			units = append(units, unit{job: j, lo: lo, hi: min(lo+scanChunk, len(j.cand))})
+		}
+	}
+	if len(units) > 0 {
+		ph := &batchPhase{exJobs: exJobs, units: units}
+		s.runPhase(ph)
+	}
+	s.metrics.scanH.observe(time.Since(scanStart))
+
+	rankStart := time.Now()
+	for _, j := range batch {
+		if j.norm.exhaustive {
+			j.hits = align.RankHits(s.db.Seqs, nil, j.scores, j.norm.minScore, j.norm.topK)
+		} else {
+			j.hits = align.RankHits(s.db.Seqs, j.cand, j.scores[:len(j.cand)], j.norm.minScore, j.norm.topK)
+		}
+		j.done <- struct{}{}
+	}
+	s.metrics.rankH.observe(time.Since(rankStart))
+}
+
+// submit enqueues one job for the dispatcher. It blocks when the
+// admission queue is full — backpressure reaches the HTTP client as
+// latency rather than drops, and the bounded pool behind the queue
+// guarantees it keeps draining.
+func (s *Server) submit(j *job) {
+	s.queue <- j
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+// TestRunBatchMixed drives the batch executor directly with a
+// hand-built batch mixing exhaustive and indexed jobs over distinct
+// queries and kernels, and checks every job against align.SearchDB.
+// This is the coalesced-scan correctness proof: one pass over the
+// database serves all exhaustive jobs, yet each job's hits are exactly
+// what a lone scan would have produced.
+func TestRunBatchMixed(t *testing.T) {
+	db := testDB(t, 180)
+	ix := index.Build(db, index.Options{})
+	searcher := index.NewSearcher(ix, db, align.PaperParams(), index.SearchOptions{})
+	s := newTestServer(t, db, Config{Workers: 3})
+
+	queries := [][]uint8{
+		bio.GlutathioneQuery().Residues,
+		db.Seqs[17].Residues,
+		db.Seqs[91].Residues,
+	}
+	var batch []*job
+	for _, q := range queries {
+		for _, kernel := range []align.Kernel{align.KernelSWAR, align.KernelSSEARCH} {
+			for _, exhaustive := range []bool{true, false} {
+				j := getJob()
+				j.pq = align.PrepareQuery(align.PaperParams(), q, kernel)
+				j.norm = normalized{
+					residues:   q,
+					kernel:     kernel,
+					topK:       6,
+					exhaustive: exhaustive,
+					minScore:   1,
+				}
+				j.enqueued = time.Now()
+				batch = append(batch, j)
+			}
+		}
+	}
+	s.runBatch(batch)
+
+	for _, j := range batch {
+		<-j.done
+		cfg := align.SearchConfig{Kernel: j.norm.kernel, TopK: 6}
+		if !j.norm.exhaustive {
+			cfg.Filter = searcher
+		}
+		want := align.SearchDB(align.PaperParams(), j.norm.residues, db, cfg)
+		if fmt.Sprint(j.hits) != fmt.Sprint(want) {
+			t.Errorf("kernel %v exhaustive=%v: batch result diverged\n got %v\nwant %v",
+				j.norm.kernel, j.norm.exhaustive, j.hits, want)
+		}
+	}
+}
+
+// TestBatchCoalescing: concurrent requests submitted against a wide
+// batching window end up coalesced — fewer batches than requests — and
+// every response is still correct.
+func TestBatchCoalescing(t *testing.T) {
+	db := testDB(t, 100)
+	s := newTestServer(t, db, Config{
+		Workers:      2,
+		BatchWindow:  20 * time.Millisecond,
+		MaxBatch:     64,
+		CacheEntries: -1, // force every request through the pipeline
+	})
+
+	// Distinct queries defeat single-flight, so each is its own job.
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := db.Seqs[i].Residues
+			resp, code := doSearch(t, s, SearchRequest{Query: bio.Decode(q), K: 3, Exhaustive: true})
+			if code != 200 {
+				t.Errorf("query %d: status %d", i, code)
+				return
+			}
+			want := wireHits(align.SearchDB(align.PaperParams(), q, db,
+				align.SearchConfig{Kernel: align.KernelSWAR, TopK: 3}))
+			if fmt.Sprint(resp.Hits) != fmt.Sprint(want) {
+				t.Errorf("query %d: wrong hits under batching", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	stats := s.Stats()
+	if stats.Batches < 1 || stats.Batches > n {
+		t.Fatalf("batches = %d, want within [1, %d]", stats.Batches, n)
+	}
+	if stats.MeanBatch < 1 {
+		t.Errorf("mean batch %f < 1", stats.MeanBatch)
+	}
+	// Coalescing itself is timing-dependent (a 1-CPU runner may drain
+	// requests one by one), so the hard assertions stop at correctness
+	// and accounting; log the achieved batching for the curious.
+	t.Logf("batches=%d mean_batch=%.1f", stats.Batches, stats.MeanBatch)
+}
+
+// TestBatchWindowDisabled: negative window must still serve correctly
+// with opportunistic draining only.
+func TestBatchWindowDisabled(t *testing.T) {
+	db := testDB(t, 60)
+	s := newTestServer(t, db, Config{Workers: 2, BatchWindow: -1})
+	resp, code := doSearch(t, s, SearchRequest{Query: queryString(), K: 4})
+	if code != 200 || len(resp.Hits) != 4 {
+		t.Fatalf("status %d, %d hits", code, len(resp.Hits))
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func key(fp uint64) cacheKey { return cacheKey{fp: fp, qlen: 10, topK: 5} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	for fp := uint64(0); fp < 3; fp++ {
+		_, f, leader := c.begin(key(fp))
+		if !leader {
+			t.Fatalf("fp %d: expected leadership", fp)
+		}
+		c.finish(key(fp), f, []Hit{{Index: int(fp)}})
+	}
+	if c.len() != 2 {
+		t.Fatalf("entries = %d, want 2", c.len())
+	}
+	// 0 is the cold entry and must be gone; 1 and 2 must hit.
+	if hits, _, _ := c.begin(key(0)); hits != nil {
+		t.Error("evicted entry 0 still resident")
+	}
+	// (the re-begin of 0 opened a flight; leaving it unfinished is
+	// harmless — nothing else asks for key 0 again)
+	for fp := uint64(1); fp < 3; fp++ {
+		hits, _, _ := c.begin(key(fp))
+		if hits == nil || hits[0].Index != int(fp) {
+			t.Errorf("fp %d: lost from cache, got %v", fp, hits)
+		}
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	c := newResultCache(2)
+	for fp := uint64(0); fp < 2; fp++ {
+		_, f, _ := c.begin(key(fp))
+		c.finish(key(fp), f, []Hit{{Index: int(fp)}})
+	}
+	if hits, _, _ := c.begin(key(0)); hits == nil {
+		t.Fatal("warm entry 0 missing") // touch: 0 is now MRU
+	}
+	_, f, _ := c.begin(key(2))
+	c.finish(key(2), f, []Hit{{Index: 2}})
+	if hits, _, _ := c.begin(key(0)); hits == nil {
+		t.Error("touched entry 0 evicted; LRU is not updating on hit")
+	}
+	if hits, _, _ := c.begin(key(1)); hits != nil {
+		t.Error("cold entry 1 survived past capacity")
+	}
+}
+
+// TestSingleFlight: followers of an in-flight key block until the
+// leader finishes and then read the leader's result, one computation
+// total.
+func TestSingleFlight(t *testing.T) {
+	c := newResultCache(8)
+	k := key(7)
+	_, lf, leader := c.begin(k)
+	if !leader {
+		t.Fatal("first begin must lead")
+	}
+
+	const followers = 16
+	var wg, admitted sync.WaitGroup
+	admitted.Add(followers)
+	results := make([][]Hit, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cached, f, lead := c.begin(k)
+			admitted.Done() // the leader finishes only after every follower is in
+			if lead {
+				t.Error("second leader for an in-flight key")
+				c.finish(k, f, nil)
+				return
+			}
+			if f != nil {
+				<-f.done
+				results[i] = f.hits
+				return
+			}
+			results[i] = cached
+		}(i)
+	}
+	want := []Hit{{Index: 42, ID: "X", Len: 9, Score: 11}}
+	admitted.Wait()
+	c.finish(k, lf, want)
+	wg.Wait()
+	for i, r := range results {
+		if len(r) != 1 || r[0] != want[0] {
+			t.Errorf("follower %d got %v, want %v", i, r, want)
+		}
+	}
+	_, misses, coalesced := c.counters()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (single computation)", misses)
+	}
+	if coalesced != followers {
+		t.Errorf("coalesced = %d, want %d", coalesced, followers)
+	}
+}
+
+// TestCacheDisabled: cap <= 0 stores nothing but single-flight still
+// dedups concurrent identical queries.
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	k := key(1)
+	_, f, leader := c.begin(k)
+	if !leader {
+		t.Fatal("expected leadership")
+	}
+	c.finish(k, f, []Hit{{Index: 1}})
+	if c.len() != 0 {
+		t.Errorf("disabled cache stored %d entries", c.len())
+	}
+	if hits, _, leader := c.begin(k); hits != nil || !leader {
+		t.Error("disabled cache served a stored result")
+	}
+}
+
+func TestFingerprintDistinguishesQueries(t *testing.T) {
+	a := fingerprint([]uint8{1, 2, 3})
+	b := fingerprint([]uint8{3, 2, 1})
+	cc := fingerprint([]uint8{1, 2, 3, 0})
+	if a == b || a == cc {
+		t.Errorf("fingerprint collisions: %d %d %d", a, b, cc)
+	}
+	if a != fingerprint([]uint8{1, 2, 3}) {
+		t.Error("fingerprint is not deterministic")
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bio"
+)
+
+// TestHammerConcurrent is the -race workout for the whole service:
+// many goroutines mixing identical queries (single-flight + cache
+// path), distinct queries (batching path), invalid requests (error
+// path), and /statsz reads (metrics snapshot path) against one
+// server, followed by the drain sequence mid-traffic. CI runs this
+// under the race detector.
+func TestHammerConcurrent(t *testing.T) {
+	db := testDB(t, 120)
+	s := newTestServer(t, db, Config{
+		Workers:      4,
+		MaxBatch:     16,
+		BatchWindow:  500 * time.Microsecond,
+		CacheEntries: 8, // tiny: forces constant eviction under load
+	})
+	handler := s.Handler()
+
+	post := func(body string) int {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader([]byte(body))))
+		return rec.Code
+	}
+
+	shared, _ := json.Marshal(SearchRequest{Query: queryString(), K: 5})
+	const goroutines = 24
+	const perG = 15
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch (g + i) % 4 {
+				case 0: // shared query: cache hits + single-flight
+					if code := post(string(shared)); code != 200 {
+						t.Errorf("shared query: status %d", code)
+					}
+				case 1: // rotating distinct queries: batching + eviction
+					q := bio.Decode(db.Seqs[(g*perG+i)%db.NumSeqs()].Residues)
+					body, _ := json.Marshal(SearchRequest{Query: q, K: 3, Exhaustive: i%2 == 0})
+					if code := post(string(body)); code != 200 {
+						t.Errorf("distinct query: status %d", code)
+					}
+				case 2: // error path
+					if code := post(`{"query":"not a protein!"}`); code != 400 {
+						t.Errorf("invalid query: status %d", code)
+					}
+				case 3: // stats snapshot racing the counters
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+					if rec.Code != 200 {
+						t.Errorf("statsz: status %d", rec.Code)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := s.Stats()
+	wantOK := int64(goroutines * perG / 2)
+	if stats.Requests != wantOK {
+		t.Errorf("requests = %d, want %d", stats.Requests, wantOK)
+	}
+	if stats.InFlight != 0 {
+		t.Errorf("in_flight = %d after drain, want 0", stats.InFlight)
+	}
+	if stats.Cache.Hits+stats.Cache.Coalesced == 0 {
+		t.Error("no cache hits or coalesced flights under hammering — dedup never engaged")
+	}
+}
+
+// TestHammerDrain races real HTTP traffic against the graceful drain:
+// whatever was accepted must complete correctly, the pipeline must
+// shut down cleanly, and late submissions must fail at the connection,
+// never hang.
+func TestHammerDrain(t *testing.T) {
+	db := testDB(t, 100)
+	s := newTestServer(t, db, Config{Workers: 3, BatchWindow: time.Millisecond, MaxBatch: 8})
+	httpSrv := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				q := bio.Decode(db.Seqs[(g*4+i)%db.NumSeqs()].Residues)
+				body, _ := json.Marshal(SearchRequest{Query: q, K: 3})
+				resp, err := http.Post(httpSrv.URL+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // connection refused mid-drain: expected
+				}
+				var sr SearchResponse
+				derr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if resp.StatusCode != 200 || derr != nil {
+					errs <- fmt.Errorf("accepted request failed: status %d, decode %v", resp.StatusCode, derr)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond) // let traffic build
+	httpSrv.Close()                  // drains in-flight requests like Shutdown
+	s.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Stats().InFlight; got != 0 {
+		t.Errorf("in_flight = %d after drain", got)
+	}
+}

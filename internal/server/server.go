@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+// Config tunes a Server. The zero value serves with the paper's
+// scoring parameters, the SWAR kernel, one worker per CPU, a
+// 1024-entry result cache, and a 250µs batching window.
+type Config struct {
+	// Params is the scoring model; the zero value selects
+	// align.PaperParams (BLOSUM62, gaps 10/1).
+	Params align.Params
+	// Workers is the scan pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// DefaultKernel names the kernel scoring requests that pick none
+	// (align.KernelNames); empty means "swar".
+	DefaultKernel string
+	// CacheEntries bounds the LRU result cache; 0 means
+	// DefaultCacheEntries, negative disables caching (single-flight
+	// dedup still applies).
+	CacheEntries int
+	// BatchWindow is how long the dispatcher holds a batch open once
+	// concurrent load is detected; 0 means DefaultBatchWindow,
+	// negative disables the wait (opportunistic draining only).
+	BatchWindow time.Duration
+	// MaxBatch caps jobs per batch; 0 means DefaultMaxBatch.
+	MaxBatch int
+	// QueueDepth bounds the admission queue; 0 means
+	// DefaultQueueDepth. Submitting past it blocks (backpressure).
+	QueueDepth int
+}
+
+// The documented Config defaults.
+const (
+	DefaultCacheEntries = 1024
+	DefaultBatchWindow  = 250 * time.Microsecond
+	DefaultMaxBatch     = 32
+	DefaultQueueDepth   = 256
+)
+
+// Server is the long-lived search service. Construct with New, mount
+// Handler on an http.Server, and Close after the HTTP side has
+// drained (http.Server.Shutdown first, then Close — Close stops the
+// dispatcher and workers, so no request may still be in flight).
+type Server struct {
+	cfg    Config
+	kernel align.Kernel // resolved Config.DefaultKernel
+	db     *bio.Database
+	ix     *index.Index // nil: exhaustive-only service
+
+	// searchers holds one validated Searcher clone per worker,
+	// distributed at pool start; nil when ix is nil.
+	searchers []*index.Searcher
+
+	cache   *resultCache
+	metrics metrics
+	mux     *http.ServeMux
+
+	queue      chan *job
+	phaseCh    chan *batchPhase
+	dispatchWG sync.WaitGroup
+	workerWG   sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// New builds and starts a Server over db, with ix (may be nil) as the
+// seed index. The index is validated against the database — serving
+// candidates for the wrong database would be silently wrong answers.
+func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
+	if db == nil || db.NumSeqs() == 0 {
+		return nil, fmt.Errorf("server: empty database")
+	}
+	if cfg.Params.Matrix == nil {
+		cfg.Params = align.PaperParams()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultKernel == "" {
+		cfg.DefaultKernel = "swar"
+	}
+	defaultKernel, err := align.KernelByName(cfg.DefaultKernel)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = DefaultCacheEntries
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0 // resultCache treats cap <= 0 as disabled
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		kernel:  defaultKernel,
+		db:      db,
+		ix:      ix,
+		cache:   newResultCache(cfg.CacheEntries),
+		queue:   make(chan *job, cfg.QueueDepth),
+		phaseCh: make(chan *batchPhase, cfg.Workers),
+	}
+	s.metrics.start = time.Now()
+
+	if ix != nil {
+		if err := ix.Validate(db); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		proto := index.NewSearcher(ix, db, cfg.Params, index.SearchOptions{})
+		s.searchers = make([]*index.Searcher, cfg.Workers)
+		s.searchers[0] = proto
+		for i := 1; i < cfg.Workers; i++ {
+			s.searchers[i] = proto.Clone()
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{scr: align.NewScratch()}
+		if s.searchers != nil {
+			w.searcher = s.searchers[i]
+		}
+		s.workerWG.Add(1)
+		go s.workerLoop(w)
+	}
+	s.dispatchWG.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (POST /search,
+// GET /healthz, GET /statsz).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the dispatcher and the worker pool. It must run after
+// the HTTP side has drained (http.Server.Shutdown has returned): a
+// handler still waiting on a job when the pipeline stops would wait
+// forever. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.queue)
+		s.dispatchWG.Wait()
+		close(s.phaseCh)
+		s.workerWG.Wait()
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
+			detail: "use POST with a JSON body"})
+		return
+	}
+	var req SearchRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		s.writeError(w, badRequest(ErrBadRequest, "reading body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		s.writeError(w, badRequest(ErrBadRequest, "body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, badRequest(ErrBadRequest, "decoding JSON: %v", err))
+		return
+	}
+	norm, aerr := s.validate(&req)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	hits, cached := s.search(norm, start)
+	resp := SearchResponse{
+		QueryLen:   len(norm.residues),
+		Kernel:     norm.kernel.String(),
+		K:          norm.topK,
+		Exhaustive: norm.exhaustive,
+		Cached:     cached,
+		Hits:       hits,
+		TookUs:     time.Since(start).Microseconds(),
+	}
+	s.writeJSON(w, http.StatusOK, &resp)
+}
+
+// search serves one validated request through the cache, the
+// single-flight layer, and — for a leader — the batching pipeline.
+// The returned cached flag is true whenever the hits were not
+// computed by this request (LRU hit or coalesced onto a leader).
+func (s *Server) search(norm normalized, start time.Time) ([]Hit, bool) {
+	key := norm.cacheKey()
+	cachedHits, f, leader := s.cache.begin(key)
+	switch {
+	case f == nil: // LRU hit
+		s.metrics.totalH.observe(time.Since(start))
+		return cachedHits, true
+	case !leader: // coalesced onto an identical in-flight query
+		<-f.done
+		s.metrics.totalH.observe(time.Since(start))
+		return f.hits, true
+	}
+
+	j := getJob()
+	j.pq = align.PrepareQuery(s.cfg.Params, norm.residues, norm.kernel)
+	j.norm = norm
+	j.enqueued = time.Now()
+	s.submit(j)
+	<-j.done
+
+	hits := wireHits(j.hits)
+	putJob(j)
+	s.cache.finish(key, f, hits)
+	s.metrics.totalH.observe(time.Since(start))
+	return hits, false
+}
+
+// Stats returns a point-in-time snapshot of the server's operational
+// counters — the same data GET /statsz serves.
+func (s *Server) Stats() StatsResponse { return s.statsSnapshot() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.statsSnapshot()
+	s.writeJSON(w, http.StatusOK, &snap)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client hanging up is its problem, not ours
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	s.metrics.errored.Add(1)
+	s.writeJSON(w, e.status, &ErrorResponse{Error: e.code, Detail: e.detail})
+}

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+// testDB builds the deterministic homolog-rich synthetic database the
+// server tests share.
+func testDB(t testing.TB, n int) *bio.Database {
+	t.Helper()
+	spec := bio.DefaultDBSpec(n)
+	spec.Related = 10
+	spec.RelatedTo = bio.GlutathioneQuery()
+	return bio.SyntheticDB(spec)
+}
+
+func newTestServer(t testing.TB, db *bio.Database, cfg Config) *Server {
+	t.Helper()
+	ix := index.Build(db, index.Options{})
+	s, err := New(db, ix, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// doSearch posts one SearchRequest directly at the handler and decodes
+// the response.
+func doSearch(t testing.TB, s *Server, req SearchRequest) (SearchResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	var resp SearchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("unmarshal %q: %v", rec.Body.String(), err)
+		}
+	}
+	return resp, rec.Code
+}
+
+func queryString() string {
+	return bio.GlutathioneQuery().String()
+}
+
+// TestSearchMatchesSearchDB pins the service's deterministic contract:
+// for every kernel, on both the exhaustive and the indexed path, the
+// served hits are exactly align.SearchDB's.
+func TestSearchMatchesSearchDB(t *testing.T) {
+	db := testDB(t, 200)
+	ix := index.Build(db, index.Options{})
+	searcher := index.NewSearcher(ix, db, align.PaperParams(), index.SearchOptions{})
+	s := newTestServer(t, db, Config{Workers: 3})
+	q := queryString()
+
+	for _, kernel := range align.KernelNames() {
+		for _, exhaustive := range []bool{true, false} {
+			resp, code := doSearch(t, s, SearchRequest{Query: q, Kernel: kernel, K: 7, Exhaustive: exhaustive})
+			if code != http.StatusOK {
+				t.Fatalf("kernel %s exhaustive=%v: status %d", kernel, exhaustive, code)
+			}
+			k, err := align.KernelByName(kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := align.SearchConfig{Kernel: k, TopK: 7}
+			if !exhaustive {
+				cfg.Filter = searcher
+			}
+			want := wireHits(align.SearchDB(align.PaperParams(), bio.Encode(q), db, cfg))
+			if fmt.Sprint(resp.Hits) != fmt.Sprint(want) {
+				t.Errorf("kernel %s exhaustive=%v:\n got %v\nwant %v", kernel, exhaustive, resp.Hits, want)
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossServers pins bit-identical hit JSON across
+// restarts, worker counts, batching configs, and cache hit vs miss.
+func TestDeterministicAcrossServers(t *testing.T) {
+	db := testDB(t, 150)
+	q := queryString()
+	req := SearchRequest{Query: q, K: 5}
+
+	var first []byte
+	for _, cfg := range []Config{
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: 2, MaxBatch: 1, BatchWindow: -1},
+		{Workers: 3, CacheEntries: -1},
+	} {
+		s := newTestServer(t, db, cfg)
+		for pass := 0; pass < 2; pass++ { // second pass: cache hit (when enabled)
+			resp, code := doSearch(t, s, req)
+			if code != http.StatusOK {
+				t.Fatalf("cfg %+v pass %d: status %d", cfg, pass, code)
+			}
+			buf, err := json.Marshal(resp.Hits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first == nil {
+				first = buf
+			} else if !bytes.Equal(first, buf) {
+				t.Errorf("cfg %+v pass %d: hits diverged:\n got %s\nwant %s", cfg, pass, buf, first)
+			}
+		}
+		s.Close()
+	}
+	if len(first) == 0 || string(first) == "null" {
+		t.Fatalf("no hits to compare: %s", first)
+	}
+}
+
+// TestCachedFlag pins the cache protocol the CI smoke job asserts: the
+// first identical request computes, the second reports cached=true
+// with identical hits.
+func TestCachedFlag(t *testing.T) {
+	db := testDB(t, 100)
+	s := newTestServer(t, db, Config{Workers: 2})
+	req := SearchRequest{Query: queryString(), K: 5}
+
+	resp1, code := doSearch(t, s, req)
+	if code != http.StatusOK || resp1.Cached {
+		t.Fatalf("first request: status %d cached %v", code, resp1.Cached)
+	}
+	resp2, code := doSearch(t, s, req)
+	if code != http.StatusOK || !resp2.Cached {
+		t.Fatalf("second request: status %d cached %v", code, resp2.Cached)
+	}
+	if fmt.Sprint(resp1.Hits) != fmt.Sprint(resp2.Hits) {
+		t.Errorf("cached hits differ:\n got %v\nwant %v", resp2.Hits, resp1.Hits)
+	}
+
+	stats := s.Stats()
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Errorf("cache counters: %+v, want 1 hit / 1 miss", stats.Cache)
+	}
+	if stats.Requests != 2 {
+		t.Errorf("requests = %d, want 2", stats.Requests)
+	}
+}
+
+// TestMaxCandidatesDegradesToExact inherits the filter's exactness
+// contract through the HTTP surface.
+func TestMaxCandidatesDegradesToExact(t *testing.T) {
+	db := testDB(t, 120)
+	s := newTestServer(t, db, Config{Workers: 2})
+	q := queryString()
+	exact, _ := doSearch(t, s, SearchRequest{Query: q, K: 10, Exhaustive: true})
+	indexed, _ := doSearch(t, s, SearchRequest{Query: q, K: 10, MaxCandidates: db.NumSeqs()})
+	if fmt.Sprint(exact.Hits) != fmt.Sprint(indexed.Hits) {
+		t.Errorf("max_candidates=N diverged from exhaustive:\n got %v\nwant %v", indexed.Hits, exact.Hits)
+	}
+}
+
+func TestServerWithoutIndex(t *testing.T) {
+	db := testDB(t, 80)
+	s, err := New(db, nil, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, code := doSearch(t, s, SearchRequest{Query: queryString(), K: 3})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Exhaustive {
+		t.Error("index-less server should normalize every request to exhaustive")
+	}
+	if len(resp.Hits) != 3 {
+		t.Errorf("got %d hits, want 3", len(resp.Hits))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, testDB(t, 50), Config{Workers: 1})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("body %q lacks status ok", rec.Body.String())
+	}
+}
+
+func TestStatsz(t *testing.T) {
+	s := newTestServer(t, testDB(t, 50), Config{Workers: 2})
+	if _, code := doSearch(t, s, SearchRequest{Query: queryString()}); code != http.StatusOK {
+		t.Fatalf("search status %d", code)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if stats.Requests != 1 || stats.DBSeqs != 50 || stats.Workers != 2 || stats.Batches < 1 {
+		t.Errorf("implausible stats: %+v", stats)
+	}
+	if stats.Stages["total"].Count != 1 || stats.Stages["scan"].Count < 1 {
+		t.Errorf("stage histograms not populated: %+v", stats.Stages)
+	}
+	if stats.IndexK == 0 {
+		t.Error("index_k missing on an indexed server")
+	}
+}
+
+// TestGracefulShutdown drives the real net/http drain path: requests
+// in flight when Shutdown begins complete with correct results.
+func TestGracefulShutdown(t *testing.T) {
+	db := testDB(t, 150)
+	s := newTestServer(t, db, Config{Workers: 2})
+	httpSrv := httptest.NewServer(s.Handler())
+
+	req := SearchRequest{Query: queryString(), K: 5, Exhaustive: true}
+	body, _ := json.Marshal(req)
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Post(httpSrv.URL+"/search", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				results <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			results <- nil
+		}()
+	}
+	time.Sleep(time.Millisecond) // let some requests reach the pipeline
+	httpSrv.Close()              // CloseClientConnections-free drain, like Shutdown
+	s.Close()
+	for i := 0; i < 8; i++ {
+		// Requests that lost the race to connect may fail with a
+		// connection error; those that were accepted must succeed.
+		<-results
+	}
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free latency histogram with power-of-two
+// microsecond buckets: bucket i counts observations in
+// [2^i, 2^(i+1)) microseconds (bucket 0 also takes sub-microsecond
+// observations). 26 buckets reach ~67 seconds, past any latency this
+// service can produce before a client gives up.
+const histBuckets = 26
+
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sumUs   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := 0
+	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.sumUs.Add(us)
+}
+
+// HistogramSnapshot is one stage's latency summary in /statsz.
+// Quantiles are upper bounds of the containing power-of-two bucket, so
+// they are conservative to at most 2x — plenty for spotting a stage
+// that misbehaves.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  int64   `json:"p50_us"`
+	P90Us  int64   `json:"p90_us"`
+	P99Us  int64   `json:"p99_us"`
+	MaxUs  int64   `json:"max_us"` // upper bound of the hottest bucket
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanUs = float64(h.sumUs.Load()) / float64(s.Count)
+	quantile := func(q float64) int64 {
+		target := int64(q * float64(s.Count))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				return 1 << (i + 1)
+			}
+		}
+		return 1 << histBuckets
+	}
+	s.P50Us = quantile(0.50)
+	s.P90Us = quantile(0.90)
+	s.P99Us = quantile(0.99)
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			s.MaxUs = 1 << (i + 1)
+			break
+		}
+	}
+	return s
+}
+
+// metrics is the server's operational state, all atomics so the hot
+// path never takes a lock to count.
+type metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // /search requests admitted past validation
+	errored   atomic.Int64 // /search requests rejected with 4xx
+	inFlight  atomic.Int64 // /search requests currently being served
+	batches   atomic.Int64 // batches executed
+	batchJobs atomic.Int64 // jobs summed over executed batches
+
+	queueH histogram // admission -> batch start
+	seedH  histogram // candidate generation (per batch with indexed jobs)
+	scanH  histogram // kernel rescoring pass (per batch)
+	rankH  histogram // ranking + completion (per batch)
+	totalH histogram // request admission -> response ready (per request)
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	UptimeS    float64 `json:"uptime_s"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	QPS        float64 `json:"qps"`
+	InFlight   int64   `json:"in_flight"`
+	Workers    int     `json:"workers"`
+	DBSeqs     int     `json:"db_seqs"`
+	DBResidues int     `json:"db_residues"`
+	IndexK     int     `json:"index_k,omitempty"` // 0 when serving without an index
+
+	Cache struct {
+		Entries   int     `json:"entries"`
+		Capacity  int     `json:"capacity"`
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Coalesced int64   `json:"coalesced"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	Batches   int64                        `json:"batches"`
+	MeanBatch float64                      `json:"mean_batch"`
+	Stages    map[string]HistogramSnapshot `json:"stages"`
+}
+
+func (s *Server) statsSnapshot() StatsResponse {
+	var r StatsResponse
+	r.UptimeS = time.Since(s.metrics.start).Seconds()
+	r.Requests = s.metrics.requests.Load()
+	r.Errors = s.metrics.errored.Load()
+	if r.UptimeS > 0 {
+		r.QPS = float64(r.Requests) / r.UptimeS
+	}
+	r.InFlight = s.metrics.inFlight.Load()
+	r.Workers = s.cfg.Workers
+	r.DBSeqs = s.db.NumSeqs()
+	r.DBResidues = s.db.TotalResidues()
+	if s.ix != nil {
+		r.IndexK = s.ix.K()
+	}
+
+	hits, misses, coalesced := s.cache.counters()
+	r.Cache.Entries = s.cache.len()
+	r.Cache.Capacity = s.cache.cap
+	r.Cache.Hits = hits
+	r.Cache.Misses = misses
+	r.Cache.Coalesced = coalesced
+	if total := hits + misses + coalesced; total > 0 {
+		r.Cache.HitRate = float64(hits+coalesced) / float64(total)
+	}
+
+	r.Batches = s.metrics.batches.Load()
+	if r.Batches > 0 {
+		r.MeanBatch = float64(s.metrics.batchJobs.Load()) / float64(r.Batches)
+	}
+	r.Stages = map[string]HistogramSnapshot{
+		"queue": s.metrics.queueH.snapshot(),
+		"seed":  s.metrics.seedH.snapshot(),
+		"scan":  s.metrics.scanH.snapshot(),
+		"rank":  s.metrics.rankH.snapshot(),
+		"total": s.metrics.totalH.snapshot(),
+	}
+	return r
+}
