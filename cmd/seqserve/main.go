@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/faults"
 	"repro/internal/index"
 	"repro/internal/server"
 )
@@ -51,6 +52,16 @@ func main() {
 			"how long to hold a micro-batch open under concurrent load (0 disables the wait)")
 		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "max requests coalesced into one batch")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+
+		queueDepth = flag.Int("queue-depth", server.DefaultQueueDepth,
+			"admission gate capacity in cost units (indexed request = 1, exhaustive = 8); past it requests are shed with 429")
+		reqTimeout = flag.Duration("request-timeout", 0,
+			"server-side cap on every request's deadline (0 = none); requests past it fail with 408 deadline_exceeded")
+		drainGrace = flag.Duration("drain-grace", 0,
+			"after SIGTERM, keep answering with 503/draining this long before closing the listener, so load balancers see the drain")
+		faultsSpec = flag.String("faults", "",
+			"deterministic fault injection spec, site:key=val,...[;site:...] (sites: client.stall, index.lookup, score.panic, score.slow) — chaos testing only")
+		faultsSeed = flag.Uint64("faults-seed", 1, "seed for -faults rate schedules")
 	)
 	flag.Parse()
 
@@ -97,12 +108,22 @@ func main() {
 	if *batchWindow == 0 {
 		*batchWindow = -1
 	}
+	reg, err := faults.ParseSpec(*faultsSpec, *faultsSeed)
+	if err != nil {
+		fatal(err)
+	}
+	if reg != nil {
+		fmt.Printf("seqserve: FAULT INJECTION ARMED: %s (seed %d)\n", *faultsSpec, *faultsSeed)
+	}
 	srv, err := server.New(db, ix, server.Config{
-		Workers:       *workers,
-		DefaultKernel: *kernel,
-		CacheEntries:  *cacheSize,
-		BatchWindow:   *batchWindow,
-		MaxBatch:      *maxBatch,
+		Workers:        *workers,
+		DefaultKernel:  *kernel,
+		CacheEntries:   *cacheSize,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		Faults:         reg,
 	})
 	if err != nil {
 		if ix != nil && *indexArg != "build" {
@@ -111,7 +132,16 @@ func main() {
 		fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The protocol-level timeouts cut off clients the request deadline
+	// cannot see: a peer that never finishes its headers, trickles its
+	// body (slowloris), or parks an idle keep-alive connection.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("seqserve: serving %d sequences (%d residues) on %s\n",
@@ -126,10 +156,18 @@ func main() {
 		fatal(err) // the listener died before any signal
 	}
 
-	// Graceful drain: Shutdown stops accepting and waits for in-flight
-	// handlers; only then may the batching pipeline stop. Requests
-	// arriving after the signal are refused by the closed listener —
-	// none ever see a half-stopped pipeline.
+	// Graceful drain, in three steps. BeginDrain flips the service to
+	// explicit refusal — new /search requests get 503/draining, queued
+	// but unstarted jobs fail the same way, in-flight batches finish —
+	// and the optional grace window keeps the listener up so load
+	// balancers and health checks observe the 503s instead of
+	// connection resets. Then Shutdown stops accepting and waits for
+	// in-flight handlers; only after that may the batching pipeline
+	// stop — none ever see a half-stopped pipeline.
+	srv.BeginDrain()
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -144,6 +182,10 @@ func main() {
 	fmt.Printf("seqserve: drained after %.1fs: %d requests (%.1f qps), %d errors, cache hit rate %.2f (%d hits, %d coalesced, %d misses)\n",
 		stats.UptimeS, stats.Requests, stats.QPS, stats.Errors,
 		stats.Cache.HitRate, stats.Cache.Hits, stats.Cache.Coalesced, stats.Cache.Misses)
+	if stats.ShedTotal+stats.TimeoutTotal+stats.PanicTotal+stats.AbandonedTotal > 0 || stats.Degraded {
+		fmt.Printf("seqserve: resilience: %d shed, %d timed out, %d abandoned, %d panics isolated, degraded=%v\n",
+			stats.ShedTotal, stats.TimeoutTotal, stats.AbandonedTotal, stats.PanicTotal, stats.Degraded)
+	}
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -187,15 +188,36 @@ type SearchConfig struct {
 // claim counter never contends.
 const searchBatch = 8
 
+// cancelCheckClaims is how many claim batches a scan worker scores
+// between context checks: a checkpoint every
+// cancelCheckClaims*searchBatch sequences keeps cancellation latency
+// to a handful of kernel calls while leaving the per-sequence scoring
+// loop — the 0-alloc fast path — untouched.
+const cancelCheckClaims = 4
+
 // SearchDB scores query against the database with the configured
 // kernel and returns the ranked hits (score descending, database
 // order breaking ties). With a nil Filter every sequence is scored;
 // with a Filter only its candidates are. Sharding across workers
 // changes the wall-clock, never the result.
 func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit {
+	hits, _ := SearchDBContext(context.Background(), p, query, db, cfg)
+	return hits
+}
+
+// SearchDBContext is SearchDB with cooperative cancellation: scan
+// workers check ctx every cancelCheckClaims claim batches and bail
+// early when it is done, and the call then returns (nil, ctx.Err())
+// instead of a partial — and therefore wrong — hit list. A scan that
+// completes is bit-identical to SearchDB's; the checkpoints only ever
+// decide between "the full answer" and "no answer plus the reason".
+// Background contexts make the checkpoints free (Err on the
+// background context is a nil return), so SearchDB costs what it
+// always did.
+func SearchDBContext(ctx context.Context, p Params, query []uint8, db *bio.Database, cfg SearchConfig) ([]Hit, error) {
 	seqs := db.Seqs
 	if len(query) == 0 || len(seqs) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 
 	// The scan items are either the whole database (cand == nil) or
@@ -215,7 +237,7 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 		sort.Ints(cand)
 		cand = uniqInts(cand)
 		if len(cand) == 0 {
-			return nil
+			return nil, ctx.Err()
 		}
 	}
 	numItems := len(seqs)
@@ -241,6 +263,7 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 
 	scores := make([]int, numItems)
 	var next atomic.Int64
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -248,7 +271,11 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 			defer wg.Done()
 			scr := getScratch()
 			defer putScratch(scr)
-			for {
+			for claims := 0; ; claims++ {
+				if claims%cancelCheckClaims == 0 && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				lo := int(next.Add(searchBatch)) - searchBatch
 				if lo >= numItems {
 					return
@@ -266,7 +293,12 @@ func SearchDB(p Params, query []uint8, db *bio.Database, cfg SearchConfig) []Hit
 	}
 	wg.Wait()
 
-	return RankHits(seqs, cand, scores, minScore, cfg.TopK)
+	// A worker that bailed leaves scores half-filled; reporting a rank
+	// over them would be silently wrong, which is worse than no answer.
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return RankHits(seqs, cand, scores, minScore, cfg.TopK), nil
 }
 
 // RankHits turns per-item scores into the ranked hit list every scan

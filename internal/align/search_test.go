@@ -1,6 +1,8 @@
 package align
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
@@ -276,5 +278,49 @@ func TestSearchDBFilterRestrictsScan(t *testing.T) {
 		Kernel: KernelSSEARCH, Filter: &fixedFilter{},
 	}); got != nil {
 		t.Fatalf("empty candidate set produced %d hits", len(got))
+	}
+}
+
+// TestSearchDBContextCancellation pins the cooperative-cancellation
+// contract: an already-dead context returns (nil, ctx.Err()) without
+// a full scan, a context that dies mid-scan never yields a partial
+// hit list, and a background context is bit-identical to SearchDB.
+func TestSearchDBContextCancellation(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+	cfg := SearchConfig{Kernel: KernelSWAR, Workers: 2}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if hits, err := SearchDBContext(ctx, p, q.Residues, db, cfg); err == nil || hits != nil {
+		t.Errorf("pre-cancelled scan: hits=%v err=%v, want nil hits and ctx error", hits, err)
+	}
+
+	// Background context: identical to the plain call.
+	want := SearchDB(p, q.Residues, db, cfg)
+	got, err := SearchDBContext(context.Background(), p, q.Residues, db, cfg)
+	if err != nil {
+		t.Fatalf("background scan errored: %v", err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("background-context scan diverged from SearchDB:\n got %v\nwant %v", got, want)
+	}
+
+	// Cancellation racing the scan: whatever the timing, the answer is
+	// all-or-nothing — either the full bit-identical hit list with a
+	// nil error, or no hits with the context's error.
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		hits, err := SearchDBContext(ctx, p, q.Residues, db, cfg)
+		if err != nil {
+			if hits != nil {
+				t.Fatalf("iteration %d: partial hits alongside error %v", i, err)
+			}
+			continue
+		}
+		if fmt.Sprint(hits) != fmt.Sprint(want) {
+			t.Fatalf("iteration %d: completed scan diverged from SearchDB", i)
+		}
 	}
 }

@@ -1,0 +1,331 @@
+// Package faults is the deterministic fault-injection registry the
+// resilience chaos suite drives the search service with. A Registry is
+// compiled into the serving path permanently — production servers run
+// with a nil *Registry, which every probe checks first, so the
+// disabled fast path costs one predictable branch and zero
+// allocations. Armed, a site fires on a schedule derived purely from
+// its hit counter and the registry seed: the same seed and the same
+// sequence of probes produce the same injections, so a chaos failure
+// reproduces instead of flaking.
+//
+// The sites are where the service can be hurt from outside or below:
+//
+//	score.slow   — a scoring work unit stalls (slow disk, noisy
+//	               neighbor, thermal throttle)
+//	score.panic  — a scoring kernel panics (the bug we didn't write yet)
+//	index.lookup — candidate generation fails (index corruption,
+//	               torn snapshot)
+//	client.stall — the client feeds its request slowly (slowloris,
+//	               congested uplink)
+//
+// internal/server threads a Registry through Config.Faults; the chaos
+// tests in that package assert the service's invariants — sentinel
+// codes, process survival, bit-identical un-faulted results — while
+// these sites fire.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point. Sites are stable identifiers: specs,
+// logs, and counters all use them verbatim.
+type Site string
+
+// The compiled-in sites. Adding one is adding a probe at the
+// corresponding point in the serving path.
+const (
+	ScoreSlow   Site = "score.slow"   // delay a scoring work unit
+	ScorePanic  Site = "score.panic"  // panic inside a scoring work unit
+	IndexLookup Site = "index.lookup" // fail candidate generation
+	ClientStall Site = "client.stall" // stall the request-body read
+)
+
+// Sites lists every compiled-in site, sorted, for help text and spec
+// validation.
+func Sites() []Site {
+	return []Site{ClientStall, IndexLookup, ScorePanic, ScoreSlow}
+}
+
+// Fault describes when an armed site fires and what it injects. The
+// schedule fields compose: a probe fires only if it is past After,
+// within Count, and selected by Every (exact stride) or Rate
+// (seed-deterministic pseudo-random). Every takes precedence over
+// Rate; with neither set the site never fires.
+type Fault struct {
+	// Every fires the site on every Nth eligible probe (1 = always).
+	Every uint64
+	// Rate fires each eligible probe with this probability, decided by
+	// a hash of (seed, site, probe number) — deterministic for a fixed
+	// seed, uncorrelated across sites.
+	Rate float64
+	// After skips the first After probes entirely.
+	After uint64
+	// Count caps the total number of fires; 0 means unlimited.
+	Count uint64
+	// Delay is how long slow/stall sites hold the path. Ignored by
+	// panic and error sites.
+	Delay time.Duration
+	// Err is what error sites inject; nil selects ErrInjected.
+	Err error
+}
+
+// ErrInjected is the default error an armed error site injects.
+var ErrInjected = errors.New("faults: injected failure")
+
+// armed is one site's live state: the immutable plan plus the probe
+// and fire counters.
+type armed struct {
+	plan  Fault
+	hits  atomic.Uint64
+	fires atomic.Uint64
+}
+
+// Registry is a set of armed sites sharing one determinism seed. The
+// zero of the *pointer* is the production state: every method on a nil
+// *Registry is a no-op returning the "no fault" answer.
+type Registry struct {
+	seed  uint64
+	sites atomic.Pointer[map[Site]*armed] // copy-on-write; probes never lock
+}
+
+// NewRegistry builds an empty registry whose Rate decisions derive
+// from seed. Two registries with the same seed and the same arming
+// make identical decisions probe for probe.
+func NewRegistry(seed uint64) *Registry {
+	r := &Registry{seed: seed}
+	m := make(map[Site]*armed)
+	r.sites.Store(&m)
+	return r
+}
+
+// Arm installs (or replaces) a site's fault plan, resetting its
+// counters. Arming a zero Fault disarms the site. Arm is not meant for
+// the hot path: it copies the site map so probes stay lock-free.
+func (r *Registry) Arm(site Site, f Fault) {
+	old := *r.sites.Load()
+	m := make(map[Site]*armed, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	if f == (Fault{}) {
+		delete(m, site)
+	} else {
+		m[site] = &armed{plan: f}
+	}
+	r.sites.Store(&m)
+}
+
+// Fire probes a site: it advances the site's hit counter and reports
+// whether this probe injects, returning the armed plan so the caller
+// knows what to inject. A nil registry or unarmed site reports false
+// after a single branch.
+func (r *Registry) Fire(site Site) (Fault, bool) {
+	if r == nil {
+		return Fault{}, false
+	}
+	a := (*r.sites.Load())[site]
+	if a == nil {
+		return Fault{}, false
+	}
+	n := a.hits.Add(1) // probes are 1-based
+	if n <= a.plan.After {
+		return Fault{}, false
+	}
+	eligible := n - a.plan.After // 1-based within the eligible window
+	fire := false
+	switch {
+	case a.plan.Every > 0:
+		fire = (eligible-1)%a.plan.Every == 0
+	case a.plan.Rate > 0:
+		fire = mix(r.seed, site, n) < uint64(a.plan.Rate*float64(1<<63)*2)
+	}
+	if !fire {
+		return Fault{}, false
+	}
+	if a.plan.Count > 0 && a.fires.Add(1) > a.plan.Count {
+		return Fault{}, false
+	}
+	if a.plan.Count == 0 {
+		a.fires.Add(1)
+	}
+	return a.plan, true
+}
+
+// Delay probes a site and returns the injected delay (0 when the
+// probe does not fire). Convenience for slow/stall sites.
+func (r *Registry) Delay(site Site) time.Duration {
+	f, ok := r.Fire(site)
+	if !ok {
+		return 0
+	}
+	return f.Delay
+}
+
+// Error probes a site and returns the injected error (nil when the
+// probe does not fire). Convenience for error sites.
+func (r *Registry) Error(site Site) error {
+	f, ok := r.Fire(site)
+	if !ok {
+		return nil
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Fired reports how many times a site has fired so far. Chaos tests
+// assert on it; a nil registry reports 0.
+func (r *Registry) Fired(site Site) uint64 {
+	if r == nil {
+		return 0
+	}
+	a := (*r.sites.Load())[site]
+	if a == nil {
+		return 0
+	}
+	n := a.fires.Load()
+	if c := a.plan.Count; c > 0 && n > c {
+		n = c // over-counted races past the cap never fired
+	}
+	return n
+}
+
+// Probes reports how many times a site has been probed (fired or
+// not) — a cheap way to assert a path was, or was not, reached.
+func (r *Registry) Probes(site Site) uint64 {
+	if r == nil {
+		return 0
+	}
+	a := (*r.sites.Load())[site]
+	if a == nil {
+		return 0
+	}
+	return a.hits.Load()
+}
+
+// Sleep sleeps for a fired delay, waking early if ctx is cancelled —
+// an injected stall must not outlive the request it is stalling, or
+// chaos runs would serialize on their own injections.
+func Sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// mix hashes (seed, site, probe) into a uniform uint64 — splitmix64
+// over the seed, the site name, and the counter, so per-site streams
+// are deterministic and mutually uncorrelated.
+func mix(seed uint64, site Site, n uint64) uint64 {
+	h := seed
+	for i := 0; i < len(site); i++ {
+		h = splitmix(h ^ uint64(site[i]))
+	}
+	return splitmix(h ^ n)
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ParseSpec builds a registry from a textual fault plan, the form the
+// seqserve -faults flag takes:
+//
+//	site:key=val[,key=val...][;site:...]
+//
+// with keys every, rate, after, count, delay (Go duration), and error
+// (message text). Example:
+//
+//	score.slow:every=3,delay=5ms;score.panic:after=100,count=1
+//
+// An empty spec returns a nil registry — the production fast path.
+func ParseSpec(spec string, seed uint64) (*Registry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	valid := make(map[Site]bool)
+	for _, s := range Sites() {
+		valid[s] = true
+	}
+	r := NewRegistry(seed)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, args, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q lacks a ':' (want site:key=val,...)", clause)
+		}
+		site := Site(strings.TrimSpace(name))
+		if !valid[site] {
+			return nil, fmt.Errorf("faults: unknown site %q (valid: %s)", site, siteList())
+		}
+		var f Fault
+		for _, kv := range strings.Split(args, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: %s: %q is not key=val", site, kv)
+			}
+			var err error
+			switch key {
+			case "every":
+				f.Every, err = strconv.ParseUint(val, 10, 64)
+			case "rate":
+				f.Rate, err = strconv.ParseFloat(val, 64)
+				if err == nil && (f.Rate < 0 || f.Rate > 1) {
+					err = fmt.Errorf("rate %v outside [0, 1]", f.Rate)
+				}
+			case "after":
+				f.After, err = strconv.ParseUint(val, 10, 64)
+			case "count":
+				f.Count, err = strconv.ParseUint(val, 10, 64)
+			case "delay":
+				f.Delay, err = time.ParseDuration(val)
+			case "error":
+				f.Err = errors.New(val)
+			default:
+				err = fmt.Errorf("unknown key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: %s: %s: %v", site, key, err)
+			}
+		}
+		if f.Every == 0 && f.Rate == 0 {
+			return nil, fmt.Errorf("faults: %s: set every or rate, or the site never fires", site)
+		}
+		r.Arm(site, f)
+	}
+	return r, nil
+}
+
+func siteList() string {
+	names := make([]string, 0, len(Sites()))
+	for _, s := range Sites() {
+		names = append(names, string(s))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

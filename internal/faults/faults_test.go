@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsInert: the production state — a nil *Registry —
+// answers every probe with "no fault" and never panics.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if _, ok := r.Fire(ScorePanic); ok {
+		t.Error("nil registry fired")
+	}
+	if d := r.Delay(ScoreSlow); d != 0 {
+		t.Errorf("nil registry delayed %v", d)
+	}
+	if err := r.Error(IndexLookup); err != nil {
+		t.Errorf("nil registry errored: %v", err)
+	}
+	if r.Fired(ScoreSlow) != 0 || r.Probes(ScoreSlow) != 0 {
+		t.Error("nil registry counted")
+	}
+}
+
+// TestEverySchedule pins the exact stride semantics: every=3 fires
+// probes 1, 4, 7, ... of the eligible window, and after shifts that
+// window.
+func TestEverySchedule(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(ScoreSlow, Fault{Every: 3, After: 2, Delay: time.Millisecond})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if _, ok := r.Fire(ScoreSlow); ok {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9, 12} // probes 1-2 skipped, then every 3rd
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if got := r.Fired(ScoreSlow); got != 4 {
+		t.Errorf("Fired = %d, want 4", got)
+	}
+	if got := r.Probes(ScoreSlow); got != 12 {
+		t.Errorf("Probes = %d, want 12", got)
+	}
+}
+
+// TestCountCap: count bounds total fires even when the schedule keeps
+// selecting probes.
+func TestCountCap(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(ScorePanic, Fault{Every: 1, Count: 2})
+	fires := 0
+	for i := 0; i < 50; i++ {
+		if _, ok := r.Fire(ScorePanic); ok {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Errorf("fires = %d, want 2", fires)
+	}
+	if got := r.Fired(ScorePanic); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+// TestRateDeterminism: the same seed produces the same fire pattern,
+// a different seed a different one (overwhelmingly), and the hit rate
+// lands near the configured probability.
+func TestRateDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		r := NewRegistry(seed)
+		r.Arm(IndexLookup, Fault{Rate: 0.3})
+		out := make([]bool, 2000)
+		for i := range out {
+			_, out[i] = r.Fire(IndexLookup)
+		}
+		return out
+	}
+	a, b, c := pattern(42), pattern(42), pattern(43)
+	fires, diverged := 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d: same seed diverged", i)
+		}
+		if a[i] != c[i] {
+			diverged = true
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produced identical patterns")
+	}
+	if rate := float64(fires) / float64(len(a)); rate < 0.2 || rate > 0.4 {
+		t.Errorf("empirical rate %.3f far from configured 0.3", rate)
+	}
+}
+
+// TestSitesIndependent: arming one site must not make another fire,
+// and each site counts its own probes.
+func TestSitesIndependent(t *testing.T) {
+	r := NewRegistry(7)
+	r.Arm(ScoreSlow, Fault{Every: 1, Delay: time.Microsecond})
+	if _, ok := r.Fire(ScorePanic); ok {
+		t.Error("unarmed site fired")
+	}
+	if _, ok := r.Fire(ScoreSlow); !ok {
+		t.Error("armed site idle")
+	}
+	if r.Probes(ScorePanic) != 0 {
+		t.Error("unarmed sites should not count probes")
+	}
+}
+
+// TestDisarm: arming the zero Fault removes the site.
+func TestDisarm(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(ScoreSlow, Fault{Every: 1, Delay: time.Microsecond})
+	if _, ok := r.Fire(ScoreSlow); !ok {
+		t.Fatal("armed site idle")
+	}
+	r.Arm(ScoreSlow, Fault{})
+	if _, ok := r.Fire(ScoreSlow); ok {
+		t.Error("disarmed site fired")
+	}
+}
+
+// TestErrorDefault: an error site with no explicit error injects
+// ErrInjected; an explicit one is returned verbatim.
+func TestErrorDefault(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(IndexLookup, Fault{Every: 1})
+	if err := r.Error(IndexLookup); !errors.Is(err, ErrInjected) {
+		t.Errorf("default error = %v, want ErrInjected", err)
+	}
+	boom := errors.New("boom")
+	r.Arm(IndexLookup, Fault{Every: 1, Err: boom})
+	if err := r.Error(IndexLookup); !errors.Is(err, boom) {
+		t.Errorf("explicit error = %v, want boom", err)
+	}
+}
+
+// TestSleepCancellation: an injected stall wakes early when the
+// request context dies — the invariant that keeps chaos runs from
+// serializing on their own injections.
+func TestSleepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	Sleep(ctx, 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Sleep ignored cancellation (slept %v)", elapsed)
+	}
+	Sleep(nil, time.Microsecond) // nil ctx must not panic
+}
+
+// TestConcurrentProbes is the -race workout: many goroutines probing
+// while another arms and disarms. Counters stay coherent.
+func TestConcurrentProbes(t *testing.T) {
+	r := NewRegistry(3)
+	r.Arm(ScoreSlow, Fault{Every: 2, Delay: time.Nanosecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Fire(ScoreSlow)
+				r.Fire(ScorePanic)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			r.Arm(ScorePanic, Fault{Every: 5})
+			r.Arm(ScorePanic, Fault{})
+		}
+	}()
+	wg.Wait()
+	if p := r.Probes(ScoreSlow); p != 8*500 {
+		t.Errorf("probes = %d, want %d", p, 8*500)
+	}
+}
+
+// TestParseSpec round-trips the seqserve -faults flag syntax.
+func TestParseSpec(t *testing.T) {
+	r, err := ParseSpec("score.slow:every=3,delay=5ms; score.panic:after=10,count=1,every=1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := r.Fire(ScoreSlow)
+	if !ok || f.Delay != 5*time.Millisecond {
+		t.Errorf("score.slow probe 1: fired=%v delay=%v", ok, f.Delay)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := r.Fire(ScorePanic); ok {
+			t.Fatalf("score.panic fired during after window (probe %d)", i+1)
+		}
+	}
+	if _, ok := r.Fire(ScorePanic); !ok {
+		t.Error("score.panic idle past its after window")
+	}
+	if _, ok := r.Fire(ScorePanic); ok {
+		t.Error("score.panic exceeded count=1")
+	}
+
+	if r, err := ParseSpec("", 1); r != nil || err != nil {
+		t.Errorf("empty spec: %v, %v, want nil registry", r, err)
+	}
+	for _, bad := range []string{
+		"nope.site:every=1",
+		"score.slow",
+		"score.slow:delay=5ms", // no schedule
+		"score.slow:every=x",
+		"score.slow:rate=1.5",
+		"score.slow:frobnicate=1,every=1",
+	} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}

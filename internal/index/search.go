@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/align"
@@ -230,6 +231,29 @@ func (s *Searcher) Candidates(query []uint8, max int) []int {
 	sort.Ints(out)
 	s.out = out
 	return out
+}
+
+// CandidatesChecked is Candidates with the failure modes surfaced
+// instead of thrown: a panic during candidate generation (a corrupt
+// posting list, an out-of-range target — the shapes index corruption
+// takes at lookup time) comes back as an error, and every returned
+// index is bounds-checked against the database. Long-lived servers
+// call this form so one bad lookup degrades that query, not the
+// process; internal/server additionally flips itself to exhaustive
+// scanning when it sees such an error (its degraded mode).
+func (s *Searcher) CandidatesChecked(query []uint8, max int) (out []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("index: candidate generation panicked: %v", r)
+		}
+	}()
+	out = s.Candidates(query, max)
+	for _, i := range out {
+		if i < 0 || i >= s.db.NumSeqs() {
+			return nil, fmt.Errorf("index: candidate %d outside database of %d sequences", i, s.db.NumSeqs())
+		}
+	}
+	return out, nil
 }
 
 // Index returns the seed index the Searcher draws candidates from.

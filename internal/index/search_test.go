@@ -203,3 +203,37 @@ func TestNewSearcherRejectsMismatchedDB(t *testing.T) {
 	}()
 	NewSearcher(ix, other, align.PaperParams(), SearchOptions{})
 }
+
+// TestCandidatesChecked pins the panic-to-error contract the serving
+// layer's degraded mode is built on: a healthy searcher returns the
+// same candidates as Candidates with a nil error, and a corrupted
+// index — here a posting whose target points far outside the database,
+// the shape lookup-time corruption takes — comes back as an error, not
+// a process-killing panic.
+func TestCandidatesChecked(t *testing.T) {
+	db, query := familyDB(t, 120, 6, 5)
+	ix := Build(db, Options{})
+	s := NewSearcher(ix, db, align.PaperParams(), SearchOptions{})
+
+	want := append([]int(nil), s.Candidates(query.Residues, 16)...)
+	got, err := s.CandidatesChecked(query.Residues, 16)
+	if err != nil {
+		t.Fatalf("healthy searcher errored: %v", err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("checked candidates diverged:\n got %v\nwant %v", got, want)
+	}
+
+	// Corrupt one posting's target past the database. Stage 3's banded
+	// extension dereferences the target sequence, so generation panics;
+	// CandidatesChecked must convert that into an error.
+	if len(ix.postings) == 0 {
+		t.Fatal("test index has no postings to corrupt")
+	}
+	for i := range ix.postings {
+		ix.postings[i].Target = 1 << 30
+	}
+	if _, err := s.CandidatesChecked(query.Residues, 16); err == nil {
+		t.Error("corrupted index produced candidates without an error")
+	}
+}

@@ -15,8 +15,12 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/bio"
@@ -43,6 +47,13 @@ type SearchRequest struct {
 	Exhaustive bool `json:"exhaustive,omitempty"`
 	// MinScore drops hits scoring below it; 0 selects 1.
 	MinScore int `json:"min_score,omitempty"`
+	// TimeoutMs is the per-request deadline in milliseconds; past it
+	// the request fails with 408/deadline_exceeded and its job is
+	// cancelled or abandoned. 0 means the server's -request-timeout
+	// (none when that is unset); the server timeout also caps an
+	// explicit value. TimeoutMs never affects the hit list, so it is
+	// not part of the cache key.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // Hit is one reported database hit, the wire form of align.Hit. It
@@ -90,18 +101,49 @@ const (
 	ErrBadK          = "k_out_of_range" // k outside [1, MaxTopK]
 	ErrBadCandidates = "bad_candidates" // max_candidates negative
 	ErrBadMinScore   = "bad_min_score"  // min_score negative
+	ErrBadTimeout    = "bad_timeout"    // timeout_ms negative
 	ErrBadMethod     = "method_not_allowed"
+
+	// The resilience sentinels (DESIGN.md "Resilience"): unlike the
+	// 400 family these describe the server's state, not the request's.
+	ErrDeadline   = "deadline_exceeded" // 408: per-request deadline hit
+	ErrClientGone = "client_gone"       // 408: client disconnected mid-request
+	ErrOverloaded = "overloaded"        // 429: admission queue full, request shed
+	ErrDraining   = "draining"          // 503: server is shutting down
+	ErrInternal   = "internal"          // 500: a scoring panic was isolated to this request
 )
 
 // apiError pairs a sentinel code with its detail and HTTP status.
+// retryAfter > 0 adds a Retry-After header — shed responses tell the
+// client when the queue is worth another try.
 type apiError struct {
-	status int
-	code   string
-	detail string
+	status     int
+	code       string
+	detail     string
+	retryAfter int // seconds; 0 omits the header
 }
 
 func badRequest(code, format string, args ...any) *apiError {
 	return &apiError{status: 400, code: code, detail: fmt.Sprintf(format, args...)}
+}
+
+// The resilience errors, shared by the handler and the pipeline.
+var (
+	errDeadline   = &apiError{status: http.StatusRequestTimeout, code: ErrDeadline, detail: "request deadline exceeded before the search completed"}
+	errClientGone = &apiError{status: http.StatusRequestTimeout, code: ErrClientGone, detail: "client disconnected before the search completed"}
+	errOverloaded = &apiError{status: http.StatusTooManyRequests, code: ErrOverloaded, detail: "admission queue is full; retry after backoff", retryAfter: 1}
+	errDraining   = &apiError{status: http.StatusServiceUnavailable, code: ErrDraining, detail: "server is draining for shutdown"}
+	errInternal   = &apiError{status: http.StatusInternalServerError, code: ErrInternal, detail: "scoring failed for this request; the failure was isolated and the server is healthy"}
+)
+
+// ctxError maps a dead request context to its sentinel: a deadline
+// that fired is deadline_exceeded, anything else means the client went
+// away.
+func ctxError(ctx context.Context) *apiError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return errDeadline
+	}
+	return errClientGone
 }
 
 // Request-size limits. Generous for real proteins (titin is ~35k
@@ -116,7 +158,9 @@ const (
 
 // normalized is a validated SearchRequest with every default applied,
 // the form the cache key and the job are built from — two requests
-// that normalize identically share a cache entry.
+// that normalize identically share a cache entry. timeout rides along
+// for the handler but stays out of the cache key: a deadline changes
+// whether an answer arrives, never what it is.
 type normalized struct {
 	residues   []uint8
 	kernel     align.Kernel
@@ -124,6 +168,7 @@ type normalized struct {
 	maxCand    int
 	exhaustive bool
 	minScore   int
+	timeout    time.Duration // 0: no deadline
 }
 
 // validate checks req against the server's limits and resolves
@@ -161,9 +206,11 @@ func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
 		return n, badRequest(ErrBadK, "k %d outside [1, %d]", req.K, MaxTopK)
 	}
 
-	// Without an index every scan is exhaustive; normalizing here
-	// means the two spellings of the same scan share a cache entry.
-	n.exhaustive = req.Exhaustive || s.searchers == nil
+	// Without an index every scan is exhaustive, and a degraded server
+	// (index failed validation or a lookup error surfaced mid-flight)
+	// stops trusting its index the same way; normalizing here means
+	// the two spellings of the same scan share a cache entry.
+	n.exhaustive = req.Exhaustive || s.searchers == nil || s.degraded.Load()
 
 	if req.MaxCandidates < 0 {
 		return n, badRequest(ErrBadCandidates, "max_candidates %d is negative", req.MaxCandidates)
@@ -191,6 +238,16 @@ func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
 	n.minScore = req.MinScore
 	if n.minScore == 0 {
 		n.minScore = 1
+	}
+
+	if req.TimeoutMs < 0 {
+		return n, badRequest(ErrBadTimeout, "timeout_ms %d is negative", req.TimeoutMs)
+	}
+	// The effective deadline is the tighter of the request's and the
+	// server's; either alone applies when the other is unset.
+	n.timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	if lim := s.cfg.RequestTimeout; lim > 0 && (n.timeout == 0 || n.timeout > lim) {
+		n.timeout = lim
 	}
 	return n, nil
 }

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/align"
+	"repro/internal/faults"
 	"repro/internal/index"
 )
 
@@ -17,8 +20,7 @@ import (
 //	        index.Searcher clones (one job per work unit);
 //	scan  — every exhaustive job in the batch is scored in ONE pass
 //	        over the sharded database: a work unit is a range of
-//	        database sequences, and the claiming worker scores that
-//	        range against every exhaustive job's prepared query while
+//	        database sequences, scored for each exhaustive job while
 //	        the residues are hot in cache. Indexed jobs scan only
 //	        their candidate ranges, as their own units.
 //	rank  — the dispatcher ranks each job's scores (align.RankHits)
@@ -28,16 +30,70 @@ import (
 // as align.SearchDB's sharded scan fills its slice, so neither the
 // batch composition nor the worker count nor the unit size can change
 // a result — only who computes it and when.
+//
+// Resilience (DESIGN.md "Resilience"): every job carries its request
+// context and a tiny state machine (pending → completed | abandoned).
+// The handler owns a completed job's result; an abandoned job —
+// deadline hit or client gone — is recycled by the pipeline, and the
+// CAS between those two outcomes guarantees a job is never pooled
+// while the other side still holds it. Scoring runs under per-job
+// panic isolation, candidate generation under panic-to-error capture,
+// and both are probed by the internal/faults sites compiled into this
+// file.
+
+// The job ownership states. Exactly one CAS away from pending wins.
+const (
+	jobPending   uint32 = iota
+	jobCompleted        // pipeline delivered done; the handler owns the job
+	jobAbandoned        // the handler gave up; the pipeline recycles the job
+)
 
 // job is one admitted /search computation.
 type job struct {
 	pq       *align.PreparedQuery
 	norm     normalized
-	cand     []int // indexed path: candidate database indexes
-	scores   []int // per item (database index, or cand position)
+	ctx      context.Context // request context; nil (direct tests) never cancels
+	cost     int64           // admission units held until recycle; 0 = none held
+	cand     []int           // indexed path: candidate database indexes
+	scores   []int           // per item (database index, or cand position)
 	hits     []align.Hit
+	err      *apiError   // set by the pipeline: draining, deadline, panic
+	failed   atomic.Bool // a scoring panic hit this job; stop scoring it
+	seedErr  bool        // candidate generation failed; rescore exhaustively
+	state    atomic.Uint32
 	enqueued time.Time
 	done     chan struct{}
+}
+
+// ctxErr is the job's cancellation checkpoint; nil contexts (batches
+// built directly by tests) never cancel.
+func (j *job) ctxErr() error {
+	if j.ctx == nil {
+		return nil
+	}
+	return j.ctx.Err()
+}
+
+// abandon is the handler's half of the ownership CAS: true means the
+// handler may walk away and the pipeline will recycle the job.
+func (j *job) abandon() bool { return j.state.CompareAndSwap(jobPending, jobAbandoned) }
+
+// reset scrubs a job for pooling. Buffer capacity survives (that is
+// the point of the pool) but nothing readable does: a cancelled job's
+// scores, candidates, query, and context must never leak into a later
+// request's response (batch_test.go pins this).
+func (j *job) reset() {
+	j.pq = nil
+	j.norm = normalized{}
+	j.ctx = nil
+	j.cost = 0
+	j.cand = j.cand[:0]
+	j.scores = j.scores[:0]
+	j.hits = nil
+	j.err = nil
+	j.failed.Store(false)
+	j.seedErr = false
+	j.state.Store(jobPending)
 }
 
 // jobPool recycles jobs and their score/candidate buffers so a loaded
@@ -47,9 +103,59 @@ var jobPool = sync.Pool{New: func() any { return &job{done: make(chan struct{}, 
 
 func getJob() *job { return jobPool.Get().(*job) }
 func putJob(j *job) {
-	j.pq = nil
-	j.hits = nil
+	j.reset()
 	jobPool.Put(j)
+}
+
+// Admission cost weights: what one job occupies in the bounded
+// admission gate. An exhaustive scan touches every database sequence;
+// an indexed one a bounded candidate set — so a flood of exhaustive
+// queries fills the gate (and starts shedding) eight times sooner
+// than a flood of cheap indexed ones.
+const (
+	costIndexed    = 1
+	costExhaustive = 8
+)
+
+func jobCost(n normalized) int64 {
+	if n.exhaustive {
+		return costExhaustive
+	}
+	return costIndexed
+}
+
+// admission is the weighted admission gate in front of the queue:
+// tryAcquire either admits a job's cost or reports that the server
+// should shed. Cost is held until the job is recycled, so it tracks
+// queued and executing work alike.
+type admission struct {
+	capacity int64
+	cost     atomic.Int64
+	jobs     atomic.Int64
+}
+
+// tryAcquire admits c cost units unless the gate is at capacity. A
+// job costing more than the whole capacity still admits when the gate
+// is empty — otherwise a small -queue-depth could deadlock exhaustive
+// queries out entirely.
+func (a *admission) tryAcquire(c int64) bool {
+	for {
+		cur := a.cost.Load()
+		if cur > 0 && cur+c > a.capacity {
+			return false
+		}
+		if a.cost.CompareAndSwap(cur, cur+c) {
+			a.jobs.Add(1)
+			return true
+		}
+	}
+}
+
+func (a *admission) release(c int64) {
+	if c > 0 {
+		a.cost.Add(-c)
+		a.jobs.Add(-1)
+	}
 }
 
 // scanChunk is how many database sequences one scan unit covers:
@@ -72,6 +178,7 @@ type batchPhase struct {
 	exJobs   []*job // scan phase: jobs every exhaustive unit scores
 	units    []unit // scan phase: claimable ranges
 	next     atomic.Int64
+	poisoned atomic.Bool // a panic escaped per-job isolation this phase
 	wg       sync.WaitGroup
 }
 
@@ -85,9 +192,26 @@ type worker struct {
 func (s *Server) workerLoop(w *worker) {
 	defer s.workerWG.Done()
 	for ph := range s.phaseCh {
-		w.runPhase(ph, s)
-		ph.wg.Done()
+		s.runWorkerPhase(w, ph)
 	}
+}
+
+// runWorkerPhase executes one phase on one worker with a last-resort
+// recover: scoring panics are already isolated per job in scoreChunk,
+// so anything reaching here is a pipeline bug — the phase is poisoned
+// (every job in the batch fails with 500/internal rather than risk
+// serving half-scored buffers) but the worker re-arms and the process
+// survives.
+func (s *Server) runWorkerPhase(w *worker, ph *batchPhase) {
+	defer ph.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			ph.poisoned.Store(true)
+			s.metrics.panics.Add(1)
+			s.logf("server: panic escaped job isolation (phase poisoned): %v", r)
+		}
+	}()
+	w.runPhase(ph, s)
 }
 
 func (w *worker) runPhase(ph *batchPhase, s *Server) {
@@ -97,11 +221,7 @@ func (w *worker) runPhase(ph *batchPhase, s *Server) {
 			if i >= len(ph.seedJobs) {
 				return
 			}
-			j := ph.seedJobs[i]
-			// Candidates returns the searcher's reusable buffer; the
-			// job copies it because this worker may seed several jobs
-			// before any of them is scanned.
-			j.cand = append(j.cand[:0], w.searcher.Candidates(j.pq.Query(), j.norm.maxCand)...)
+			w.seedJob(s, ph.seedJobs[i])
 		}
 	}
 	for {
@@ -111,17 +231,76 @@ func (w *worker) runPhase(ph *batchPhase, s *Server) {
 		}
 		u := ph.units[i]
 		if u.job == nil {
-			for si := u.lo; si < u.hi; si++ {
-				res := s.db.Seqs[si].Residues
-				for _, j := range ph.exJobs {
-					j.scores[si] = w.scr.ScorePrepared(j.pq, res)
-				}
+			// Group unit: this range of database sequences, scored for
+			// every exhaustive job while the residues are hot (a chunk
+			// is a few KB — it stays in L1 across the job loop).
+			for _, j := range ph.exJobs {
+				w.scoreChunk(s, j, u.lo, u.hi, false)
 			}
 		} else {
-			j := u.job
-			for ci := u.lo; ci < u.hi; ci++ {
-				j.scores[ci] = w.scr.ScorePrepared(j.pq, s.db.Seqs[j.cand[ci]].Residues)
-			}
+			w.scoreChunk(s, u.job, u.lo, u.hi, true)
+		}
+	}
+}
+
+// seedJob generates one indexed job's candidate set. Failures —
+// injected index faults and real candidate-generation panics alike —
+// mark the job for exhaustive rescoring and flip the server to
+// degraded mode: wrong candidates are silently wrong answers, so the
+// index is no longer trusted, but the request (and the process) still
+// gets an exact answer. Candidates returns the searcher's reusable
+// buffer; the job copies it because this worker may seed several jobs
+// before any of them is scanned.
+func (w *worker) seedJob(s *Server, j *job) {
+	if j.ctxErr() != nil {
+		return // already dead; runBatch abandons it before the scan
+	}
+	if err := s.cfg.Faults.Error(faults.IndexLookup); err != nil {
+		j.seedErr = true
+		s.enterDegraded("injected index fault: " + err.Error())
+		return
+	}
+	cand, err := w.searcher.CandidatesChecked(j.pq.Query(), j.norm.maxCand)
+	if err != nil {
+		j.seedErr = true
+		s.enterDegraded(err.Error())
+		return
+	}
+	j.cand = append(j.cand[:0], cand...)
+}
+
+// scoreChunk scores one job's slice of a scan unit under the job's
+// cancellation checkpoint and per-job panic isolation: a kernel panic
+// fails this job alone — 500/internal, panic_total incremented — and
+// the worker survives to claim the next unit. cand selects whether
+// [lo, hi) ranges over candidate positions or database indexes.
+func (w *worker) scoreChunk(s *Server, j *job, lo, hi int, cand bool) {
+	if j.failed.Load() || j.ctxErr() != nil {
+		return // a dead job stops costing kernel cells
+	}
+	if d := s.cfg.Faults.Delay(faults.ScoreSlow); d > 0 {
+		faults.Sleep(j.ctx, d)
+		if j.ctxErr() != nil {
+			return
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.failed.Store(true)
+			s.metrics.panics.Add(1)
+			s.logf("server: scoring panic isolated to one request: %v", r)
+		}
+	}()
+	if _, ok := s.cfg.Faults.Fire(faults.ScorePanic); ok {
+		panic("faults: injected scoring panic")
+	}
+	if cand {
+		for ci := lo; ci < hi; ci++ {
+			j.scores[ci] = w.scr.ScorePrepared(j.pq, s.db.Seqs[j.cand[ci]].Residues)
+		}
+	} else {
+		for si := lo; si < hi; si++ {
+			j.scores[si] = w.scr.ScorePrepared(j.pq, s.db.Seqs[si].Residues)
 		}
 	}
 }
@@ -184,13 +363,46 @@ func (s *Server) dispatch() {
 }
 
 // runBatch executes one batch through the seed/scan/rank phases and
-// completes every job.
+// completes every job — where "completes" now includes the degraded
+// outcomes: queued jobs fail fast during drain, jobs whose client is
+// gone are abandoned before scoring starts, panicked jobs fail alone,
+// and seed failures fall back to the exact scan.
 func (s *Server) runBatch(batch []*job) {
 	start := time.Now()
+
+	// Drain policy: the batch already scoring when drain flipped
+	// finishes normally; queued-but-unstarted jobs — this batch, if
+	// the flip beat it here — fail fast with 503/draining.
+	if s.draining.Load() {
+		for _, j := range batch {
+			j.err = errDraining
+			s.completeJob(j)
+		}
+		return
+	}
+
 	s.metrics.batches.Add(1)
 	s.metrics.batchJobs.Add(int64(len(batch)))
 	for _, j := range batch {
 		s.metrics.queueH.observe(start.Sub(j.enqueued))
+	}
+
+	// Abandon jobs whose request died in the queue — a disconnected
+	// or timed-out client's job burns no kernel cells.
+	live := 0
+	for _, j := range batch {
+		if err := j.ctxErr(); err != nil {
+			s.metrics.abandoned.Add(1)
+			j.err = jobCtxError(err)
+			s.completeJob(j)
+			continue
+		}
+		batch[live] = j
+		live++
+	}
+	batch = batch[:live]
+	if len(batch) == 0 {
+		return
 	}
 
 	var seedJobs, exJobs []*job
@@ -202,10 +414,35 @@ func (s *Server) runBatch(batch []*job) {
 		}
 	}
 
-	if len(seedJobs) > 0 {
+	if len(seedJobs) > 0 && !s.degraded.Load() {
 		ph := &batchPhase{seedJobs: seedJobs}
 		s.runPhase(ph)
+		if ph.poisoned.Load() {
+			s.failBatch(batch, errInternal)
+			return
+		}
 		s.metrics.seedH.observe(time.Since(start))
+	}
+	// Seed failures — or a server that was (or just went) degraded —
+	// convert indexed jobs to exhaustive: the scan costs more, but the
+	// answers are exact rather than drawn from an untrusted index.
+	if s.degraded.Load() {
+		for _, j := range seedJobs {
+			j.norm.exhaustive = true
+			exJobs = append(exJobs, j)
+		}
+		seedJobs = nil
+	} else {
+		kept := seedJobs[:0]
+		for _, j := range seedJobs {
+			if j.seedErr {
+				j.norm.exhaustive = true
+				exJobs = append(exJobs, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		seedJobs = kept
 	}
 	scanStart := time.Now()
 
@@ -228,27 +465,68 @@ func (s *Server) runBatch(batch []*job) {
 	if len(units) > 0 {
 		ph := &batchPhase{exJobs: exJobs, units: units}
 		s.runPhase(ph)
+		if ph.poisoned.Load() {
+			s.failBatch(batch, errInternal)
+			return
+		}
 	}
 	s.metrics.scanH.observe(time.Since(scanStart))
 
 	rankStart := time.Now()
 	for _, j := range batch {
-		if j.norm.exhaustive {
+		switch {
+		case j.failed.Load():
+			j.err = errInternal
+		case j.ctxErr() != nil:
+			// Cancelled mid-scan: the scores may be partial, and a
+			// rank over partial scores would be silently wrong.
+			s.metrics.abandoned.Add(1)
+			j.err = jobCtxError(j.ctxErr())
+		case j.norm.exhaustive:
 			j.hits = align.RankHits(s.db.Seqs, nil, j.scores, j.norm.minScore, j.norm.topK)
-		} else {
+		default:
 			j.hits = align.RankHits(s.db.Seqs, j.cand, j.scores[:len(j.cand)], j.norm.minScore, j.norm.topK)
 		}
-		j.done <- struct{}{}
+		s.completeJob(j)
 	}
 	s.metrics.rankH.observe(time.Since(rankStart))
 }
 
-// submit enqueues one job for the dispatcher. It blocks when the
-// admission queue is full — backpressure reaches the HTTP client as
-// latency rather than drops, and the bounded pool behind the queue
-// guarantees it keeps draining.
-func (s *Server) submit(j *job) {
-	s.queue <- j
+// failBatch completes every job in a poisoned batch with err.
+func (s *Server) failBatch(batch []*job, err *apiError) {
+	for _, j := range batch {
+		j.err = err
+		s.completeJob(j)
+	}
+}
+
+// jobCtxError maps a job context's error to the sentinel its handler
+// would report (the handler usually already has — this value matters
+// only when the pipeline wins the completion CAS).
+func jobCtxError(err error) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errDeadline
+	}
+	return errClientGone
+}
+
+// completeJob resolves the ownership CAS: deliver the job to its
+// waiting handler, or — when the handler abandoned it — recycle it
+// here. Exactly one side wins, so a job is never pooled while the
+// other still reads it.
+func (s *Server) completeJob(j *job) {
+	if j.state.CompareAndSwap(jobPending, jobCompleted) {
+		j.done <- struct{}{}
+		return
+	}
+	s.recycleJob(j)
+}
+
+// recycleJob releases the job's admission cost and returns it to the
+// pool scrubbed.
+func (s *Server) recycleJob(j *job) {
+	s.admit.release(j.cost)
+	putJob(j)
 }
 
 func growInts(buf []int, n int) []int {

@@ -48,10 +48,14 @@ func (n *normalized) cacheKey() cacheKey {
 // flight is one in-progress computation of a key's result. Followers
 // — requests for the same key arriving while the leader computes —
 // block on done and read hits afterwards, so N identical concurrent
-// queries cost one scan.
+// queries cost one scan. A leader that fails (deadline, shed, panic)
+// aborts the flight instead: err is set, nothing is cached, and woken
+// followers either inherit the error or retry for leadership
+// themselves (server.search decides which per error).
 type flight struct {
 	done chan struct{}
 	hits []Hit
+	err  *apiError // non-nil: the flight aborted; hits is meaningless
 }
 
 // resultCache is the LRU result cache with single-flight admission.
@@ -119,6 +123,18 @@ func (c *resultCache) finish(key cacheKey, f *flight, hits []Hit) {
 			delete(c.entries, oldest.Value.(*cacheEntry).key)
 		}
 	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// abort resolves a leader's flight without publishing a result: the
+// flight leaves the map, followers wake with err, and the cache stays
+// untouched — a failed computation must never be served to anyone who
+// didn't fail with it.
+func (c *resultCache) abort(key cacheKey, f *flight, err *apiError) {
+	c.mu.Lock()
+	f.err = err
+	delete(c.flights, key)
 	c.mu.Unlock()
 	close(f.done)
 }

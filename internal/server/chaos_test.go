@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/faults"
+	"repro/internal/index"
+)
+
+// The chaos suite: every test arms internal/faults sites against a
+// live server and asserts the resilience contract — sentinel codes,
+// process survival, and bit-identical un-faulted results. CI runs
+// these under -race (the "chaos" job), so every injection also
+// doubles as a data-race probe on the cancellation and abandonment
+// paths.
+
+// chaosServer builds a server with an armed registry. Faulty servers
+// get a tiny batch window so tests don't wait on coalescing.
+func chaosServer(t testing.TB, db *bio.Database, reg *faults.Registry, cfg Config) *Server {
+	t.Helper()
+	cfg.Faults = reg
+	cfg.Logf = t.Logf
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = -1
+	}
+	return newTestServer(t, db, cfg)
+}
+
+// doSearchFull posts one request and returns the raw recorder, for
+// tests that need the error body or headers.
+func doSearchFull(t testing.TB, s *Server, req SearchRequest) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	return rec
+}
+
+func errCode(t testing.TB, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("unmarshal error body %q: %v", rec.Body.String(), err)
+	}
+	return e.Error
+}
+
+// TestChaosSlowScoringDeadline: every scoring chunk stalls far past
+// the request deadline; the request must come back 408 with the
+// deadline_exceeded sentinel, promptly (the injected sleeps are
+// context-aware), and the server must serve correct answers again
+// once the site is disarmed.
+func TestChaosSlowScoringDeadline(t *testing.T) {
+	db := testDB(t, 120)
+	reg := faults.NewRegistry(1)
+	reg.Arm(faults.ScoreSlow, faults.Fault{Every: 1, Delay: 2 * time.Second})
+	s := chaosServer(t, db, reg, Config{Workers: 2})
+
+	start := time.Now()
+	rec := doSearchFull(t, s, SearchRequest{Query: queryString(), K: 5, Exhaustive: true, TimeoutMs: 50})
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status %d body %s, want 408", rec.Code, rec.Body.String())
+	}
+	if code := errCode(t, rec); code != ErrDeadline {
+		t.Errorf("error code %q, want %q", code, ErrDeadline)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("408 took %v; injected sleeps must respect the deadline", took)
+	}
+	if got := s.Stats().TimeoutTotal; got < 1 {
+		t.Errorf("timeout_total = %d, want >= 1", got)
+	}
+
+	// Disarmed, the same request must produce the clean answer.
+	reg.Arm(faults.ScoreSlow, faults.Fault{})
+	ref := newTestServer(t, testDB(t, 120), Config{Workers: 2})
+	want, _ := doSearch(t, ref, SearchRequest{Query: queryString(), K: 5, Exhaustive: true})
+	got, code := doSearch(t, s, SearchRequest{Query: queryString(), K: 5, Exhaustive: true})
+	if code != http.StatusOK {
+		t.Fatalf("post-fault request: status %d", code)
+	}
+	if fmt.Sprint(got.Hits) != fmt.Sprint(want.Hits) {
+		t.Errorf("post-fault hits diverged:\n got %v\nwant %v", got.Hits, want.Hits)
+	}
+}
+
+// TestChaosScoringPanicIsolated: one injected kernel panic fails
+// exactly one request with 500/internal while every other request in
+// flight — potentially batched with the panicking one — returns hits
+// bit-identical to a fault-free server's, and the process survives to
+// keep serving.
+func TestChaosScoringPanicIsolated(t *testing.T) {
+	db := testDB(t, 150)
+	reg := faults.NewRegistry(2)
+	reg.Arm(faults.ScorePanic, faults.Fault{Every: 1, Count: 1})
+	// A wide window coaxes the concurrent requests into one batch, the
+	// composition the isolation contract is hardest for.
+	s := chaosServer(t, db, reg, Config{Workers: 3, BatchWindow: 10 * time.Millisecond, CacheEntries: -1})
+	ref := newTestServer(t, testDB(t, 150), Config{Workers: 3, CacheEntries: -1})
+
+	const n = 6
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([]SearchResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct queries defeat single-flight coalescing.
+			req := SearchRequest{Query: bio.Decode(db.Seqs[i].Residues), K: 4, Exhaustive: true}
+			bodies[i], codes[i] = doSearch(t, s, req)
+		}(i)
+	}
+	wg.Wait()
+
+	failed := 0
+	for i := 0; i < n; i++ {
+		switch codes[i] {
+		case http.StatusInternalServerError:
+			failed++
+		case http.StatusOK:
+			req := SearchRequest{Query: bio.Decode(db.Seqs[i].Residues), K: 4, Exhaustive: true}
+			want, _ := doSearch(t, ref, req)
+			if fmt.Sprint(bodies[i].Hits) != fmt.Sprint(want.Hits) {
+				t.Errorf("request %d: hits diverged from fault-free server alongside a panic", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, codes[i])
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d requests failed with 500, want exactly 1 (one injected panic)", failed)
+	}
+	if got := s.Stats().PanicTotal; got != 1 {
+		t.Errorf("panic_total = %d, want 1", got)
+	}
+
+	// The process survived: a fresh request still answers correctly.
+	req := SearchRequest{Query: queryString(), K: 3, Exhaustive: true}
+	want, _ := doSearch(t, ref, req)
+	got, code := doSearch(t, s, req)
+	if code != http.StatusOK || fmt.Sprint(got.Hits) != fmt.Sprint(want.Hits) {
+		t.Errorf("post-panic request: status %d, hits %v, want %v", code, got.Hits, want.Hits)
+	}
+}
+
+// TestChaosIndexFaultDegrades: an injected candidate-generation error
+// must not fail the request — the job falls back to the exact scan,
+// the answer matches the exhaustive fault-free answer bit for bit,
+// and the server flips (one-way) to degraded: every later request is
+// normalized to exhaustive and /statsz says so.
+func TestChaosIndexFaultDegrades(t *testing.T) {
+	db := testDB(t, 130)
+	reg := faults.NewRegistry(3)
+	reg.Arm(faults.IndexLookup, faults.Fault{Every: 1, Count: 1})
+	s := chaosServer(t, db, reg, Config{Workers: 2, CacheEntries: -1})
+	ref := newTestServer(t, testDB(t, 130), Config{Workers: 2})
+
+	req := SearchRequest{Query: queryString(), K: 8} // indexed path
+	want, _ := doSearch(t, ref, SearchRequest{Query: queryString(), K: 8, Exhaustive: true})
+	got, code := doSearch(t, s, req)
+	if code != http.StatusOK {
+		t.Fatalf("faulted indexed request: status %d", code)
+	}
+	if fmt.Sprint(got.Hits) != fmt.Sprint(want.Hits) {
+		t.Errorf("degraded answer diverged from the exact scan:\n got %v\nwant %v", got.Hits, want.Hits)
+	}
+	if !s.Degraded() {
+		t.Fatal("server not degraded after an index fault")
+	}
+	if stats := s.Stats(); !stats.Degraded {
+		t.Error("/statsz degraded=false after an index fault")
+	}
+
+	// Once degraded, requests normalize to exhaustive up front.
+	resp, code := doSearch(t, s, req)
+	if code != http.StatusOK || !resp.Exhaustive {
+		t.Errorf("post-degrade request: status %d exhaustive %v, want 200 exhaustive", code, resp.Exhaustive)
+	}
+	if fmt.Sprint(resp.Hits) != fmt.Sprint(want.Hits) {
+		t.Errorf("post-degrade hits diverged from the exact scan")
+	}
+}
+
+// TestDegradedStartupOnBadIndex: an index that fails validation (here:
+// built over a different database) must not kill the server — New
+// succeeds, serves exhaustively, and reports degraded.
+func TestDegradedStartupOnBadIndex(t *testing.T) {
+	db := testDB(t, 90)
+	other := testDB(t, 40)
+	badIx := index.Build(other, index.Options{})
+	s, err := New(db, badIx, Config{Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New with invalid index must degrade, not fail: %v", err)
+	}
+	defer s.Close()
+	if !s.Degraded() {
+		t.Fatal("server not degraded after index validation failure")
+	}
+	resp, code := doSearch(t, s, SearchRequest{Query: queryString(), K: 5})
+	if code != http.StatusOK || !resp.Exhaustive {
+		t.Fatalf("degraded server: status %d exhaustive %v", code, resp.Exhaustive)
+	}
+	ref := newTestServer(t, testDB(t, 90), Config{Workers: 2})
+	want, _ := doSearch(t, ref, SearchRequest{Query: queryString(), K: 5, Exhaustive: true})
+	if fmt.Sprint(resp.Hits) != fmt.Sprint(want.Hits) {
+		t.Errorf("degraded-startup hits diverged from the exact scan")
+	}
+}
+
+// TestChaosClientStallCutOff: a stalled client (slow reads injected at
+// the client.stall site) is cut off by its deadline rather than
+// holding a pipeline slot for the stall's full length.
+func TestChaosClientStallCutOff(t *testing.T) {
+	db := testDB(t, 60)
+	reg := faults.NewRegistry(4)
+	reg.Arm(faults.ClientStall, faults.Fault{Every: 1, Delay: 10 * time.Second})
+	s := chaosServer(t, db, reg, Config{Workers: 1})
+
+	start := time.Now()
+	rec := doSearchFull(t, s, SearchRequest{Query: queryString(), K: 3, TimeoutMs: 50})
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408", rec.Code)
+	}
+	if code := errCode(t, rec); code != ErrDeadline {
+		t.Errorf("error code %q, want %q", code, ErrDeadline)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("stalled request took %v to fail; the stall ignored the deadline", took)
+	}
+	if reg.Probes(faults.ClientStall) == 0 {
+		t.Error("client.stall site was never probed")
+	}
+}
+
+// TestShedWithRetryAfter: with the admission gate full, a new request
+// is shed immediately — 429, the overloaded sentinel, a Retry-After
+// header, and a shed_total increment — and admits again once the gate
+// frees.
+func TestShedWithRetryAfter(t *testing.T) {
+	db := testDB(t, 60)
+	s := newTestServer(t, db, Config{Workers: 1, QueueDepth: 4})
+
+	// Fill the gate directly (white-box): 4 of 4 cost units held.
+	if !s.admit.tryAcquire(4) {
+		t.Fatal("could not fill an empty admission gate")
+	}
+	rec := doSearchFull(t, s, SearchRequest{Query: queryString(), K: 3})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d body %s, want 429", rec.Code, rec.Body.String())
+	}
+	if code := errCode(t, rec); code != ErrOverloaded {
+		t.Errorf("error code %q, want %q", code, ErrOverloaded)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	if got := s.Stats().ShedTotal; got != 1 {
+		t.Errorf("shed_total = %d, want 1", got)
+	}
+
+	s.admit.release(4)
+	if _, code := doSearch(t, s, SearchRequest{Query: queryString(), K: 3}); code != http.StatusOK {
+		t.Errorf("post-shed request: status %d, want 200", code)
+	}
+}
+
+// TestAdmissionWeights pins the gate arithmetic: exhaustive jobs cost
+// costExhaustive units against QueueDepth, indexed ones costIndexed,
+// and a job dearer than the whole gate still admits when idle.
+func TestAdmissionWeights(t *testing.T) {
+	a := admission{capacity: 10}
+	if !a.tryAcquire(costExhaustive) {
+		t.Fatal("exhaustive job refused by an empty gate")
+	}
+	if a.tryAcquire(costExhaustive) {
+		t.Fatal("second exhaustive job admitted past capacity 10")
+	}
+	if !a.tryAcquire(costIndexed) || !a.tryAcquire(costIndexed) {
+		t.Fatal("indexed jobs refused with 2 units free")
+	}
+	if a.tryAcquire(costIndexed) {
+		t.Fatal("indexed job admitted past capacity")
+	}
+	a.release(costExhaustive)
+	if !a.tryAcquire(costExhaustive) {
+		t.Fatal("gate did not free on release")
+	}
+	a.release(costExhaustive)
+	a.release(costIndexed)
+	a.release(costIndexed)
+	if got := a.cost.Load(); got != 0 {
+		t.Fatalf("gate cost %d after all releases, want 0", got)
+	}
+	if got := a.jobs.Load(); got != 0 {
+		t.Fatalf("gate jobs %d after all releases, want 0", got)
+	}
+
+	// Admit-when-idle: a job dearer than the whole gate is the only
+	// work, so refusing it forever would be a deadlock, not a policy.
+	small := admission{capacity: 2}
+	if !small.tryAcquire(costExhaustive) {
+		t.Fatal("oversized job refused by an idle gate")
+	}
+	if small.tryAcquire(costIndexed) {
+		t.Fatal("job admitted while an oversized job holds the gate")
+	}
+	small.release(costExhaustive)
+}
+
+// TestDrainUnderLoad drives BeginDrain against live traffic: requests
+// that reached the pipeline complete with correct answers or fail
+// with 503/draining (queued but unstarted) — never anything else —
+// new arrivals are refused with 503, /healthz flips to draining, and
+// Close returns promptly afterwards.
+func TestDrainUnderLoad(t *testing.T) {
+	db := testDB(t, 200)
+	s := newTestServer(t, db, Config{Workers: 1, BatchWindow: 5 * time.Millisecond, CacheEntries: -1})
+
+	const n = 10
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := SearchRequest{Query: bio.Decode(db.Seqs[i].Residues), K: 3, Exhaustive: true}
+			rec := doSearchFull(t, s, req)
+			codes[i] = rec.Code
+			if rec.Code == http.StatusServiceUnavailable {
+				if code := errCode(t, rec); code != ErrDraining {
+					t.Errorf("request %d: 503 with code %q, want %q", i, code, ErrDraining)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // let some requests into the pipeline
+	s.BeginDrain()
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("request %d: status %d, want 200 or 503", i, code)
+		}
+	}
+
+	// New arrivals and health checks see the drain.
+	rec := doSearchFull(t, s, SearchRequest{Query: queryString(), K: 3})
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != ErrDraining {
+		t.Errorf("post-drain request: status %d code %q, want 503 %q", rec.Code, errCode(t, rec), ErrDraining)
+	}
+	hrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(hrec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hrec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz status %d, want 503", hrec.Code)
+	}
+	if stats := s.Stats(); !stats.Draining {
+		t.Error("/statsz draining=false during drain")
+	}
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after drain")
+	}
+}
+
+// TestCancelledJobNoBufferLeak is the pool-recycling regression test:
+// a job abandoned mid-scan (its buffers full of a half-scored
+// request) must never leak those buffers into a later response. The
+// cancelled and follow-up requests deliberately reuse pool entries by
+// running back to back on a single-worker server.
+func TestCancelledJobNoBufferLeak(t *testing.T) {
+	db := testDB(t, 150)
+	reg := faults.NewRegistry(5)
+	s := chaosServer(t, db, reg, Config{Workers: 1, CacheEntries: -1})
+	ref := newTestServer(t, testDB(t, 150), Config{Workers: 1, CacheEntries: -1})
+
+	for round := 0; round < 3; round++ {
+		// Arm the stall and burn a request on its deadline mid-scan.
+		reg.Arm(faults.ScoreSlow, faults.Fault{Every: 1, Delay: time.Second})
+		rec := doSearchFull(t, s, SearchRequest{Query: queryString(), K: 10, Exhaustive: true, TimeoutMs: 20})
+		if rec.Code != http.StatusRequestTimeout {
+			t.Fatalf("round %d: cancelled request status %d, want 408", round, rec.Code)
+		}
+		reg.Arm(faults.ScoreSlow, faults.Fault{})
+
+		// Every follow-up shape — different query, different K, indexed
+		// and exhaustive — must be bit-identical to the clean server.
+		for i, req := range []SearchRequest{
+			{Query: bio.Decode(db.Seqs[round*3].Residues), K: 4, Exhaustive: true},
+			{Query: bio.Decode(db.Seqs[round*3+1].Residues), K: 2},
+			{Query: queryString(), K: 7},
+		} {
+			got, code := doSearch(t, s, req)
+			if code != http.StatusOK {
+				t.Fatalf("round %d req %d: status %d", round, i, code)
+			}
+			want, _ := doSearch(t, ref, req)
+			if fmt.Sprint(got.Hits) != fmt.Sprint(want.Hits) {
+				t.Errorf("round %d req %d: cancelled job's buffers leaked:\n got %v\nwant %v",
+					round, i, got.Hits, want.Hits)
+			}
+		}
+	}
+	if got := s.Stats().AbandonedTotal; got < 1 {
+		t.Errorf("abandoned_total = %d, want >= 1", got)
+	}
+}
+
+// TestJobResetScrubsEverything pins reset() field by field: any field
+// that survives pooling is a cross-request leak waiting to happen.
+func TestJobResetScrubsEverything(t *testing.T) {
+	j := getJob()
+	j.pq = nil
+	j.norm = normalized{topK: 9, exhaustive: true, minScore: 3}
+	j.ctx = context.Background()
+	j.cost = costExhaustive
+	j.cand = append(j.cand, 1, 2, 3)
+	j.scores = append(j.scores, 7, 8)
+	j.hits = []align.Hit{{Index: 1, Score: 42}}
+	j.err = errInternal
+	j.failed.Store(true)
+	j.seedErr = true
+	j.state.Store(jobCompleted)
+
+	j.reset()
+	if j.norm.topK != 0 || j.norm.exhaustive || j.norm.minScore != 0 {
+		t.Error("norm survived reset")
+	}
+	if j.ctx != nil || j.cost != 0 || j.err != nil || j.hits != nil {
+		t.Error("ctx/cost/err/hits survived reset")
+	}
+	if len(j.cand) != 0 || len(j.scores) != 0 {
+		t.Error("cand/scores lengths survived reset")
+	}
+	if j.failed.Load() || j.seedErr {
+		t.Error("failure flags survived reset")
+	}
+	if j.state.Load() != jobPending {
+		t.Error("ownership state survived reset")
+	}
+	jobPool.Put(j)
+}
+
+// TestChaosTimeoutStorm is the combined -race stress: slow scoring,
+// tight deadlines, and concurrent distinct requests. Every response
+// must carry a resilience sentinel or correct hits; afterwards the
+// admission gate must read empty (every abandoned job was recycled
+// exactly once).
+func TestChaosTimeoutStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db := testDB(t, 150)
+	reg := faults.NewRegistry(6)
+	reg.Arm(faults.ScoreSlow, faults.Fault{Rate: 0.3, Delay: 30 * time.Millisecond})
+	s := chaosServer(t, db, reg, Config{Workers: 2, BatchWindow: 2 * time.Millisecond, CacheEntries: -1})
+	ref := newTestServer(t, testDB(t, 150), Config{Workers: 2, CacheEntries: -1})
+
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := SearchRequest{Query: bio.Decode(db.Seqs[i%8].Residues), K: 3, Exhaustive: i%2 == 0,
+				TimeoutMs: int64(5 + i%4*20)}
+			rec := doSearchFull(t, s, req)
+			switch rec.Code {
+			case http.StatusOK:
+				var resp SearchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Errorf("request %d: bad 200 body: %v", i, err)
+					return
+				}
+				want, _ := doSearch(t, ref, req)
+				if fmt.Sprint(resp.Hits) != fmt.Sprint(want.Hits) {
+					t.Errorf("request %d: survived the storm with wrong hits", i)
+				}
+			case http.StatusRequestTimeout:
+				if c := errCode(t, rec); c != ErrDeadline && c != ErrClientGone {
+					t.Errorf("request %d: 408 code %q", i, c)
+				}
+			default:
+				t.Errorf("request %d: unexpected status %d", i, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Quiesce: the pipeline may still be recycling abandoned jobs.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats := s.Stats()
+		if stats.Admission.Cost == 0 && stats.Admission.Jobs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission gate still holds cost=%d jobs=%d after the storm; a job leaked",
+				stats.Admission.Cost, stats.Admission.Jobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// No goroutine leaks: beyond the two servers' own pools (workers +
+	// dispatcher each), the storm must leave nothing behind — every
+	// abandoned handler and injected sleeper has unwound.
+	pools := 2 * (2 + 1) // two servers x (2 workers + dispatcher)
+	for end := time.Now().Add(5 * time.Second); ; {
+		if g := runtime.NumGoroutine(); g <= before+pools {
+			break
+		} else if time.Now().After(end) {
+			t.Fatalf("goroutines: %d before, %d after the storm (budget %d for server pools)",
+				before, g, pools)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

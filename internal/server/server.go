@@ -1,16 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/align"
 	"repro/internal/bio"
+	"repro/internal/faults"
 	"repro/internal/index"
 )
 
@@ -36,9 +41,22 @@ type Config struct {
 	BatchWindow time.Duration
 	// MaxBatch caps jobs per batch; 0 means DefaultMaxBatch.
 	MaxBatch int
-	// QueueDepth bounds the admission queue; 0 means
-	// DefaultQueueDepth. Submitting past it blocks (backpressure).
+	// QueueDepth is the admission gate's capacity in cost units
+	// (costIndexed per indexed job, costExhaustive per exhaustive
+	// one); 0 means DefaultQueueDepth. Requests arriving past it are
+	// shed with 429/overloaded rather than queued without bound.
 	QueueDepth int
+	// RequestTimeout caps every request's deadline: a request with no
+	// timeout_ms gets exactly this, one with a longer timeout_ms is
+	// clamped to it. 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
+	// Faults is the deterministic fault-injection registry
+	// (internal/faults); nil — the production value — disarms every
+	// site at the cost of one nil check per probe.
+	Faults *faults.Registry
+	// Logf receives operational log lines (degrade events, isolated
+	// panics); nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // The documented Config defaults.
@@ -50,14 +68,16 @@ const (
 )
 
 // Server is the long-lived search service. Construct with New, mount
-// Handler on an http.Server, and Close after the HTTP side has
-// drained (http.Server.Shutdown first, then Close — Close stops the
-// dispatcher and workers, so no request may still be in flight).
+// Handler on an http.Server, and shut down in order: BeginDrain, then
+// http.Server.Shutdown, then Close after the HTTP side has drained
+// (Close stops the dispatcher and workers, so no request may still be
+// in flight).
 type Server struct {
 	cfg    Config
 	kernel align.Kernel // resolved Config.DefaultKernel
 	db     *bio.Database
 	ix     *index.Index // nil: exhaustive-only service
+	logf   func(format string, args ...any)
 
 	// searchers holds one validated Searcher clone per worker,
 	// distributed at pool start; nil when ix is nil.
@@ -66,6 +86,13 @@ type Server struct {
 	cache   *resultCache
 	metrics metrics
 	mux     *http.ServeMux
+
+	admit    admission   // weighted admission gate in front of queue
+	draining atomic.Bool // BeginDrain flipped; new work is refused
+	// degraded: the index failed validation at startup or errored
+	// mid-flight; every request is normalized to the exact scan until
+	// restart. One-way — an index that lied once is not re-trusted.
+	degraded atomic.Bool
 
 	queue      chan *job
 	phaseCh    chan *batchPhase
@@ -76,7 +103,9 @@ type Server struct {
 
 // New builds and starts a Server over db, with ix (may be nil) as the
 // seed index. The index is validated against the database — serving
-// candidates for the wrong database would be silently wrong answers.
+// candidates for the wrong database would be silently wrong answers —
+// but a validation failure degrades the server to exhaustive scanning
+// instead of refusing to start: exact answers beat no service.
 func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	if db == nil || db.NumSeqs() == 0 {
 		return nil, fmt.Errorf("server: empty database")
@@ -115,21 +144,29 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 		kernel:  defaultKernel,
 		db:      db,
 		ix:      ix,
+		logf:    cfg.Logf,
 		cache:   newResultCache(cfg.CacheEntries),
 		queue:   make(chan *job, cfg.QueueDepth),
 		phaseCh: make(chan *batchPhase, cfg.Workers),
 	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	s.admit.capacity = int64(cfg.QueueDepth)
 	s.metrics.start = time.Now()
 
 	if ix != nil {
 		if err := ix.Validate(db); err != nil {
-			return nil, fmt.Errorf("server: %w", err)
-		}
-		proto := index.NewSearcher(ix, db, cfg.Params, index.SearchOptions{})
-		s.searchers = make([]*index.Searcher, cfg.Workers)
-		s.searchers[0] = proto
-		for i := 1; i < cfg.Workers; i++ {
-			s.searchers[i] = proto.Clone()
+			s.logf("server: index failed validation: %v; serving degraded (exhaustive scans only)", err)
+			s.degraded.Store(true)
+			s.ix = nil
+		} else {
+			proto := index.NewSearcher(ix, db, cfg.Params, index.SearchOptions{})
+			s.searchers = make([]*index.Searcher, cfg.Workers)
+			s.searchers[0] = proto
+			for i := 1; i < cfg.Workers; i++ {
+				s.searchers[i] = proto.Clone()
+			}
 		}
 	}
 
@@ -155,6 +192,28 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 // GET /healthz, GET /statsz).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// BeginDrain flips the server to draining: new /search requests are
+// refused with 503/draining (and /healthz reports draining), queued
+// but unstarted jobs fail the same way, and the batch already scoring
+// completes normally. Call it before http.Server.Shutdown so load
+// balancers and clients get a fast explicit signal instead of
+// connection resets. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Degraded reports whether the server has stopped trusting its index
+// and normalizes every request to the exhaustive scan.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// enterDegraded flips the server to degraded mode (once) and logs why.
+func (s *Server) enterDegraded(reason string) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.logf("server: index error: %s; degrading to exhaustive scans", reason)
+	}
+}
+
 // Close stops the dispatcher and the worker pool. It must run after
 // the HTTP side has drained (http.Server.Shutdown has returned): a
 // handler still waiting on a job when the pipeline stops would wait
@@ -169,6 +228,10 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, errDraining)
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
 			detail: "use POST with a JSON body"})
@@ -199,7 +262,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
-	hits, cached := s.search(norm, start)
+	// The request context carries client disconnects; the deadline —
+	// request timeout_ms clamped by -request-timeout — stacks on top.
+	// WithTimeout allocates, so the common no-deadline path skips it.
+	ctx := r.Context()
+	if norm.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, norm.timeout)
+		defer cancel()
+	}
+	// client.stall fault site: the client "reads and writes slowly"
+	// from here on — the deadline is armed, so a stalled request is
+	// cut off like any other slow one.
+	if d := s.cfg.Faults.Delay(faults.ClientStall); d > 0 {
+		faults.Sleep(ctx, d)
+	}
+
+	hits, cached, aerr := s.search(ctx, norm, start)
+	if aerr != nil {
+		if aerr.code == ErrDeadline {
+			s.metrics.timeouts.Add(1)
+		}
+		s.writeError(w, aerr)
+		return
+	}
 	resp := SearchResponse{
 		QueryLen:   len(norm.residues),
 		Kernel:     norm.kernel.String(),
@@ -216,31 +302,88 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // single-flight layer, and — for a leader — the batching pipeline.
 // The returned cached flag is true whenever the hits were not
 // computed by this request (LRU hit or coalesced onto a leader).
-func (s *Server) search(norm normalized, start time.Time) ([]Hit, bool) {
+//
+// Failure handling is per role. A follower whose own context dies
+// leaves immediately (the leader keeps computing for everyone else).
+// A follower whose LEADER failed inherits failures that would hit it
+// identically (shed, draining, internal) but retries for leadership
+// when the failure was the leader's own deadline or disconnect — the
+// follower's deadline may still have room. The loop cannot livelock:
+// every iteration either returns, observes a completed flight, or
+// promotes some waiter to leader.
+func (s *Server) search(ctx context.Context, norm normalized, start time.Time) ([]Hit, bool, *apiError) {
 	key := norm.cacheKey()
-	cachedHits, f, leader := s.cache.begin(key)
-	switch {
-	case f == nil: // LRU hit
-		s.metrics.totalH.observe(time.Since(start))
-		return cachedHits, true
-	case !leader: // coalesced onto an identical in-flight query
-		<-f.done
-		s.metrics.totalH.observe(time.Since(start))
-		return f.hits, true
+	for {
+		cachedHits, f, leader := s.cache.begin(key)
+		if f == nil { // LRU hit
+			s.metrics.totalH.observe(time.Since(start))
+			return cachedHits, true, nil
+		}
+		if leader {
+			return s.lead(ctx, key, f, norm, start)
+		}
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctxError(ctx)
+		}
+		if f.err == nil {
+			s.metrics.totalH.observe(time.Since(start))
+			return f.hits, true, nil
+		}
+		if f.err != errDeadline && f.err != errClientGone {
+			return nil, false, f.err
+		}
 	}
+}
 
+// lead computes a flight's result through the pipeline. Every exit
+// resolves the flight exactly once — finish on success, abort on any
+// failure — so followers never wait forever, and every exit settles
+// the job ownership CAS so the job is recycled by exactly one side.
+func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normalized, start time.Time) ([]Hit, bool, *apiError) {
+	if s.draining.Load() { // re-check: drain may have flipped since the handler's gate
+		s.cache.abort(key, f, errDraining)
+		return nil, false, errDraining
+	}
 	j := getJob()
+	j.cost = jobCost(norm)
+	if !s.admit.tryAcquire(j.cost) {
+		j.cost = 0
+		putJob(j)
+		s.metrics.shed.Add(1)
+		s.cache.abort(key, f, errOverloaded)
+		return nil, false, errOverloaded
+	}
 	j.pq = align.PrepareQuery(s.cfg.Params, norm.residues, norm.kernel)
 	j.norm = norm
+	j.ctx = ctx
 	j.enqueued = time.Now()
-	s.submit(j)
-	<-j.done
+	s.queue <- j // admission bounds occupancy, so this never blocks
 
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		if j.abandon() {
+			// The pipeline now owns the job and will recycle it; the
+			// buffers it may still be writing are no longer ours.
+			err := ctxError(ctx)
+			s.cache.abort(key, f, err)
+			return nil, false, err
+		}
+		<-j.done // lost the race: the result is ready, take it
+	}
+
+	if err := j.err; err != nil {
+		s.recycleJob(j)
+		s.cache.abort(key, f, err)
+		return nil, false, err
+	}
 	hits := wireHits(j.hits)
-	putJob(j)
+	s.recycleJob(j)
 	s.cache.finish(key, f, hits)
 	s.metrics.totalH.observe(time.Since(start))
-	return hits, false
+	return hits, false, nil
 }
 
 // Stats returns a point-in-time snapshot of the server's operational
@@ -248,8 +391,16 @@ func (s *Server) search(norm normalized, start time.Time) ([]Hit, bool) {
 func (s *Server) Stats() StatsResponse { return s.statsSnapshot() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "draining",
+			"uptime_s": time.Since(s.metrics.start).Seconds(),
+		})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
+		"degraded": s.degraded.Load(),
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 	})
 }
@@ -268,5 +419,8 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	s.metrics.errored.Add(1)
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	s.writeJSON(w, e.status, &ErrorResponse{Error: e.code, Detail: e.detail})
 }

@@ -224,6 +224,28 @@ func TestStatsz(t *testing.T) {
 	if stats.IndexK == 0 {
 		t.Error("index_k missing on an indexed server")
 	}
+
+	// The resilience fields: counters zero on a healthy idle server,
+	// the admission gate sized and empty, flags down.
+	if stats.ShedTotal != 0 || stats.TimeoutTotal != 0 || stats.PanicTotal != 0 || stats.AbandonedTotal != 0 {
+		t.Errorf("resilience counters nonzero on a healthy server: %+v", stats)
+	}
+	if stats.Degraded || stats.Draining {
+		t.Errorf("degraded=%v draining=%v on a healthy server", stats.Degraded, stats.Draining)
+	}
+	if stats.Admission.Capacity != DefaultQueueDepth {
+		t.Errorf("admission capacity %d, want %d", stats.Admission.Capacity, DefaultQueueDepth)
+	}
+	if stats.Admission.Cost != 0 || stats.Admission.Jobs != 0 {
+		t.Errorf("admission gate not empty at rest: %+v", stats.Admission)
+	}
+	// And the wire names CI's jq assertions rely on.
+	for _, field := range []string{`"shed_total"`, `"timeout_total"`, `"panic_total"`,
+		`"abandoned_total"`, `"degraded"`, `"draining"`, `"admission"`, `"capacity"`} {
+		if !strings.Contains(rec.Body.String(), field) {
+			t.Errorf("/statsz body lacks %s", field)
+		}
+	}
 }
 
 // TestGracefulShutdown drives the real net/http drain path: requests

@@ -91,6 +91,13 @@ type metrics struct {
 	batches   atomic.Int64 // batches executed
 	batchJobs atomic.Int64 // jobs summed over executed batches
 
+	// The resilience counters. Each is a distinct way the server chose
+	// to degrade a request instead of degrading itself.
+	shed      atomic.Int64 // requests refused with 429 at admission
+	timeouts  atomic.Int64 // requests that hit their deadline (408)
+	panics    atomic.Int64 // scoring panics isolated to single requests
+	abandoned atomic.Int64 // jobs whose client vanished before scoring
+
 	queueH histogram // admission -> batch start
 	seedH  histogram // candidate generation (per batch with indexed jobs)
 	scanH  histogram // kernel rescoring pass (per batch)
@@ -109,6 +116,21 @@ type StatsResponse struct {
 	DBSeqs     int     `json:"db_seqs"`
 	DBResidues int     `json:"db_residues"`
 	IndexK     int     `json:"index_k,omitempty"` // 0 when serving without an index
+
+	// Resilience state: the shed/timeout/panic/abandon tallies, the
+	// degraded flag (the index is no longer trusted; every scan is
+	// exact), and the admission queue's live occupancy in cost units.
+	ShedTotal      int64 `json:"shed_total"`
+	TimeoutTotal   int64 `json:"timeout_total"`
+	PanicTotal     int64 `json:"panic_total"`
+	AbandonedTotal int64 `json:"abandoned_total"`
+	Degraded       bool  `json:"degraded"`
+	Draining       bool  `json:"draining"`
+	Admission      struct {
+		Cost     int64 `json:"cost"`     // admitted cost units in flight
+		Capacity int64 `json:"capacity"` // shed threshold
+		Jobs     int64 `json:"jobs"`     // admitted jobs in flight
+	} `json:"admission"`
 
 	Cache struct {
 		Entries   int     `json:"entries"`
@@ -139,6 +161,16 @@ func (s *Server) statsSnapshot() StatsResponse {
 	if s.ix != nil {
 		r.IndexK = s.ix.K()
 	}
+
+	r.ShedTotal = s.metrics.shed.Load()
+	r.TimeoutTotal = s.metrics.timeouts.Load()
+	r.PanicTotal = s.metrics.panics.Load()
+	r.AbandonedTotal = s.metrics.abandoned.Load()
+	r.Degraded = s.degraded.Load()
+	r.Draining = s.draining.Load()
+	r.Admission.Cost = s.admit.cost.Load()
+	r.Admission.Capacity = s.admit.capacity
+	r.Admission.Jobs = s.admit.jobs.Load()
 
 	hits, misses, coalesced := s.cache.counters()
 	r.Cache.Entries = s.cache.len()
