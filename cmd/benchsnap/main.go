@@ -9,22 +9,29 @@
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_5.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0]
+//	benchsnap [-o BENCH_7.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0] [-min-stream-speedup 2.0]
 //
 // The snapshot carries a swar_vs_sw_speedup field (the SWAR kernel's
-// Mcells/s over the scalar reference's) and a cache_speedup field (the
-// service's cache-hit qps over its uncached qps). Both gates are
-// ratios measured in the same run, not absolute rates, so CI hardware
-// variance cannot flake them: -min-swar-speedup keeps the multi-lane
-// kernel from regressing below scalar, -min-cache-speedup keeps the
-// result cache paying for itself.
+// Mcells/s over the scalar reference's), a cache_speedup field (the
+// service's cache-hit qps over its uncached qps), and a
+// stream_vs_post_speedup field (bulk NDJSON queries over one
+// /search/stream connection vs the same queries as sequential single
+// POSTs). All gates are ratios measured in the same run, not absolute
+// rates, so CI hardware variance cannot flake them: -min-swar-speedup
+// keeps the multi-lane kernel from regressing below scalar,
+// -min-cache-speedup keeps the result cache paying for itself, and
+// -min-stream-speedup keeps the streaming protocol's per-query
+// overhead amortization real.
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -100,6 +107,7 @@ type Snapshot struct {
 	SubjectLen    int             `json:"subject_len"`
 	SwarVsSw      float64         `json:"swar_vs_sw_speedup"`
 	CacheSpeedup  float64         `json:"cache_speedup"`
+	StreamVsPost  float64         `json:"stream_vs_post_speedup"`
 	Kernels       []KernelResult  `json:"kernels"`
 	Scan          []KernelResult  `json:"scan"`
 	Sweep         []SweepResult   `json:"sweep"`
@@ -108,11 +116,13 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output file")
+	out := flag.String("o", "BENCH_7.json", "output file")
 	minSwar := flag.Float64("min-swar-speedup", 0,
 		"fail unless the swar kernel is at least this many times faster than scalar sw (0 disables)")
 	minCache := flag.Float64("min-cache-speedup", 0,
 		"fail unless cached /search qps is at least this many times the uncached qps (0 disables)")
+	minStream := flag.Float64("min-stream-speedup", 0,
+		"fail unless bulk /search/stream qps is at least this many times sequential single-POST qps (0 disables)")
 	flag.Parse()
 
 	p := align.PaperParams()
@@ -340,6 +350,132 @@ func main() {
 	snap.Server = append(snap.Server, uncachedRow, cachedRow)
 	snap.CacheSpeedup = cachedRow.QPS / uncachedRow.QPS
 
+	// Streaming bulk-query protocol vs one POST per query, over a real
+	// TCP listener (the stream path needs full-duplex HTTP, which
+	// httptest recorders don't exercise). The workload is deliberately
+	// overhead-dominated — a small database, short distinct queries,
+	// the cache disabled — because that is the regime the protocol
+	// exists for: when per-request HTTP costs rival the alignment
+	// itself, one connection with a pipelined window amortizes them;
+	// when compute dominates, both transports converge on kernel speed
+	// and the ratio tells you nothing.
+	streamSpec := bio.DefaultDBSpec(60)
+	streamSpec.MeanLen = 80 // short subjects: a single rescore is microseconds
+	streamSpec.MaxLen = 120
+	streamSpec.Related = 3
+	streamSpec.RelatedTo = q
+	streamDB := bio.SyntheticDB(streamSpec)
+	streamIx := index.Build(streamDB, index.Options{})
+	streamSrv, err := server.New(streamDB, streamIx, server.Config{CacheEntries: -1})
+	if err != nil {
+		fatal(err)
+	}
+	defer streamSrv.Close()
+	ts := httptest.NewServer(streamSrv.Handler())
+	defer ts.Close()
+
+	const streamN = 8000
+	postBodies := make([][]byte, streamN)
+	var ndjson bytes.Buffer
+	enc := json.NewEncoder(&ndjson)
+	for i := 0; i < streamN; i++ {
+		seq := bio.Decode(streamDB.Seqs[i%streamDB.NumSeqs()].Residues)
+		if len(seq) > 12 {
+			seq = seq[:12]
+		}
+		// Vary the query per line so no two lines share a cache key
+		// even if caching were on — each line does real work.
+		sr := server.SearchRequest{Query: fmt.Sprintf("%s%s", seq, "ACDE"[i%4:i%4+1]), K: 1, MaxCandidates: 1}
+		postBodies[i], err = json.Marshal(&sr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := enc.Encode(&server.StreamRequest{ID: fmt.Sprintf("q%06d", i), SearchRequest: sr}); err != nil {
+			fatal(err)
+		}
+	}
+	client := ts.Client()
+	postPass := func(n int) float64 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			resp, err := client.Post(ts.URL+"/search", "application/json", bytes.NewReader(postBodies[i]))
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fatal(fmt.Errorf("stream bench: POST %d returned %d", i, resp.StatusCode))
+			}
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	streamPass := func() float64 {
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/search/stream", "application/x-ndjson", bytes.NewReader(ndjson.Bytes()))
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("stream bench: /search/stream returned %d", resp.StatusCode))
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		var results int
+		var terminal server.StreamResult
+		for sc.Scan() {
+			// Decode only the terminal line: the post pass discards its
+			// response bodies undecoded, and on one CPU the measuring
+			// client's own JSON work would otherwise bill the server.
+			if !bytes.Contains(sc.Bytes(), []byte(`"terminal":true`)) {
+				results++
+				continue
+			}
+			if err := json.Unmarshal(sc.Bytes(), &terminal); err != nil {
+				fatal(fmt.Errorf("stream bench: bad terminal line %q: %v", sc.Text(), err))
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		if results != streamN || terminal.Results != int64(streamN) || terminal.Errors != 0 {
+			fatal(fmt.Errorf("stream bench: %d/%d results, terminal %+v", results, streamN, terminal))
+		}
+		return float64(streamN) / time.Since(start).Seconds()
+	}
+	postPass(200) // warm the connection pool and scratch buffers
+	streamPass()
+	postQPS := postPass(streamN)
+	streamQPS := streamPass()
+	snap.Server = append(snap.Server,
+		ServerResult{Name: "post_qps", Workers: runtime.GOMAXPROCS(0), DBSeqs: streamDB.NumSeqs(),
+			QPS: postQPS, MeanUs: 1e6 / postQPS},
+		ServerResult{Name: "stream_qps", Workers: runtime.GOMAXPROCS(0), DBSeqs: streamDB.NumSeqs(),
+			QPS: streamQPS, MeanUs: 1e6 / streamQPS})
+	snap.StreamVsPost = streamQPS / postQPS
+
+	// All-vs-all coalesced pass: the library-level engine behind the
+	// stream's all_vs_all mode, recorded as cells/sec like the other
+	// scan rows (cells = sum of query lengths x database residues).
+	avaQueries := make([][]uint8, 8)
+	var avaQueryCells int
+	for i := range avaQueries {
+		avaQueries[i] = idxDB.Seqs[i].Residues
+		avaQueryCells += len(avaQueries[i])
+	}
+	avaCells := float64(avaQueryCells * idxDB.TotalResidues())
+	snap.Scan = append(snap.Scan,
+		mark("searchdball-swar-q8", avaCells, func(*align.Scratch) {
+			if _, err := align.SearchDBAll(context.Background(), p, avaQueries, idxDB, align.SearchConfig{
+				Kernel: align.KernelSWAR, TopK: 10,
+			}); err != nil {
+				fatal(err)
+			}
+		}))
+
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -349,14 +485,17 @@ func main() {
 		fatal(err)
 	}
 	ir := snap.IndexedSearch[0]
-	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx)\n",
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx; stream %.0f qps vs post %.0f qps = %.2fx)\n",
 		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), snap.SwarVsSw, ir.Speedup, ir.RecallAt10,
-		uncachedRow.QPS, cachedRow.QPS, snap.CacheSpeedup)
+		uncachedRow.QPS, cachedRow.QPS, snap.CacheSpeedup, streamQPS, postQPS, snap.StreamVsPost)
 	if *minSwar > 0 && snap.SwarVsSw < *minSwar {
 		fatal(fmt.Errorf("swar kernel is %.2fx scalar sw, below the required %.2fx", snap.SwarVsSw, *minSwar))
 	}
 	if *minCache > 0 && snap.CacheSpeedup < *minCache {
 		fatal(fmt.Errorf("cached /search is %.2fx uncached, below the required %.2fx", snap.CacheSpeedup, *minCache))
+	}
+	if *minStream > 0 && snap.StreamVsPost < *minStream {
+		fatal(fmt.Errorf("bulk /search/stream is %.2fx sequential POSTs, below the required %.2fx", snap.StreamVsPost, *minStream))
 	}
 }
 

@@ -1,0 +1,253 @@
+// Command seqclient is the bulk driver for seqserve's streaming
+// protocol: it ships an NDJSON stream of queries to POST /search/stream
+// over one connection and relays the result lines — out of order, as
+// the server completes them — to stdout, with a throughput summary on
+// stderr. It is also the reference client the CI smoke job diffs
+// against single POSTs, so it can replay the same NDJSON input as one
+// POST /search per line (-mode post), and it can generate deterministic
+// NDJSON workloads from the same synthetic databases seqserve loads
+// (-gen).
+//
+// Usage:
+//
+//	seqclient -gen 1000 -db synthetic:1000 > queries.ndjson
+//	seqclient -addr localhost:8044 < queries.ndjson > results.ndjson
+//	seqclient -addr localhost:8044 -mode post < queries.ndjson   # same answers, one POST each
+//	seqclient -gen 200 -bulk-mode all_vs_all | seqclient -addr localhost:8044
+//
+// Exit status is 0 when the protocol completed: in stream mode that
+// means the server's terminal line arrived (clean EOF or an orderly
+// cutoff like draining), in post mode that every input line was
+// answered. A connection that dies without a terminal line exits 1.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "localhost:8044", "seqserve address (host:port)")
+		mode = flag.String("mode", "stream", "transport: stream (one /search/stream connection) or post (one /search POST per line)")
+		in   = flag.String("in", "-", "NDJSON request input (- = stdin)")
+
+		genN   = flag.Int("gen", 0, "generate this many NDJSON request lines on stdout instead of driving a server")
+		dbArg  = flag.String("db", "synthetic:1000", "query source for -gen: FASTA file path or synthetic:<n> (match the server's -db/-seed)")
+		dbSeed = flag.Int64("seed", 20061001, "synthetic database generator seed for -gen")
+
+		kFlag      = flag.Int("k", 5, "top-k for generated queries")
+		kernel     = flag.String("kernel", "", "kernel for generated queries (empty = server default)")
+		exhaustive = flag.Bool("exhaustive", false, "generate exhaustive-scan queries")
+		bulkMode   = flag.String("bulk-mode", "", `mode field for generated lines: "" or `+server.StreamModeAllVsAll)
+		queryLen   = flag.Int("query-len", 0, "truncate generated queries to this many residues (0 = whole sequence)")
+	)
+	flag.Parse()
+
+	if *genN > 0 {
+		if err := generate(os.Stdout, *genN, *dbArg, *dbSeed, *kFlag, *kernel, *exhaustive, *bulkMode, *queryLen); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	input := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+
+	var err error
+	switch *mode {
+	case "stream":
+		err = driveStream(*addr, input)
+	case "post":
+		err = drivePost(*addr, input)
+	default:
+		err = fmt.Errorf("unknown -mode %q (stream or post)", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// generate writes n deterministic StreamRequest lines: queries cycle
+// through the database's own sequences, so every line has real homologs
+// to find and two generations with the same flags are byte-identical.
+func generate(w io.Writer, n int, dbArg string, seed int64, k int, kernel string, exhaustive bool, bulkMode string, queryLen int) error {
+	db, err := bio.LoadDatabase(dbArg, seed, 0, nil)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	for i := 0; i < n; i++ {
+		q := bio.Decode(db.Seqs[i%db.NumSeqs()].Residues)
+		if queryLen > 0 && len(q) > queryLen {
+			q = q[:queryLen]
+		}
+		req := server.StreamRequest{
+			ID:   fmt.Sprintf("q%06d", i),
+			Mode: bulkMode,
+			SearchRequest: server.SearchRequest{
+				Query:      q,
+				Kernel:     kernel,
+				K:          k,
+				Exhaustive: exhaustive,
+			},
+		}
+		if err := enc.Encode(&req); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// driveStream ships the whole input as one /search/stream body and
+// relays response lines verbatim. The input reader is the request body,
+// so a slow producer (a paused pipe) exercises the server's stall
+// accounting and a fast one its flow-control window.
+func driveStream(addr string, input io.Reader) error {
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/search/stream", input)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server refused the stream: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var results, errLines int64
+	var terminal *server.StreamResult
+	for sc.Scan() {
+		out.Write(sc.Bytes())
+		out.WriteByte('\n')
+		var line server.StreamResult
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("undecodable response line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Terminal:
+			terminal = &line
+		case line.Error != "":
+			errLines++
+		default:
+			results++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stream: %w", err)
+	}
+	out.Flush()
+	if terminal == nil {
+		return fmt.Errorf("stream ended after %d lines without a terminal line", results+errLines)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "seqclient: stream: %d results, %d errors in %v (%.1f qps)\n",
+		results, errLines, elapsed.Round(time.Millisecond), float64(results)/elapsed.Seconds())
+	if terminal.Error != "" {
+		fmt.Fprintf(os.Stderr, "seqclient: stream cut off by server: %s (%s) after %d/%d lines\n",
+			terminal.Error, terminal.Detail, terminal.Results+terminal.Errors, terminal.Lines)
+	}
+	return nil
+}
+
+// drivePost replays the same NDJSON input as sequential single POSTs —
+// the bit-identity reference the streaming protocol is measured
+// against. Output lines carry the same fields as stream result lines
+// (minus the terminal line) so the two transports diff cleanly once
+// took_us/cached are stripped.
+func drivePost(addr string, input io.Reader) error {
+	start := time.Now()
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	sc := bufio.NewScanner(input)
+	sc.Buffer(make([]byte, 0, 1<<20), 2<<20)
+	var results, errLines int64
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var req server.StreamRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			return fmt.Errorf("input line %q: %v", sc.Text(), err)
+		}
+		if req.Mode == server.StreamModeAllVsAll {
+			// all_vs_all is a scheduling hint; its single-POST
+			// equivalent is a plain exhaustive scan.
+			req.Exhaustive = true
+		}
+		body, err := json.Marshal(&req.SearchRequest)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post("http://"+addr+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("id %s: %w", req.ID, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("id %s: reading response: %w", req.ID, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e server.ErrorResponse
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return fmt.Errorf("id %s: status %d: %s", req.ID, resp.StatusCode, bytes.TrimSpace(raw))
+			}
+			errLines++
+			if err := enc.Encode(map[string]string{"id": req.ID, "error": e.Error, "detail": e.Detail}); err != nil {
+				return err
+			}
+			continue
+		}
+		var sr server.SearchResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return fmt.Errorf("id %s: decoding response: %w", req.ID, err)
+		}
+		results++
+		if err := enc.Encode(&server.StreamResult{ID: req.ID, SearchResponse: sr}); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading input: %w", err)
+	}
+	out.Flush()
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "seqclient: post: %d results, %d errors in %v (%.1f qps)\n",
+		results, errLines, elapsed.Round(time.Millisecond), float64(results)/elapsed.Seconds())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqclient:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	seqserve -db swissprot.fasta -index sp.seqidx -workers 8
 //	curl -s localhost:8044/healthz
 //	curl -s -d '{"query":"MTDKL...","k":5}' localhost:8044/search
+//	seqclient -gen 1000 | seqclient -addr localhost:8044   # bulk NDJSON over /search/stream
 //	curl -s localhost:8044/statsz
 //
 // The endpoints and the pipeline behind them (admission ->
@@ -54,7 +55,11 @@ func main() {
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
 
 		queueDepth = flag.Int("queue-depth", server.DefaultQueueDepth,
-			"admission gate capacity in cost units (indexed request = 1, exhaustive = 8); past it requests are shed with 429")
+			"admission gate capacity in cost units (indexed request = 1, exhaustive = 8+ scaled per kernel); past it single POSTs are shed with 429 and streams pause")
+		streamWindow = flag.Int("stream-window", server.DefaultStreamWindow,
+			"per-connection /search/stream flow-control window: max queries decoded but not yet written back")
+		streamStall = flag.Duration("stream-stall", server.DefaultStreamStall,
+			"cut off a /search/stream client idle this long (neither feeding nor draining); 0 disables the cutoff")
 		reqTimeout = flag.Duration("request-timeout", 0,
 			"server-side cap on every request's deadline (0 = none); requests past it fail with 408 deadline_exceeded")
 		drainGrace = flag.Duration("drain-grace", 0,
@@ -108,6 +113,9 @@ func main() {
 	if *batchWindow == 0 {
 		*batchWindow = -1
 	}
+	if *streamStall == 0 {
+		*streamStall = -1
+	}
 	reg, err := faults.ParseSpec(*faultsSpec, *faultsSeed)
 	if err != nil {
 		fatal(err)
@@ -116,14 +124,16 @@ func main() {
 		fmt.Printf("seqserve: FAULT INJECTION ARMED: %s (seed %d)\n", *faultsSpec, *faultsSeed)
 	}
 	srv, err := server.New(db, ix, server.Config{
-		Workers:        *workers,
-		DefaultKernel:  *kernel,
-		CacheEntries:   *cacheSize,
-		BatchWindow:    *batchWindow,
-		MaxBatch:       *maxBatch,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		Faults:         reg,
+		Workers:            *workers,
+		DefaultKernel:      *kernel,
+		CacheEntries:       *cacheSize,
+		BatchWindow:        *batchWindow,
+		MaxBatch:           *maxBatch,
+		QueueDepth:         *queueDepth,
+		StreamWindow:       *streamWindow,
+		StreamStallTimeout: *streamStall,
+		RequestTimeout:     *reqTimeout,
+		Faults:             reg,
 	})
 	if err != nil {
 		if ix != nil && *indexArg != "build" {
@@ -182,6 +192,10 @@ func main() {
 	fmt.Printf("seqserve: drained after %.1fs: %d requests (%.1f qps), %d errors, cache hit rate %.2f (%d hits, %d coalesced, %d misses)\n",
 		stats.UptimeS, stats.Requests, stats.QPS, stats.Errors,
 		stats.Cache.HitRate, stats.Cache.Hits, stats.Cache.Coalesced, stats.Cache.Misses)
+	if stats.Streams.Total > 0 {
+		fmt.Printf("seqserve: streams: %d connections, %d lines in, %d results out (%.1f stream qps), %d line errors\n",
+			stats.Streams.Total, stats.Streams.Lines, stats.Streams.Results, stats.StreamQPS, stats.Streams.Errors)
+	}
 	if stats.ShedTotal+stats.TimeoutTotal+stats.PanicTotal+stats.AbandonedTotal > 0 || stats.Degraded {
 		fmt.Printf("seqserve: resilience: %d shed, %d timed out, %d abandoned, %d panics isolated, degraded=%v\n",
 			stats.ShedTotal, stats.TimeoutTotal, stats.AbandonedTotal, stats.PanicTotal, stats.Degraded)

@@ -1,0 +1,118 @@
+package align
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bio"
+)
+
+// The all-vs-all coalesced pass. Bulk workloads — clustering a set of
+// sequences, annotating a new genome against a reference database —
+// score MANY queries against the SAME database, and scoring them one
+// SearchDB call at a time walks the database once per query: every
+// target sequence is pulled through the cache Q times. SearchDBAll
+// inverts the loop nesting the way the server's batch scan does: the
+// shared work units are chunks of TARGET sequences, and a worker that
+// claims a chunk scores it against every query while the chunk's
+// residues are hot, so the database streams through the cache once
+// per chunk instead of once per query.
+
+// allChunk is how many target sequences one all-vs-all work unit
+// covers: the same trade as searchBatch (balance ragged lengths vs.
+// claim-counter traffic), kept small because each claimed chunk does
+// per-query work.
+const allChunk = 8
+
+// SearchDBAll scores every query against every database sequence in
+// one sharded pass and returns one ranked hit list per query, in query
+// order. Each list is bit-identical to what SearchDB would return for
+// that query alone with the same Kernel/TopK/MinScore — only the
+// traversal order (and therefore the wall-clock) differs. cfg.Filter
+// and cfg.MaxCandidates are ignored: all-vs-all is exhaustive by
+// definition. Cancellation follows SearchDBContext's all-or-nothing
+// contract: a done ctx yields (nil, ctx.Err()), never a partial
+// answer. Empty queries are legal and produce an empty hit list at
+// their position.
+func SearchDBAll(ctx context.Context, p Params, queries [][]uint8, db *bio.Database, cfg SearchConfig) ([][]Hit, error) {
+	seqs := db.Seqs
+	if len(queries) == 0 {
+		return nil, ctx.Err()
+	}
+	if len(seqs) == 0 {
+		return make([][]Hit, len(queries)), ctx.Err()
+	}
+
+	// Profiles are built once and shared read-only across workers;
+	// empty queries keep a nil slot and an all-zero score row.
+	prepared := make([]*PreparedQuery, len(queries))
+	for qi, q := range queries {
+		if len(q) > 0 {
+			prepared[qi] = PrepareQuery(p, q, cfg.Kernel)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numChunks := (len(seqs) + allChunk - 1) / allChunk
+	if workers > numChunks {
+		workers = numChunks
+	}
+	minScore := cfg.MinScore
+	if minScore <= 0 {
+		minScore = 1
+	}
+
+	scores := make([][]int, len(queries))
+	flat := make([]int, len(queries)*len(seqs)) // one allocation, row per query
+	for qi := range scores {
+		scores[qi] = flat[qi*len(seqs) : (qi+1)*len(seqs)]
+	}
+
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := getScratch()
+			defer putScratch(scr)
+			for claims := 0; ; claims++ {
+				if claims%cancelCheckClaims == 0 && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				lo := int(next.Add(allChunk)) - allChunk
+				if lo >= len(seqs) {
+					return
+				}
+				hi := min(lo+allChunk, len(seqs))
+				// Chunk-outer, query-inner: these few KB of target
+				// residues stay resident across the whole query loop.
+				for si := lo; si < hi; si++ {
+					res := seqs[si].Residues
+					for qi, pq := range prepared {
+						if pq != nil {
+							scores[qi][si] = scr.ScorePrepared(pq, res)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	hits := make([][]Hit, len(queries))
+	for qi := range queries {
+		hits[qi] = RankHits(seqs, nil, scores[qi], minScore, cfg.TopK)
+	}
+	return hits, nil
+}

@@ -1,0 +1,103 @@
+package align
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+func multiTestDB(n int) *bio.Database {
+	spec := bio.DefaultDBSpec(n)
+	spec.Related = 5
+	spec.RelatedTo = bio.GlutathioneQuery()
+	return bio.SyntheticDB(spec)
+}
+
+func multiTestQueries(db *bio.Database, n int) [][]uint8 {
+	queries := make([][]uint8, 0, n)
+	queries = append(queries, bio.GlutathioneQuery().Residues)
+	for i := 0; len(queries) < n; i++ {
+		queries = append(queries, db.Seqs[(i*7)%len(db.Seqs)].Residues)
+	}
+	return queries
+}
+
+// TestSearchDBAllMatchesPerQuery pins the coalesced pass's contract:
+// for every kernel and worker count, SearchDBAll's per-query hit lists
+// are bit-identical to one SearchDB call per query.
+func TestSearchDBAllMatchesPerQuery(t *testing.T) {
+	db := multiTestDB(60)
+	queries := multiTestQueries(db, 5)
+	p := PaperParams()
+	for name := range kernelNames {
+		kernel := name
+		t.Run(kernel.String(), func(t *testing.T) {
+			cfg := SearchConfig{Kernel: kernel, TopK: 10, Workers: 1}
+			want := make([][]Hit, len(queries))
+			for qi, q := range queries {
+				want[qi] = SearchDB(p, q, db, cfg)
+			}
+			for _, workers := range []int{1, 2, 4, 9} {
+				cfg.Workers = workers
+				got, err := SearchDBAll(context.Background(), p, queries, db, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if len(got) != len(queries) {
+					t.Fatalf("workers=%d: %d result lists for %d queries", workers, len(got), len(queries))
+				}
+				for qi := range queries {
+					assertSameHits(t, got[qi], want[qi])
+				}
+			}
+		})
+	}
+}
+
+func assertSameHits(t *testing.T, got, want []Hit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("hit count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].Score != want[i].Score {
+			t.Fatalf("hit %d: (%d, %d), want (%d, %d)",
+				i, got[i].Index, got[i].Score, want[i].Index, want[i].Score)
+		}
+	}
+}
+
+// TestSearchDBAllEmptyQuery: an empty query is legal in the batch and
+// yields an empty hit list at its position without disturbing others.
+func TestSearchDBAllEmptyQuery(t *testing.T) {
+	db := multiTestDB(40)
+	q := bio.GlutathioneQuery().Residues
+	got, err := SearchDBAll(context.Background(), PaperParams(),
+		[][]uint8{q, nil, q}, db, SearchConfig{Kernel: KernelSWAR, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[1]) != 0 {
+		t.Errorf("empty query produced %d hits", len(got[1]))
+	}
+	want := SearchDB(PaperParams(), q, db, SearchConfig{Kernel: KernelSWAR, TopK: 5})
+	assertSameHits(t, got[0], want)
+	assertSameHits(t, got[2], want)
+}
+
+// TestSearchDBAllCancelled: a dead context yields no answer rather
+// than a partial one.
+func TestSearchDBAllCancelled(t *testing.T) {
+	db := multiTestDB(60)
+	queries := multiTestQueries(db, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hits, err := SearchDBAll(ctx, PaperParams(), queries, db, SearchConfig{Kernel: KernelSWAR, Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled SearchDBAll returned nil error")
+	}
+	if hits != nil {
+		t.Fatal("cancelled SearchDBAll returned partial hits")
+	}
+}

@@ -56,6 +56,75 @@ type SearchRequest struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
+// StreamRequest is one NDJSON line of a POST /search/stream body: a
+// SearchRequest plus the client's reassembly tag and the bulk mode.
+// Results stream back as they complete — out of order — so ID is how
+// the client matches answers to questions.
+type StreamRequest struct {
+	// ID tags this line's result; echoed verbatim (capped at
+	// MaxStreamIDLen). Optional but strongly recommended: without it
+	// an out-of-order stream is unmatchable.
+	ID string `json:"id,omitempty"`
+	// Mode selects the bulk treatment: "" serves the line exactly like
+	// a single POST /search, "all_vs_all" forces an exhaustive scan
+	// and coalesces the stream's whole in-flight window into shared
+	// sharded passes (every target block scored against all resident
+	// queries while its residues are hot) — the clustering stress
+	// case. Results are bit-identical either way; only the schedule
+	// changes.
+	Mode string `json:"mode,omitempty"`
+	SearchRequest
+}
+
+// StreamModeAllVsAll is the StreamRequest.Mode spelling of the
+// coalesced bulk mode.
+const StreamModeAllVsAll = "all_vs_all"
+
+// StreamResult is one decoded NDJSON line of a /search/stream
+// response. Exactly one of three kinds arrives per line:
+//
+//   - a result line: the embedded SearchResponse fields are set (the
+//     hits bit-identical to a single POST /search of the same
+//     request), Error empty, Terminal false;
+//   - an error line: Error holds a sentinel code (the same Err* table
+//     as single POSTs), the stream stays alive, Terminal false;
+//   - the terminal line, exactly once, last: Terminal true, with the
+//     stream's line accounting; Error is empty on a clean EOF or a
+//     terminal sentinel (draining, client_stall, client_gone) when
+//     the server ended the stream early.
+//
+// The server writes result and error lines with only their own kind's
+// fields; this merged struct is the client-side decode target
+// (cmd/seqclient and the tests use it).
+type StreamResult struct {
+	ID string `json:"id,omitempty"`
+	SearchResponse
+	Error    string `json:"error,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	Terminal bool   `json:"terminal,omitempty"`
+	Lines    int64  `json:"lines,omitempty"`   // terminal: request lines decoded
+	Results  int64  `json:"results,omitempty"` // terminal: result lines written
+	Errors   int64  `json:"errors,omitempty"`  // terminal: error lines written
+}
+
+// streamErrLine is the wire form of a per-line error: the sentinel
+// and detail alone, none of the zeroed search fields.
+type streamErrLine struct {
+	ID     string `json:"id,omitempty"`
+	Error  string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// streamEndLine is the wire form of the terminal line.
+type streamEndLine struct {
+	Terminal bool   `json:"terminal"`
+	Error    string `json:"error,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	Lines    int64  `json:"lines"`
+	Results  int64  `json:"results"`
+	Errors   int64  `json:"errors"`
+}
+
 // Hit is one reported database hit, the wire form of align.Hit. It
 // round-trips through JSON without loss (api_test.go pins that).
 type Hit struct {
@@ -102,6 +171,8 @@ const (
 	ErrBadCandidates = "bad_candidates" // max_candidates negative
 	ErrBadMinScore   = "bad_min_score"  // min_score negative
 	ErrBadTimeout    = "bad_timeout"    // timeout_ms negative
+	ErrBadMode       = "bad_mode"       // stream mode not "" or all_vs_all
+	ErrBadID         = "bad_id"         // stream line id exceeds MaxStreamIDLen
 	ErrBadMethod     = "method_not_allowed"
 
 	// The resilience sentinels (DESIGN.md "Resilience"): unlike the
@@ -111,6 +182,12 @@ const (
 	ErrOverloaded = "overloaded"        // 429: admission queue full, request shed
 	ErrDraining   = "draining"          // 503: server is shutting down
 	ErrInternal   = "internal"          // 500: a scoring panic was isolated to this request
+
+	// ErrClientStall is stream-only: the client stopped feeding (or
+	// reading) the stream past Config.StreamStallTimeout, so the
+	// server cut the connection off after flushing what had completed.
+	// It appears on the terminal NDJSON line, never as an HTTP status.
+	ErrClientStall = "client_stall"
 )
 
 // apiError pairs a sentinel code with its detail and HTTP status.
@@ -154,6 +231,16 @@ const (
 	MaxTopK      = 1_000
 	DefaultTopK  = 10
 	maxBodyBytes = 1 << 20
+
+	// MaxStreamIDLen caps a stream line's client tag: long enough for
+	// any sane reassembly scheme, short enough that echoing it back
+	// cannot be used to balloon response lines.
+	MaxStreamIDLen = 256
+	// maxStreamLineBytes caps one NDJSON request line — the same
+	// budget as a whole single-POST body, since a line carries the
+	// same payload. An oversized line is consumed and answered with a
+	// per-line error; the stream lives on.
+	maxStreamLineBytes = maxBodyBytes
 )
 
 // normalized is a validated SearchRequest with every default applied,
@@ -169,6 +256,11 @@ type normalized struct {
 	exhaustive bool
 	minScore   int
 	timeout    time.Duration // 0: no deadline
+	// coalesce marks an all_vs_all stream job: the dispatcher may
+	// batch it past MaxBatch so the whole stream window shares one
+	// scan's group units. Scheduling only — results are unchanged, so
+	// it stays out of the cache key (like timeout).
+	coalesce bool
 }
 
 // validate checks req against the server's limits and resolves
@@ -249,6 +341,30 @@ func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
 	if lim := s.cfg.RequestTimeout; lim > 0 && (n.timeout == 0 || n.timeout > lim) {
 		n.timeout = lim
 	}
+	return n, nil
+}
+
+// validateStream is validate for one decoded stream line: the same
+// checks and defaults, plus the stream-only knobs (ID length, Mode).
+// all_vs_all is normalized as "exhaustive, coalescible" BEFORE the
+// shared validation so it lands on the same cache key as an explicit
+// exhaustive POST of the same query — the results are identical.
+func (s *Server) validateStream(req *StreamRequest) (normalized, *apiError) {
+	if len(req.ID) > MaxStreamIDLen {
+		return normalized{}, badRequest(ErrBadID, "id is %d bytes, limit %d", len(req.ID), MaxStreamIDLen)
+	}
+	switch req.Mode {
+	case "":
+	case StreamModeAllVsAll:
+		req.Exhaustive = true
+	default:
+		return normalized{}, badRequest(ErrBadMode, "unknown mode %q (valid: %q)", req.Mode, StreamModeAllVsAll)
+	}
+	n, aerr := s.validate(&req.SearchRequest)
+	if aerr != nil {
+		return n, aerr
+	}
+	n.coalesce = req.Mode == StreamModeAllVsAll
 	return n, nil
 }
 

@@ -60,6 +60,7 @@ type job struct {
 	err      *apiError   // set by the pipeline: draining, deadline, panic
 	failed   atomic.Bool // a scoring panic hit this job; stop scoring it
 	seedErr  bool        // candidate generation failed; rescore exhaustively
+	coalesce bool        // all_vs_all: batchable past MaxBatch (see dispatch)
 	state    atomic.Uint32
 	enqueued time.Time
 	done     chan struct{}
@@ -93,6 +94,7 @@ func (j *job) reset() {
 	j.err = nil
 	j.failed.Store(false)
 	j.seedErr = false
+	j.coalesce = false
 	j.state.Store(jobPending)
 }
 
@@ -109,29 +111,64 @@ func putJob(j *job) {
 
 // Admission cost weights: what one job occupies in the bounded
 // admission gate. An exhaustive scan touches every database sequence;
-// an indexed one a bounded candidate set — so a flood of exhaustive
-// queries fills the gate (and starts shedding) eight times sooner
-// than a flood of cheap indexed ones.
+// an indexed one a bounded candidate set (max_candidates, default 64)
+// — two orders of magnitude fewer cells, so indexed jobs cost one flat
+// unit. Exhaustive jobs cost per KERNEL, scaled from the measured
+// per-cell rates (BENCH_4 Mcells/s, swar 666 = the baseline 8): a
+// flood of cheap exhaustive SWAR scans fills the gate at 8 units each,
+// while a flood of emulated-SIMD scans — ~11x more CPU per cell —
+// fills it at up to 92, so neither can starve cheap indexed queries
+// past its real share of the scan pool.
 const (
 	costIndexed    = 1
-	costExhaustive = 8
+	costExhaustive = 8 // full scan with the fastest kernel (swar)
 )
+
+// exhaustiveCost scales the full-scan baseline by the kernel's
+// measured per-cell cost relative to swar.
+func exhaustiveCost(k align.Kernel) int64 {
+	switch k {
+	case align.KernelSWAR:
+		return costExhaustive // 666 Mcells/s
+	case align.KernelSW:
+		return 18 // 296
+	case align.KernelSSEARCH:
+		return 20 // 271
+	case align.KernelGotoh:
+		return 20 // 262
+	case align.KernelVMX256:
+		return 45 // 117
+	case align.KernelVMX128:
+		return 68 // 78
+	case align.KernelStriped:
+		return 92 // 58
+	default:
+		return 92 // unknown kernels are priced like the dearest
+	}
+}
 
 func jobCost(n normalized) int64 {
 	if n.exhaustive {
-		return costExhaustive
+		return exhaustiveCost(n.kernel)
 	}
 	return costIndexed
 }
 
 // admission is the weighted admission gate in front of the queue:
 // tryAcquire either admits a job's cost or reports that the server
-// should shed. Cost is held until the job is recycled, so it tracks
-// queued and executing work alike.
+// should shed; acquire blocks instead — the streaming path's
+// backpressure, where pausing one connection's read loop beats
+// 429-shedding mid-stream. Cost is held until the job is recycled, so
+// it tracks queued and executing work alike.
 type admission struct {
 	capacity int64
 	cost     atomic.Int64
 	jobs     atomic.Int64
+	// notify wakes one blocked acquire per release. One buffered
+	// token is deliberately lossy — the poll backstop in acquire
+	// covers the lost-wakeup window without putting a lock on the
+	// tryAcquire fast path.
+	notify chan struct{}
 }
 
 // tryAcquire admits c cost units unless the gate is at capacity. A
@@ -155,6 +192,40 @@ func (a *admission) release(c int64) {
 	if c > 0 {
 		a.cost.Add(-c)
 		a.jobs.Add(-1)
+		if a.notify != nil {
+			select {
+			case a.notify <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// admissionPoll is acquire's lost-wakeup backstop: a parked waiter
+// rechecks the gate at least this often even if every notify token
+// was consumed by a luckier waiter.
+const admissionPoll = time.Millisecond
+
+// acquire admits c cost units, blocking while the gate is full. It
+// returns ctx.Err() instead when the context dies first — a stream
+// whose client hung up must not stay parked at the gate.
+func (a *admission) acquire(ctx context.Context, c int64) error {
+	if a.tryAcquire(c) {
+		return nil
+	}
+	t := time.NewTimer(admissionPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.notify:
+		case <-t.C:
+			t.Reset(admissionPoll)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if a.tryAcquire(c) {
+			return nil
+		}
 	}
 }
 
@@ -316,42 +387,67 @@ func (s *Server) runPhase(ph *batchPhase) {
 	ph.wg.Wait()
 }
 
+// maxCoalesceBatch is the absolute batch-size ceiling once coalescible
+// (all_vs_all) jobs are in play: they deliberately exceed MaxBatch —
+// the whole point is one scan pass over the stream's in-flight window
+// — but per-job score buffers are O(database), so some bound must
+// exist. 512 jobs x a 100k-sequence database is ~400 MB of scores, the
+// edge of reasonable for one pass.
+const maxCoalesceBatch = 512
+
 // dispatch is the admission loop: it blocks for one job, then
 // opportunistically drains whatever else is already queued. Only when
 // that finds company — evidence of concurrent load — does it hold the
 // batch open for the configured window to coalesce more arrivals; a
 // lone request under light load pays no batching latency at all.
+//
+// Coalescible (all_vs_all) jobs bend both rules: they don't count
+// against MaxBatch — a streamed all-vs-all window wants ONE group scan,
+// not ceil(window/MaxBatch) of them — and even a lone one holds the
+// window open, because a coalesce-tagged job is by construction one of
+// a stream of many.
 func (s *Server) dispatch() {
 	defer s.dispatchWG.Done()
 	var batch []*job
+	plain := 0 // batch members not marked coalesce
+	add := func(j *job) {
+		batch = append(batch, j)
+		if !j.coalesce {
+			plain++
+		}
+	}
+	full := func() bool {
+		return plain >= s.cfg.MaxBatch || len(batch) >= maxCoalesceBatch
+	}
 	for {
 		j, ok := <-s.queue
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], j)
+		batch, plain = batch[:0], 0
+		add(j)
 	drain:
-		for len(batch) < s.cfg.MaxBatch {
+		for !full() {
 			select {
 			case j2, ok := <-s.queue:
 				if !ok {
 					break drain
 				}
-				batch = append(batch, j2)
+				add(j2)
 			default:
 				break drain
 			}
 		}
-		if len(batch) > 1 && s.cfg.BatchWindow > 0 && len(batch) < s.cfg.MaxBatch {
+		if (len(batch) > 1 || batch[0].coalesce) && s.cfg.BatchWindow > 0 && !full() {
 			timer := time.NewTimer(s.cfg.BatchWindow)
 		window:
-			for len(batch) < s.cfg.MaxBatch {
+			for !full() {
 				select {
 				case j2, ok := <-s.queue:
 					if !ok {
 						break window
 					}
-					batch = append(batch, j2)
+					add(j2)
 				case <-timer.C:
 					break window
 				}

@@ -42,10 +42,23 @@ type Config struct {
 	// MaxBatch caps jobs per batch; 0 means DefaultMaxBatch.
 	MaxBatch int
 	// QueueDepth is the admission gate's capacity in cost units
-	// (costIndexed per indexed job, costExhaustive per exhaustive
-	// one); 0 means DefaultQueueDepth. Requests arriving past it are
-	// shed with 429/overloaded rather than queued without bound.
+	// (costIndexed per indexed job, exhaustiveCost(kernel) per
+	// exhaustive one); 0 means DefaultQueueDepth. Single-POST requests
+	// arriving past it are shed with 429/overloaded rather than queued
+	// without bound; streaming connections block their read loop at
+	// the gate instead.
 	QueueDepth int
+	// StreamWindow bounds how many of one /search/stream connection's
+	// queries may be in flight (decoded but not yet written back) at
+	// once; past it the reader pauses — backpressure, not shedding. 0
+	// means DefaultStreamWindow.
+	StreamWindow int
+	// StreamStallTimeout cuts off a streaming client that neither
+	// feeds nor drains its connection for this long: completed results
+	// are flushed, a terminal client_stall line is written, and the
+	// stream ends. 0 means DefaultStreamStall; negative disables the
+	// cutoff.
+	StreamStallTimeout time.Duration
 	// RequestTimeout caps every request's deadline: a request with no
 	// timeout_ms gets exactly this, one with a longer timeout_ms is
 	// clamped to it. 0 means no server-imposed deadline.
@@ -65,6 +78,8 @@ const (
 	DefaultBatchWindow  = 250 * time.Microsecond
 	DefaultMaxBatch     = 32
 	DefaultQueueDepth   = 256
+	DefaultStreamWindow = 64
+	DefaultStreamStall  = 30 * time.Second
 )
 
 // Server is the long-lived search service. Construct with New, mount
@@ -138,6 +153,15 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = DefaultStreamWindow
+	}
+	switch {
+	case cfg.StreamStallTimeout == 0:
+		cfg.StreamStallTimeout = DefaultStreamStall
+	case cfg.StreamStallTimeout < 0:
+		cfg.StreamStallTimeout = 0 // handleStream treats 0 as no cutoff
+	}
 
 	s := &Server{
 		cfg:     cfg,
@@ -153,6 +177,7 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 		s.logf = log.Printf
 	}
 	s.admit.capacity = int64(cfg.QueueDepth)
+	s.admit.notify = make(chan struct{}, 1)
 	s.metrics.start = time.Now()
 
 	if ix != nil {
@@ -172,6 +197,7 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search/stream", s.handleStream)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 
@@ -189,7 +215,7 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 }
 
 // Handler returns the service's HTTP handler (POST /search,
-// GET /healthz, GET /statsz).
+// POST /search/stream, GET /healthz, GET /statsz).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // BeginDrain flips the server to draining: new /search requests are
@@ -278,7 +304,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		faults.Sleep(ctx, d)
 	}
 
-	hits, cached, aerr := s.search(ctx, norm, start)
+	hits, cached, aerr := s.search(ctx, norm, start, false)
 	if aerr != nil {
 		if aerr.code == ErrDeadline {
 			s.metrics.timeouts.Add(1)
@@ -311,7 +337,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // follower's deadline may still have room. The loop cannot livelock:
 // every iteration either returns, observes a completed flight, or
 // promotes some waiter to leader.
-func (s *Server) search(ctx context.Context, norm normalized, start time.Time) ([]Hit, bool, *apiError) {
+//
+// wait selects the admission policy: false is the single-POST contract
+// (a full gate sheds with 429/overloaded), true is the streaming one
+// (a full gate blocks the caller — pausing that stream's read loop —
+// until capacity frees or ctx dies).
+func (s *Server) search(ctx context.Context, norm normalized, start time.Time, wait bool) ([]Hit, bool, *apiError) {
 	key := norm.cacheKey()
 	for {
 		cachedHits, f, leader := s.cache.begin(key)
@@ -320,7 +351,7 @@ func (s *Server) search(ctx context.Context, norm normalized, start time.Time) (
 			return cachedHits, true, nil
 		}
 		if leader {
-			return s.lead(ctx, key, f, norm, start)
+			return s.lead(ctx, key, f, norm, start, wait)
 		}
 		select {
 		case <-f.done:
@@ -341,14 +372,24 @@ func (s *Server) search(ctx context.Context, norm normalized, start time.Time) (
 // resolves the flight exactly once — finish on success, abort on any
 // failure — so followers never wait forever, and every exit settles
 // the job ownership CAS so the job is recycled by exactly one side.
-func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normalized, start time.Time) ([]Hit, bool, *apiError) {
+func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normalized, start time.Time, wait bool) ([]Hit, bool, *apiError) {
 	if s.draining.Load() { // re-check: drain may have flipped since the handler's gate
 		s.cache.abort(key, f, errDraining)
 		return nil, false, errDraining
 	}
 	j := getJob()
 	j.cost = jobCost(norm)
-	if !s.admit.tryAcquire(j.cost) {
+	if wait {
+		// Streaming backpressure: park at the gate rather than shed —
+		// this pauses exactly one connection's read loop.
+		if err := s.admit.acquire(ctx, j.cost); err != nil {
+			j.cost = 0
+			putJob(j)
+			aerr := ctxError(ctx)
+			s.cache.abort(key, f, aerr)
+			return nil, false, aerr
+		}
+	} else if !s.admit.tryAcquire(j.cost) {
 		j.cost = 0
 		putJob(j)
 		s.metrics.shed.Add(1)
@@ -357,6 +398,7 @@ func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normali
 	}
 	j.pq = align.PrepareQuery(s.cfg.Params, norm.residues, norm.kernel)
 	j.norm = norm
+	j.coalesce = norm.coalesce
 	j.ctx = ctx
 	j.enqueued = time.Now()
 	s.queue <- j // admission bounds occupancy, so this never blocks

@@ -98,6 +98,14 @@ type metrics struct {
 	panics    atomic.Int64 // scoring panics isolated to single requests
 	abandoned atomic.Int64 // jobs whose client vanished before scoring
 
+	// The streaming bulk-query path (/search/stream).
+	streamsOpen    atomic.Int64 // connections currently streaming
+	streamsTotal   atomic.Int64 // connections accepted over the uptime
+	streamLines    atomic.Int64 // request lines decoded (valid or not)
+	streamResults  atomic.Int64 // result lines written
+	streamErrors   atomic.Int64 // per-line error lines written
+	streamInFlight atomic.Int64 // window slots held across all streams
+
 	queueH histogram // admission -> batch start
 	seedH  histogram // candidate generation (per batch with indexed jobs)
 	scanH  histogram // kernel rescoring pass (per batch)
@@ -141,6 +149,21 @@ type StatsResponse struct {
 		HitRate   float64 `json:"hit_rate"`
 	} `json:"cache"`
 
+	// The streaming bulk-query path. StreamQPS is result lines per
+	// second of uptime — the throughput the streaming protocol exists
+	// to raise — and InFlight/Window show how full the per-connection
+	// flow-control windows are right now.
+	StreamQPS float64 `json:"stream_qps"`
+	Streams   struct {
+		Open     int64 `json:"open"`      // connections streaming now
+		Total    int64 `json:"total"`     // connections over the uptime
+		Lines    int64 `json:"lines"`     // request lines decoded
+		Results  int64 `json:"results"`   // result lines written
+		Errors   int64 `json:"errors"`    // per-line error lines written
+		InFlight int64 `json:"in_flight"` // window slots held, all streams
+		Window   int   `json:"window"`    // per-connection window size
+	} `json:"streams"`
+
 	Batches   int64                        `json:"batches"`
 	MeanBatch float64                      `json:"mean_batch"`
 	Stages    map[string]HistogramSnapshot `json:"stages"`
@@ -180,6 +203,17 @@ func (s *Server) statsSnapshot() StatsResponse {
 	r.Cache.Coalesced = coalesced
 	if total := hits + misses + coalesced; total > 0 {
 		r.Cache.HitRate = float64(hits+coalesced) / float64(total)
+	}
+
+	r.Streams.Open = s.metrics.streamsOpen.Load()
+	r.Streams.Total = s.metrics.streamsTotal.Load()
+	r.Streams.Lines = s.metrics.streamLines.Load()
+	r.Streams.Results = s.metrics.streamResults.Load()
+	r.Streams.Errors = s.metrics.streamErrors.Load()
+	r.Streams.InFlight = s.metrics.streamInFlight.Load()
+	r.Streams.Window = s.cfg.StreamWindow
+	if r.UptimeS > 0 {
+		r.StreamQPS = float64(r.Streams.Results) / r.UptimeS
 	}
 
 	r.Batches = s.metrics.batches.Load()

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// The streaming bulk-query path. POST /search/stream reads NDJSON
+// request lines (StreamRequest) from one connection and writes NDJSON
+// result lines back as they complete — out of order, tagged with the
+// client's id — so a bulk client ships thousands of queries at the
+// batch pipeline's rate instead of one HTTP round trip each. Four
+// roles share the connection:
+//
+//	pump    — reads lines, decodes, validates, claims a window slot,
+//	          and spawns one waiter per query;
+//	waiters — one goroutine per in-flight query: each runs the
+//	          ordinary search path (cache -> single-flight ->
+//	          pipeline) with BLOCKING admission and hands the
+//	          finished line to the writer;
+//	writer  — owns the ResponseWriter: encodes lines, releases the
+//	          window slot a line held, and flushes when the pipeline
+//	          goes idle (or on the supervisor's tick), so a flood of
+//	          small results coalesces into few syscalls;
+//	handler — the supervising goroutine: watches for drain and stall
+//	          cutoffs on a coarse tick, settles every in-flight line,
+//	          and writes the one terminal line.
+//
+// Flow control is the slot channel: Config.StreamWindow slots bound
+// how many queries are decoded but not yet written back. A full
+// window pauses the PUMP — per-connection backpressure — instead of
+// 429-shedding mid-stream, and because slots are released only after
+// the result line is written, a client that stops reading freezes its
+// own stream at a bounded memory footprint. The admission gate is
+// still consulted per query (blocking, not shedding), so streams and
+// single POSTs compete for the same bounded pipeline.
+//
+// The pump reads with NO deadline. This is deliberate: net/http
+// cancels the whole request context when any connection read fails,
+// including an expired poll deadline, which would kill every waiter
+// mid-search with a spurious client_gone. Instead the handler watches
+// drain and stall on its own ticker and ends the stream from outside;
+// the pump's blocked read then resolves when the handler returns and
+// the server closes the body.
+//
+// Failure is per line: malformed JSON, unknown fields, oversized
+// lines, and every validation error produce an error line with the
+// same sentinel codes as single POSTs and the stream lives on. The
+// stream itself ends with exactly one terminal line: clean EOF, or a
+// terminal sentinel — draining (BeginDrain mid-stream), client_stall
+// (the connection idled past Config.StreamStallTimeout, injected or
+// real), client_gone (the peer vanished) — after flushing every
+// result that completed.
+
+// errLineTooLong is lineReader's sentinel for an oversized request
+// line; the line is fully consumed, so the stream can continue.
+var errLineTooLong = errors.New("stream: line exceeds the per-line budget")
+
+// streamDrainPoll is the handler's supervision tick: BeginDrain and
+// the stall cutoff are noticed within one tick.
+const streamDrainPoll = 250 * time.Millisecond
+
+// lineReader pulls newline-delimited lines out of a request body with
+// a hard per-line budget: an oversized line is consumed to its newline
+// and reported as errLineTooLong, not a stream-fatal error.
+type lineReader struct {
+	br       *bufio.Reader
+	buf      []byte
+	over     bool // discarding the remainder of an oversized line
+	complete bool // buf holds a returned line; reset on next call
+	sawEOF   bool
+}
+
+// next returns the next complete line without its newline. Errors:
+// errLineTooLong (line over budget, fully consumed — recoverable),
+// io.EOF (clean end), transport errors (pass through).
+func (lr *lineReader) next() ([]byte, error) {
+	if lr.complete {
+		lr.buf = lr.buf[:0]
+		lr.complete = false
+	}
+	if lr.sawEOF {
+		return nil, io.EOF
+	}
+	for {
+		frag, err := lr.br.ReadSlice('\n')
+		if !lr.over {
+			lr.buf = append(lr.buf, frag...)
+		}
+		switch {
+		case err == nil: // frag ended the line (trailing '\n' included)
+			if lr.over || len(lr.buf)-1 > maxStreamLineBytes {
+				lr.over = false
+				lr.buf = lr.buf[:0]
+				return nil, errLineTooLong
+			}
+			lr.complete = true
+			return bytes.TrimSuffix(lr.buf[:len(lr.buf)-1], []byte{'\r'}), nil
+		case err == bufio.ErrBufferFull:
+			if !lr.over && len(lr.buf) > maxStreamLineBytes {
+				lr.over = true // stop accumulating; discard to the newline
+				lr.buf = lr.buf[:0]
+			}
+		case err == io.EOF:
+			lr.sawEOF = true
+			if lr.over || len(lr.buf) > maxStreamLineBytes {
+				lr.over = false
+				lr.buf = lr.buf[:0]
+				return nil, errLineTooLong
+			}
+			if len(lr.buf) > 0 {
+				// A final line without a trailing newline is a line.
+				lr.complete = true
+				return bytes.TrimSuffix(lr.buf, []byte{'\r'}), nil
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// flushTick asks the writer for a liveness flush. The supervisor
+// enqueues one (non-blocking) every poll tick so buffered result lines
+// reach a slow-trickle client within one tick even while other queries
+// are still in flight; it holds no window slot.
+type flushTick struct{}
+
+// stream is one /search/stream connection's shared state.
+type stream struct {
+	lines    atomic.Int64 // request lines decoded
+	results  atomic.Int64 // result lines handed to the writer
+	errs     atomic.Int64 // error lines handed to the writer
+	lastLine atomic.Int64 // UnixNano of the last line (or stream start)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, errDraining)
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
+			detail: "use POST with an NDJSON body"})
+		return
+	}
+
+	s.metrics.streamsTotal.Add(1)
+	s.metrics.streamsOpen.Add(1)
+	defer s.metrics.streamsOpen.Add(-1)
+
+	// HTTP/1.x is half-duplex by default: the server closes the request
+	// body as soon as the handler writes. Streaming is exactly the
+	// read-while-writing case, so opt in (a best-effort call: transports
+	// that don't support the switch, like test recorders, serve the
+	// whole body up front anyway).
+	ctl := http.NewResponseController(w)
+	_ = ctl.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = ctl.Flush() // commit headers so the client can start its reader
+
+	stall := s.cfg.StreamStallTimeout
+	window := s.cfg.StreamWindow
+	st := &stream{}
+	st.lastLine.Store(time.Now().UnixNano())
+	slots := make(chan struct{}, window) // held from decode to written line
+	out := make(chan any, window)        // finished lines awaiting the writer
+	stopCh := make(chan struct{})        // closed when the handler ends the stream
+	writerDone := make(chan struct{})
+	pumpDone := make(chan struct{})
+	pumpEnd := (*apiError)(nil) // pump's verdict; read after <-pumpDone
+	var writeFailed atomic.Bool
+	var mu sync.Mutex // guards stopped against late claims
+	stopped := false
+	var wg sync.WaitGroup // one count per claimed, unwritten line
+
+	go func() {
+		defer close(writerDone)
+		enc := json.NewEncoder(w)
+		var lastArm time.Time // write deadline re-armed at stall/8 granularity
+		for v := range out {
+			if _, tick := v.(flushTick); tick {
+				if !writeFailed.Load() {
+					_ = ctl.Flush()
+				}
+				continue
+			}
+			if !writeFailed.Load() {
+				// Arming a write deadline is a syscall; at thousands of
+				// tiny lines per second it would rival the encode itself.
+				// Re-arm at stall/8 granularity instead: every write still
+				// starts with at least 7/8 of the stall budget.
+				if stall > 0 && time.Since(lastArm) > stall/8 {
+					lastArm = time.Now()
+					_ = ctl.SetWriteDeadline(lastArm.Add(stall))
+				}
+				if err := enc.Encode(v); err != nil {
+					// The connection is gone (or stalled past the write
+					// budget): keep draining so waiters finish and slots
+					// free, but stop touching the wire.
+					writeFailed.Store(true)
+				} else {
+					// A delivered line is proof of life: a client
+					// draining slow results is not stalled, even if it
+					// has nothing new to feed.
+					st.lastLine.Store(time.Now().UnixNano())
+				}
+			}
+			s.metrics.streamInFlight.Add(-1)
+			<-slots
+			// Flush only when the whole pipeline is idle — nothing queued
+			// behind this line and no query still holding a slot. Under a
+			// bulk flood that batches thousands of tiny result lines into
+			// few wire writes (the syscall per line would otherwise rival
+			// the alignment itself); the moment the stream goes quiet the
+			// last line is flushed immediately, and mid-flood liveness is
+			// the supervisor's flushTick. The racy len() reads are safe:
+			// a misread only defers the flush to the next line or tick.
+			if !writeFailed.Load() && len(out) == 0 && len(slots) == 0 {
+				_ = ctl.Flush()
+			}
+		}
+	}()
+
+	// claim reserves the right to emit one line: a window slot plus a
+	// WaitGroup count, refused once the handler has ended the stream.
+	// Every line sent to the writer — result or error — holds exactly
+	// one claim from decode until the writer retires it, so the slot
+	// arithmetic is uniform, and wg.Wait() below settles every line
+	// before out closes. A full window parks the pump HERE: that pause
+	// is the per-connection backpressure.
+	claim := func() bool {
+		select {
+		case slots <- struct{}{}:
+		case <-stopCh:
+			return false
+		}
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			<-slots // undo: nothing will be emitted for this claim
+			return false
+		}
+		wg.Add(1)
+		mu.Unlock()
+		s.metrics.streamInFlight.Add(1)
+		return true
+	}
+	emitErr := func(id string, aerr *apiError) { // consumes one claim
+		st.errs.Add(1)
+		s.metrics.streamErrors.Add(1)
+		if aerr.code == ErrDeadline {
+			s.metrics.timeouts.Add(1)
+		}
+		out <- &streamErrLine{ID: id, Error: aerr.code, Detail: aerr.detail}
+		wg.Done()
+	}
+
+	go func() { // the pump
+		defer close(pumpDone)
+		lr := &lineReader{br: bufio.NewReaderSize(r.Body, 64<<10)}
+		for {
+			// client.stall fault site: the injected delay is the CLIENT
+			// going quiet mid-stream. The pump just sleeps — not
+			// touching lastLine — so the handler's idle accounting sees
+			// a real stall and cuts the stream off with the completed
+			// results flushed.
+			if d := s.cfg.Faults.Delay(faults.ClientStall); d > 0 {
+				faults.Sleep(r.Context(), d)
+			}
+			line, err := lr.next()
+			switch {
+			case err == nil:
+				// fall through to decode below
+			case errors.Is(err, errLineTooLong):
+				st.lines.Add(1)
+				st.lastLine.Store(time.Now().UnixNano())
+				s.metrics.streamLines.Add(1)
+				if !claim() {
+					return
+				}
+				emitErr("", badRequest(ErrBadRequest, "request line exceeds %d bytes", maxStreamLineBytes))
+				continue
+			case errors.Is(err, io.EOF):
+				return // clean end: the client sent everything
+			default:
+				// A dead connection — or the handler already returned
+				// and closed the body under us; the verdict is only
+				// read when the pump ends the stream, so the confusion
+				// is harmless.
+				pumpEnd = errClientGone
+				return
+			}
+			if len(bytes.TrimSpace(line)) == 0 {
+				// Blank lines are NDJSON keep-alives: they reset the
+				// stall budget without being request lines.
+				st.lastLine.Store(time.Now().UnixNano())
+				continue
+			}
+			lineNo := st.lines.Add(1)
+			st.lastLine.Store(time.Now().UnixNano())
+			s.metrics.streamLines.Add(1)
+
+			var req StreamRequest
+			dec := json.NewDecoder(bytes.NewReader(line))
+			dec.DisallowUnknownFields()
+			var lineErr *apiError
+			if derr := dec.Decode(&req); derr != nil {
+				lineErr = badRequest(ErrBadRequest, "decoding line %d: %v", lineNo, derr)
+			} else if dec.More() {
+				lineErr = badRequest(ErrBadRequest, "line %d has trailing data after the JSON object", lineNo)
+			}
+			var norm normalized
+			if lineErr == nil {
+				norm, lineErr = s.validateStream(&req)
+			}
+
+			if !claim() {
+				return
+			}
+			if lineErr != nil {
+				emitErr(req.ID, lineErr)
+				continue
+			}
+			s.metrics.requests.Add(1)
+
+			go func(id string, norm normalized) { // the waiter owns the claim
+				start := time.Now()
+				s.metrics.inFlight.Add(1)
+				defer s.metrics.inFlight.Add(-1)
+				ctx := r.Context()
+				if norm.timeout > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, norm.timeout)
+					defer cancel()
+				}
+				hits, cached, aerr := s.search(ctx, norm, start, true)
+				if aerr != nil {
+					emitErr(id, aerr)
+					return
+				}
+				st.results.Add(1)
+				s.metrics.streamResults.Add(1)
+				out <- &StreamResult{
+					ID: id,
+					SearchResponse: SearchResponse{
+						QueryLen:   len(norm.residues),
+						Kernel:     norm.kernel.String(),
+						K:          norm.topK,
+						Exhaustive: norm.exhaustive,
+						Cached:     cached,
+						Hits:       hits,
+						TookUs:     time.Since(start).Microseconds(),
+					},
+				}
+				wg.Done()
+			}(req.ID, norm)
+		}
+	}()
+
+	// Supervision: the pump ending (EOF or a dead peer) ends the
+	// stream, and so do the two conditions the pump cannot see from
+	// inside a blocked read — BeginDrain, and a client idle past the
+	// stall budget.
+	end := (*apiError)(nil) // nil: clean EOF
+	ticker := time.NewTicker(streamDrainPoll)
+	defer ticker.Stop()
+supervising:
+	for {
+		select {
+		case <-pumpDone:
+			end = pumpEnd
+			break supervising
+		case <-ticker.C:
+			if s.draining.Load() {
+				end = errDraining
+				break supervising
+			}
+			if stall > 0 && time.Since(time.Unix(0, st.lastLine.Load())) > stall {
+				end = &apiError{code: ErrClientStall,
+					detail: "client stalled past the stream stall timeout; stream cut off"}
+				break supervising
+			}
+			// Liveness: results the writer batched for throughput reach
+			// the client within one tick even while slower queries keep
+			// the pipeline busy. Non-blocking — a full queue means the
+			// writer has plenty to do and will flush on its own.
+			select {
+			case out <- flushTick{}:
+			default:
+			}
+		}
+	}
+
+	// Settle, in strict order: no new claims, every claimed line
+	// resolved (a waiter finishes with its result, or with the
+	// draining/deadline error its job was failed with), the writer
+	// retires every queued line, and only then the one terminal line.
+	// Partial results are flushed no matter how the stream ended.
+	mu.Lock()
+	stopped = true
+	mu.Unlock()
+	close(stopCh)
+	wg.Wait()
+	close(out)
+	<-writerDone
+	if !writeFailed.Load() {
+		endLine := streamEndLine{
+			Terminal: true,
+			Lines:    st.lines.Load(),
+			Results:  st.results.Load(),
+			Errors:   st.errs.Load(),
+		}
+		if end != nil {
+			endLine.Error = end.code
+			endLine.Detail = end.detail
+		}
+		if stall > 0 {
+			_ = ctl.SetWriteDeadline(time.Now().Add(stall))
+		}
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(&endLine)
+		_ = ctl.Flush()
+	}
+}

@@ -1,0 +1,89 @@
+//go:build !race
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bio"
+)
+
+// TestStreamBackpressureBoundsMemory is the flow-control invariant
+// under the worst client: one that feeds queries forever and never
+// reads a byte back. The window must pin the whole pipeline — in
+// flight never above StreamWindow, line decoding frozen once the
+// unread socket wedges the writer, heap flat — instead of buffering
+// results without bound. Excluded from -race builds: the race
+// detector's allocation overhead makes the heap ceiling meaningless.
+func TestStreamBackpressureBoundsMemory(t *testing.T) {
+	db := testDB(t, 150)
+	s := newTestServer(t, db, Config{Workers: 2, StreamWindow: 4, CacheEntries: -1})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest(http.MethodPost, httpSrv.URL+"/search/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	defer resp.Body.Close() // never read: the slowest possible reader
+
+	// Feed distinct fat queries (K=150 on a 150-sequence database, so
+	// every result line carries the full hit list) as fast as the
+	// server will take them.
+	go func() {
+		for i := 0; ; i++ {
+			q := bio.Decode(db.Seqs[i%db.NumSeqs()].Residues)
+			line, _ := json.Marshal(StreamRequest{ID: fmt.Sprint(i),
+				SearchRequest: SearchRequest{Query: q, K: 150, Exhaustive: true}})
+			if _, err := pw.Write(append(line, '\n')); err != nil {
+				return // stream torn down at test end
+			}
+		}
+	}()
+
+	// Let the window, the socket buffers, and the writer wedge.
+	time.Sleep(500 * time.Millisecond)
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	lines0 := s.metrics.streamLines.Load()
+
+	window := int64(s.cfg.StreamWindow)
+	var maxInFlight int64
+	for i := 0; i < 15; i++ {
+		if got := s.metrics.streamInFlight.Load(); got > maxInFlight {
+			maxInFlight = got
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	lines1 := s.metrics.streamLines.Load()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if maxInFlight > window {
+		t.Errorf("in-flight window reached %d, limit %d — flow control leaked", maxInFlight, window)
+	}
+	// The socket is full and nobody reads: the reader must be parked,
+	// not decoding ahead. A little slack covers lines the kernel's
+	// buffers were still absorbing when sampling started.
+	if advanced := lines1 - lines0; advanced > 64 {
+		t.Errorf("reader decoded %d more lines against a dead reader — backpressure never engaged", advanced)
+	}
+	if grew := int64(after.HeapAlloc) - int64(base.HeapAlloc); grew > 16<<20 {
+		t.Errorf("heap grew %d bytes against a dead reader, want pinned (< 16MiB)", grew)
+	}
+}

@@ -1,0 +1,539 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bio"
+	"repro/internal/faults"
+)
+
+// The /search/stream suite. The streaming protocol's whole contract is
+// "the batch pipeline's throughput without giving anything up", so the
+// tests here pin the giving-nothing-up half: per-line results
+// bit-identical to single POSTs across kernels, paths, and window
+// sizes; malformed lines answered without killing the stream; drain
+// and stall cutoffs ending with exactly one terminal line after the
+// completed results flushed.
+
+// streamBody builds an NDJSON body from marshaled request lines.
+func streamBody(t testing.TB, reqs []StreamRequest) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range reqs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// collectStream reads a whole NDJSON response: every non-terminal line
+// in arrival order, plus the terminal line, which must be present
+// exactly once and last. Lines are decoded strictly so the suite also
+// pins the wire field names.
+func collectStream(t testing.TB, body io.Reader) ([]StreamResult, StreamResult) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lines []StreamResult
+	sawTerminal := false
+	for sc.Scan() {
+		if sawTerminal {
+			t.Fatalf("line after the terminal line: %s", sc.Text())
+		}
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.DisallowUnknownFields()
+		var res StreamResult
+		if err := dec.Decode(&res); err != nil {
+			t.Fatalf("decoding response line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, res)
+		sawTerminal = res.Terminal
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream response: %v", err)
+	}
+	if !sawTerminal {
+		t.Fatalf("stream ended without a terminal line (%d lines)", len(lines))
+	}
+	return lines[:len(lines)-1], lines[len(lines)-1]
+}
+
+// postStream ships one complete NDJSON body over a real connection and
+// returns the decoded response lines.
+func postStream(t testing.TB, url, body string) ([]StreamResult, StreamResult) {
+	t.Helper()
+	resp, err := http.Post(url+"/search/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /search/stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	return collectStream(t, resp.Body)
+}
+
+// TestStreamMatchesSinglePosts is the protocol's reason to exist: for
+// every kernel, on both the indexed and the exhaustive path, under
+// different worker counts and window sizes, one streamed line returns
+// hits bit-identical to the equivalent single POST /search. Caching is
+// disabled so both sides genuinely compute.
+func TestStreamMatchesSinglePosts(t *testing.T) {
+	db := testDB(t, 120)
+	for _, cfg := range []Config{
+		{Workers: 1, StreamWindow: 1, CacheEntries: -1},
+		{Workers: 3, StreamWindow: 8, CacheEntries: -1},
+	} {
+		s := newTestServer(t, db, cfg)
+		httpSrv := httptest.NewServer(s.Handler())
+		q := queryString()
+
+		var reqs []StreamRequest
+		want := map[string]SearchResponse{}
+		for _, kernel := range align.KernelNames() {
+			for _, exhaustive := range []bool{true, false} {
+				sr := SearchRequest{Query: q, Kernel: kernel, K: 7, Exhaustive: exhaustive}
+				id := fmt.Sprintf("%s/exh=%v", kernel, exhaustive)
+				resp, code := doSearch(t, s, sr)
+				if code != http.StatusOK {
+					t.Fatalf("%s: single POST status %d", id, code)
+				}
+				want[id] = resp
+				reqs = append(reqs, StreamRequest{ID: id, SearchRequest: sr})
+			}
+		}
+
+		lines, terminal := postStream(t, httpSrv.URL, streamBody(t, reqs))
+		if len(lines) != len(reqs) {
+			t.Fatalf("cfg %+v: %d result lines, want %d (terminal %+v)", cfg, len(lines), len(reqs), terminal)
+		}
+		for _, line := range lines {
+			ref, ok := want[line.ID]
+			if !ok {
+				t.Fatalf("cfg %+v: unknown id %q in stream", cfg, line.ID)
+			}
+			delete(want, line.ID)
+			if line.Error != "" {
+				t.Errorf("cfg %+v id %s: error %s (%s)", cfg, line.ID, line.Error, line.Detail)
+				continue
+			}
+			if fmt.Sprint(line.Hits) != fmt.Sprint(ref.Hits) {
+				t.Errorf("cfg %+v id %s: hits diverged from single POST:\n got %v\nwant %v",
+					cfg, line.ID, line.Hits, ref.Hits)
+			}
+			if line.Kernel != ref.Kernel || line.K != ref.K ||
+				line.Exhaustive != ref.Exhaustive || line.QueryLen != ref.QueryLen {
+				t.Errorf("cfg %+v id %s: metadata diverged: got %+v want %+v", cfg, line.ID, line, ref)
+			}
+		}
+		if len(want) != 0 {
+			t.Errorf("cfg %+v: ids never answered: %v", cfg, want)
+		}
+		if !terminal.Terminal || terminal.Error != "" ||
+			terminal.Lines != int64(len(reqs)) || terminal.Results != int64(len(reqs)) || terminal.Errors != 0 {
+			t.Errorf("cfg %+v: terminal line %+v, want clean EOF with %d/%d/0", cfg, terminal, len(reqs), len(reqs))
+		}
+		httpSrv.Close()
+		s.Close()
+	}
+}
+
+// TestStreamOutOfOrderReassembly streams many distinct queries through
+// a concurrent window and checks every id gets its own query's answer
+// back, whatever order the lines arrived in.
+func TestStreamOutOfOrderReassembly(t *testing.T) {
+	db := testDB(t, 100)
+	s := newTestServer(t, db, Config{Workers: 3, StreamWindow: 8, CacheEntries: -1})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	const n = 24
+	var reqs []StreamRequest
+	want := map[string]SearchResponse{}
+	for i := 0; i < n; i++ {
+		q := bio.Decode(db.Seqs[i%db.NumSeqs()].Residues)
+		sr := SearchRequest{Query: q, K: 3, Exhaustive: i%2 == 0}
+		id := fmt.Sprintf("q%02d", i)
+		resp, code := doSearch(t, s, sr)
+		if code != http.StatusOK {
+			t.Fatalf("%s: single POST status %d", id, code)
+		}
+		want[id] = resp
+		reqs = append(reqs, StreamRequest{ID: id, SearchRequest: sr})
+	}
+
+	lines, terminal := postStream(t, httpSrv.URL, streamBody(t, reqs))
+	if len(lines) != n || terminal.Results != n {
+		t.Fatalf("%d lines, terminal %+v, want %d results", len(lines), terminal, n)
+	}
+	for _, line := range lines {
+		ref, ok := want[line.ID]
+		if !ok {
+			t.Fatalf("unknown or duplicate id %q", line.ID)
+		}
+		delete(want, line.ID)
+		if line.Error != "" || fmt.Sprint(line.Hits) != fmt.Sprint(ref.Hits) {
+			t.Errorf("id %s: got error=%q hits %v, want hits %v", line.ID, line.Error, line.Hits, ref.Hits)
+		}
+	}
+}
+
+// TestStreamAllVsAll pins the coalesced bulk mode: all_vs_all lines
+// return hits bit-identical to explicit exhaustive POSTs of the same
+// queries, including when the coalesced batch is allowed to grow past
+// MaxBatch.
+func TestStreamAllVsAll(t *testing.T) {
+	db := testDB(t, 100)
+	// MaxBatch 2 with 12 queries: the coalescing exemption must engage
+	// for the stream to batch wider than single POSTs ever could.
+	s := newTestServer(t, db, Config{Workers: 3, MaxBatch: 2, StreamWindow: 16,
+		BatchWindow: 2 * time.Millisecond, CacheEntries: -1})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	const n = 12
+	var reqs []StreamRequest
+	want := map[string]SearchResponse{}
+	for i := 0; i < n; i++ {
+		q := bio.Decode(db.Seqs[(i*7)%db.NumSeqs()].Residues)
+		id := fmt.Sprintf("ava%02d", i)
+		resp, code := doSearch(t, s, SearchRequest{Query: q, K: 5, Exhaustive: true})
+		if code != http.StatusOK {
+			t.Fatalf("%s: reference POST status %d", id, code)
+		}
+		want[id] = resp
+		reqs = append(reqs, StreamRequest{ID: id, Mode: StreamModeAllVsAll,
+			SearchRequest: SearchRequest{Query: q, K: 5}})
+	}
+
+	lines, terminal := postStream(t, httpSrv.URL, streamBody(t, reqs))
+	if len(lines) != n || terminal.Errors != 0 {
+		t.Fatalf("%d lines, terminal %+v", len(lines), terminal)
+	}
+	for _, line := range lines {
+		ref := want[line.ID]
+		if line.Error != "" {
+			t.Errorf("id %s: error %s (%s)", line.ID, line.Error, line.Detail)
+			continue
+		}
+		if !line.Exhaustive {
+			t.Errorf("id %s: all_vs_all not normalized to exhaustive", line.ID)
+		}
+		if fmt.Sprint(line.Hits) != fmt.Sprint(ref.Hits) {
+			t.Errorf("id %s: all_vs_all diverged from exhaustive POST:\n got %v\nwant %v",
+				line.ID, line.Hits, ref.Hits)
+		}
+	}
+	if got := s.Stats().MeanBatch; got <= float64(s.cfg.MaxBatch) {
+		t.Logf("mean batch %.1f (coalescing wider than MaxBatch=%d not observed this run)", got, s.cfg.MaxBatch)
+	}
+}
+
+// TestStreamMalformedLines is the bug-hardening contract: every way a
+// line can be wrong — garbage JSON, unknown fields, trailing data,
+// oversized, empty query, bad mode, bad id — answers with a per-line
+// sentinel error, and the stream keeps serving the valid lines around
+// them. Never a connection teardown, never a 500.
+func TestStreamMalformedLines(t *testing.T) {
+	db := testDB(t, 80)
+	s := newTestServer(t, db, Config{Workers: 2})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	valid := func(id string) string {
+		line, _ := json.Marshal(StreamRequest{ID: id, SearchRequest: SearchRequest{Query: queryString(), K: 3}})
+		return string(line)
+	}
+	body := strings.Join([]string{
+		valid("ok-1"),
+		`{garbage`,                         // malformed JSON
+		`{"query":"ACDE","bogus":1}`,       // unknown field
+		`{"id":"trail","query":"ACDE"} {}`, // trailing data after the object
+		`{"id":"empty","query":""}`,        // empty query
+		`{"id":"mode","query":"ACDE","mode":"some_vs_some"}`,                     // bad mode
+		`{"id":"` + strings.Repeat("x", MaxStreamIDLen+1) + `","query":"ACDE"}`,  // oversized id
+		`{"id":"big","query":"` + strings.Repeat("A", maxStreamLineBytes) + `"}`, // oversized line
+		"",   // blank keep-alive, not a request line
+		"\r", // CRLF blank line
+		valid("ok-2"),
+	}, "\n") + "\n"
+
+	lines, terminal := postStream(t, httpSrv.URL, body)
+
+	wantErr := map[string]string{ // id (when decodable) -> sentinel
+		"empty": ErrEmptyQuery,
+		"mode":  ErrBadMode,
+	}
+	var gotOK, gotErr int
+	codes := map[string]int{}
+	for _, line := range lines {
+		if line.Error == "" {
+			gotOK++
+			if line.ID != "ok-1" && line.ID != "ok-2" {
+				t.Errorf("unexpected success for id %q", line.ID)
+			}
+			if len(line.Hits) != 3 {
+				t.Errorf("id %s: %d hits, want 3", line.ID, len(line.Hits))
+			}
+			continue
+		}
+		gotErr++
+		codes[line.Error]++
+		if want, ok := wantErr[line.ID]; ok && line.Error != want {
+			t.Errorf("id %s: error %q, want %q", line.ID, line.Error, want)
+		}
+	}
+	if gotOK != 2 {
+		t.Errorf("%d successful lines, want 2 (the stream must outlive every bad line)", gotOK)
+	}
+	if gotErr != 7 {
+		t.Errorf("%d error lines, want 7: %v", gotErr, codes)
+	}
+	// Garbage JSON, unknown field, trailing data, and the oversized
+	// line all map to bad_request; bad id and mode have their own
+	// sentinels.
+	if codes[ErrBadRequest] != 4 || codes[ErrBadID] != 1 || codes[ErrBadMode] != 1 || codes[ErrEmptyQuery] != 1 {
+		t.Errorf("sentinel spread %v, want 4x %s + 1x %s + 1x %s + 1x %s",
+			codes, ErrBadRequest, ErrBadID, ErrBadMode, ErrEmptyQuery)
+	}
+	// Blank lines are not request lines: 9 decoded lines, 2 results,
+	// 7 errors, clean terminal.
+	if terminal.Error != "" || terminal.Lines != 9 || terminal.Results != 2 || terminal.Errors != 7 {
+		t.Errorf("terminal %+v, want clean with lines=9 results=2 errors=7", terminal)
+	}
+}
+
+// TestStreamRefusedUpfront pins the connection-level refusals that are
+// NOT per-line errors: wrong method, and a stream opened against a
+// server already draining.
+func TestStreamRefusedUpfront(t *testing.T) {
+	s := newTestServer(t, testDB(t, 50), Config{Workers: 1})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search/stream", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", rec.Code)
+	}
+
+	s.BeginDrain()
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search/stream", strings.NewReader("{}\n")))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining status %d, want 503", rec.Code)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error != ErrDraining {
+		t.Errorf("draining body %q (err %v), want sentinel %s", rec.Body.String(), err, ErrDraining)
+	}
+}
+
+// TestStreamDrainMidStream: BeginDrain while a stream is live and fed.
+// The lines already accepted complete and flush; the stream then ends
+// with the terminal draining line instead of a connection reset.
+func TestStreamDrainMidStream(t *testing.T) {
+	db := testDB(t, 80)
+	s := newTestServer(t, db, Config{Workers: 2, StreamWindow: 4})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest(http.MethodPost, httpSrv.URL+"/search/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	defer resp.Body.Close()
+
+	// Feed two queries and wait for both results: accepted work.
+	line, _ := json.Marshal(StreamRequest{ID: "before-drain", SearchRequest: SearchRequest{Query: queryString(), K: 3}})
+	if _, err := pw.Write([]byte(string(line) + "\n" + string(line) + "\n")); err != nil {
+		t.Fatalf("feed stream: %v", err)
+	}
+	br := bufio.NewScanner(resp.Body)
+	br.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	readLine := func() StreamResult {
+		t.Helper()
+		if !br.Scan() {
+			t.Fatalf("stream closed early: %v", br.Err())
+		}
+		var res StreamResult
+		if err := json.Unmarshal(br.Bytes(), &res); err != nil {
+			t.Fatalf("decode %q: %v", br.Text(), err)
+		}
+		return res
+	}
+	for i := 0; i < 2; i++ {
+		if res := readLine(); res.Error != "" || res.ID != "before-drain" {
+			t.Fatalf("pre-drain result %d: %+v", i, res)
+		}
+	}
+
+	// Drain with the connection open and idle: the reader's bounded
+	// poll must notice and end the stream with the draining sentinel.
+	s.BeginDrain()
+	terminal := readLine()
+	if !terminal.Terminal || terminal.Error != ErrDraining {
+		t.Fatalf("terminal line %+v, want terminal draining", terminal)
+	}
+	if terminal.Results != 2 {
+		t.Errorf("terminal results %d, want the 2 pre-drain results accounted", terminal.Results)
+	}
+	if br.Scan() {
+		t.Errorf("line after terminal: %s", br.Text())
+	}
+}
+
+// TestStreamChaosClientStall arms the client.stall fault against a
+// live stream: the injected mid-stream stall must burn the real idle
+// budget, cut the stream off with the client_stall sentinel, and still
+// flush the result that completed before the stall.
+func TestStreamChaosClientStall(t *testing.T) {
+	db := testDB(t, 80)
+	reg := faults.NewRegistry(7)
+	// After:1 lets the first loop iteration read one real line before
+	// the second iteration's probe injects the stall.
+	reg.Arm(faults.ClientStall, faults.Fault{After: 1, Every: 1, Delay: time.Second})
+	s := chaosServer(t, db, reg, Config{Workers: 2, StreamWindow: 4,
+		StreamStallTimeout: 200 * time.Millisecond})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest(http.MethodPost, httpSrv.URL+"/search/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	defer resp.Body.Close()
+
+	line, _ := json.Marshal(StreamRequest{ID: "pre-stall", SearchRequest: SearchRequest{Query: queryString(), K: 3}})
+	if _, err := pw.Write(append(line, '\n')); err != nil {
+		t.Fatalf("feed stream: %v", err)
+	}
+	// The client now goes quiet; the armed stall plus the silence must
+	// trip the 200ms cutoff long before this test's own deadline.
+	start := time.Now()
+	lines, terminal := collectStream(t, resp.Body)
+	if terminal.Error != ErrClientStall {
+		t.Fatalf("terminal %+v, want %s", terminal, ErrClientStall)
+	}
+	if len(lines) != 1 || lines[0].ID != "pre-stall" || lines[0].Error != "" {
+		t.Errorf("pre-stall results %+v, want the one completed result flushed", lines)
+	}
+	if terminal.Results != 1 || terminal.Lines != 1 {
+		t.Errorf("terminal accounting %+v, want lines=1 results=1", terminal)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("stall cutoff took %v; the idle budget must bound it near 200ms", took)
+	}
+}
+
+// TestStreamStatsz pins the /statsz streaming section CI's jq
+// assertions read: the counters move, the wire names hold.
+func TestStreamStatsz(t *testing.T) {
+	db := testDB(t, 60)
+	s := newTestServer(t, db, Config{Workers: 2, StreamWindow: 5})
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	reqs := []StreamRequest{
+		{ID: "a", SearchRequest: SearchRequest{Query: queryString(), K: 3}},
+		{ID: "b", SearchRequest: SearchRequest{Query: "", K: 3}}, // one error line
+	}
+	if _, terminal := postStream(t, httpSrv.URL, streamBody(t, reqs)); terminal.Results != 1 || terminal.Errors != 1 {
+		t.Fatalf("terminal %+v, want 1 result + 1 error", terminal)
+	}
+
+	stats := s.Stats()
+	if stats.Streams.Total != 1 || stats.Streams.Open != 0 || stats.Streams.InFlight != 0 {
+		t.Errorf("streams gauge %+v, want total=1 open=0 in_flight=0 after close", stats.Streams)
+	}
+	if stats.Streams.Lines != 2 || stats.Streams.Results != 1 || stats.Streams.Errors != 1 {
+		t.Errorf("streams counters %+v, want lines=2 results=1 errors=1", stats.Streams)
+	}
+	if stats.Streams.Window != 5 {
+		t.Errorf("streams window %d, want 5", stats.Streams.Window)
+	}
+	if stats.StreamQPS <= 0 {
+		t.Errorf("stream_qps %v, want > 0 after a served stream", stats.StreamQPS)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	for _, field := range []string{`"stream_qps"`, `"streams"`, `"open"`, `"lines"`, `"results"`, `"in_flight"`, `"window"`} {
+		if !strings.Contains(rec.Body.String(), field) {
+			t.Errorf("/statsz body lacks %s", field)
+		}
+	}
+}
+
+// FuzzStreamDecode throws arbitrary bodies at the NDJSON decode loop.
+// Whatever arrives, the handler must neither panic nor 500: every
+// request line is answered with a result or a sentinel error line, the
+// terminal line arrives exactly once and last, and its accounting adds
+// up.
+func FuzzStreamDecode(f *testing.F) {
+	valid, _ := json.Marshal(StreamRequest{ID: "v", SearchRequest: SearchRequest{Query: "ACDEFGHIKLMNPQRSTVWY", K: 2}})
+	f.Add([]byte(nil))
+	f.Add([]byte("\n"))
+	f.Add(append(valid, '\n'))
+	f.Add([]byte(string(valid) + "\n" + string(valid) + "\n"))
+	f.Add([]byte(`{garbage` + "\n"))
+	f.Add([]byte(`{"query":` + "\n")) // truncated JSON
+	f.Add([]byte(`{"query":"ACDE","bogus":1}` + "\n"))
+	f.Add([]byte(`{"id":"t","query":"ACDE"}{"x":1}` + "\n")) // interleaved trailing object
+	f.Add([]byte(`{"query":""}` + "\n"))
+	f.Add([]byte(`{"mode":"all_vs_all","query":"ACDE"}` + "\n"))
+	f.Add([]byte(string(valid))) // no trailing newline: still a line
+	f.Add([]byte("\x00\xff\xfe garbage bytes, not even JSON\n" + string(valid) + "\n"))
+	f.Add([]byte(`{"id":"` + strings.Repeat("i", MaxStreamIDLen+1) + `","query":"ACDE"}` + "\n"))
+	f.Add(bytes.Repeat([]byte{'a'}, maxStreamLineBytes+2)) // one oversized line
+
+	s := newTestServer(f, testDB(f, 40), Config{Workers: 2})
+	handler := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search/stream", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d — the stream handler has no non-200 path for bad lines", rec.Code)
+		}
+		lines, terminal := collectStream(t, rec.Body)
+		var results, errs int64
+		for _, line := range lines {
+			if line.Error == "" {
+				results++
+			} else {
+				errs++
+			}
+		}
+		if terminal.Results != results || terminal.Errors != errs || terminal.Lines != results+errs {
+			t.Fatalf("terminal accounting %+v, observed %d results + %d errors", terminal, results, errs)
+		}
+	})
+}
