@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_7.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0] [-min-stream-speedup 2.0]
+//	benchsnap [-o BENCH_8.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0] [-min-stream-speedup 2.0]
 //
 // The snapshot carries a swar_vs_sw_speedup field (the SWAR kernel's
 // Mcells/s over the scalar reference's), a cache_speedup field (the
@@ -44,6 +44,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/loadgen"
 	"repro/internal/server"
 	"repro/internal/simd"
 	"repro/internal/uarch"
@@ -108,6 +109,8 @@ type Snapshot struct {
 	SwarVsSw      float64         `json:"swar_vs_sw_speedup"`
 	CacheSpeedup  float64         `json:"cache_speedup"`
 	StreamVsPost  float64         `json:"stream_vs_post_speedup"`
+	LoadgenP99Us  float64         `json:"loadgen_p99_us"`
+	LoadgenCV     float64         `json:"loadgen_cv"`
 	Kernels       []KernelResult  `json:"kernels"`
 	Scan          []KernelResult  `json:"scan"`
 	Sweep         []SweepResult   `json:"sweep"`
@@ -116,7 +119,7 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output file")
+	out := flag.String("o", "BENCH_8.json", "output file")
 	minSwar := flag.Float64("min-swar-speedup", 0,
 		"fail unless the swar kernel is at least this many times faster than scalar sw (0 disables)")
 	minCache := flag.Float64("min-cache-speedup", 0,
@@ -457,6 +460,43 @@ func main() {
 			QPS: streamQPS, MeanUs: 1e6 / streamQPS})
 	snap.StreamVsPost = streamQPS / postQPS
 
+	// Open-loop tail latency through the same live listener: three
+	// short fixed-rate passes of the loadgen harness (Zipf-popular
+	// corpus drawn from the serving database, cache disabled) record
+	// the p99 a production-shaped arrival process sees, plus its
+	// run-to-run coefficient of variation — the snapshot's regression
+	// trail for the serving tail, not just its mean throughput.
+	lgQueries := make([]string, 0, 32)
+	for i := 0; i < 32 && i < streamDB.NumSeqs(); i++ {
+		lgq := bio.Decode(streamDB.Seqs[i].Residues)
+		if len(lgq) > 80 {
+			lgq = lgq[:80]
+		}
+		lgQueries = append(lgQueries, lgq)
+	}
+	var lgRuns []loadgen.Result
+	for run := 0; run < 3; run++ {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  ts.URL,
+			Client:   ts.Client(),
+			Rate:     300,
+			Duration: time.Second,
+			Queries:  lgQueries,
+			Seed:     1,
+			K:        5,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if res.Errors > 0 {
+			fatal(fmt.Errorf("loadgen pass: %d/%d requests failed: %v", res.Errors, res.Sent, res.ErrorsByCode))
+		}
+		lgRuns = append(lgRuns, res)
+	}
+	lgSummary := loadgen.Summarize(lgRuns)
+	snap.LoadgenP99Us = lgSummary.P99MeanUs
+	snap.LoadgenCV = lgSummary.P99CV
+
 	// All-vs-all coalesced pass: the library-level engine behind the
 	// stream's all_vs_all mode, recorded as cells/sec like the other
 	// scan rows (cells = sum of query lengths x database residues).
@@ -485,9 +525,10 @@ func main() {
 		fatal(err)
 	}
 	ir := snap.IndexedSearch[0]
-	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx; stream %.0f qps vs post %.0f qps = %.2fx)\n",
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx; stream %.0f qps vs post %.0f qps = %.2fx; loadgen p99 %.0fµs cv %.1f%%)\n",
 		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), snap.SwarVsSw, ir.Speedup, ir.RecallAt10,
-		uncachedRow.QPS, cachedRow.QPS, snap.CacheSpeedup, streamQPS, postQPS, snap.StreamVsPost)
+		uncachedRow.QPS, cachedRow.QPS, snap.CacheSpeedup, streamQPS, postQPS, snap.StreamVsPost,
+		snap.LoadgenP99Us, 100*snap.LoadgenCV)
 	if *minSwar > 0 && snap.SwarVsSw < *minSwar {
 		fatal(fmt.Errorf("swar kernel is %.2fx scalar sw, below the required %.2fx", snap.SwarVsSw, *minSwar))
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/bio"
@@ -39,9 +40,10 @@ func main() {
 		related   = flag.Int("related", 0, "plant this many homologs in a synthetic database")
 		showAlign = flag.Bool("align", false, "print the top hit's alignment")
 
-		indexArg = flag.String("index", "", "seed-and-extend: an indexbuild file, or 'build' to index the database in-process")
-		kFlag    = flag.Int("k", index.DefaultK, "k-mer length when -index build")
-		maxCand  = flag.Int("max-candidates", 0, "candidates the seed filter passes to exact rescoring (0 = default; >= database size = exact scan)")
+		indexArg   = flag.String("index", "", "seed-and-extend: an indexbuild file, or 'build' to index the database in-process")
+		kFlag      = flag.Int("k", index.DefaultK, "k-mer length when -index build")
+		maxCand    = flag.Int("max-candidates", 0, "candidates the seed filter passes to exact rescoring (0 = default; >= database size = exact scan)")
+		stageTimes = flag.Bool("stage-times", false, "print per-stage wall time (prepare/scan/rank) for the exact kernels")
 	)
 	flag.Parse()
 
@@ -77,6 +79,11 @@ func main() {
 			Kernel:  kernel,
 			Workers: *workers,
 			TopK:    *best,
+		}
+		if *stageTimes {
+			cfg.Observe = func(stage string, d time.Duration) {
+				fmt.Printf("stage %-7s %12v\n", stage, d)
+			}
 		}
 		if *indexArg != "" {
 			searcher, err := loadSearcher(*indexArg, *kFlag, db, params)

@@ -14,6 +14,7 @@
 //	seqclient -addr localhost:8044 < queries.ndjson > results.ndjson
 //	seqclient -addr localhost:8044 -mode post < queries.ndjson   # same answers, one POST each
 //	seqclient -gen 200 -bulk-mode all_vs_all | seqclient -addr localhost:8044
+//	seqclient -addr localhost:8044 -latency-out lat.ndjson < queries.ndjson
 //
 // Exit status is 0 when the protocol completed: in stream mode that
 // means the server's terminal line arrived (clean EOF or an orderly
@@ -30,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/bio"
@@ -45,6 +47,9 @@ func main() {
 		genN   = flag.Int("gen", 0, "generate this many NDJSON request lines on stdout instead of driving a server")
 		dbArg  = flag.String("db", "synthetic:1000", "query source for -gen: FASTA file path or synthetic:<n> (match the server's -db/-seed)")
 		dbSeed = flag.Int64("seed", 20061001, "synthetic database generator seed for -gen")
+
+		latencyOut = flag.String("latency-out", "",
+			"record one NDJSON line per completed request (id, bytes, us, error) to this file — the raw material for offline latency analysis")
 
 		kFlag      = flag.Int("k", 5, "top-k for generated queries")
 		kernel     = flag.String("kernel", "", "kernel for generated queries (empty = server default)")
@@ -71,18 +76,131 @@ func main() {
 		input = f
 	}
 
+	var lat *latencyLog
+	if *latencyOut != "" {
+		f, err := os.Create(*latencyOut)
+		if err != nil {
+			fatal(err)
+		}
+		lat = newLatencyLog(f)
+		defer func() {
+			if err := lat.close(); err != nil {
+				fatal(fmt.Errorf("flushing -latency-out: %w", err))
+			}
+		}()
+	}
+
 	var err error
 	switch *mode {
 	case "stream":
-		err = driveStream(*addr, input)
+		err = driveStream(*addr, input, lat)
 	case "post":
-		err = drivePost(*addr, input)
+		err = drivePost(*addr, input, lat)
 	default:
 		err = fmt.Errorf("unknown -mode %q (stream or post)", *mode)
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// latencyRecord is one -latency-out line: what the client observed for
+// one request. In post mode us spans the whole POST round trip; in
+// stream mode it runs from the moment the line was handed to the HTTP
+// transport to the moment its result line arrived (us = -1 when the
+// server answered an id the tracker never saw go out). bytes is the
+// response size; error is the server's error code, empty on success.
+type latencyRecord struct {
+	ID    string `json:"id"`
+	Bytes int    `json:"bytes"`
+	Us    int64  `json:"us"`
+	Error string `json:"error,omitempty"`
+}
+
+type latencyLog struct {
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newLatencyLog(f *os.File) *latencyLog {
+	bw := bufio.NewWriter(f)
+	return &latencyLog{f: f, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (l *latencyLog) write(rec latencyRecord) {
+	if l == nil {
+		return
+	}
+	if err := l.enc.Encode(&rec); err != nil {
+		fatal(fmt.Errorf("writing -latency-out: %w", err))
+	}
+}
+
+func (l *latencyLog) close() error {
+	if l == nil {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// sendTracker wraps the stream request body and stamps the moment each
+// complete input line passes to the HTTP transport — the closest thing
+// a pipelined client has to a per-request send time. The transport
+// reads on its own goroutine while main drains responses, so the stamp
+// map is mutex-guarded.
+type sendTracker struct {
+	r       io.Reader
+	mu      sync.Mutex
+	sent    map[string]time.Time
+	partial []byte
+}
+
+func (t *sendTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.stampLines(p[:n])
+	}
+	return n, err
+}
+
+func (t *sendTracker) stampLines(b []byte) {
+	now := time.Now()
+	for {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			t.partial = append(t.partial, b...)
+			return
+		}
+		line := b[:i]
+		if len(t.partial) > 0 {
+			line = append(t.partial, line...)
+			t.partial = t.partial[:0]
+		}
+		var hdr struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(line, &hdr) == nil && hdr.ID != "" {
+			t.mu.Lock()
+			t.sent[hdr.ID] = now
+			t.mu.Unlock()
+		}
+		b = b[i+1:]
+	}
+}
+
+func (t *sendTracker) sinceSent(id string, now time.Time) int64 {
+	t.mu.Lock()
+	ts, ok := t.sent[id]
+	t.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	return now.Sub(ts).Microseconds()
 }
 
 // generate writes n deterministic StreamRequest lines: queries cycle
@@ -122,8 +240,13 @@ func generate(w io.Writer, n int, dbArg string, seed int64, k int, kernel string
 // relays response lines verbatim. The input reader is the request body,
 // so a slow producer (a paused pipe) exercises the server's stall
 // accounting and a fast one its flow-control window.
-func driveStream(addr string, input io.Reader) error {
+func driveStream(addr string, input io.Reader, lat *latencyLog) error {
 	start := time.Now()
+	var tracker *sendTracker
+	if lat != nil {
+		tracker = &sendTracker{r: input, sent: make(map[string]time.Time)}
+		input = tracker
+	}
 	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/search/stream", input)
 	if err != nil {
 		return err
@@ -160,6 +283,14 @@ func driveStream(addr string, input io.Reader) error {
 		default:
 			results++
 		}
+		if lat != nil && !line.Terminal && line.ID != "" {
+			lat.write(latencyRecord{
+				ID:    line.ID,
+				Bytes: len(sc.Bytes()),
+				Us:    tracker.sinceSent(line.ID, time.Now()),
+				Error: line.Error,
+			})
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("reading stream: %w", err)
@@ -183,7 +314,7 @@ func driveStream(addr string, input io.Reader) error {
 // against. Output lines carry the same fields as stream result lines
 // (minus the terminal line) so the two transports diff cleanly once
 // took_us/cached are stripped.
-func drivePost(addr string, input io.Reader) error {
+func drivePost(addr string, input io.Reader, lat *latencyLog) error {
 	start := time.Now()
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -208,6 +339,7 @@ func drivePost(addr string, input io.Reader) error {
 		if err != nil {
 			return err
 		}
+		reqStart := time.Now()
 		resp, err := http.Post("http://"+addr+"/search", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("id %s: %w", req.ID, err)
@@ -217,11 +349,13 @@ func drivePost(addr string, input io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("id %s: reading response: %w", req.ID, err)
 		}
+		tookUs := time.Since(reqStart).Microseconds()
 		if resp.StatusCode != http.StatusOK {
 			var e server.ErrorResponse
 			if err := json.Unmarshal(raw, &e); err != nil {
 				return fmt.Errorf("id %s: status %d: %s", req.ID, resp.StatusCode, bytes.TrimSpace(raw))
 			}
+			lat.write(latencyRecord{ID: req.ID, Bytes: len(raw), Us: tookUs, Error: e.Error})
 			errLines++
 			if err := enc.Encode(map[string]string{"id": req.ID, "error": e.Error, "detail": e.Detail}); err != nil {
 				return err
@@ -232,6 +366,7 @@ func drivePost(addr string, input io.Reader) error {
 		if err := json.Unmarshal(raw, &sr); err != nil {
 			return fmt.Errorf("id %s: decoding response: %w", req.ID, err)
 		}
+		lat.write(latencyRecord{ID: req.ID, Bytes: len(raw), Us: tookUs})
 		results++
 		if err := enc.Encode(&server.StreamResult{ID: req.ID, SearchResponse: sr}); err != nil {
 			return err

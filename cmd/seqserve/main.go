@@ -22,7 +22,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,6 +69,13 @@ func main() {
 		faultsSpec = flag.String("faults", "",
 			"deterministic fault injection spec, site:key=val,...[;site:...] (sites: client.stall, index.lookup, score.panic, score.slow) — chaos testing only")
 		faultsSeed = flag.Uint64("faults-seed", 1, "seed for -faults rate schedules")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof plus /metrics and /debug/traces on this separate address (e.g. localhost:8045); empty disables the debug listener")
+		traceRing = flag.Int("trace-ring", 0,
+			"per-request trace ring capacity behind /debug/traces (0 = default)")
+		logRequests = flag.Bool("log-requests", false,
+			"emit one structured (slog) line per completed request, tagged with its trace id")
 	)
 	flag.Parse()
 
@@ -123,6 +132,10 @@ func main() {
 	if reg != nil {
 		fmt.Printf("seqserve: FAULT INJECTION ARMED: %s (seed %d)\n", *faultsSpec, *faultsSeed)
 	}
+	var accessLog *slog.Logger
+	if *logRequests {
+		accessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv, err := server.New(db, ix, server.Config{
 		Workers:            *workers,
 		DefaultKernel:      *kernel,
@@ -134,12 +147,45 @@ func main() {
 		StreamStallTimeout: *streamStall,
 		RequestTimeout:     *reqTimeout,
 		Faults:             reg,
+		TraceRing:          *traceRing,
+		AccessLog:          accessLog,
 	})
 	if err != nil {
 		if ix != nil && *indexArg != "build" {
 			err = fmt.Errorf("%w (rebuild %s for this database, or pass the same -db/-seed/-related here and to indexbuild)", err, *indexArg)
 		}
 		fatal(err)
+	}
+
+	// The debug listener is a separate address on purpose: pprof
+	// profiles and raw trace dumps are operator tools, and binding them
+	// to (say) localhost keeps them off the serving port without any
+	// auth machinery. /metrics and /debug/traces are mirrored here so a
+	// scraper needs only the debug port; they also remain on the main
+	// mux for single-port deployments.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", srv.MetricsRegistry().Handler())
+		dmux.Handle("/debug/traces", srv.TraceRing())
+		dbgSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				// An operator who asked for the debug listener is
+				// debugging; a silently-missing pprof port would waste
+				// exactly that session.
+				fatal(fmt.Errorf("debug listener: %w", err))
+			}
+		}()
+		fmt.Printf("seqserve: debug listener (pprof, /metrics, /debug/traces) on %s\n", *debugAddr)
 	}
 
 	// The protocol-level timeouts cut off clients the request deadline

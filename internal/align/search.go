@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bio"
 	"repro/internal/simd"
@@ -181,7 +182,23 @@ type SearchConfig struct {
 	// filtered scan provably identical to the exhaustive one (the
 	// filter contract requires degrading to all sequences then).
 	MaxCandidates int
+
+	// Observe, when non-nil, receives one call per scan stage with its
+	// wall-clock duration: "prepare" (profile construction, plus
+	// candidate generation when a Filter is set), "scan" (the sharded
+	// kernel pass), and "rank" (RankHits). It is called from the scan's
+	// calling goroutine, after the stage completes, in stage order —
+	// the hook a caller's histogram or trace plugs into without the
+	// align layer knowing about either. Nil costs nothing.
+	Observe func(stage string, d time.Duration)
 }
+
+// The stage names SearchDBContext reports to SearchConfig.Observe.
+const (
+	StagePrepare = "prepare"
+	StageScan    = "scan"
+	StageRank    = "rank"
+)
 
 // searchBatch is how many sequences a worker claims at a time: small
 // enough to balance ragged sequence lengths, large enough that the
@@ -219,6 +236,7 @@ func SearchDBContext(ctx context.Context, p Params, query []uint8, db *bio.Datab
 	if len(query) == 0 || len(seqs) == 0 {
 		return nil, ctx.Err()
 	}
+	prepareStart := time.Now()
 
 	// The scan items are either the whole database (cand == nil) or
 	// the filter's candidate set, normalized to unique ascending
@@ -260,7 +278,11 @@ func SearchDBContext(ctx context.Context, p Params, query []uint8, db *bio.Datab
 	// The prepared profile is read-only and shared across workers;
 	// each worker carries its own DP scratch.
 	pq := PrepareQuery(p, query, cfg.Kernel)
+	if cfg.Observe != nil {
+		cfg.Observe(StagePrepare, time.Since(prepareStart))
+	}
 
+	scanStart := time.Now()
 	scores := make([]int, numItems)
 	var next atomic.Int64
 	var cancelled atomic.Bool
@@ -292,13 +314,21 @@ func SearchDBContext(ctx context.Context, p Params, query []uint8, db *bio.Datab
 		}()
 	}
 	wg.Wait()
+	if cfg.Observe != nil {
+		cfg.Observe(StageScan, time.Since(scanStart))
+	}
 
 	// A worker that bailed leaves scores half-filled; reporting a rank
 	// over them would be silently wrong, which is worse than no answer.
 	if cancelled.Load() {
 		return nil, ctx.Err()
 	}
-	return RankHits(seqs, cand, scores, minScore, cfg.TopK), nil
+	rankStart := time.Now()
+	hits := RankHits(seqs, cand, scores, minScore, cfg.TopK)
+	if cfg.Observe != nil {
+		cfg.Observe(StageRank, time.Since(rankStart))
+	}
+	return hits, nil
 }
 
 // RankHits turns per-item scores into the ranked hit list every scan

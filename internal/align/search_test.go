@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bio"
 )
@@ -321,6 +322,63 @@ func TestSearchDBContextCancellation(t *testing.T) {
 		}
 		if fmt.Sprint(hits) != fmt.Sprint(want) {
 			t.Fatalf("iteration %d: completed scan diverged from SearchDB", i)
+		}
+	}
+}
+
+// TestSearchDBObserveHook pins the Observe contract: every stage
+// reported exactly once, in stage order, with non-negative durations,
+// on both the exhaustive and the filtered path — and setting the hook
+// never changes the hits.
+func TestSearchDBObserveHook(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+
+	for _, tc := range []struct {
+		name string
+		cfg  SearchConfig
+	}{
+		{"exhaustive", SearchConfig{Kernel: KernelSSEARCH, Workers: 2}},
+		{"filtered", SearchConfig{
+			Kernel: KernelSSEARCH, Workers: 2,
+			Filter: &fixedFilter{proposed: []int{0, 3, 9, 17, 25}}, MaxCandidates: 5,
+		}},
+	} {
+		want := SearchDB(p, q.Residues, db, tc.cfg)
+		var stages []string
+		cfg := tc.cfg
+		cfg.Observe = func(stage string, d time.Duration) {
+			if d < 0 {
+				t.Errorf("%s: stage %q reported negative duration %v", tc.name, stage, d)
+			}
+			stages = append(stages, stage)
+		}
+		got := SearchDB(p, q.Residues, db, cfg)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: Observe hook changed the hits:\n got %v\nwant %v", tc.name, got, want)
+		}
+		if fmt.Sprint(stages) != fmt.Sprint([]string{StagePrepare, StageScan, StageRank}) {
+			t.Errorf("%s: stages %v, want [%s %s %s]", tc.name, stages, StagePrepare, StageScan, StageRank)
+		}
+	}
+
+	// Degenerate scans (empty query, empty candidate set) bail before
+	// any stage completes: the hook must stay silent rather than report
+	// a half-run pipeline.
+	for _, tc := range []struct {
+		name string
+		run  func(observe func(string, time.Duration)) []Hit
+	}{
+		{"empty query", func(obs func(string, time.Duration)) []Hit {
+			return SearchDB(p, nil, db, SearchConfig{Observe: obs})
+		}},
+		{"empty candidates", func(obs func(string, time.Duration)) []Hit {
+			return SearchDB(p, q.Residues, db, SearchConfig{Filter: &fixedFilter{}, Observe: obs})
+		}},
+	} {
+		var calls int
+		if hits := tc.run(func(string, time.Duration) { calls++ }); hits != nil || calls != 0 {
+			t.Errorf("%s: hits=%v calls=%d, want nil hits and 0 calls", tc.name, hits, calls)
 		}
 	}
 }

@@ -1,0 +1,451 @@
+// Package loadgen is the open-loop load harness behind cmd/loadgen and
+// the slo-smoke CI job: it fires /search requests at a seqserve
+// instance on a fixed (or linearly ramping) arrival schedule that does
+// NOT slow down when the server does, which is the property that makes
+// the measured tail honest. A closed-loop driver — issue, wait, issue —
+// self-throttles exactly when the server queues, so its p99 flatters
+// the server under saturation (coordinated omission). Here every
+// arrival time is fixed up front from the offered rate; a late server
+// just accumulates in-flight requests, and the queueing delay lands in
+// the recorded latencies where it belongs.
+//
+// Latencies aggregate into the same log-linear histogram
+// (internal/obs) the server exports on /metrics, so the client's
+// quantiles and the server's are directly comparable bucket for
+// bucket — CompareMedian pins that agreement and slo-smoke gates on it.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults for the knobs a Config leaves zero.
+const (
+	DefaultZipfS   = 1.1
+	DefaultTimeout = 5 * time.Second
+)
+
+// Config describes one open-loop run against a running server.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8044".
+	BaseURL string
+
+	// Rate is the offered arrival rate in requests per second at the
+	// start of the run; it must be positive.
+	Rate float64
+	// RampTo, when positive, ramps the arrival rate linearly from Rate
+	// to RampTo over the run — the knee-finding scenario. Zero holds
+	// Rate constant.
+	RampTo float64
+	// Duration is how long arrivals are generated; the run then waits
+	// for stragglers. It must be positive.
+	Duration time.Duration
+
+	// Queries is the corpus arrivals draw from; it must be non-empty.
+	// Draws follow a Zipf popularity curve over the slice order
+	// (Queries[0] hottest), mimicking the skewed popularity real
+	// services see and exercising the server's result cache the way
+	// production would.
+	Queries []string
+	// ZipfS is the Zipf exponent (> 1); 0 selects DefaultZipfS.
+	ZipfS float64
+	// Seed fixes the popularity draws, making two runs with the same
+	// Config offer the identical request sequence.
+	Seed int64
+
+	// K and Kernel fill the /search request body; zero values mean the
+	// server's defaults.
+	K      int
+	Kernel string
+
+	// Timeout caps each request's round trip; a request past it counts
+	// as a "timeout" error. 0 selects DefaultTimeout.
+	Timeout time.Duration
+
+	// Client overrides the HTTP client (tests inject the httptest
+	// server's). nil builds one sized for the run's concurrency.
+	Client *http.Client
+}
+
+// Result is what one run observed. Latency quantiles cover successful
+// requests only — an error line's round trip measures the failure
+// path, not the SLO — while Sent/OK/Errors account for every arrival.
+type Result struct {
+	Sent   int64 `json:"sent"`
+	OK     int64 `json:"ok"`
+	Errors int64 `json:"errors"`
+	// ErrorsByCode tallies failures by the server's error code, with
+	// "transport" for requests that never got an HTTP response and
+	// "timeout" for ones cut off by Config.Timeout.
+	ErrorsByCode map[string]int64 `json:"errors_by_code,omitempty"`
+
+	ElapsedS    float64 `json:"elapsed_s"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"` // OK completions per elapsed second
+
+	P50Us  int64 `json:"p50_us"`
+	P95Us  int64 `json:"p95_us"`
+	P99Us  int64 `json:"p99_us"`
+	MaxUs  int64 `json:"max_us"`
+	MeanUs int64 `json:"mean_us"`
+
+	// Latency is the full client-side histogram the quantiles above
+	// were read from, in the server's own bucket layout.
+	Latency obs.HistSnapshot `json:"-"`
+}
+
+// Run executes one open-loop pass and blocks until every fired request
+// completes or ctx is cancelled (cancellation abandons stragglers but
+// still reports the completed ones).
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: rate %.3f must be positive", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: duration %v must be positive", cfg.Duration)
+	}
+	if len(cfg.Queries) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty query corpus")
+	}
+	zipfS := cfg.ZipfS
+	if zipfS == 0 {
+		zipfS = DefaultZipfS
+	}
+	if zipfS <= 1 {
+		return Result{}, fmt.Errorf("loadgen: zipf exponent %.3f must exceed 1", zipfS)
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+
+	// The whole schedule is fixed before the first request: arrival n
+	// happens at start+offsets[n] whatever the server is doing. With a
+	// ramp the instantaneous rate moves linearly, so consecutive gaps
+	// are 1/rate(t) evaluated at the previous arrival.
+	offsets := arrivalOffsets(cfg.Rate, cfg.RampTo, cfg.Duration)
+	if len(offsets) == 0 {
+		return Result{}, fmt.Errorf("loadgen: rate %.3f over %v yields no arrivals", cfg.Rate, cfg.Duration)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(cfg.Queries)-1))
+	bodies := make([][]byte, len(offsets))
+	for i := range bodies {
+		body, err := json.Marshal(searchRequest{
+			Query:  cfg.Queries[zipf.Uint64()],
+			K:      cfg.K,
+			Kernel: cfg.Kernel,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		bodies[i] = body
+	}
+
+	client := cfg.Client
+	if client == nil {
+		// Open loop means in-flight can exceed rate*latency; a default
+		// transport's 2 idle conns per host would strangle it.
+		tr := &http.Transport{MaxIdleConnsPerHost: 256}
+		client = &http.Client{Transport: tr}
+		defer tr.CloseIdleConnections()
+	}
+
+	var (
+		hist    obs.Histogram
+		ok      atomic.Int64
+		errMu   sync.Mutex
+		errByCd = make(map[string]int64)
+		wg      sync.WaitGroup
+	)
+	fail := func(code string) {
+		errMu.Lock()
+		errByCd[code]++
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	var sent int64
+arrivals:
+	for i, off := range offsets {
+		// Sleep to the absolute schedule; a negative wait means the
+		// generator itself fell behind (the arrival fires immediately
+		// and the lateness shows up in that request's latency, which is
+		// the open-loop contract).
+		if d := time.Until(start.Add(off)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break arrivals
+			}
+		} else if ctx.Err() != nil {
+			break arrivals
+		}
+		sent++
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			reqCtx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			reqStart := time.Now()
+			code, err := post(reqCtx, client, cfg.BaseURL+"/search", body)
+			if err != nil {
+				if reqCtx.Err() != nil {
+					fail("timeout")
+				} else {
+					fail("transport")
+				}
+				return
+			}
+			if code != "" {
+				fail(code)
+				return
+			}
+			hist.Observe(time.Since(reqStart))
+			ok.Add(1)
+		}(bodies[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	res := Result{
+		Sent:         sent,
+		OK:           ok.Load(),
+		ErrorsByCode: errByCd,
+		ElapsedS:     elapsed.Seconds(),
+		OfferedQPS:   float64(len(offsets)) / cfg.Duration.Seconds(),
+		AchievedQPS:  float64(ok.Load()) / elapsed.Seconds(),
+		P50Us:        snap.Quantile(0.50),
+		P95Us:        snap.Quantile(0.95),
+		P99Us:        snap.Quantile(0.99),
+		MaxUs:        snap.MaxUs,
+		MeanUs:       int64(snap.MeanUs()),
+		Latency:      snap,
+	}
+	for _, n := range errByCd {
+		res.Errors += n
+	}
+	if len(errByCd) == 0 {
+		res.ErrorsByCode = nil
+	}
+	return res, ctx.Err()
+}
+
+// searchRequest mirrors server.SearchRequest's wire fields without
+// importing the server package — loadgen talks to the service over the
+// same HTTP surface any client would.
+type searchRequest struct {
+	Query  string `json:"query"`
+	K      int    `json:"k,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+}
+
+// post runs one /search round trip. It returns ("", nil) on success,
+// the server's error code on an HTTP error, and err only when no
+// usable HTTP response arrived.
+func post(ctx context.Context, client *http.Client, url string, body []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return "", nil
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error, nil
+	}
+	return fmt.Sprintf("http_%d", resp.StatusCode), nil
+}
+
+// arrivalOffsets fixes the open-loop schedule: offsets[n] is when
+// arrival n fires, relative to the run start. Constant rate spaces them
+// 1/rate apart; a ramp advances the instantaneous rate linearly from
+// r0 to r1 across the duration.
+func arrivalOffsets(r0, r1 float64, d time.Duration) []time.Duration {
+	if r1 <= 0 {
+		r1 = r0
+	}
+	var offsets []time.Duration
+	t := 0.0
+	total := d.Seconds()
+	// The epsilon keeps accumulated float error from sneaking one extra
+	// arrival past the nominal end of the run (0.01 summed 10 times
+	// lands a hair under 0.1).
+	for t < total-1e-9 {
+		offsets = append(offsets, time.Duration(t*float64(time.Second)))
+		rate := r0 + (r1-r0)*(t/total)
+		t += 1 / rate
+	}
+	return offsets
+}
+
+// Summary aggregates repeated runs of the same scenario: the
+// between-run spread is the run-to-run noise floor, and its
+// coefficient of variation (stddev/mean of the per-run p99s) is the
+// stability figure BENCH_<n>.json records as loadgen_cv.
+type Summary struct {
+	Runs      int     `json:"runs"`
+	P50MeanUs float64 `json:"p50_mean_us"`
+	P99MeanUs float64 `json:"p99_mean_us"`
+	P99CV     float64 `json:"p99_cv"`
+	MaxUs     int64   `json:"max_us"`
+}
+
+// Summarize condenses repeated runs; it panics on an empty slice
+// (callers decide how many runs a scenario gets, never zero).
+func Summarize(runs []Result) Summary {
+	if len(runs) == 0 {
+		panic("loadgen: Summarize on zero runs")
+	}
+	s := Summary{Runs: len(runs)}
+	var p99s []float64
+	for _, r := range runs {
+		s.P50MeanUs += float64(r.P50Us)
+		s.P99MeanUs += float64(r.P99Us)
+		p99s = append(p99s, float64(r.P99Us))
+		if r.MaxUs > s.MaxUs {
+			s.MaxUs = r.MaxUs
+		}
+	}
+	s.P50MeanUs /= float64(len(runs))
+	s.P99MeanUs /= float64(len(runs))
+	if len(runs) > 1 && s.P99MeanUs > 0 {
+		var ss float64
+		for _, v := range p99s {
+			ss += (v - s.P99MeanUs) * (v - s.P99MeanUs)
+		}
+		// Sample standard deviation: n runs estimate the noise of the
+		// scenario, not describe these n numbers.
+		sd := math.Sqrt(ss / float64(len(p99s)-1))
+		s.P99CV = sd / s.P99MeanUs
+	}
+	return s
+}
+
+// Merge folds several client-side snapshots into one — the view to
+// compare against a server's cumulative /metrics scrape when more than
+// one run (or scenario) contributed to it.
+func Merge(snaps ...obs.HistSnapshot) obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for _, s := range snaps {
+		for i, c := range s.Counts {
+			out.Counts[i] += c
+		}
+		out.Count += s.Count
+		out.SumUs += s.SumUs
+		if s.MaxUs > out.MaxUs {
+			out.MaxUs = s.MaxUs
+		}
+	}
+	return out
+}
+
+// Agreement is the client-vs-server latency cross-check: the client's
+// median against the server's, read from a /metrics scrape, compared
+// in the shared bucket geometry.
+type Agreement struct {
+	ClientP50Us  int64 `json:"client_p50_us"`
+	ServerP50Us  int64 `json:"server_p50_us"`
+	ClientBucket int   `json:"client_bucket"`
+	ServerBucket int   `json:"server_bucket"`
+	// Agrees when the two medians land in the same or adjacent
+	// sub-buckets, or differ by no more than FloorUs. The bucket test
+	// is the real invariant (both sides bin identically); the absolute
+	// floor keeps sub-millisecond runs from failing over client-side
+	// RTT that the server legitimately never sees.
+	Agrees  bool  `json:"agrees"`
+	FloorUs int64 `json:"floor_us"`
+}
+
+// DefaultAgreementFloorUs tolerates the client-side overhead (connect,
+// write, read, scheduling) excluded from the server's histogram.
+const DefaultAgreementFloorUs = 300
+
+// CompareMedian checks a run's client-observed median against the
+// server-side request histogram in a /metrics scrape. metric is the
+// histogram's base name (the server's is seqserve_request_latency_us).
+// floorUs <= 0 selects DefaultAgreementFloorUs.
+func CompareMedian(client obs.HistSnapshot, exp *obs.Exposition, metric string, floorUs int64, labelPairs ...string) (Agreement, error) {
+	if floorUs <= 0 {
+		floorUs = DefaultAgreementFloorUs
+	}
+	serverP50, err := exp.HistogramQuantile(metric, 0.5, labelPairs...)
+	if err != nil {
+		return Agreement{}, err
+	}
+	a := Agreement{
+		ClientP50Us: client.Quantile(0.5),
+		ServerP50Us: serverP50,
+		FloorUs:     floorUs,
+	}
+	a.ClientBucket = obs.BucketIndex(a.ClientP50Us)
+	a.ServerBucket = obs.BucketIndex(a.ServerP50Us)
+	bucketDiff := a.ClientBucket - a.ServerBucket
+	if bucketDiff < 0 {
+		bucketDiff = -bucketDiff
+	}
+	absDiff := a.ClientP50Us - a.ServerP50Us
+	if absDiff < 0 {
+		absDiff = -absDiff
+	}
+	a.Agrees = bucketDiff <= 1 || absDiff <= floorUs
+	return a, nil
+}
+
+// ScrapeMetrics fetches and parses a /metrics endpoint.
+func ScrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (*obs.Exposition, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics returned %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+// SortedErrorCodes returns a result's error codes in stable order for
+// reports.
+func (r Result) SortedErrorCodes() []string {
+	codes := make([]string, 0, len(r.ErrorsByCode))
+	for c := range r.ErrorsByCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	return codes
+}

@@ -1,0 +1,224 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeSearch is a minimal /search + /metrics stand-in: it answers every
+// query after a fixed service time and histograms its own latencies the
+// way seqserve does, so the client/server agreement check runs against
+// a known-good pair without booting the real service.
+type fakeSearch struct {
+	serviceTime time.Duration
+	failEvery   int // every nth request answers 429/shed (0 = never)
+	hist        obs.Histogram
+	n           int64
+	mu          chan struct{}
+	reg         *obs.Registry
+}
+
+func newFakeSearch(serviceTime time.Duration, failEvery int) *fakeSearch {
+	f := &fakeSearch{serviceTime: serviceTime, failEvery: failEvery, mu: make(chan struct{}, 1)}
+	f.mu <- struct{}{}
+	f.reg = obs.NewRegistry()
+	f.reg.RegisterHistogram("fake_request_latency_us", "server-side latency", &f.hist)
+	return f
+}
+
+func (f *fakeSearch) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		<-f.mu
+		f.n++
+		n := f.n
+		f.mu <- struct{}{}
+		if f.failEvery > 0 && n%int64(f.failEvery) == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "shed"})
+			return
+		}
+		time.Sleep(f.serviceTime)
+		f.hist.Observe(time.Since(start))
+		json.NewEncoder(w).Encode(map[string]any{"hits": []any{}})
+	})
+	mux.Handle("/metrics", f.reg.Handler())
+	return mux
+}
+
+func TestRunFixedRate(t *testing.T) {
+	fake := newFakeSearch(2*time.Millisecond, 0)
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Rate:     200,
+		Duration: 500 * time.Millisecond,
+		Queries:  []string{"MKTAYIAKQR", "QISFVKSHFS", "RQLEERLGLI"},
+		Seed:     1,
+		Client:   ts.Client(),
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 100 {
+		t.Errorf("sent %d arrivals, want 100 (200/s over 500ms)", res.Sent)
+	}
+	if res.OK != res.Sent || res.Errors != 0 {
+		t.Errorf("ok=%d errors=%d (%v), want all %d ok", res.OK, res.Errors, res.ErrorsByCode, res.Sent)
+	}
+	if res.P50Us < 2000 {
+		t.Errorf("p50 %dµs below the 2ms service time", res.P50Us)
+	}
+	if res.P99Us < res.P50Us || res.MaxUs < res.P99Us {
+		t.Errorf("quantiles not monotone: p50=%d p99=%d max=%d", res.P50Us, res.P99Us, res.MaxUs)
+	}
+	if res.OfferedQPS < 190 || res.OfferedQPS > 210 {
+		t.Errorf("offered qps %.1f, want ~200", res.OfferedQPS)
+	}
+
+	// The run and the server histogrammed the same requests with the
+	// same buckets; the medians must agree.
+	exp, err := ScrapeMetrics(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agr, err := CompareMedian(res.Latency, exp, "fake_request_latency_us", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agr.Agrees {
+		t.Errorf("client p50 %dµs (bucket %d) disagrees with server p50 %dµs (bucket %d)",
+			agr.ClientP50Us, agr.ClientBucket, agr.ServerP50Us, agr.ServerBucket)
+	}
+}
+
+func TestRunCountsServerErrors(t *testing.T) {
+	fake := newFakeSearch(0, 4) // every 4th request shed
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Rate:     400,
+		Duration: 200 * time.Millisecond,
+		Queries:  []string{"MKTAYIAKQR"},
+		Seed:     2,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.ErrorsByCode["shed"] != res.Errors {
+		t.Errorf("errors=%d by code %v, want all errors coded shed", res.Errors, res.ErrorsByCode)
+	}
+	if res.OK+res.Errors != res.Sent {
+		t.Errorf("ok %d + errors %d != sent %d", res.OK, res.Errors, res.Sent)
+	}
+}
+
+func TestRunDeterministicSchedule(t *testing.T) {
+	// Same config, same seed: the offered request sequence is
+	// byte-identical. We assert through the schedule and body builders
+	// rather than live runs, which would race wall-clock jitter.
+	offs1 := arrivalOffsets(100, 0, 100*time.Millisecond)
+	offs2 := arrivalOffsets(100, 0, 100*time.Millisecond)
+	if len(offs1) != 10 {
+		t.Fatalf("constant 100/s over 100ms: %d arrivals, want 10", len(offs1))
+	}
+	for i := range offs1 {
+		if offs1[i] != offs2[i] {
+			t.Fatalf("schedule not deterministic at %d: %v vs %v", i, offs1[i], offs2[i])
+		}
+	}
+	for i := 1; i < len(offs1); i++ {
+		if offs1[i] <= offs1[i-1] {
+			t.Fatalf("offsets not increasing at %d", i)
+		}
+	}
+}
+
+func TestRampSchedule(t *testing.T) {
+	// 100→300/s over 1s averages ~200 arrivals, with gaps shrinking.
+	offs := arrivalOffsets(100, 300, time.Second)
+	if len(offs) < 180 || len(offs) > 220 {
+		t.Fatalf("ramp 100→300 over 1s: %d arrivals, want ~200", len(offs))
+	}
+	firstGap := offs[1] - offs[0]
+	lastGap := offs[len(offs)-1] - offs[len(offs)-2]
+	if lastGap >= firstGap {
+		t.Errorf("ramp gaps did not shrink: first %v, last %v", firstGap, lastGap)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	base := Config{BaseURL: "http://127.0.0.1:0", Rate: 10, Duration: time.Second, Queries: []string{"A"}}
+	for name, mutate := range map[string]func(*Config){
+		"zero rate":     func(c *Config) { c.Rate = 0 },
+		"zero duration": func(c *Config) { c.Duration = 0 },
+		"no queries":    func(c *Config) { c.Queries = nil },
+		"bad zipf":      func(c *Config) { c.ZipfS = 0.5 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	runs := []Result{
+		{P50Us: 100, P99Us: 1000, MaxUs: 1500},
+		{P50Us: 120, P99Us: 1200, MaxUs: 2500},
+		{P50Us: 110, P99Us: 1100, MaxUs: 2000},
+	}
+	s := Summarize(runs)
+	if s.Runs != 3 || s.P99MeanUs != 1100 || s.MaxUs != 2500 {
+		t.Errorf("summary %+v", s)
+	}
+	// sample stddev of {1000,1100,1200} is 100 → CV 100/1100
+	if s.P99CV < 0.089 || s.P99CV > 0.093 {
+		t.Errorf("p99 cv %.4f, want ~0.0909", s.P99CV)
+	}
+	if got := Summarize(runs[:1]); got.P99CV != 0 {
+		t.Errorf("single run reported cv %.4f, want 0", got.P99CV)
+	}
+}
+
+func TestCompareMedianFloor(t *testing.T) {
+	// Client 400µs vs server 50µs: buckets far apart, but within a
+	// 400µs floor the medians still count as agreeing — and without
+	// the floor they must not.
+	var client, server obs.Histogram
+	for i := 0; i < 100; i++ {
+		client.ObserveUs(400)
+		server.ObserveUs(50)
+	}
+	reg := obs.NewRegistry()
+	reg.RegisterHistogram("m_us", "x", &server)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr, _ := CompareMedian(client.Snapshot(), exp, "m_us", 400); !agr.Agrees {
+		t.Errorf("400µs floor: %+v should agree", agr)
+	}
+	if agr, _ := CompareMedian(client.Snapshot(), exp, "m_us", 100); agr.Agrees {
+		t.Errorf("100µs floor: %+v should disagree", agr)
+	}
+}

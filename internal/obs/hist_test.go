@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundsRoundTrip(t *testing.T) {
+	// Every bucket's bounds must contain exactly the values that map to
+	// it, and the buckets must tile the axis with no gaps or overlaps.
+	var prevHi int64
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if i == 0 && lo != 0 {
+			t.Fatalf("bucket 0 starts at %d, want 0", lo)
+		}
+		if i > 0 && lo != prevHi {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d empty range [%d, %d)", i, lo, hi)
+		}
+		if got := BucketIndex(lo); got != i {
+			t.Fatalf("BucketIndex(%d) = %d, want %d (bucket lo)", lo, got, i)
+		}
+		if hi != math.MaxInt64 {
+			if got := BucketIndex(hi - 1); got != i {
+				t.Fatalf("BucketIndex(%d) = %d, want %d (bucket hi-1)", hi-1, got, i)
+			}
+		}
+		prevHi = hi
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// The layout's reason to exist: no finite bucket may be wider than
+	// 25% of its lower bound (for lo >= 4 where sub-bucketing starts).
+	for i := subCount; i < NumBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		if width := hi - lo; float64(width) > 0.25*float64(lo)+1e-9 {
+			t.Fatalf("bucket %d [%d,%d) width %d exceeds 25%% of lo", i, lo, hi, width)
+		}
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want int
+	}{
+		{-5, 0}, // negative clamps
+		{0, 0},
+		{3, 3},
+		{4, 4}, // first sub-bucketed major
+		{1 << 25, NumBuckets - 1 - subCount},
+		{1<<26 - 1, NumBuckets - 2},
+		{1 << 26, NumBuckets - 1}, // overflow bucket
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.us); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.us, got, c.want)
+		}
+	}
+}
+
+func TestHistogramZeroAndOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveUs(0)
+	h.ObserveUs(-7) // clamps to 0
+	h.Observe(200 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Counts[0] != 2 {
+		t.Fatalf("zero bucket = %d, want 2", s.Counts[0])
+	}
+	if s.Counts[NumBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Counts[NumBuckets-1])
+	}
+	if want := int64(200_000_000); s.MaxUs != want {
+		t.Fatalf("max = %d, want %d", s.MaxUs, want)
+	}
+	// Overflow-bucket quantiles must clamp to the observed max, not the
+	// bucket's nominal +Inf upper bound.
+	if p99 := s.Quantile(0.99); p99 > s.MaxUs {
+		t.Fatalf("p99 = %d exceeds observed max %d", p99, s.MaxUs)
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %d, want 0", got)
+	}
+	if got := s.MeanUs(); got != 0 {
+		t.Fatalf("empty histogram mean = %v, want 0", got)
+	}
+}
+
+func TestQuantileTightness(t *testing.T) {
+	// 1000 identical observations: every quantile must land within the
+	// observation's own sub-bucket (<=25% relative error), nowhere near
+	// the 2x a power-of-two bucket would allow.
+	h := NewHistogram()
+	const v = 1500
+	for i := 0; i < 1000; i++ {
+		h.ObserveUs(v)
+	}
+	s := h.Snapshot()
+	lo, hi := BucketBounds(BucketIndex(v))
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("q=%v: got %d, want within bucket [%d, %d]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestQuantileInterpolationMonotone(t *testing.T) {
+	// Within one bucket, increasing q must increase (or hold) the
+	// interpolated value; across buckets it must stay nondecreasing.
+	h := NewHistogram()
+	for _, v := range []int64{10, 10, 10, 10, 100, 100, 5000, 5000, 5000, 120000} {
+		h.ObserveUs(v)
+	}
+	s := h.Snapshot()
+	var prev int64 = -1
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("quantile not monotone: q=%v gives %d after %d", q, got, prev)
+		}
+		prev = got
+	}
+	if s.Quantile(1) > s.MaxUs {
+		t.Fatalf("q=1 gives %d beyond max %d", s.Quantile(1), s.MaxUs)
+	}
+}
+
+func TestQuantileMatchesExactOnUniform(t *testing.T) {
+	// Uniform ramp 0..9999µs: interpolated quantiles should be within
+	// one sub-bucket width of the exact order statistic.
+	h := NewHistogram()
+	for v := int64(0); v < 10000; v++ {
+		h.ObserveUs(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := int64(q * 10000)
+		got := s.Quantile(q)
+		lo, hi := BucketBounds(BucketIndex(exact))
+		width := hi - lo
+		if diff := got - exact; diff < -width || diff > width {
+			t.Errorf("q=%v: got %d, exact %d, off by more than one bucket width %d", q, got, exact, width)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveUs(100)
+	h.ObserveUs(300)
+	if got := h.Snapshot().MeanUs(); got != 200 {
+		t.Fatalf("mean = %v, want 200", got)
+	}
+}

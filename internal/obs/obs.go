@@ -1,0 +1,299 @@
+// Package obs is the observability layer of the serving path: a
+// metrics registry with Prometheus text exposition, a log-linear
+// latency histogram whose quantiles are tight enough to state SLOs
+// (p95/p99 within 25%, not the 2x of power-of-two buckets), and a
+// fixed-size lock-free ring of per-request traces behind GET
+// /debug/traces. Everything on the hot path is atomic increments on
+// pre-registered instruments — registration happens once at startup,
+// so observing a request allocates nothing.
+//
+// The package is deliberately dependency-free (no client_golang): the
+// service's whole metric surface is counters, gauges and one histogram
+// shape, and owning the exposition means /statsz and /metrics render
+// the SAME instruments — they cannot disagree.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// NewCounter returns a zeroed counter, ready to register.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by n (n must be >= 0; negative deltas
+// belong on a Gauge).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can move both ways: in-flight
+// requests, window occupancy, queue depth.
+type Gauge struct{ v atomic.Int64 }
+
+// NewGauge returns a zeroed gauge, ready to register.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// CounterVec is a fixed-label-set family of counters: the label
+// values are declared at construction (e.g. the kernel names), so the
+// hot path indexes a prebuilt map and never allocates or locks.
+type CounterVec struct {
+	label  string
+	order  []string
+	byName map[string]*Counter
+}
+
+// NewCounterVec builds a counter per label value. Lookups for values
+// outside the declared set return the catch-all "other" counter, so a
+// caller can never miss a count by racing a label it forgot.
+func NewCounterVec(label string, values ...string) *CounterVec {
+	v := &CounterVec{label: label, byName: make(map[string]*Counter, len(values)+1)}
+	for _, name := range values {
+		if _, dup := v.byName[name]; dup {
+			continue
+		}
+		v.order = append(v.order, name)
+		v.byName[name] = NewCounter()
+	}
+	if _, ok := v.byName["other"]; !ok {
+		v.order = append(v.order, "other")
+		v.byName["other"] = NewCounter()
+	}
+	return v
+}
+
+// With returns the counter for one label value (the "other" counter
+// for undeclared values). No allocation, no lock.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.byName[value]; ok {
+		return c
+	}
+	return v.byName["other"]
+}
+
+// Value reads one label's count (0 for undeclared labels that were
+// never counted into "other").
+func (v *CounterVec) Value(value string) int64 { return v.With(value).Value() }
+
+// HistogramVec is a fixed-label-set family of histograms (e.g. the
+// pipeline stages).
+type HistogramVec struct {
+	label  string
+	order  []string
+	byName map[string]*Histogram
+}
+
+// NewHistogramVec builds a histogram per label value.
+func NewHistogramVec(label string, values ...string) *HistogramVec {
+	v := &HistogramVec{label: label, byName: make(map[string]*Histogram, len(values))}
+	for _, name := range values {
+		if _, dup := v.byName[name]; dup {
+			continue
+		}
+		v.order = append(v.order, name)
+		v.byName[name] = NewHistogram()
+	}
+	return v
+}
+
+// With returns the histogram for one declared label value; it panics
+// on undeclared values (histogram label sets are static by design).
+func (v *HistogramVec) With(value string) *Histogram {
+	h, ok := v.byName[value]
+	if !ok {
+		panic(fmt.Sprintf("obs: histogram label %s=%q was not declared", v.label, value))
+	}
+	return h
+}
+
+// metricName is the Prometheus metric/label name grammar.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// family is one registered metric family, renderable to exposition
+// text.
+type family struct {
+	name, help, typ string
+	render          func(w *bufio.Writer, name string)
+}
+
+// Registry holds registered metric families and renders them in
+// Prometheus text exposition format (version 0.0.4). Registration is
+// startup-time and mutex-guarded; rendering takes a snapshot of each
+// atomic instrument as it writes.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	seen map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{seen: make(map[string]bool)} }
+
+func (r *Registry) add(name, help, typ string, render func(*bufio.Writer, string)) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.seen[name] = true
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, render: render})
+}
+
+// RegisterCounter exposes c as a counter family.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.add(name, help, "counter", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	})
+}
+
+// RegisterGauge exposes g as a gauge family.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.add(name, help, "gauge", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %d\n", name, g.Value())
+	})
+}
+
+// RegisterGaugeFunc exposes f's return value as a gauge family —
+// uptime, boolean state flags, derived occupancy. f must be safe to
+// call from any goroutine.
+func (r *Registry) RegisterGaugeFunc(name, help string, f func() float64) {
+	r.add(name, help, "gauge", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %g\n", name, f())
+	})
+}
+
+// RegisterCounterFunc exposes f's return value as a counter family,
+// for monotone tallies owned by another subsystem (e.g. a cache's hit
+// counters). f must be monotonically nondecreasing and safe to call
+// from any goroutine.
+func (r *Registry) RegisterCounterFunc(name, help string, f func() int64) {
+	r.add(name, help, "counter", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s %d\n", name, f())
+	})
+}
+
+// RegisterCounterVec exposes every declared label value of v (plus its
+// catch-all) as one counter family.
+func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
+	if !metricName.MatchString(v.label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", v.label))
+	}
+	r.add(name, help, "counter", func(w *bufio.Writer, name string) {
+		for _, lv := range v.order {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, lv, v.byName[lv].Value())
+		}
+	})
+}
+
+// RegisterHistogram exposes h as a histogram family: cumulative
+// _bucket{le=...} lines (empty buckets elided — the le set is still a
+// valid sample of the cumulative distribution), _sum and _count.
+// Durations are in microseconds; name the metric *_us so readers know.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.add(name, help, "histogram", func(w *bufio.Writer, name string) {
+		renderHistogram(w, name, "", "", h.Snapshot())
+	})
+}
+
+// RegisterHistogramVec exposes every declared label value of v as one
+// histogram family.
+func (r *Registry) RegisterHistogramVec(name, help string, v *HistogramVec) {
+	if !metricName.MatchString(v.label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", v.label))
+	}
+	r.add(name, help, "histogram", func(w *bufio.Writer, name string) {
+		for _, lv := range v.order {
+			renderHistogram(w, name, v.label, lv, v.byName[lv].Snapshot())
+		}
+	})
+}
+
+func renderHistogram(w *bufio.Writer, name, label, labelValue string, s HistSnapshot) {
+	sep := func(le string) string { // label block for one bucket line
+		if label == "" {
+			return fmt.Sprintf(`{le=%q}`, le)
+		}
+		return fmt.Sprintf(`{%s=%q,le=%q}`, label, labelValue, le)
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := BucketBounds(i)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(fmt.Sprintf("%d", hi)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep("+Inf"), s.Count)
+	if label == "" {
+		fmt.Fprintf(w, "%s_sum %d\n", name, s.SumUs)
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", name, label, labelValue, s.SumUs)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, labelValue, s.Count)
+	}
+}
+
+// WriteText renders every registered family in Prometheus text
+// exposition format, in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.render(bw, f.name)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at GET /metrics in text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Names returns the registered family names, sorted — rendering order
+// is registration order, but listings read better sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for _, f := range r.fams {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing. Every request gets a Trace — its ID taken from the
+// client's X-Request-Id or generated — that accumulates per-stage
+// Spans as it moves through the pipeline. Completed traces are
+// published into a fixed-size lock-free Ring of recent requests,
+// served at GET /debug/traces, so "why was THAT request slow" has an
+// answer without attaching a profiler: the trace shows which stage ate
+// the time, how big the batch it rode in was, whether it hit the
+// cache, and how it ended.
+//
+// Ownership contract: a Trace is mutated by one goroutine at a time
+// (hand-offs must synchronize, e.g. via a channel), and after Publish
+// it is immutable — the ring shares it with concurrent readers.
+
+// The span stage names the serving path records, in pipeline order.
+// DESIGN.md's "Observability" section maps them to the architecture
+// (admission → batch → shard → rescore → rank → cache).
+const (
+	StageAdmission = "admission" // weighted admission gate wait
+	StageCache     = "cache"     // result-cache lookup (hit fast path)
+	StageWait      = "wait"      // single-flight follower waiting on a leader
+	StageQueue     = "queue"     // enqueue → micro-batch start
+	StageSeed      = "seed"      // index candidate generation (batch-level)
+	StageScan      = "scan"      // kernel scoring pass (batch-level)
+	StageRank      = "rank"      // top-K ranking
+	StageRespond   = "respond"   // response encode + write
+	StageDecode    = "decode"    // stream: NDJSON line decode + validate
+	StageSearch    = "search"    // stream: waiter's full search call
+	StageWrite     = "write"     // stream: writer hand-off → line on the wire
+)
+
+// OutcomeOK is the Outcome of a request that was answered with hits.
+// Every other outcome is the sentinel error code the request failed
+// with (deadline_exceeded, overloaded, draining, ...).
+const OutcomeOK = "ok"
+
+// MaxSpans bounds a trace's span storage; the serving path records at
+// most 8 stages, so 12 leaves headroom without growing the struct.
+const MaxSpans = 12
+
+// Span is one recorded stage: where it started relative to the trace
+// start, and how long it ran.
+type Span struct {
+	Stage   string `json:"stage"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+}
+
+// Trace is one request's record. Exported fields are set by the
+// serving path as facts become known; Spans accumulate via the Span*
+// methods.
+type Trace struct {
+	ID        string
+	Start     time.Time
+	TotalUs   int64
+	Outcome   string
+	Path      string // "search", "stream", "stream_line"
+	Kernel    string
+	QueryLen  int
+	BatchSize int  // jobs in the micro-batch that scored this request
+	CacheHit  bool // served from LRU or coalesced onto another flight
+	Exhausted bool // exhaustive scan (vs indexed seed-and-extend)
+	Degraded  bool // server had stopped trusting its index
+	nspans    int
+	spans     [MaxSpans]Span
+}
+
+// StartTrace begins a trace now. An empty id generates one.
+func StartTrace(id string) *Trace {
+	if id == "" {
+		id = NewID()
+	}
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+// SpanSince records stage as running from start until now.
+func (t *Trace) SpanSince(stage string, start time.Time) {
+	t.SpanAt(stage, start, time.Since(start))
+}
+
+// SpanAt records stage as running for d from start. Spans past
+// MaxSpans are dropped (the fixed array is the point: no allocation,
+// no unbounded growth).
+func (t *Trace) SpanAt(stage string, start time.Time, d time.Duration) {
+	if t == nil || t.nspans >= MaxSpans {
+		return
+	}
+	off := start.Sub(t.Start).Microseconds()
+	if off < 0 {
+		off = 0
+	}
+	t.spans[t.nspans] = Span{Stage: stage, StartUs: off, DurUs: d.Microseconds()}
+	t.nspans++
+}
+
+// Spans returns the recorded spans, in recording order.
+func (t *Trace) Spans() []Span { return t.spans[:t.nspans] }
+
+// Finish stamps the outcome and total duration. Call exactly once,
+// immediately before Publish.
+func (t *Trace) Finish(outcome string) {
+	t.Outcome = outcome
+	t.TotalUs = time.Since(t.Start).Microseconds()
+}
+
+// traceJSON is the wire form of a published trace.
+type traceJSON struct {
+	ID        string `json:"id"`
+	Start     string `json:"start"`
+	TotalUs   int64  `json:"total_us"`
+	Outcome   string `json:"outcome"`
+	Path      string `json:"path,omitempty"`
+	Kernel    string `json:"kernel,omitempty"`
+	QueryLen  int    `json:"query_len,omitempty"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Exhausted bool   `json:"exhaustive,omitempty"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Spans     []Span `json:"spans"`
+}
+
+// MarshalJSON renders the trace with its spans as a slice.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{
+		ID:        t.ID,
+		Start:     t.Start.UTC().Format(time.RFC3339Nano),
+		TotalUs:   t.TotalUs,
+		Outcome:   t.Outcome,
+		Path:      t.Path,
+		Kernel:    t.Kernel,
+		QueryLen:  t.QueryLen,
+		BatchSize: t.BatchSize,
+		CacheHit:  t.CacheHit,
+		Exhausted: t.Exhausted,
+		Degraded:  t.Degraded,
+		Spans:     t.spans[:t.nspans],
+	})
+}
+
+// UnmarshalJSON round-trips the wire form MarshalJSON emits, so
+// tooling (and the e2e tests) can decode /debug/traces back into
+// Traces. Spans past MaxSpans are dropped, mirroring SpanAt.
+func (t *Trace) UnmarshalJSON(b []byte) error {
+	var w traceJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	start, err := time.Parse(time.RFC3339Nano, w.Start)
+	if err != nil {
+		return fmt.Errorf("obs: trace %s start %q: %w", w.ID, w.Start, err)
+	}
+	*t = Trace{
+		ID:        w.ID,
+		Start:     start,
+		TotalUs:   w.TotalUs,
+		Outcome:   w.Outcome,
+		Path:      w.Path,
+		Kernel:    w.Kernel,
+		QueryLen:  w.QueryLen,
+		BatchSize: w.BatchSize,
+		CacheHit:  w.CacheHit,
+		Exhausted: w.Exhausted,
+		Degraded:  w.Degraded,
+	}
+	for _, sp := range w.Spans {
+		if t.nspans == MaxSpans {
+			break
+		}
+		t.spans[t.nspans] = sp
+		t.nspans++
+	}
+	return nil
+}
+
+// Ring is the fixed-size lock-free store of recent traces. Publish is
+// an atomic counter bump plus one pointer store; readers load pointers
+// to immutable traces — no locks on either side, and a publisher can
+// never be blocked by a slow /debug/traces reader.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	head  atomic.Uint64
+}
+
+// DefaultRingSize holds the most recent 512 traces — minutes of
+// context at interactive rates, a rolling sample under load.
+const DefaultRingSize = 512
+
+// NewRing returns a ring keeping the last n traces (n < 1 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = DefaultRingSize
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Publish stores a finished trace, evicting the oldest. The trace
+// must not be mutated afterwards.
+func (r *Ring) Publish(t *Trace) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// TraceFilter selects traces out of a ring snapshot. The zero value
+// matches everything.
+type TraceFilter struct {
+	MinUs    int64  // keep traces with TotalUs >= MinUs
+	Outcome  string // keep traces with exactly this Outcome
+	IDPrefix string // keep traces whose ID starts with this
+	Limit    int    // keep at most this many (0: all)
+}
+
+// Snapshot returns matching traces, newest first.
+func (r *Ring) Snapshot(f TraceFilter) []*Trace {
+	n := len(r.slots)
+	head := r.head.Load()
+	out := make([]*Trace, 0, min(n, 64))
+	for k := 0; k < n; k++ {
+		// Walk backwards from the most recently claimed slot.
+		i := (head + uint64(n) - 1 - uint64(k)) % uint64(n)
+		t := r.slots[i].Load()
+		if t == nil {
+			continue
+		}
+		if t.TotalUs < f.MinUs {
+			continue
+		}
+		if f.Outcome != "" && t.Outcome != f.Outcome {
+			continue
+		}
+		if f.IDPrefix != "" && !strings.HasPrefix(t.ID, f.IDPrefix) {
+			continue
+		}
+		out = append(out, t)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// ServeHTTP serves GET /debug/traces: a JSON object with the matching
+// traces newest-first. Query parameters: min_us (minimum total
+// latency), outcome (exact match on "ok" or a sentinel code), id
+// (trace-ID prefix), limit (max traces, default 128).
+func (r *Ring) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	q := req.URL.Query()
+	f := TraceFilter{Outcome: q.Get("outcome"), IDPrefix: q.Get("id"), Limit: 128}
+	if v := q.Get("min_us"); v != "" {
+		us, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || us < 0 {
+			http.Error(w, fmt.Sprintf("bad min_us %q", v), http.StatusBadRequest)
+			return
+		}
+		f.MinUs = us
+	}
+	if v := q.Get("limit"); v != "" {
+		lim, err := strconv.Atoi(v)
+		if err != nil || lim < 1 {
+			http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+			return
+		}
+		f.Limit = lim
+	}
+	traces := r.Snapshot(f)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"count":  len(traces),
+		"traces": traces,
+	})
+}
+
+// Trace-ID generation: a per-process random prefix (so IDs from
+// different server instances cannot collide in aggregated logs) plus
+// an atomic sequence number.
+var (
+	idPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is a broken platform; a fixed prefix
+			// still yields process-unique IDs via the counter.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	idSeq atomic.Uint64
+)
+
+// NewID returns a process-unique request ID: 8 hex chars of process
+// identity, a dash, and a hex sequence number.
+func NewID() string {
+	return idPrefix + "-" + strconv.FormatUint(idSeq.Add(1), 16)
+}

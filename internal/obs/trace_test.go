@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func finished(id, outcome string, totalUs int64) *Trace {
+	t := StartTrace(id)
+	t.Outcome = outcome
+	t.TotalUs = totalUs
+	return t
+}
+
+func TestRingNewestFirstAndEviction(t *testing.T) {
+	r := NewRing(4)
+	for i, id := range []string{"a", "b", "c", "d", "e", "f"} {
+		r.Publish(finished(id, OutcomeOK, int64(i)))
+	}
+	got := r.Snapshot(TraceFilter{})
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d traces, want 4 (ring size)", len(got))
+	}
+	for i, want := range []string{"f", "e", "d", "c"} {
+		if got[i].ID != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (newest first)", i, got[i].ID, want)
+		}
+	}
+}
+
+func TestRingFilters(t *testing.T) {
+	r := NewRing(16)
+	r.Publish(finished("fast-1", OutcomeOK, 50))
+	r.Publish(finished("slow-1", OutcomeOK, 5000))
+	r.Publish(finished("err-1", "deadline_exceeded", 9000))
+
+	if got := r.Snapshot(TraceFilter{MinUs: 1000}); len(got) != 2 {
+		t.Fatalf("min_us=1000 matched %d, want 2", len(got))
+	}
+	if got := r.Snapshot(TraceFilter{Outcome: "deadline_exceeded"}); len(got) != 1 || got[0].ID != "err-1" {
+		t.Fatalf("outcome filter got %v", got)
+	}
+	if got := r.Snapshot(TraceFilter{IDPrefix: "fast"}); len(got) != 1 || got[0].ID != "fast-1" {
+		t.Fatalf("id prefix filter got %v", got)
+	}
+	if got := r.Snapshot(TraceFilter{Limit: 1}); len(got) != 1 || got[0].ID != "err-1" {
+		t.Fatalf("limit filter got %v", got)
+	}
+}
+
+func TestRingConcurrentPublishSnapshot(t *testing.T) {
+	// Publishers and readers race freely; the race detector is the
+	// assertion (CI runs this package under -race), plus: every trace a
+	// snapshot returns must be fully formed.
+	r := NewRing(32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := StartTrace("")
+				tr.SpanAt(StageScan, tr.Start, time.Microsecond)
+				tr.Finish(OutcomeOK)
+				r.Publish(tr)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		for _, tr := range r.Snapshot(TraceFilter{}) {
+			if tr.ID == "" || tr.Outcome != OutcomeOK {
+				t.Errorf("snapshot returned half-built trace %+v", tr)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTraceSpansAndJSON(t *testing.T) {
+	tr := StartTrace("req-42")
+	tr.Path = "search"
+	tr.Kernel = "swar"
+	tr.BatchSize = 3
+	tr.CacheHit = false
+	tr.SpanAt(StageAdmission, tr.Start, 5*time.Microsecond)
+	tr.SpanAt(StageScan, tr.Start.Add(5*time.Microsecond), 90*time.Microsecond)
+	tr.Finish(OutcomeOK)
+
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var wire struct {
+		ID      string `json:"id"`
+		Outcome string `json:"outcome"`
+		Kernel  string `json:"kernel"`
+		Spans   []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if wire.ID != "req-42" || wire.Outcome != OutcomeOK || wire.Kernel != "swar" {
+		t.Fatalf("wire = %+v", wire)
+	}
+	if len(wire.Spans) != 2 || wire.Spans[0].Stage != StageAdmission || wire.Spans[1].Stage != StageScan {
+		t.Fatalf("spans = %+v", wire.Spans)
+	}
+	if wire.Spans[1].StartUs != 5 || wire.Spans[1].DurUs != 90 {
+		t.Fatalf("scan span = %+v", wire.Spans[1])
+	}
+}
+
+func TestTraceSpanOverflowDropped(t *testing.T) {
+	tr := StartTrace("x")
+	for i := 0; i < MaxSpans+5; i++ {
+		tr.SpanAt(StageScan, tr.Start, time.Microsecond)
+	}
+	if got := len(tr.Spans()); got != MaxSpans {
+		t.Fatalf("spans = %d, want capped at %d", got, MaxSpans)
+	}
+}
+
+func TestNilTraceSpanIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.SpanAt(StageScan, time.Now(), time.Microsecond) // must not panic
+}
+
+func TestDebugTracesHandler(t *testing.T) {
+	r := NewRing(8)
+	r.Publish(finished("aa-1", OutcomeOK, 100))
+	r.Publish(finished("bb-2", "overloaded", 90000))
+
+	for _, tc := range []struct {
+		url     string
+		wantIDs []string
+	}{
+		{"/debug/traces", []string{"bb-2", "aa-1"}},
+		{"/debug/traces?min_us=1000", []string{"bb-2"}},
+		{"/debug/traces?outcome=ok", []string{"aa-1"}},
+		{"/debug/traces?id=aa", []string{"aa-1"}},
+		{"/debug/traces?limit=1", []string{"bb-2"}},
+	} {
+		rec := httptest.NewRecorder()
+		r.ServeHTTP(rec, httptest.NewRequest("GET", tc.url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", tc.url, rec.Code)
+		}
+		var body struct {
+			Count  int `json:"count"`
+			Traces []struct {
+				ID string `json:"id"`
+			} `json:"traces"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: bad JSON: %v", tc.url, err)
+		}
+		if body.Count != len(tc.wantIDs) {
+			t.Fatalf("%s: count %d, want %d", tc.url, body.Count, len(tc.wantIDs))
+		}
+		for i, want := range tc.wantIDs {
+			if body.Traces[i].ID != want {
+				t.Fatalf("%s: trace[%d] = %q, want %q", tc.url, i, body.Traces[i].ID, want)
+			}
+		}
+	}
+
+	// Bad parameters are 400s, and POST is rejected.
+	for _, url := range []string{"/debug/traces?min_us=abc", "/debug/traces?limit=0"} {
+		rec := httptest.NewRecorder()
+		r.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 400 {
+			t.Fatalf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST: status %d, want 405", rec.Code)
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		if !strings.Contains(id, "-") {
+			t.Fatalf("id %q missing prefix separator", id)
+		}
+		seen[id] = true
+	}
+}

@@ -105,14 +105,20 @@ type StreamResult struct {
 	Lines    int64  `json:"lines,omitempty"`   // terminal: request lines decoded
 	Results  int64  `json:"results,omitempty"` // terminal: result lines written
 	Errors   int64  `json:"errors,omitempty"`  // terminal: error lines written
+	// RequestID appears on error lines only: the line's trace ID
+	// (connection trace ID + "#" + line number), the handle for
+	// /debug/traces. Result lines stay free of it so a streamed answer
+	// is byte-comparable to the equivalent single POST.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // streamErrLine is the wire form of a per-line error: the sentinel
 // and detail alone, none of the zeroed search fields.
 type streamErrLine struct {
-	ID     string `json:"id,omitempty"`
-	Error  string `json:"error"`
-	Detail string `json:"detail,omitempty"`
+	ID        string `json:"id,omitempty"`
+	Error     string `json:"error"`
+	Detail    string `json:"detail,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // streamEndLine is the wire form of the terminal line.
@@ -156,6 +162,10 @@ type SearchResponse struct {
 type ErrorResponse struct {
 	Error  string `json:"error"`
 	Detail string `json:"detail"`
+	// RequestID is the request's trace ID (also echoed in the
+	// X-Request-Id response header): the handle for looking the failure
+	// up in /debug/traces and the server's structured logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // The sentinel error codes of ErrorResponse.Error, in the spirit of

@@ -64,6 +64,20 @@ type job struct {
 	state    atomic.Uint32
 	enqueued time.Time
 	done     chan struct{}
+
+	// Pipeline timing facts for the request trace: plain fields written
+	// by the dispatcher before completeJob and read by the handler only
+	// after <-j.done (the done channel is the happens-before edge; an
+	// abandoned job is never read by its handler). They deliberately
+	// live on the job, not on a shared trace object — the trace stays
+	// single-owner.
+	batchStart time.Time     // when the batch holding this job began executing
+	scanStart  time.Time     // when the batch's scan phase began
+	rankStart  time.Time     // when the batch's rank loop began
+	seedDur    time.Duration // candidate-generation phase duration (0: none ran)
+	scanDur    time.Duration // scan phase duration (0: none ran)
+	rankDur    time.Duration // rank start -> this job completed
+	batchSize  int           // live jobs in the batch that scored this one
 }
 
 // ctxErr is the job's cancellation checkpoint; nil contexts (batches
@@ -96,6 +110,13 @@ func (j *job) reset() {
 	j.seedErr = false
 	j.coalesce = false
 	j.state.Store(jobPending)
+	j.batchStart = time.Time{}
+	j.scanStart = time.Time{}
+	j.rankStart = time.Time{}
+	j.seedDur = 0
+	j.scanDur = 0
+	j.rankDur = 0
+	j.batchSize = 0
 }
 
 // jobPool recycles jobs and their score/candidate buffers so a loaded
@@ -480,7 +501,8 @@ func (s *Server) runBatch(batch []*job) {
 	s.metrics.batches.Add(1)
 	s.metrics.batchJobs.Add(int64(len(batch)))
 	for _, j := range batch {
-		s.metrics.queueH.observe(start.Sub(j.enqueued))
+		s.metrics.queueH.Observe(start.Sub(j.enqueued))
+		j.batchStart = start
 	}
 
 	// Abandon jobs whose request died in the queue — a disconnected
@@ -500,6 +522,9 @@ func (s *Server) runBatch(batch []*job) {
 	if len(batch) == 0 {
 		return
 	}
+	for _, j := range batch {
+		j.batchSize = live
+	}
 
 	var seedJobs, exJobs []*job
 	for _, j := range batch {
@@ -517,7 +542,11 @@ func (s *Server) runBatch(batch []*job) {
 			s.failBatch(batch, errInternal)
 			return
 		}
-		s.metrics.seedH.observe(time.Since(start))
+		seedD := time.Since(start)
+		s.metrics.seedH.Observe(seedD)
+		for _, j := range seedJobs {
+			j.seedDur = seedD
+		}
 	}
 	// Seed failures — or a server that was (or just went) degraded —
 	// convert indexed jobs to exhaustive: the scan costs more, but the
@@ -566,10 +595,16 @@ func (s *Server) runBatch(batch []*job) {
 			return
 		}
 	}
-	s.metrics.scanH.observe(time.Since(scanStart))
+	scanD := time.Since(scanStart)
+	s.metrics.scanH.Observe(scanD)
+	for _, j := range batch {
+		j.scanStart = scanStart
+		j.scanDur = scanD
+	}
 
 	rankStart := time.Now()
 	for _, j := range batch {
+		j.rankStart = rankStart
 		switch {
 		case j.failed.Load():
 			j.err = errInternal
@@ -583,9 +618,10 @@ func (s *Server) runBatch(batch []*job) {
 		default:
 			j.hits = align.RankHits(s.db.Seqs, j.cand, j.scores[:len(j.cand)], j.norm.minScore, j.norm.topK)
 		}
+		j.rankDur = time.Since(rankStart)
 		s.completeJob(j)
 	}
-	s.metrics.rankH.observe(time.Since(rankStart))
+	s.metrics.rankH.Observe(time.Since(rankStart))
 }
 
 // failBatch completes every job in a poisoned batch with err.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/faults"
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with the paper's
@@ -70,6 +72,15 @@ type Config struct {
 	// Logf receives operational log lines (degrade events, isolated
 	// panics); nil means log.Printf.
 	Logf func(format string, args ...any)
+	// TraceRing bounds the /debug/traces ring of recent request traces;
+	// 0 means obs.DefaultRingSize. Tracing is always on — the ring is
+	// lock-free and publishing a trace is one pointer store.
+	TraceRing int
+	// AccessLog, when non-nil, receives one structured line per
+	// finished request (and per stream line) carrying the trace ID,
+	// outcome, and latency. Nil — the default — logs nothing: at bulk
+	// rates a per-request log line would cost more than the search.
+	AccessLog *slog.Logger
 }
 
 // The documented Config defaults.
@@ -98,9 +109,10 @@ type Server struct {
 	// distributed at pool start; nil when ix is nil.
 	searchers []*index.Searcher
 
-	cache   *resultCache
-	metrics metrics
-	mux     *http.ServeMux
+	cache     *resultCache
+	metrics   metrics
+	accessLog *slog.Logger
+	mux       *http.ServeMux
 
 	admit    admission   // weighted admission gate in front of queue
 	draining atomic.Bool // BeginDrain flipped; new work is refused
@@ -178,7 +190,8 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	}
 	s.admit.capacity = int64(cfg.QueueDepth)
 	s.admit.notify = make(chan struct{}, 1)
-	s.metrics.start = time.Now()
+	s.accessLog = cfg.AccessLog
+	s.initMetrics(cfg.TraceRing)
 
 	if ix != nil {
 		if err := ix.Validate(db); err != nil {
@@ -200,6 +213,8 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/search/stream", s.handleStream)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.Handle("/metrics", s.metrics.reg.Handler())
+	s.mux.Handle("/debug/traces", s.metrics.ring)
 
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{scr: align.NewScratch()}
@@ -254,37 +269,47 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	// Every request gets a trace: the client's X-Request-Id or a
+	// generated one, echoed back in the response header so the caller
+	// can find its request in /debug/traces and the server's logs.
+	tr := obs.StartTrace(r.Header.Get("X-Request-Id"))
+	tr.Path = "search"
+	w.Header().Set("X-Request-Id", tr.ID)
 	if s.draining.Load() {
-		s.writeError(w, errDraining)
+		s.failRequest(w, tr, errDraining)
 		return
 	}
 	if r.Method != http.MethodPost {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
+		s.failRequest(w, tr, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
 			detail: "use POST with a JSON body"})
 		return
 	}
 	var req SearchRequest
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
-		s.writeError(w, badRequest(ErrBadRequest, "reading body: %v", err))
+		s.failRequest(w, tr, badRequest(ErrBadRequest, "reading body: %v", err))
 		return
 	}
 	if len(body) > maxBodyBytes {
-		s.writeError(w, badRequest(ErrBadRequest, "body exceeds %d bytes", maxBodyBytes))
+		s.failRequest(w, tr, badRequest(ErrBadRequest, "body exceeds %d bytes", maxBodyBytes))
 		return
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
-		s.writeError(w, badRequest(ErrBadRequest, "decoding JSON: %v", err))
+		s.failRequest(w, tr, badRequest(ErrBadRequest, "decoding JSON: %v", err))
 		return
 	}
 	norm, aerr := s.validate(&req)
 	if aerr != nil {
-		s.writeError(w, aerr)
+		s.failRequest(w, tr, aerr)
 		return
 	}
+	tr.Kernel = norm.kernel.String()
+	tr.QueryLen = len(norm.residues)
+	tr.Exhausted = norm.exhaustive
 
 	start := time.Now()
 	s.metrics.requests.Add(1)
+	s.metrics.kernelRequests.With(tr.Kernel).Add(1)
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
@@ -304,14 +329,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		faults.Sleep(ctx, d)
 	}
 
-	hits, cached, aerr := s.search(ctx, norm, start, false)
+	hits, cached, aerr := s.search(ctx, norm, start, false, tr)
 	if aerr != nil {
 		if aerr.code == ErrDeadline {
 			s.metrics.timeouts.Add(1)
 		}
-		s.writeError(w, aerr)
+		s.failRequest(w, tr, aerr)
 		return
 	}
+	tr.CacheHit = cached
 	resp := SearchResponse{
 		QueryLen:   len(norm.residues),
 		Kernel:     norm.kernel.String(),
@@ -321,7 +347,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Hits:       hits,
 		TookUs:     time.Since(start).Microseconds(),
 	}
+	respondStart := time.Now()
 	s.writeJSON(w, http.StatusOK, &resp)
+	tr.SpanSince(obs.StageRespond, respondStart)
+	s.finishTrace(tr, obs.OutcomeOK)
 }
 
 // search serves one validated request through the cache, the
@@ -342,16 +371,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // (a full gate sheds with 429/overloaded), true is the streaming one
 // (a full gate blocks the caller — pausing that stream's read loop —
 // until capacity frees or ctx dies).
-func (s *Server) search(ctx context.Context, norm normalized, start time.Time, wait bool) ([]Hit, bool, *apiError) {
+func (s *Server) search(ctx context.Context, norm normalized, start time.Time, wait bool, tr *obs.Trace) ([]Hit, bool, *apiError) {
 	key := norm.cacheKey()
 	for {
+		lookupStart := time.Now()
 		cachedHits, f, leader := s.cache.begin(key)
 		if f == nil { // LRU hit
-			s.metrics.totalH.observe(time.Since(start))
+			tr.SpanSince(obs.StageCache, lookupStart)
+			s.metrics.totalH.Observe(time.Since(start))
 			return cachedHits, true, nil
 		}
 		if leader {
-			return s.lead(ctx, key, f, norm, start, wait)
+			return s.lead(ctx, key, f, norm, start, wait, tr)
 		}
 		select {
 		case <-f.done:
@@ -359,7 +390,8 @@ func (s *Server) search(ctx context.Context, norm normalized, start time.Time, w
 			return nil, false, ctxError(ctx)
 		}
 		if f.err == nil {
-			s.metrics.totalH.observe(time.Since(start))
+			tr.SpanSince(obs.StageWait, lookupStart)
+			s.metrics.totalH.Observe(time.Since(start))
 			return f.hits, true, nil
 		}
 		if f.err != errDeadline && f.err != errClientGone {
@@ -372,13 +404,14 @@ func (s *Server) search(ctx context.Context, norm normalized, start time.Time, w
 // resolves the flight exactly once — finish on success, abort on any
 // failure — so followers never wait forever, and every exit settles
 // the job ownership CAS so the job is recycled by exactly one side.
-func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normalized, start time.Time, wait bool) ([]Hit, bool, *apiError) {
+func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normalized, start time.Time, wait bool, tr *obs.Trace) ([]Hit, bool, *apiError) {
 	if s.draining.Load() { // re-check: drain may have flipped since the handler's gate
 		s.cache.abort(key, f, errDraining)
 		return nil, false, errDraining
 	}
 	j := getJob()
 	j.cost = jobCost(norm)
+	admitStart := time.Now()
 	if wait {
 		// Streaming backpressure: park at the gate rather than shed —
 		// this pauses exactly one connection's read loop.
@@ -396,6 +429,7 @@ func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normali
 		s.cache.abort(key, f, errOverloaded)
 		return nil, false, errOverloaded
 	}
+	tr.SpanSince(obs.StageAdmission, admitStart)
 	j.pq = align.PrepareQuery(s.cfg.Params, norm.residues, norm.kernel)
 	j.norm = norm
 	j.coalesce = norm.coalesce
@@ -416,6 +450,12 @@ func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normali
 		<-j.done // lost the race: the result is ready, take it
 	}
 
+	// The job's pipeline timing fields are safe to read from here: the
+	// dispatcher wrote them before completing the job, and <-j.done is
+	// the happens-before edge. (An abandoned job never reaches this
+	// point, so the trace and the pipeline never share a live job.)
+	copyPipelineSpans(tr, j)
+
 	if err := j.err; err != nil {
 		s.recycleJob(j)
 		s.cache.abort(key, f, err)
@@ -424,8 +464,31 @@ func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normali
 	hits := wireHits(j.hits)
 	s.recycleJob(j)
 	s.cache.finish(key, f, hits)
-	s.metrics.totalH.observe(time.Since(start))
+	s.metrics.totalH.Observe(time.Since(start))
 	return hits, false, nil
+}
+
+// copyPipelineSpans lifts the pipeline timing facts the dispatcher
+// recorded on the job into the request's trace. Must run after
+// <-j.done and before the job is recycled (reset scrubs the fields).
+func copyPipelineSpans(tr *obs.Trace, j *job) {
+	if tr == nil {
+		return
+	}
+	tr.BatchSize = j.batchSize
+	if j.batchStart.IsZero() {
+		return // failed fast (drain) before the batch ran
+	}
+	tr.SpanAt(obs.StageQueue, j.enqueued, j.batchStart.Sub(j.enqueued))
+	if j.seedDur > 0 {
+		tr.SpanAt(obs.StageSeed, j.batchStart, j.seedDur)
+	}
+	if j.scanDur > 0 {
+		tr.SpanAt(obs.StageScan, j.scanStart, j.scanDur)
+	}
+	if j.rankDur > 0 {
+		tr.SpanAt(obs.StageRank, j.rankStart, j.rankDur)
+	}
 }
 
 // Stats returns a point-in-time snapshot of the server's operational
@@ -466,3 +529,45 @@ func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	}
 	s.writeJSON(w, e.status, &ErrorResponse{Error: e.code, Detail: e.detail})
 }
+
+// failRequest writes an error response carrying the request's trace ID
+// and publishes the trace with the sentinel code as its outcome — so a
+// client holding a request_id can look its failure up in
+// /debug/traces.
+func (s *Server) failRequest(w http.ResponseWriter, tr *obs.Trace, e *apiError) {
+	s.metrics.errored.Add(1)
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	s.writeJSON(w, e.status, &ErrorResponse{Error: e.code, Detail: e.detail, RequestID: tr.ID})
+	s.finishTrace(tr, e.code)
+}
+
+// finishTrace stamps the trace's outcome and degraded flag, publishes
+// it to the ring (after which it is immutable), and emits the
+// structured access-log line when one is configured.
+func (s *Server) finishTrace(tr *obs.Trace, outcome string) {
+	tr.Degraded = s.degraded.Load()
+	tr.Finish(outcome)
+	s.metrics.ring.Publish(tr)
+	if s.accessLog != nil {
+		s.accessLog.Info("request",
+			"id", tr.ID,
+			"path", tr.Path,
+			"outcome", outcome,
+			"total_us", tr.TotalUs,
+			"kernel", tr.Kernel,
+			"query_len", tr.QueryLen,
+			"cached", tr.CacheHit,
+			"batch", tr.BatchSize)
+	}
+}
+
+// MetricsRegistry returns the server's metric registry — the same
+// instruments GET /metrics renders; cmd/seqserve mounts it on the
+// debug listener as well.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics.reg }
+
+// TraceRing returns the ring of recent request traces behind
+// GET /debug/traces.
+func (s *Server) TraceRing() *obs.Ring { return s.metrics.ring }

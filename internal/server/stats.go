@@ -1,116 +1,172 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
+
+	"repro/internal/align"
+	"repro/internal/obs"
 )
 
-// histogram is a lock-free latency histogram with power-of-two
-// microsecond buckets: bucket i counts observations in
-// [2^i, 2^(i+1)) microseconds (bucket 0 also takes sub-microsecond
-// observations). 26 buckets reach ~67 seconds, past any latency this
-// service can produce before a client gives up.
-const histBuckets = 26
+// The server's operational state lives in ONE place: an internal/obs
+// registry. GET /metrics renders it as Prometheus text exposition and
+// GET /statsz summarizes the same instruments as JSON, so the two
+// views cannot disagree — /statsz is a projection of /metrics, not a
+// parallel set of counters. Latency histograms are obs.Histogram
+// (log-linear, 4 sub-buckets per power of two), which makes the
+// reported p50/p95/p99 tight to <=25% instead of the 2x a pure
+// power-of-two layout allowed.
 
-type histogram struct {
-	buckets [histBuckets]atomic.Int64
-	sumUs   atomic.Int64
+// metrics is the server's instrument set. Everything on the hot path
+// is a pre-registered atomic instrument — counting a request allocates
+// nothing. The trace ring rides along: it is the per-request
+// counterpart of the aggregate counters.
+type metrics struct {
+	start time.Time
+	reg   *obs.Registry
+	ring  *obs.Ring
+
+	requests *obs.Counter // /search requests admitted past validation
+	errored  *obs.Counter // requests rejected with an error response
+	inFlight *obs.Gauge   // /search requests currently being served
+	// kernelRequests tallies admitted requests by resolved kernel; the
+	// label set is align.KernelNames() plus the registry's catch-all.
+	kernelRequests *obs.CounterVec
+	batches        *obs.Counter // batches executed
+	batchJobs      *obs.Counter // jobs summed over executed batches
+
+	// The resilience counters. Each is a distinct way the server chose
+	// to degrade a request instead of degrading itself.
+	shed      *obs.Counter // requests refused with 429 at admission
+	timeouts  *obs.Counter // requests that hit their deadline (408)
+	panics    *obs.Counter // scoring panics isolated to single requests
+	abandoned *obs.Counter // jobs whose client vanished before scoring
+
+	// The streaming bulk-query path (/search/stream).
+	streamsOpen    *obs.Gauge   // connections currently streaming
+	streamsTotal   *obs.Counter // connections accepted over the uptime
+	streamLines    *obs.Counter // request lines decoded (valid or not)
+	streamResults  *obs.Counter // result lines written
+	streamErrors   *obs.Counter // per-line error lines written
+	streamInFlight *obs.Gauge   // window slots held across all streams
+
+	stageH *obs.HistogramVec // per-stage pipeline latency
+	queueH *obs.Histogram    // admission -> batch start
+	seedH  *obs.Histogram    // candidate generation (per batch with indexed jobs)
+	scanH  *obs.Histogram    // kernel rescoring pass (per batch)
+	rankH  *obs.Histogram    // ranking + completion (per batch)
+	totalH *obs.Histogram    // request admission -> response ready (per request)
 }
 
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+// initMetrics builds the registry, instruments, and trace ring, and
+// registers the derived gauges that read live server state (admission
+// occupancy, cache counters, drain/degrade flags). Call once from New,
+// after the cache and admission gate exist.
+func (s *Server) initMetrics(ringSize int) {
+	m := &s.metrics
+	m.start = time.Now()
+	m.reg = obs.NewRegistry()
+	m.ring = obs.NewRing(ringSize)
+
+	m.requests = obs.NewCounter()
+	m.errored = obs.NewCounter()
+	m.inFlight = obs.NewGauge()
+	m.kernelRequests = obs.NewCounterVec("kernel", align.KernelNames()...)
+	m.batches = obs.NewCounter()
+	m.batchJobs = obs.NewCounter()
+	m.shed = obs.NewCounter()
+	m.timeouts = obs.NewCounter()
+	m.panics = obs.NewCounter()
+	m.abandoned = obs.NewCounter()
+	m.streamsOpen = obs.NewGauge()
+	m.streamsTotal = obs.NewCounter()
+	m.streamLines = obs.NewCounter()
+	m.streamResults = obs.NewCounter()
+	m.streamErrors = obs.NewCounter()
+	m.streamInFlight = obs.NewGauge()
+	m.stageH = obs.NewHistogramVec("stage", "queue", "seed", "scan", "rank")
+	m.queueH = m.stageH.With("queue")
+	m.seedH = m.stageH.With("seed")
+	m.scanH = m.stageH.With("scan")
+	m.rankH = m.stageH.With("rank")
+	m.totalH = obs.NewHistogram()
+
+	r := m.reg
+	r.RegisterGaugeFunc("seqserve_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	r.RegisterCounter("seqserve_requests_total", "Search requests admitted past validation (POST and stream lines).", m.requests)
+	r.RegisterCounter("seqserve_errors_total", "Requests answered with an error response.", m.errored)
+	r.RegisterGauge("seqserve_in_flight", "Search requests currently being served.", m.inFlight)
+	r.RegisterCounterVec("seqserve_kernel_requests_total", "Admitted requests by resolved scoring kernel.", m.kernelRequests)
+	r.RegisterHistogram("seqserve_request_latency_us", "End-to-end request latency in microseconds (admission to response ready).", m.totalH)
+	r.RegisterHistogramVec("seqserve_stage_latency_us", "Pipeline stage latency in microseconds.", m.stageH)
+	r.RegisterCounter("seqserve_batches_total", "Micro-batches executed.", m.batches)
+	r.RegisterCounter("seqserve_batch_jobs_total", "Jobs summed over executed micro-batches.", m.batchJobs)
+
+	r.RegisterCounter("seqserve_shed_total", "Requests refused with 429 at the admission gate.", m.shed)
+	r.RegisterCounter("seqserve_timeouts_total", "Requests that hit their deadline.", m.timeouts)
+	r.RegisterCounter("seqserve_panics_total", "Scoring panics isolated to single requests.", m.panics)
+	r.RegisterCounter("seqserve_abandoned_total", "Jobs abandoned because their client vanished or timed out before scoring.", m.abandoned)
+	r.RegisterGaugeFunc("seqserve_degraded", "1 when the server has stopped trusting its index (exhaustive scans only).",
+		func() float64 { return boolGauge(s.degraded.Load()) })
+	r.RegisterGaugeFunc("seqserve_draining", "1 when the server is draining for shutdown.",
+		func() float64 { return boolGauge(s.draining.Load()) })
+
+	r.RegisterGaugeFunc("seqserve_queue_depth_units", "Admitted cost units in flight at the admission gate.",
+		func() float64 { return float64(s.admit.cost.Load()) })
+	r.RegisterGaugeFunc("seqserve_admission_capacity_units", "Admission gate capacity in cost units.",
+		func() float64 { return float64(s.admit.capacity) })
+	r.RegisterGaugeFunc("seqserve_admission_jobs", "Admitted jobs in flight.",
+		func() float64 { return float64(s.admit.jobs.Load()) })
+
+	r.RegisterGaugeFunc("seqserve_cache_entries", "Live result-cache entries.",
+		func() float64 { return float64(s.cache.len()) })
+	r.RegisterCounterFunc("seqserve_cache_hits_total", "Result-cache LRU hits.",
+		func() int64 { hits, _, _ := s.cache.counters(); return hits })
+	r.RegisterCounterFunc("seqserve_cache_misses_total", "Result-cache misses (request led a computation).",
+		func() int64 { _, misses, _ := s.cache.counters(); return misses })
+	r.RegisterCounterFunc("seqserve_cache_coalesced_total", "Requests coalesced onto an identical in-flight computation.",
+		func() int64 { _, _, coalesced := s.cache.counters(); return coalesced })
+
+	r.RegisterGauge("seqserve_streams_open", "Streaming connections open now.", m.streamsOpen)
+	r.RegisterCounter("seqserve_streams_total", "Streaming connections accepted over the uptime.", m.streamsTotal)
+	r.RegisterCounter("seqserve_stream_lines_total", "Stream request lines decoded (valid or not).", m.streamLines)
+	r.RegisterCounter("seqserve_stream_results_total", "Stream result lines written.", m.streamResults)
+	r.RegisterCounter("seqserve_stream_errors_total", "Stream per-line error lines written.", m.streamErrors)
+	r.RegisterGauge("seqserve_stream_window_inflight", "Flow-control window slots held across all streams.", m.streamInFlight)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
 	}
-	b := 0
-	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
-		b++
-	}
-	h.buckets[b].Add(1)
-	h.sumUs.Add(us)
+	return 0
 }
 
 // HistogramSnapshot is one stage's latency summary in /statsz.
-// Quantiles are upper bounds of the containing power-of-two bucket, so
-// they are conservative to at most 2x — plenty for spotting a stage
-// that misbehaves.
+// Quantiles come from the log-linear histogram with sub-bucket
+// interpolation, so they are tight to <=25% (and max_us is the true
+// observed maximum, not a bucket bound).
 type HistogramSnapshot struct {
 	Count  int64   `json:"count"`
 	MeanUs float64 `json:"mean_us"`
 	P50Us  int64   `json:"p50_us"`
 	P90Us  int64   `json:"p90_us"`
+	P95Us  int64   `json:"p95_us"`
 	P99Us  int64   `json:"p99_us"`
-	MaxUs  int64   `json:"max_us"` // upper bound of the hottest bucket
+	MaxUs  int64   `json:"max_us"`
 }
 
-func (h *histogram) snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
-	var counts [histBuckets]int64
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		s.Count += counts[i]
+func summarize(h *obs.Histogram) HistogramSnapshot {
+	s := h.Snapshot()
+	return HistogramSnapshot{
+		Count:  s.Count,
+		MeanUs: s.MeanUs(),
+		P50Us:  s.Quantile(0.50),
+		P90Us:  s.Quantile(0.90),
+		P95Us:  s.Quantile(0.95),
+		P99Us:  s.Quantile(0.99),
+		MaxUs:  s.MaxUs,
 	}
-	if s.Count == 0 {
-		return s
-	}
-	s.MeanUs = float64(h.sumUs.Load()) / float64(s.Count)
-	quantile := func(q float64) int64 {
-		target := int64(q * float64(s.Count))
-		if target < 1 {
-			target = 1
-		}
-		var cum int64
-		for i, c := range counts {
-			cum += c
-			if cum >= target {
-				return 1 << (i + 1)
-			}
-		}
-		return 1 << histBuckets
-	}
-	s.P50Us = quantile(0.50)
-	s.P90Us = quantile(0.90)
-	s.P99Us = quantile(0.99)
-	for i := histBuckets - 1; i >= 0; i-- {
-		if counts[i] > 0 {
-			s.MaxUs = 1 << (i + 1)
-			break
-		}
-	}
-	return s
-}
-
-// metrics is the server's operational state, all atomics so the hot
-// path never takes a lock to count.
-type metrics struct {
-	start time.Time
-
-	requests  atomic.Int64 // /search requests admitted past validation
-	errored   atomic.Int64 // /search requests rejected with 4xx
-	inFlight  atomic.Int64 // /search requests currently being served
-	batches   atomic.Int64 // batches executed
-	batchJobs atomic.Int64 // jobs summed over executed batches
-
-	// The resilience counters. Each is a distinct way the server chose
-	// to degrade a request instead of degrading itself.
-	shed      atomic.Int64 // requests refused with 429 at admission
-	timeouts  atomic.Int64 // requests that hit their deadline (408)
-	panics    atomic.Int64 // scoring panics isolated to single requests
-	abandoned atomic.Int64 // jobs whose client vanished before scoring
-
-	// The streaming bulk-query path (/search/stream).
-	streamsOpen    atomic.Int64 // connections currently streaming
-	streamsTotal   atomic.Int64 // connections accepted over the uptime
-	streamLines    atomic.Int64 // request lines decoded (valid or not)
-	streamResults  atomic.Int64 // result lines written
-	streamErrors   atomic.Int64 // per-line error lines written
-	streamInFlight atomic.Int64 // window slots held across all streams
-
-	queueH histogram // admission -> batch start
-	seedH  histogram // candidate generation (per batch with indexed jobs)
-	scanH  histogram // kernel rescoring pass (per batch)
-	rankH  histogram // ranking + completion (per batch)
-	totalH histogram // request admission -> response ready (per request)
 }
 
 // StatsResponse is the /statsz body.
@@ -172,12 +228,12 @@ type StatsResponse struct {
 func (s *Server) statsSnapshot() StatsResponse {
 	var r StatsResponse
 	r.UptimeS = time.Since(s.metrics.start).Seconds()
-	r.Requests = s.metrics.requests.Load()
-	r.Errors = s.metrics.errored.Load()
+	r.Requests = s.metrics.requests.Value()
+	r.Errors = s.metrics.errored.Value()
 	if r.UptimeS > 0 {
 		r.QPS = float64(r.Requests) / r.UptimeS
 	}
-	r.InFlight = s.metrics.inFlight.Load()
+	r.InFlight = s.metrics.inFlight.Value()
 	r.Workers = s.cfg.Workers
 	r.DBSeqs = s.db.NumSeqs()
 	r.DBResidues = s.db.TotalResidues()
@@ -185,10 +241,10 @@ func (s *Server) statsSnapshot() StatsResponse {
 		r.IndexK = s.ix.K()
 	}
 
-	r.ShedTotal = s.metrics.shed.Load()
-	r.TimeoutTotal = s.metrics.timeouts.Load()
-	r.PanicTotal = s.metrics.panics.Load()
-	r.AbandonedTotal = s.metrics.abandoned.Load()
+	r.ShedTotal = s.metrics.shed.Value()
+	r.TimeoutTotal = s.metrics.timeouts.Value()
+	r.PanicTotal = s.metrics.panics.Value()
+	r.AbandonedTotal = s.metrics.abandoned.Value()
 	r.Degraded = s.degraded.Load()
 	r.Draining = s.draining.Load()
 	r.Admission.Cost = s.admit.cost.Load()
@@ -205,27 +261,27 @@ func (s *Server) statsSnapshot() StatsResponse {
 		r.Cache.HitRate = float64(hits+coalesced) / float64(total)
 	}
 
-	r.Streams.Open = s.metrics.streamsOpen.Load()
-	r.Streams.Total = s.metrics.streamsTotal.Load()
-	r.Streams.Lines = s.metrics.streamLines.Load()
-	r.Streams.Results = s.metrics.streamResults.Load()
-	r.Streams.Errors = s.metrics.streamErrors.Load()
-	r.Streams.InFlight = s.metrics.streamInFlight.Load()
+	r.Streams.Open = s.metrics.streamsOpen.Value()
+	r.Streams.Total = s.metrics.streamsTotal.Value()
+	r.Streams.Lines = s.metrics.streamLines.Value()
+	r.Streams.Results = s.metrics.streamResults.Value()
+	r.Streams.Errors = s.metrics.streamErrors.Value()
+	r.Streams.InFlight = s.metrics.streamInFlight.Value()
 	r.Streams.Window = s.cfg.StreamWindow
 	if r.UptimeS > 0 {
 		r.StreamQPS = float64(r.Streams.Results) / r.UptimeS
 	}
 
-	r.Batches = s.metrics.batches.Load()
+	r.Batches = s.metrics.batches.Value()
 	if r.Batches > 0 {
-		r.MeanBatch = float64(s.metrics.batchJobs.Load()) / float64(r.Batches)
+		r.MeanBatch = float64(s.metrics.batchJobs.Value()) / float64(r.Batches)
 	}
 	r.Stages = map[string]HistogramSnapshot{
-		"queue": s.metrics.queueH.snapshot(),
-		"seed":  s.metrics.seedH.snapshot(),
-		"scan":  s.metrics.scanH.snapshot(),
-		"rank":  s.metrics.rankH.snapshot(),
-		"total": s.metrics.totalH.snapshot(),
+		"queue": summarize(s.metrics.queueH),
+		"seed":  summarize(s.metrics.seedH),
+		"scan":  summarize(s.metrics.scanH),
+		"rank":  summarize(s.metrics.rankH),
+		"total": summarize(s.metrics.totalH),
 	}
 	return r
 }

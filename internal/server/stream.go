@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // The streaming bulk-query path. POST /search/stream reads NDJSON
@@ -136,6 +138,18 @@ func (lr *lineReader) next() ([]byte, error) {
 // are still in flight; it holds no window slot.
 type flushTick struct{}
 
+// outLine is one result or error line queued for the writer, carrying
+// its trace so the writer — the last goroutine to touch the line — can
+// record the write span and publish. The hand-off through the out
+// channel is the ownership transfer: the producer stops touching the
+// trace once it sends.
+type outLine struct {
+	v       any // *StreamResult or *streamErrLine
+	tr      *obs.Trace
+	outcome string
+	handoff time.Time // when the producer queued the line
+}
+
 // stream is one /search/stream connection's shared state.
 type stream struct {
 	lines    atomic.Int64 // request lines decoded
@@ -145,15 +159,22 @@ type stream struct {
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// The connection gets a trace of its own; each decoded line then
+	// gets a per-line trace whose ID is "<connection id>#<line no>", so
+	// one /debug/traces?id= prefix query surfaces a whole stream.
+	tr := obs.StartTrace(r.Header.Get("X-Request-Id"))
+	tr.Path = "stream"
+	w.Header().Set("X-Request-Id", tr.ID)
 	if s.draining.Load() {
-		s.writeError(w, errDraining)
+		s.failRequest(w, tr, errDraining)
 		return
 	}
 	if r.Method != http.MethodPost {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
+		s.failRequest(w, tr, &apiError{status: http.StatusMethodNotAllowed, code: ErrBadMethod,
 			detail: "use POST with an NDJSON body"})
 		return
 	}
+	connID := tr.ID
 
 	s.metrics.streamsTotal.Add(1)
 	s.metrics.streamsOpen.Add(1)
@@ -196,6 +217,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				}
 				continue
 			}
+			ol := v.(*outLine)
 			if !writeFailed.Load() {
 				// Arming a write deadline is a syscall; at thousands of
 				// tiny lines per second it would rival the encode itself.
@@ -205,7 +227,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					lastArm = time.Now()
 					_ = ctl.SetWriteDeadline(lastArm.Add(stall))
 				}
-				if err := enc.Encode(v); err != nil {
+				if err := enc.Encode(ol.v); err != nil {
 					// The connection is gone (or stalled past the write
 					// budget): keep draining so waiters finish and slots
 					// free, but stop touching the wire.
@@ -216,6 +238,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					// has nothing new to feed.
 					st.lastLine.Store(time.Now().UnixNano())
 				}
+			}
+			if ol.tr != nil {
+				// The writer is the line's last owner: record how long
+				// the line waited from hand-off to the wire, then publish.
+				ol.tr.SpanSince(obs.StageWrite, ol.handoff)
+				s.finishTrace(ol.tr, ol.outcome)
 			}
 			s.metrics.streamInFlight.Add(-1)
 			<-slots
@@ -257,13 +285,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.metrics.streamInFlight.Add(1)
 		return true
 	}
-	emitErr := func(id string, aerr *apiError) { // consumes one claim
+	emitErr := func(id string, aerr *apiError, ltr *obs.Trace) { // consumes one claim
 		st.errs.Add(1)
 		s.metrics.streamErrors.Add(1)
 		if aerr.code == ErrDeadline {
 			s.metrics.timeouts.Add(1)
 		}
-		out <- &streamErrLine{ID: id, Error: aerr.code, Detail: aerr.detail}
+		line := &streamErrLine{ID: id, Error: aerr.code, Detail: aerr.detail}
+		if ltr != nil {
+			line.RequestID = ltr.ID
+		}
+		out <- &outLine{v: line, tr: ltr, outcome: aerr.code, handoff: time.Now()}
 		wg.Done()
 	}
 
@@ -284,13 +316,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			case err == nil:
 				// fall through to decode below
 			case errors.Is(err, errLineTooLong):
-				st.lines.Add(1)
+				lineNo := st.lines.Add(1)
 				st.lastLine.Store(time.Now().UnixNano())
 				s.metrics.streamLines.Add(1)
 				if !claim() {
 					return
 				}
-				emitErr("", badRequest(ErrBadRequest, "request line exceeds %d bytes", maxStreamLineBytes))
+				ltr := obs.StartTrace(fmt.Sprintf("%s#%d", connID, lineNo))
+				ltr.Path = "stream_line"
+				emitErr("", badRequest(ErrBadRequest, "request line exceeds %d bytes", maxStreamLineBytes), ltr)
 				continue
 			case errors.Is(err, io.EOF):
 				return // clean end: the client sent everything
@@ -312,6 +346,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			st.lastLine.Store(time.Now().UnixNano())
 			s.metrics.streamLines.Add(1)
 
+			// The per-line trace starts at decode: its span sequence is
+			// decode -> (admission/queue/seed/scan/rank inside search)
+			// -> search -> write, the stream analogue of the POST path.
+			ltr := obs.StartTrace(fmt.Sprintf("%s#%d", connID, lineNo))
+			ltr.Path = "stream_line"
+
 			var req StreamRequest
 			dec := json.NewDecoder(bytes.NewReader(line))
 			dec.DisallowUnknownFields()
@@ -325,17 +365,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if lineErr == nil {
 				norm, lineErr = s.validateStream(&req)
 			}
+			ltr.SpanSince(obs.StageDecode, ltr.Start)
 
 			if !claim() {
 				return
 			}
 			if lineErr != nil {
-				emitErr(req.ID, lineErr)
+				emitErr(req.ID, lineErr, ltr)
 				continue
 			}
+			ltr.Kernel = norm.kernel.String()
+			ltr.QueryLen = len(norm.residues)
+			ltr.Exhausted = norm.exhaustive
 			s.metrics.requests.Add(1)
+			s.metrics.kernelRequests.With(ltr.Kernel).Add(1)
 
-			go func(id string, norm normalized) { // the waiter owns the claim
+			go func(id string, norm normalized, ltr *obs.Trace) { // the waiter owns the claim
 				start := time.Now()
 				s.metrics.inFlight.Add(1)
 				defer s.metrics.inFlight.Add(-1)
@@ -345,27 +390,34 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					ctx, cancel = context.WithTimeout(ctx, norm.timeout)
 					defer cancel()
 				}
-				hits, cached, aerr := s.search(ctx, norm, start, true)
+				hits, cached, aerr := s.search(ctx, norm, start, true, ltr)
 				if aerr != nil {
-					emitErr(id, aerr)
+					emitErr(id, aerr, ltr)
 					return
 				}
+				ltr.SpanSince(obs.StageSearch, start)
+				ltr.CacheHit = cached
 				st.results.Add(1)
 				s.metrics.streamResults.Add(1)
-				out <- &StreamResult{
-					ID: id,
-					SearchResponse: SearchResponse{
-						QueryLen:   len(norm.residues),
-						Kernel:     norm.kernel.String(),
-						K:          norm.topK,
-						Exhaustive: norm.exhaustive,
-						Cached:     cached,
-						Hits:       hits,
-						TookUs:     time.Since(start).Microseconds(),
+				out <- &outLine{
+					v: &StreamResult{
+						ID: id,
+						SearchResponse: SearchResponse{
+							QueryLen:   len(norm.residues),
+							Kernel:     norm.kernel.String(),
+							K:          norm.topK,
+							Exhaustive: norm.exhaustive,
+							Cached:     cached,
+							Hits:       hits,
+							TookUs:     time.Since(start).Microseconds(),
+						},
 					},
+					tr:      ltr,
+					outcome: obs.OutcomeOK,
+					handoff: time.Now(),
 				}
 				wg.Done()
-			}(req.ID, norm)
+			}(req.ID, norm, ltr)
 		}
 	}()
 
@@ -433,4 +485,9 @@ supervising:
 		_ = enc.Encode(&endLine)
 		_ = ctl.Flush()
 	}
+	outcome := obs.OutcomeOK
+	if end != nil {
+		outcome = end.code
+	}
+	s.finishTrace(tr, outcome)
 }

@@ -59,17 +59,17 @@ func TestStreamBackpressureBoundsMemory(t *testing.T) {
 	runtime.GC()
 	var base runtime.MemStats
 	runtime.ReadMemStats(&base)
-	lines0 := s.metrics.streamLines.Load()
+	lines0 := s.metrics.streamLines.Value()
 
 	window := int64(s.cfg.StreamWindow)
 	var maxInFlight int64
 	for i := 0; i < 15; i++ {
-		if got := s.metrics.streamInFlight.Load(); got > maxInFlight {
+		if got := s.metrics.streamInFlight.Value(); got > maxInFlight {
 			maxInFlight = got
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	lines1 := s.metrics.streamLines.Load()
+	lines1 := s.metrics.streamLines.Value()
 	runtime.GC()
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
