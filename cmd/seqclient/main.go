@@ -29,9 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bio"
@@ -50,6 +53,10 @@ func main() {
 
 		latencyOut = flag.String("latency-out", "",
 			"record one NDJSON line per completed request (id, bytes, us, error) to this file — the raw material for offline latency analysis")
+
+		retriesFlag = flag.Int("retries", 0,
+			"retry a refused request this many times (exponential backoff with jitter, honoring Retry-After) on 429, 503 or a connection error; in stream mode only the connection attempt is retried, and only before any input was consumed")
+		retryMaxWait = flag.Duration("retry-max-wait", time.Second, "cap on one retry backoff wait")
 
 		kFlag      = flag.Int("k", 5, "top-k for generated queries")
 		kernel     = flag.String("kernel", "", "kernel for generated queries (empty = server default)")
@@ -90,12 +97,13 @@ func main() {
 		}()
 	}
 
+	pol := retryPolicy{max: *retriesFlag, maxWait: *retryMaxWait}
 	var err error
 	switch *mode {
 	case "stream":
-		err = driveStream(*addr, input, lat)
+		err = driveStream(*addr, input, lat, pol)
 	case "post":
-		err = drivePost(*addr, input, lat)
+		err = drivePost(*addr, input, lat, pol)
 	default:
 		err = fmt.Errorf("unknown -mode %q (stream or post)", *mode)
 	}
@@ -236,25 +244,97 @@ func generate(w io.Writer, n int, dbArg string, seed int64, k int, kernel string
 	return bw.Flush()
 }
 
+// retryPolicy is the client-side mirror of the server fleet's backoff
+// contract: max extra attempts, full-jitter exponential waits capped at
+// maxWait, with a Retry-After header as the floor when the server sent
+// one. Retryable refusals are 429 (shed), 503 (draining/starting) and
+// transport errors (connection refused while a server restarts).
+type retryPolicy struct {
+	max     int
+	maxWait time.Duration
+}
+
+const retryBaseWait = 25 * time.Millisecond
+
+func (p retryPolicy) wait(attempt, retryAfterSecs int) time.Duration {
+	ceil := retryBaseWait << uint(attempt-1)
+	if ceil > p.maxWait || ceil <= 0 {
+		ceil = p.maxWait
+	}
+	wait := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if floor := time.Duration(retryAfterSecs) * time.Second; wait < floor {
+		wait = floor
+	}
+	return wait
+}
+
+func retryAfterSecs(resp *http.Response) int {
+	if resp == nil {
+		return 0
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return secs
+	}
+	return 0
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// countingReader counts how much of the stream input the transport has
+// consumed: a stream connection may only be retried while this is still
+// zero (the body is a one-shot pipe; replaying a half-sent stream would
+// duplicate queries).
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 // driveStream ships the whole input as one /search/stream body and
 // relays response lines verbatim. The input reader is the request body,
 // so a slow producer (a paused pipe) exercises the server's stall
 // accounting and a fast one its flow-control window.
-func driveStream(addr string, input io.Reader, lat *latencyLog) error {
+func driveStream(addr string, input io.Reader, lat *latencyLog, pol retryPolicy) error {
 	start := time.Now()
 	var tracker *sendTracker
 	if lat != nil {
 		tracker = &sendTracker{r: input, sent: make(map[string]time.Time)}
 		input = tracker
 	}
-	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/search/stream", input)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
+	counted := &countingReader{r: input}
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/search/stream", io.Reader(counted))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err = http.DefaultClient.Do(req)
+		// Retry only refusals that happened before any input was
+		// consumed: once bytes are on the wire the stream cannot be
+		// replayed without duplicating queries.
+		retryable := err != nil || retryableStatus(resp.StatusCode)
+		if !retryable || attempt >= pol.max || counted.n.Load() > 0 {
+			if err != nil {
+				return err
+			}
+			break
+		}
+		ra := retryAfterSecs(resp)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		wait := pol.wait(attempt+1, ra)
+		fmt.Fprintf(os.Stderr, "seqclient: stream refused (attempt %d/%d), retrying in %v\n", attempt+1, pol.max, wait.Round(time.Millisecond))
+		time.Sleep(wait)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -314,7 +394,7 @@ func driveStream(addr string, input io.Reader, lat *latencyLog) error {
 // against. Output lines carry the same fields as stream result lines
 // (minus the terminal line) so the two transports diff cleanly once
 // took_us/cached are stripped.
-func drivePost(addr string, input io.Reader, lat *latencyLog) error {
+func drivePost(addr string, input io.Reader, lat *latencyLog, pol retryPolicy) error {
 	start := time.Now()
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -340,7 +420,20 @@ func drivePost(addr string, input io.Reader, lat *latencyLog) error {
 			return err
 		}
 		reqStart := time.Now()
-		resp, err := http.Post("http://"+addr+"/search", "application/json", bytes.NewReader(body))
+		var resp *http.Response
+		for attempt := 0; ; attempt++ {
+			resp, err = http.Post("http://"+addr+"/search", "application/json", bytes.NewReader(body))
+			retryable := err != nil || retryableStatus(resp.StatusCode)
+			if !retryable || attempt >= pol.max {
+				break
+			}
+			ra := retryAfterSecs(resp)
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			time.Sleep(pol.wait(attempt+1, ra))
+		}
 		if err != nil {
 			return fmt.Errorf("id %s: %w", req.ID, err)
 		}

@@ -23,10 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -66,8 +70,10 @@ func main() {
 			"server-side cap on every request's deadline (0 = none); requests past it fail with 408 deadline_exceeded")
 		drainGrace = flag.Duration("drain-grace", 0,
 			"after SIGTERM, keep answering with 503/draining this long before closing the listener, so load balancers see the drain")
+		shardArg = flag.String("shard", "",
+			"serve only the contiguous database slice lo:hi (global target IDs, hi exclusive); hit indexes are shard-local — a seqrouter remaps them. Every replica of a shard must pass the same -db/-seed/-related and the same -shard")
 		faultsSpec = flag.String("faults", "",
-			"deterministic fault injection spec, site:key=val,...[;site:...] (sites: client.stall, index.lookup, score.panic, score.slow) — chaos testing only")
+			"deterministic fault injection spec, site:key=val,...[;site:...] (sites: "+faults.SiteList()+") — chaos testing only")
 		faultsSeed = flag.Uint64("faults-seed", 1, "seed for -faults rate schedules")
 
 		debugAddr = flag.String("debug-addr", "",
@@ -79,6 +85,37 @@ func main() {
 	)
 	flag.Parse()
 
+	// Bind the serving address BEFORE the (possibly long) database load
+	// and index build, behind a swappable holding handler that answers
+	// 503 "starting" on every path — including /healthz and /readyz —
+	// until the real server is ready. Orchestrators and wait loops can
+	// poll the port from the moment the process starts instead of racing
+	// the index build for the bind; curl -sf fails on the 503 either
+	// way, so existing wait-for-healthy loops are unchanged.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	var liveHandler atomic.Pointer[http.Handler]
+	holding := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false,"reason":"starting"}`)
+	}))
+	liveHandler.Store(&holding)
+	// The protocol-level timeouts cut off clients the request deadline
+	// cannot see: a peer that never finishes its headers, trickles its
+	// body (slowloris), or parks an idle keep-alive connection.
+	httpSrv := &http.Server{
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { (*liveHandler.Load()).ServeHTTP(w, r) }),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
 	var parentSeq *bio.Sequence
 	if *related > 0 {
 		parentSeq = bio.PaperQuery(*parent)
@@ -86,6 +123,20 @@ func main() {
 	db, err := bio.LoadDatabase(*dbArg, *dbSeed, *related, parentSeq)
 	if err != nil {
 		fatal(err)
+	}
+
+	// -shard slices the loaded database to a contiguous target range;
+	// the index (built or loaded) then covers exactly the slice. The
+	// full database is still loaded first so every shard's slice comes
+	// from the identical global ordering — that identity is what lets a
+	// seqrouter remap shard-local hit indexes by adding lo.
+	if *shardArg != "" {
+		lo, hi, perr := parseShardRange(*shardArg, db.NumSeqs())
+		if perr != nil {
+			fatal(perr)
+		}
+		db = bio.NewDatabase(db.Seqs[lo:hi])
+		fmt.Printf("seqserve: serving shard %d:%d (%d of the database's sequences)\n", lo, hi, db.NumSeqs())
 	}
 
 	var ix *index.Index
@@ -188,20 +239,13 @@ func main() {
 		fmt.Printf("seqserve: debug listener (pprof, /metrics, /debug/traces) on %s\n", *debugAddr)
 	}
 
-	// The protocol-level timeouts cut off clients the request deadline
-	// cannot see: a peer that never finishes its headers, trickles its
-	// body (slowloris), or parks an idle keep-alive connection.
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	// Swap the real handler in: the listener has been up since before
+	// the load, and from this store on /healthz and /readyz answer for
+	// the real server.
+	real := srv.Handler()
+	liveHandler.Store(&real)
 	fmt.Printf("seqserve: serving %d sequences (%d residues) on %s\n",
-		db.NumSeqs(), db.TotalResidues(), *addr)
+		db.NumSeqs(), db.TotalResidues(), ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -246,6 +290,25 @@ func main() {
 		fmt.Printf("seqserve: resilience: %d shed, %d timed out, %d abandoned, %d panics isolated, degraded=%v\n",
 			stats.ShedTotal, stats.TimeoutTotal, stats.AbandonedTotal, stats.PanicTotal, stats.Degraded)
 	}
+}
+
+// parseShardRange parses -shard's lo:hi against the loaded database
+// size: 0 <= lo < hi <= n.
+func parseShardRange(spec string, n int) (lo, hi int, err error) {
+	loStr, hiStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q is not lo:hi", spec)
+	}
+	if lo, err = strconv.Atoi(loStr); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: bad lo: %v", spec, err)
+	}
+	if hi, err = strconv.Atoi(hiStr); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: bad hi: %v", spec, err)
+	}
+	if lo < 0 || hi <= lo || hi > n {
+		return 0, 0, fmt.Errorf("-shard %d:%d outside the database's [0, %d]", lo, hi, n)
+	}
+	return lo, hi, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package align
+
+// MergeRanked merges per-shard ranked hit lists into one list under
+// the RankHits contract: score descending, database index ascending
+// breaking ties, truncated to topK (<= 0 keeps all). Each input list
+// must already be ordered by that contract — RankHits output qualifies,
+// as does any scan built on it — and the per-item key must be the
+// GLOBAL database index, so a sharded scan that remaps its shard-local
+// indexes before merging gets exactly the hit list the single-node
+// scan would have produced. This is the coordinator's merge entry
+// point (internal/cluster): keeping it next to RankHits means there is
+// exactly one definition of the ranking order in the repository.
+//
+// The key func projects an element to its (score, index) pair; the
+// generic element type lets callers merge wire-form hits without
+// converting through align.Hit. MergeRanked never inspects elements
+// beyond the key, and it is deterministic: the same lists in the same
+// order produce the same output, and list order only matters for
+// elements whose keys are fully equal (which a correctly sharded scan
+// cannot produce — every database index lives in exactly one shard).
+func MergeRanked[H any](lists [][]H, key func(H) (score, index int), topK int) []H {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if topK > 0 && total > topK {
+		total = topK
+	}
+	out := make([]H, 0, total)
+	heads := make([]int, len(lists))
+	for topK <= 0 || len(out) < topK {
+		best := -1
+		var bestScore, bestIndex int
+		for li, l := range lists {
+			h := heads[li]
+			if h >= len(l) {
+				continue
+			}
+			sc, ix := key(l[h])
+			if best < 0 || sc > bestScore || (sc == bestScore && ix < bestIndex) {
+				best, bestScore, bestIndex = li, sc, ix
+			}
+		}
+		if best < 0 {
+			break // every list exhausted
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// TestMergeRankedMatchesRankHits: sharding a score vector into
+// contiguous ranges, ranking each shard independently, and merging the
+// shard top-Ks must be bit-identical to ranking the whole vector at
+// once — the contract the cluster coordinator's scatter-gather merge
+// stands on.
+func TestMergeRankedMatchesRankHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	spec := bio.DefaultDBSpec(60)
+	db := bio.SyntheticDB(spec)
+	for trial := 0; trial < 20; trial++ {
+		scores := make([]int, db.NumSeqs())
+		for i := range scores {
+			scores[i] = rng.Intn(40) // dense ties on purpose
+		}
+		topK := 1 + rng.Intn(15)
+		minScore := 1 + rng.Intn(5)
+		want := RankHits(db.Seqs, nil, scores, minScore, topK)
+
+		numShards := 1 + rng.Intn(4)
+		var lists [][]Hit
+		lo := 0
+		for s := 0; s < numShards; s++ {
+			hi := (db.NumSeqs() * (s + 1)) / numShards
+			// Each shard ranks only its own range, keeping global
+			// indexes (cand maps shard positions to database indexes).
+			cand := make([]int, hi-lo)
+			for i := range cand {
+				cand[i] = lo + i
+			}
+			lists = append(lists, RankHits(db.Seqs, cand, scores[lo:hi], minScore, topK))
+			lo = hi
+		}
+		got := MergeRanked(lists, func(h Hit) (int, int) { return h.Score, h.Index }, topK)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Index != want[i].Index || got[i].Score != want[i].Score {
+				t.Fatalf("trial %d hit %d: got (%d, %d), want (%d, %d)",
+					trial, i, got[i].Index, got[i].Score, want[i].Index, want[i].Score)
+			}
+		}
+	}
+}
+
+// TestMergeRankedEdges pins the degenerate shapes: no lists, empty
+// lists, topK <= 0 keeping everything.
+func TestMergeRankedEdges(t *testing.T) {
+	key := func(h Hit) (int, int) { return h.Score, h.Index }
+	if got := MergeRanked(nil, key, 5); len(got) != 0 {
+		t.Fatalf("merge of no lists: %d hits", len(got))
+	}
+	if got := MergeRanked([][]Hit{{}, {}}, key, 5); len(got) != 0 {
+		t.Fatalf("merge of empty lists: %d hits", len(got))
+	}
+	lists := [][]Hit{
+		{{Index: 0, Score: 9}, {Index: 2, Score: 3}},
+		{{Index: 1, Score: 9}},
+	}
+	got := MergeRanked(lists, key, 0)
+	if len(got) != 3 || got[0].Index != 0 || got[1].Index != 1 || got[2].Index != 2 {
+		t.Fatalf("topK<=0 merge wrong: %+v", got)
+	}
+}

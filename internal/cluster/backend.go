@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend health states, as the prober sees them. A backend starts
+// unknown — selectable (optimism costs one failed try, pessimism would
+// black-hole a healthy fleet at startup) but not counting toward
+// readiness until the first probe lands.
+const (
+	backendUnknown int32 = iota
+	backendUp
+	backendDown
+)
+
+// Circuit breaker states, the classic three. The breaker is the
+// request path's own memory of a backend, independent of the prober:
+// probes run on a timer, breakers trip on the traffic itself, so a
+// backend that answers /readyz but fails queries still gets ejected
+// from selection within BreakerThreshold tries.
+const (
+	breakerClosed int32 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerStateNames maps breaker states to their /statsz spellings.
+var breakerStateNames = map[int32]string{
+	breakerClosed:   "closed",
+	breakerHalfOpen: "half-open",
+	breakerOpen:     "open",
+}
+
+// backend is one replica address plus everything the coordinator
+// remembers about it: the prober's health verdict, the circuit
+// breaker, and streak bookkeeping.
+type backend struct {
+	addr  string
+	state atomic.Int32 // backendUnknown/Up/Down, written by the prober
+
+	// Prober-goroutine-only streak counters (no lock needed: one
+	// goroutine owns them).
+	probeFails int
+	probeOKs   int
+
+	// The breaker. Guarded by mu — breaker transitions are rare and
+	// the critical sections are a few loads and stores, so a mutex
+	// beats a lock-free dance nobody can review.
+	mu          sync.Mutex
+	consecFails int
+	openUntil   time.Time
+	halfProbing bool // a half-open trial is in flight
+}
+
+// selectable reports whether the request path may send this backend a
+// try right now: not ejected by the prober, and the breaker admits it.
+// now is passed in so tests control the clock.
+func (b *backend) selectable(now time.Time) bool {
+	return b.state.Load() != backendDown && b.breakerAdmits(now)
+}
+
+// breakerAdmits implements the breaker's gate. Closed admits
+// everything. Open admits nothing until the cooldown passes, at which
+// point it becomes half-open and admits exactly ONE trial try; the
+// trial's outcome (reported via onSuccess/onFailure) closes or
+// re-opens it.
+func (b *backend) breakerAdmits(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.halfProbing {
+		return false // one trial at a time
+	}
+	b.halfProbing = true
+	return true
+}
+
+// breakerState reports the current state for metrics and /statsz.
+func (b *backend) breakerState(now time.Time) int32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return breakerClosed
+	case now.Before(b.openUntil):
+		return breakerOpen
+	default:
+		return breakerHalfOpen
+	}
+}
+
+// onSuccess reports a successful try: the failure streak resets and
+// any open/half-open breaker closes.
+func (b *backend) onSuccess() {
+	b.mu.Lock()
+	b.consecFails = 0
+	b.openUntil = time.Time{}
+	b.halfProbing = false
+	b.mu.Unlock()
+}
+
+// onFailure reports a failed try. threshold consecutive failures trip
+// the breaker open for cooldown; a failed half-open trial re-opens it
+// immediately.
+func (b *backend) onFailure(now time.Time, threshold int, cooldown time.Duration) {
+	b.mu.Lock()
+	b.consecFails++
+	reopen := b.halfProbing && !b.openUntil.IsZero()
+	b.halfProbing = false
+	if reopen || (threshold > 0 && b.consecFails >= threshold) {
+		b.openUntil = now.Add(cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// probe runs one health check against the backend's /readyz and
+// updates the health state machine: EjectAfter consecutive failures
+// mark it down, RecoverAfter consecutive successes bring it back.
+// Called only from the prober goroutine.
+func (b *backend) probe(ctx context.Context, client *http.Client, timeout time.Duration, ejectAfter, recoverAfter int) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+b.addr+"/readyz", nil)
+	if err == nil {
+		resp, derr := client.Do(req)
+		if derr == nil {
+			// Drain-and-close so the keep-alive connection is reusable.
+			_ = resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	if ok {
+		b.probeOKs++
+		b.probeFails = 0
+		if b.state.Load() != backendUp && b.probeOKs >= recoverAfter {
+			b.state.Store(backendUp)
+		}
+	} else {
+		b.probeFails++
+		b.probeOKs = 0
+		if b.probeFails >= ejectAfter {
+			b.state.Store(backendDown)
+		}
+	}
+}
+
+// healthString renders the prober state for /statsz.
+func (b *backend) healthString() string {
+	switch b.state.Load() {
+	case backendUp:
+		return "up"
+	case backendDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// BackendStatus is one backend's row in the /statsz snapshot.
+type BackendStatus struct {
+	Addr    string `json:"addr"`
+	Health  string `json:"health"`  // unknown | up | down (prober verdict)
+	Breaker string `json:"breaker"` // closed | half-open | open
+	Tries   int64  `json:"tries"`
+	Retries int64  `json:"retries"`
+	Hedges  int64  `json:"hedges"`
+	Fails   int64  `json:"failures"`
+}
+
+func (b *BackendStatus) String() string {
+	return fmt.Sprintf("%s health=%s breaker=%s tries=%d fails=%d", b.Addr, b.Health, b.Breaker, b.Tries, b.Fails)
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseShardMap(t *testing.T) {
+	m, err := ParseShardMap("0:100@127.0.0.1:8061;100:200@127.0.0.1:8062,127.0.0.1:8072", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 7 || m.NumSeqs != 200 || len(m.Shards) != 2 {
+		t.Fatalf("map = %+v", m)
+	}
+	if got := m.Shards[1].Backends; len(got) != 2 || got[0] != "127.0.0.1:8062" {
+		t.Fatalf("shard 1 backends = %v", got)
+	}
+	if m.NumBackends() != 3 {
+		t.Fatalf("NumBackends = %d, want 3", m.NumBackends())
+	}
+	if got := m.BackendAddrs(); len(got) != 3 || got[0] != "127.0.0.1:8061" {
+		t.Fatalf("BackendAddrs = %v", got)
+	}
+	text, _ := m.MarshalText()
+	rt, err := ParseShardMap(string(text), 7)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", text, err)
+	}
+	if rt.NumSeqs != m.NumSeqs || len(rt.Shards) != len(m.Shards) {
+		t.Fatalf("round trip changed the map: %q", text)
+	}
+}
+
+func TestParseShardMapRejects(t *testing.T) {
+	for name, spec := range map[string]string{
+		"gap":            "0:100@a;150:200@b",
+		"overlap":        "0:100@a;50:200@b",
+		"empty range":    "0:0@a",
+		"no backends":    "0:100@",
+		"no at":          "0:100",
+		"nonzero start":  "10:100@a",
+		"double serving": "0:100@a;100:200@a",
+		"empty":          "",
+	} {
+		if _, err := ParseShardMap(spec, 1); err == nil {
+			t.Errorf("%s: spec %q accepted", name, spec)
+		}
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := &backend{addr: "x"}
+	now := time.Now()
+	cool := time.Second
+
+	if !b.selectable(now) || b.breakerState(now) != breakerClosed {
+		t.Fatal("new backend should be selectable with a closed breaker")
+	}
+	// Failures below the threshold keep it closed.
+	for i := 0; i < 4; i++ {
+		b.onFailure(now, 5, cool)
+	}
+	if b.breakerState(now) != breakerClosed {
+		t.Fatal("breaker tripped below the threshold")
+	}
+	// The fifth consecutive failure trips it open.
+	b.onFailure(now, 5, cool)
+	if b.breakerState(now) != breakerOpen || b.breakerAdmits(now) {
+		t.Fatal("breaker should be open and refusing")
+	}
+	// After the cooldown: half-open, exactly one trial admitted.
+	later := now.Add(cool + time.Millisecond)
+	if b.breakerState(later) != breakerHalfOpen {
+		t.Fatal("cooldown passed, want half-open")
+	}
+	if !b.breakerAdmits(later) {
+		t.Fatal("half-open should admit one trial")
+	}
+	if b.breakerAdmits(later) {
+		t.Fatal("half-open admitted a second concurrent trial")
+	}
+	// A failed trial re-opens immediately (no threshold needed).
+	b.onFailure(later, 5, cool)
+	if b.breakerState(later) != breakerOpen {
+		t.Fatal("failed half-open trial should re-open the breaker")
+	}
+	// A successful trial closes it and resets the streak.
+	later2 := later.Add(cool + time.Millisecond)
+	if !b.breakerAdmits(later2) {
+		t.Fatal("second cooldown should admit a trial")
+	}
+	b.onSuccess()
+	if b.breakerState(later2) != breakerClosed || !b.selectable(later2) {
+		t.Fatal("successful trial should close the breaker")
+	}
+	// Success reset the failure streak: 4 more failures stay closed.
+	for i := 0; i < 4; i++ {
+		b.onFailure(later2, 5, cool)
+	}
+	if b.breakerState(later2) != breakerClosed {
+		t.Fatal("streak did not reset on success")
+	}
+}
+
+func TestProbeStreaks(t *testing.T) {
+	var status atomic.Int32
+	status.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer ts.Close()
+	b := &backend{addr: strings.TrimPrefix(ts.URL, "http://")}
+	client := ts.Client()
+	probe := func() { b.probe(context.Background(), client, time.Second, 3, 2) }
+
+	// Recovery threshold: the first OK probe is not enough from unknown.
+	probe()
+	if b.state.Load() != backendUnknown {
+		t.Fatal("one OK probe should not mark up with RecoverAfter=2")
+	}
+	probe()
+	if b.state.Load() != backendUp {
+		t.Fatal("two OK probes should mark up")
+	}
+	// Ejection: two failures are not enough, three are.
+	status.Store(http.StatusServiceUnavailable)
+	probe()
+	probe()
+	if b.state.Load() != backendUp {
+		t.Fatal("ejected before EjectAfter failures")
+	}
+	probe()
+	if b.state.Load() != backendDown {
+		t.Fatal("three failed probes should eject")
+	}
+	// Recovery again, with the streak interrupted by one failure.
+	status.Store(http.StatusOK)
+	probe()
+	status.Store(http.StatusServiceUnavailable)
+	probe() // breaks the OK streak
+	status.Store(http.StatusOK)
+	probe()
+	if b.state.Load() != backendDown {
+		t.Fatal("interrupted streak should not recover yet")
+	}
+	probe()
+	if b.state.Load() != backendUp {
+		t.Fatal("two consecutive OK probes should recover")
+	}
+}
+
+func TestBackoffWait(t *testing.T) {
+	base, maxWait := 25*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 64; attempt++ {
+		w := backoffWait(base, maxWait, attempt, 0)
+		if w < 0 || w > maxWait {
+			t.Fatalf("attempt %d: wait %v outside [0, %v]", attempt, w, maxWait)
+		}
+	}
+	// Retry-After floors the jittered wait.
+	if w := backoffWait(base, maxWait, 1, 2); w < 2*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", w)
+	}
+}
+
+func TestPickBackend(t *testing.T) {
+	m := &ShardMap{NumSeqs: 10, Shards: []Shard{{Lo: 0, Hi: 10, Backends: []string{"a", "b", "c"}}}}
+	c, err := New(m, Config{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sh := c.shards[0]
+	byAddr := map[string]*backend{}
+	for _, b := range sh.backends {
+		byAddr[b.addr] = b
+	}
+
+	// Rotation: offset k picks backends[k%3] when all are selectable.
+	if got := c.pickBackend(sh, 1, nil); got.addr != "b" {
+		t.Fatalf("k=1 picked %s, want b", got.addr)
+	}
+	// Exclusion skips the excluded peer.
+	if got := c.pickBackend(sh, 1, byAddr["b"]); got.addr != "c" {
+		t.Fatalf("k=1 excluding b picked %s, want c", got.addr)
+	}
+	// A down backend is skipped.
+	byAddr["b"].state.Store(backendDown)
+	if got := c.pickBackend(sh, 1, nil); got.addr != "c" {
+		t.Fatalf("with b down, k=1 picked %s, want c", got.addr)
+	}
+	// With everything down the pick falls back rather than refusing.
+	for _, b := range sh.backends {
+		b.state.Store(backendDown)
+	}
+	if got := c.pickBackend(sh, 0, nil); got == nil {
+		t.Fatal("all-down shard returned no backend")
+	}
+	// Unreplicated shard: the excluded backend is the fallback of last
+	// resort.
+	m2 := &ShardMap{NumSeqs: 5, Shards: []Shard{{Lo: 0, Hi: 5, Backends: []string{"solo"}}}}
+	c2, err := New(m2, Config{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	solo := c2.shards[0].backends[0]
+	if got := c2.pickBackend(c2.shards[0], 0, solo); got != solo {
+		t.Fatal("unreplicated shard must fall back to its only backend")
+	}
+}

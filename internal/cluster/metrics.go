@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics is the coordinator's instrument set, all pre-registered
+// obs types: the hot path does atomic increments only. Per-backend
+// families are keyed by the shard map's address set (a static identity
+// set — exactly what GaugeVec demands); per-shard families by shard
+// index.
+type routerMetrics struct {
+	reg  *obs.Registry
+	ring *obs.Ring
+
+	requests *obs.Counter // routed /search requests
+	errored  *obs.Counter // requests answered with a sentinel error
+	partials *obs.Counter // 200 responses with complete:false
+	inFlight *obs.Gauge   // routed requests currently in flight
+
+	tries    *obs.CounterVec // HTTP tries launched, per backend
+	retries  *obs.CounterVec // backoff retries, per backend whose failure caused them
+	hedges   *obs.CounterVec // hedged second tries, per backend they landed on
+	failures *obs.CounterVec // failed tries (transport/5xx/shed), per backend
+
+	up      *obs.GaugeVec // prober verdict: 1 up, 0 down, -1 unknown
+	breaker *obs.GaugeVec // breaker state: 0 closed, 1 half-open, 2 open
+
+	shardFails *obs.CounterVec   // shards failed past their retry budget
+	shardLatH  *obs.HistogramVec // per-shard try latency (feeds the hedge delay)
+	totalH     *obs.Histogram    // routed request latency, fan-out to merged answer
+
+	streamsTotal  *obs.Counter // /search/stream connections accepted
+	streamLines   *obs.Counter // stream request lines decoded
+	streamResults *obs.Counter // stream result lines written
+	streamErrors  *obs.Counter // stream error lines written
+}
+
+func (c *Coordinator) initMetrics() {
+	m := &c.m
+	m.reg = obs.NewRegistry()
+	m.ring = obs.NewRing(c.cfg.TraceRing)
+
+	addrs := c.smap.BackendAddrs()
+	shardLabels := make([]string, len(c.shards))
+	for i := range c.shards {
+		shardLabels[i] = strconv.Itoa(i)
+	}
+
+	m.requests = obs.NewCounter()
+	m.errored = obs.NewCounter()
+	m.partials = obs.NewCounter()
+	m.inFlight = obs.NewGauge()
+	m.tries = obs.NewCounterVec("backend", addrs...)
+	m.retries = obs.NewCounterVec("backend", addrs...)
+	m.hedges = obs.NewCounterVec("backend", addrs...)
+	m.failures = obs.NewCounterVec("backend", addrs...)
+	m.up = obs.NewGaugeVec("backend", addrs...)
+	m.breaker = obs.NewGaugeVec("backend", addrs...)
+	m.shardFails = obs.NewCounterVec("shard", shardLabels...)
+	m.shardLatH = obs.NewHistogramVec("shard", shardLabels...)
+	m.totalH = obs.NewHistogram()
+	m.streamsTotal = obs.NewCounter()
+	m.streamLines = obs.NewCounter()
+	m.streamResults = obs.NewCounter()
+	m.streamErrors = obs.NewCounter()
+
+	// The shard latency histograms double as the hedge-delay source:
+	// each shardState holds its own family member.
+	for i, sh := range c.shards {
+		sh.latH = m.shardLatH.With(shardLabels[i])
+	}
+	// Backends start unknown until the first probe lands.
+	for _, b := range c.backends {
+		m.up.With(b.addr).Set(-1)
+	}
+
+	m.reg.RegisterCounter("router_requests_total", "Routed /search requests.", m.requests)
+	m.reg.RegisterCounter("router_errors_total", "Routed requests answered with a sentinel error.", m.errored)
+	m.reg.RegisterCounter("router_partial_total", "200 responses that degraded to complete:false.", m.partials)
+	m.reg.RegisterGauge("router_inflight", "Routed requests currently in flight.", m.inFlight)
+	m.reg.RegisterCounterVec("router_backend_tries_total", "HTTP tries launched, per backend.", m.tries)
+	m.reg.RegisterCounterVec("router_backend_retries_total", "Backoff retries charged to the backend whose failure caused them.", m.retries)
+	m.reg.RegisterCounterVec("router_backend_hedges_total", "Hedged second tries, per backend they landed on.", m.hedges)
+	m.reg.RegisterCounterVec("router_backend_failures_total", "Failed tries (transport error, 5xx, shed), per backend.", m.failures)
+	m.reg.RegisterGaugeVec("router_backend_up", "Prober verdict as of the last probe or try: 1 up, 0 down, -1 unknown.", m.up)
+	m.reg.RegisterGaugeVec("router_backend_breaker_state", "Circuit breaker as of the last transition: 0 closed, 1 half-open, 2 open.", m.breaker)
+	m.reg.RegisterCounterVec("router_shard_failures_total", "Shard queries that failed past their retry budget.", m.shardFails)
+	m.reg.RegisterHistogramVec("router_shard_try_latency_us", "Per-shard backend try latency in microseconds.", m.shardLatH)
+	m.reg.RegisterHistogram("router_request_latency_us", "Routed request latency, fan-out to merged answer, in microseconds.", m.totalH)
+	m.reg.RegisterCounter("router_streams_total", "Stream connections accepted.", m.streamsTotal)
+	m.reg.RegisterCounter("router_stream_lines_total", "Stream request lines decoded.", m.streamLines)
+	m.reg.RegisterCounter("router_stream_results_total", "Stream result lines written.", m.streamResults)
+	m.reg.RegisterCounter("router_stream_errors_total", "Stream error lines written.", m.streamErrors)
+}
+
+// refreshBackendGauges re-renders one backend's health and breaker
+// gauges. Called after probes and settled tries — the two places state
+// changes — so /metrics tracks transitions without a scrape-time hook.
+func (c *Coordinator) refreshBackendGauges(b *backend) {
+	var hv int64
+	switch b.state.Load() {
+	case backendUp:
+		hv = 1
+	case backendDown:
+		hv = 0
+	default:
+		hv = -1
+	}
+	c.m.up.With(b.addr).Set(hv)
+	c.m.breaker.With(b.addr).Set(int64(b.breakerState(time.Now())))
+}
+
+// Registry exposes the coordinator's metric registry (the router's
+// /metrics handler).
+func (c *Coordinator) Registry() *obs.Registry { return c.m.reg }
+
+// Ring exposes the coordinator's trace ring (the router's
+// /debug/traces handler).
+func (c *Coordinator) Ring() *obs.Ring { return c.m.ring }
+
+// Status is the router's /statsz snapshot.
+type Status struct {
+	ShardMapVersion int64           `json:"shard_map_version"`
+	NumSeqs         int             `json:"num_seqs"`
+	Shards          int             `json:"shards"`
+	Ready           bool            `json:"ready"`
+	Requests        int64           `json:"requests"`
+	Errors          int64           `json:"errors"`
+	Partials        int64           `json:"partial_responses"`
+	InFlight        int64           `json:"in_flight"`
+	Backends        []BackendStatus `json:"backends"`
+}
+
+// StatsSnapshot assembles the /statsz view: counters plus one row per
+// backend with its live health and breaker state.
+func (c *Coordinator) StatsSnapshot() Status {
+	now := time.Now()
+	st := Status{
+		ShardMapVersion: c.smap.Version,
+		NumSeqs:         c.smap.NumSeqs,
+		Shards:          len(c.shards),
+		Ready:           c.Ready(),
+		Requests:        c.m.requests.Value(),
+		Errors:          c.m.errored.Value(),
+		Partials:        c.m.partials.Value(),
+		InFlight:        c.m.inFlight.Value(),
+	}
+	for _, b := range c.backends {
+		st.Backends = append(st.Backends, BackendStatus{
+			Addr:    b.addr,
+			Health:  b.healthString(),
+			Breaker: breakerStateNames[b.breakerState(now)],
+			Tries:   c.m.tries.Value(b.addr),
+			Retries: c.m.retries.Value(b.addr),
+			Hedges:  c.m.hedges.Value(b.addr),
+			Fails:   c.m.failures.Value(b.addr),
+		})
+	}
+	return st
+}

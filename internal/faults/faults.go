@@ -17,11 +17,17 @@
 //	               torn snapshot)
 //	client.stall — the client feeds its request slowly (slowloris,
 //	               congested uplink)
+//	shard.conn   — a coordinator's connection to a shard backend fails
+//	               (dead process, partition, refused dial)
+//	shard.slow   — a shard try stalls (overloaded backend, slow link)
+//	shard.err5xx — a shard backend answers with a synthetic 5xx
+//	               (crashed handler, bad deploy behind the address)
 //
-// internal/server threads a Registry through Config.Faults; the chaos
-// tests in that package assert the service's invariants — sentinel
-// codes, process survival, bit-identical un-faulted results — while
-// these sites fire.
+// internal/server threads a Registry through Config.Faults and
+// internal/cluster through its coordinator Config; the chaos tests in
+// those packages assert the service's invariants — sentinel codes,
+// process survival, bit-identical un-faulted results — while these
+// sites fire.
 package faults
 
 import (
@@ -46,12 +52,20 @@ const (
 	ScorePanic  Site = "score.panic"  // panic inside a scoring work unit
 	IndexLookup Site = "index.lookup" // fail candidate generation
 	ClientStall Site = "client.stall" // stall the request-body read
+
+	// The coordinator-level sites (internal/cluster): where a
+	// scatter-gather query can be hurt between the router and a shard.
+	ShardConn   Site = "shard.conn"   // fail a backend connection attempt
+	ShardSlow   Site = "shard.slow"   // stall a shard try in flight
+	ShardErr5xx Site = "shard.err5xx" // make a shard answer a synthetic 5xx
 )
 
 // Sites lists every compiled-in site, sorted, for help text and spec
-// validation.
+// validation. The sync test in this package pins it to the declared
+// Site constants, so a new injection point cannot ship without
+// appearing in -faults usage text and spec validation.
 func Sites() []Site {
-	return []Site{ClientStall, IndexLookup, ScorePanic, ScoreSlow}
+	return []Site{ClientStall, IndexLookup, ScorePanic, ScoreSlow, ShardConn, ShardErr5xx, ShardSlow}
 }
 
 // Fault describes when an armed site fires and what it injects. The
@@ -281,7 +295,7 @@ func ParseSpec(spec string, seed uint64) (*Registry, error) {
 		}
 		site := Site(strings.TrimSpace(name))
 		if !valid[site] {
-			return nil, fmt.Errorf("faults: unknown site %q (valid: %s)", site, siteList())
+			return nil, fmt.Errorf("faults: unknown site %q (valid: %s)", site, SiteList())
 		}
 		var f Fault
 		for _, kv := range strings.Split(args, ",") {
@@ -321,7 +335,10 @@ func ParseSpec(spec string, seed uint64) (*Registry, error) {
 	return r, nil
 }
 
-func siteList() string {
+// SiteList renders Sites() as a comma-separated string — the spelling
+// -faults usage text and spec errors share, so a command's help can
+// never drift from what ParseSpec accepts.
+func SiteList() string {
 	names := make([]string, 0, len(Sites()))
 	for _, s := range Sites() {
 		names = append(names, string(s))

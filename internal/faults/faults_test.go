@@ -3,6 +3,7 @@ package faults
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -234,6 +235,46 @@ func TestParseSpec(t *testing.T) {
 	} {
 		if _, err := ParseSpec(bad, 1); err == nil {
 			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestSitesSync pins Sites() to the declared Site constants, sorted
+// and duplicate-free, and proves ParseSpec accepts every listed site —
+// so a chaos spec can never silently name a site that has no probe,
+// and a new probe cannot ship unlisted.
+func TestSitesSync(t *testing.T) {
+	declared := []Site{ScoreSlow, ScorePanic, IndexLookup, ClientStall, ShardConn, ShardSlow, ShardErr5xx}
+	listed := Sites()
+	if len(listed) != len(declared) {
+		t.Fatalf("Sites() lists %d sites, %d Site constants are declared", len(listed), len(declared))
+	}
+	inList := make(map[Site]bool, len(listed))
+	for i, s := range listed {
+		if inList[s] {
+			t.Errorf("Sites() lists %q twice", s)
+		}
+		inList[s] = true
+		if i > 0 && string(listed[i-1]) >= string(s) {
+			t.Errorf("Sites() not sorted: %q before %q", listed[i-1], s)
+		}
+	}
+	for _, s := range declared {
+		if !inList[s] {
+			t.Errorf("declared site %q missing from Sites()", s)
+		}
+		r, err := ParseSpec(string(s)+":every=1", 1)
+		if err != nil {
+			t.Errorf("ParseSpec rejects listed site %q: %v", s, err)
+			continue
+		}
+		if _, ok := r.Fire(s); !ok {
+			t.Errorf("armed site %q did not fire", s)
+		}
+	}
+	for _, s := range declared {
+		if !strings.Contains(SiteList(), string(s)) {
+			t.Errorf("SiteList() %q omits %q", SiteList(), s)
 		}
 	}
 }

@@ -94,6 +94,39 @@ func (v *CounterVec) With(value string) *Counter {
 // never counted into "other").
 func (v *CounterVec) Value(value string) int64 { return v.With(value).Value() }
 
+// GaugeVec is a fixed-label-set family of gauges: per-backend health,
+// breaker states — anything that is one number per known identity.
+type GaugeVec struct {
+	label  string
+	order  []string
+	byName map[string]*Gauge
+}
+
+// NewGaugeVec builds a gauge per label value. Unlike counters there is
+// no catch-all: gauge label sets are static identities (backends,
+// shards), so asking for an undeclared one panics like HistogramVec.
+func NewGaugeVec(label string, values ...string) *GaugeVec {
+	v := &GaugeVec{label: label, byName: make(map[string]*Gauge, len(values))}
+	for _, name := range values {
+		if _, dup := v.byName[name]; dup {
+			continue
+		}
+		v.order = append(v.order, name)
+		v.byName[name] = NewGauge()
+	}
+	return v
+}
+
+// With returns the gauge for one declared label value; it panics on
+// undeclared values.
+func (v *GaugeVec) With(value string) *Gauge {
+	g, ok := v.byName[value]
+	if !ok {
+		panic(fmt.Sprintf("obs: gauge label %s=%q was not declared", v.label, value))
+	}
+	return g
+}
+
 // HistogramVec is a fixed-label-set family of histograms (e.g. the
 // pipeline stages).
 type HistogramVec struct {
@@ -201,6 +234,19 @@ func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
 		panic(fmt.Sprintf("obs: invalid label name %q", v.label))
 	}
 	r.add(name, help, "counter", func(w *bufio.Writer, name string) {
+		for _, lv := range v.order {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, lv, v.byName[lv].Value())
+		}
+	})
+}
+
+// RegisterGaugeVec exposes every declared label value of v as one
+// gauge family.
+func (r *Registry) RegisterGaugeVec(name, help string, v *GaugeVec) {
+	if !metricName.MatchString(v.label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", v.label))
+	}
+	r.add(name, help, "gauge", func(w *bufio.Writer, name string) {
 		for _, lv := range v.order {
 			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, lv, v.byName[lv].Value())
 		}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -191,4 +192,33 @@ func TestParseLabelsEscapes(t *testing.T) {
 	if s.Labels["a"] != `x"y\z` || s.Labels["b"] != "w" {
 		t.Fatalf("labels = %+v", s.Labels)
 	}
+}
+
+// TestGaugeVecExposition: per-label gauges render one line per
+// declared value and With panics on undeclared ones.
+func TestGaugeVecExposition(t *testing.T) {
+	v := NewGaugeVec("backend", "a:1", "b:2")
+	v.With("a:1").Set(2)
+	v.With("b:2").Set(-1)
+	reg := NewRegistry()
+	reg.RegisterGaugeVec("router_backend_up", "per-backend health", v)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`router_backend_up{backend="a:1"} 2`,
+		`router_backend_up{backend="b:2"} -1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("With on undeclared label did not panic")
+		}
+	}()
+	v.With("nope")
 }

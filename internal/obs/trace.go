@@ -47,9 +47,12 @@ const (
 // with (deadline_exceeded, overloaded, draining, ...).
 const OutcomeOK = "ok"
 
-// MaxSpans bounds a trace's span storage; the serving path records at
-// most 8 stages, so 12 leaves headroom without growing the struct.
-const MaxSpans = 12
+// MaxSpans bounds a trace's span storage. The single-node serving path
+// records at most 8 stages; the cluster coordinator adds one span per
+// shard try (a 4-shard scatter with retries and hedges can record a
+// dozen on its own), so 32 leaves headroom for both without unbounded
+// growth.
+const MaxSpans = 32
 
 // Span is one recorded stage: where it started relative to the trace
 // start, and how long it ran.

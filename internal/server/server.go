@@ -212,6 +212,7 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/search/stream", s.handleStream)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.Handle("/metrics", s.metrics.reg.Handler())
 	s.mux.Handle("/debug/traces", s.metrics.ring)
@@ -507,6 +508,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"degraded": s.degraded.Load(),
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+// handleReadyz is readiness, distinct from /healthz's liveness: a
+// draining server is still alive (it is finishing in-flight work) but
+// must not receive new traffic, so /readyz flips to 503 the moment
+// BeginDrain runs. The other not-ready phase — startup, while the
+// database loads and the index builds — is served by cmd/seqserve's
+// holding handler, which answers 503/starting on every path until the
+// Server exists; by the time this handler is reachable the pipeline is
+// warm. Coordinators (internal/cluster) and load balancers gate on
+// this endpoint; probing /healthz for routing decisions conflates "the
+// process is up" with "the process wants traffic".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":  false,
+			"reason": "draining",
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ready":    true,
+		"degraded": s.degraded.Load(),
 	})
 }
 

@@ -282,3 +282,34 @@ func TestGracefulShutdown(t *testing.T) {
 		<-results
 	}
 }
+
+// TestReadyz: readiness is distinct from liveness — a started server
+// is ready, a draining one is not (while /healthz keeps reporting the
+// drain as its own state for operators).
+func TestReadyz(t *testing.T) {
+	db := testDB(t, 40)
+	s := newTestServer(t, db, Config{Workers: 2})
+
+	get := func(path string) (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: undecodable body %q: %v", path, rec.Body.String(), err)
+		}
+		return rec.Code, body
+	}
+
+	code, body := get("/readyz")
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("started server: /readyz = %d %v, want 200 ready", code, body)
+	}
+	s.BeginDrain()
+	code, body = get("/readyz")
+	if code != http.StatusServiceUnavailable || body["ready"] != false || body["reason"] != "draining" {
+		t.Fatalf("draining server: /readyz = %d %v, want 503 not-ready/draining", code, body)
+	}
+	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: /healthz = %d, want 503", code)
+	}
+}
