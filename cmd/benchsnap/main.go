@@ -9,19 +9,24 @@
 //
 // Usage:
 //
-//	benchsnap [-o BENCH_8.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0] [-min-stream-speedup 2.0]
+//	benchsnap [-o BENCH_10.json] [-min-swar-speedup 1.0] [-min-cache-speedup 5.0] [-min-stream-speedup 2.0] [-min-snapshot-speedup 10.0]
 //
 // The snapshot carries a swar_vs_sw_speedup field (the SWAR kernel's
 // Mcells/s over the scalar reference's), a cache_speedup field (the
 // service's cache-hit qps over its uncached qps), and a
 // stream_vs_post_speedup field (bulk NDJSON queries over one
 // /search/stream connection vs the same queries as sequential single
-// POSTs). All gates are ratios measured in the same run, not absolute
-// rates, so CI hardware variance cannot flake them: -min-swar-speedup
+// POSTs), and a snapshot_load_speedup field (opening a SEQSNAP
+// artifact vs regenerating the database and rebuilding the index —
+// the fast-boot ratio `seqserve -snapshot` buys, see
+// internal/snapshot). All gates are ratios measured in the same run,
+// not absolute rates, so CI hardware variance cannot flake them:
+// -min-swar-speedup
 // keeps the multi-lane kernel from regressing below scalar,
-// -min-cache-speedup keeps the result cache paying for itself, and
+// -min-cache-speedup keeps the result cache paying for itself,
 // -min-stream-speedup keeps the streaming protocol's per-query
-// overhead amortization real.
+// overhead amortization real, and -min-snapshot-speedup keeps the
+// snapshot boot path meaningfully faster than rebuilding.
 package main
 
 import (
@@ -35,7 +40,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -47,6 +54,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/server"
 	"repro/internal/simd"
+	"repro/internal/snapshot"
 	"repro/internal/uarch"
 )
 
@@ -86,6 +94,23 @@ type IndexedResult struct {
 	RecallAt10    float64 `json:"recall_at_10"`
 }
 
+// SnapLoadResult compares the two ways a server can come to own a
+// (database, index) pair: rebuild — regenerate/parse the database and
+// index it, what `seqserve -db` does at boot — against opening a
+// prebuilt SEQSNAP artifact, what `seqserve -snapshot` and POST
+// /admin/reload do. The ratio is the fast-boot leverage snapshots
+// exist for.
+type SnapLoadResult struct {
+	Name       string  `json:"name"`
+	DBSeqs     int     `json:"db_seqs"`
+	FileBytes  int64   `json:"file_bytes"`
+	Mapped     bool    `json:"mapped"`
+	RebuildMs  float64 `json:"rebuild_ms"`
+	LoadMs     float64 `json:"load_ms"`
+	Speedup    float64 `json:"speedup"`
+	VerifiedMs float64 `json:"verified_load_ms"` // load with every checksum re-computed
+}
+
 // ServerResult is one measurement of the HTTP search service: full
 // request service through the handler (JSON decode, validation,
 // admission, batched indexed scan, ranking, JSON encode), with the
@@ -101,31 +126,35 @@ type ServerResult struct {
 
 // Snapshot is the file format.
 type Snapshot struct {
-	GoVersion     string          `json:"go_version"`
-	GOMAXPROCS    int             `json:"gomaxprocs"`
-	Query         string          `json:"query"`
-	QueryLen      int             `json:"query_len"`
-	SubjectLen    int             `json:"subject_len"`
-	SwarVsSw      float64         `json:"swar_vs_sw_speedup"`
-	CacheSpeedup  float64         `json:"cache_speedup"`
-	StreamVsPost  float64         `json:"stream_vs_post_speedup"`
-	LoadgenP99Us  float64         `json:"loadgen_p99_us"`
-	LoadgenCV     float64         `json:"loadgen_cv"`
-	Kernels       []KernelResult  `json:"kernels"`
-	Scan          []KernelResult  `json:"scan"`
-	Sweep         []SweepResult   `json:"sweep"`
-	IndexedSearch []IndexedResult `json:"indexed_search"`
-	Server        []ServerResult  `json:"server"`
+	GoVersion     string           `json:"go_version"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Query         string           `json:"query"`
+	QueryLen      int              `json:"query_len"`
+	SubjectLen    int              `json:"subject_len"`
+	SwarVsSw      float64          `json:"swar_vs_sw_speedup"`
+	CacheSpeedup  float64          `json:"cache_speedup"`
+	StreamVsPost  float64          `json:"stream_vs_post_speedup"`
+	SnapSpeedup   float64          `json:"snapshot_load_speedup"`
+	LoadgenP99Us  float64          `json:"loadgen_p99_us"`
+	LoadgenCV     float64          `json:"loadgen_cv"`
+	Kernels       []KernelResult   `json:"kernels"`
+	Scan          []KernelResult   `json:"scan"`
+	Sweep         []SweepResult    `json:"sweep"`
+	IndexedSearch []IndexedResult  `json:"indexed_search"`
+	SnapshotLoad  []SnapLoadResult `json:"snapshot_load"`
+	Server        []ServerResult   `json:"server"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_8.json", "output file")
+	out := flag.String("o", "BENCH_10.json", "output file")
 	minSwar := flag.Float64("min-swar-speedup", 0,
 		"fail unless the swar kernel is at least this many times faster than scalar sw (0 disables)")
 	minCache := flag.Float64("min-cache-speedup", 0,
 		"fail unless cached /search qps is at least this many times the uncached qps (0 disables)")
 	minStream := flag.Float64("min-stream-speedup", 0,
 		"fail unless bulk /search/stream qps is at least this many times sequential single-POST qps (0 disables)")
+	minSnap := flag.Float64("min-snapshot-speedup", 0,
+		"fail unless opening a SEQSNAP snapshot is at least this many times faster than regenerating the database and rebuilding the index (0 disables)")
 	flag.Parse()
 
 	p := align.PaperParams()
@@ -252,8 +281,9 @@ func main() {
 	buildMs := float64(time.Since(buildStart).Microseconds()) / 1e3
 	searcher := index.NewSearcher(ix, idxDB, p, index.SearchOptions{})
 	exactCfg := align.SearchConfig{Kernel: align.KernelSSEARCH, TopK: 10}
-	indexedCfg := exactCfg
-	indexedCfg.Filter = searcher
+	// The epoch-aware entry: the (db, filter) pair travels as one value,
+	// the same shape a hot-reloading server swaps atomically.
+	epoch := &align.Epoch{DB: idxDB, Filter: searcher}
 
 	// Recall@10 over the planted parent plus a few of its homologs as
 	// queries — each has a well-defined exact top-10 dominated by the
@@ -271,7 +301,7 @@ func main() {
 	for _, query := range queries {
 		exactHits := align.SearchDB(p, query, idxDB, exactCfg)
 		got := map[int]bool{}
-		for _, h := range align.SearchDB(p, query, idxDB, indexedCfg) {
+		for _, h := range epoch.Search(p, query, exactCfg) {
 			got[h.Index] = true
 		}
 		for _, h := range exactHits {
@@ -289,7 +319,7 @@ func main() {
 	})
 	indexedBench := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			align.SearchDB(p, q.Residues, idxDB, indexedCfg)
+			epoch.Search(p, q.Residues, exactCfg)
 		}
 	})
 	exactQPS := 1e9 / (float64(exactBench.T.Nanoseconds()) / float64(exactBench.N))
@@ -306,6 +336,62 @@ func main() {
 		Speedup:       indexedQPS / exactQPS,
 		RecallQueries: len(queries),
 		RecallAt10:    float64(found) / float64(total),
+	})
+
+	// Snapshot boot path: pack the benchmark database and its index into
+	// a SEQSNAP artifact once, then time opening it against the cold
+	// path it replaces (regenerate the database, rebuild the index —
+	// exactly what a `seqserve -db synthetic:...` boot pays). Both sides
+	// are medians of repeated timed passes, and the ratio is the gate.
+	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("benchsnap-%d.snap", os.Getpid()))
+	defer os.Remove(snapPath)
+	if _, err := snapshot.Write(snapPath, idxDB, ix, snapshot.Manifest{Version: "bench", Tool: "benchsnap"}); err != nil {
+		fatal(err)
+	}
+	snapInfo, err := os.Stat(snapPath)
+	if err != nil {
+		fatal(err)
+	}
+	medianMs := func(passes int, f func()) float64 {
+		times := make([]float64, passes)
+		for i := range times {
+			start := time.Now()
+			f()
+			times[i] = float64(time.Since(start).Microseconds()) / 1e3
+		}
+		sort.Float64s(times)
+		return times[len(times)/2]
+	}
+	rebuildMs := medianMs(5, func() {
+		rdb := bio.SyntheticDB(idxSpec)
+		index.Build(rdb, index.Options{})
+	})
+	var lastMapped bool
+	loadMs := medianMs(21, func() {
+		s, err := snapshot.Open(snapPath, snapshot.OpenOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		lastMapped = s.Mapped()
+		s.Close()
+	})
+	verifiedMs := medianMs(11, func() {
+		s, err := snapshot.Open(snapPath, snapshot.OpenOptions{Verify: true})
+		if err != nil {
+			fatal(err)
+		}
+		s.Close()
+	})
+	snap.SnapSpeedup = rebuildMs / loadMs
+	snap.SnapshotLoad = append(snap.SnapshotLoad, SnapLoadResult{
+		Name:       "seqsnap-open-vs-rebuild",
+		DBSeqs:     idxDB.NumSeqs(),
+		FileBytes:  snapInfo.Size(),
+		Mapped:     lastMapped,
+		RebuildMs:  rebuildMs,
+		LoadMs:     loadMs,
+		Speedup:    snap.SnapSpeedup,
+		VerifiedMs: verifiedMs,
 	})
 
 	// The search service end to end, on the same indexed benchmark
@@ -525,9 +611,11 @@ func main() {
 		fatal(err)
 	}
 	ir := snap.IndexedSearch[0]
-	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx; stream %.0f qps vs post %.0f qps = %.2fx; loadgen p99 %.0fµs cv %.1f%%)\n",
+	sl := snap.SnapshotLoad[0]
+	fmt.Printf("wrote %s (%d kernels, %d scan points, %d sweep points; swar %.2fx sw, indexed search %.1fx at recall@10 %.2f; server %.0f qps uncached, %.0f qps cached = %.0fx; stream %.0f qps vs post %.0f qps = %.2fx; snapshot open %.2fms vs rebuild %.0fms = %.0fx; loadgen p99 %.0fµs cv %.1f%%)\n",
 		*out, len(snap.Kernels), len(snap.Scan), len(snap.Sweep), snap.SwarVsSw, ir.Speedup, ir.RecallAt10,
 		uncachedRow.QPS, cachedRow.QPS, snap.CacheSpeedup, streamQPS, postQPS, snap.StreamVsPost,
+		sl.LoadMs, sl.RebuildMs, snap.SnapSpeedup,
 		snap.LoadgenP99Us, 100*snap.LoadgenCV)
 	if *minSwar > 0 && snap.SwarVsSw < *minSwar {
 		fatal(fmt.Errorf("swar kernel is %.2fx scalar sw, below the required %.2fx", snap.SwarVsSw, *minSwar))
@@ -537,6 +625,9 @@ func main() {
 	}
 	if *minStream > 0 && snap.StreamVsPost < *minStream {
 		fatal(fmt.Errorf("bulk /search/stream is %.2fx sequential POSTs, below the required %.2fx", snap.StreamVsPost, *minStream))
+	}
+	if *minSnap > 0 && snap.SnapSpeedup < *minSnap {
+		fatal(fmt.Errorf("snapshot open is %.2fx the rebuild path, below the required %.2fx", snap.SnapSpeedup, *minSnap))
 	}
 }
 

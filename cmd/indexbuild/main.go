@@ -10,6 +10,15 @@
 //	indexbuild -db swissprot.fasta -k 5 -o sp.seqidx    # from FASTA
 //	indexbuild -inspect db.seqidx                       # header + stats
 //
+// The snapshot subcommand packages the database AND its index into one
+// mmap-able SEQSNAP artifact — what `seqserve -snapshot` boots from in
+// milliseconds and what POST /admin/reload hot-swaps:
+//
+//	indexbuild snapshot -db swissprot.fasta -version v1 -o sp.snap   # build
+//	indexbuild snapshot -db synthetic:300 -shard 100:200 -version v1 -o s1.snap  # per-shard
+//	indexbuild snapshot -inspect sp.snap                # manifest, no data read
+//	indexbuild snapshot -verify sp.snap                 # checksums + full reconstruction
+//
 // Synthetic databases are generated with the same defaults as dbgen
 // and seqalign (seed 20061001), so `indexbuild -db synthetic:N` and
 // `seqalign -db synthetic:N` agree on the database bit for bit; pass
@@ -21,13 +30,19 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bio"
 	"repro/internal/index"
+	"repro/internal/snapshot"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		snapshotCmd(os.Args[2:])
+		return
+	}
 	var (
 		dbArg    = flag.String("db", "", "database to index: FASTA file path or synthetic:<n>")
 		dbSeed   = flag.Int64("seed", 20061001, "synthetic database generator seed")
@@ -104,6 +119,143 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d bytes, verified round-trip)\n", *out, info.Size())
+}
+
+// snapshotCmd implements `indexbuild snapshot`: build a SEQSNAP
+// artifact from a database (+ freshly built index), or inspect/verify
+// an existing one. Build and the two read modes are mutually
+// exclusive.
+func snapshotCmd(argv []string) {
+	fs := flag.NewFlagSet("indexbuild snapshot", flag.ExitOnError)
+	var (
+		dbArg   = fs.String("db", "", "database to snapshot: FASTA file path or synthetic:<n>")
+		dbSeed  = fs.Int64("seed", 20061001, "synthetic database generator seed")
+		related = fs.Int("related", 0, "plant this many homologs in a synthetic database")
+		parent  = fs.String("parent", "P14942", "Table II accession the planted homologs derive from")
+		k       = fs.Int("k", index.DefaultK, "k-mer length")
+		capFlag = fs.Int("cap", index.DefaultMaxPostings, "max postings per k-mer (-1 = uncapped)")
+		workers = fs.Int("workers", 0, "index build workers (0 = all CPUs)")
+		shard   = fs.String("shard", "",
+			"snapshot only the contiguous slice lo:hi (hi exclusive) — the per-shard artifact a sharded seqserve boots from")
+		version = fs.String("version", "", "operator version label stamped into the manifest (required to build; e.g. v2026-08-08)")
+		out     = fs.String("o", "", "write the snapshot to this path (required to build)")
+		inspect = fs.String("inspect", "", "print an existing snapshot's manifest (reads the header only)")
+		verify  = fs.String("verify", "", "fully open an existing snapshot with every section checksummed, and re-validate the index against the database")
+	)
+	_ = fs.Parse(argv)
+
+	switch {
+	case *inspect != "":
+		m, err := snapshot.ReadManifest(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := os.Stat(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot %s: %d bytes\n", *inspect, info.Size())
+		printManifest(m)
+		return
+
+	case *verify != "":
+		start := time.Now()
+		snap, err := snapshot.Open(*verify, snapshot.OpenOptions{Verify: true})
+		if err != nil {
+			fatal(fmt.Errorf("verifying %s: %w", *verify, err))
+		}
+		defer snap.Close()
+		if err := snap.Index.Validate(snap.DB); err != nil {
+			fatal(fmt.Errorf("verifying %s: index/database mismatch: %w", *verify, err))
+		}
+		if got := snapshot.DBHash(snap.DB); got != snap.Manifest.DBHash {
+			fatal(fmt.Errorf("verifying %s: database hash %s does not match the manifest's %s", *verify, got, snap.Manifest.DBHash))
+		}
+		printManifest(snap.Manifest)
+		fmt.Printf("verified in %v: all section checksums match, index validates, db hash matches\n",
+			time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *dbArg == "" {
+		fatal(fmt.Errorf("nothing to do: pass -db/-version/-o to build, or -inspect/-verify to examine a snapshot"))
+	}
+	if *version == "" || *out == "" {
+		fatal(fmt.Errorf("building a snapshot requires -version (the operator label reloads report) and -o"))
+	}
+	if *k < index.MinK || *k > index.MaxK {
+		fatal(fmt.Errorf("-k %d outside [%d, %d]", *k, index.MinK, index.MaxK))
+	}
+	var parentSeq *bio.Sequence
+	if *related > 0 {
+		parentSeq = bio.PaperQuery(*parent)
+	}
+	db, err := bio.LoadDatabase(*dbArg, *dbSeed, *related, parentSeq)
+	if err != nil {
+		fatal(err)
+	}
+	if *shard != "" {
+		lo, hi, err := parseShardRange(*shard, db.NumSeqs())
+		if err != nil {
+			fatal(err)
+		}
+		db = bio.NewDatabase(db.Seqs[lo:hi])
+		fmt.Printf("snapshotting shard %d:%d (%d of the database's sequences)\n", lo, hi, db.NumSeqs())
+	}
+	start := time.Now()
+	ix := index.Build(db, index.Options{K: *k, MaxPostings: *capFlag, Workers: *workers})
+	buildTime := time.Since(start)
+	m, err := snapshot.Write(*out, db, ix, snapshot.Manifest{Version: *version, Tool: "indexbuild"})
+	if err != nil {
+		fatal(err)
+	}
+	// Open what was written, checksums and all: a snapshot that cannot
+	// round-trip must fail here, not at 3am in a reload.
+	snap, err := snapshot.Open(*out, snapshot.OpenOptions{Verify: true})
+	if err != nil {
+		fatal(fmt.Errorf("verifying %s: %w", *out, err))
+	}
+	snap.Close()
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	printManifest(m)
+	fmt.Printf("wrote %s (%d bytes, verified round-trip) — index built in %v\n",
+		*out, info.Size(), buildTime.Round(time.Millisecond))
+}
+
+// parseShardRange parses -shard's lo:hi against the database size.
+func parseShardRange(spec string, n int) (lo, hi int, err error) {
+	loStr, hiStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q is not lo:hi", spec)
+	}
+	if lo, err = strconv.Atoi(loStr); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: bad lo: %v", spec, err)
+	}
+	if hi, err = strconv.Atoi(hiStr); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: bad hi: %v", spec, err)
+	}
+	if lo < 0 || hi <= lo || hi > n {
+		return 0, 0, fmt.Errorf("-shard %d:%d outside the database's [0, %d]", lo, hi, n)
+	}
+	return lo, hi, nil
+}
+
+func printManifest(m snapshot.Manifest) {
+	fmt.Printf("  version:        %s\n", m.Version)
+	fmt.Printf("  created:        %s", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	if m.Tool != "" {
+		fmt.Printf(" by %s", m.Tool)
+	}
+	fmt.Println()
+	fmt.Printf("  database:       %d sequences, %d residues, hash %s\n", m.NumSeqs, m.TotalResidues, m.DBHash)
+	capStr := strconv.Itoa(m.MaxPostings)
+	if m.MaxPostings < 0 {
+		capStr = "uncapped"
+	}
+	fmt.Printf("  index:          k=%d cap=%s, %d distinct k-mers, %d postings\n", m.K, capStr, m.DistinctKmers, m.Postings)
 }
 
 func inspectIndex(path string, topKmers int) {

@@ -15,8 +15,10 @@
 //	curl -s -d '{"query":"MTDKL...","k":5}' localhost:8060/search
 //	curl -s localhost:8060/statsz
 //
-// The endpoint surface matches seqserve (plus GET /shardmap), so
-// seqclient and the load harness point at a router unchanged.
+// The endpoint surface matches seqserve (plus GET /shardmap to read
+// the serving map and PUT /shardmap to rebalance it live, without
+// dropping in-flight fan-outs), so seqclient and the load harness
+// point at a router unchanged.
 // DESIGN.md's "Sharded serving & failure handling" section documents
 // the architecture.
 package main
@@ -50,14 +52,16 @@ func main() {
 		retryMax  = flag.Duration("retry-max-wait", cluster.DefaultRetryMaxWait, "cap on one retry backoff wait")
 		hedgeQ    = flag.Float64("hedge-quantile", cluster.DefaultHedgeQuantile,
 			"shard latency quantile a try must outlive before a hedged second try launches (negative disables hedging)")
-		hedgeMin   = flag.Duration("hedge-min-wait", cluster.DefaultHedgeMinWait, "floor on the hedge delay")
-		probeIvl   = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "backend health probe period (negative disables probing)")
-		probeTO    = flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "per-probe timeout")
-		eject      = flag.Int("eject-after", cluster.DefaultEjectAfter, "consecutive failed probes before a backend is ejected")
-		recover_   = flag.Int("recover-after", cluster.DefaultRecoverAfter, "consecutive successful probes before an ejected backend returns")
-		brkTrip    = flag.Int("breaker-threshold", cluster.DefaultBreakerTrip, "consecutive failed tries that trip a backend's circuit breaker (negative disables)")
-		brkCool    = flag.Duration("breaker-cooldown", cluster.DefaultBreakerCool, "how long a tripped breaker stays open before its half-open trial")
-		reqTO      = flag.Duration("request-timeout", 0, "cap on every routed request's deadline (0 = none)")
+		hedgeMin = flag.Duration("hedge-min-wait", cluster.DefaultHedgeMinWait, "floor on the hedge delay")
+		probeIvl = flag.Duration("probe-interval", cluster.DefaultProbeInterval, "backend health probe period (negative disables probing)")
+		probeTO  = flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "per-probe timeout")
+		eject    = flag.Int("eject-after", cluster.DefaultEjectAfter, "consecutive failed probes before a backend is ejected")
+		recover_ = flag.Int("recover-after", cluster.DefaultRecoverAfter, "consecutive successful probes before an ejected backend returns")
+		brkTrip  = flag.Int("breaker-threshold", cluster.DefaultBreakerTrip, "consecutive failed tries that trip a backend's circuit breaker (negative disables)")
+		brkCool  = flag.Duration("breaker-cooldown", cluster.DefaultBreakerCool, "how long a tripped breaker stays open before its half-open trial")
+		reqTO    = flag.Duration("request-timeout", 0, "cap on every routed request's deadline (0 = none)")
+		verSkew  = flag.String("version-skew", cluster.VersionSkewAllow,
+			"what to do when shards answer one query from different snapshot versions mid rolling reload: 'allow' merges and reports the mix in snapshot_versions; 'fence' drops disagreeing shards (complete:false, shards_skewed) and turns require_complete into 503 versions_skewed")
 		streamWin  = flag.Int("stream-window", cluster.DefaultStreamWindow, "per-connection /search/stream fan-out window")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
 		drainGrace = flag.Duration("drain-grace", 0,
@@ -101,6 +105,7 @@ func main() {
 		BreakerThreshold: *brkTrip,
 		BreakerCooldown:  *brkCool,
 		RequestTimeout:   *reqTO,
+		VersionSkew:      *verSkew,
 		StreamWindow:     *streamWin,
 		Faults:           reg,
 		TraceRing:        *traceRing,

@@ -8,10 +8,13 @@
 //
 //	seqserve -db synthetic:1000 -related 20 -addr :8044
 //	seqserve -db swissprot.fasta -index sp.seqidx -workers 8
+//	seqserve -snapshot sp.snap                      # fast boot: mmap db+index in one file
 //	curl -s localhost:8044/healthz
 //	curl -s -d '{"query":"MTDKL...","k":5}' localhost:8044/search
 //	seqclient -gen 1000 | seqclient -addr localhost:8044   # bulk NDJSON over /search/stream
 //	curl -s localhost:8044/statsz
+//	curl -s -X POST -d '{"path":"sp.v2.snap"}' localhost:8044/admin/reload   # hot swap, zero downtime
+//	kill -HUP $(pidof seqserve)                     # re-open the last snapshot path
 //
 // The endpoints and the pipeline behind them (admission ->
 // micro-batch -> shard -> rescore -> rank -> cache) are documented in
@@ -20,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -30,6 +34,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -38,6 +43,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/index"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -50,6 +56,11 @@ func main() {
 		indexArg = flag.String("index", "build",
 			"seed index: an indexbuild file, 'build' to index in-process at startup, or 'none' for exhaustive-only")
 		kFlag = flag.Int("k", index.DefaultK, "k-mer length when -index build")
+
+		snapArg = flag.String("snapshot", "",
+			"boot from a SEQSNAP snapshot (indexbuild snapshot) instead of -db/-index: the file maps in db and index together, skipping the load and build entirely. Also the default artifact for POST /admin/reload and SIGHUP")
+		snapVerify = flag.Bool("snapshot-verify", false,
+			"checksum every snapshot section on open (catches torn copies; costs one pass over the file, against the fast-boot point of snapshots)")
 
 		addr        = flag.String("addr", ":8044", "listen address")
 		workers     = flag.Int("workers", 0, "scan worker pool size (0 = all CPUs)")
@@ -116,52 +127,78 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
-	var parentSeq *bio.Sequence
-	if *related > 0 {
-		parentSeq = bio.PaperQuery(*parent)
-	}
-	db, err := bio.LoadDatabase(*dbArg, *dbSeed, *related, parentSeq)
-	if err != nil {
-		fatal(err)
-	}
-
-	// -shard slices the loaded database to a contiguous target range;
-	// the index (built or loaded) then covers exactly the slice. The
-	// full database is still loaded first so every shard's slice comes
-	// from the identical global ordering — that identity is what lets a
-	// seqrouter remap shard-local hit indexes by adding lo.
-	if *shardArg != "" {
-		lo, hi, perr := parseShardRange(*shardArg, db.NumSeqs())
-		if perr != nil {
-			fatal(perr)
-		}
-		db = bio.NewDatabase(db.Seqs[lo:hi])
-		fmt.Printf("seqserve: serving shard %d:%d (%d of the database's sequences)\n", lo, hi, db.NumSeqs())
-	}
-
-	var ix *index.Index
-	switch *indexArg {
-	case "none":
-	case "build":
-		if *kFlag < index.MinK || *kFlag > index.MaxK {
-			fatal(fmt.Errorf("-k %d outside [%d, %d]", *kFlag, index.MinK, index.MaxK))
+	var (
+		db   *bio.Database
+		ix   *index.Index
+		snap *snapshot.Snapshot
+	)
+	if *snapArg != "" {
+		// The snapshot fast path: db and index come out of one
+		// page-aligned file, mapped rather than parsed — no FASTA scan,
+		// no index build. A snapshot is built for an exact database
+		// (and, for shard fleets, an exact slice — indexbuild snapshot
+		// -shard), so the slicing flags don't apply here.
+		if *shardArg != "" {
+			fatal(fmt.Errorf("-shard does not combine with -snapshot: build a per-shard artifact with 'indexbuild snapshot -shard %s' and serve that file; hit indexes are shard-local either way", *shardArg))
 		}
 		start := time.Now()
-		ix = index.Build(db, index.Options{K: *kFlag})
-		fmt.Printf("built seed index in %v (k=%d, %.1f MiB)\n",
-			time.Since(start).Round(time.Millisecond), ix.K(),
-			float64(ix.Stats().FootprintBytes)/(1<<20))
-	default:
-		f, err := os.Open(*indexArg)
+		var serr error
+		snap, serr = snapshot.Open(*snapArg, snapshot.OpenOptions{Verify: *snapVerify})
+		if serr != nil {
+			fatal(fmt.Errorf("opening snapshot %s: %w", *snapArg, serr))
+		}
+		db, ix = snap.DB, snap.Index
+		fmt.Printf("seqserve: snapshot %s version %q: %d sequences, %.1f MiB, mmap=%v, loaded in %v (a -db/-index boot reloads FASTA and rebuilds the index; compare cmd/benchsnap)\n",
+			*snapArg, snap.Manifest.Version, db.NumSeqs(),
+			float64(snap.SizeBytes())/(1<<20), snap.Mapped(),
+			time.Since(start).Round(time.Microsecond))
+	} else {
+		var parentSeq *bio.Sequence
+		if *related > 0 {
+			parentSeq = bio.PaperQuery(*parent)
+		}
+		db, err = bio.LoadDatabase(*dbArg, *dbSeed, *related, parentSeq)
 		if err != nil {
 			fatal(err)
 		}
-		ix, err = index.ReadIndex(f)
-		f.Close()
-		if err != nil {
-			fatal(fmt.Errorf("loading index %s: %w", *indexArg, err))
+
+		// -shard slices the loaded database to a contiguous target range;
+		// the index (built or loaded) then covers exactly the slice. The
+		// full database is still loaded first so every shard's slice comes
+		// from the identical global ordering — that identity is what lets a
+		// seqrouter remap shard-local hit indexes by adding lo.
+		if *shardArg != "" {
+			lo, hi, perr := parseShardRange(*shardArg, db.NumSeqs())
+			if perr != nil {
+				fatal(perr)
+			}
+			db = bio.NewDatabase(db.Seqs[lo:hi])
+			fmt.Printf("seqserve: serving shard %d:%d (%d of the database's sequences)\n", lo, hi, db.NumSeqs())
 		}
-		// server.New validates the index fingerprint against db.
+
+		switch *indexArg {
+		case "none":
+		case "build":
+			if *kFlag < index.MinK || *kFlag > index.MaxK {
+				fatal(fmt.Errorf("-k %d outside [%d, %d]", *kFlag, index.MinK, index.MaxK))
+			}
+			start := time.Now()
+			ix = index.Build(db, index.Options{K: *kFlag})
+			fmt.Printf("built seed index in %v (k=%d, %.1f MiB)\n",
+				time.Since(start).Round(time.Millisecond), ix.K(),
+				float64(ix.Stats().FootprintBytes)/(1<<20))
+		default:
+			f, err := os.Open(*indexArg)
+			if err != nil {
+				fatal(err)
+			}
+			ix, err = index.ReadIndex(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("loading index %s: %w", *indexArg, err))
+			}
+			// server.New validates the index fingerprint against db.
+		}
 	}
 
 	// At the flag layer the defaults are already spelled out, so an
@@ -202,10 +239,51 @@ func main() {
 		AccessLog:          accessLog,
 	})
 	if err != nil {
-		if ix != nil && *indexArg != "build" {
+		if ix != nil && *indexArg != "build" && *snapArg == "" {
 			err = fmt.Errorf("%w (rebuild %s for this database, or pass the same -db/-seed/-related here and to indexbuild)", err, *indexArg)
 		}
 		fatal(err)
+	}
+	if snap != nil {
+		// New built the first epoch unversioned; re-swap the same pair in
+		// with the manifest's version stamp and the snapshot's Close as
+		// the epoch release, so the mapping unmaps exactly when the last
+		// in-flight request pinned to it finishes.
+		if err := srv.Swap(snap.DB, snap.Index, snap.Manifest.Version, func() { snap.Close() }); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Reloads — POST /admin/reload and SIGHUP — swap a new snapshot in
+	// under live traffic. Serialized: a reload that loses the race simply
+	// runs after the winner, and the path it loaded becomes the new
+	// default for path-less reloads.
+	var reloadMu sync.Mutex
+	lastPath := *snapArg
+	reload := func(path string) (snapshot.Manifest, time.Duration, error) {
+		reloadMu.Lock()
+		defer reloadMu.Unlock()
+		if path == "" {
+			path = lastPath
+		}
+		if path == "" {
+			return snapshot.Manifest{}, 0, fmt.Errorf("no snapshot path: POST {\"path\":...} or start with -snapshot")
+		}
+		start := time.Now()
+		ns, err := snapshot.Open(path, snapshot.OpenOptions{Verify: *snapVerify})
+		if err != nil {
+			return snapshot.Manifest{}, 0, err
+		}
+		old := srv.SnapshotVersion()
+		if err := srv.Swap(ns.DB, ns.Index, ns.Manifest.Version, func() { ns.Close() }); err != nil {
+			ns.Close()
+			return snapshot.Manifest{}, 0, err
+		}
+		lastPath = path
+		d := time.Since(start)
+		fmt.Printf("seqserve: reloaded %s: snapshot version %q -> %q, %d sequences, in %v\n",
+			path, old, ns.Manifest.Version, ns.DB.NumSeqs(), d.Round(time.Microsecond))
+		return ns.Manifest, d, nil
 	}
 
 	// The debug listener is a separate address on purpose: pprof
@@ -241,19 +319,65 @@ func main() {
 
 	// Swap the real handler in: the listener has been up since before
 	// the load, and from this store on /healthz and /readyz answer for
-	// the real server.
-	real := srv.Handler()
+	// the real server. /admin/reload lives in this outer mux — snapshot
+	// files are a deployment concern, so internal/server stays
+	// snapshot-agnostic and only sees the Swap.
+	outer := http.NewServeMux()
+	outer.Handle("/", srv.Handler())
+	outer.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			fmt.Fprintln(w, `{"error":"bad_method","detail":"POST /admin/reload with an optional {\"path\":...} body"}`)
+			return
+		}
+		var body struct {
+			Path string `json:"path"`
+		}
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&body); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": server.ErrBadRequest, "detail": err.Error()})
+				return
+			}
+		}
+		man, d, err := reload(body.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "reload_failed", "detail": err.Error()})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"snapshot_version": man.Version,
+			"num_seqs":         man.NumSeqs,
+			"load_ms":          d.Milliseconds(),
+		})
+	})
+	real := http.Handler(outer)
 	liveHandler.Store(&real)
 	fmt.Printf("seqserve: serving %d sequences (%d residues) on %s\n",
 		db.NumSeqs(), db.TotalResidues(), ln.Addr())
 
+	// SIGHUP is the classic "reload your config" signal: here it re-opens
+	// the last snapshot path (new file contents, same name — the rename
+	// publish idiom) without a connection's worth of downtime.
 	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case sig := <-sigCh:
-		fmt.Printf("seqserve: %v, draining\n", sig)
-	case err := <-errCh:
-		fatal(err) // the listener died before any signal
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+waitLoop:
+	for {
+		select {
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				if _, _, err := reload(""); err != nil {
+					fmt.Fprintln(os.Stderr, "seqserve: SIGHUP reload failed, still serving the old snapshot:", err)
+				}
+				continue
+			}
+			fmt.Printf("seqserve: %v, draining\n", sig)
+			break waitLoop
+		case err := <-errCh:
+			fatal(err) // the listener died before any signal
+		}
 	}
 
 	// Graceful drain, in three steps. BeginDrain flips the service to

@@ -1,0 +1,40 @@
+package align
+
+import (
+	"context"
+
+	"repro/internal/bio"
+)
+
+// Epoch bundles the immutable (database, candidate filter) pair that
+// one snapshot generation serves. A hot reload (internal/server's
+// Swap, internal/snapshot's artifacts) retires a whole Epoch and
+// installs another behind an atomic pointer; keeping the pair in one
+// value makes the generation invariant structural — a query scored
+// through an Epoch can only ever combine that Epoch's database with
+// the filter built over it. There is no call shape that seeds
+// candidates from one generation and rescores them against another,
+// which is exactly the bug class a live swap introduces when the two
+// travel as separate arguments.
+//
+// An Epoch is immutable after construction and safe for concurrent
+// use to the same degree its Filter is (index.Searcher clones are
+// single-goroutine; nil and stateless filters are fully concurrent).
+type Epoch struct {
+	DB     *bio.Database
+	Filter CandidateFilter // nil scans exhaustively
+}
+
+// SearchContext runs SearchDBContext against the epoch's pair. Any
+// Filter set on cfg is overridden: the epoch owns the pairing, that
+// is its point.
+func (e *Epoch) SearchContext(ctx context.Context, p Params, query []uint8, cfg SearchConfig) ([]Hit, error) {
+	cfg.Filter = e.Filter
+	return SearchDBContext(ctx, p, query, e.DB, cfg)
+}
+
+// Search is SearchContext without cancellation, mirroring SearchDB.
+func (e *Epoch) Search(p Params, query []uint8, cfg SearchConfig) []Hit {
+	hits, _ := e.SearchContext(context.Background(), p, query, cfg)
+	return hits
+}

@@ -1,0 +1,104 @@
+package align
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bio"
+)
+
+// evenFilter proposes only even-indexed sequences — a toy filter whose
+// effect on the hit list is easy to assert.
+type evenFilter struct{ n int }
+
+func (f evenFilter) Candidates(query []uint8, max int) []int {
+	if max >= f.n {
+		// The filter contract: asked for everything, propose everything.
+		all := make([]int, f.n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var cand []int
+	for i := 0; i < f.n; i += 2 {
+		cand = append(cand, i)
+	}
+	return cand
+}
+
+// TestEpochSearchEquivalence: an Epoch is a pairing, not a different
+// algorithm — its results must be bit-identical to SearchDB called
+// with the same database and filter, for both the exhaustive (nil
+// filter) and filtered shapes, and it must override any Filter the
+// caller left on the config (the epoch owns the pairing).
+func TestEpochSearchEquivalence(t *testing.T) {
+	db, q := searchTestDB(t)
+	p := PaperParams()
+	cfg := SearchConfig{Kernel: KernelSWAR, TopK: 10}
+
+	exhaustive := &Epoch{DB: db}
+	if got, want := exhaustive.Search(p, q.Residues, cfg), SearchDB(p, q.Residues, db, cfg); !reflect.DeepEqual(got, want) {
+		t.Fatalf("exhaustive epoch diverged from SearchDB: %v vs %v", got, want)
+	}
+
+	f := evenFilter{n: db.NumSeqs()}
+	filtered := &Epoch{DB: db, Filter: f}
+	fcfg := cfg
+	fcfg.MaxCandidates = 1 // keep the filter filtering (max < n)
+	wcfg := fcfg
+	wcfg.Filter = f
+	got := filtered.Search(p, q.Residues, fcfg)
+	want := SearchDB(p, q.Residues, db, wcfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered epoch diverged from SearchDB: %v vs %v", got, want)
+	}
+	for _, h := range got {
+		if h.Index%2 != 0 {
+			t.Fatalf("filter did not constrain the scan: hit %d", h.Index)
+		}
+	}
+
+	// A stray Filter on the config must not leak into the epoch's scan.
+	scfg := cfg
+	scfg.MaxCandidates = 1
+	scfg.Filter = f
+	if got := exhaustive.Search(p, q.Residues, scfg); !reflect.DeepEqual(got, SearchDB(p, q.Residues, db, cfg)) {
+		t.Fatal("a caller-supplied Filter overrode the epoch's pairing")
+	}
+}
+
+// TestEpochSwap: the reload idiom — an atomic.Pointer[Epoch] swap
+// moves searches from one database generation to another, and every
+// search sees exactly one generation's pair (load once, use the
+// loaded value throughout).
+func TestEpochSwap(t *testing.T) {
+	db1, q := searchTestDB(t)
+	spec := bio.DefaultDBSpec(25)
+	spec.Seed = 777
+	db2 := bio.SyntheticDB(spec)
+	p := PaperParams()
+	cfg := SearchConfig{Kernel: KernelSSEARCH, TopK: 5}
+
+	var cur atomic.Pointer[Epoch]
+	cur.Store(&Epoch{DB: db1})
+	want1 := SearchDB(p, q.Residues, db1, cfg)
+	if got, err := cur.Load().SearchContext(context.Background(), p, q.Residues, cfg); err != nil || !reflect.DeepEqual(got, want1) {
+		t.Fatalf("pre-swap search: %v / %v", got, err)
+	}
+
+	cur.Store(&Epoch{DB: db2})
+	want2 := SearchDB(p, q.Residues, db2, cfg)
+	got, err := cur.Load().SearchContext(context.Background(), p, q.Residues, cfg)
+	if err != nil || !reflect.DeepEqual(got, want2) {
+		t.Fatalf("post-swap search: %v / %v", got, err)
+	}
+	// Hits must carry the new generation's sequences, not the old ones.
+	for _, h := range got {
+		if h.Seq != db2.Seqs[h.Index] {
+			t.Fatalf("hit %d carries a sequence from the retired epoch", h.Index)
+		}
+	}
+}

@@ -44,8 +44,9 @@ type backend struct {
 	addr  string
 	state atomic.Int32 // backendUnknown/Up/Down, written by the prober
 
-	// Prober-goroutine-only streak counters (no lock needed: one
-	// goroutine owns them).
+	// Probe streak counters. No lock needed: the prober's round
+	// barrier guarantees at most one probe touches them at a time, and
+	// the WaitGroup join orders rounds.
 	probeFails int
 	probeOKs   int
 

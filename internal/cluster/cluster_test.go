@@ -179,7 +179,7 @@ func TestPickBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	sh := c.shards[0]
+	sh := c.topo.Load().shards[0]
 	byAddr := map[string]*backend{}
 	for _, b := range sh.backends {
 		byAddr[b.addr] = b
@@ -213,8 +213,8 @@ func TestPickBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	solo := c2.shards[0].backends[0]
-	if got := c2.pickBackend(c2.shards[0], 0, solo); got != solo {
+	solo := c2.topo.Load().shards[0].backends[0]
+	if got := c2.pickBackend(c2.topo.Load().shards[0], 0, solo); got != solo {
 		t.Fatal("unreplicated shard must fall back to its only backend")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,17 @@ type Config struct {
 	// StreamWindow bounds how many of one /search/stream connection's
 	// lines may be in flight at once. 0 means DefaultStreamWindow.
 	StreamWindow int
+	// VersionSkew selects the merge policy when shards answer with
+	// different snapshot_version stamps mid rolling reload:
+	// VersionSkewAllow (the default, also the zero value) merges
+	// whatever the shards returned and reports the distinct stamps in
+	// snapshot_versions; VersionSkewFence drops the hits of shards that
+	// disagree with the reference version — the lowest-indexed shard
+	// that answered, a choice both halves of a rolling reload compute
+	// identically — reporting them in shards_skewed with complete:false,
+	// or refusing outright with 503/versions_skewed under
+	// require_complete.
+	VersionSkew string
 	// Faults is the deterministic fault-injection registry; nil — the
 	// production value — disarms the shard.* sites.
 	Faults *faults.Registry
@@ -106,6 +118,22 @@ const (
 // situation is a 200 with complete:false — degradation, not failure.
 const ErrShardsFailed = "shards_failed"
 
+// ErrVersionsSkewed is the sentinel code of a require_complete request
+// that hit a mid-reload fleet under the "fence" version-skew policy:
+// some shards answered from a different snapshot version than the
+// reference shard, so a complete same-version answer does not exist
+// right now. Retry-After suggests trying again once the rolling reload
+// settles. Without require_complete the same situation is a 200 with
+// complete:false and the fenced shards listed in shards_skewed.
+const ErrVersionsSkewed = "versions_skewed"
+
+// The version-skew policies Config.VersionSkew accepts (the seqrouter
+// -version-skew flag values).
+const (
+	VersionSkewAllow = "allow"
+	VersionSkewFence = "fence"
+)
+
 // Request is the coordinator's POST /search body: the single-node
 // SearchRequest plus the partial-result opt-out.
 type Request struct {
@@ -127,6 +155,17 @@ type Response struct {
 	ShardsOK        int   `json:"shards_ok"`
 	ShardsFailed    []int `json:"shards_failed,omitempty"`
 	ShardMapVersion int64 `json:"shard_map_version"`
+	// ShardsSkewed lists shards whose answers were fenced out of the
+	// merge because their snapshot_version disagreed with the reference
+	// shard's (version-skew policy "fence" only). A skewed shard is
+	// healthy — it answered — so it appears here, not in ShardsFailed,
+	// but it contributed nothing to Hits and ShardsOK excludes it.
+	ShardsSkewed []int `json:"shards_skewed,omitempty"`
+	// SnapshotVersions are the distinct non-empty snapshot_version
+	// stamps observed across the shards that answered, sorted. More than
+	// one entry means the fleet was mid rolling reload when this answer
+	// was assembled (under "allow" the merge proceeded anyway).
+	SnapshotVersions []string `json:"snapshot_versions,omitempty"`
 }
 
 // apiError mirrors the server's sentinel-coded error shape so routed
@@ -171,14 +210,25 @@ type shardState struct {
 	latH     *obs.Histogram
 }
 
+// topology is one immutable (shard map, shard states, backends)
+// generation. The coordinator publishes the current one behind an
+// atomic pointer so a live map update (PUT /shardmap) swaps the whole
+// generation at once: in-flight fan-outs keep the generation they
+// loaded at entry and finish against it — the router-side analogue of
+// the server's epoch swap.
+type topology struct {
+	smap     *ShardMap
+	shards   []*shardState
+	backends []*backend // every distinct backend, sorted by address
+}
+
 // Coordinator owns the shard map and fans queries out over it. It is
 // safe for concurrent use; one Coordinator serves every request of a
 // router process.
 type Coordinator struct {
 	cfg      Config
-	smap     *ShardMap
-	shards   []*shardState
-	backends []*backend // every distinct backend, sorted by address
+	topo     atomic.Pointer[topology]
+	updateMu sync.Mutex // serializes UpdateMap's read-validate-swap
 	client   *http.Client
 	logf     func(format string, args ...any)
 	m        routerMetrics
@@ -186,6 +236,48 @@ type Coordinator struct {
 	probeWG   sync.WaitGroup
 	probeStop chan struct{}
 	closeOnce sync.Once
+}
+
+// newTopology builds a generation over a validated map. Backends
+// present in prev keep their state object — health verdicts, breaker
+// streaks and probe history survive a map update; only genuinely new
+// addresses start from scratch (unknown, selectable).
+func (c *Coordinator) newTopology(m *ShardMap, prev *topology) *topology {
+	byAddr := make(map[string]*backend)
+	if prev != nil {
+		for _, b := range prev.backends {
+			byAddr[b.addr] = b
+		}
+	}
+	t := &topology{smap: m}
+	for si, sh := range m.Shards {
+		ss := &shardState{Shard: sh}
+		for _, addr := range sh.Backends {
+			b := byAddr[addr]
+			if b == nil {
+				b = &backend{addr: addr}
+				byAddr[addr] = b
+			}
+			ss.backends = append(ss.backends, b)
+		}
+		// The per-shard latency histogram feeds the hedge delay. Shard
+		// indexes beyond the initially declared metric label set (a map
+		// update that split shards) get a private unexported histogram:
+		// hedging still adapts, the /metrics family stays fixed until
+		// restart.
+		if c.m.shardLatH != nil {
+			if h, ok := c.m.shardLatH.Lookup(strconv.Itoa(si)); ok {
+				ss.latH = h
+			} else {
+				ss.latH = obs.NewHistogram()
+			}
+		}
+		t.shards = append(t.shards, ss)
+	}
+	for _, addr := range m.BackendAddrs() {
+		t.backends = append(t.backends, byAddr[addr])
+	}
+	return t
 }
 
 // New builds a Coordinator over a validated shard map and starts its
@@ -237,13 +329,19 @@ func New(m *ShardMap, cfg Config) (*Coordinator, error) {
 	if cfg.StreamWindow <= 0 {
 		cfg.StreamWindow = DefaultStreamWindow
 	}
+	if cfg.VersionSkew == "" {
+		cfg.VersionSkew = VersionSkewAllow
+	}
+	if cfg.VersionSkew != VersionSkewAllow && cfg.VersionSkew != VersionSkewFence {
+		return nil, fmt.Errorf("cluster: unknown version-skew policy %q (valid: %s, %s)",
+			cfg.VersionSkew, VersionSkewAllow, VersionSkewFence)
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 
 	c := &Coordinator{
-		cfg:  cfg,
-		smap: m,
+		cfg: cfg,
 		client: &http.Client{
 			// No client-level timeout: per-try contexts bound every
 			// request, and a client timeout would race them with a
@@ -256,31 +354,45 @@ func New(m *ShardMap, cfg Config) (*Coordinator, error) {
 		logf:      cfg.Logf,
 		probeStop: make(chan struct{}),
 	}
-	byAddr := make(map[string]*backend)
-	for _, sh := range m.Shards {
-		ss := &shardState{Shard: sh} // latH is wired up by initMetrics
-		for _, addr := range sh.Backends {
-			b := byAddr[addr]
-			if b == nil {
-				b = &backend{addr: addr}
-				byAddr[addr] = b
-			}
-			ss.backends = append(ss.backends, b)
-		}
-		c.shards = append(c.shards, ss)
-	}
-	for _, addr := range m.BackendAddrs() {
-		c.backends = append(c.backends, byAddr[addr])
-	}
+	// Metrics are not up yet, so newTopology leaves latH nil here;
+	// initMetrics wires the initial generation's histograms.
+	c.topo.Store(c.newTopology(m, nil))
 	c.initMetrics()
 
 	if cfg.ProbeInterval > 0 {
-		for _, b := range c.backends {
-			c.probeWG.Add(1)
-			go c.probeLoop(b)
-		}
+		c.probeWG.Add(1)
+		go c.probeLoop()
 	}
 	return c, nil
+}
+
+// UpdateMap atomically replaces the serving shard map — the PUT
+// /shardmap entry point. The new map must describe the same database
+// (NumSeqs unchanged — an update rebalances shards, it does not change
+// the data) and carry a strictly newer version. Backends present in
+// both maps keep their health and breaker state; in-flight fan-outs
+// finish against the topology they started with, so no request ever
+// sees a half-applied map.
+func (c *Coordinator) UpdateMap(m *ShardMap) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	cur := c.topo.Load()
+	if m.NumSeqs != cur.smap.NumSeqs {
+		return fmt.Errorf("cluster: new map covers %d sequences, the serving map covers %d — a map update rebalances shards over the same database",
+			m.NumSeqs, cur.smap.NumSeqs)
+	}
+	if m.Version <= cur.smap.Version {
+		return fmt.Errorf("cluster: new map version %d is not newer than the serving version %d", m.Version, cur.smap.Version)
+	}
+	nt := c.newTopology(m, cur)
+	c.topo.Store(nt)
+	c.m.mapUpdates.Add(1)
+	c.logf("cluster: shard map v%d -> v%d: %d shards over %d backends",
+		cur.smap.Version, m.Version, len(nt.shards), len(nt.backends))
+	return nil
 }
 
 // Close stops the health prober and idle connections. In-flight
@@ -293,15 +405,21 @@ func (c *Coordinator) Close() {
 	})
 }
 
-// Map returns the coordinator's shard map.
-func (c *Coordinator) Map() *ShardMap { return c.smap }
+// Map returns the currently serving shard map.
+func (c *Coordinator) Map() *ShardMap { return c.topo.Load().smap }
 
-// probeLoop is one backend's health prober: a /readyz GET every
-// ProbeInterval, with the streak thresholds deciding ejection and
-// recovery. The loop also refreshes the backend's health/breaker
-// gauges so /metrics reflects time-driven transitions (a cooldown
-// expiring) without waiting for traffic.
-func (c *Coordinator) probeLoop(b *backend) {
+// probeLoop is the fleet's health prober: every ProbeInterval it
+// probes each backend of the CURRENT topology in parallel (a /readyz
+// GET each, with the streak thresholds deciding ejection and
+// recovery). Reading the topology fresh every round means backends
+// added by a live map update are picked up on the next round and
+// removed ones silently stop being probed. The round barrier
+// guarantees at most one goroutine touches a backend's probe streaks
+// at a time, preserving backend.probe's single-prober contract. Each
+// probe also refreshes the backend's health/breaker gauges so /metrics
+// reflects time-driven transitions (a cooldown expiring) without
+// waiting for traffic.
+func (c *Coordinator) probeLoop() {
 	defer c.probeWG.Done()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -312,12 +430,20 @@ func (c *Coordinator) probeLoop(b *backend) {
 	t := time.NewTicker(c.cfg.ProbeInterval)
 	defer t.Stop()
 	for {
-		prev := b.state.Load()
-		b.probe(ctx, c.client, c.cfg.ProbeTimeout, c.cfg.EjectAfter, c.cfg.RecoverAfter)
-		if now := b.state.Load(); now != prev {
-			c.logf("cluster: backend %s: %s -> %s", b.addr, healthName(prev), healthName(now))
+		var round sync.WaitGroup
+		for _, b := range c.topo.Load().backends {
+			round.Add(1)
+			go func(b *backend) {
+				defer round.Done()
+				prev := b.state.Load()
+				b.probe(ctx, c.client, c.cfg.ProbeTimeout, c.cfg.EjectAfter, c.cfg.RecoverAfter)
+				if now := b.state.Load(); now != prev {
+					c.logf("cluster: backend %s: %s -> %s", b.addr, healthName(prev), healthName(now))
+				}
+				c.refreshBackendGauges(b)
+			}(b)
 		}
-		c.refreshBackendGauges(b)
+		round.Wait()
 		select {
 		case <-c.probeStop:
 			return
@@ -344,7 +470,7 @@ func (c *Coordinator) Ready() bool {
 	if c.cfg.ProbeInterval < 0 {
 		return true
 	}
-	for _, sh := range c.shards {
+	for _, sh := range c.topo.Load().shards {
 		ok := false
 		for _, b := range sh.backends {
 			if b.state.Load() == backendUp {
@@ -493,8 +619,8 @@ type shardResult struct {
 // classified failures, backoff with jitter and Retry-After floors,
 // and a hard retry budget. It owns the budget and the span record —
 // both single-goroutine, no locks.
-func (c *Coordinator) searchShard(ctx context.Context, si int, body []byte, reqID string) shardResult {
-	sh := c.shards[si]
+func (c *Coordinator) searchShard(ctx context.Context, t *topology, si int, body []byte, reqID string) shardResult {
+	sh := t.shards[si]
 	res := shardResult{si: si}
 	budget := c.cfg.Retries
 	rot := int(sh.next.Add(1))
@@ -648,6 +774,10 @@ func (c *Coordinator) hedgedTry(ctx context.Context, sh *shardState, si int, pri
 // require_complete). spans collects every consumed shard try for the
 // caller's trace.
 func (c *Coordinator) Search(ctx context.Context, creq *Request) (*Response, []spanRec, *apiError) {
+	// One topology load per request: the fan-out, the merge and the
+	// accounting all describe the same generation even if a map update
+	// lands mid-flight.
+	t := c.topo.Load()
 	reqID := obs.NewID()
 	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
 		reqID = id
@@ -660,13 +790,13 @@ func (c *Coordinator) Search(ctx context.Context, creq *Request) (*Response, []s
 		return nil, nil, &apiError{status: http.StatusBadRequest, code: server.ErrBadRequest, detail: err.Error()}
 	}
 
-	results := make([]shardResult, len(c.shards))
+	results := make([]shardResult, len(t.shards))
 	var wg sync.WaitGroup
-	for si := range c.shards {
+	for si := range t.shards {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			results[si] = c.searchShard(ctx, si, body, fmt.Sprintf("%s#s%d", reqID, si))
+			results[si] = c.searchShard(ctx, t, si, body, fmt.Sprintf("%s#s%d", reqID, si))
 		}(si)
 	}
 	wg.Wait()
@@ -686,10 +816,8 @@ func (c *Coordinator) Search(ctx context.Context, creq *Request) (*Response, []s
 		return nil, spans, ctxError(ctx)
 	}
 
-	lists := make([][]server.Hit, 0, len(results))
+	oks := make([]shardResult, 0, len(results))
 	var failed []int
-	var meta *server.SearchResponse
-	cached := true
 	for _, r := range results {
 		if r.err != nil {
 			failed = append(failed, r.si)
@@ -697,26 +825,76 @@ func (c *Coordinator) Search(ctx context.Context, creq *Request) (*Response, []s
 			c.logf("cluster: shard %d failed past its retry budget: %v", r.si, r.err)
 			continue
 		}
+		oks = append(oks, r)
+	}
+	if len(failed) > 0 && creq.RequireComplete {
+		return nil, spans, &apiError{
+			status:     http.StatusServiceUnavailable,
+			code:       ErrShardsFailed,
+			detail:     fmt.Sprintf("%d of %d shards failed (%v) and the request requires a complete answer", len(failed), len(t.shards), failed),
+			retryAfter: 1,
+		}
+	}
+
+	// Version-skew accounting. The distinct snapshot stamps the
+	// answering shards reported are always collected (an unversioned
+	// backend stamps ""); under "fence" a stamp mismatch drops the
+	// disagreeing shards from the merge — the reference is the
+	// lowest-indexed answering shard, the deterministic pick both halves
+	// of a rolling reload agree on.
+	var skewed []int
+	versionSet := make(map[string]bool, 2)
+	for _, r := range oks {
+		versionSet[r.meta.SnapshotVersion] = true
+	}
+	if c.cfg.VersionSkew == VersionSkewFence && len(versionSet) > 1 {
+		ref := oks[0].meta.SnapshotVersion
+		kept := oks[:0]
+		for _, r := range oks {
+			if r.meta.SnapshotVersion != ref {
+				skewed = append(skewed, r.si)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		oks = kept
+		c.m.skewed.Add(1)
+		if creq.RequireComplete {
+			return nil, spans, &apiError{
+				status:     http.StatusServiceUnavailable,
+				code:       ErrVersionsSkewed,
+				detail:     fmt.Sprintf("shards %v answered snapshot versions other than the reference %q mid-reload and the request requires a complete answer", skewed, ref),
+				retryAfter: 1,
+			}
+		}
+		c.logf("cluster: version skew fenced: reference %q, shards %v answered other versions", ref, skewed)
+	}
+	versions := make([]string, 0, len(versionSet))
+	for v := range versionSet {
+		if v != "" {
+			versions = append(versions, v)
+		}
+	}
+	sort.Strings(versions)
+
+	lists := make([][]server.Hit, 0, len(oks))
+	var meta *server.SearchResponse
+	cached := true
+	for _, r := range oks {
 		lists = append(lists, r.hits)
 		if meta == nil {
 			meta = r.meta
 		}
 		cached = cached && r.meta.Cached
 	}
-	if len(failed) > 0 && creq.RequireComplete {
-		return nil, spans, &apiError{
-			status:     http.StatusServiceUnavailable,
-			code:       ErrShardsFailed,
-			detail:     fmt.Sprintf("%d of %d shards failed (%v) and the request requires a complete answer", len(failed), len(c.shards), failed),
-			retryAfter: 1,
-		}
-	}
 
 	resp := &Response{
-		Complete:        len(failed) == 0,
-		ShardsOK:        len(c.shards) - len(failed),
-		ShardsFailed:    failed,
-		ShardMapVersion: c.smap.Version,
+		Complete:         len(failed) == 0 && len(skewed) == 0,
+		ShardsOK:         len(t.shards) - len(failed) - len(skewed),
+		ShardsFailed:     failed,
+		ShardsSkewed:     skewed,
+		ShardMapVersion:  t.smap.Version,
+		SnapshotVersions: versions,
 	}
 	if meta != nil {
 		resp.SearchResponse = *meta

@@ -303,12 +303,15 @@ func TestChaosFlakyShardsAbsorbed(t *testing.T) {
 // SearchResponse after an optional delay, /readyz answers a settable
 // status. For replica-selection tests where real alignment is noise.
 type cannedBackend struct {
-	delay time.Duration
-	fail  atomic.Bool
-	ready atomic.Int32
-	hits  []server.Hit
-	calls atomic.Int64
+	delay   time.Duration
+	fail    atomic.Bool
+	ready   atomic.Int32
+	hits    []server.Hit
+	calls   atomic.Int64
+	version atomic.Pointer[string] // snapshot_version stamp; nil = unversioned
 }
+
+func (cb *cannedBackend) setVersion(v string) { cb.version.Store(&v) }
 
 func startCanned(t testing.TB, cb *cannedBackend) string {
 	t.Helper()
@@ -330,9 +333,21 @@ func startCanned(t testing.TB, cb *cannedBackend) string {
 			http.Error(w, "canned failure", http.StatusInternalServerError)
 			return
 		}
-		_ = json.NewEncoder(w).Encode(server.SearchResponse{
-			QueryLen: 5, Kernel: "swar", K: len(cb.hits), Hits: cb.hits,
-		})
+		// Echo the requested K the way a real seqserve does — the
+		// coordinator trusts the first shard's meta for the merged topK.
+		var req server.SearchRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		k := req.K
+		if k <= 0 {
+			k = server.DefaultTopK
+		}
+		sr := server.SearchResponse{
+			QueryLen: 5, Kernel: "swar", K: k, Hits: cb.hits,
+		}
+		if v := cb.version.Load(); v != nil {
+			sr.SnapshotVersion = *v
+		}
+		_ = json.NewEncoder(w).Encode(sr)
 	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)

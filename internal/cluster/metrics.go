@@ -16,10 +16,12 @@ type routerMetrics struct {
 	reg  *obs.Registry
 	ring *obs.Ring
 
-	requests *obs.Counter // routed /search requests
-	errored  *obs.Counter // requests answered with a sentinel error
-	partials *obs.Counter // 200 responses with complete:false
-	inFlight *obs.Gauge   // routed requests currently in flight
+	requests   *obs.Counter // routed /search requests
+	errored    *obs.Counter // requests answered with a sentinel error
+	partials   *obs.Counter // 200 responses with complete:false
+	inFlight   *obs.Gauge   // routed requests currently in flight
+	mapUpdates *obs.Counter // live shard map swaps (PUT /shardmap)
+	skewed     *obs.Counter // responses that fenced version-skewed shards
 
 	tries    *obs.CounterVec // HTTP tries launched, per backend
 	retries  *obs.CounterVec // backoff retries, per backend whose failure caused them
@@ -41,12 +43,13 @@ type routerMetrics struct {
 
 func (c *Coordinator) initMetrics() {
 	m := &c.m
+	t := c.topo.Load()
 	m.reg = obs.NewRegistry()
 	m.ring = obs.NewRing(c.cfg.TraceRing)
 
-	addrs := c.smap.BackendAddrs()
-	shardLabels := make([]string, len(c.shards))
-	for i := range c.shards {
+	addrs := t.smap.BackendAddrs()
+	shardLabels := make([]string, len(t.shards))
+	for i := range t.shards {
 		shardLabels[i] = strconv.Itoa(i)
 	}
 
@@ -54,6 +57,8 @@ func (c *Coordinator) initMetrics() {
 	m.errored = obs.NewCounter()
 	m.partials = obs.NewCounter()
 	m.inFlight = obs.NewGauge()
+	m.mapUpdates = obs.NewCounter()
+	m.skewed = obs.NewCounter()
 	m.tries = obs.NewCounterVec("backend", addrs...)
 	m.retries = obs.NewCounterVec("backend", addrs...)
 	m.hedges = obs.NewCounterVec("backend", addrs...)
@@ -70,11 +75,11 @@ func (c *Coordinator) initMetrics() {
 
 	// The shard latency histograms double as the hedge-delay source:
 	// each shardState holds its own family member.
-	for i, sh := range c.shards {
+	for i, sh := range t.shards {
 		sh.latH = m.shardLatH.With(shardLabels[i])
 	}
 	// Backends start unknown until the first probe lands.
-	for _, b := range c.backends {
+	for _, b := range t.backends {
 		m.up.With(b.addr).Set(-1)
 	}
 
@@ -82,6 +87,10 @@ func (c *Coordinator) initMetrics() {
 	m.reg.RegisterCounter("router_errors_total", "Routed requests answered with a sentinel error.", m.errored)
 	m.reg.RegisterCounter("router_partial_total", "200 responses that degraded to complete:false.", m.partials)
 	m.reg.RegisterGauge("router_inflight", "Routed requests currently in flight.", m.inFlight)
+	m.reg.RegisterCounter("router_map_updates_total", "Live shard map swaps accepted via PUT /shardmap.", m.mapUpdates)
+	m.reg.RegisterCounter("router_version_skew_total", "Responses that fenced shards answering a different snapshot_version.", m.skewed)
+	m.reg.RegisterInfoFunc("router_shard_map_info", "Serving shard map version, as a label.", "version",
+		func() string { return strconv.FormatInt(c.topo.Load().smap.Version, 10) })
 	m.reg.RegisterCounterVec("router_backend_tries_total", "HTTP tries launched, per backend.", m.tries)
 	m.reg.RegisterCounterVec("router_backend_retries_total", "Backoff retries charged to the backend whose failure caused them.", m.retries)
 	m.reg.RegisterCounterVec("router_backend_hedges_total", "Hedged second tries, per backend they landed on.", m.hedges)
@@ -100,6 +109,10 @@ func (c *Coordinator) initMetrics() {
 // refreshBackendGauges re-renders one backend's health and breaker
 // gauges. Called after probes and settled tries — the two places state
 // changes — so /metrics tracks transitions without a scrape-time hook.
+// Backends introduced by a live map update sit outside the gauge
+// families' declared label sets (those are fixed at startup), so their
+// rows are skipped here and appear after a restart; /statsz reports
+// them either way.
 func (c *Coordinator) refreshBackendGauges(b *backend) {
 	var hv int64
 	switch b.state.Load() {
@@ -110,8 +123,12 @@ func (c *Coordinator) refreshBackendGauges(b *backend) {
 	default:
 		hv = -1
 	}
-	c.m.up.With(b.addr).Set(hv)
-	c.m.breaker.With(b.addr).Set(int64(b.breakerState(time.Now())))
+	if g, ok := c.m.up.Lookup(b.addr); ok {
+		g.Set(hv)
+	}
+	if g, ok := c.m.breaker.Lookup(b.addr); ok {
+		g.Set(int64(b.breakerState(time.Now())))
+	}
 }
 
 // Registry exposes the coordinator's metric registry (the router's
@@ -128,9 +145,12 @@ type Status struct {
 	NumSeqs         int             `json:"num_seqs"`
 	Shards          int             `json:"shards"`
 	Ready           bool            `json:"ready"`
+	VersionSkew     string          `json:"version_skew"`
 	Requests        int64           `json:"requests"`
 	Errors          int64           `json:"errors"`
 	Partials        int64           `json:"partial_responses"`
+	Skewed          int64           `json:"skewed_responses"`
+	MapUpdates      int64           `json:"map_updates"`
 	InFlight        int64           `json:"in_flight"`
 	Backends        []BackendStatus `json:"backends"`
 }
@@ -139,17 +159,21 @@ type Status struct {
 // backend with its live health and breaker state.
 func (c *Coordinator) StatsSnapshot() Status {
 	now := time.Now()
+	t := c.topo.Load()
 	st := Status{
-		ShardMapVersion: c.smap.Version,
-		NumSeqs:         c.smap.NumSeqs,
-		Shards:          len(c.shards),
+		ShardMapVersion: t.smap.Version,
+		NumSeqs:         t.smap.NumSeqs,
+		Shards:          len(t.shards),
 		Ready:           c.Ready(),
+		VersionSkew:     c.cfg.VersionSkew,
 		Requests:        c.m.requests.Value(),
 		Errors:          c.m.errored.Value(),
 		Partials:        c.m.partials.Value(),
+		Skewed:          c.m.skewed.Value(),
+		MapUpdates:      c.m.mapUpdates.Value(),
 		InFlight:        c.m.inFlight.Value(),
 	}
-	for _, b := range c.backends {
+	for _, b := range t.backends {
 		st.Backends = append(st.Backends, BackendStatus{
 			Addr:    b.addr,
 			Health:  b.healthString(),

@@ -341,7 +341,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"shards": len(rt.c.shards),
+		"shards": len(rt.c.Map().Shards),
 	})
 }
 
@@ -364,8 +364,34 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	rt.writeJSON(w, http.StatusOK, rt.c.StatsSnapshot())
 }
 
+// handleShardMap serves the live map (GET) and swaps it (PUT). A PUT
+// body is the same JSON shape GET serves — version, num_seqs, shards —
+// and must pass Coordinator.UpdateMap's checks (valid tiling, same
+// database, strictly newer version); on success the installed map is
+// echoed back, and every in-flight fan-out finishes against the
+// topology it started with.
 func (rt *Router) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPut:
+		var m ShardMap
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRouterBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			rt.writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: server.ErrBadRequest,
+				Detail: fmt.Sprintf("decoding shard map: %v", err)})
+			return
+		}
+		if err := rt.c.UpdateMap(&m); err != nil {
+			rt.writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: server.ErrBadRequest, Detail: err.Error()})
+			return
+		}
+	default:
+		rt.writeJSON(w, http.StatusMethodNotAllowed, server.ErrorResponse{Error: server.ErrBadMethod,
+			Detail: "use GET to read the shard map or PUT with a JSON map to replace it"})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(rt.c.smap.JSON())
+	_, _ = w.Write(rt.c.Map().JSON())
 	_, _ = w.Write([]byte("\n"))
 }

@@ -127,6 +127,15 @@ func (v *GaugeVec) With(value string) *Gauge {
 	return g
 }
 
+// Lookup returns the gauge for a label value without the panic — the
+// accessor for identities that can appear at runtime (a backend added
+// by a live shard-map update) where a miss means "not exported yet",
+// not a programming error.
+func (v *GaugeVec) Lookup(value string) (*Gauge, bool) {
+	g, ok := v.byName[value]
+	return g, ok
+}
+
 // HistogramVec is a fixed-label-set family of histograms (e.g. the
 // pipeline stages).
 type HistogramVec struct {
@@ -156,6 +165,13 @@ func (v *HistogramVec) With(value string) *Histogram {
 		panic(fmt.Sprintf("obs: histogram label %s=%q was not declared", v.label, value))
 	}
 	return h
+}
+
+// Lookup returns the histogram for a label value without the panic,
+// for identities introduced at runtime (see GaugeVec.Lookup).
+func (v *HistogramVec) Lookup(value string) (*Histogram, bool) {
+	h, ok := v.byName[value]
+	return h, ok
 }
 
 // metricName is the Prometheus metric/label name grammar.
@@ -224,6 +240,21 @@ func (r *Registry) RegisterGaugeFunc(name, help string, f func() float64) {
 func (r *Registry) RegisterCounterFunc(name, help string, f func() int64) {
 	r.add(name, help, "counter", func(w *bufio.Writer, name string) {
 		fmt.Fprintf(w, "%s %d\n", name, f())
+	})
+}
+
+// RegisterInfoFunc exposes a string-valued fact in the conventional
+// info-gauge shape: one sample per render, constant value 1, the fact
+// carried in a label — `name{label="<f()>"} 1`. Unlike a GaugeVec the
+// label VALUE may change between renders (the serving snapshot's
+// version after a hot reload, a build identifier), which a fixed label
+// set cannot express. f must be safe to call from any goroutine.
+func (r *Registry) RegisterInfoFunc(name, help, label string, f func() string) {
+	if !metricName.MatchString(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.add(name, help, "gauge", func(w *bufio.Writer, name string) {
+		fmt.Fprintf(w, "%s{%s=%q} 1\n", name, label, f())
 	})
 }
 

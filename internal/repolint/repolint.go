@@ -1,0 +1,8 @@
+// Package repolint holds repository-level lint checks that run as
+// ordinary tests, so `go test ./...` — locally and in CI — enforces
+// them without any tool the toolchain doesn't already ship. The one
+// check here today is the godoc audit: every package in the module
+// must carry a real package comment (see doc_test.go). Checks live in
+// _test files; this file exists to give the package itself the
+// comment it demands of everyone else.
+package repolint

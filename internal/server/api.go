@@ -153,6 +153,12 @@ type SearchResponse struct {
 	Cached     bool   `json:"cached"`
 	Hits       []Hit  `json:"hits"`
 	TookUs     int64  `json:"took_us"`
+	// SnapshotVersion is the version label of the snapshot epoch that
+	// answered — the field rolling-reload choreography watches to see a
+	// fleet converge. Empty (and omitted) when the server's data was
+	// loaded outside a snapshot, so unversioned responses are
+	// byte-identical to the pre-snapshot wire format.
+	SnapshotVersion string `json:"snapshot_version,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx /search reply: a stable
@@ -274,9 +280,12 @@ type normalized struct {
 }
 
 // validate checks req against the server's limits and resolves
-// defaults. Every failure maps to a 400 with a sentinel code; a nil
-// error means the request is serviceable as returned.
-func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
+// defaults against the pinned epoch — the caller pins ep before
+// validating and holds the pin through scoring, so the database the
+// clamps were computed from is the database the job scans. Every
+// failure maps to a 400 with a sentinel code; a nil error means the
+// request is serviceable as returned.
+func (s *Server) validate(ep *epoch, req *SearchRequest) (normalized, *apiError) {
 	var n normalized
 	if len(req.Query) == 0 {
 		return n, badRequest(ErrEmptyQuery, "query is empty")
@@ -308,11 +317,11 @@ func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
 		return n, badRequest(ErrBadK, "k %d outside [1, %d]", req.K, MaxTopK)
 	}
 
-	// Without an index every scan is exhaustive, and a degraded server
-	// (index failed validation or a lookup error surfaced mid-flight)
-	// stops trusting its index the same way; normalizing here means
-	// the two spellings of the same scan share a cache entry.
-	n.exhaustive = req.Exhaustive || s.searchers == nil || s.degraded.Load()
+	// Without an index every scan is exhaustive, and a degraded epoch
+	// (index failed validation at load or a lookup error surfaced
+	// mid-flight) stops trusting its index the same way; normalizing
+	// here means the two spellings of the same scan share a cache entry.
+	n.exhaustive = req.Exhaustive || ep.searchers == nil || ep.degraded.Load()
 
 	if req.MaxCandidates < 0 {
 		return n, badRequest(ErrBadCandidates, "max_candidates %d is negative", req.MaxCandidates)
@@ -329,8 +338,8 @@ func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
 		if n.maxCand == 0 {
 			n.maxCand = index.DefaultMaxCandidates
 		}
-		if n.maxCand > s.db.NumSeqs() {
-			n.maxCand = s.db.NumSeqs()
+		if n.maxCand > ep.db.NumSeqs() {
+			n.maxCand = ep.db.NumSeqs()
 		}
 	}
 
@@ -359,7 +368,7 @@ func (s *Server) validate(req *SearchRequest) (normalized, *apiError) {
 // all_vs_all is normalized as "exhaustive, coalescible" BEFORE the
 // shared validation so it lands on the same cache key as an explicit
 // exhaustive POST of the same query — the results are identical.
-func (s *Server) validateStream(req *StreamRequest) (normalized, *apiError) {
+func (s *Server) validateStream(ep *epoch, req *StreamRequest) (normalized, *apiError) {
 	if len(req.ID) > MaxStreamIDLen {
 		return normalized{}, badRequest(ErrBadID, "id is %d bytes, limit %d", len(req.ID), MaxStreamIDLen)
 	}
@@ -370,7 +379,7 @@ func (s *Server) validateStream(req *StreamRequest) (normalized, *apiError) {
 	default:
 		return normalized{}, badRequest(ErrBadMode, "unknown mode %q (valid: %q)", req.Mode, StreamModeAllVsAll)
 	}
-	n, aerr := s.validate(&req.SearchRequest)
+	n, aerr := s.validate(ep, &req.SearchRequest)
 	if aerr != nil {
 		return n, aerr
 	}

@@ -121,11 +121,12 @@ func TestNormalizationSharesCacheKeys(t *testing.T) {
 	s := newTestServer(t, testDB(t, 30), Config{Workers: 1})
 	q := queryString()
 	keyOf := func(req SearchRequest) cacheKey {
-		norm, aerr := s.validate(&req)
+		ep := s.cur.Load()
+		norm, aerr := s.validate(ep, &req)
 		if aerr != nil {
 			t.Fatalf("validate: %v", aerr.detail)
 		}
-		return norm.cacheKey()
+		return norm.cacheKey(ep)
 	}
 	base := keyOf(SearchRequest{Query: q, Exhaustive: true})
 	if got := keyOf(SearchRequest{Query: q, Exhaustive: true, MaxCandidates: 100}); got != base {

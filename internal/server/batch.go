@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/faults"
-	"repro/internal/index"
 )
 
 // The batching pipeline. Requests become jobs; a single dispatcher
@@ -50,12 +49,19 @@ const (
 
 // job is one admitted /search computation.
 type job struct {
-	pq       *align.PreparedQuery
-	norm     normalized
-	ctx      context.Context // request context; nil (direct tests) never cancels
-	cost     int64           // admission units held until recycle; 0 = none held
-	cand     []int           // indexed path: candidate database indexes
-	scores   []int           // per item (database index, or cand position)
+	pq   *align.PreparedQuery
+	norm normalized
+	ctx  context.Context // request context; nil (direct tests) never cancels
+	// ep is the epoch this job scores against, pinned at admission so a
+	// hot reload cannot pull the database out from under a queued or
+	// executing job. The pin is the job's own (the handler may abandon
+	// the job and drop its pin first); recycleJob releases it. nil —
+	// direct-test batches — is normalized to the serving epoch by
+	// runBatch.
+	ep       *epoch
+	cost     int64 // admission units held until recycle; 0 = none held
+	cand     []int // indexed path: candidate database indexes
+	scores   []int // per item (database index, or cand position)
 	hits     []align.Hit
 	err      *apiError   // set by the pipeline: draining, deadline, panic
 	failed   atomic.Bool // a scoring panic hit this job; stop scoring it
@@ -101,6 +107,7 @@ func (j *job) reset() {
 	j.pq = nil
 	j.norm = normalized{}
 	j.ctx = nil
+	j.ep = nil // the pin itself is released by recycleJob, never here
 	j.cost = 0
 	j.cand = j.cand[:0]
 	j.scores = j.scores[:0]
@@ -274,11 +281,13 @@ type batchPhase struct {
 	wg       sync.WaitGroup
 }
 
-// worker is one pool member: the Scratch and Searcher it owns outlive
-// every batch, so steady-state scans allocate nothing.
+// worker is one pool member: the Scratch it owns outlives every batch,
+// so steady-state scans allocate nothing. id picks the worker's
+// Searcher clone out of whichever epoch a job is pinned to — the
+// clones live on the epoch (they cache the database), not the worker.
 type worker struct {
-	scr      *align.Scratch
-	searcher *index.Searcher // nil when the server has no index
+	id  int
+	scr *align.Scratch
 }
 
 func (s *Server) workerLoop(w *worker) {
@@ -349,13 +358,13 @@ func (w *worker) seedJob(s *Server, j *job) {
 	}
 	if err := s.cfg.Faults.Error(faults.IndexLookup); err != nil {
 		j.seedErr = true
-		s.enterDegraded("injected index fault: " + err.Error())
+		s.enterDegraded(j.ep, "injected index fault: "+err.Error())
 		return
 	}
-	cand, err := w.searcher.CandidatesChecked(j.pq.Query(), j.norm.maxCand)
+	cand, err := j.ep.searchers[w.id].CandidatesChecked(j.pq.Query(), j.norm.maxCand)
 	if err != nil {
 		j.seedErr = true
-		s.enterDegraded(err.Error())
+		s.enterDegraded(j.ep, err.Error())
 		return
 	}
 	j.cand = append(j.cand[:0], cand...)
@@ -386,13 +395,14 @@ func (w *worker) scoreChunk(s *Server, j *job, lo, hi int, cand bool) {
 	if _, ok := s.cfg.Faults.Fire(faults.ScorePanic); ok {
 		panic("faults: injected scoring panic")
 	}
+	seqs := j.ep.db.Seqs
 	if cand {
 		for ci := lo; ci < hi; ci++ {
-			j.scores[ci] = w.scr.ScorePrepared(j.pq, s.db.Seqs[j.cand[ci]].Residues)
+			j.scores[ci] = w.scr.ScorePrepared(j.pq, seqs[j.cand[ci]].Residues)
 		}
 	} else {
 		for si := lo; si < hi; si++ {
-			j.scores[si] = w.scr.ScorePrepared(j.pq, s.db.Seqs[si].Residues)
+			j.scores[si] = w.scr.ScorePrepared(j.pq, seqs[si].Residues)
 		}
 	}
 }
@@ -522,8 +532,41 @@ func (s *Server) runBatch(batch []*job) {
 	if len(batch) == 0 {
 		return
 	}
+
+	// Jobs built outside the handler path (direct-drive tests) carry no
+	// epoch; pin them to the serving one so the scoring code has a
+	// single invariant: every job scores against j.ep.
 	for _, j := range batch {
-		j.batchSize = live
+		if j.ep == nil {
+			j.ep = s.currentEpoch()
+		}
+	}
+
+	// Partition by epoch: an exhaustive group unit scans ONE database,
+	// so jobs that pinned different epochs — a hot reload landed inside
+	// the batching window — score in separate groups. Outside a reload
+	// window this loop runs exactly once.
+	for len(batch) > 0 {
+		ep := batch[0].ep
+		group := make([]*job, 0, len(batch))
+		rest := batch[:0]
+		for _, j := range batch {
+			if j.ep == ep {
+				group = append(group, j)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		s.scoreGroup(ep, group, start)
+		batch = rest
+	}
+}
+
+// scoreGroup runs one epoch's jobs through the seed/scan/rank phases
+// and completes them. All of a group's jobs are live and pinned to ep.
+func (s *Server) scoreGroup(ep *epoch, batch []*job, start time.Time) {
+	for _, j := range batch {
+		j.batchSize = len(batch)
 	}
 
 	var seedJobs, exJobs []*job
@@ -535,7 +578,7 @@ func (s *Server) runBatch(batch []*job) {
 		}
 	}
 
-	if len(seedJobs) > 0 && !s.degraded.Load() {
+	if len(seedJobs) > 0 && !ep.degraded.Load() {
 		ph := &batchPhase{seedJobs: seedJobs}
 		s.runPhase(ph)
 		if ph.poisoned.Load() {
@@ -548,10 +591,10 @@ func (s *Server) runBatch(batch []*job) {
 			j.seedDur = seedD
 		}
 	}
-	// Seed failures — or a server that was (or just went) degraded —
+	// Seed failures — or an epoch that was (or just went) degraded —
 	// convert indexed jobs to exhaustive: the scan costs more, but the
 	// answers are exact rather than drawn from an untrusted index.
-	if s.degraded.Load() {
+	if ep.degraded.Load() {
 		for _, j := range seedJobs {
 			j.norm.exhaustive = true
 			exJobs = append(exJobs, j)
@@ -572,7 +615,7 @@ func (s *Server) runBatch(batch []*job) {
 	scanStart := time.Now()
 
 	var units []unit
-	n := s.db.NumSeqs()
+	n := ep.db.NumSeqs()
 	if len(exJobs) > 0 {
 		for _, j := range exJobs {
 			j.scores = growInts(j.scores, n)
@@ -614,9 +657,9 @@ func (s *Server) runBatch(batch []*job) {
 			s.metrics.abandoned.Add(1)
 			j.err = jobCtxError(j.ctxErr())
 		case j.norm.exhaustive:
-			j.hits = align.RankHits(s.db.Seqs, nil, j.scores, j.norm.minScore, j.norm.topK)
+			j.hits = align.RankHits(ep.db.Seqs, nil, j.scores, j.norm.minScore, j.norm.topK)
 		default:
-			j.hits = align.RankHits(s.db.Seqs, j.cand, j.scores[:len(j.cand)], j.norm.minScore, j.norm.topK)
+			j.hits = align.RankHits(ep.db.Seqs, j.cand, j.scores[:len(j.cand)], j.norm.minScore, j.norm.topK)
 		}
 		j.rankDur = time.Since(rankStart)
 		s.completeJob(j)
@@ -654,10 +697,15 @@ func (s *Server) completeJob(j *job) {
 	s.recycleJob(j)
 }
 
-// recycleJob releases the job's admission cost and returns it to the
-// pool scrubbed.
+// recycleJob releases the job's admission cost, drops its epoch pin —
+// the last pin on a swapped-out epoch runs its release hook here — and
+// returns it to the pool scrubbed.
 func (s *Server) recycleJob(j *job) {
 	s.admit.release(j.cost)
+	if j.ep != nil {
+		j.ep.unref()
+		j.ep = nil
+	}
 	putJob(j)
 }
 

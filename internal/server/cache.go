@@ -7,12 +7,17 @@ import (
 	"repro/internal/align"
 )
 
-// cacheKey identifies a search result: a 64-bit FNV-1a fingerprint of
-// the query residues plus every knob that can change the hit list. The
-// key is a comparable value type so it can index the map directly; the
-// query length rides along so a fingerprint collision would also need
-// matching lengths (at 64 bits the combination is vanishing).
+// cacheKey identifies a search result: the serving epoch plus a 64-bit
+// FNV-1a fingerprint of the query residues plus every knob that can
+// change the hit list. The epoch pointer keys the generation the
+// result was computed against — after a hot reload, pre-swap flights
+// and entries are unreachable from post-swap requests because no new
+// key can equal an old one. The key is a comparable value type so it
+// can index the map directly; the query length rides along so a
+// fingerprint collision would also need matching lengths (at 64 bits
+// the combination is vanishing).
 type cacheKey struct {
+	ep         *epoch
 	fp         uint64
 	qlen       int
 	kernel     align.Kernel
@@ -33,8 +38,9 @@ func fingerprint(residues []uint8) uint64 {
 	return h
 }
 
-func (n *normalized) cacheKey() cacheKey {
+func (n *normalized) cacheKey(ep *epoch) cacheKey {
 	return cacheKey{
+		ep:         ep,
 		fp:         fingerprint(n.residues),
 		qlen:       len(n.residues),
 		kernel:     n.kernel,
@@ -137,6 +143,20 @@ func (c *resultCache) abort(key cacheKey, f *flight, err *apiError) {
 	delete(c.flights, key)
 	c.mu.Unlock()
 	close(f.done)
+}
+
+// flush empties the LRU; Server.Swap calls it so results computed
+// against the old epoch's data never answer a post-swap request. The
+// flight map is left alone: in-flight leaders still need to resolve
+// their followers, and their old-epoch keys are unreachable from any
+// new request anyway. A leader finishing after the flush may push one
+// dead old-epoch entry back into the LRU — it can never be hit again
+// and ages out the cold end like any other entry.
+func (c *resultCache) flush() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.entries = make(map[cacheKey]*list.Element)
+	c.mu.Unlock()
 }
 
 // len reports the resident entry count.

@@ -430,6 +430,7 @@ func TestJobResetScrubsEverything(t *testing.T) {
 	j := getJob()
 	j.pq = nil
 	j.norm = normalized{topK: 9, exhaustive: true, minScore: 3}
+	j.ep = &epoch{}
 	j.ctx = context.Background()
 	j.cost = costExhaustive
 	j.cand = append(j.cand, 1, 2, 3)
@@ -444,8 +445,8 @@ func TestJobResetScrubsEverything(t *testing.T) {
 	if j.norm.topK != 0 || j.norm.exhaustive || j.norm.minScore != 0 {
 		t.Error("norm survived reset")
 	}
-	if j.ctx != nil || j.cost != 0 || j.err != nil || j.hits != nil {
-		t.Error("ctx/cost/err/hits survived reset")
+	if j.ctx != nil || j.cost != 0 || j.err != nil || j.hits != nil || j.ep != nil {
+		t.Error("ctx/cost/err/hits/ep survived reset")
 	}
 	if len(j.cand) != 0 || len(j.scores) != 0 {
 		t.Error("cand/scores lengths survived reset")

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+// The hot-reload machinery. A Server serves from exactly one epoch at
+// a time: an immutable (database, index, searcher-clones) triple plus
+// the version label responses are stamped with. Swap publishes a new
+// epoch with one atomic pointer store; requests and jobs pin the epoch
+// they started on with a reference count, so an in-flight batch
+// finishes against the data it validated against while new admissions
+// see the new generation. The old epoch's release hook — for a
+// snapshot-backed epoch, snapshot.Close, i.e. munmap — runs only when
+// the last pin drops: no scan can ever read unmapped pages.
+
+// epoch is one immutable serving generation.
+type epoch struct {
+	db        *bio.Database
+	ix        *index.Index      // nil: exhaustive-only generation
+	searchers []*index.Searcher // one validated clone per worker; nil when ix is nil
+	version   string            // snapshot_version stamped into responses; "" = unversioned
+
+	// degraded is per-generation: this epoch's index errored mid-flight
+	// and is no longer trusted, so its requests normalize to exhaustive
+	// scans. One-way for the epoch's lifetime — but a reloaded snapshot
+	// starts a fresh epoch that re-earns trust.
+	degraded atomic.Bool
+
+	// refs counts who may dereference db/ix/searchers: one for the
+	// server's cur pointer plus one per pinned request and per in-flight
+	// job. release runs exactly once, when the count reaches zero after
+	// the epoch has been swapped out.
+	refs        atomic.Int64
+	release     func() // optional cleanup at zero refs (snapshot.Close)
+	releaseOnce sync.Once
+}
+
+// ref takes one pin. Callers must either hold an existing pin or go
+// through Server.currentEpoch, which proves the owner's pin was live.
+func (e *epoch) ref() { e.refs.Add(1) }
+
+// unref drops one pin; the last one out runs the release hook.
+func (e *epoch) unref() {
+	if e.refs.Add(-1) == 0 {
+		e.releaseOnce.Do(func() {
+			if e.release != nil {
+				e.release()
+			}
+		})
+	}
+}
+
+// currentEpoch pins and returns the serving epoch. The re-check of cur
+// after ref closes the race with Swap: if cur still points at e after
+// our pin was counted, the owner's pin was held at that moment (Swap
+// drops it only after replacing the pointer), so the count never saw
+// zero and release cannot have run. A pin taken on an epoch that lost
+// the re-check is dropped and the loop retries on the new epoch.
+func (s *Server) currentEpoch() *epoch {
+	for {
+		e := s.cur.Load()
+		e.ref()
+		if s.cur.Load() == e {
+			return e
+		}
+		e.unref()
+	}
+}
+
+// newEpoch validates ix against db and builds the per-worker searcher
+// clones. strict selects the failure mode for an invalid index: New
+// degrades to an exhaustive-only epoch (exact answers beat no service
+// at startup), while Swap refuses — reloading INTO a degraded state is
+// an operator error the old epoch should survive.
+func (s *Server) newEpoch(db *bio.Database, ix *index.Index, version string, release func(), strict bool) (*epoch, error) {
+	e := &epoch{db: db, ix: ix, version: version, release: release}
+	e.refs.Store(1) // the owner reference, held by s.cur until the next Swap
+	if ix != nil {
+		if err := ix.Validate(db); err != nil {
+			if strict {
+				return nil, fmt.Errorf("server: index failed validation: %w", err)
+			}
+			s.logf("server: index failed validation: %v; serving degraded (exhaustive scans only)", err)
+			e.degraded.Store(true)
+			e.ix = nil
+		} else {
+			proto := index.NewSearcher(ix, db, s.cfg.Params, index.SearchOptions{})
+			e.searchers = make([]*index.Searcher, s.cfg.Workers)
+			e.searchers[0] = proto
+			for i := 1; i < s.cfg.Workers; i++ {
+				e.searchers[i] = proto.Clone()
+			}
+		}
+	}
+	return e, nil
+}
+
+// Swap atomically replaces the serving (database, index, searchers)
+// triple. In-flight requests and queued jobs finish against the epoch
+// they pinned; every request admitted after Swap returns sees the new
+// one. release, if non-nil, runs when the last pin on the OLD epoch
+// drops — a snapshot-backed caller passes Snapshot.Close so the old
+// mapping is unmapped exactly when nothing can still read it. The
+// result cache flushes: results computed against the old data never
+// answer a query against the new.
+//
+// Swap validates the pair first and refuses (leaving the old epoch
+// serving) rather than degrade: unlike startup, there is a good state
+// to keep.
+func (s *Server) Swap(db *bio.Database, ix *index.Index, version string, release func()) error {
+	if db == nil || db.NumSeqs() == 0 {
+		return fmt.Errorf("server: swap: empty database")
+	}
+	ne, err := s.newEpoch(db, ix, version, release, true)
+	if err != nil {
+		return err
+	}
+	old := s.cur.Swap(ne)
+	s.cache.flush()
+	s.metrics.reloads.Add(1)
+	s.logf("server: epoch swap: version %q -> %q (%d seqs, %d residues; old epoch has %d pins left)",
+		old.version, ne.version, db.NumSeqs(), db.TotalResidues(), old.refs.Load()-1)
+	old.unref() // drop the owner pin; release fires here if nothing is in flight
+	return nil
+}
+
+// SnapshotVersion reports the serving epoch's version label ("" when
+// the database was loaded outside a snapshot).
+func (s *Server) SnapshotVersion() string { return s.cur.Load().version }

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/index"
+	"repro/internal/snapshot"
+)
+
+// waitIdle polls until the pipeline is quiescent: no request in
+// flight and the serving epoch down to its owner pin.
+func waitIdle(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		if st.InFlight == 0 && st.EpochRefs == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := s.Stats()
+	t.Fatalf("pipeline never went idle: in_flight=%d epoch_refs=%d", st.InFlight, st.EpochRefs)
+}
+
+// TestSwapUnderLoad is the hot-reload correctness hammer: clients
+// pound /search while the database+index pair is swapped back and
+// forth between two versions. Every response must be bit-identical to
+// what ONE of the two versions answers in isolation, and the version
+// it matches must be the version the response is stamped with — a
+// response computed against v1 data but labeled v2 (or mixing the two)
+// is the atomicity violation the epoch pin protocol exists to prevent.
+// Afterwards every retired epoch's release hook must have run and the
+// serving epoch must return to exactly one pin (no leaks).
+func TestSwapUnderLoad(t *testing.T) {
+	db1, db2 := testDB(t, 120), testDB(t, 150)
+	ix1, ix2 := index.Build(db1, index.Options{}), index.Build(db2, index.Options{})
+
+	// Reference answers per version, computed on throwaway servers.
+	reqs := []SearchRequest{
+		{Query: queryString(), K: 8, Exhaustive: true},
+		{Query: queryString(), K: 8},
+		{Query: bio.Decode(db1.Seqs[11].Residues), K: 5, Exhaustive: true},
+		{Query: bio.Decode(db1.Seqs[11].Residues), K: 5},
+	}
+	want := map[string][]string{}
+	for v, pair := range map[string]struct {
+		db *bio.Database
+		ix *index.Index
+	}{"v1": {db1, ix1}, "v2": {db2, ix2}} {
+		ref, err := New(pair.db, pair.ix, Config{Workers: 2, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range reqs {
+			resp, code := doSearch(t, ref, req)
+			if code != 200 {
+				t.Fatalf("reference %s: status %d", v, code)
+			}
+			want[v] = append(want[v], fmt.Sprint(resp.Hits))
+		}
+		ref.Close()
+	}
+
+	s, err := New(db1, ix1, Config{Workers: 3, CacheEntries: 256, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var released atomic.Int64
+	release := func() { released.Add(1) }
+	if err := s.Swap(db1, ix1, "v1", release); err != nil {
+		t.Fatalf("initial versioned swap: %v", err)
+	}
+
+	// Swapper: alternate versions under the clients' feet.
+	const swaps = 30
+	stop := make(chan struct{})
+	var clientWG sync.WaitGroup
+	var violations atomic.Int64
+	for c := 0; c < 6; c++ {
+		clientWG.Add(1)
+		go func(c int) {
+			defer clientWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ri := (c + i) % len(reqs)
+				resp, code := doSearch(t, s, reqs[ri])
+				if code != 200 {
+					violations.Add(1)
+					t.Errorf("client %d: status %d", c, code)
+					return
+				}
+				expected, ok := want[resp.SnapshotVersion]
+				if !ok {
+					violations.Add(1)
+					t.Errorf("client %d: response stamped with unknown version %q", c, resp.SnapshotVersion)
+					return
+				}
+				if got := fmt.Sprint(resp.Hits); got != expected[ri] {
+					violations.Add(1)
+					t.Errorf("client %d: version %s answered with hits that are not version %s's:\n got %s\nwant %s",
+						c, resp.SnapshotVersion, resp.SnapshotVersion, got, expected[ri])
+					return
+				}
+			}
+		}(c)
+	}
+
+	performed := 1 // the initial versioned swap above
+	for i := 0; i < swaps; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if i%2 == 0 {
+			err = s.Swap(db2, ix2, "v2", release)
+		} else {
+			err = s.Swap(db1, ix1, "v1", release)
+		}
+		if err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		performed++
+	}
+	close(stop)
+	clientWG.Wait()
+	if violations.Load() > 0 {
+		t.Fatalf("%d atomicity violations", violations.Load())
+	}
+	waitIdle(t, s)
+
+	// Every epoch except the serving one is retired; each retirement
+	// must have run its release hook exactly once. The first versioned
+	// swap retired New's hook-less epoch, so expect performed-1 hooks.
+	deadline := time.Now().Add(5 * time.Second)
+	for released.Load() != int64(performed-1) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := released.Load(); got != int64(performed-1) {
+		t.Fatalf("release hooks ran %d times, want %d (an epoch leaked or double-released)", got, performed-1)
+	}
+	if st := s.Stats(); st.Reloads != int64(performed) {
+		t.Errorf("reloads = %d, want %d", st.Reloads, performed)
+	}
+}
+
+// TestSwapRefusesInvalidPair: a reload with an index built over a
+// different database must be refused wholesale — the old epoch keeps
+// serving, nothing is swapped, nothing is released.
+func TestSwapRefusesInvalidPair(t *testing.T) {
+	db1, db2 := testDB(t, 60), testDB(t, 80)
+	ix2 := index.Build(db2, index.Options{})
+	s := newTestServer(t, db1, Config{Workers: 2, Logf: t.Logf})
+
+	if err := s.Swap(db1, ix2, "bad", nil); err == nil {
+		t.Fatal("Swap accepted an index built over a different database")
+	}
+	if err := s.Swap(nil, nil, "bad", nil); err == nil {
+		t.Fatal("Swap accepted a nil database")
+	}
+	if st := s.Stats(); st.Reloads != 0 || st.SnapshotVersion != "" {
+		t.Fatalf("failed swap leaked state: %+v", st)
+	}
+	if _, code := doSearch(t, s, SearchRequest{Query: queryString()}); code != 200 {
+		t.Fatalf("old epoch stopped serving after a refused swap: status %d", code)
+	}
+}
+
+// TestSwapRestoresIndexTrust: degraded is per-epoch. A server that
+// came up with an untrustworthy index serves exhaustively, but a swap
+// to a fresh valid pair re-earns the indexed path — unlike the old
+// process-lifetime one-way degraded latch.
+func TestSwapRestoresIndexTrust(t *testing.T) {
+	db1, db2 := testDB(t, 60), testDB(t, 80)
+	ix1, ix2 := index.Build(db1, index.Options{}), index.Build(db2, index.Options{})
+
+	// New is lenient: the mismatched index degrades the first epoch.
+	s, err := New(db1, ix2, Config{Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Degraded() {
+		t.Fatal("mismatched index did not degrade the startup epoch")
+	}
+	resp, code := doSearch(t, s, SearchRequest{Query: queryString()})
+	if code != 200 || !resp.Exhaustive {
+		t.Fatalf("degraded epoch must serve exhaustively: code=%d exhaustive=%v", code, resp.Exhaustive)
+	}
+
+	if err := s.Swap(db1, ix1, "fixed", nil); err != nil {
+		t.Fatalf("swap to a valid pair: %v", err)
+	}
+	if s.Degraded() {
+		t.Fatal("degraded survived a swap to a fresh valid epoch")
+	}
+	resp, code = doSearch(t, s, SearchRequest{Query: queryString()})
+	if code != 200 || resp.Exhaustive {
+		t.Fatalf("fresh epoch did not re-earn the indexed path: code=%d exhaustive=%v", code, resp.Exhaustive)
+	}
+	if resp.SnapshotVersion != "fixed" {
+		t.Fatalf("snapshot_version = %q, want %q", resp.SnapshotVersion, "fixed")
+	}
+}
+
+// TestReloadFromSnapshot wires the whole tentpole together in-process:
+// a server boots from one mmap-backed snapshot, hot-reloads to a
+// second, answers bit-identically to a plain in-memory server over the
+// same data, and unmaps the old snapshot exactly when its last pin
+// drops.
+func TestReloadFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	openVersion := func(n int, version string) *snapshot.Snapshot {
+		db := testDB(t, n)
+		ix := index.Build(db, index.Options{})
+		path := filepath.Join(dir, version+".seqsnap")
+		if _, err := snapshot.Write(path, db, ix, snapshot.Manifest{Version: version}); err != nil {
+			t.Fatalf("Write %s: %v", version, err)
+		}
+		snap, err := snapshot.Open(path, snapshot.OpenOptions{})
+		if err != nil {
+			t.Fatalf("Open %s: %v", version, err)
+		}
+		return snap
+	}
+	s1, s2 := openVersion(90, "v1"), openVersion(110, "v2")
+
+	s, err := New(s1.DB, s1.Index, Config{Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var closed1 atomic.Bool
+	if err := s.Swap(s1.DB, s1.Index, s1.Manifest.Version, func() { s1.Close(); closed1.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+
+	req := SearchRequest{Query: queryString(), K: 6}
+	check := func(version string, wantDB *bio.Database) {
+		t.Helper()
+		resp, code := doSearch(t, s, req)
+		if code != 200 || resp.SnapshotVersion != version {
+			t.Fatalf("code=%d version=%q, want 200/%q", code, resp.SnapshotVersion, version)
+		}
+		ref, err := New(wantDB, index.Build(wantDB, index.Options{}), Config{Workers: 2, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		wantResp, _ := doSearch(t, ref, req)
+		if fmt.Sprint(resp.Hits) != fmt.Sprint(wantResp.Hits) {
+			t.Fatalf("snapshot-backed hits diverge from in-memory hits:\n got %v\nwant %v", resp.Hits, wantResp.Hits)
+		}
+	}
+	check("v1", testDB(t, 90))
+
+	if err := s.Swap(s2.DB, s2.Index, s2.Manifest.Version, func() { s2.Close() }); err != nil {
+		t.Fatal(err)
+	}
+	check("v2", testDB(t, 110))
+	waitIdle(t, s)
+	if !closed1.Load() {
+		t.Fatal("old snapshot was not closed after its epoch retired")
+	}
+}

@@ -101,13 +101,12 @@ const (
 type Server struct {
 	cfg    Config
 	kernel align.Kernel // resolved Config.DefaultKernel
-	db     *bio.Database
-	ix     *index.Index // nil: exhaustive-only service
 	logf   func(format string, args ...any)
 
-	// searchers holds one validated Searcher clone per worker,
-	// distributed at pool start; nil when ix is nil.
-	searchers []*index.Searcher
+	// cur is the serving epoch — the (db, index, searchers, version)
+	// triple every request pins for its lifetime. Swap replaces it
+	// atomically; epoch.go owns the pin/release protocol.
+	cur atomic.Pointer[epoch]
 
 	cache     *resultCache
 	metrics   metrics
@@ -116,10 +115,6 @@ type Server struct {
 
 	admit    admission   // weighted admission gate in front of queue
 	draining atomic.Bool // BeginDrain flipped; new work is refused
-	// degraded: the index failed validation at startup or errored
-	// mid-flight; every request is normalized to the exact scan until
-	// restart. One-way — an index that lied once is not re-trusted.
-	degraded atomic.Bool
 
 	queue      chan *job
 	phaseCh    chan *batchPhase
@@ -178,8 +173,6 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		kernel:  defaultKernel,
-		db:      db,
-		ix:      ix,
 		logf:    cfg.Logf,
 		cache:   newResultCache(cfg.CacheEntries),
 		queue:   make(chan *job, cfg.QueueDepth),
@@ -191,22 +184,15 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	s.admit.capacity = int64(cfg.QueueDepth)
 	s.admit.notify = make(chan struct{}, 1)
 	s.accessLog = cfg.AccessLog
-	s.initMetrics(cfg.TraceRing)
 
-	if ix != nil {
-		if err := ix.Validate(db); err != nil {
-			s.logf("server: index failed validation: %v; serving degraded (exhaustive scans only)", err)
-			s.degraded.Store(true)
-			s.ix = nil
-		} else {
-			proto := index.NewSearcher(ix, db, cfg.Params, index.SearchOptions{})
-			s.searchers = make([]*index.Searcher, cfg.Workers)
-			s.searchers[0] = proto
-			for i := 1; i < cfg.Workers; i++ {
-				s.searchers[i] = proto.Clone()
-			}
-		}
+	// The first epoch is unversioned (no snapshot label) and lenient:
+	// an invalid index degrades the epoch instead of failing startup.
+	ep, err := s.newEpoch(db, ix, "", nil, false)
+	if err != nil {
+		return nil, err // unreachable with strict=false; kept for shape
 	}
+	s.cur.Store(ep)
+	s.initMetrics(cfg.TraceRing)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
@@ -218,10 +204,7 @@ func New(db *bio.Database, ix *index.Index, cfg Config) (*Server, error) {
 	s.mux.Handle("/debug/traces", s.metrics.ring)
 
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{scr: align.NewScratch()}
-		if s.searchers != nil {
-			w.searcher = s.searchers[i]
-		}
+		w := &worker{id: i, scr: align.NewScratch()}
 		s.workerWG.Add(1)
 		go s.workerLoop(w)
 	}
@@ -245,27 +228,31 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Degraded reports whether the server has stopped trusting its index
-// and normalizes every request to the exhaustive scan.
-func (s *Server) Degraded() bool { return s.degraded.Load() }
+// Degraded reports whether the serving epoch has stopped trusting its
+// index and normalizes every request to the exhaustive scan. Unlike
+// the pre-reload design this is per-epoch: a Swap to fresh data
+// re-earns trust.
+func (s *Server) Degraded() bool { return s.cur.Load().degraded.Load() }
 
-// enterDegraded flips the server to degraded mode (once) and logs why.
-func (s *Server) enterDegraded(reason string) {
-	if s.degraded.CompareAndSwap(false, true) {
+// enterDegraded flips one epoch to degraded mode (once) and logs why.
+func (s *Server) enterDegraded(e *epoch, reason string) {
+	if e.degraded.CompareAndSwap(false, true) {
 		s.logf("server: index error: %s; degrading to exhaustive scans", reason)
 	}
 }
 
-// Close stops the dispatcher and the worker pool. It must run after
-// the HTTP side has drained (http.Server.Shutdown has returned): a
-// handler still waiting on a job when the pipeline stops would wait
-// forever. Close is idempotent.
+// Close stops the dispatcher and the worker pool, then drops the
+// owner pin on the final epoch so a snapshot-backed server unmaps its
+// mapping on the way out. It must run after the HTTP side has drained
+// (http.Server.Shutdown has returned): a handler still waiting on a
+// job when the pipeline stops would wait forever. Close is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.queue)
 		s.dispatchWG.Wait()
 		close(s.phaseCh)
 		s.workerWG.Wait()
+		s.cur.Load().unref()
 	})
 }
 
@@ -299,7 +286,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, tr, badRequest(ErrBadRequest, "decoding JSON: %v", err))
 		return
 	}
-	norm, aerr := s.validate(&req)
+	// Pin the serving epoch for the request's whole lifetime: the data
+	// validated against is the data scored against, even if a reload
+	// lands mid-request.
+	ep := s.currentEpoch()
+	defer ep.unref()
+	norm, aerr := s.validate(ep, &req)
 	if aerr != nil {
 		s.failRequest(w, tr, aerr)
 		return
@@ -330,7 +322,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		faults.Sleep(ctx, d)
 	}
 
-	hits, cached, aerr := s.search(ctx, norm, start, false, tr)
+	hits, cached, aerr := s.search(ctx, ep, norm, start, false, tr)
 	if aerr != nil {
 		if aerr.code == ErrDeadline {
 			s.metrics.timeouts.Add(1)
@@ -340,13 +332,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.CacheHit = cached
 	resp := SearchResponse{
-		QueryLen:   len(norm.residues),
-		Kernel:     norm.kernel.String(),
-		K:          norm.topK,
-		Exhaustive: norm.exhaustive,
-		Cached:     cached,
-		Hits:       hits,
-		TookUs:     time.Since(start).Microseconds(),
+		QueryLen:        len(norm.residues),
+		Kernel:          norm.kernel.String(),
+		K:               norm.topK,
+		Exhaustive:      norm.exhaustive,
+		Cached:          cached,
+		Hits:            hits,
+		TookUs:          time.Since(start).Microseconds(),
+		SnapshotVersion: ep.version,
 	}
 	respondStart := time.Now()
 	s.writeJSON(w, http.StatusOK, &resp)
@@ -372,8 +365,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // (a full gate sheds with 429/overloaded), true is the streaming one
 // (a full gate blocks the caller — pausing that stream's read loop —
 // until capacity frees or ctx dies).
-func (s *Server) search(ctx context.Context, norm normalized, start time.Time, wait bool, tr *obs.Trace) ([]Hit, bool, *apiError) {
-	key := norm.cacheKey()
+func (s *Server) search(ctx context.Context, ep *epoch, norm normalized, start time.Time, wait bool, tr *obs.Trace) ([]Hit, bool, *apiError) {
+	key := norm.cacheKey(ep)
 	for {
 		lookupStart := time.Now()
 		cachedHits, f, leader := s.cache.begin(key)
@@ -383,7 +376,7 @@ func (s *Server) search(ctx context.Context, norm normalized, start time.Time, w
 			return cachedHits, true, nil
 		}
 		if leader {
-			return s.lead(ctx, key, f, norm, start, wait, tr)
+			return s.lead(ctx, ep, key, f, norm, start, wait, tr)
 		}
 		select {
 		case <-f.done:
@@ -405,7 +398,7 @@ func (s *Server) search(ctx context.Context, norm normalized, start time.Time, w
 // resolves the flight exactly once — finish on success, abort on any
 // failure — so followers never wait forever, and every exit settles
 // the job ownership CAS so the job is recycled by exactly one side.
-func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normalized, start time.Time, wait bool, tr *obs.Trace) ([]Hit, bool, *apiError) {
+func (s *Server) lead(ctx context.Context, ep *epoch, key cacheKey, f *flight, norm normalized, start time.Time, wait bool, tr *obs.Trace) ([]Hit, bool, *apiError) {
 	if s.draining.Load() { // re-check: drain may have flipped since the handler's gate
 		s.cache.abort(key, f, errDraining)
 		return nil, false, errDraining
@@ -435,6 +428,11 @@ func (s *Server) lead(ctx context.Context, key cacheKey, f *flight, norm normali
 	j.norm = norm
 	j.coalesce = norm.coalesce
 	j.ctx = ctx
+	// The job takes its own pin: an abandoned job outlives its handler,
+	// and the pipeline must still be able to score it against the epoch
+	// it was admitted under. recycleJob drops the pin.
+	j.ep = ep
+	ep.ref()
 	j.enqueued = time.Now()
 	s.queue <- j // admission bounds occupancy, so this never blocks
 
@@ -506,7 +504,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"degraded": s.degraded.Load(),
+		"degraded": s.Degraded(),
 		"uptime_s": time.Since(s.metrics.start).Seconds(),
 	})
 }
@@ -529,9 +527,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	ep := s.cur.Load()
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"ready":    true,
-		"degraded": s.degraded.Load(),
+		"ready":            true,
+		"degraded":         ep.degraded.Load(),
+		"snapshot_version": ep.version,
 	})
 }
 
@@ -572,7 +572,7 @@ func (s *Server) failRequest(w http.ResponseWriter, tr *obs.Trace, e *apiError) 
 // it to the ring (after which it is immutable), and emits the
 // structured access-log line when one is configured.
 func (s *Server) finishTrace(tr *obs.Trace, outcome string) {
-	tr.Degraded = s.degraded.Load()
+	tr.Degraded = s.Degraded()
 	tr.Finish(outcome)
 	s.metrics.ring.Publish(tr)
 	if s.accessLog != nil {

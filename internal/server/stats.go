@@ -41,6 +41,8 @@ type metrics struct {
 	panics    *obs.Counter // scoring panics isolated to single requests
 	abandoned *obs.Counter // jobs whose client vanished before scoring
 
+	reloads *obs.Counter // successful epoch swaps (Server.Swap)
+
 	// The streaming bulk-query path (/search/stream).
 	streamsOpen    *obs.Gauge   // connections currently streaming
 	streamsTotal   *obs.Counter // connections accepted over the uptime
@@ -77,6 +79,7 @@ func (s *Server) initMetrics(ringSize int) {
 	m.timeouts = obs.NewCounter()
 	m.panics = obs.NewCounter()
 	m.abandoned = obs.NewCounter()
+	m.reloads = obs.NewCounter()
 	m.streamsOpen = obs.NewGauge()
 	m.streamsTotal = obs.NewCounter()
 	m.streamLines = obs.NewCounter()
@@ -106,10 +109,20 @@ func (s *Server) initMetrics(ringSize int) {
 	r.RegisterCounter("seqserve_timeouts_total", "Requests that hit their deadline.", m.timeouts)
 	r.RegisterCounter("seqserve_panics_total", "Scoring panics isolated to single requests.", m.panics)
 	r.RegisterCounter("seqserve_abandoned_total", "Jobs abandoned because their client vanished or timed out before scoring.", m.abandoned)
-	r.RegisterGaugeFunc("seqserve_degraded", "1 when the server has stopped trusting its index (exhaustive scans only).",
-		func() float64 { return boolGauge(s.degraded.Load()) })
+	r.RegisterGaugeFunc("seqserve_degraded", "1 when the serving epoch has stopped trusting its index (exhaustive scans only).",
+		func() float64 { return boolGauge(s.Degraded()) })
 	r.RegisterGaugeFunc("seqserve_draining", "1 when the server is draining for shutdown.",
 		func() float64 { return boolGauge(s.draining.Load()) })
+
+	// The hot-reload surface: how many swaps have landed, how many pins
+	// the serving epoch holds (1 = idle: just the owner), and the
+	// serving snapshot version as an info-style gauge — the sample CI's
+	// reload smoke watches flip from v1 to v2.
+	r.RegisterCounter("seqserve_reloads_total", "Successful snapshot/epoch swaps since startup.", m.reloads)
+	r.RegisterGaugeFunc("seqserve_epoch_refs", "Reference pins on the serving epoch (1 = no request in flight).",
+		func() float64 { return float64(s.cur.Load().refs.Load()) })
+	r.RegisterInfoFunc("seqserve_snapshot_info", "Serving snapshot version (label), constant 1 (value).", "version",
+		func() string { return s.cur.Load().version })
 
 	r.RegisterGaugeFunc("seqserve_queue_depth_units", "Admitted cost units in flight at the admission gate.",
 		func() float64 { return float64(s.admit.cost.Load()) })
@@ -190,7 +203,15 @@ type StatsResponse struct {
 	AbandonedTotal int64 `json:"abandoned_total"`
 	Degraded       bool  `json:"degraded"`
 	Draining       bool  `json:"draining"`
-	Admission      struct {
+
+	// The hot-reload surface: the serving snapshot's version ("" when
+	// the database was loaded outside a snapshot), swaps since startup,
+	// and the pin count on the serving epoch (1 = idle — just the
+	// owner's pin; reload tests assert it returns there).
+	SnapshotVersion string `json:"snapshot_version,omitempty"`
+	Reloads         int64  `json:"reloads"`
+	EpochRefs       int64  `json:"epoch_refs"`
+	Admission       struct {
 		Cost     int64 `json:"cost"`     // admitted cost units in flight
 		Capacity int64 `json:"capacity"` // shed threshold
 		Jobs     int64 `json:"jobs"`     // admitted jobs in flight
@@ -226,6 +247,11 @@ type StatsResponse struct {
 }
 
 func (s *Server) statsSnapshot() StatsResponse {
+	// Pin the epoch for the read: db/ix stay dereferenceable even if a
+	// swap (and the old epoch's unmap) lands mid-snapshot.
+	ep := s.currentEpoch()
+	defer ep.unref()
+
 	var r StatsResponse
 	r.UptimeS = time.Since(s.metrics.start).Seconds()
 	r.Requests = s.metrics.requests.Value()
@@ -235,18 +261,21 @@ func (s *Server) statsSnapshot() StatsResponse {
 	}
 	r.InFlight = s.metrics.inFlight.Value()
 	r.Workers = s.cfg.Workers
-	r.DBSeqs = s.db.NumSeqs()
-	r.DBResidues = s.db.TotalResidues()
-	if s.ix != nil {
-		r.IndexK = s.ix.K()
+	r.DBSeqs = ep.db.NumSeqs()
+	r.DBResidues = ep.db.TotalResidues()
+	if ep.ix != nil {
+		r.IndexK = ep.ix.K()
 	}
 
 	r.ShedTotal = s.metrics.shed.Value()
 	r.TimeoutTotal = s.metrics.timeouts.Value()
 	r.PanicTotal = s.metrics.panics.Value()
 	r.AbandonedTotal = s.metrics.abandoned.Value()
-	r.Degraded = s.degraded.Load()
+	r.Degraded = ep.degraded.Load()
 	r.Draining = s.draining.Load()
+	r.SnapshotVersion = ep.version
+	r.Reloads = s.metrics.reloads.Value()
+	r.EpochRefs = ep.refs.Load() - 1 // exclude this snapshot's own pin
 	r.Admission.Cost = s.admit.cost.Load()
 	r.Admission.Capacity = s.admit.capacity
 	r.Admission.Jobs = s.admit.jobs.Load()

@@ -361,13 +361,26 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			} else if dec.More() {
 				lineErr = badRequest(ErrBadRequest, "line %d has trailing data after the JSON object", lineNo)
 			}
+			// Each line pins the epoch it decodes under: a hot reload
+			// mid-stream means earlier lines answer from the old data and
+			// later lines from the new — every line internally
+			// consistent, each stamped with the version that served it.
 			var norm normalized
+			var lep *epoch
 			if lineErr == nil {
-				norm, lineErr = s.validateStream(&req)
+				lep = s.currentEpoch()
+				norm, lineErr = s.validateStream(lep, &req)
+				if lineErr != nil {
+					lep.unref()
+					lep = nil
+				}
 			}
 			ltr.SpanSince(obs.StageDecode, ltr.Start)
 
 			if !claim() {
+				if lep != nil {
+					lep.unref()
+				}
 				return
 			}
 			if lineErr != nil {
@@ -380,7 +393,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			s.metrics.requests.Add(1)
 			s.metrics.kernelRequests.With(ltr.Kernel).Add(1)
 
-			go func(id string, norm normalized, ltr *obs.Trace) { // the waiter owns the claim
+			go func(id string, norm normalized, ltr *obs.Trace, lep *epoch) { // the waiter owns the claim and the pin
+				defer lep.unref()
 				start := time.Now()
 				s.metrics.inFlight.Add(1)
 				defer s.metrics.inFlight.Add(-1)
@@ -390,7 +404,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					ctx, cancel = context.WithTimeout(ctx, norm.timeout)
 					defer cancel()
 				}
-				hits, cached, aerr := s.search(ctx, norm, start, true, ltr)
+				hits, cached, aerr := s.search(ctx, lep, norm, start, true, ltr)
 				if aerr != nil {
 					emitErr(id, aerr, ltr)
 					return
@@ -403,13 +417,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					v: &StreamResult{
 						ID: id,
 						SearchResponse: SearchResponse{
-							QueryLen:   len(norm.residues),
-							Kernel:     norm.kernel.String(),
-							K:          norm.topK,
-							Exhaustive: norm.exhaustive,
-							Cached:     cached,
-							Hits:       hits,
-							TookUs:     time.Since(start).Microseconds(),
+							QueryLen:        len(norm.residues),
+							Kernel:          norm.kernel.String(),
+							K:               norm.topK,
+							Exhaustive:      norm.exhaustive,
+							Cached:          cached,
+							Hits:            hits,
+							TookUs:          time.Since(start).Microseconds(),
+							SnapshotVersion: lep.version,
 						},
 					},
 					tr:      ltr,
@@ -417,7 +432,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					handoff: time.Now(),
 				}
 				wg.Done()
-			}(req.ID, norm, ltr)
+			}(req.ID, norm, ltr, lep)
 		}
 	}()
 

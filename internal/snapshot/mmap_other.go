@@ -1,0 +1,14 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mapFile reports no mmap support; Open falls back to reading the file
+// into process memory, which keeps the format and the zero-copy slice
+// reconstruction identical — only the page-cache sharing is lost.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return nil, false, nil
+}
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file read-only. MAP_PRIVATE: the container is
+// immutable and never written through the mapping, and a private
+// mapping can't be corrupted by another process holding the file open
+// for write (which the temp-file+rename publish protocol rules out
+// anyway).
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("snapshot: %d-byte file exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: mmap: %w", err)
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

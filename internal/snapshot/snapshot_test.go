@@ -1,0 +1,181 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/index"
+)
+
+func testDB(t testing.TB, n int) *bio.Database {
+	t.Helper()
+	spec := bio.DefaultDBSpec(n)
+	return bio.SyntheticDB(spec)
+}
+
+func writeTestSnapshot(t testing.TB, n int, version string) (string, *bio.Database, *index.Index) {
+	t.Helper()
+	db := testDB(t, n)
+	ix := index.Build(db, index.Options{})
+	path := filepath.Join(t.TempDir(), "db.seqsnap")
+	if _, err := Write(path, db, ix, Manifest{Version: version, Tool: "test"}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path, db, ix
+}
+
+// sameIndex compares two indexes entry by entry and posting list by
+// posting list — the loaded index must be bit-identical in behavior to
+// the one that was packed.
+func sameIndex(t *testing.T, want, got *index.Index) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Stats(), got.Stats()) {
+		t.Fatalf("stats differ:\n want %+v\n  got %+v", want.Stats(), got.Stats())
+	}
+	want.ForEachEntry(func(key uint64, raw, stored int) {
+		wl := want.Lookup(key)
+		gl := got.Lookup(key)
+		if !reflect.DeepEqual(wl, gl) {
+			t.Fatalf("posting list for key %d differs: want %v, got %v", key, wl, gl)
+		}
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	path, db, ix := writeTestSnapshot(t, 120, "v1")
+	s, err := Open(path, OpenOptions{Verify: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	if s.Manifest.Version != "v1" || s.Manifest.Tool != "test" {
+		t.Fatalf("manifest identity lost: %+v", s.Manifest)
+	}
+	if s.Manifest.NumSeqs != db.NumSeqs() || s.Manifest.TotalResidues != db.TotalResidues() {
+		t.Fatalf("manifest fingerprint %d/%d, db %d/%d", s.Manifest.NumSeqs, s.Manifest.TotalResidues, db.NumSeqs(), db.TotalResidues())
+	}
+	if s.Manifest.DBHash != DBHash(db) {
+		t.Fatalf("manifest hash %s, recomputed %s", s.Manifest.DBHash, DBHash(db))
+	}
+	if s.DB.NumSeqs() != db.NumSeqs() || s.DB.TotalResidues() != db.TotalResidues() {
+		t.Fatalf("db shape: got %d/%d, want %d/%d", s.DB.NumSeqs(), s.DB.TotalResidues(), db.NumSeqs(), db.TotalResidues())
+	}
+	for i, want := range db.Seqs {
+		got := s.DB.Seqs[i]
+		if got.ID != want.ID || got.Desc != want.Desc || !reflect.DeepEqual(got.Residues, want.Residues) {
+			t.Fatalf("sequence %d differs", i)
+		}
+	}
+	sameIndex(t, ix, s.Index)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestReadManifest(t *testing.T) {
+	path, db, _ := writeTestSnapshot(t, 30, "v7")
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if m.Version != "v7" || m.NumSeqs != db.NumSeqs() || m.DBHash != DBHash(db) {
+		t.Fatalf("manifest: %+v", m)
+	}
+}
+
+func TestWriteRefusesMismatchedPair(t *testing.T) {
+	db := testDB(t, 30)
+	other := testDB(t, 31)
+	ix := index.Build(other, index.Options{})
+	if _, err := Write(filepath.Join(t.TempDir(), "x.seqsnap"), db, ix, Manifest{Version: "v1"}); err == nil {
+		t.Fatal("Write accepted an index built over a different database")
+	}
+}
+
+func TestOpenFailureTaxonomy(t *testing.T) {
+	path, _, _ := writeTestSnapshot(t, 40, "v1")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openMutant := func(t *testing.T, mutate func([]byte) []byte, verify bool) error {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "mut.seqsnap")
+		if err := os.WriteFile(p, mutate(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(p, OpenOptions{Verify: verify})
+		if err == nil {
+			s.Close()
+		}
+		return err
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		err := openMutant(t, func(b []byte) []byte { b[0] = 'X'; return b }, false)
+		if !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		err := openMutant(t, func(b []byte) []byte { b[8] = '9'; return b }, false)
+		if !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("want ErrBadVersion, got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		err := openMutant(t, func(b []byte) []byte { return b[:100] }, false)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		err := openMutant(t, func(b []byte) []byte { return b[:len(b)-pageSize] }, false)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("manifest bitflip", func(t *testing.T) {
+		err := openMutant(t, func(b []byte) []byte { b[pageSize] ^= 0x40; return b }, false)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("want ErrChecksum, got %v", err)
+		}
+	})
+	t.Run("bulk bitflip caught under Verify", func(t *testing.T) {
+		toc, _, err := parseHeader(good, uint64(len(good)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resOff uint64
+		for _, sec := range toc {
+			if sec.name == secResidues {
+				resOff = sec.offset
+			}
+		}
+		if resOff == 0 {
+			t.Fatal("no residues section")
+		}
+		err = openMutant(t, func(b []byte) []byte { b[resOff] ^= 0x01; return b }, true)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("Verify missed a bulk bit flip: %v", err)
+		}
+	})
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "empty.seqsnap")
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p, OpenOptions{}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
